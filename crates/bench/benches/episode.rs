@@ -1,0 +1,48 @@
+//! Whole-episode throughput per planner stack — what determines how fast
+//! the Monte-Carlo experiments run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cv_comm::CommSetting;
+use cv_sim::training::{train_planner, Personality, TrainSetup};
+use cv_sim::{run_episode, EpisodeConfig, StackSpec, WindowKind};
+use safe_shield::AggressiveConfig;
+use std::hint::black_box;
+
+fn bench_episodes(c: &mut Criterion) {
+    let nn = train_planner(&TrainSetup::smoke(), Personality::Conservative).expect("training ok");
+    let mut cfg = EpisodeConfig::paper_default(1);
+    cfg.comm = CommSetting::Delayed {
+        delay: 0.25,
+        drop_prob: 0.25,
+    };
+
+    let stacks = [
+        (
+            "episode/pure_nn",
+            StackSpec::PureNn {
+                planner: nn.clone(),
+                window: WindowKind::Conservative,
+            },
+        ),
+        ("episode/basic", StackSpec::basic(nn.clone())),
+        (
+            "episode/ultimate",
+            StackSpec::ultimate(nn.clone(), AggressiveConfig::default()),
+        ),
+        (
+            "episode/teacher",
+            StackSpec::pure_teacher_conservative(&cfg).expect("valid scenario"),
+        ),
+    ];
+    let mut group = c.benchmark_group("episode");
+    group.sample_size(20);
+    for (name, spec) in stacks {
+        group.bench_function(name, |b| {
+            b.iter(|| run_episode(black_box(&cfg), &spec, false).expect("valid episode"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_episodes);
+criterion_main!(benches);

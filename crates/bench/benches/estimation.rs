@@ -1,0 +1,100 @@
+//! Micro-benchmarks of the information-filter substrate: these run once per
+//! control step per tracked vehicle, so their cost bounds how much traffic a
+//! real deployment could monitor.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use cv_comm::Message;
+use cv_dynamics::VehicleLimits;
+use cv_estimation::{
+    reachability, Estimator, FilterMode, InformationFilter, Interval, KalmanFilter, Mat2, Prior,
+    TrackingFilter, Vec2,
+};
+use cv_sensing::{Measurement, SensorNoise};
+use std::hint::black_box;
+
+fn limits() -> VehicleLimits {
+    VehicleLimits::new(3.0, 14.0, -3.0, 3.0).expect("valid limits")
+}
+
+fn bench_kalman(c: &mut Criterion) {
+    c.bench_function("estimation/kf_predict_update", |b| {
+        b.iter_batched(
+            || {
+                KalmanFilter::new(
+                    SensorNoise::uniform(2.0),
+                    Vec2::new(0.0, 10.0),
+                    Mat2::diag(4.0, 4.0),
+                )
+            },
+            |mut kf| {
+                kf.predict(black_box(0.5), 0.1);
+                kf.update(black_box(Vec2::new(1.0, 10.1)));
+                kf
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_rollback(c: &mut Criterion) {
+    // A tracker with a full measurement history absorbing a stale message —
+    // the most expensive single event in the pipeline.
+    let mut tracker = TrackingFilter::new(SensorNoise::uniform(2.0), 0.0, 0.0, 10.0);
+    for i in 1..=100 {
+        let t = i as f64 * 0.1;
+        tracker.on_measurement(&Measurement::new(1, t, 10.0 * t, 10.0, 0.0));
+    }
+    let msg = Message::new(1, 5.0, 50.0, 10.0, 0.0);
+    c.bench_function("estimation/rollback_replay_50_measurements", |b| {
+        b.iter_batched(
+            || tracker.clone(),
+            |mut t| {
+                t.on_message(black_box(&msg));
+                t
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_reachability(c: &mut Criterion) {
+    let lim = limits();
+    c.bench_function("estimation/reach_interval", |b| {
+        b.iter(|| {
+            reachability::reach(
+                black_box(Interval::new(9.0, 11.0)),
+                black_box(Interval::new(9.5, 10.5)),
+                black_box(0.75),
+                &lim,
+            )
+        })
+    });
+}
+
+fn bench_filter_estimate(c: &mut Criterion) {
+    let mut filt = InformationFilter::new(
+        limits(),
+        SensorNoise::uniform(2.0),
+        FilterMode::Fused,
+        Prior::exact(0.0, 0.0, 10.0),
+    );
+    for i in 1..=20 {
+        let t = i as f64 * 0.1;
+        filt.on_measurement(&Measurement::new(1, t, 10.0 * t, 10.0, 0.0));
+        if i % 3 == 0 {
+            filt.on_message(&Message::new(1, t - 0.25, 10.0 * (t - 0.25), 10.0, 0.0));
+        }
+    }
+    c.bench_function("estimation/information_filter_estimate", |b| {
+        b.iter(|| filt.estimate(black_box(2.3)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_kalman,
+    bench_rollback,
+    bench_reachability,
+    bench_filter_estimate
+);
+criterion_main!(benches);

@@ -1,0 +1,140 @@
+//! Reduced-N versions of every paper artifact, so `cargo bench --workspace`
+//! exercises the full pipeline behind each table and figure:
+//!
+//! * `experiments/table1_cell`, `experiments/table2_cell` — one
+//!   (setting × stack-triple) block of Tables I/II;
+//! * `experiments/fig5_point` — one sweep point of Fig. 5 (all three
+//!   planners);
+//! * `experiments/fig6a_filter_rmse` — the Fig. 6a RMSE computation;
+//! * `experiments/fig6b_window_trace` — the Fig. 6b traced episode.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cv_comm::CommSetting;
+use cv_dynamics::{VehicleLimits, VehicleState};
+use cv_estimation::TrackingFilter;
+use cv_sensing::{SensorNoise, UniformNoiseSensor};
+use cv_sim::training::{train_planner, Personality, TrainSetup};
+use cv_sim::{run_batch, run_episode, BatchConfig, EpisodeConfig, StackSpec, WindowKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use safe_shield::AggressiveConfig;
+use std::hint::black_box;
+
+const SIMS: usize = 8;
+
+fn stacks(personality: Personality) -> [StackSpec; 3] {
+    let nn = train_planner(&TrainSetup::smoke(), personality).expect("training ok");
+    let window = match personality {
+        Personality::Conservative => WindowKind::Conservative,
+        Personality::Aggressive => WindowKind::Nominal,
+    };
+    [
+        StackSpec::PureNn {
+            planner: nn.clone(),
+            window,
+        },
+        StackSpec::basic(nn.clone()),
+        StackSpec::ultimate(nn, AggressiveConfig::default()),
+    ]
+}
+
+fn table_cell(c: &mut Criterion, name: &str, personality: Personality) {
+    let specs = stacks(personality);
+    let mut template = EpisodeConfig::paper_default(1);
+    template.comm = CommSetting::Delayed {
+        delay: 0.25,
+        drop_prob: 0.25,
+    };
+    let batch = BatchConfig::new(template, SIMS);
+    let mut group = c.benchmark_group("experiments");
+    group.sample_size(10);
+    group.bench_function(name, |b| {
+        b.iter(|| {
+            for spec in &specs {
+                black_box(run_batch(&batch, spec).expect("valid batch"));
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_table1(c: &mut Criterion) {
+    table_cell(c, "table1_cell", Personality::Conservative);
+}
+
+fn bench_table2(c: &mut Criterion) {
+    table_cell(c, "table2_cell", Personality::Aggressive);
+}
+
+fn bench_fig5_point(c: &mut Criterion) {
+    let specs = stacks(Personality::Conservative);
+    let mut template = EpisodeConfig::paper_default(1);
+    template.comm = CommSetting::Lost;
+    template.noise = SensorNoise::uniform(3.0);
+    let batch = BatchConfig::new(template, SIMS);
+    let mut group = c.benchmark_group("experiments");
+    group.sample_size(10);
+    group.bench_function("fig5_point", |b| {
+        b.iter(|| {
+            for spec in &specs {
+                black_box(run_batch(&batch, spec).expect("valid batch"));
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_fig6a(c: &mut Criterion) {
+    let limits = VehicleLimits::new(3.0, 14.0, -3.0, 3.0).expect("valid limits");
+    let mut group = c.benchmark_group("experiments");
+    group.sample_size(10);
+    group.bench_function("fig6a_filter_rmse", |b| {
+        b.iter(|| {
+            // One filtered trajectory of the Fig. 6a kind.
+            let mut rng = StdRng::seed_from_u64(7);
+            let mut sensor = UniformNoiseSensor::new(SensorNoise::uniform(2.0), 8);
+            let mut truth = VehicleState::new(0.0, 10.0, 0.0);
+            let mut filter = TrackingFilter::new(SensorNoise::uniform(2.0), 0.0, 0.0, 10.0)
+                .with_process_accel_var(3.0);
+            let mut sq = 0.0;
+            for step in 0..160u64 {
+                let t = step as f64 * 0.05;
+                if step % 2 == 0 {
+                    filter.on_measurement(&sensor.measure(1, t, &truth));
+                    let (mean, _) = filter.predicted(t);
+                    sq += (mean.y - truth.velocity).powi(2);
+                }
+                let a = rng.random_range(-3.0..=3.0);
+                truth = limits.step(&truth, a, 0.05);
+            }
+            black_box(sq)
+        })
+    });
+    group.finish();
+}
+
+fn bench_fig6b(c: &mut Criterion) {
+    let nn = train_planner(&TrainSetup::smoke(), Personality::Aggressive).expect("training ok");
+    let spec = StackSpec::ultimate(nn, AggressiveConfig::default());
+    let mut cfg = EpisodeConfig::paper_default(11);
+    cfg.comm = CommSetting::Delayed {
+        delay: 0.25,
+        drop_prob: 0.25,
+    };
+    let mut group = c.benchmark_group("experiments");
+    group.sample_size(10);
+    group.bench_function("fig6b_window_trace", |b| {
+        b.iter(|| black_box(run_episode(&cfg, &spec, true).expect("valid episode")))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_table1,
+    bench_table2,
+    bench_fig5_point,
+    bench_fig6a,
+    bench_fig6b
+);
+criterion_main!(benches);

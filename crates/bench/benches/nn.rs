@@ -1,0 +1,55 @@
+//! Micro-benchmarks of the from-scratch NN library: inference cost (what a
+//! planner pays per control step) and training throughput.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use cv_nn::{Activation, Matrix, Mlp, Optimizer, TrainConfig, Trainer};
+use std::hint::black_box;
+
+fn planner_net() -> Mlp {
+    Mlp::new(&[5, 32, 32, 1], Activation::Tanh, Activation::Tanh, 7).expect("valid arch")
+}
+
+fn bench_forward(c: &mut Criterion) {
+    let net = planner_net();
+    let input = [0.1, -0.5, 0.6, 0.3, 0.5];
+    c.bench_function("nn/predict_single", |b| {
+        b.iter(|| net.predict(black_box(&input)).expect("arity ok"))
+    });
+
+    let batch = Matrix::from_fn(128, 5, |r, c| ((r * 5 + c) as f64).sin());
+    c.bench_function("nn/forward_batch128", |b| {
+        b.iter(|| net.forward(black_box(&batch)).expect("arity ok"))
+    });
+}
+
+fn bench_training(c: &mut Criterion) {
+    let x = Matrix::from_fn(256, 5, |r, c| ((r * 5 + c) as f64).sin());
+    let y = Matrix::from_fn(256, 1, |r, _| ((r as f64) * 0.1).cos());
+    let trainer = Trainer::new(
+        Optimizer::adam(1e-3),
+        TrainConfig {
+            epochs: 1,
+            batch_size: 64,
+            ..TrainConfig::default()
+        },
+    );
+    c.bench_function("nn/train_epoch_256x5", |b| {
+        b.iter_batched(
+            planner_net,
+            |mut net| trainer.fit(&mut net, &x, &y).expect("training ok"),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_serialization(c: &mut Criterion) {
+    let net = planner_net();
+    let text = net.to_text();
+    c.bench_function("nn/to_text", |b| b.iter(|| black_box(&net).to_text()));
+    c.bench_function("nn/from_text", |b| {
+        b.iter(|| Mlp::from_text(black_box(&text)).expect("roundtrip"))
+    });
+}
+
+criterion_group!(benches, bench_forward, bench_training, bench_serialization);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Per-control-step planning cost: the paper argues the framework "does not
+//! require extra resources for safety verification during runtime" — these
+//! benches quantify the (small) overhead of the monitor + compound planner
+//! over the bare NN planner.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cv_dynamics::VehicleState;
+use cv_estimation::VehicleEstimate;
+use cv_planner::TeacherPolicy;
+use cv_sim::training::{train_planner, Personality, TrainSetup};
+use left_turn::LeftTurnScenario;
+use safe_shield::{
+    AggressiveConfig, CompoundPlanner, Observation, Planner, RuntimeMonitor, Scenario,
+};
+use std::hint::black_box;
+
+fn fixtures() -> (LeftTurnScenario, VehicleState, VehicleEstimate) {
+    let scenario = LeftTurnScenario::paper_default(52.0).expect("valid scenario");
+    let ego = VehicleState::new(-18.0, 8.0, 0.0);
+    let est = VehicleEstimate::exact(2.0, VehicleState::new(17.0, 10.0, 0.3));
+    (scenario, ego, est)
+}
+
+fn bench_pure_nn_step(c: &mut Criterion) {
+    let (scenario, ego, est) = fixtures();
+    let mut nn =
+        train_planner(&TrainSetup::smoke(), Personality::Conservative).expect("training ok");
+    let window = scenario.conservative_window(2.0, &est);
+    let obs = Observation::new(2.0, ego, window);
+    c.bench_function("planner/pure_nn_step", |b| {
+        b.iter(|| nn.plan(black_box(&obs)))
+    });
+}
+
+fn bench_teacher_step(c: &mut Criterion) {
+    let (scenario, ego, est) = fixtures();
+    let mut teacher = TeacherPolicy::conservative(&scenario);
+    let obs = Observation::new(2.0, ego, scenario.conservative_window(2.0, &est));
+    c.bench_function("planner/teacher_step", |b| {
+        b.iter(|| teacher.plan(black_box(&obs)))
+    });
+}
+
+fn bench_monitor_check(c: &mut Criterion) {
+    let (scenario, ego, est) = fixtures();
+    let monitor = RuntimeMonitor::new();
+    c.bench_function("planner/monitor_check", |b| {
+        b.iter(|| monitor.check(&scenario, black_box(2.0), &ego, &est))
+    });
+}
+
+fn bench_compound_step(c: &mut Criterion) {
+    let (scenario, ego, est) = fixtures();
+    let nn = train_planner(&TrainSetup::smoke(), Personality::Conservative).expect("training ok");
+    let mut compound = CompoundPlanner::ultimate(scenario, nn, AggressiveConfig::default());
+    c.bench_function("planner/compound_ultimate_step", |b| {
+        b.iter(|| compound.plan(black_box(2.0), &ego, &est))
+    });
+}
+
+fn bench_window_estimation(c: &mut Criterion) {
+    let (scenario, _, est) = fixtures();
+    let cfg = AggressiveConfig::default();
+    c.bench_function("planner/conservative_window", |b| {
+        b.iter(|| scenario.conservative_window(black_box(2.0), &est))
+    });
+    c.bench_function("planner/aggressive_window", |b| {
+        b.iter(|| scenario.aggressive_window(black_box(2.0), &est, &cfg))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_pure_nn_step,
+    bench_teacher_step,
+    bench_monitor_check,
+    bench_compound_step,
+    bench_window_estimation
+);
+criterion_main!(benches);

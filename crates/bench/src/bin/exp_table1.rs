@@ -1,0 +1,22 @@
+//! Regenerates **Table I**: the conservative NN planner `κ_n,cons` vs. its
+//! basic (`κ_cb,cons`) and ultimate (`κ_cu,cons`) compound planners under
+//! the three communication settings.
+//!
+//! Usage: `cargo run --release -p bench --bin exp_table1 [--sims N] [--seed S]`
+
+use bench::{evaluate_block, planners, table_header, CommScenario, Family};
+
+fn main() {
+    let sims = bench::arg_usize("--sims", 2000);
+    let seed = bench::arg_usize("--seed", 1) as u64;
+    eprintln!("training/loading planners...");
+    let (cons, _aggr) = planners();
+
+    println!("\nTABLE I — conservative family ({sims} simulations per cell)");
+    println!("{}", table_header());
+    for scenario in CommScenario::all() {
+        for row in evaluate_block(&cons, Family::Conservative, scenario, sims, seed) {
+            println!("{}", row.format());
+        }
+    }
+}

@@ -1,0 +1,156 @@
+use cv_dynamics::VehicleLimits;
+use safe_shield::{Observation, Planner};
+use serde::{Deserialize, Serialize};
+
+use crate::CarFollowingScenario;
+
+/// A simple cruise controller for the car-following scenario.
+///
+/// Two personalities:
+///
+/// * [`CruisePlanner::reckless`] — tracks the speed limit and **ignores the
+///   lead vehicle entirely**. On its own it rear-ends slower traffic; inside
+///   a [`safe_shield::CompoundPlanner`] the monitor + emergency braking keep
+///   the gap, demonstrating the framework's black-box wrapping on a second
+///   scenario.
+/// * [`CruisePlanner::adaptive`] — a proportional ACC that additionally
+///   regulates a time headway to the lead's estimated position (read from
+///   the observation's conflict descriptor).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CruisePlanner {
+    limits: VehicleLimits,
+    desired_speed: f64,
+    /// Desired time headway (s); `None` = ignore the lead.
+    headway: Option<f64>,
+    /// Required standstill gap used by the headway law (m).
+    standstill_gap: f64,
+    /// Speed-tracking time constant (s).
+    tau: f64,
+}
+
+impl CruisePlanner {
+    /// Full-speed cruising with no regard for the lead vehicle.
+    pub fn reckless(scenario: &CarFollowingScenario) -> Self {
+        Self {
+            limits: scenario.ego_limits(),
+            desired_speed: scenario.ego_limits().v_max(),
+            headway: None,
+            standstill_gap: scenario.p_gap(),
+            tau: 0.5,
+        }
+    }
+
+    /// Proportional adaptive cruise control with the given time headway.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `headway` is not positive.
+    pub fn adaptive(scenario: &CarFollowingScenario, headway: f64) -> Self {
+        assert!(headway > 0.0, "headway must be positive, got {headway}");
+        Self {
+            limits: scenario.ego_limits(),
+            desired_speed: scenario.ego_limits().v_max(),
+            headway: Some(headway),
+            standstill_gap: scenario.p_gap(),
+            tau: 0.5,
+        }
+    }
+
+    /// Overrides the cruise set-speed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `speed` is negative.
+    pub fn with_desired_speed(mut self, speed: f64) -> Self {
+        assert!(speed >= 0.0, "desired speed must be nonnegative");
+        self.desired_speed = self.limits.clamp_velocity(speed);
+        self
+    }
+}
+
+impl Planner for CruisePlanner {
+    fn plan(&mut self, obs: &Observation) -> f64 {
+        let v = self.limits.clamp_velocity(obs.ego.velocity);
+        let cruise = (self.desired_speed - v) / self.tau;
+        let Some(headway) = self.headway else {
+            return self.limits.clamp_accel(cruise);
+        };
+        let Some(lead) = obs.window else {
+            return self.limits.clamp_accel(cruise);
+        };
+        // ACC: regulate gap toward standstill_gap + headway·v.
+        let gap = lead.lo() - obs.ego.position;
+        let desired_gap = self.standstill_gap + headway * v;
+        let follow = 0.8 * (gap - desired_gap) / headway;
+        self.limits.clamp_accel(cruise.min(follow))
+    }
+
+    fn name(&self) -> &str {
+        if self.headway.is_some() {
+            "cruise-adaptive"
+        } else {
+            "cruise-reckless"
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cv_dynamics::VehicleState;
+    use cv_estimation::Interval;
+
+    fn scenario() -> CarFollowingScenario {
+        CarFollowingScenario::highway_default().unwrap()
+    }
+
+    fn obs(p: f64, v: f64, lead: Option<f64>) -> Observation {
+        Observation::new(
+            0.0,
+            VehicleState::new(p, v, 0.0),
+            lead.map(Interval::point),
+        )
+    }
+
+    #[test]
+    fn reckless_ignores_the_lead() {
+        let s = scenario();
+        let mut p = CruisePlanner::reckless(&s);
+        let clear = p.plan(&obs(0.0, 10.0, None));
+        let blocked = p.plan(&obs(0.0, 10.0, Some(12.0)));
+        assert_eq!(clear, blocked, "reckless must not react to the lead");
+        assert!(clear > 0.0);
+    }
+
+    #[test]
+    fn adaptive_backs_off_when_close() {
+        let s = scenario();
+        let mut p = CruisePlanner::adaptive(&s, 1.5);
+        let close = p.plan(&obs(0.0, 20.0, Some(15.0)));
+        assert!(close < 0.0, "should brake at 15 m gap doing 20 m/s: {close}");
+        let far = p.plan(&obs(0.0, 20.0, Some(200.0)));
+        assert!(far > 0.0, "should accelerate with 200 m of room");
+    }
+
+    #[test]
+    fn speeds_settle_at_the_set_speed() {
+        let s = scenario();
+        let mut p = CruisePlanner::reckless(&s).with_desired_speed(25.0);
+        let lims = s.ego_limits();
+        let mut ego = VehicleState::new(0.0, 0.0, 0.0);
+        for i in 0..2000 {
+            let a = p.plan(&Observation::new(i as f64 * 0.05, ego, None));
+            ego = lims.step(&ego, a, 0.05);
+        }
+        assert!((ego.velocity - 25.0).abs() < 0.2, "settled at {}", ego.velocity);
+    }
+
+    #[test]
+    fn names_distinguish_personalities() {
+        let s = scenario();
+        assert_ne!(
+            CruisePlanner::reckless(&s).name(),
+            CruisePlanner::adaptive(&s, 1.0).name()
+        );
+    }
+}

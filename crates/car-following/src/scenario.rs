@@ -1,0 +1,352 @@
+use cv_dynamics::{braking_distance, VehicleLimits, VehicleState};
+use cv_estimation::{Interval, VehicleEstimate};
+use safe_shield::{AggressiveConfig, Scenario};
+use serde::{Deserialize, Serialize};
+
+/// Errors constructing a [`CarFollowingScenario`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum CarFollowingError {
+    /// `p_gap` must be positive and finite.
+    InvalidGap,
+    /// The control period must be positive and finite.
+    InvalidControlPeriod,
+    /// Vehicle limits were rejected.
+    Limits(cv_dynamics::LimitsError),
+}
+
+impl std::fmt::Display for CarFollowingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CarFollowingError::InvalidGap => write!(f, "distance gap must be positive"),
+            CarFollowingError::InvalidControlPeriod => {
+                write!(f, "control period must be positive and finite")
+            }
+            CarFollowingError::Limits(e) => write!(f, "invalid vehicle limits: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CarFollowingError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CarFollowingError::Limits(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<cv_dynamics::LimitsError> for CarFollowingError {
+    fn from(e: cv_dynamics::LimitsError) -> Self {
+        CarFollowingError::Limits(e)
+    }
+}
+
+/// Same-lane car following with the paper's distance-gap unsafe set
+/// `X_u = {x | p_lead − p_0 < p_gap}`.
+///
+/// Both vehicles live in one shared forward frame. The conflict descriptor
+/// is the lead vehicle's sound *position bound*; the worst-case assumption
+/// behind the safety sets is an instantly stopping lead (the most
+/// conservative RSS-style contract, which needs no velocity information).
+///
+/// The monitor works against a slightly inflated gap
+/// (`p_gap + MONITOR_GAP_MARGIN`) so floating-point drift on the exact
+/// stopping trajectory can never produce a real-gap violation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CarFollowingScenario {
+    ego_limits: VehicleLimits,
+    lead_limits: VehicleLimits,
+    /// Minimum distance gap `p_gap` (m).
+    p_gap: f64,
+    /// Target position for the evaluation function.
+    p_target: f64,
+    dt_c: f64,
+}
+
+impl CarFollowingScenario {
+    /// Monitor-side inflation of the gap (m); see the type docs.
+    pub const MONITOR_GAP_MARGIN: f64 = 0.05;
+
+    /// Emergency braking aims to stop this far short of the inflated gap.
+    pub const STOP_MARGIN: f64 = 0.2;
+
+    /// Creates a scenario.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CarFollowingError`] if `p_gap` or `dt_c` are invalid.
+    pub fn new(
+        ego_limits: VehicleLimits,
+        lead_limits: VehicleLimits,
+        p_gap: f64,
+        p_target: f64,
+        dt_c: f64,
+    ) -> Result<Self, CarFollowingError> {
+        if !(p_gap > 0.0 && p_gap.is_finite()) {
+            return Err(CarFollowingError::InvalidGap);
+        }
+        if !(dt_c > 0.0 && dt_c.is_finite()) {
+            return Err(CarFollowingError::InvalidControlPeriod);
+        }
+        Ok(Self {
+            ego_limits,
+            lead_limits,
+            p_gap,
+            p_target,
+            dt_c,
+        })
+    }
+
+    /// A highway-like default: ego `v ∈ [0, 30]`, `a ∈ [−8, 3]`; lead
+    /// `v ∈ [0, 30]`, `a ∈ [−8, 2]`; `p_gap = 5 m`; target at 500 m;
+    /// `Δt_c = 0.05 s`.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for these constants; the `Result` keeps the constructor
+    /// signature uniform with [`CarFollowingScenario::new`].
+    pub fn highway_default() -> Result<Self, CarFollowingError> {
+        Self::new(
+            VehicleLimits::new(0.0, 30.0, -8.0, 3.0)?,
+            VehicleLimits::new(0.0, 30.0, -8.0, 2.0)?,
+            5.0,
+            500.0,
+            0.05,
+        )
+    }
+
+    /// The ego limits.
+    pub fn ego_limits(&self) -> VehicleLimits {
+        self.ego_limits
+    }
+
+    /// The lead vehicle's limits.
+    pub fn lead_limits(&self) -> VehicleLimits {
+        self.lead_limits
+    }
+
+    /// The required distance gap `p_gap` (m).
+    pub fn p_gap(&self) -> f64 {
+        self.p_gap
+    }
+
+    /// The target position (m).
+    pub fn p_target(&self) -> f64 {
+        self.p_target
+    }
+
+    /// Control period `Δt_c` (s).
+    pub fn dt_c(&self) -> f64 {
+        self.dt_c
+    }
+
+    /// Stopping slack against the *worst-case* (instantly stopped) lead at
+    /// its soundly estimated rear-most position `lead_lo`:
+    /// `slack = lead_lo − p_gap' − p_0 − d_b(v_0)`.
+    pub fn slack(&self, ego: &VehicleState, lead_lo: f64) -> f64 {
+        let d_b = braking_distance(
+            self.ego_limits.clamp_velocity(ego.velocity),
+            self.ego_limits.a_min(),
+        );
+        lead_lo - (self.p_gap + Self::MONITOR_GAP_MARGIN) - ego.position - d_b
+    }
+
+    /// One-step worst-case slack decrease (same derivation as the left-turn
+    /// boundary bound: the lead bound can only move forward, the ego's
+    /// braking distance grows fastest under full throttle).
+    pub fn boundary_threshold(&self, ego: &VehicleState) -> f64 {
+        let v = self.ego_limits.clamp_velocity(ego.velocity);
+        let travel = v * self.dt_c + 0.5 * self.ego_limits.a_max() * self.dt_c * self.dt_c;
+        travel * (1.0 - self.ego_limits.a_max() / self.ego_limits.a_min())
+    }
+}
+
+impl Scenario for CarFollowingScenario {
+    fn target_reached(&self, _time: f64, ego: &VehicleState) -> bool {
+        ego.position >= self.p_target
+    }
+
+    fn collision(&self, ego: &VehicleState, other: &VehicleState) -> bool {
+        (other.position - ego.position).abs() < self.p_gap
+    }
+
+    fn conservative_window(&self, _time: f64, estimate: &VehicleEstimate) -> Option<Interval> {
+        // The conflict descriptor is the lead's sound position bound. Once
+        // the ego has passed the target there is nothing left to protect.
+        Some(estimate.position)
+    }
+
+    fn nominal_window(&self, _time: f64, estimate: &VehicleEstimate) -> Option<Interval> {
+        Some(Interval::point(estimate.nominal.position))
+    }
+
+    fn aggressive_window(
+        &self,
+        _time: f64,
+        estimate: &VehicleEstimate,
+        config: &AggressiveConfig,
+    ) -> Option<Interval> {
+        // Eq. 8 analogue: trust the nominal position up to a small buffer
+        // (the `v_buf` metres play the role of the velocity buffer).
+        let sound = estimate.position;
+        let tight = Interval::centered(estimate.nominal.position, config.v_buf.max(0.0));
+        Some(tight.intersect(&sound).unwrap_or(sound))
+    }
+
+    fn in_unsafe_set(&self, _time: f64, ego: &VehicleState, window: Option<Interval>) -> bool {
+        let Some(lead) = window else { return false };
+        lead.lo() - ego.position < self.p_gap
+    }
+
+    fn in_boundary_safe_set(
+        &self,
+        time: f64,
+        ego: &VehicleState,
+        window: Option<Interval>,
+    ) -> bool {
+        let Some(lead) = window else { return false };
+        if self.in_unsafe_set(time, ego, window) {
+            return false;
+        }
+        self.slack(ego, lead.lo()) < self.boundary_threshold(ego)
+    }
+
+    fn emergency_accel(&self, _time: f64, ego: &VehicleState, window: Option<Interval>) -> f64 {
+        let Some(lead) = window else { return 0.0 };
+        // Brake to stop STOP_MARGIN short of the inflated gap behind the
+        // worst-case lead position; full braking when that is already lost.
+        let stop_at = lead.lo() - self.p_gap - Self::MONITOR_GAP_MARGIN - Self::STOP_MARGIN;
+        let gap = stop_at - ego.position;
+        if gap <= 1e-9 {
+            self.ego_limits.a_min()
+        } else {
+            let v = self.ego_limits.clamp_velocity(ego.velocity);
+            self.ego_limits.clamp_accel(-v * v / (2.0 * gap))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scenario() -> CarFollowingScenario {
+        CarFollowingScenario::highway_default().unwrap()
+    }
+
+    fn lead_at(p: f64) -> Option<Interval> {
+        Some(Interval::new(p - 1.0, p + 1.0))
+    }
+
+    #[test]
+    fn construction_validates() {
+        let lims = VehicleLimits::new(0.0, 30.0, -8.0, 3.0).unwrap();
+        assert!(matches!(
+            CarFollowingScenario::new(lims, lims, 0.0, 100.0, 0.05),
+            Err(CarFollowingError::InvalidGap)
+        ));
+        assert!(matches!(
+            CarFollowingScenario::new(lims, lims, 5.0, 100.0, 0.0),
+            Err(CarFollowingError::InvalidControlPeriod)
+        ));
+    }
+
+    #[test]
+    fn unsafe_set_matches_paper_definition() {
+        let s = scenario();
+        // Worst-case lead rear at 19 m, ego at 15 m: gap 4 < 5 => unsafe.
+        let ego = VehicleState::new(15.0, 10.0, 0.0);
+        assert!(s.in_unsafe_set(0.0, &ego, lead_at(20.0)));
+        // Gap 9 >= 5: safe.
+        assert!(!s.in_unsafe_set(0.0, &ego, lead_at(25.0)));
+        // No lead: nothing unsafe.
+        assert!(!s.in_unsafe_set(0.0, &ego, None));
+    }
+
+    #[test]
+    fn boundary_band_sits_above_zero_slack() {
+        let s = scenario();
+        // Ego at 20 m/s needs 25 m to stop; lead rear bound at ego + 25 +
+        // gap + ε puts slack in the band.
+        let ego = VehicleState::new(0.0, 20.0, 0.0);
+        let d_b = 25.0;
+        let lead_lo = d_b + 5.0 + CarFollowingScenario::MONITOR_GAP_MARGIN + 0.05;
+        let w = Some(Interval::point(lead_lo));
+        assert!(s.slack(&ego, lead_lo) >= 0.0);
+        assert!(s.in_boundary_safe_set(0.0, &ego, w));
+        // Far lead: not in the band.
+        assert!(!s.in_boundary_safe_set(0.0, &ego, Some(Interval::point(200.0))));
+    }
+
+    #[test]
+    fn emergency_brakes_proportionally_and_fully_when_late() {
+        let s = scenario();
+        let ego = VehicleState::new(0.0, 20.0, 0.0);
+        // Plenty of room: gentle braking.
+        let far = s.emergency_accel(0.0, &ego, Some(Interval::point(100.0)));
+        assert!(far < 0.0 && far > s.ego_limits().a_min());
+        // No room: full braking.
+        let near = s.emergency_accel(0.0, &ego, Some(Interval::point(6.0)));
+        assert_eq!(near, s.ego_limits().a_min());
+        // No lead: coast.
+        assert_eq!(s.emergency_accel(0.0, &ego, None), 0.0);
+    }
+
+    /// Eq. 4 analogue: from any boundary-band state, braking under κ_e with
+    /// the lead bound frozen (the lead can only move away) never closes the
+    /// real gap below `p_gap`.
+    #[test]
+    fn emergency_invariance_over_a_state_grid() {
+        let s = scenario();
+        let lims = s.ego_limits();
+        let mut checked = 0;
+        for vi in 0..=30 {
+            let v = vi as f64;
+            for gi in 0..600 {
+                let lead_lo = 5.0 + gi as f64 * 0.25;
+                let ego = VehicleState::new(0.0, v, 0.0);
+                let w = Some(Interval::point(lead_lo));
+                if !s.in_boundary_safe_set(0.0, &ego, w) {
+                    continue;
+                }
+                if s.slack(&ego, lead_lo) < 0.0 {
+                    // Already committed: unreachable under the shield (the
+                    // band keeps slack >= 0 by induction), and no braking
+                    // law can save it against an instantly stopped lead.
+                    continue;
+                }
+                checked += 1;
+                let mut cur = ego;
+                for step in 0..4000 {
+                    let a = s.emergency_accel(step as f64 * s.dt_c(), &cur, w);
+                    cur = lims.step(&cur, a, s.dt_c());
+                    assert!(
+                        lead_lo - cur.position >= s.p_gap(),
+                        "gap violated from v={v}, lead_lo={lead_lo} at step {step}"
+                    );
+                    if cur.velocity <= 1e-3 {
+                        break;
+                    }
+                }
+            }
+        }
+        assert!(checked > 100, "only {checked} boundary states sampled");
+    }
+
+    #[test]
+    fn aggressive_window_is_tighter_but_inside_sound_bound() {
+        let s = scenario();
+        let est = VehicleEstimate::from_intervals(
+            0.0,
+            Interval::new(40.0, 50.0),
+            Interval::new(10.0, 12.0),
+            Interval::point(0.0),
+        );
+        let sound = s.conservative_window(0.0, &est).unwrap();
+        let aggr = s
+            .aggressive_window(0.0, &est, &AggressiveConfig::new(1.0, 2.0))
+            .unwrap();
+        assert!(sound.contains_interval(&aggr));
+        assert!(aggr.width() < sound.width());
+    }
+}

@@ -1,0 +1,249 @@
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::Message;
+
+/// A one-way message channel from other vehicles to the ego vehicle.
+///
+/// Implementations decide when (and whether) a sent message is delivered.
+/// [`Channel::receive`] returns every message whose delivery time has come,
+/// ordered by sample stamp, each at most once.
+pub trait Channel {
+    /// Submits `msg` for transmission at time `now`.
+    fn send(&mut self, msg: Message, now: f64);
+
+    /// Drains all messages deliverable at or before `now`, in stamp order.
+    fn receive(&mut self, now: f64) -> Vec<Message>;
+}
+
+/// In-flight message with its scheduled delivery time.
+#[derive(Debug, Clone, Copy)]
+struct InFlight {
+    deliver_at: f64,
+    msg: Message,
+}
+
+fn drain_due(queue: &mut Vec<InFlight>, now: f64) -> Vec<Message> {
+    let mut due: Vec<Message> = Vec::new();
+    queue.retain(|entry| {
+        if entry.deliver_at <= now + 1e-12 {
+            due.push(entry.msg);
+            false
+        } else {
+            true
+        }
+    });
+    due.sort_by(|a, b| a.stamp.partial_cmp(&b.stamp).expect("non-NaN stamps"));
+    due
+}
+
+/// Ideal channel: every message arrives instantly ("no disturbance").
+///
+/// # Example
+///
+/// ```
+/// use cv_comm::{Channel, Message, PerfectChannel};
+///
+/// let mut ch = PerfectChannel::new();
+/// ch.send(Message::new(1, 0.0, 0.0, 1.0, 0.0), 0.0);
+/// assert_eq!(ch.receive(0.0).len(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PerfectChannel {
+    queue: Vec<InFlight>,
+}
+
+impl PerfectChannel {
+    /// Creates an empty perfect channel.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Channel for PerfectChannel {
+    fn send(&mut self, msg: Message, now: f64) {
+        self.queue.push(InFlight {
+            deliver_at: now,
+            msg,
+        });
+    }
+
+    fn receive(&mut self, now: f64) -> Vec<Message> {
+        drain_due(&mut self.queue, now)
+    }
+}
+
+/// Channel with fixed delivery delay `Δt_d` and i.i.d. drop probability `p_d`
+/// ("messages delayed" setting of paper Section V).
+///
+/// Dropped messages vanish; surviving ones arrive exactly `delay` seconds
+/// after they were sent. The drop decisions come from a seeded [`StdRng`] so
+/// paired experiments can reproduce identical channel realisations.
+///
+/// # Example
+///
+/// ```
+/// use cv_comm::{Channel, DelayDropChannel, Message};
+///
+/// let mut ch = DelayDropChannel::new(0.25, 0.0, 7);
+/// ch.send(Message::new(1, 1.0, 0.0, 5.0, 0.0), 1.0);
+/// assert!(ch.receive(1.2).is_empty());
+/// assert_eq!(ch.receive(1.25).len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DelayDropChannel {
+    delay: f64,
+    drop_prob: f64,
+    rng: StdRng,
+    queue: Vec<InFlight>,
+}
+
+impl DelayDropChannel {
+    /// Creates a channel with delivery delay `delay` (s) and drop probability
+    /// `drop_prob ∈ [0, 1]`, seeded for reproducibility.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delay < 0` or `drop_prob ∉ [0, 1]`.
+    pub fn new(delay: f64, drop_prob: f64, seed: u64) -> Self {
+        assert!(delay >= 0.0, "delay must be nonnegative, got {delay}");
+        assert!(
+            (0.0..=1.0).contains(&drop_prob),
+            "drop probability must be in [0, 1], got {drop_prob}"
+        );
+        Self {
+            delay,
+            drop_prob,
+            rng: StdRng::seed_from_u64(seed),
+            queue: Vec::new(),
+        }
+    }
+
+    /// The fixed delivery delay `Δt_d` in seconds.
+    pub fn delay(&self) -> f64 {
+        self.delay
+    }
+
+    /// The drop probability `p_d`.
+    pub fn drop_prob(&self) -> f64 {
+        self.drop_prob
+    }
+}
+
+impl Channel for DelayDropChannel {
+    fn send(&mut self, msg: Message, now: f64) {
+        // Draw the drop decision even for p_d = 0 so that sweeping p_d keeps
+        // the same per-message random stream alignment.
+        let dropped = self.rng.random::<f64>() < self.drop_prob;
+        if !dropped {
+            self.queue.push(InFlight {
+                deliver_at: now + self.delay,
+                msg,
+            });
+        }
+    }
+
+    fn receive(&mut self, now: f64) -> Vec<Message> {
+        drain_due(&mut self.queue, now)
+    }
+}
+
+/// Channel that drops everything ("messages lost" setting: `Δt_d → ∞`).
+///
+/// With this channel the ego vehicle must rely purely on its onboard sensors,
+/// which also models non-connected traffic.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LostChannel;
+
+impl LostChannel {
+    /// Creates the always-dropping channel.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Channel for LostChannel {
+    fn send(&mut self, _msg: Message, _now: f64) {}
+
+    fn receive(&mut self, _now: f64) -> Vec<Message> {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(stamp: f64) -> Message {
+        Message::new(1, stamp, stamp * 10.0, 5.0, 0.0)
+    }
+
+    #[test]
+    fn perfect_channel_delivers_immediately_in_stamp_order() {
+        let mut ch = PerfectChannel::new();
+        ch.send(msg(0.2), 0.2);
+        ch.send(msg(0.1), 0.2);
+        let out = ch.receive(0.2);
+        assert_eq!(out.len(), 2);
+        assert!(out[0].stamp < out[1].stamp);
+        assert!(ch.receive(0.2).is_empty(), "messages delivered once");
+    }
+
+    #[test]
+    fn delay_channel_holds_messages_until_due() {
+        let mut ch = DelayDropChannel::new(0.25, 0.0, 1);
+        ch.send(msg(0.0), 0.0);
+        ch.send(msg(0.1), 0.1);
+        assert!(ch.receive(0.24).is_empty());
+        assert_eq!(ch.receive(0.25).len(), 1);
+        assert_eq!(ch.receive(0.35).len(), 1);
+    }
+
+    #[test]
+    fn drop_probability_one_drops_everything() {
+        let mut ch = DelayDropChannel::new(0.0, 1.0, 1);
+        for i in 0..100 {
+            ch.send(msg(i as f64 * 0.1), i as f64 * 0.1);
+        }
+        assert!(ch.receive(1e9).is_empty());
+    }
+
+    #[test]
+    fn drop_probability_is_roughly_respected() {
+        let mut ch = DelayDropChannel::new(0.0, 0.3, 12345);
+        let n = 10_000;
+        for i in 0..n {
+            ch.send(msg(i as f64), i as f64);
+        }
+        let delivered = ch.receive(f64::MAX).len();
+        let rate = delivered as f64 / n as f64;
+        assert!((rate - 0.7).abs() < 0.03, "delivery rate {rate}");
+    }
+
+    #[test]
+    fn same_seed_gives_same_drops() {
+        let run = |seed: u64| {
+            let mut ch = DelayDropChannel::new(0.0, 0.5, seed);
+            (0..50).for_each(|i| ch.send(msg(i as f64), i as f64));
+            ch.receive(f64::MAX)
+                .iter()
+                .map(|m| m.stamp as u64)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    fn lost_channel_never_delivers() {
+        let mut ch = LostChannel::new();
+        ch.send(msg(0.0), 0.0);
+        assert!(ch.receive(f64::MAX).is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_drop_prob_panics() {
+        let _ = DelayDropChannel::new(0.0, 1.5, 0);
+    }
+}

@@ -1,0 +1,68 @@
+use cv_dynamics::VehicleState;
+use serde::{Deserialize, Serialize};
+
+/// A V2V beacon message.
+///
+/// Per paper Section II-A the message *content* is exact: it records the true
+/// `(p, v, a)` of the sender at the stamped time. Disturbance happens in the
+/// channel (delay or drop), never by corrupting the payload.
+///
+/// # Example
+///
+/// ```
+/// use cv_comm::Message;
+///
+/// let m = Message::new(1, 0.5, 48.0, 10.0, -1.0);
+/// assert_eq!(m.sender, 1);
+/// assert_eq!(m.state().velocity, 10.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Message {
+    /// Index of the sending vehicle (`C_i`).
+    pub sender: usize,
+    /// Time at which the state was sampled by the sender, in seconds.
+    pub stamp: f64,
+    /// Sender's position at `stamp` (its own forward frame), in metres.
+    pub position: f64,
+    /// Sender's velocity at `stamp`, in m/s.
+    pub velocity: f64,
+    /// Sender's applied acceleration at `stamp`, in m/s².
+    pub acceleration: f64,
+}
+
+impl Message {
+    /// Creates a new message.
+    pub fn new(sender: usize, stamp: f64, position: f64, velocity: f64, acceleration: f64) -> Self {
+        Self {
+            sender,
+            stamp,
+            position,
+            velocity,
+            acceleration,
+        }
+    }
+
+    /// Builds a message from a vehicle state sampled at `stamp`.
+    pub fn from_state(sender: usize, stamp: f64, state: &VehicleState) -> Self {
+        Self::new(sender, stamp, state.position, state.velocity, state.acceleration)
+    }
+
+    /// The payload as a [`VehicleState`].
+    pub fn state(&self) -> VehicleState {
+        VehicleState::new(self.position, self.velocity, self.acceleration)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_state_roundtrips() {
+        let s = VehicleState::new(1.0, 2.0, 3.0);
+        let m = Message::from_state(7, 0.25, &s);
+        assert_eq!(m.sender, 7);
+        assert_eq!(m.stamp, 0.25);
+        assert_eq!(m.state(), s);
+    }
+}

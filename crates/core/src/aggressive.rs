@@ -1,0 +1,63 @@
+use serde::{Deserialize, Serialize};
+
+/// Buffers for the aggressive unsafe-set estimation (paper Section IV).
+///
+/// Instead of the physical limits `a_1,max`/`v_1,max` (Eq. 7), the aggressive
+/// estimate (Eq. 8) uses
+///
+/// ```text
+/// a_est = min(a_1(t) + a_buf, a_1,max)
+/// v_est = min(v_1(t) + v_buf, v_1,max)
+/// ```
+///
+/// (and symmetrically `−a_buf`/`−v_buf` against the lower limits for the late
+/// edge of the window). Larger buffers are more conservative; zero buffers
+/// trust the current measurement completely.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AggressiveConfig {
+    /// Acceleration buffer `a_buf ≥ 0` (m/s²).
+    pub a_buf: f64,
+    /// Velocity buffer `v_buf ≥ 0` (m/s).
+    pub v_buf: f64,
+}
+
+impl AggressiveConfig {
+    /// Creates a config.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either buffer is negative or non-finite.
+    pub fn new(a_buf: f64, v_buf: f64) -> Self {
+        assert!(
+            a_buf >= 0.0 && v_buf >= 0.0 && a_buf.is_finite() && v_buf.is_finite(),
+            "buffers must be nonnegative and finite, got a_buf={a_buf}, v_buf={v_buf}"
+        );
+        Self { a_buf, v_buf }
+    }
+}
+
+impl Default for AggressiveConfig {
+    /// The defaults used by the experiments (`a_buf = 1 m/s²`,
+    /// `v_buf = 2 m/s`; the paper leaves the values "user-defined").
+    fn default() -> Self {
+        Self::new(1.0, 2.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_buffers_are_positive() {
+        let c = AggressiveConfig::default();
+        assert!(c.a_buf > 0.0);
+        assert!(c.v_buf > 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_buffer_panics() {
+        let _ = AggressiveConfig::new(-0.1, 0.0);
+    }
+}

@@ -1,0 +1,282 @@
+use cv_dynamics::VehicleState;
+use cv_estimation::VehicleEstimate;
+use serde::{Deserialize, Serialize};
+
+use crate::{
+    AggressiveConfig, MonitorVerdict, Observation, Planner, RuntimeMonitor, Scenario,
+};
+
+/// Which planner produced the acceleration of a step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlannerSource {
+    /// The embedded NN-based planner `κ_n`.
+    NeuralNetwork,
+    /// The emergency planner `κ_e`.
+    Emergency,
+}
+
+/// Which unsafe-set estimate the embedded NN planner is fed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum WindowSource {
+    /// The sound conservative window (paper Eq. 7) — the *basic* compound
+    /// planner (`κ_cb`).
+    Conservative,
+    /// The aggressive window (paper Eq. 8) with the given buffers — the
+    /// *ultimate* compound planner (`κ_cu`).
+    Aggressive(AggressiveConfig),
+}
+
+/// One planning decision of the compound planner.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlanDecision {
+    /// Acceleration command for this control step (m/s², unclamped).
+    pub accel: f64,
+    /// Who produced it.
+    pub source: PlannerSource,
+}
+
+/// Running counters over an episode (emergency frequency in the paper's
+/// tables is `emergency_steps / total_steps`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CompoundStats {
+    /// Steps decided by the emergency planner.
+    pub emergency_steps: u64,
+    /// Total steps planned.
+    pub total_steps: u64,
+}
+
+impl CompoundStats {
+    /// Fraction of steps decided by `κ_e` (0 when no steps were planned).
+    pub fn emergency_frequency(&self) -> f64 {
+        if self.total_steps == 0 {
+            0.0
+        } else {
+            self.emergency_steps as f64 / self.total_steps as f64
+        }
+    }
+}
+
+/// The compound planner `κ_c` of paper Section III: runtime monitor +
+/// emergency planner wrapped around an arbitrary NN-based planner.
+///
+/// Construction chooses between the paper's two variants through
+/// [`WindowSource`]:
+///
+/// * `κ_cb` (basic): `WindowSource::Conservative` — the NN sees the same
+///   sound window the monitor uses.
+/// * `κ_cu` (ultimate): `WindowSource::Aggressive` — the NN sees the
+///   compact Eq. 8 window while the monitor keeps the sound one.
+///
+/// The information-filter half of the "ultimate" configuration lives in the
+/// estimator that produces the [`VehicleEstimate`] passed to
+/// [`CompoundPlanner::plan`]; see `cv_estimation::FilterMode`.
+///
+/// # Example
+///
+/// See the `quickstart` example in the workspace root, which wraps a trained
+/// NN planner for the unprotected left turn.
+#[derive(Debug, Clone)]
+pub struct CompoundPlanner<S, P> {
+    scenario: S,
+    nn: P,
+    window_source: WindowSource,
+    monitor: RuntimeMonitor,
+    stats: CompoundStats,
+}
+
+impl<S: Scenario, P: Planner> CompoundPlanner<S, P> {
+    /// Wraps `nn` for `scenario`, feeding it windows per `window_source`.
+    pub fn new(scenario: S, nn: P, window_source: WindowSource) -> Self {
+        Self {
+            scenario,
+            nn,
+            window_source,
+            monitor: RuntimeMonitor::new(),
+            stats: CompoundStats::default(),
+        }
+    }
+
+    /// The basic compound planner `κ_cb` (conservative window for the NN).
+    pub fn basic(scenario: S, nn: P) -> Self {
+        Self::new(scenario, nn, WindowSource::Conservative)
+    }
+
+    /// The ultimate compound planner `κ_cu` (aggressive window for the NN).
+    pub fn ultimate(scenario: S, nn: P, config: AggressiveConfig) -> Self {
+        Self::new(scenario, nn, WindowSource::Aggressive(config))
+    }
+
+    /// The wrapped scenario.
+    pub fn scenario(&self) -> &S {
+        &self.scenario
+    }
+
+    /// The embedded NN planner.
+    pub fn nn(&self) -> &P {
+        &self.nn
+    }
+
+    /// Episode statistics so far.
+    pub fn stats(&self) -> CompoundStats {
+        self.stats
+    }
+
+    /// Clears the episode statistics and resets the embedded planner.
+    pub fn reset(&mut self) {
+        self.stats = CompoundStats::default();
+        self.nn.reset();
+    }
+
+    /// Plans one control step.
+    ///
+    /// `estimate` is the (filtered) belief about the conflicting vehicle; it
+    /// must come from a sound estimator for the safety guarantee (paper
+    /// §III-E) to hold.
+    pub fn plan(&mut self, time: f64, ego: &VehicleState, estimate: &VehicleEstimate) -> PlanDecision {
+        self.stats.total_steps += 1;
+        match self.monitor.check(&self.scenario, time, ego, estimate) {
+            MonitorVerdict::Emergency { window } => {
+                self.stats.emergency_steps += 1;
+                PlanDecision {
+                    accel: self.scenario.emergency_accel(time, ego, window),
+                    source: PlannerSource::Emergency,
+                }
+            }
+            MonitorVerdict::Nominal { window } => {
+                let nn_window = match self.window_source {
+                    WindowSource::Conservative => window,
+                    WindowSource::Aggressive(cfg) => {
+                        self.scenario.aggressive_window(time, estimate, &cfg)
+                    }
+                };
+                let obs = Observation::new(time, *ego, nn_window);
+                PlanDecision {
+                    accel: self.nn.plan(&obs),
+                    source: PlannerSource::NeuralNetwork,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cv_estimation::Interval;
+
+    /// Toy scenario: conflict zone starts at position 10 while the window is
+    /// open until t = 5; boundary band is [9, 10).
+    struct Wall;
+
+    impl Scenario for Wall {
+        fn target_reached(&self, _t: f64, ego: &VehicleState) -> bool {
+            ego.position >= 20.0
+        }
+
+        fn collision(&self, ego: &VehicleState, _other: &VehicleState) -> bool {
+            ego.position >= 10.0
+        }
+
+        fn conservative_window(&self, t: f64, _e: &VehicleEstimate) -> Option<Interval> {
+            if t < 5.0 {
+                Some(Interval::new(t, 5.0))
+            } else {
+                None
+            }
+        }
+
+        fn nominal_window(&self, t: f64, e: &VehicleEstimate) -> Option<Interval> {
+            self.conservative_window(t, e)
+        }
+
+        fn aggressive_window(
+            &self,
+            t: f64,
+            _e: &VehicleEstimate,
+            _c: &AggressiveConfig,
+        ) -> Option<Interval> {
+            // Aggressive: pretend the window closes one second earlier.
+            if t < 4.0 {
+                Some(Interval::new(t, 4.0))
+            } else {
+                None
+            }
+        }
+
+        fn in_unsafe_set(&self, _t: f64, ego: &VehicleState, w: Option<Interval>) -> bool {
+            w.is_some() && ego.position >= 10.0
+        }
+
+        fn in_boundary_safe_set(&self, _t: f64, ego: &VehicleState, w: Option<Interval>) -> bool {
+            w.is_some() && (9.0..10.0).contains(&ego.position)
+        }
+
+        fn emergency_accel(&self, _t: f64, _ego: &VehicleState, _w: Option<Interval>) -> f64 {
+            -4.0
+        }
+    }
+
+    /// Records the windows it was shown.
+    struct Probe {
+        windows: Vec<Option<Interval>>,
+    }
+
+    impl Planner for Probe {
+        fn plan(&mut self, obs: &Observation) -> f64 {
+            self.windows.push(obs.window);
+            1.0
+        }
+
+        fn name(&self) -> &str {
+            "probe"
+        }
+    }
+
+    fn est() -> VehicleEstimate {
+        VehicleEstimate::exact(0.0, VehicleState::at_rest())
+    }
+
+    #[test]
+    fn switches_to_emergency_in_boundary_set() {
+        let mut cp = CompoundPlanner::basic(Wall, Probe { windows: vec![] });
+        let far = cp.plan(0.0, &VehicleState::new(0.0, 1.0, 0.0), &est());
+        assert_eq!(far.source, PlannerSource::NeuralNetwork);
+        assert_eq!(far.accel, 1.0);
+        let near = cp.plan(0.1, &VehicleState::new(9.5, 1.0, 0.0), &est());
+        assert_eq!(near.source, PlannerSource::Emergency);
+        assert_eq!(near.accel, -4.0);
+        assert_eq!(cp.stats().emergency_steps, 1);
+        assert_eq!(cp.stats().total_steps, 2);
+        assert!((cp.stats().emergency_frequency() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_emergency_after_window_closes() {
+        let mut cp = CompoundPlanner::basic(Wall, Probe { windows: vec![] });
+        let d = cp.plan(6.0, &VehicleState::new(9.5, 1.0, 0.0), &est());
+        assert_eq!(d.source, PlannerSource::NeuralNetwork);
+    }
+
+    #[test]
+    fn ultimate_feeds_aggressive_window_to_nn() {
+        let mut cp = CompoundPlanner::ultimate(
+            Wall,
+            Probe { windows: vec![] },
+            AggressiveConfig::default(),
+        );
+        cp.plan(0.0, &VehicleState::new(0.0, 1.0, 0.0), &est());
+        assert_eq!(cp.nn().windows[0], Some(Interval::new(0.0, 4.0)));
+
+        let mut basic = CompoundPlanner::basic(Wall, Probe { windows: vec![] });
+        basic.plan(0.0, &VehicleState::new(0.0, 1.0, 0.0), &est());
+        assert_eq!(basic.nn().windows[0], Some(Interval::new(0.0, 5.0)));
+    }
+
+    #[test]
+    fn reset_clears_stats() {
+        let mut cp = CompoundPlanner::basic(Wall, Probe { windows: vec![] });
+        cp.plan(0.0, &VehicleState::new(9.5, 1.0, 0.0), &est());
+        cp.reset();
+        assert_eq!(cp.stats(), CompoundStats::default());
+    }
+}

@@ -1,0 +1,107 @@
+use serde::{Deserialize, Serialize};
+
+/// Outcome of one simulated episode, evaluated on ground truth.
+///
+/// Implements the evaluation function `η` of paper Section II-A:
+///
+/// ```text
+/// η = −1    if the unsafe set was entered before reaching the target,
+/// η = 1/t_r if the target set was reached at time t_r,
+/// η = 0     otherwise (timeout).
+/// ```
+///
+/// # Example
+///
+/// ```
+/// use safe_shield::Outcome;
+///
+/// assert_eq!(Outcome::Collision { time: 3.2 }.eta(), -1.0);
+/// assert_eq!(Outcome::Reached { time: 8.0 }.eta(), 0.125);
+/// assert_eq!(Outcome::Timeout.eta(), 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Outcome {
+    /// Safety was violated at `time` before the target was reached.
+    Collision {
+        /// Time of the first violation (s).
+        time: f64,
+    },
+    /// The target set was reached safely at `time` (the reaching time `t_r`).
+    Reached {
+        /// Reaching time `t_r` (s).
+        time: f64,
+    },
+    /// Neither happened within the horizon.
+    Timeout,
+}
+
+impl Outcome {
+    /// The evaluation value `η`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a [`Outcome::Reached`] time is not strictly positive.
+    pub fn eta(&self) -> f64 {
+        match *self {
+            Outcome::Collision { .. } => -1.0,
+            Outcome::Reached { time } => {
+                assert!(time > 0.0, "reaching time must be positive, got {time}");
+                1.0 / time
+            }
+            Outcome::Timeout => 0.0,
+        }
+    }
+
+    /// `true` if no safety violation occurred.
+    pub fn is_safe(&self) -> bool {
+        !matches!(self, Outcome::Collision { .. })
+    }
+
+    /// The reaching time, if the target was reached.
+    pub fn reaching_time(&self) -> Option<f64> {
+        match *self {
+            Outcome::Reached { time } => Some(time),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Outcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Outcome::Collision { time } => write!(f, "collision at {time:.2}s"),
+            Outcome::Reached { time } => write!(f, "reached target at {time:.2}s"),
+            Outcome::Timeout => write!(f, "timeout"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eta_ordering_prefers_safety_then_speed() {
+        let crash = Outcome::Collision { time: 1.0 };
+        let slow = Outcome::Reached { time: 20.0 };
+        let fast = Outcome::Reached { time: 5.0 };
+        let stuck = Outcome::Timeout;
+        assert!(crash.eta() < stuck.eta());
+        assert!(stuck.eta() < slow.eta());
+        assert!(slow.eta() < fast.eta());
+    }
+
+    #[test]
+    fn accessors() {
+        assert!(Outcome::Timeout.is_safe());
+        assert!(!Outcome::Collision { time: 1.0 }.is_safe());
+        assert_eq!(Outcome::Reached { time: 4.0 }.reaching_time(), Some(4.0));
+        assert_eq!(Outcome::Timeout.reaching_time(), None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_reaching_time_panics() {
+        let _ = Outcome::Reached { time: 0.0 }.eta();
+    }
+}

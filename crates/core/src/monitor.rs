@@ -1,0 +1,142 @@
+use cv_dynamics::VehicleState;
+use cv_estimation::{Interval, VehicleEstimate};
+use serde::{Deserialize, Serialize};
+
+use crate::Scenario;
+
+/// What the runtime monitor decided for the current control step.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum MonitorVerdict {
+    /// The state is in the boundary safe set (or, defensively, already in
+    /// the unsafe set): the emergency planner must take over.
+    Emergency {
+        /// The conservative window that triggered the verdict, if any.
+        window: Option<Interval>,
+    },
+    /// The NN planner may run this step: no admissible control can reach the
+    /// unsafe set within one step.
+    Nominal {
+        /// The conservative window, available for aggressive re-estimation.
+        window: Option<Interval>,
+    },
+}
+
+impl MonitorVerdict {
+    /// `true` if the emergency planner was selected.
+    pub fn is_emergency(&self) -> bool {
+        matches!(self, MonitorVerdict::Emergency { .. })
+    }
+}
+
+/// The runtime monitor of paper Section III-C.
+///
+/// Every control step it estimates the unsafe set from the (filtered)
+/// information about the other vehicle, computes the boundary safe set, and
+/// *"selects the emergency planner **if and only if** the current state is in
+/// the boundary safe set"*. As a defensive measure this implementation also
+/// escalates when the state is already inside the estimated unsafe set
+/// (unreachable under the guarantee, but cheap insurance against estimator
+/// misuse).
+///
+/// The monitor is stateless; it borrows the scenario geometry per call so a
+/// single monitor can serve many episodes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RuntimeMonitor;
+
+impl RuntimeMonitor {
+    /// Creates a monitor.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Evaluates the selection rule for one control step.
+    ///
+    /// `estimate` must come from a *sound* estimator (hard intervals) for
+    /// the safety guarantee to hold; passing naive point estimates degrades
+    /// the monitor to best-effort.
+    pub fn check<S: Scenario>(
+        &self,
+        scenario: &S,
+        time: f64,
+        ego: &VehicleState,
+        estimate: &VehicleEstimate,
+    ) -> MonitorVerdict {
+        let window = scenario.conservative_window(time, estimate);
+        if scenario.requires_emergency(time, ego, window) {
+            MonitorVerdict::Emergency { window }
+        } else {
+            MonitorVerdict::Nominal { window }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AggressiveConfig;
+
+    /// A 1-D toy scenario: unsafe iff position ≥ 10 while a window is open;
+    /// boundary iff within one max-speed step of it.
+    struct Wall;
+
+    impl Scenario for Wall {
+        fn target_reached(&self, _t: f64, ego: &VehicleState) -> bool {
+            ego.position >= 20.0
+        }
+
+        fn collision(&self, ego: &VehicleState, _other: &VehicleState) -> bool {
+            ego.position >= 10.0
+        }
+
+        fn conservative_window(&self, _t: f64, _e: &VehicleEstimate) -> Option<Interval> {
+            Some(Interval::new(0.0, 100.0))
+        }
+
+        fn nominal_window(&self, t: f64, e: &VehicleEstimate) -> Option<Interval> {
+            self.conservative_window(t, e)
+        }
+
+        fn aggressive_window(
+            &self,
+            t: f64,
+            e: &VehicleEstimate,
+            _c: &AggressiveConfig,
+        ) -> Option<Interval> {
+            self.conservative_window(t, e)
+        }
+
+        fn in_unsafe_set(&self, _t: f64, ego: &VehicleState, w: Option<Interval>) -> bool {
+            w.is_some() && ego.position >= 10.0
+        }
+
+        fn in_boundary_safe_set(&self, _t: f64, ego: &VehicleState, w: Option<Interval>) -> bool {
+            w.is_some() && ego.position >= 9.0 && ego.position < 10.0
+        }
+
+        fn emergency_accel(&self, _t: f64, _ego: &VehicleState, _w: Option<Interval>) -> f64 {
+            -5.0
+        }
+    }
+
+    fn estimate() -> VehicleEstimate {
+        VehicleEstimate::exact(0.0, VehicleState::at_rest())
+    }
+
+    #[test]
+    fn nominal_when_far_from_unsafe_set() {
+        let v = RuntimeMonitor::new().check(&Wall, 0.0, &VehicleState::new(0.0, 1.0, 0.0), &estimate());
+        assert!(!v.is_emergency());
+    }
+
+    #[test]
+    fn emergency_inside_boundary_safe_set() {
+        let v = RuntimeMonitor::new().check(&Wall, 0.0, &VehicleState::new(9.5, 1.0, 0.0), &estimate());
+        assert!(v.is_emergency());
+    }
+
+    #[test]
+    fn emergency_inside_unsafe_set_defensively() {
+        let v = RuntimeMonitor::new().check(&Wall, 0.0, &VehicleState::new(10.5, 1.0, 0.0), &estimate());
+        assert!(v.is_emergency());
+    }
+}

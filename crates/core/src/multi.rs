@@ -1,0 +1,290 @@
+use cv_dynamics::VehicleState;
+use cv_estimation::{Interval, VehicleEstimate};
+
+use crate::{CompoundStats, Observation, PlanDecision, Planner, PlannerSource, Scenario, WindowSource};
+
+/// Merges per-vehicle passing windows into the single window the (one-window)
+/// NN planner consumes: the hull of the *earliest cluster* of windows whose
+/// gaps are smaller than `merge_gap` seconds.
+///
+/// Gaps shorter than the ego's crossing time are not usable, so clustering
+/// with a `merge_gap` of roughly the crossing time presents dense traffic as
+/// one blocked interval while still exposing genuinely usable gaps behind it.
+/// Soundness is unaffected — the runtime monitor always checks every window
+/// individually.
+///
+/// # Example
+///
+/// ```
+/// use cv_estimation::Interval;
+/// use safe_shield::merge_windows;
+///
+/// let windows = [
+///     Some(Interval::new(4.0, 5.0)),
+///     Some(Interval::new(5.5, 6.5)), // 0.5 s gap: unusable, merged
+///     Some(Interval::new(12.0, 13.0)), // 5.5 s gap: usable, kept separate
+///     None,
+/// ];
+/// let merged = merge_windows(windows.iter().copied(), 2.0).expect("has windows");
+/// assert_eq!(merged, Interval::new(4.0, 6.5));
+/// ```
+pub fn merge_windows(
+    windows: impl IntoIterator<Item = Option<Interval>>,
+    merge_gap: f64,
+) -> Option<Interval> {
+    let mut active: Vec<Interval> = windows.into_iter().flatten().collect();
+    if active.is_empty() {
+        return None;
+    }
+    active.sort_by(|a, b| a.lo().partial_cmp(&b.lo()).expect("finite bounds"));
+    let mut merged = active[0];
+    for w in &active[1..] {
+        if w.lo() <= merged.hi() + merge_gap {
+            merged = merged.hull(w);
+        } else {
+            break; // the earliest cluster is complete
+        }
+    }
+    Some(merged)
+}
+
+/// Multi-vehicle compound planner: the paper's framework generalised to `n−1`
+/// conflicting vehicles (its system model, Section II-A, already allows
+/// them; the evaluation only exercises one).
+///
+/// One [`Scenario`] instance per conflicting vehicle (sharing the ego
+/// geometry but each knowing where the conflict zone lies in *its* vehicle's
+/// frame). The runtime monitor escalates if **any** vehicle's window demands
+/// it; the embedded NN planner receives the [`merge_windows`] fusion of the
+/// per-vehicle windows of its configured [`WindowSource`].
+#[derive(Debug, Clone)]
+pub struct MultiCompoundPlanner<S, P> {
+    scenarios: Vec<S>,
+    nn: P,
+    window_source: WindowSource,
+    merge_gap: f64,
+    stats: CompoundStats,
+}
+
+/// Default window clustering gap (s): roughly the ego's zone-crossing time.
+pub const DEFAULT_MERGE_GAP: f64 = 2.0;
+
+impl<S: Scenario, P: Planner> MultiCompoundPlanner<S, P> {
+    /// Wraps `nn` with one scenario per conflicting vehicle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scenarios` is empty.
+    pub fn new(scenarios: Vec<S>, nn: P, window_source: WindowSource) -> Self {
+        assert!(
+            !scenarios.is_empty(),
+            "need at least one conflicting vehicle"
+        );
+        Self {
+            scenarios,
+            nn,
+            window_source,
+            merge_gap: DEFAULT_MERGE_GAP,
+            stats: CompoundStats::default(),
+        }
+    }
+
+    /// Overrides the window clustering gap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `merge_gap` is negative.
+    pub fn with_merge_gap(mut self, merge_gap: f64) -> Self {
+        assert!(merge_gap >= 0.0, "merge gap must be nonnegative");
+        self.merge_gap = merge_gap;
+        self
+    }
+
+    /// The per-vehicle scenarios.
+    pub fn scenarios(&self) -> &[S] {
+        &self.scenarios
+    }
+
+    /// Episode statistics so far.
+    pub fn stats(&self) -> CompoundStats {
+        self.stats
+    }
+
+    /// Clears statistics and resets the embedded planner.
+    pub fn reset(&mut self) {
+        self.stats = CompoundStats::default();
+        self.nn.reset();
+    }
+
+    /// Plans one control step from one estimate per conflicting vehicle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `estimates.len()` differs from the scenario count.
+    pub fn plan(
+        &mut self,
+        time: f64,
+        ego: &VehicleState,
+        estimates: &[VehicleEstimate],
+    ) -> PlanDecision {
+        assert_eq!(
+            estimates.len(),
+            self.scenarios.len(),
+            "one estimate per conflicting vehicle"
+        );
+        self.stats.total_steps += 1;
+
+        let windows: Vec<Option<Interval>> = self
+            .scenarios
+            .iter()
+            .zip(estimates)
+            .map(|(s, e)| s.conservative_window(time, e))
+            .collect();
+
+        // The monitor escalates on the first vehicle demanding it.
+        for (i, scenario) in self.scenarios.iter().enumerate() {
+            if scenario.requires_emergency(time, ego, windows[i]) {
+                self.stats.emergency_steps += 1;
+                return PlanDecision {
+                    accel: scenario.emergency_accel(time, ego, windows[i]),
+                    source: PlannerSource::Emergency,
+                };
+            }
+        }
+
+        // NN step: fuse the per-vehicle windows of the configured source.
+        let nn_windows = self.scenarios.iter().zip(estimates).map(|(s, e)| {
+            match self.window_source {
+                WindowSource::Conservative => s.conservative_window(time, e),
+                WindowSource::Aggressive(cfg) => s.aggressive_window(time, e, &cfg),
+            }
+        });
+        let obs = Observation::new(time, *ego, merge_windows(nn_windows, self.merge_gap));
+        PlanDecision {
+            accel: self.nn.plan(&obs),
+            source: PlannerSource::NeuralNetwork,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AggressiveConfig;
+
+    #[test]
+    fn merge_keeps_disjoint_clusters_apart() {
+        let merged = merge_windows(
+            [
+                Some(Interval::new(10.0, 11.0)),
+                Some(Interval::new(2.0, 3.0)),
+            ],
+            2.0,
+        )
+        .unwrap();
+        assert_eq!(merged, Interval::new(2.0, 3.0));
+    }
+
+    #[test]
+    fn merge_fuses_chained_windows() {
+        let merged = merge_windows(
+            [
+                Some(Interval::new(2.0, 3.0)),
+                Some(Interval::new(4.0, 5.0)),
+                Some(Interval::new(6.5, 7.0)),
+            ],
+            2.0,
+        )
+        .unwrap();
+        // 2-3, 4-5 and 6.5-7 chain up (gaps 1.0 and 1.5 < 2.0).
+        assert_eq!(merged, Interval::new(2.0, 7.0));
+    }
+
+    #[test]
+    fn merge_handles_empty_and_none() {
+        assert_eq!(merge_windows([], 2.0), None);
+        assert_eq!(merge_windows([None, None], 2.0), None);
+        assert_eq!(
+            merge_windows([None, Some(Interval::new(1.0, 2.0))], 2.0),
+            Some(Interval::new(1.0, 2.0))
+        );
+    }
+
+    /// Toy scenario parameterised by a wall position per "vehicle".
+    struct Wall(f64);
+
+    impl Scenario for Wall {
+        fn target_reached(&self, _t: f64, ego: &VehicleState) -> bool {
+            ego.position >= 20.0
+        }
+
+        fn collision(&self, ego: &VehicleState, _other: &VehicleState) -> bool {
+            ego.position >= self.0
+        }
+
+        fn conservative_window(&self, _t: f64, _e: &VehicleEstimate) -> Option<Interval> {
+            Some(Interval::new(0.0, 100.0))
+        }
+
+        fn nominal_window(&self, t: f64, e: &VehicleEstimate) -> Option<Interval> {
+            self.conservative_window(t, e)
+        }
+
+        fn aggressive_window(
+            &self,
+            t: f64,
+            e: &VehicleEstimate,
+            _c: &AggressiveConfig,
+        ) -> Option<Interval> {
+            self.conservative_window(t, e)
+        }
+
+        fn in_unsafe_set(&self, _t: f64, ego: &VehicleState, w: Option<Interval>) -> bool {
+            w.is_some() && ego.position >= self.0
+        }
+
+        fn in_boundary_safe_set(&self, _t: f64, ego: &VehicleState, w: Option<Interval>) -> bool {
+            w.is_some() && ego.position >= self.0 - 1.0 && ego.position < self.0
+        }
+
+        fn emergency_accel(&self, _t: f64, _ego: &VehicleState, _w: Option<Interval>) -> f64 {
+            -5.0
+        }
+    }
+
+    struct Cruise;
+
+    impl Planner for Cruise {
+        fn plan(&mut self, _obs: &Observation) -> f64 {
+            1.0
+        }
+    }
+
+    #[test]
+    fn any_vehicle_can_trigger_emergency() {
+        let mut multi = MultiCompoundPlanner::new(
+            vec![Wall(50.0), Wall(10.0)],
+            Cruise,
+            WindowSource::Conservative,
+        );
+        let est = VehicleEstimate::exact(0.0, VehicleState::at_rest());
+        // Far from both walls: NN drives.
+        let d = multi.plan(0.0, &VehicleState::new(0.0, 1.0, 0.0), &[est, est]);
+        assert_eq!(d.source, PlannerSource::NeuralNetwork);
+        // In the second wall's boundary band: emergency, even though the
+        // first wall is far away.
+        let d = multi.plan(0.1, &VehicleState::new(9.5, 1.0, 0.0), &[est, est]);
+        assert_eq!(d.source, PlannerSource::Emergency);
+        assert_eq!(d.accel, -5.0);
+        assert_eq!(multi.stats().emergency_steps, 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn estimate_count_must_match() {
+        let mut multi =
+            MultiCompoundPlanner::new(vec![Wall(10.0)], Cruise, WindowSource::Conservative);
+        let est = VehicleEstimate::exact(0.0, VehicleState::at_rest());
+        let _ = multi.plan(0.0, &VehicleState::at_rest(), &[est, est]);
+    }
+}

@@ -1,0 +1,97 @@
+use cv_dynamics::VehicleState;
+use cv_estimation::Interval;
+use serde::{Deserialize, Serialize};
+
+/// The input a planner sees at one control step.
+///
+/// Matches the NN input of the paper's case study (Section IV): the time
+/// `t`, the ego state `(p_0(t), v_0(t))`, and the estimated passing-time
+/// window `[τ_1,min(t), τ_1,max(t)]` of the oncoming vehicle. Which window
+/// (naive, conservative Eq. 7, or aggressive Eq. 8) gets put here is decided
+/// by the surrounding planner stack — the planner itself is window-agnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Observation {
+    /// Current time, in seconds.
+    pub time: f64,
+    /// Ego vehicle state.
+    pub ego: VehicleState,
+    /// Estimated conflict descriptor of the conflicting vehicle (for the
+    /// left turn: the passing-time window in absolute times); `None` when
+    /// the conflict is already over.
+    pub window: Option<Interval>,
+}
+
+impl Observation {
+    /// Number of features produced by [`Observation::features`].
+    pub const FEATURES: usize = 5;
+
+    /// Sentinel value of the relative window features when the conflict is
+    /// already over (the window is `None`).
+    pub const WINDOW_PASSED: f64 = -1.0;
+
+    /// Creates an observation.
+    pub fn new(time: f64, ego: VehicleState, window: Option<Interval>) -> Self {
+        Self { time, ego, window }
+    }
+
+    /// Encodes the observation as the five NN input features
+    /// `[t, p_0, v_0, τ_1,min − t, τ_1,max − t]`, with the relative window
+    /// replaced by [`Observation::WINDOW_PASSED`] when the conflict is over.
+    ///
+    /// Relative (time-to-window) encoding keeps the planner translation-
+    /// invariant in time, which makes behaviour cloning far more sample-
+    /// efficient than feeding absolute `τ` values.
+    pub fn features(&self) -> [f64; Self::FEATURES] {
+        let (rel_min, rel_max) = match self.window {
+            Some(w) => (
+                (w.lo() - self.time).max(0.0),
+                (w.hi() - self.time).max(0.0),
+            ),
+            None => (Self::WINDOW_PASSED, Self::WINDOW_PASSED),
+        };
+        [
+            self.time,
+            self.ego.position,
+            self.ego.velocity,
+            rel_min,
+            rel_max,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn features_encode_relative_window() {
+        let obs = Observation::new(
+            2.0,
+            VehicleState::new(-10.0, 8.0, 0.0),
+            Some(Interval::new(5.0, 7.0)),
+        );
+        assert_eq!(obs.features(), [2.0, -10.0, 8.0, 3.0, 5.0]);
+    }
+
+    #[test]
+    fn passed_window_uses_sentinel() {
+        let obs = Observation::new(2.0, VehicleState::at_rest(), None);
+        let f = obs.features();
+        assert_eq!(f[3], Observation::WINDOW_PASSED);
+        assert_eq!(f[4], Observation::WINDOW_PASSED);
+    }
+
+    #[test]
+    fn window_in_the_past_clamps_to_zero() {
+        // A still-Some window whose start is already behind `t` clamps the
+        // relative start at 0 (the vehicle may be inside the zone *now*).
+        let obs = Observation::new(
+            6.0,
+            VehicleState::at_rest(),
+            Some(Interval::new(5.0, 7.0)),
+        );
+        let f = obs.features();
+        assert_eq!(f[3], 0.0);
+        assert_eq!(f[4], 1.0);
+    }
+}

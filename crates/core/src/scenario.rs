@@ -1,0 +1,154 @@
+use cv_dynamics::VehicleState;
+use cv_estimation::{Interval, VehicleEstimate};
+
+use crate::AggressiveConfig;
+
+/// A driving scenario: the geometry and set definitions the framework needs.
+///
+/// The framework itself (monitor, compound planner, evaluation) is scenario-
+/// agnostic; everything specific to, say, the unprotected left turn of paper
+/// Section IV — slack, passing-time windows, the closed-form emergency
+/// planner — is provided through this trait.
+///
+/// # Contract
+///
+/// Implementations must uphold the two properties the safety proof of paper
+/// §III-E rests on:
+///
+/// * **Boundary coverage** (Eq. 3): if a state is *not* in the unsafe set and
+///   *not* in the boundary safe set, then no admissible one-step control can
+///   put it into the unsafe set.
+/// * **Emergency invariance** (Eq. 4): from any state in the boundary safe
+///   set, one step under [`Scenario::emergency_accel`] stays in the safe
+///   set (and by induction remains recoverable).
+///
+/// `tests/safety_guarantee.rs` in the workspace root checks both properties
+/// empirically for the left-turn implementation.
+pub trait Scenario {
+    /// Returns `true` if the ego vehicle has reached the target set `X_t`.
+    fn target_reached(&self, time: f64, ego: &VehicleState) -> bool;
+
+    /// Ground-truth collision test on *true* states (used by the evaluator,
+    /// never by the planner, which only sees estimates).
+    fn collision(&self, ego: &VehicleState, other: &VehicleState) -> bool;
+
+    /// Conservative *conflict descriptor* of the conflicting vehicle,
+    /// computed soundly from an interval estimate with the vehicle's
+    /// *physical* limits. `None` when no conflict remains.
+    ///
+    /// What the interval means is scenario-defined: the left-turn case study
+    /// uses the passing-time window `[τ_1,min, τ_1,max]` (paper Eq. 7); the
+    /// car-following scenario uses the lead vehicle's position bound. The
+    /// framework only moves it between the monitor, `κ_e` and the planner
+    /// observation.
+    fn conservative_window(&self, time: f64, estimate: &VehicleEstimate) -> Option<Interval>;
+
+    /// Optimistic window assuming the conflicting vehicle keeps its current
+    /// nominal velocity. This is what an over-aggressive planner effectively
+    /// believes; it is *not* sound.
+    fn nominal_window(&self, time: f64, estimate: &VehicleEstimate) -> Option<Interval>;
+
+    /// Aggressive window (paper Eq. 8): limits replaced by
+    /// `min(a_1(t)+a_buf, a_max)` / `min(v_1(t)+v_buf, v_max)` and the
+    /// symmetric lower bounds. Sound only "most of the time" — which is fine
+    /// because only the NN planner consumes it.
+    fn aggressive_window(
+        &self,
+        time: f64,
+        estimate: &VehicleEstimate,
+        config: &AggressiveConfig,
+    ) -> Option<Interval>;
+
+    /// Unsafe-set membership `x(t) ∈ X_u` (paper Eq. 6) given the ego state
+    /// and the conflicting vehicle's estimated passing window.
+    fn in_unsafe_set(&self, time: f64, ego: &VehicleState, window: Option<Interval>) -> bool;
+
+    /// Boundary-safe-set membership `x(t) ∈ X_b` (paper Eq. 3 and the
+    /// closed form in Section IV).
+    fn in_boundary_safe_set(&self, time: f64, ego: &VehicleState, window: Option<Interval>)
+        -> bool;
+
+    /// The emergency planner `κ_e` (paper Eq. 4 and the closed form in
+    /// Section IV). Must satisfy the emergency-invariance contract above.
+    ///
+    /// `window` is the same conservative window the monitor used for its
+    /// verdict: in the paper's formulation `τ_1,min`/`τ_1,max` are part of
+    /// the system state `x(t)` (Eq. 6), so a state-feedback `κ_e(x)` may
+    /// depend on them. The left-turn implementation uses it to decide
+    /// between *rushing* a committed crossing (provably clears before the
+    /// earliest possible arrival) and *delaying* it.
+    fn emergency_accel(&self, time: f64, ego: &VehicleState, window: Option<Interval>) -> f64;
+
+    /// Full emergency-selection rule used by the runtime monitor.
+    ///
+    /// The default is the paper's rule — boundary-safe-set membership —
+    /// plus a defensive unsafe-set check. Scenarios may strengthen it; the
+    /// left-turn implementation adds *commit protection*: once stopping
+    /// before the conflict zone is infeasible while the conflict window is
+    /// still open, the emergency planner keeps control so the crossing is
+    /// completed at full throttle instead of being left to an unverified
+    /// planner that might hesitate mid-zone. (This closes a corner Eq. 3
+    /// leaves open: a planner may enter the committed region from a
+    /// no-overlap state and only then steer into overlap.)
+    fn requires_emergency(
+        &self,
+        time: f64,
+        ego: &VehicleState,
+        window: Option<Interval>,
+    ) -> bool {
+        self.in_boundary_safe_set(time, ego, window) || self.in_unsafe_set(time, ego, window)
+    }
+}
+
+impl<S: Scenario + ?Sized> Scenario for &S {
+    fn target_reached(&self, time: f64, ego: &VehicleState) -> bool {
+        (**self).target_reached(time, ego)
+    }
+
+    fn collision(&self, ego: &VehicleState, other: &VehicleState) -> bool {
+        (**self).collision(ego, other)
+    }
+
+    fn conservative_window(&self, time: f64, estimate: &VehicleEstimate) -> Option<Interval> {
+        (**self).conservative_window(time, estimate)
+    }
+
+    fn nominal_window(&self, time: f64, estimate: &VehicleEstimate) -> Option<Interval> {
+        (**self).nominal_window(time, estimate)
+    }
+
+    fn aggressive_window(
+        &self,
+        time: f64,
+        estimate: &VehicleEstimate,
+        config: &AggressiveConfig,
+    ) -> Option<Interval> {
+        (**self).aggressive_window(time, estimate, config)
+    }
+
+    fn in_unsafe_set(&self, time: f64, ego: &VehicleState, window: Option<Interval>) -> bool {
+        (**self).in_unsafe_set(time, ego, window)
+    }
+
+    fn in_boundary_safe_set(
+        &self,
+        time: f64,
+        ego: &VehicleState,
+        window: Option<Interval>,
+    ) -> bool {
+        (**self).in_boundary_safe_set(time, ego, window)
+    }
+
+    fn emergency_accel(&self, time: f64, ego: &VehicleState, window: Option<Interval>) -> f64 {
+        (**self).emergency_accel(time, ego, window)
+    }
+
+    fn requires_emergency(
+        &self,
+        time: f64,
+        ego: &VehicleState,
+        window: Option<Interval>,
+    ) -> bool {
+        (**self).requires_emergency(time, ego, window)
+    }
+}

@@ -1,0 +1,74 @@
+//! 1-D longitudinal vehicle dynamics substrate.
+//!
+//! This crate implements the vehicle model from Section II-A of the paper
+//! *"A Safety-Guaranteed Framework for Neural-Network-Based Planners in
+//! Connected Vehicles under Communication Disturbance"* (DATE 2023):
+//! a discrete-time double integrator
+//!
+//! ```text
+//! p(t + Δt) = p(t) + v(t)·Δt + ½·a(t)·Δt²
+//! v(t + Δt) = v(t) + a(t)·Δt
+//! ```
+//!
+//! extended with actuation and velocity limits ([`VehicleLimits`]). Velocity
+//! saturation is handled *exactly* (the position update accounts for the
+//! partial-acceleration segment before the velocity clamps), so that the
+//! closed-form reachability analysis in `cv-estimation` (paper Eq. 2) is a
+//! sound over-approximation of the simulated motion.
+//!
+//! # Example
+//!
+//! ```
+//! use cv_dynamics::{VehicleLimits, VehicleState};
+//!
+//! let limits = VehicleLimits::new(0.0, 12.0, -6.0, 3.0)?;
+//! let start = VehicleState::new(-30.0, 8.0, 0.0);
+//! let next = limits.step(&start, 3.0, 0.05);
+//! assert!(next.position > start.position);
+//! assert!(next.velocity > start.velocity);
+//! # Ok::<(), cv_dynamics::LimitsError>(())
+//! ```
+
+mod limits;
+mod state;
+mod trajectory;
+
+pub use limits::{LimitsError, VehicleLimits};
+pub use state::VehicleState;
+pub use trajectory::{Trajectory, TrajectorySample};
+
+/// Braking distance of a vehicle travelling at `velocity` under maximum
+/// braking `a_min` (which must be negative): `d_b = −v² / (2·a_min)`.
+///
+/// This is the `d_b` term in the slack definition (paper Eq. 5).
+///
+/// # Panics
+///
+/// Panics in debug builds if `a_min >= 0.0`.
+///
+/// # Example
+///
+/// ```
+/// let d = cv_dynamics::braking_distance(8.0, -4.0);
+/// assert!((d - 8.0).abs() < 1e-12);
+/// ```
+pub fn braking_distance(velocity: f64, a_min: f64) -> f64 {
+    debug_assert!(a_min < 0.0, "a_min must be negative, got {a_min}");
+    -0.5 * velocity * velocity / a_min
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn braking_distance_matches_kinematics() {
+        // v = 10 m/s, a = -5 m/s^2 -> stops in 2 s covering 10 m.
+        assert!((braking_distance(10.0, -5.0) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn braking_distance_zero_speed() {
+        assert_eq!(braking_distance(0.0, -3.0), 0.0);
+    }
+}

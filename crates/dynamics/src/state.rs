@@ -1,0 +1,80 @@
+use serde::{Deserialize, Serialize};
+
+/// Kinematic state of a single vehicle on its 1-D longitudinal axis.
+///
+/// Positions are in metres, velocities in m/s, accelerations in m/s².
+/// The acceleration stored here is the *last applied* control input; it is
+/// what gets broadcast in V2V messages (paper Section II-A, "Message").
+///
+/// # Example
+///
+/// ```
+/// use cv_dynamics::VehicleState;
+///
+/// let s = VehicleState::new(-30.0, 8.0, 0.0);
+/// assert_eq!(s.position, -30.0);
+/// assert_eq!(s.velocity, 8.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct VehicleState {
+    /// Longitudinal position `p(t)` in metres.
+    pub position: f64,
+    /// Longitudinal velocity `v(t)` in m/s.
+    pub velocity: f64,
+    /// Last applied acceleration `a(t)` in m/s².
+    pub acceleration: f64,
+}
+
+impl VehicleState {
+    /// Creates a new state from position, velocity and acceleration.
+    pub fn new(position: f64, velocity: f64, acceleration: f64) -> Self {
+        Self {
+            position,
+            velocity,
+            acceleration,
+        }
+    }
+
+    /// A state at rest at the origin.
+    pub fn at_rest() -> Self {
+        Self::default()
+    }
+
+    /// Returns `true` if every component is finite.
+    pub fn is_finite(&self) -> bool {
+        self.position.is_finite() && self.velocity.is_finite() && self.acceleration.is_finite()
+    }
+}
+
+impl std::fmt::Display for VehicleState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "p={:.3} m, v={:.3} m/s, a={:.3} m/s²",
+            self.position, self.velocity, self.acceleration
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_at_rest() {
+        assert_eq!(VehicleState::default(), VehicleState::at_rest());
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let s = VehicleState::new(1.0, 2.0, 3.0);
+        assert!(!s.to_string().is_empty());
+    }
+
+    #[test]
+    fn finiteness_check() {
+        assert!(VehicleState::new(0.0, 1.0, 2.0).is_finite());
+        assert!(!VehicleState::new(f64::NAN, 1.0, 2.0).is_finite());
+        assert!(!VehicleState::new(0.0, f64::INFINITY, 2.0).is_finite());
+    }
+}

@@ -1,0 +1,194 @@
+use serde::{Deserialize, Serialize};
+
+use crate::VehicleState;
+
+/// One time-stamped sample of a vehicle trajectory.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrajectorySample {
+    /// Simulation time of the sample, in seconds.
+    pub time: f64,
+    /// Vehicle state at that time.
+    pub state: VehicleState,
+}
+
+/// A recorded vehicle trajectory: a time-ordered sequence of samples.
+///
+/// Used by the simulator to record episodes, by the information-filter
+/// experiments (paper Fig. 6a) to compare measured/filtered/true signals,
+/// and by tests to check invariants along whole runs.
+///
+/// # Example
+///
+/// ```
+/// use cv_dynamics::{Trajectory, VehicleState};
+///
+/// let mut traj = Trajectory::new();
+/// traj.push(0.0, VehicleState::new(0.0, 5.0, 0.0));
+/// traj.push(0.1, VehicleState::new(0.5, 5.0, 0.0));
+/// assert_eq!(traj.len(), 2);
+/// assert_eq!(traj.duration(), 0.1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Trajectory {
+    samples: Vec<TrajectorySample>,
+}
+
+impl Trajectory {
+    /// Creates an empty trajectory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty trajectory with room for `capacity` samples.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            samples: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Appends a sample at `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `time` is not strictly greater than the
+    /// previous sample's time.
+    pub fn push(&mut self, time: f64, state: VehicleState) {
+        if let Some(last) = self.samples.last() {
+            debug_assert!(
+                time > last.time,
+                "trajectory samples must be strictly time-ordered ({time} <= {})",
+                last.time
+            );
+        }
+        self.samples.push(TrajectorySample { time, state });
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Returns `true` if no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Time span covered by the trajectory (0 for fewer than two samples).
+    pub fn duration(&self) -> f64 {
+        match (self.samples.first(), self.samples.last()) {
+            (Some(first), Some(last)) => last.time - first.time,
+            _ => 0.0,
+        }
+    }
+
+    /// The first sample, if any.
+    pub fn first(&self) -> Option<&TrajectorySample> {
+        self.samples.first()
+    }
+
+    /// The last sample, if any.
+    pub fn last(&self) -> Option<&TrajectorySample> {
+        self.samples.last()
+    }
+
+    /// Iterates over samples in time order.
+    pub fn iter(&self) -> std::slice::Iter<'_, TrajectorySample> {
+        self.samples.iter()
+    }
+
+    /// Returns the sample with the greatest time `<= time`, if any.
+    pub fn sample_at(&self, time: f64) -> Option<&TrajectorySample> {
+        match self
+            .samples
+            .binary_search_by(|s| s.time.partial_cmp(&time).expect("non-NaN times"))
+        {
+            Ok(i) => Some(&self.samples[i]),
+            Err(0) => None,
+            Err(i) => Some(&self.samples[i - 1]),
+        }
+    }
+
+    /// Consumes the trajectory and returns the raw samples.
+    pub fn into_inner(self) -> Vec<TrajectorySample> {
+        self.samples
+    }
+}
+
+impl<'a> IntoIterator for &'a Trajectory {
+    type Item = &'a TrajectorySample;
+    type IntoIter = std::slice::Iter<'a, TrajectorySample>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.samples.iter()
+    }
+}
+
+impl IntoIterator for Trajectory {
+    type Item = TrajectorySample;
+    type IntoIter = std::vec::IntoIter<TrajectorySample>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.samples.into_iter()
+    }
+}
+
+impl FromIterator<TrajectorySample> for Trajectory {
+    fn from_iter<I: IntoIterator<Item = TrajectorySample>>(iter: I) -> Self {
+        Self {
+            samples: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<TrajectorySample> for Trajectory {
+    fn extend<I: IntoIterator<Item = TrajectorySample>>(&mut self, iter: I) {
+        self.samples.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn traj() -> Trajectory {
+        let mut t = Trajectory::new();
+        t.push(0.0, VehicleState::new(0.0, 1.0, 0.0));
+        t.push(0.1, VehicleState::new(0.1, 1.0, 0.0));
+        t.push(0.2, VehicleState::new(0.2, 1.0, 0.0));
+        t
+    }
+
+    #[test]
+    fn duration_and_len() {
+        let t = traj();
+        assert_eq!(t.len(), 3);
+        assert!((t.duration() - 0.2).abs() < 1e-12);
+        assert!(!t.is_empty());
+        assert!(Trajectory::new().is_empty());
+        assert_eq!(Trajectory::new().duration(), 0.0);
+    }
+
+    #[test]
+    fn sample_at_returns_floor_sample() {
+        let t = traj();
+        assert!(t.sample_at(-0.05).is_none());
+        assert_eq!(t.sample_at(0.0).unwrap().time, 0.0);
+        assert_eq!(t.sample_at(0.15).unwrap().time, 0.1);
+        assert_eq!(t.sample_at(5.0).unwrap().time, 0.2);
+    }
+
+    #[test]
+    fn collect_roundtrip() {
+        let t = traj();
+        let copy: Trajectory = t.iter().copied().collect();
+        assert_eq!(copy, t);
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)]
+    fn out_of_order_push_panics() {
+        let mut t = traj();
+        t.push(0.05, VehicleState::at_rest());
+    }
+}

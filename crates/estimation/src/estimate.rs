@@ -1,0 +1,102 @@
+use cv_dynamics::VehicleState;
+use serde::{Deserialize, Serialize};
+
+use crate::Interval;
+
+/// The ego vehicle's belief about one remote vehicle at a given time.
+///
+/// Produced by an [`crate::Estimator`]. The intervals bound the remote
+/// vehicle's state *in its own forward frame*; `nominal` is the best point
+/// estimate (the Kalman mean when available, interval midpoints otherwise).
+///
+/// The runtime monitor consumes the intervals (sound set-membership tests);
+/// the aggressive unsafe-set estimation consumes `nominal` (paper Eq. 8 uses
+/// the current `v_1(t)`, `a_1(t)`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VehicleEstimate {
+    /// Time the estimate refers to.
+    pub time: f64,
+    /// Bound on the remote vehicle's position (m, its forward frame).
+    pub position: Interval,
+    /// Bound on the remote vehicle's velocity (m/s).
+    pub velocity: Interval,
+    /// Bound on the remote vehicle's *last known* acceleration (m/s²).
+    pub acceleration: Interval,
+    /// Best point estimate of the current state.
+    pub nominal: VehicleState,
+}
+
+impl VehicleEstimate {
+    /// An exact estimate (zero-width intervals), e.g. from ground truth in
+    /// perfect-information baselines and tests.
+    pub fn exact(time: f64, state: VehicleState) -> Self {
+        Self {
+            time,
+            position: Interval::point(state.position),
+            velocity: Interval::point(state.velocity),
+            acceleration: Interval::point(state.acceleration),
+            nominal: state,
+        }
+    }
+
+    /// Builds an estimate from intervals, taking midpoints as the nominal.
+    pub fn from_intervals(
+        time: f64,
+        position: Interval,
+        velocity: Interval,
+        acceleration: Interval,
+    ) -> Self {
+        Self {
+            time,
+            position,
+            velocity,
+            acceleration,
+            nominal: VehicleState::new(
+                position.midpoint(),
+                velocity.midpoint(),
+                acceleration.midpoint(),
+            ),
+        }
+    }
+
+    /// Returns `true` if `state` is consistent with the interval bounds
+    /// (position and velocity; acceleration is a last-known bound and is
+    /// not checked).
+    pub fn consistent_with(&self, state: &VehicleState) -> bool {
+        self.position.contains(state.position) && self.velocity.contains(state.velocity)
+    }
+
+    /// Total interval width (position + velocity), a scalar measure of how
+    /// uncertain the estimate is. Used by experiments and tests to check the
+    /// information filter tightens estimates.
+    pub fn uncertainty(&self) -> f64 {
+        self.position.width() + self.velocity.width()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_estimate_has_zero_uncertainty() {
+        let e = VehicleEstimate::exact(1.0, VehicleState::new(5.0, 2.0, 0.5));
+        assert_eq!(e.uncertainty(), 0.0);
+        assert!(e.consistent_with(&VehicleState::new(5.0, 2.0, 0.5)));
+        assert!(!e.consistent_with(&VehicleState::new(5.1, 2.0, 0.5)));
+    }
+
+    #[test]
+    fn from_intervals_uses_midpoints() {
+        let e = VehicleEstimate::from_intervals(
+            0.0,
+            Interval::new(0.0, 2.0),
+            Interval::new(4.0, 6.0),
+            Interval::new(-1.0, 1.0),
+        );
+        assert_eq!(e.nominal.position, 1.0);
+        assert_eq!(e.nominal.velocity, 5.0);
+        assert_eq!(e.nominal.acceleration, 0.0);
+        assert_eq!(e.uncertainty(), 4.0);
+    }
+}

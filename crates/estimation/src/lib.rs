@@ -1,0 +1,53 @@
+//! Information-filter substrate: interval arithmetic, reachability analysis,
+//! Kalman filtering with message rollback, and their fusion.
+//!
+//! This crate implements Section III-B of the paper. The ego vehicle learns
+//! about another vehicle `C_i` through two imperfect sources:
+//!
+//! * **V2V messages** — exact but possibly delayed or dropped. The
+//!   [`reachability`] module bounds where `C_i` can be *now* given its exact
+//!   state at the (stale) message stamp and its physical limits (paper Eq. 2).
+//! * **Onboard sensors** — instantaneous but corrupted by bounded uniform
+//!   noise. Bounded support yields a *hard* interval per measurement; the
+//!   [`KalmanFilter`]/[`TrackingFilter`] recover a sharp point estimate, with
+//!   a message-triggered rollback replay as described in the paper.
+//!
+//! The [`InformationFilter`] joins the two by interval intersection and
+//! produces a [`VehicleEstimate`]: sound hard bounds for the runtime monitor
+//! plus a fused nominal state for the aggressive unsafe-set estimation.
+//!
+//! # Example
+//!
+//! ```
+//! use cv_estimation::{Interval, reachability};
+//! use cv_dynamics::VehicleLimits;
+//!
+//! let limits = VehicleLimits::new(3.0, 14.0, -3.0, 3.0)?;
+//! // Last message: C1 at p = 20 m, v = 10 m/s, 0.5 s ago.
+//! let reach = reachability::reach(
+//!     Interval::point(20.0),
+//!     Interval::point(10.0),
+//!     0.5,
+//!     &limits,
+//! );
+//! assert!(reach.position.contains(20.0 + 10.0 * 0.5)); // constant speed is reachable
+//! # Ok::<(), cv_dynamics::LimitsError>(())
+//! ```
+
+mod estimate;
+mod estimator;
+mod fusion;
+mod interval;
+mod kalman;
+mod linalg;
+pub mod reachability;
+mod tracking;
+
+pub use estimate::VehicleEstimate;
+pub use estimator::{Estimator, NaiveEstimator};
+pub use fusion::{FilterMode, InformationFilter, Prior};
+pub use interval::Interval;
+pub use kalman::KalmanFilter;
+pub use linalg::{Mat2, Vec2};
+pub use reachability::ReachSet;
+pub use tracking::TrackingFilter;

@@ -1,0 +1,266 @@
+use serde::{Deserialize, Serialize};
+
+/// A 2-vector, used for the `(position, velocity)` state of the Kalman filter.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Vec2 {
+    /// First component (position).
+    pub x: f64,
+    /// Second component (velocity).
+    pub y: f64,
+}
+
+impl Vec2 {
+    /// Creates a vector from its components.
+    pub fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// The zero vector.
+    pub fn zero() -> Self {
+        Self::default()
+    }
+
+    /// Component-wise addition.
+    pub fn add(&self, other: &Vec2) -> Vec2 {
+        Vec2::new(self.x + other.x, self.y + other.y)
+    }
+
+    /// Component-wise subtraction.
+    pub fn sub(&self, other: &Vec2) -> Vec2 {
+        Vec2::new(self.x - other.x, self.y - other.y)
+    }
+
+    /// Scalar multiplication.
+    pub fn scale(&self, k: f64) -> Vec2 {
+        Vec2::new(self.x * k, self.y * k)
+    }
+}
+
+impl std::ops::Add for Vec2 {
+    type Output = Vec2;
+    fn add(self, rhs: Vec2) -> Vec2 {
+        Vec2::add(&self, &rhs)
+    }
+}
+
+impl std::ops::Sub for Vec2 {
+    type Output = Vec2;
+    fn sub(self, rhs: Vec2) -> Vec2 {
+        Vec2::sub(&self, &rhs)
+    }
+}
+
+/// A 2×2 matrix in row-major order, used for the Kalman covariance and the
+/// state-transition matrix `F` of paper §III-B.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Mat2 {
+    /// Row 0, column 0.
+    pub a: f64,
+    /// Row 0, column 1.
+    pub b: f64,
+    /// Row 1, column 0.
+    pub c: f64,
+    /// Row 1, column 1.
+    pub d: f64,
+}
+
+impl Mat2 {
+    /// Creates `[[a, b], [c, d]]`.
+    pub fn new(a: f64, b: f64, c: f64, d: f64) -> Self {
+        Self { a, b, c, d }
+    }
+
+    /// The identity matrix.
+    pub fn identity() -> Self {
+        Self::new(1.0, 0.0, 0.0, 1.0)
+    }
+
+    /// The zero matrix.
+    pub fn zero() -> Self {
+        Self::default()
+    }
+
+    /// Diagonal matrix `diag(a, d)`.
+    pub fn diag(a: f64, d: f64) -> Self {
+        Self::new(a, 0.0, 0.0, d)
+    }
+
+    /// Matrix-matrix product `self · other`.
+    pub fn mul(&self, other: &Mat2) -> Mat2 {
+        Mat2::new(
+            self.a * other.a + self.b * other.c,
+            self.a * other.b + self.b * other.d,
+            self.c * other.a + self.d * other.c,
+            self.c * other.b + self.d * other.d,
+        )
+    }
+
+    /// Matrix-vector product `self · v`.
+    pub fn mul_vec(&self, v: &Vec2) -> Vec2 {
+        Vec2::new(self.a * v.x + self.b * v.y, self.c * v.x + self.d * v.y)
+    }
+
+    /// Component-wise addition.
+    pub fn add(&self, other: &Mat2) -> Mat2 {
+        Mat2::new(
+            self.a + other.a,
+            self.b + other.b,
+            self.c + other.c,
+            self.d + other.d,
+        )
+    }
+
+    /// Component-wise subtraction.
+    pub fn sub(&self, other: &Mat2) -> Mat2 {
+        Mat2::new(
+            self.a - other.a,
+            self.b - other.b,
+            self.c - other.c,
+            self.d - other.d,
+        )
+    }
+
+    /// Scalar multiplication.
+    pub fn scale(&self, k: f64) -> Mat2 {
+        Mat2::new(self.a * k, self.b * k, self.c * k, self.d * k)
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Mat2 {
+        Mat2::new(self.a, self.c, self.b, self.d)
+    }
+
+    /// Determinant.
+    pub fn det(&self) -> f64 {
+        self.a * self.d - self.b * self.c
+    }
+
+    /// Trace.
+    pub fn trace(&self) -> f64 {
+        self.a + self.d
+    }
+
+    /// Inverse, or `None` if (numerically) singular.
+    pub fn inverse(&self) -> Option<Mat2> {
+        let det = self.det();
+        if det.abs() < 1e-300 || !det.is_finite() {
+            return None;
+        }
+        Some(Mat2::new(self.d / det, -self.b / det, -self.c / det, self.a / det))
+    }
+
+    /// Returns `true` if the matrix is symmetric positive semi-definite
+    /// within tolerance `tol` (symmetry, nonnegative diagonal, nonnegative
+    /// determinant). Used to validate Kalman covariances in tests.
+    pub fn is_psd(&self, tol: f64) -> bool {
+        (self.b - self.c).abs() <= tol.max(1e-9 * self.trace().abs())
+            && self.a >= -tol
+            && self.d >= -tol
+            && self.det() >= -tol * (1.0 + self.trace().abs())
+    }
+}
+
+impl std::ops::Add for Mat2 {
+    type Output = Mat2;
+    fn add(self, rhs: Mat2) -> Mat2 {
+        Mat2::add(&self, &rhs)
+    }
+}
+
+impl std::ops::Sub for Mat2 {
+    type Output = Mat2;
+    fn sub(self, rhs: Mat2) -> Mat2 {
+        Mat2::sub(&self, &rhs)
+    }
+}
+
+impl std::ops::Mul for Mat2 {
+    type Output = Mat2;
+    fn mul(self, rhs: Mat2) -> Mat2 {
+        Mat2::mul(&self, &rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identity_is_neutral() {
+        let m = Mat2::new(1.0, 2.0, 3.0, 4.0);
+        assert_eq!(m.mul(&Mat2::identity()), m);
+        assert_eq!(Mat2::identity().mul(&m), m);
+    }
+
+    #[test]
+    fn inverse_of_known_matrix() {
+        let m = Mat2::new(4.0, 7.0, 2.0, 6.0);
+        let inv = m.inverse().unwrap();
+        let id = m.mul(&inv);
+        assert!((id.a - 1.0).abs() < 1e-12);
+        assert!(id.b.abs() < 1e-12);
+        assert!(id.c.abs() < 1e-12);
+        assert!((id.d - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_matrix_has_no_inverse() {
+        assert!(Mat2::new(1.0, 2.0, 2.0, 4.0).inverse().is_none());
+        assert!(Mat2::zero().inverse().is_none());
+    }
+
+    #[test]
+    fn psd_checks() {
+        assert!(Mat2::diag(1.0, 2.0).is_psd(1e-12));
+        assert!(Mat2::zero().is_psd(1e-12));
+        assert!(!Mat2::diag(-1.0, 2.0).is_psd(1e-12));
+        assert!(!Mat2::new(1.0, 5.0, 5.0, 1.0).is_psd(1e-12)); // det < 0
+    }
+
+    proptest! {
+        #[test]
+        fn inverse_roundtrip(
+            a in -10.0..10.0f64, b in -10.0..10.0f64,
+            c in -10.0..10.0f64, d in -10.0..10.0f64,
+        ) {
+            let m = Mat2::new(a, b, c, d);
+            prop_assume!(m.det().abs() > 1e-6);
+            let inv = m.inverse().unwrap();
+            let id = m.mul(&inv);
+            prop_assert!((id.a - 1.0).abs() < 1e-6);
+            prop_assert!(id.b.abs() < 1e-6);
+            prop_assert!(id.c.abs() < 1e-6);
+            prop_assert!((id.d - 1.0).abs() < 1e-6);
+        }
+
+        #[test]
+        fn transpose_reverses_product(
+            a in -10.0..10.0f64, b in -10.0..10.0f64,
+            c in -10.0..10.0f64, d in -10.0..10.0f64,
+            e in -10.0..10.0f64, f in -10.0..10.0f64,
+            g in -10.0..10.0f64, h in -10.0..10.0f64,
+        ) {
+            let m = Mat2::new(a, b, c, d);
+            let n = Mat2::new(e, f, g, h);
+            let lhs = m.mul(&n).transpose();
+            let rhs = n.transpose().mul(&m.transpose());
+            prop_assert!((lhs.a - rhs.a).abs() < 1e-9);
+            prop_assert!((lhs.b - rhs.b).abs() < 1e-9);
+            prop_assert!((lhs.c - rhs.c).abs() < 1e-9);
+            prop_assert!((lhs.d - rhs.d).abs() < 1e-9);
+        }
+
+        #[test]
+        fn det_is_multiplicative(
+            a in -5.0..5.0f64, b in -5.0..5.0f64,
+            c in -5.0..5.0f64, d in -5.0..5.0f64,
+            e in -5.0..5.0f64, f in -5.0..5.0f64,
+            g in -5.0..5.0f64, h in -5.0..5.0f64,
+        ) {
+            let m = Mat2::new(a, b, c, d);
+            let n = Mat2::new(e, f, g, h);
+            prop_assert!((m.mul(&n).det() - m.det() * n.det()).abs() < 1e-6);
+        }
+    }
+}

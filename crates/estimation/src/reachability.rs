@@ -1,0 +1,260 @@
+//! Forward reachability analysis over stale information (paper Eq. 2).
+//!
+//! Given the exact state of a vehicle at a (possibly old) timestamp and its
+//! physical limits, these functions bound every position/velocity the vehicle
+//! can occupy `elapsed` seconds later. The closed forms account for velocity
+//! saturation: e.g. the maximum position is reached by accelerating at
+//! `a_max` until `v_max`, then cruising — exactly the two branches of Eq. 2.
+//!
+//! Inputs are [`Interval`]s so the same code propagates both exact message
+//! states (degenerate intervals) and noise-widened sensor intervals; the
+//! bounds are monotone in the inputs, so evaluating the scalar closed form at
+//! the worst corner is sound.
+
+use cv_dynamics::VehicleLimits;
+use serde::{Deserialize, Serialize};
+
+use crate::Interval;
+
+/// Reachable position and velocity intervals after some elapsed time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReachSet {
+    /// All positions the vehicle may occupy.
+    pub position: Interval,
+    /// All velocities the vehicle may have.
+    pub velocity: Interval,
+}
+
+/// Maximum position reachable from `(p, v)` after `elapsed` seconds: full
+/// throttle `a_max` until `v_max`, then cruise (first/second branch of
+/// paper Eq. 2).
+///
+/// # Panics
+///
+/// Panics in debug builds if `elapsed < 0`.
+pub fn max_position(p: f64, v: f64, elapsed: f64, limits: &VehicleLimits) -> f64 {
+    debug_assert!(elapsed >= 0.0, "elapsed must be nonnegative, got {elapsed}");
+    let v = limits.clamp_velocity(v);
+    extreme_position(p, v, elapsed, limits.a_max(), limits.v_max())
+}
+
+/// Minimum position reachable from `(p, v)` after `elapsed` seconds: full
+/// braking `a_min` until `v_min`, then cruise (mirror of [`max_position`]).
+///
+/// # Panics
+///
+/// Panics in debug builds if `elapsed < 0`.
+pub fn min_position(p: f64, v: f64, elapsed: f64, limits: &VehicleLimits) -> f64 {
+    debug_assert!(elapsed >= 0.0, "elapsed must be nonnegative, got {elapsed}");
+    let v = limits.clamp_velocity(v);
+    extreme_position(p, v, elapsed, limits.a_min(), limits.v_min())
+}
+
+/// Travels at constant acceleration `a` from `(p, v)` until the velocity hits
+/// `v_sat`, then cruises at `v_sat`. Correct for both signs of `a`.
+fn extreme_position(p: f64, v: f64, elapsed: f64, a: f64, v_sat: f64) -> f64 {
+    if a == 0.0 {
+        return p + v * elapsed;
+    }
+    let t_sat = (v_sat - v) / a;
+    if t_sat <= 0.0 {
+        // Already at/past saturation in this direction: cruise immediately.
+        p + v_sat * elapsed
+    } else if elapsed <= t_sat {
+        p + v * elapsed + 0.5 * a * elapsed * elapsed
+    } else {
+        p + v * t_sat + 0.5 * a * t_sat * t_sat + v_sat * (elapsed - t_sat)
+    }
+}
+
+/// Reachable velocity interval from an initial velocity interval.
+pub fn reach_velocity(v: Interval, elapsed: f64, limits: &VehicleLimits) -> Interval {
+    debug_assert!(elapsed >= 0.0);
+    let lo = (limits.clamp_velocity(v.lo()) + limits.a_min() * elapsed).max(limits.v_min());
+    let hi = (limits.clamp_velocity(v.hi()) + limits.a_max() * elapsed).min(limits.v_max());
+    Interval::new(lo, hi)
+}
+
+/// Full reachable set from interval-valued initial position and velocity.
+///
+/// The extremes are monotone in `(p, v)`, so the corners `(p.hi, v.hi)` and
+/// `(p.lo, v.lo)` give the exact position bounds.
+///
+/// # Example
+///
+/// ```
+/// use cv_estimation::{Interval, reachability::reach};
+/// use cv_dynamics::VehicleLimits;
+///
+/// let limits = VehicleLimits::new(0.0, 10.0, -4.0, 2.0)?;
+/// let set = reach(Interval::point(0.0), Interval::point(5.0), 1.0, &limits);
+/// // Constant speed stays inside.
+/// assert!(set.position.contains(5.0));
+/// // Full throttle for 1 s: 5 + 0.5*2 = 6 m.
+/// assert!((set.position.hi() - 6.0).abs() < 1e-12);
+/// # Ok::<(), cv_dynamics::LimitsError>(())
+/// ```
+pub fn reach(p: Interval, v: Interval, elapsed: f64, limits: &VehicleLimits) -> ReachSet {
+    ReachSet {
+        position: Interval::new(
+            min_position(p.lo(), v.lo(), elapsed, limits),
+            max_position(p.hi(), v.hi(), elapsed, limits),
+        ),
+        velocity: reach_velocity(v, elapsed, limits),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cv_dynamics::VehicleState;
+
+    fn limits() -> VehicleLimits {
+        VehicleLimits::new(0.0, 10.0, -4.0, 2.0).unwrap()
+    }
+
+    #[test]
+    fn zero_elapsed_is_identity() {
+        let set = reach(Interval::point(3.0), Interval::point(5.0), 0.0, &limits());
+        assert_eq!(set.position, Interval::point(3.0));
+        assert_eq!(set.velocity, Interval::point(5.0));
+    }
+
+    #[test]
+    fn max_position_pre_saturation_branch() {
+        // v = 5, a_max = 2, after 1 s: no saturation (v_max = 10).
+        let p = max_position(0.0, 5.0, 1.0, &limits());
+        assert!((p - (5.0 + 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_position_saturated_branch_matches_eq2_closed_form() {
+        // v = 9, a_max = 2, v_max = 10 -> saturates at t = 0.5.
+        let lim = limits();
+        let elapsed = 2.0;
+        let p = max_position(0.0, 9.0, elapsed, &lim);
+        // Paper Eq. 2 second branch: p + v_max*τ − (v_max − v)²/(2 a_max).
+        let closed = 10.0 * elapsed - (10.0 - 9.0_f64).powi(2) / (2.0 * 2.0);
+        assert!((p - closed).abs() < 1e-12, "{p} vs {closed}");
+    }
+
+    #[test]
+    fn min_position_stops_at_v_min() {
+        // v = 4, a_min = -4 -> stops after 1 s having covered 2 m.
+        let p = min_position(0.0, 4.0, 5.0, &limits());
+        assert!((p - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn velocity_reach_saturates() {
+        let v = reach_velocity(Interval::point(5.0), 10.0, &limits());
+        assert_eq!(v, Interval::new(0.0, 10.0));
+    }
+
+    #[test]
+    fn initial_velocity_above_vmax_is_clamped() {
+        // Defensive: stale data may claim v > v_max; bound must stay sound
+        // for the clamped dynamics.
+        let p = max_position(0.0, 50.0, 1.0, &limits());
+        assert!((p - 10.0).abs() < 1e-12);
+    }
+
+    /// Simulates a random admissible acceleration sequence and checks the
+    /// true state stays inside the reach set at every step — the soundness
+    /// property the runtime monitor relies on.
+    #[test]
+    fn reach_set_contains_all_simulated_trajectories() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let lim = limits();
+        let dt = 0.05;
+        let mut rng = StdRng::seed_from_u64(7);
+        for trial in 0..200 {
+            let v0 = rng.random_range(0.0..10.0);
+            let p0 = rng.random_range(-50.0..50.0);
+            let mut s = VehicleState::new(p0, v0, 0.0);
+            for step in 1..=60 {
+                let a = rng.random_range(-4.0..2.0);
+                s = lim.step(&s, a, dt);
+                let elapsed = step as f64 * dt;
+                let set = reach(Interval::point(p0), Interval::point(v0), elapsed, &lim);
+                assert!(
+                    set.position.contains(s.position),
+                    "trial {trial} step {step}: p={} not in {}",
+                    s.position,
+                    set.position
+                );
+                assert!(
+                    set.velocity.contains(s.velocity),
+                    "trial {trial} step {step}: v={} not in {}",
+                    s.velocity,
+                    set.velocity
+                );
+            }
+        }
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn reach_bounds_evolve_monotonically(
+                p in -50.0..50.0f64,
+                v in 0.0..10.0f64,
+                t1 in 0.0..5.0f64,
+                dt in 0.0..5.0f64,
+            ) {
+                // With v_min >= 0 the vehicle can only move forward, so both
+                // position bounds are nondecreasing in elapsed time, and the
+                // width (uncertainty) never shrinks.
+                let lim = limits();
+                let early = reach(Interval::point(p), Interval::point(v), t1, &lim);
+                let late = reach(Interval::point(p), Interval::point(v), t1 + dt, &lim);
+                prop_assert!(late.position.lo() + 1e-9 >= early.position.lo());
+                prop_assert!(late.position.hi() + 1e-9 >= early.position.hi());
+                prop_assert!(late.position.width() + 1e-9 >= early.position.width());
+                prop_assert!(late.velocity.width() + 1e-9 >= early.velocity.width());
+            }
+
+            #[test]
+            fn reach_is_monotone_in_input_interval(
+                p in -50.0..50.0f64,
+                v in 0.0..9.0f64,
+                wp in 0.0..5.0f64,
+                wv in 0.0..1.0f64,
+                t in 0.0..5.0f64,
+            ) {
+                let lim = limits();
+                let tight = reach(Interval::point(p), Interval::point(v), t, &lim);
+                let wide = reach(
+                    Interval::new(p - wp, p + wp),
+                    Interval::new(v - wv.min(v), v + wv),
+                    t,
+                    &lim,
+                );
+                prop_assert!(wide.position.contains_interval(&tight.position));
+                prop_assert!(wide.velocity.contains_interval(&tight.velocity));
+            }
+
+            #[test]
+            fn reach_semigroup_superset(
+                p in -50.0..50.0f64,
+                v in 0.0..10.0f64,
+                t1 in 0.01..3.0f64,
+                t2 in 0.01..3.0f64,
+            ) {
+                // reach(x, t1+t2) ⊆ reach(reach(x, t1), t2): propagating the
+                // intermediate *box* loses the p-v correlation, so the
+                // two-stage box is a superset.
+                let lim = limits();
+                let direct = reach(Interval::point(p), Interval::point(v), t1 + t2, &lim);
+                let mid = reach(Interval::point(p), Interval::point(v), t1, &lim);
+                let staged = reach(mid.position, mid.velocity, t2, &lim);
+                prop_assert!(staged.position.expand(1e-9).contains_interval(&direct.position));
+                prop_assert!(staged.velocity.expand(1e-9).contains_interval(&direct.velocity));
+            }
+        }
+    }
+}

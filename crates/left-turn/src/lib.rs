@@ -1,0 +1,52 @@
+//! Unprotected left turn case study (paper Section IV).
+//!
+//! The ego vehicle `C_0` turns left across the path of an oncoming vehicle
+//! `C_1`; both paths are fixed, so the system is one-dimensional. A collision
+//! is possible only inside the *conflict zone* (the paper's red rectangle),
+//! the band `[p_f, p_b]` on the ego axis.
+//!
+//! This crate implements every closed form of Section IV on top of the
+//! `safe-shield` framework:
+//!
+//! * slack `s(t)` and the projected passing window `[τ_0,min, τ_0,max]`
+//!   (Eq. 5),
+//! * the unsafe set `X_u` (Eq. 6) and the boundary safe set `X_b` with the
+//!   derived one-step slack-decrease bound,
+//! * conservative (Eq. 7), nominal, and aggressive (Eq. 8) estimates of
+//!   `C_1`'s passing window `[τ_1,min, τ_1,max]`, all generalised to
+//!   interval-valued state estimates,
+//! * the emergency planner `κ_e` (least-required braking before the zone,
+//!   full throttle inside it).
+//!
+//! # Frames
+//!
+//! `C_1` approaches from the opposite direction, so on the shared ego axis
+//! its coordinate *decreases*. Internally `C_1` lives in its own forward
+//! frame (position increases from 0); the scenario stores where the conflict
+//! zone lies in that frame ([`LeftTurnScenario::other_entry`] /
+//! [`LeftTurnScenario::other_exit`]). V2V messages and sensor readings carry
+//! forward-frame values, so no conversion is needed anywhere in the
+//! estimation pipeline.
+//!
+//! # Example
+//!
+//! ```
+//! use left_turn::LeftTurnScenario;
+//! use safe_shield::Scenario;
+//! use cv_dynamics::VehicleState;
+//!
+//! // C1 starts 52 m down the shared axis (37 m from entering the zone).
+//! let scenario = LeftTurnScenario::paper_default(52.0)?;
+//! // The ego has passed the zone once beyond the back line.
+//! assert!(scenario.target_reached(10.0, &VehicleState::new(15.1, 5.0, 0.0)));
+//! # Ok::<(), left_turn::ScenarioError>(())
+//! ```
+
+mod geometry;
+mod scenario;
+mod tau;
+pub mod verify;
+
+pub use geometry::{Geometry, ScenarioError};
+pub use scenario::LeftTurnScenario;
+pub use tau::{time_to_cover, TAU_CAP};

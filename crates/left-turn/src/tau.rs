@@ -1,0 +1,203 @@
+//! Passing-time estimation for the oncoming vehicle (paper Eqs. 7 and 8).
+//!
+//! Everything reduces to one kinematic primitive, [`time_to_cover`]: the
+//! time for a vehicle at speed `v` applying constant acceleration `a` (until
+//! its speed saturates) to cover a distance `d`. The paper's Eq. 7 is the
+//! `a > 0` branch with saturation at `v_max`; the `τ_1,max` counterpart is
+//! the `a < 0` branch with saturation at `v_min`.
+//!
+//! Note: the paper's printed Eq. 7 discriminant reads
+//! `√(v² + a·(p_f − p_1))`; the kinematically correct closed form (and what
+//! we implement) is `√(v² + 2·a·d)` — solving `d = v·t + ½at²`.
+
+/// Cap used to represent "never" / unbounded passing times while keeping
+/// every interval finite (seconds). One million seconds ≈ 11 days, far
+/// beyond any episode horizon.
+pub const TAU_CAP: f64 = 1.0e6;
+
+/// Earliest/latest time to cover `d ≥ 0` metres starting at speed `v`,
+/// applying constant acceleration `a` until the speed saturates at `v_cap`
+/// (when `a > 0`) or at `v_floor` (when `a < 0`), then cruising.
+///
+/// Returns [`TAU_CAP`] when the distance is never covered (e.g. the vehicle
+/// decelerates to a standstill short of `d`). Returns `0` for `d ≤ 0`.
+///
+/// # Panics
+///
+/// Panics in debug builds if `v < 0`, `v_floor < 0` or `v_cap < v_floor`.
+///
+/// # Example
+///
+/// ```
+/// use left_turn::time_to_cover;
+///
+/// // 10 m/s, no acceleration: 35 m takes 3.5 s.
+/// assert!((time_to_cover(35.0, 10.0, 0.0, 0.0, 20.0) - 3.5).abs() < 1e-12);
+/// // Full braking (-5 m/s²) from 10 m/s covers only 10 m: 35 m is never reached.
+/// assert_eq!(time_to_cover(35.0, 10.0, -5.0, 0.0, 20.0), left_turn::TAU_CAP);
+/// ```
+pub fn time_to_cover(d: f64, v: f64, a: f64, v_floor: f64, v_cap: f64) -> f64 {
+    debug_assert!(v >= 0.0, "speed must be nonnegative, got {v}");
+    debug_assert!(v_floor >= 0.0, "v_floor must be nonnegative");
+    debug_assert!(v_cap >= v_floor, "v_cap must be >= v_floor");
+    if d <= 0.0 {
+        return 0.0;
+    }
+    let v = v.clamp(v_floor, v_cap);
+    if a > 0.0 {
+        // Accelerate to v_cap, then cruise.
+        let t_sat = (v_cap - v) / a;
+        let d_sat = v * t_sat + 0.5 * a * t_sat * t_sat;
+        if d <= d_sat {
+            ((-v + (v * v + 2.0 * a * d).sqrt()) / a).min(TAU_CAP)
+        } else if v_cap > 0.0 {
+            (t_sat + (d - d_sat) / v_cap).min(TAU_CAP)
+        } else {
+            TAU_CAP
+        }
+    } else if a < 0.0 {
+        // Decelerate to v_floor, then cruise.
+        let t_sat = (v_floor - v) / a; // >= 0 since v >= v_floor, a < 0
+        let d_sat = v * t_sat + 0.5 * a * t_sat * t_sat;
+        if d <= d_sat {
+            // First passage of d during the deceleration phase:
+            // ½at² + vt = d, smaller root of the downward parabola.
+            let disc = v * v + 2.0 * a * d;
+            debug_assert!(disc >= -1e-9, "first passage must exist when d <= d_sat");
+            ((-v + disc.max(0.0).sqrt()) / a).min(TAU_CAP)
+        } else if v_floor > 0.0 {
+            (t_sat + (d - d_sat) / v_floor).min(TAU_CAP)
+        } else {
+            TAU_CAP
+        }
+    } else if v > 0.0 {
+        (d / v).min(TAU_CAP)
+    } else {
+        TAU_CAP
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn zero_distance_is_instant() {
+        assert_eq!(time_to_cover(0.0, 5.0, 1.0, 0.0, 10.0), 0.0);
+        assert_eq!(time_to_cover(-3.0, 5.0, 1.0, 0.0, 10.0), 0.0);
+    }
+
+    #[test]
+    fn accelerating_branch_pre_saturation() {
+        // v=4, a=2: d = 4t + t². d=12 -> t=2.
+        let t = time_to_cover(12.0, 4.0, 2.0, 0.0, 100.0);
+        assert!((t - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accelerating_branch_with_saturation() {
+        // v=8, a=2, cap=10: saturates at t=1 having covered 9 m; 19 m total
+        // needs one more second at 10 m/s.
+        let t = time_to_cover(19.0, 8.0, 2.0, 0.0, 10.0);
+        assert!((t - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn decelerating_branch_first_passage() {
+        // v=10, a=-2: d = 10t - t². d=9 -> t=1.
+        let t = time_to_cover(9.0, 10.0, -2.0, 0.0, 20.0);
+        assert!((t - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn decelerating_branch_with_floor_cruise() {
+        // v=10, a=-2, floor=6: decelerates for 2 s covering 16 m, then
+        // cruises at 6 m/s; 28 m total takes 2 + 2 = 4 s.
+        let t = time_to_cover(28.0, 10.0, -2.0, 6.0, 20.0);
+        assert!((t - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stopping_short_returns_cap() {
+        // v=10, a=-5, floor 0: stops after 10 m; 11 m is unreachable.
+        assert_eq!(time_to_cover(11.0, 10.0, -5.0, 0.0, 20.0), TAU_CAP);
+        // Standing still with no acceleration never covers anything.
+        assert_eq!(time_to_cover(1.0, 0.0, 0.0, 0.0, 20.0), TAU_CAP);
+    }
+
+    #[test]
+    fn paper_eq7_two_branch_agreement_at_threshold() {
+        // At exactly d = d_th the two branches of Eq. 7 must agree.
+        let (v, a, v_max) = (8.0, 2.0, 12.0);
+        let d_th = (v_max * v_max - v * v) / (2.0 * a);
+        let t_quad = time_to_cover(d_th - 1e-12, v, a, 0.0, v_max);
+        let t_lin = time_to_cover(d_th + 1e-12, v, a, 0.0, v_max);
+        assert!((t_quad - t_lin).abs() < 1e-6);
+        // And both equal the paper's first branch formula:
+        let paper = (v_max - v) / a + (d_th - d_th) / v_max;
+        assert!((t_lin - paper).abs() < 1e-6);
+    }
+
+    proptest! {
+        /// The closed form must match step-wise numerical integration of the
+        /// same saturated dynamics.
+        #[test]
+        fn matches_numerical_integration(
+            d in 0.1..60.0f64,
+            v in 0.0..14.0f64,
+            a in -3.0..3.0f64,
+        ) {
+            let (v_floor, v_cap) = (1.0, 14.0);
+            let t_closed = time_to_cover(d, v, a, v_floor, v_cap);
+            // Integrate at 1 ms with trapezoidal position updates (exact for
+            // the piecewise-linear velocity profile away from the single
+            // saturation instant).
+            let dt = 1e-3;
+            let mut pos = 0.0;
+            let mut vel = v.clamp(v_floor, v_cap);
+            let mut t_num = TAU_CAP;
+            let mut t = 0.0;
+            while t < 80.0 {
+                let v_next = (vel + a * dt).clamp(v_floor, v_cap);
+                pos += 0.5 * (vel + v_next) * dt;
+                vel = v_next;
+                t += dt;
+                if pos >= d {
+                    t_num = t;
+                    break;
+                }
+            }
+            if t_closed < 70.0 {
+                prop_assert!((t_closed - t_num).abs() < 0.01,
+                    "closed {t_closed} vs numeric {t_num} (d={d}, v={v}, a={a})");
+            }
+        }
+
+        /// More distance never takes less time.
+        #[test]
+        fn monotone_in_distance(
+            d1 in 0.0..50.0f64,
+            extra in 0.0..20.0f64,
+            v in 0.0..14.0f64,
+            a in -3.0..3.0f64,
+        ) {
+            let t1 = time_to_cover(d1, v, a, 1.0, 14.0);
+            let t2 = time_to_cover(d1 + extra, v, a, 1.0, 14.0);
+            prop_assert!(t2 + 1e-9 >= t1);
+        }
+
+        /// Faster assumed acceleration never increases arrival time.
+        #[test]
+        fn monotone_in_accel(
+            d in 0.1..50.0f64,
+            v in 1.0..14.0f64,
+            a1 in -3.0..3.0f64,
+            bump in 0.0..3.0f64,
+        ) {
+            let t_slow = time_to_cover(d, v, a1, 1.0, 14.0);
+            let t_fast = time_to_cover(d, v, a1 + bump, 1.0, 14.0);
+            prop_assert!(t_fast <= t_slow + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,129 @@
+use serde::{Deserialize, Serialize};
+
+/// Element-wise activation function of a [`crate::Dense`] layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Activation {
+    /// `max(0, x)`.
+    Relu,
+    /// Hyperbolic tangent.
+    #[default]
+    Tanh,
+    /// Logistic sigmoid `1 / (1 + e^{−x})`.
+    Sigmoid,
+    /// Identity (no nonlinearity), typical for output layers in regression.
+    Identity,
+}
+
+impl Activation {
+    /// Applies the activation to a scalar.
+    pub fn apply(&self, x: f64) -> f64 {
+        match self {
+            Activation::Relu => x.max(0.0),
+            Activation::Tanh => x.tanh(),
+            Activation::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+            Activation::Identity => x,
+        }
+    }
+
+    /// Derivative at pre-activation `x`.
+    pub fn derivative(&self, x: f64) -> f64 {
+        match self {
+            Activation::Relu => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Tanh => {
+                let t = x.tanh();
+                1.0 - t * t
+            }
+            Activation::Sigmoid => {
+                let s = self.apply(x);
+                s * (1.0 - s)
+            }
+            Activation::Identity => 1.0,
+        }
+    }
+
+    /// Stable identifier used in the text weight format.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Activation::Relu => "relu",
+            Activation::Tanh => "tanh",
+            Activation::Sigmoid => "sigmoid",
+            Activation::Identity => "identity",
+        }
+    }
+
+    /// Parses the identifier produced by [`Activation::name`].
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "relu" => Some(Activation::Relu),
+            "tanh" => Some(Activation::Tanh),
+            "sigmoid" => Some(Activation::Sigmoid),
+            "identity" => Some(Activation::Identity),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Activation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn known_values() {
+        assert_eq!(Activation::Relu.apply(-2.0), 0.0);
+        assert_eq!(Activation::Relu.apply(3.0), 3.0);
+        assert_eq!(Activation::Identity.apply(1.5), 1.5);
+        assert!((Activation::Sigmoid.apply(0.0) - 0.5).abs() < 1e-12);
+        assert!(Activation::Tanh.apply(0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn name_roundtrip() {
+        for a in [
+            Activation::Relu,
+            Activation::Tanh,
+            Activation::Sigmoid,
+            Activation::Identity,
+        ] {
+            assert_eq!(Activation::from_name(a.name()), Some(a));
+        }
+        assert_eq!(Activation::from_name("bogus"), None);
+    }
+
+    proptest! {
+        /// Finite-difference check of every activation derivative.
+        #[test]
+        fn derivative_matches_finite_difference(x in -3.0..3.0f64) {
+            let h = 1e-6;
+            for a in [Activation::Tanh, Activation::Sigmoid, Activation::Identity] {
+                let fd = (a.apply(x + h) - a.apply(x - h)) / (2.0 * h);
+                prop_assert!((a.derivative(x) - fd).abs() < 1e-6, "{a}: {x}");
+            }
+            // ReLU away from the kink.
+            if x.abs() > 1e-3 {
+                let a = Activation::Relu;
+                let fd = (a.apply(x + h) - a.apply(x - h)) / (2.0 * h);
+                prop_assert!((a.derivative(x) - fd).abs() < 1e-6);
+            }
+        }
+
+        #[test]
+        fn outputs_are_bounded_where_expected(x in -50.0..50.0f64) {
+            prop_assert!((-1.0..=1.0).contains(&Activation::Tanh.apply(x)));
+            prop_assert!((0.0..=1.0).contains(&Activation::Sigmoid.apply(x)));
+            prop_assert!(Activation::Relu.apply(x) >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,52 @@
+/// Errors produced by the neural-network library.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NnError {
+    /// Operand shapes are incompatible (e.g. matmul inner dims differ).
+    ShapeMismatch {
+        /// Human-readable description of the operation and the shapes.
+        context: String,
+    },
+    /// A network was declared with fewer than two layer sizes.
+    InvalidArchitecture,
+    /// Parsing serialized weights failed.
+    ParseWeights {
+        /// What went wrong.
+        context: String,
+    },
+    /// Training was invoked with inconsistent or empty data.
+    InvalidTrainingData {
+        /// What went wrong.
+        context: String,
+    },
+}
+
+impl std::fmt::Display for NnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NnError::ShapeMismatch { context } => write!(f, "shape mismatch: {context}"),
+            NnError::InvalidArchitecture => {
+                write!(f, "network needs at least an input and an output layer")
+            }
+            NnError::ParseWeights { context } => write!(f, "cannot parse weights: {context}"),
+            NnError::InvalidTrainingData { context } => {
+                write!(f, "invalid training data: {context}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = NnError::ShapeMismatch {
+            context: "2x3 * 4x5".into(),
+        };
+        assert!(e.to_string().contains("2x3"));
+        assert!(!NnError::InvalidArchitecture.to_string().is_empty());
+    }
+}

@@ -1,0 +1,241 @@
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+use crate::{Activation, Matrix, NnError};
+
+/// A fully connected layer `y = σ(x·W + b)`.
+///
+/// `W` is `in_dim × out_dim`; inputs are batches with samples as rows.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dense {
+    weights: Matrix,
+    bias: Vec<f64>,
+    activation: Activation,
+}
+
+/// Cached forward quantities needed by the backward pass.
+#[derive(Debug, Clone)]
+pub(crate) struct DenseCache {
+    /// The layer input `x` (batch × in_dim).
+    pub input: Matrix,
+    /// Pre-activations `z = x·W + b` (batch × out_dim).
+    pub pre: Matrix,
+}
+
+/// Parameter gradients of one layer.
+#[derive(Debug, Clone)]
+pub(crate) struct DenseGrads {
+    pub d_weights: Matrix,
+    pub d_bias: Vec<f64>,
+}
+
+impl Dense {
+    /// Creates a layer with Xavier-uniform weights and zero bias.
+    pub fn new(in_dim: usize, out_dim: usize, activation: Activation, rng: &mut StdRng) -> Self {
+        Self {
+            weights: Matrix::xavier_uniform(in_dim, out_dim, rng),
+            bias: vec![0.0; out_dim],
+            activation,
+        }
+    }
+
+    /// Creates a layer from explicit parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] if `bias.len() != weights.cols()`.
+    pub fn from_parts(
+        weights: Matrix,
+        bias: Vec<f64>,
+        activation: Activation,
+    ) -> Result<Self, NnError> {
+        if bias.len() != weights.cols() {
+            return Err(NnError::ShapeMismatch {
+                context: format!(
+                    "dense bias {} vs out_dim {}",
+                    bias.len(),
+                    weights.cols()
+                ),
+            });
+        }
+        Ok(Self {
+            weights,
+            bias,
+            activation,
+        })
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.weights.rows()
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.weights.cols()
+    }
+
+    /// The activation function.
+    pub fn activation(&self) -> Activation {
+        self.activation
+    }
+
+    /// The weight matrix.
+    pub fn weights(&self) -> &Matrix {
+        &self.weights
+    }
+
+    /// The bias vector.
+    pub fn bias(&self) -> &[f64] {
+        &self.bias
+    }
+
+    /// Number of trainable parameters.
+    pub fn num_params(&self) -> usize {
+        self.weights.rows() * self.weights.cols() + self.bias.len()
+    }
+
+    /// Forward pass on a batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] if `x.cols() != in_dim`.
+    pub fn forward(&self, x: &Matrix) -> Result<Matrix, NnError> {
+        let z = x.matmul(&self.weights)?.add_row_broadcast(&self.bias)?;
+        Ok(z.map(|v| self.activation.apply(v)))
+    }
+
+    /// Forward pass keeping the cache for backprop.
+    pub(crate) fn forward_cached(&self, x: &Matrix) -> Result<(Matrix, DenseCache), NnError> {
+        let pre = x.matmul(&self.weights)?.add_row_broadcast(&self.bias)?;
+        let out = pre.map(|v| self.activation.apply(v));
+        Ok((
+            out,
+            DenseCache {
+                input: x.clone(),
+                pre,
+            },
+        ))
+    }
+
+    /// Backward pass: given `d_out = ∂L/∂y`, returns `∂L/∂x` and the
+    /// parameter gradients.
+    pub(crate) fn backward(
+        &self,
+        cache: &DenseCache,
+        d_out: &Matrix,
+    ) -> Result<(Matrix, DenseGrads), NnError> {
+        let d_pre = d_out.hadamard(&cache.pre.map(|v| self.activation.derivative(v)))?;
+        let d_weights = cache.input.transpose().matmul(&d_pre)?;
+        let d_bias = d_pre.column_sums();
+        let d_input = d_pre.matmul(&self.weights.transpose())?;
+        Ok((d_input, DenseGrads { d_weights, d_bias }))
+    }
+
+    /// Applies an additive update to the parameters (optimizer hook).
+    pub(crate) fn apply_update(&mut self, dw: &Matrix, db: &[f64]) -> Result<(), NnError> {
+        self.weights = self.weights.add(dw)?;
+        if db.len() != self.bias.len() {
+            return Err(NnError::ShapeMismatch {
+                context: "bias update length".into(),
+            });
+        }
+        for (b, d) in self.bias.iter_mut().zip(db) {
+            *b += d;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn layer() -> Dense {
+        let mut rng = StdRng::seed_from_u64(1);
+        Dense::new(3, 2, Activation::Tanh, &mut rng)
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let l = layer();
+        let x = Matrix::zeros(5, 3);
+        let y = l.forward(&x).unwrap();
+        assert_eq!((y.rows(), y.cols()), (5, 2));
+        assert!(l.forward(&Matrix::zeros(5, 4)).is_err());
+    }
+
+    #[test]
+    fn zero_weights_give_bias_through_activation() {
+        let l = Dense::from_parts(
+            Matrix::zeros(2, 1),
+            vec![0.7],
+            Activation::Identity,
+        )
+        .unwrap();
+        let y = l.forward(&Matrix::from_rows(&[&[3.0, -1.0]]).unwrap()).unwrap();
+        assert!((y.get(0, 0) - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn num_params_counts_weights_and_bias() {
+        assert_eq!(layer().num_params(), 3 * 2 + 2);
+    }
+
+    /// Finite-difference gradient check on a single layer.
+    #[test]
+    fn backward_matches_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let l = Dense::new(3, 2, Activation::Tanh, &mut rng);
+        let x = Matrix::from_rows(&[&[0.3, -0.5, 0.9], &[-0.1, 0.8, 0.2]]).unwrap();
+        // Loss = mean of squares of outputs; dL/dy = 2y/N.
+        let n = 4.0; // 2 rows * 2 cols
+        let (y, cache) = l.forward_cached(&x).unwrap();
+        let d_out = y.scale(2.0 / n);
+        let (d_x, grads) = l.backward(&cache, &d_out).unwrap();
+
+        let h = 1e-6;
+        let loss = |layer: &Dense, input: &Matrix| layer.forward(input).unwrap().mean_square();
+
+        // Weight gradients.
+        for r in 0..3 {
+            for c in 0..2 {
+                let mut lp = l.clone();
+                let mut w = lp.weights.clone();
+                w.set(r, c, w.get(r, c) + h);
+                lp.weights = w;
+                let mut lm = l.clone();
+                let mut w = lm.weights.clone();
+                w.set(r, c, w.get(r, c) - h);
+                lm.weights = w;
+                let fd = (loss(&lp, &x) - loss(&lm, &x)) / (2.0 * h);
+                assert!(
+                    (grads.d_weights.get(r, c) - fd).abs() < 1e-5,
+                    "dW[{r}][{c}]: {} vs {fd}",
+                    grads.d_weights.get(r, c)
+                );
+            }
+        }
+        // Bias gradients.
+        for c in 0..2 {
+            let mut lp = l.clone();
+            lp.bias[c] += h;
+            let mut lm = l.clone();
+            lm.bias[c] -= h;
+            let fd = (loss(&lp, &x) - loss(&lm, &x)) / (2.0 * h);
+            assert!((grads.d_bias[c] - fd).abs() < 1e-5);
+        }
+        // Input gradients.
+        for r in 0..2 {
+            for c in 0..3 {
+                let mut xp = x.clone();
+                xp.set(r, c, x.get(r, c) + h);
+                let mut xm = x.clone();
+                xm.set(r, c, x.get(r, c) - h);
+                let fd = (loss(&l, &xp) - loss(&l, &xm)) / (2.0 * h);
+                assert!((d_x.get(r, c) - fd).abs() < 1e-5);
+            }
+        }
+    }
+}

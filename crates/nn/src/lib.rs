@@ -1,0 +1,51 @@
+//! From-scratch feedforward neural network library.
+//!
+//! The paper wraps *"any NN-based planner"*; its evaluation trains planners
+//! with the learning method of its ref. [6]. Since no external ML framework
+//! is available (nor desirable for a self-contained reproduction), this crate
+//! provides everything needed to train and run the small MLPs used as
+//! planners:
+//!
+//! * [`Matrix`] — dense row-major matrix with the handful of ops backprop
+//!   needs.
+//! * [`Activation`], [`Dense`], [`Mlp`] — layers and the network, with
+//!   forward inference and reverse-mode gradients.
+//! * [`Loss`], [`Optimizer`], [`Trainer`] — mean-squared-error training with
+//!   SGD or Adam, mini-batching, and shuffling.
+//! * Plain-text weight serialization ([`Mlp::to_text`], [`Mlp::from_text`])
+//!   so trained planners can be embedded or cached without extra formats.
+//!
+//! Gradients are verified against finite differences in the test suite.
+//!
+//! # Example
+//!
+//! ```
+//! use cv_nn::{Activation, Mlp, Trainer, TrainConfig, Matrix, Optimizer};
+//!
+//! // Learn y = 2x on a few points.
+//! let x = Matrix::from_rows(&[&[0.0], &[0.5], &[1.0], &[1.5]])?;
+//! let y = Matrix::from_rows(&[&[0.0], &[1.0], &[2.0], &[3.0]])?;
+//! let mut net = Mlp::new(&[1, 8, 1], Activation::Tanh, Activation::Identity, 42)?;
+//! let cfg = TrainConfig { epochs: 200, batch_size: 4, seed: 1, ..TrainConfig::default() };
+//! let history = Trainer::new(Optimizer::adam(0.01), cfg).fit(&mut net, &x, &y)?;
+//! assert!(history.last().unwrap() < &0.05);
+//! # Ok::<(), cv_nn::NnError>(())
+//! ```
+
+mod activation;
+mod error;
+mod layer;
+mod loss;
+mod matrix;
+mod mlp;
+mod optimizer;
+mod train;
+
+pub use activation::Activation;
+pub use error::NnError;
+pub use layer::Dense;
+pub use loss::Loss;
+pub use matrix::Matrix;
+pub use mlp::Mlp;
+pub use optimizer::Optimizer;
+pub use train::{TrainConfig, Trainer};

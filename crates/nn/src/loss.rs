@@ -1,0 +1,74 @@
+use crate::{Matrix, NnError};
+
+/// Training loss functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Loss {
+    /// Mean squared error over all entries.
+    #[default]
+    MeanSquaredError,
+}
+
+impl Loss {
+    /// Loss value for predictions `y_hat` against targets `y`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] if the shapes differ.
+    pub fn value(&self, y_hat: &Matrix, y: &Matrix) -> Result<f64, NnError> {
+        match self {
+            Loss::MeanSquaredError => Ok(y_hat.sub(y)?.mean_square()),
+        }
+    }
+
+    /// Gradient `∂L/∂y_hat`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] if the shapes differ.
+    pub fn gradient(&self, y_hat: &Matrix, y: &Matrix) -> Result<Matrix, NnError> {
+        match self {
+            Loss::MeanSquaredError => {
+                let n = (y.rows() * y.cols()) as f64;
+                Ok(y_hat.sub(y)?.scale(2.0 / n))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_of_equal_is_zero() {
+        let y = Matrix::from_rows(&[&[1.0, 2.0]]).unwrap();
+        assert_eq!(Loss::MeanSquaredError.value(&y, &y).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn mse_known_value() {
+        let y_hat = Matrix::from_rows(&[&[1.0], &[3.0]]).unwrap();
+        let y = Matrix::from_rows(&[&[0.0], &[0.0]]).unwrap();
+        assert_eq!(Loss::MeanSquaredError.value(&y_hat, &y).unwrap(), 5.0);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let y_hat = Matrix::from_rows(&[&[0.5, -1.0], &[2.0, 0.0]]).unwrap();
+        let y = Matrix::from_rows(&[&[0.0, 1.0], &[1.5, -0.5]]).unwrap();
+        let g = Loss::MeanSquaredError.gradient(&y_hat, &y).unwrap();
+        let h = 1e-6;
+        for r in 0..2 {
+            for c in 0..2 {
+                let mut p = y_hat.clone();
+                p.set(r, c, y_hat.get(r, c) + h);
+                let mut m = y_hat.clone();
+                m.set(r, c, y_hat.get(r, c) - h);
+                let fd = (Loss::MeanSquaredError.value(&p, &y).unwrap()
+                    - Loss::MeanSquaredError.value(&m, &y).unwrap())
+                    / (2.0 * h);
+                assert!((g.get(r, c) - fd).abs() < 1e-6);
+            }
+        }
+    }
+}

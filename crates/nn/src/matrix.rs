@@ -1,0 +1,400 @@
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::NnError;
+
+/// Dense row-major matrix of `f64`.
+///
+/// Rows are samples, columns are features throughout this crate. Only the
+/// operations backprop needs are provided; everything validates shapes and
+/// returns [`NnError::ShapeMismatch`] on misuse.
+///
+/// # Example
+///
+/// ```
+/// use cv_nn::Matrix;
+///
+/// let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]])?;
+/// let b = Matrix::from_rows(&[&[1.0], &[1.0]])?;
+/// let c = a.matmul(&b)?;
+/// assert_eq!(c.get(0, 0), 3.0);
+/// assert_eq!(c.get(1, 0), 7.0);
+/// # Ok::<(), cv_nn::NnError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// A `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Builds a matrix by evaluating `f(row, col)` at every entry.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = Self::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m.data[r * cols + c] = f(r, c);
+            }
+        }
+        m
+    }
+
+    /// Builds a matrix from row slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] if the rows have differing lengths
+    /// or the input is empty.
+    pub fn from_rows(rows: &[&[f64]]) -> Result<Self, NnError> {
+        let Some(first) = rows.first() else {
+            return Err(NnError::ShapeMismatch {
+                context: "from_rows: empty input".into(),
+            });
+        };
+        let cols = first.len();
+        if cols == 0 || rows.iter().any(|r| r.len() != cols) {
+            return Err(NnError::ShapeMismatch {
+                context: "from_rows: ragged or empty rows".into(),
+            });
+        }
+        Ok(Self {
+            rows: rows.len(),
+            cols,
+            data: rows.iter().flat_map(|r| r.iter().copied()).collect(),
+        })
+    }
+
+    /// Builds a matrix from a flat row-major vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self, NnError> {
+        if data.len() != rows * cols {
+            return Err(NnError::ShapeMismatch {
+                context: format!("from_vec: {} values for {rows}x{cols}", data.len()),
+            });
+        }
+        Ok(Self { rows, cols, data })
+    }
+
+    /// Xavier/Glorot-uniform initialisation for a `fan_in × fan_out` weight
+    /// matrix, seeded for reproducibility.
+    pub fn xavier_uniform(fan_in: usize, fan_out: usize, rng: &mut StdRng) -> Self {
+        let bound = (6.0 / (fan_in + fan_out) as f64).sqrt();
+        Self::from_fn(fan_in, fan_out, |_, _| rng.random_range(-bound..=bound))
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Entry at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        self.data[row * self.cols + col]
+    }
+
+    /// Sets the entry at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn set(&mut self, row: usize, col: usize, value: f64) {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        self.data[row * self.cols + col] = value;
+    }
+
+    /// Borrows row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn row(&self, r: usize) -> &[f64] {
+        assert!(r < self.rows, "row out of bounds");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// The flat row-major data.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Matrix product `self · other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] if `self.cols != other.rows`.
+    pub fn matmul(&self, other: &Matrix) -> Result<Matrix, NnError> {
+        if self.cols != other.rows {
+            return Err(NnError::ShapeMismatch {
+                context: format!(
+                    "matmul: {}x{} * {}x{}",
+                    self.rows, self.cols, other.rows, other.cols
+                ),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let aik = self.data[i * self.cols + k];
+                if aik == 0.0 {
+                    continue;
+                }
+                let orow = &other.data[k * other.cols..(k + 1) * other.cols];
+                let crow = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                for (c, o) in crow.iter_mut().zip(orow) {
+                    *c += aik * o;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.rows, |r, c| self.get(c, r))
+    }
+
+    /// Element-wise sum.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] on differing shapes.
+    pub fn add(&self, other: &Matrix) -> Result<Matrix, NnError> {
+        self.zip_with(other, "add", |a, b| a + b)
+    }
+
+    /// Element-wise difference.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] on differing shapes.
+    pub fn sub(&self, other: &Matrix) -> Result<Matrix, NnError> {
+        self.zip_with(other, "sub", |a, b| a - b)
+    }
+
+    /// Element-wise (Hadamard) product.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] on differing shapes.
+    pub fn hadamard(&self, other: &Matrix) -> Result<Matrix, NnError> {
+        self.zip_with(other, "hadamard", |a, b| a * b)
+    }
+
+    fn zip_with(
+        &self,
+        other: &Matrix,
+        op: &str,
+        f: impl Fn(f64, f64) -> f64,
+    ) -> Result<Matrix, NnError> {
+        if self.rows != other.rows || self.cols != other.cols {
+            return Err(NnError::ShapeMismatch {
+                context: format!(
+                    "{op}: {}x{} vs {}x{}",
+                    self.rows, self.cols, other.rows, other.cols
+                ),
+            });
+        }
+        Ok(Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(a, b)| f(*a, *b))
+                .collect(),
+        })
+    }
+
+    /// Applies `f` to every entry.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|x| f(*x)).collect(),
+        }
+    }
+
+    /// Multiplies every entry by `k`.
+    pub fn scale(&self, k: f64) -> Matrix {
+        self.map(|x| x * k)
+    }
+
+    /// Adds the row vector `bias` (length `cols`) to every row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] if `bias.len() != cols`.
+    pub fn add_row_broadcast(&self, bias: &[f64]) -> Result<Matrix, NnError> {
+        if bias.len() != self.cols {
+            return Err(NnError::ShapeMismatch {
+                context: format!("add_row_broadcast: bias {} vs cols {}", bias.len(), self.cols),
+            });
+        }
+        let mut out = self.clone();
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[r * self.cols + c] += bias[c];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Sums each column into a length-`cols` vector.
+    pub fn column_sums(&self) -> Vec<f64> {
+        let mut sums = vec![0.0; self.cols];
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                sums[c] += self.data[r * self.cols + c];
+            }
+        }
+        sums
+    }
+
+    /// Selects the given rows into a new matrix (for mini-batching).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn select_rows(&self, indices: &[usize]) -> Matrix {
+        Matrix::from_fn(indices.len(), self.cols, |r, c| self.get(indices[r], c))
+    }
+
+    /// Mean of the squares of all entries (used for MSE).
+    pub fn mean_square(&self) -> f64 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.data.iter().map(|x| x * x).sum::<f64>() / self.data.len() as f64
+        }
+    }
+}
+
+impl std::fmt::Display for Matrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Matrix {}x{}:", self.rows, self.cols)?;
+        for r in 0..self.rows.min(8) {
+            write!(f, "  [")?;
+            for c in 0..self.cols.min(8) {
+                write!(f, " {:9.4}", self.get(r, c))?;
+            }
+            writeln!(f, " ]")?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  ...")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]).unwrap();
+        let b = Matrix::from_rows(&[&[7.0, 8.0], &[9.0, 10.0], &[11.0, 12.0]]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.get(0, 0), 58.0);
+        assert_eq!(c.get(0, 1), 64.0);
+        assert_eq!(c.get(1, 0), 139.0);
+        assert_eq!(c.get(1, 1), 154.0);
+    }
+
+    #[test]
+    fn matmul_shape_mismatch_errors() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        assert!(matches!(a.matmul(&b), Err(NnError::ShapeMismatch { .. })));
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged() {
+        assert!(Matrix::from_rows(&[&[1.0, 2.0], &[3.0][..]]).is_err());
+        assert!(Matrix::from_rows(&[]).is_err());
+    }
+
+    #[test]
+    fn broadcast_and_column_sums() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let b = m.add_row_broadcast(&[10.0, 20.0]).unwrap();
+        assert_eq!(b.get(0, 0), 11.0);
+        assert_eq!(b.get(1, 1), 24.0);
+        assert_eq!(m.column_sums(), vec![4.0, 6.0]);
+    }
+
+    #[test]
+    fn select_rows_picks_batch() {
+        let m = Matrix::from_rows(&[&[1.0], &[2.0], &[3.0]]).unwrap();
+        let batch = m.select_rows(&[2, 0]);
+        assert_eq!(batch.get(0, 0), 3.0);
+        assert_eq!(batch.get(1, 0), 1.0);
+    }
+
+    #[test]
+    fn xavier_bound_is_respected() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let m = Matrix::xavier_uniform(10, 10, &mut rng);
+        let bound = (6.0 / 20.0f64).sqrt();
+        assert!(m.as_slice().iter().all(|x| x.abs() <= bound));
+        // Not all zeros.
+        assert!(m.as_slice().iter().any(|x| x.abs() > 1e-6));
+    }
+
+    proptest! {
+        #[test]
+        fn transpose_is_involution(rows in 1usize..6, cols in 1usize..6, seed in 0u64..100) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let m = Matrix::from_fn(rows, cols, |_, _| rng.random_range(-1.0..1.0));
+            prop_assert_eq!(m.transpose().transpose(), m);
+        }
+
+        #[test]
+        fn matmul_associative(seed in 0u64..50) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let a = Matrix::from_fn(3, 4, |_, _| rng.random_range(-1.0..1.0));
+            let b = Matrix::from_fn(4, 2, |_, _| rng.random_range(-1.0..1.0));
+            let c = Matrix::from_fn(2, 5, |_, _| rng.random_range(-1.0..1.0));
+            let left = a.matmul(&b).unwrap().matmul(&c).unwrap();
+            let right = a.matmul(&b.matmul(&c).unwrap()).unwrap();
+            for (x, y) in left.as_slice().iter().zip(right.as_slice()) {
+                prop_assert!((x - y).abs() < 1e-10);
+            }
+        }
+
+        #[test]
+        fn add_commutes(seed in 0u64..50) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let a = Matrix::from_fn(3, 3, |_, _| rng.random_range(-1.0..1.0));
+            let b = Matrix::from_fn(3, 3, |_, _| rng.random_range(-1.0..1.0));
+            prop_assert_eq!(a.add(&b).unwrap(), b.add(&a).unwrap());
+        }
+    }
+}

@@ -1,0 +1,303 @@
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::layer::DenseCache;
+use crate::{Activation, Dense, Matrix, NnError};
+
+/// A multilayer perceptron: a stack of [`Dense`] layers.
+///
+/// The planners in the paper's case study are small MLPs over the five
+/// scenario inputs `(t, p_0, v_0, τ_1,min, τ_1,max)` producing one
+/// acceleration output.
+///
+/// # Example
+///
+/// ```
+/// use cv_nn::{Activation, Matrix, Mlp};
+///
+/// let net = Mlp::new(&[5, 16, 16, 1], Activation::Tanh, Activation::Identity, 7)?;
+/// assert_eq!(net.input_dim(), 5);
+/// assert_eq!(net.output_dim(), 1);
+/// let y = net.forward(&Matrix::zeros(3, 5))?;
+/// assert_eq!((y.rows(), y.cols()), (3, 1));
+/// # Ok::<(), cv_nn::NnError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mlp {
+    layers: Vec<Dense>,
+}
+
+impl Mlp {
+    /// Creates an MLP with layer sizes `sizes` (at least `[in, out]`),
+    /// `hidden` activation on all but the last layer, and `output`
+    /// activation on the last layer. Weights are Xavier-initialised from
+    /// `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidArchitecture`] if `sizes.len() < 2` or any
+    /// size is zero.
+    pub fn new(
+        sizes: &[usize],
+        hidden: Activation,
+        output: Activation,
+        seed: u64,
+    ) -> Result<Self, NnError> {
+        if sizes.len() < 2 || sizes.iter().any(|&s| s == 0) {
+            return Err(NnError::InvalidArchitecture);
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let layers = sizes
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| {
+                let act = if i + 2 == sizes.len() { output } else { hidden };
+                Dense::new(w[0], w[1], act, &mut rng)
+            })
+            .collect();
+        Ok(Self { layers })
+    }
+
+    /// Builds an MLP from explicit layers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidArchitecture`] if empty, or
+    /// [`NnError::ShapeMismatch`] if consecutive layer dims disagree.
+    pub fn from_layers(layers: Vec<Dense>) -> Result<Self, NnError> {
+        if layers.is_empty() {
+            return Err(NnError::InvalidArchitecture);
+        }
+        for pair in layers.windows(2) {
+            if pair[0].out_dim() != pair[1].in_dim() {
+                return Err(NnError::ShapeMismatch {
+                    context: format!(
+                        "layer boundary {} -> {}",
+                        pair[0].out_dim(),
+                        pair[1].in_dim()
+                    ),
+                });
+            }
+        }
+        Ok(Self { layers })
+    }
+
+    /// Input dimension.
+    pub fn input_dim(&self) -> usize {
+        self.layers[0].in_dim()
+    }
+
+    /// Output dimension.
+    pub fn output_dim(&self) -> usize {
+        self.layers.last().expect("nonempty").out_dim()
+    }
+
+    /// The layers, in order.
+    pub fn layers(&self) -> &[Dense] {
+        &self.layers
+    }
+
+    /// Mutable access for the trainer.
+    pub(crate) fn layers_mut(&mut self) -> &mut [Dense] {
+        &mut self.layers
+    }
+
+    /// Total number of trainable parameters.
+    pub fn num_params(&self) -> usize {
+        self.layers.iter().map(Dense::num_params).sum()
+    }
+
+    /// Batch forward pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] if `x.cols() != input_dim`.
+    pub fn forward(&self, x: &Matrix) -> Result<Matrix, NnError> {
+        let mut cur = x.clone();
+        for layer in &self.layers {
+            cur = layer.forward(&cur)?;
+        }
+        Ok(cur)
+    }
+
+    /// Convenience single-sample inference.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] if `input.len() != input_dim`.
+    pub fn predict(&self, input: &[f64]) -> Result<Vec<f64>, NnError> {
+        let x = Matrix::from_vec(1, input.len(), input.to_vec())?;
+        Ok(self.forward(&x)?.as_slice().to_vec())
+    }
+
+    /// Forward pass retaining per-layer caches for backprop.
+    pub(crate) fn forward_cached(&self, x: &Matrix) -> Result<(Matrix, Vec<DenseCache>), NnError> {
+        let mut cur = x.clone();
+        let mut caches = Vec::with_capacity(self.layers.len());
+        for layer in &self.layers {
+            let (out, cache) = layer.forward_cached(&cur)?;
+            caches.push(cache);
+            cur = out;
+        }
+        Ok((cur, caches))
+    }
+
+    /// Serializes architecture + weights to a plain-text format.
+    ///
+    /// Format: one header line `mlp <n_layers>`, then per layer a line
+    /// `layer <in> <out> <activation>` followed by `in` lines of `out`
+    /// weights and one line of `out` biases.
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(s, "mlp {}", self.layers.len());
+        for l in &self.layers {
+            let _ = writeln!(s, "layer {} {} {}", l.in_dim(), l.out_dim(), l.activation());
+            for r in 0..l.in_dim() {
+                let row: Vec<String> = (0..l.out_dim())
+                    .map(|c| format!("{:e}", l.weights().get(r, c)))
+                    .collect();
+                let _ = writeln!(s, "{}", row.join(" "));
+            }
+            let bias: Vec<String> = l.bias().iter().map(|b| format!("{b:e}")).collect();
+            let _ = writeln!(s, "{}", bias.join(" "));
+        }
+        s
+    }
+
+    /// Parses the format produced by [`Mlp::to_text`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ParseWeights`] on any malformed input.
+    pub fn from_text(text: &str) -> Result<Self, NnError> {
+        let err = |context: &str| NnError::ParseWeights {
+            context: context.to_string(),
+        };
+        let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+        let header = lines.next().ok_or_else(|| err("empty input"))?;
+        let n_layers: usize = header
+            .strip_prefix("mlp ")
+            .and_then(|n| n.trim().parse().ok())
+            .ok_or_else(|| err("bad header"))?;
+        let mut layers = Vec::with_capacity(n_layers);
+        for _ in 0..n_layers {
+            let decl = lines.next().ok_or_else(|| err("missing layer header"))?;
+            let mut parts = decl.split_whitespace();
+            if parts.next() != Some("layer") {
+                return Err(err("expected 'layer'"));
+            }
+            let in_dim: usize = parts
+                .next()
+                .and_then(|p| p.parse().ok())
+                .ok_or_else(|| err("bad in_dim"))?;
+            let out_dim: usize = parts
+                .next()
+                .and_then(|p| p.parse().ok())
+                .ok_or_else(|| err("bad out_dim"))?;
+            let act = parts
+                .next()
+                .and_then(Activation::from_name)
+                .ok_or_else(|| err("bad activation"))?;
+            let mut weights = Matrix::zeros(in_dim, out_dim);
+            for r in 0..in_dim {
+                let row = lines.next().ok_or_else(|| err("missing weight row"))?;
+                let vals: Vec<f64> = row
+                    .split_whitespace()
+                    .map(|v| v.parse::<f64>())
+                    .collect::<Result<_, _>>()
+                    .map_err(|_| err("bad weight value"))?;
+                if vals.len() != out_dim {
+                    return Err(err("weight row length"));
+                }
+                for (c, v) in vals.iter().enumerate() {
+                    weights.set(r, c, *v);
+                }
+            }
+            let brow = lines.next().ok_or_else(|| err("missing bias row"))?;
+            let bias: Vec<f64> = brow
+                .split_whitespace()
+                .map(|v| v.parse::<f64>())
+                .collect::<Result<_, _>>()
+                .map_err(|_| err("bad bias value"))?;
+            if bias.len() != out_dim {
+                return Err(err("bias row length"));
+            }
+            layers.push(Dense::from_parts(weights, bias, act).map_err(|e| NnError::ParseWeights {
+                context: e.to_string(),
+            })?);
+        }
+        Self::from_layers(layers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn architecture_validation() {
+        assert!(Mlp::new(&[5], Activation::Tanh, Activation::Identity, 0).is_err());
+        assert!(Mlp::new(&[5, 0, 1], Activation::Tanh, Activation::Identity, 0).is_err());
+        assert!(Mlp::new(&[5, 1], Activation::Tanh, Activation::Identity, 0).is_ok());
+    }
+
+    #[test]
+    fn output_layer_uses_output_activation() {
+        let net = Mlp::new(&[2, 4, 1], Activation::Relu, Activation::Identity, 0).unwrap();
+        assert_eq!(net.layers()[0].activation(), Activation::Relu);
+        assert_eq!(net.layers()[1].activation(), Activation::Identity);
+    }
+
+    #[test]
+    fn predict_matches_forward() {
+        let net = Mlp::new(&[3, 8, 2], Activation::Tanh, Activation::Identity, 9).unwrap();
+        let input = [0.1, -0.2, 0.3];
+        let y1 = net.predict(&input).unwrap();
+        let y2 = net
+            .forward(&Matrix::from_rows(&[&input]).unwrap())
+            .unwrap();
+        assert_eq!(y1, y2.as_slice());
+    }
+
+    #[test]
+    fn same_seed_same_network() {
+        let a = Mlp::new(&[4, 8, 1], Activation::Tanh, Activation::Identity, 5).unwrap();
+        let b = Mlp::new(&[4, 8, 1], Activation::Tanh, Activation::Identity, 5).unwrap();
+        assert_eq!(a, b);
+        let c = Mlp::new(&[4, 8, 1], Activation::Tanh, Activation::Identity, 6).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn text_roundtrip_is_exact() {
+        let net = Mlp::new(&[5, 16, 8, 1], Activation::Tanh, Activation::Identity, 3).unwrap();
+        let text = net.to_text();
+        let back = Mlp::from_text(&text).unwrap();
+        assert_eq!(net, back);
+    }
+
+    #[test]
+    fn from_text_rejects_garbage() {
+        assert!(Mlp::from_text("").is_err());
+        assert!(Mlp::from_text("mlp x").is_err());
+        assert!(Mlp::from_text("mlp 1\nlayer 2 1 bogus\n0 0\n0\n").is_err());
+        assert!(Mlp::from_text("mlp 1\nlayer 2 1 tanh\n0\n0\n").is_err());
+    }
+
+    #[test]
+    fn from_layers_checks_boundaries() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let l1 = Dense::new(2, 3, Activation::Tanh, &mut rng);
+        let l2 = Dense::new(4, 1, Activation::Identity, &mut rng);
+        assert!(Mlp::from_layers(vec![l1, l2]).is_err());
+        assert!(Mlp::from_layers(vec![]).is_err());
+    }
+
+    #[test]
+    fn num_params_is_summed() {
+        let net = Mlp::new(&[5, 16, 1], Activation::Tanh, Activation::Identity, 0).unwrap();
+        assert_eq!(net.num_params(), 5 * 16 + 16 + 16 + 1);
+    }
+}

@@ -1,0 +1,164 @@
+use crate::{Matrix, NnError};
+
+/// Gradient-descent optimizers.
+///
+/// Construct with [`Optimizer::sgd`] or [`Optimizer::adam`]; the [`crate::Trainer`]
+/// owns the per-parameter state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Optimizer {
+    /// Plain stochastic gradient descent.
+    Sgd {
+        /// Learning rate.
+        lr: f64,
+    },
+    /// Adam (Kingma & Ba) with bias-corrected moments.
+    Adam {
+        /// Learning rate.
+        lr: f64,
+        /// First-moment decay (default 0.9).
+        beta1: f64,
+        /// Second-moment decay (default 0.999).
+        beta2: f64,
+        /// Numerical floor (default 1e-8).
+        eps: f64,
+    },
+}
+
+impl Optimizer {
+    /// Plain SGD with learning rate `lr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr <= 0`.
+    pub fn sgd(lr: f64) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive, got {lr}");
+        Optimizer::Sgd { lr }
+    }
+
+    /// Adam with default betas and learning rate `lr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr <= 0`.
+    pub fn adam(lr: f64) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive, got {lr}");
+        Optimizer::Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+        }
+    }
+}
+
+/// Per-layer optimizer state (Adam moments; empty for SGD).
+#[derive(Debug, Clone)]
+pub(crate) struct LayerOptState {
+    mw: Matrix,
+    vw: Matrix,
+    mb: Vec<f64>,
+    vb: Vec<f64>,
+    step: u64,
+}
+
+impl LayerOptState {
+    pub(crate) fn new(in_dim: usize, out_dim: usize) -> Self {
+        Self {
+            mw: Matrix::zeros(in_dim, out_dim),
+            vw: Matrix::zeros(in_dim, out_dim),
+            mb: vec![0.0; out_dim],
+            vb: vec![0.0; out_dim],
+            step: 0,
+        }
+    }
+
+    /// Computes the additive parameter update for the given gradients.
+    pub(crate) fn update(
+        &mut self,
+        opt: &Optimizer,
+        d_weights: &Matrix,
+        d_bias: &[f64],
+    ) -> Result<(Matrix, Vec<f64>), NnError> {
+        match *opt {
+            Optimizer::Sgd { lr } => Ok((
+                d_weights.scale(-lr),
+                d_bias.iter().map(|g| -lr * g).collect(),
+            )),
+            Optimizer::Adam {
+                lr,
+                beta1,
+                beta2,
+                eps,
+            } => {
+                self.step += 1;
+                let t = self.step as f64;
+                let bc1 = 1.0 - beta1.powf(t);
+                let bc2 = 1.0 - beta2.powf(t);
+
+                self.mw = self.mw.scale(beta1).add(&d_weights.scale(1.0 - beta1))?;
+                self.vw = self
+                    .vw
+                    .scale(beta2)
+                    .add(&d_weights.hadamard(d_weights)?.scale(1.0 - beta2))?;
+                let dw = Matrix::from_fn(d_weights.rows(), d_weights.cols(), |r, c| {
+                    let m_hat = self.mw.get(r, c) / bc1;
+                    let v_hat = self.vw.get(r, c) / bc2;
+                    -lr * m_hat / (v_hat.sqrt() + eps)
+                });
+
+                let mut db = vec![0.0; d_bias.len()];
+                for (i, g) in d_bias.iter().enumerate() {
+                    self.mb[i] = beta1 * self.mb[i] + (1.0 - beta1) * g;
+                    self.vb[i] = beta2 * self.vb[i] + (1.0 - beta2) * g * g;
+                    let m_hat = self.mb[i] / bc1;
+                    let v_hat = self.vb[i] / bc2;
+                    db[i] = -lr * m_hat / (v_hat.sqrt() + eps);
+                }
+                Ok((dw, db))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sgd_update_is_negative_scaled_gradient() {
+        let mut st = LayerOptState::new(1, 1);
+        let g = Matrix::from_rows(&[&[2.0]]).unwrap();
+        let (dw, db) = st.update(&Optimizer::sgd(0.1), &g, &[4.0]).unwrap();
+        assert!((dw.get(0, 0) + 0.2).abs() < 1e-12);
+        assert!((db[0] + 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adam_first_step_is_lr_sized() {
+        // With bias correction, the very first Adam step is ≈ lr * sign(g).
+        let mut st = LayerOptState::new(1, 1);
+        let g = Matrix::from_rows(&[&[0.3]]).unwrap();
+        let (dw, _) = st.update(&Optimizer::adam(0.01), &g, &[0.0]).unwrap();
+        assert!((dw.get(0, 0) + 0.01).abs() < 1e-6, "{}", dw.get(0, 0));
+    }
+
+    #[test]
+    fn adam_steps_shrink_with_consistent_gradient() {
+        let mut st = LayerOptState::new(1, 1);
+        let g = Matrix::from_rows(&[&[1.0]]).unwrap();
+        let opt = Optimizer::adam(0.01);
+        let mut last = f64::MAX;
+        for _ in 0..5 {
+            let (dw, _) = st.update(&opt, &g, &[0.0]).unwrap();
+            let mag = dw.get(0, 0).abs();
+            assert!(mag <= last + 1e-12);
+            last = mag;
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn nonpositive_lr_panics() {
+        let _ = Optimizer::sgd(0.0);
+    }
+}

@@ -1,0 +1,292 @@
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::optimizer::LayerOptState;
+use crate::{Loss, Matrix, Mlp, NnError, Optimizer};
+
+/// Training hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainConfig {
+    /// Number of full passes over the data (an upper bound when early
+    /// stopping is enabled).
+    pub epochs: usize,
+    /// Mini-batch size (clamped to the dataset size).
+    pub batch_size: usize,
+    /// Shuffling seed.
+    pub seed: u64,
+    /// Loss function.
+    pub loss: Loss,
+    /// Fraction of the data held out for validation (0 disables).
+    pub validation_fraction: f64,
+    /// Early stopping: abort after this many epochs without validation
+    /// improvement and restore the best weights. Requires
+    /// `validation_fraction > 0`.
+    pub patience: Option<usize>,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 100,
+            batch_size: 64,
+            seed: 0,
+            loss: Loss::MeanSquaredError,
+            validation_fraction: 0.0,
+            patience: None,
+        }
+    }
+}
+
+/// Mini-batch gradient-descent trainer for [`Mlp`]s.
+///
+/// # Example
+///
+/// ```
+/// use cv_nn::{Activation, Matrix, Mlp, Optimizer, TrainConfig, Trainer};
+///
+/// // Fit XOR.
+/// let x = Matrix::from_rows(&[&[0., 0.], &[0., 1.], &[1., 0.], &[1., 1.]])?;
+/// let y = Matrix::from_rows(&[&[0.], &[1.], &[1.], &[0.]])?;
+/// let mut net = Mlp::new(&[2, 8, 1], Activation::Tanh, Activation::Identity, 1)?;
+/// let cfg = TrainConfig { epochs: 500, batch_size: 4, ..TrainConfig::default() };
+/// let history = Trainer::new(Optimizer::adam(0.05), cfg).fit(&mut net, &x, &y)?;
+/// assert!(history.last().unwrap() < &0.05);
+/// # Ok::<(), cv_nn::NnError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Trainer {
+    optimizer: Optimizer,
+    config: TrainConfig,
+}
+
+impl Trainer {
+    /// Creates a trainer.
+    pub fn new(optimizer: Optimizer, config: TrainConfig) -> Self {
+        Self { optimizer, config }
+    }
+
+    /// The configured optimizer.
+    pub fn optimizer(&self) -> Optimizer {
+        self.optimizer
+    }
+
+    /// The configured hyperparameters.
+    pub fn config(&self) -> TrainConfig {
+        self.config
+    }
+
+    /// Trains `net` on inputs `x` (N×in) and targets `y` (N×out), returning
+    /// the per-epoch mean training loss.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidTrainingData`] if `x`/`y` row counts differ
+    /// or the dataset is empty, and [`NnError::ShapeMismatch`] if the column
+    /// counts do not match the network.
+    pub fn fit(&self, net: &mut Mlp, x: &Matrix, y: &Matrix) -> Result<Vec<f64>, NnError> {
+        if x.rows() == 0 {
+            return Err(NnError::InvalidTrainingData {
+                context: "empty dataset".into(),
+            });
+        }
+        if x.rows() != y.rows() {
+            return Err(NnError::InvalidTrainingData {
+                context: format!("{} inputs vs {} targets", x.rows(), y.rows()),
+            });
+        }
+        if !(0.0..1.0).contains(&self.config.validation_fraction) {
+            return Err(NnError::InvalidTrainingData {
+                context: format!(
+                    "validation fraction {} not in [0, 1)",
+                    self.config.validation_fraction
+                ),
+            });
+        }
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+
+        // Optional validation hold-out (deterministic shuffle, tail split).
+        let early_stopping = self.config.patience.is_some() && self.config.validation_fraction > 0.0;
+        let mut all: Vec<usize> = (0..x.rows()).collect();
+        let (train_idx, val_idx): (Vec<usize>, Vec<usize>) = if early_stopping {
+            all.shuffle(&mut rng);
+            let val_n = ((x.rows() as f64 * self.config.validation_fraction) as usize)
+                .clamp(1, x.rows() - 1);
+            let split = x.rows() - val_n;
+            (all[..split].to_vec(), all[split..].to_vec())
+        } else {
+            (all, Vec::new())
+        };
+        let (x_val, y_val) = if early_stopping {
+            (x.select_rows(&val_idx), y.select_rows(&val_idx))
+        } else {
+            (Matrix::zeros(0, 0), Matrix::zeros(0, 0))
+        };
+
+        let batch = self.config.batch_size.clamp(1, train_idx.len().max(1));
+        let mut states: Vec<LayerOptState> = net
+            .layers()
+            .iter()
+            .map(|l| LayerOptState::new(l.in_dim(), l.out_dim()))
+            .collect();
+        let mut order = train_idx;
+        let mut history = Vec::with_capacity(self.config.epochs);
+        let mut best: Option<(f64, Mlp)> = None;
+        let mut stale_epochs = 0usize;
+
+        for _ in 0..self.config.epochs {
+            order.shuffle(&mut rng);
+            let mut epoch_loss = 0.0;
+            let mut batches = 0usize;
+            for chunk in order.chunks(batch) {
+                let xb = x.select_rows(chunk);
+                let yb = y.select_rows(chunk);
+                let (pred, caches) = net.forward_cached(&xb)?;
+                epoch_loss += self.config.loss.value(&pred, &yb)?;
+                batches += 1;
+                let mut grad = self.config.loss.gradient(&pred, &yb)?;
+                // Backward through the stack, updating as we go.
+                for (idx, cache) in caches.iter().enumerate().rev() {
+                    let layer = &net.layers()[idx];
+                    let (d_input, grads) = layer.backward(cache, &grad)?;
+                    let (dw, db) =
+                        states[idx].update(&self.optimizer, &grads.d_weights, &grads.d_bias)?;
+                    net.layers_mut()[idx].apply_update(&dw, &db)?;
+                    grad = d_input;
+                }
+            }
+            history.push(epoch_loss / batches.max(1) as f64);
+
+            if early_stopping {
+                let val_loss = self.config.loss.value(&net.forward(&x_val)?, &y_val)?;
+                let improved = best.as_ref().map_or(true, |(b, _)| val_loss < *b);
+                if improved {
+                    best = Some((val_loss, net.clone()));
+                    stale_epochs = 0;
+                } else {
+                    stale_epochs += 1;
+                    if stale_epochs >= self.config.patience.expect("early stopping") {
+                        break;
+                    }
+                }
+            }
+        }
+        if let Some((_, best_net)) = best {
+            *net = best_net; // restore the best validation weights
+        }
+        Ok(history)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Activation;
+
+    fn toy_regression() -> (Matrix, Matrix) {
+        // y = sin(2x) on [-1, 1].
+        let n = 64;
+        let xs: Vec<f64> = (0..n).map(|i| -1.0 + 2.0 * i as f64 / (n - 1) as f64).collect();
+        let x = Matrix::from_vec(n, 1, xs.clone()).unwrap();
+        let y = Matrix::from_vec(n, 1, xs.iter().map(|v| (2.0 * v).sin()).collect()).unwrap();
+        (x, y)
+    }
+
+    #[test]
+    fn loss_decreases_on_regression_task() {
+        let (x, y) = toy_regression();
+        let mut net = Mlp::new(&[1, 16, 16, 1], Activation::Tanh, Activation::Identity, 2).unwrap();
+        let cfg = TrainConfig {
+            epochs: 150,
+            batch_size: 16,
+            ..TrainConfig::default()
+        };
+        let hist = Trainer::new(Optimizer::adam(0.01), cfg).fit(&mut net, &x, &y).unwrap();
+        assert!(hist[0] > *hist.last().unwrap());
+        assert!(*hist.last().unwrap() < 0.01, "final loss {}", hist.last().unwrap());
+    }
+
+    #[test]
+    fn sgd_also_learns() {
+        let (x, y) = toy_regression();
+        let mut net = Mlp::new(&[1, 16, 1], Activation::Tanh, Activation::Identity, 4).unwrap();
+        let cfg = TrainConfig {
+            epochs: 300,
+            batch_size: 16,
+            ..TrainConfig::default()
+        };
+        let hist = Trainer::new(Optimizer::sgd(0.05), cfg).fit(&mut net, &x, &y).unwrap();
+        assert!(*hist.last().unwrap() < hist[0]);
+    }
+
+    #[test]
+    fn training_is_deterministic_given_seeds() {
+        let (x, y) = toy_regression();
+        let run = || {
+            let mut net =
+                Mlp::new(&[1, 8, 1], Activation::Tanh, Activation::Identity, 3).unwrap();
+            let cfg = TrainConfig {
+                epochs: 20,
+                batch_size: 8,
+                seed: 11,
+                ..TrainConfig::default()
+            };
+            Trainer::new(Optimizer::adam(0.01), cfg).fit(&mut net, &x, &y).unwrap();
+            net
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn early_stopping_halts_before_the_epoch_budget() {
+        let (x, y) = toy_regression();
+        let mut net = Mlp::new(&[1, 16, 1], Activation::Tanh, Activation::Identity, 6).unwrap();
+        let cfg = TrainConfig {
+            epochs: 2000,
+            batch_size: 16,
+            validation_fraction: 0.25,
+            patience: Some(8),
+            ..TrainConfig::default()
+        };
+        let hist = Trainer::new(Optimizer::adam(0.01), cfg).fit(&mut net, &x, &y).unwrap();
+        assert!(
+            hist.len() < 2000,
+            "early stopping never fired ({} epochs)",
+            hist.len()
+        );
+        assert!(*hist.last().unwrap() < hist[0]);
+    }
+
+    #[test]
+    fn invalid_validation_fraction_errors() {
+        let (x, y) = toy_regression();
+        let mut net = Mlp::new(&[1, 8, 1], Activation::Tanh, Activation::Identity, 0).unwrap();
+        let cfg = TrainConfig {
+            validation_fraction: 1.5,
+            patience: Some(3),
+            ..TrainConfig::default()
+        };
+        let res = Trainer::new(Optimizer::adam(0.01), cfg).fit(&mut net, &x, &y);
+        assert!(matches!(res, Err(NnError::InvalidTrainingData { .. })));
+    }
+
+    #[test]
+    fn mismatched_data_errors() {
+        let x = Matrix::zeros(4, 2);
+        let y = Matrix::zeros(3, 1);
+        let mut net = Mlp::new(&[2, 4, 1], Activation::Tanh, Activation::Identity, 0).unwrap();
+        let res = Trainer::new(Optimizer::adam(0.01), TrainConfig::default())
+            .fit(&mut net, &x, &y);
+        assert!(matches!(res, Err(NnError::InvalidTrainingData { .. })));
+    }
+
+    #[test]
+    fn empty_data_errors() {
+        let x = Matrix::zeros(0, 2);
+        let y = Matrix::zeros(0, 1);
+        let mut net = Mlp::new(&[2, 4, 1], Activation::Tanh, Activation::Identity, 0).unwrap();
+        let res = Trainer::new(Optimizer::adam(0.01), TrainConfig::default())
+            .fit(&mut net, &x, &y);
+        assert!(matches!(res, Err(NnError::InvalidTrainingData { .. })));
+    }
+}

@@ -1,0 +1,25 @@
+//! Planner implementations: analytic teacher policies and NN-based planners.
+//!
+//! The paper's evaluation needs two flavours of neural planner (Section V-A):
+//! an *overly conservative* one (`κ_n,cons`) and an *over-aggressive* one
+//! (`κ_n,aggr`). Following the substitution documented in `DESIGN.md`, we
+//! obtain them by **behaviour cloning** two analytic [`TeacherPolicy`]
+//! instances into small MLPs ([`NnPlanner`]):
+//!
+//! * [`TeacherPolicy::conservative`] — yields unless it can clear the
+//!   conflict zone a comfortable margin before the oncoming window, and
+//!   accelerates gently. Safe but slow.
+//! * [`TeacherPolicy::aggressive`] — goes at full throttle with almost no
+//!   margin. Fast, and unsafe exactly when its (naively estimated) window is
+//!   wrong — reproducing the ≈40 % collision rate of the paper's Table II.
+//!
+//! Training data is produced by the `cv-sim` crate (closed-loop rollouts of
+//! the teachers); [`clone_behaviour`] fits the MLP.
+
+mod cloning;
+mod nn_planner;
+mod teacher;
+
+pub use cloning::{clone_behaviour, CloneConfig, Dataset};
+pub use nn_planner::{FeatureScaling, NnPlanner};
+pub use teacher::TeacherPolicy;

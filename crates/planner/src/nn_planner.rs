@@ -1,0 +1,276 @@
+use cv_dynamics::VehicleLimits;
+use cv_nn::Mlp;
+use safe_shield::{Observation, Planner};
+use serde::{Deserialize, Serialize};
+
+/// Fixed input scaling applied before the MLP.
+///
+/// The five observation features `[t, p_0, v_0, τ_rel,min, τ_rel,max]` have
+/// very different magnitudes; dividing by these constants keeps them roughly
+/// in `[−1, 1]`, which matters for tanh networks. The scales are part of the
+/// planner (serialized with it), not of the network.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FeatureScaling {
+    /// Divisor for the time feature.
+    pub time: f64,
+    /// Divisor for the position feature.
+    pub position: f64,
+    /// Divisor for the velocity feature.
+    pub velocity: f64,
+    /// Divisor for the two relative-window features.
+    pub window: f64,
+}
+
+impl FeatureScaling {
+    /// Scaling matched to the paper's left-turn geometry (tens of metres,
+    /// tens of seconds, ~10 m/s speeds).
+    pub fn left_turn() -> Self {
+        Self {
+            time: 10.0,
+            position: 30.0,
+            velocity: 12.0,
+            window: 10.0,
+        }
+    }
+
+    /// Applies the scaling to a feature vector.
+    pub fn apply(&self, features: &[f64; Observation::FEATURES]) -> [f64; Observation::FEATURES] {
+        [
+            features[0] / self.time,
+            features[1] / self.position,
+            features[2] / self.velocity,
+            features[3] / self.window,
+            features[4] / self.window,
+        ]
+    }
+}
+
+impl Default for FeatureScaling {
+    fn default() -> Self {
+        Self::left_turn()
+    }
+}
+
+/// A neural-network-based planner `κ_n`: an [`Mlp`] over the five scenario
+/// features, with its output mapped onto the ego's admissible acceleration
+/// range.
+///
+/// The network's single output `y` (trained in tanh range) is mapped
+/// affinely: `a = a_min + (y + 1)/2 · (a_max − a_min)`, then clamped. Use
+/// [`NnPlanner::accel_to_output`] to build training targets with the same
+/// convention.
+///
+/// # Example
+///
+/// ```
+/// use cv_nn::{Activation, Mlp};
+/// use cv_planner::{FeatureScaling, NnPlanner};
+/// use cv_dynamics::{VehicleLimits, VehicleState};
+/// use safe_shield::{Observation, Planner};
+///
+/// let net = Mlp::new(&[5, 16, 1], Activation::Tanh, Activation::Tanh, 0)?;
+/// let limits = VehicleLimits::new(0.0, 12.0, -6.0, 3.0)?;
+/// let mut planner = NnPlanner::new(net, limits, FeatureScaling::left_turn(), "nn-demo");
+/// let obs = Observation::new(0.0, VehicleState::new(-30.0, 8.0, 0.0), None);
+/// let accel = planner.plan(&obs);
+/// assert!((-6.0..=3.0).contains(&accel));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NnPlanner {
+    net: Mlp,
+    limits: VehicleLimits,
+    scaling: FeatureScaling,
+    name: String,
+}
+
+impl NnPlanner {
+    /// Wraps a trained network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network is not 5-in/1-out.
+    pub fn new(
+        net: Mlp,
+        limits: VehicleLimits,
+        scaling: FeatureScaling,
+        name: impl Into<String>,
+    ) -> Self {
+        assert_eq!(
+            net.input_dim(),
+            Observation::FEATURES,
+            "planner network must take {} inputs",
+            Observation::FEATURES
+        );
+        assert_eq!(net.output_dim(), 1, "planner network must have 1 output");
+        Self {
+            net,
+            limits,
+            scaling,
+            name: name.into(),
+        }
+    }
+
+    /// The wrapped network.
+    pub fn network(&self) -> &Mlp {
+        &self.net
+    }
+
+    /// The ego limits used for output mapping.
+    pub fn limits(&self) -> VehicleLimits {
+        self.limits
+    }
+
+    /// The input scaling.
+    pub fn scaling(&self) -> FeatureScaling {
+        self.scaling
+    }
+
+    /// Maps a network output in `[−1, 1]` to an acceleration.
+    pub fn output_to_accel(&self, y: f64) -> f64 {
+        let a_min = self.limits.a_min();
+        let a_max = self.limits.a_max();
+        self.limits
+            .clamp_accel(a_min + 0.5 * (y.clamp(-1.0, 1.0) + 1.0) * (a_max - a_min))
+    }
+
+    /// Inverse of [`NnPlanner::output_to_accel`] — used to build training
+    /// targets from teacher accelerations.
+    pub fn accel_to_output(limits: &VehicleLimits, accel: f64) -> f64 {
+        let a = limits.clamp_accel(accel);
+        2.0 * (a - limits.a_min()) / (limits.a_max() - limits.a_min()) - 1.0
+    }
+
+    /// Scaled feature vector for an observation (exposed for training).
+    pub fn scaled_features(
+        scaling: &FeatureScaling,
+        obs: &Observation,
+    ) -> [f64; Observation::FEATURES] {
+        scaling.apply(&obs.features())
+    }
+
+    /// Serializes the planner (scaling + limits header, then network text).
+    pub fn to_text(&self) -> String {
+        format!(
+            "nnplanner {} {} {} {} {} {} {} {} {}\n{}",
+            self.name.replace(' ', "_"),
+            self.scaling.time,
+            self.scaling.position,
+            self.scaling.velocity,
+            self.scaling.window,
+            self.limits.v_min(),
+            self.limits.v_max(),
+            self.limits.a_min(),
+            self.limits.a_max(),
+            self.net.to_text()
+        )
+    }
+
+    /// Parses the format produced by [`NnPlanner::to_text`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error string describing the malformed part.
+    pub fn from_text(text: &str) -> Result<Self, String> {
+        let (header, rest) = text
+            .split_once('\n')
+            .ok_or_else(|| "missing header line".to_string())?;
+        let parts: Vec<&str> = header.split_whitespace().collect();
+        if parts.len() != 10 || parts[0] != "nnplanner" {
+            return Err("bad nnplanner header".into());
+        }
+        let num = |i: usize| -> Result<f64, String> {
+            parts[i]
+                .parse::<f64>()
+                .map_err(|e| format!("header field {i}: {e}"))
+        };
+        let scaling = FeatureScaling {
+            time: num(2)?,
+            position: num(3)?,
+            velocity: num(4)?,
+            window: num(5)?,
+        };
+        let limits = VehicleLimits::new(num(6)?, num(7)?, num(8)?, num(9)?)
+            .map_err(|e| e.to_string())?;
+        let net = Mlp::from_text(rest).map_err(|e| e.to_string())?;
+        Ok(Self::new(net, limits, scaling, parts[1].to_string()))
+    }
+}
+
+impl Planner for NnPlanner {
+    fn plan(&mut self, obs: &Observation) -> f64 {
+        let features = self.scaling.apply(&obs.features());
+        let y = self
+            .net
+            .predict(&features)
+            .expect("network arity checked at construction")[0];
+        self.output_to_accel(y)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cv_nn::Activation;
+
+    fn limits() -> VehicleLimits {
+        VehicleLimits::new(0.0, 12.0, -6.0, 3.0).unwrap()
+    }
+
+    fn planner() -> NnPlanner {
+        let net = Mlp::new(&[5, 8, 1], Activation::Tanh, Activation::Tanh, 1).unwrap();
+        NnPlanner::new(net, limits(), FeatureScaling::left_turn(), "nn-test")
+    }
+
+    #[test]
+    fn output_mapping_roundtrips() {
+        let p = planner();
+        for a in [-6.0, -3.0, 0.0, 1.5, 3.0] {
+            let y = NnPlanner::accel_to_output(&limits(), a);
+            assert!((p.output_to_accel(y) - a).abs() < 1e-9, "accel {a}");
+        }
+        // Extremes of y map to the limit accelerations.
+        assert_eq!(p.output_to_accel(-1.0), -6.0);
+        assert_eq!(p.output_to_accel(1.0), 3.0);
+    }
+
+    #[test]
+    fn plan_is_always_within_limits() {
+        let mut p = planner();
+        for t in 0..50 {
+            let obs = Observation::new(
+                t as f64 * 0.3,
+                cv_dynamics::VehicleState::new(-30.0 + t as f64, 8.0, 0.0),
+                Some(cv_estimation::Interval::new(3.0, 6.0)),
+            );
+            let a = p.plan(&obs);
+            assert!((-6.0..=3.0).contains(&a));
+        }
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let p = planner();
+        let text = p.to_text();
+        let back = NnPlanner::from_text(&text).unwrap();
+        assert_eq!(p, back);
+    }
+
+    #[test]
+    fn from_text_rejects_garbage() {
+        assert!(NnPlanner::from_text("").is_err());
+        assert!(NnPlanner::from_text("bogus 1 2 3\n").is_err());
+        assert!(NnPlanner::from_text("nnplanner a 1 2 3 4 5 6 7\nmlp 0\n").is_err());
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_arity_panics() {
+        let net = Mlp::new(&[4, 8, 1], Activation::Tanh, Activation::Tanh, 1).unwrap();
+        let _ = NnPlanner::new(net, limits(), FeatureScaling::left_turn(), "bad");
+    }
+}

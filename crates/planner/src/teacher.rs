@@ -1,0 +1,363 @@
+use cv_dynamics::VehicleLimits;
+use cv_estimation::Interval;
+use left_turn::{time_to_cover, LeftTurnScenario};
+use safe_shield::{Observation, Planner};
+use serde::{Deserialize, Serialize};
+
+/// An analytic *pacing* policy for the unprotected left turn, used as the
+/// behaviour-cloning teacher for the NN planners (and as an interpretable
+/// baseline in its own right).
+///
+/// Decision rule at each step, given the ego state and the estimated
+/// oncoming window `[τ_1,min, τ_1,max]`:
+///
+/// 1. If there is no window (the oncoming vehicle has cleared), **go**.
+/// 2. Discount the early edge by `lead` (an *optimistic* policy bets the
+///    oncoming car will not arrive at its earliest possible time — this
+///    unsound optimism is what makes the aggressive preset unsafe).
+/// 3. If the ego's projected occupancy of the zone (at `a_go`) ends at
+///    least `margin_before` before the believed window opens, **go** —
+///    the pass-before manoeuvre.
+/// 4. If stopping before the zone is no longer possible, **commit**: full
+///    throttle to minimise exposure.
+/// 5. Otherwise **pace**: regulate speed so as to arrive at the front line
+///    `margin_after` seconds after the believed window closes. The
+///    conservative preset additionally caps its speed so that stopping
+///    before the line stays feasible (`speed_cap_factor`), which is what
+///    keeps it safe — and slow.
+///
+/// Because the paced arrival time tracks the window's late edge
+/// *continuously*, a cloned network inherits the dependence — and planning
+/// against the compact aggressive window (paper Eq. 8) automatically yields
+/// earlier arrivals. This is the mechanism behind the ultimate compound
+/// planner's efficiency gain in Tables I/II.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TeacherPolicy {
+    p_f: f64,
+    p_b: f64,
+    limits: VehicleLimits,
+    /// Required clearance (s) when passing *before* the window.
+    margin_before: f64,
+    /// Arrival buffer (s) after the believed window closes.
+    margin_after: f64,
+    /// Assumed lateness (s) of the oncoming vehicle's earliest arrival.
+    lead: f64,
+    /// Acceleration used when going (m/s²).
+    a_go: f64,
+    /// If set, cap the paced speed at
+    /// `√(2·|a_min|·gap·factor)` so stopping before the line stays
+    /// feasible. `None` disables the cap (reckless).
+    speed_cap_factor: Option<f64>,
+    /// First-order speed-tracking time constant (s).
+    tau_smooth: f64,
+    name: &'static str,
+}
+
+impl TeacherPolicy {
+    /// Creates a policy with explicit parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the margins/lead are negative, `a_go` is outside the ego
+    /// limits, or `tau_smooth` is not positive.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        scenario: &LeftTurnScenario,
+        margin_before: f64,
+        margin_after: f64,
+        lead: f64,
+        a_go: f64,
+        speed_cap_factor: Option<f64>,
+        name: &'static str,
+    ) -> Self {
+        let limits = scenario.ego_limits();
+        assert!(margin_before >= 0.0, "margin_before must be nonnegative");
+        assert!(margin_after >= 0.0, "margin_after must be nonnegative");
+        assert!(lead >= 0.0, "lead must be nonnegative");
+        assert!(
+            (limits.a_min()..=limits.a_max()).contains(&a_go),
+            "a_go {a_go} outside ego limits"
+        );
+        if let Some(f) = speed_cap_factor {
+            assert!(f > 0.0, "speed cap factor must be positive");
+        }
+        Self {
+            p_f: scenario.geometry().p_f,
+            p_b: scenario.geometry().p_b,
+            limits,
+            margin_before,
+            margin_after,
+            lead,
+            a_go,
+            speed_cap_factor,
+            tau_smooth: 0.5,
+            name,
+        }
+    }
+
+    /// The conservative preset: 1.5 s pass-before margin, 0.6 s arrival
+    /// buffer, no optimism, half throttle, and a stopping-feasibility speed
+    /// cap. Mirrors `κ_n,cons` — always safe, never fast.
+    pub fn conservative(scenario: &LeftTurnScenario) -> Self {
+        Self::new(
+            scenario,
+            1.5,
+            0.6,
+            0.0,
+            0.5 * scenario.ego_limits().a_max(),
+            Some(0.85),
+            "teacher-cons",
+        )
+    }
+
+    /// The aggressive preset: no margins, 0.4 s of unsound optimism, full
+    /// throttle, and no stopping-feasibility cap. Mirrors `κ_n,aggr` —
+    /// fast, and unsafe whenever the bet loses.
+    pub fn aggressive(scenario: &LeftTurnScenario) -> Self {
+        Self::new(
+            scenario,
+            0.0,
+            0.1,
+            0.4,
+            scenario.ego_limits().a_max(),
+            None,
+            "teacher-aggr",
+        )
+    }
+
+    /// The ego's projected occupancy of the conflict zone if it cruises at
+    /// `a_go` from the observed state, in absolute time.
+    fn projected_occupancy(&self, obs: &Observation) -> Interval {
+        let v = self.limits.clamp_velocity(obs.ego.velocity);
+        let t_in = time_to_cover(
+            self.p_f - obs.ego.position,
+            v,
+            self.a_go,
+            self.limits.v_min(),
+            self.limits.v_max(),
+        );
+        let t_out = time_to_cover(
+            self.p_b - obs.ego.position,
+            v,
+            self.a_go,
+            self.limits.v_min(),
+            self.limits.v_max(),
+        );
+        Interval::new(obs.time + t_in.min(t_out), obs.time + t_out)
+    }
+
+    /// `true` if the ego can no longer stop before the front line.
+    fn committed(&self, obs: &Observation) -> bool {
+        if obs.ego.position > self.p_f {
+            return true;
+        }
+        let v = self.limits.clamp_velocity(obs.ego.velocity);
+        let d_b = cv_dynamics::braking_distance(v, self.limits.a_min());
+        obs.ego.position + d_b > self.p_f
+    }
+
+    /// Speed regulation toward `v_tgt` with a first-order law.
+    fn track_speed(&self, v: f64, v_tgt: f64) -> f64 {
+        self.limits.clamp_accel((v_tgt - v) / self.tau_smooth)
+    }
+}
+
+impl Planner for TeacherPolicy {
+    fn plan(&mut self, obs: &Observation) -> f64 {
+        let v = self.limits.clamp_velocity(obs.ego.velocity);
+        // Past the zone: cruise on to the target.
+        if obs.ego.position > self.p_b {
+            return self.a_go;
+        }
+        let Some(window) = obs.window else {
+            return self.a_go; // Oncoming traffic has cleared.
+        };
+        // Optimism: discount the earliest possible arrival.
+        let believed = Interval::new((window.lo() + self.lead).min(window.hi()), window.hi());
+
+        // Pass-before manoeuvre.
+        let occupancy = self.projected_occupancy(obs);
+        if occupancy.hi() + self.margin_before < believed.lo() {
+            return self.a_go;
+        }
+        // Point of no return.
+        if self.committed(obs) {
+            return self.limits.a_max();
+        }
+        // Pace the arrival at the front line to just after the window.
+        let t_arrive = believed.hi() + self.margin_after;
+        let horizon = t_arrive - obs.time;
+        let gap = self.p_f - obs.ego.position;
+        if horizon <= 0.05 {
+            return self.a_go; // Window (believed) is over by arrival.
+        }
+        let mut v_tgt = (gap / horizon).clamp(0.0, self.limits.v_max());
+        if let Some(factor) = self.speed_cap_factor {
+            let v_safe = (2.0 * -self.limits.a_min() * gap.max(0.0) * factor).sqrt();
+            v_tgt = v_tgt.min(v_safe);
+        }
+        self.track_speed(v, v_tgt)
+    }
+
+    fn name(&self) -> &str {
+        self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cv_dynamics::VehicleState;
+
+    fn scenario() -> LeftTurnScenario {
+        LeftTurnScenario::paper_default(52.0).unwrap()
+    }
+
+    fn obs(t: f64, p: f64, v: f64, window: Option<Interval>) -> Observation {
+        Observation::new(t, VehicleState::new(p, v, 0.0), window)
+    }
+
+    #[test]
+    fn goes_when_no_window() {
+        let s = scenario();
+        let mut cons = TeacherPolicy::conservative(&s);
+        assert!(cons.plan(&obs(0.0, -30.0, 8.0, None)) > 0.0);
+    }
+
+    #[test]
+    fn goes_when_window_far_in_future() {
+        let s = scenario();
+        let mut cons = TeacherPolicy::conservative(&s);
+        // Ego at -10 doing 8 m/s clears the zone in ~3 s; window opens at 30 s.
+        let a = cons.plan(&obs(0.0, -10.0, 8.0, Some(Interval::new(30.0, 40.0))));
+        assert!(a > 0.0);
+    }
+
+    #[test]
+    fn conservative_brakes_when_aggressive_goes() {
+        let s = scenario();
+        let mut cons = TeacherPolicy::conservative(&s);
+        let mut aggr = TeacherPolicy::aggressive(&s);
+        // At full throttle the ego clears the zone at ~3.1 s; with the
+        // aggressive 0.4 s lead a window opening at 4.5 s is believed to
+        // open at 4.9 s — a comfortable pass-before bet. The conservative
+        // margin of 1.5 s rejects it and paces toward the window's end.
+        let o = obs(0.0, -20.0, 8.0, Some(Interval::new(4.5, 8.0)));
+        assert!(aggr.plan(&o) > 0.0, "aggressive should go");
+        assert!(cons.plan(&o) < 0.0, "conservative should brake");
+    }
+
+    #[test]
+    fn pacing_slows_down_for_distant_window_end() {
+        let s = scenario();
+        let mut cons = TeacherPolicy::conservative(&s);
+        // Window closes far in the future: target speed ≈ 0 => brake hard.
+        let a = cons.plan(&obs(0.0, -10.0, 8.0, Some(Interval::new(1.0, 100.0))));
+        assert!(a < -2.0, "expected strong braking, got {a}");
+        // Window closes soon: pace faster than the distant-close case.
+        let a2 = cons.plan(&obs(0.0, -10.0, 8.0, Some(Interval::new(1.0, 2.0))));
+        assert!(a2 > a, "closer window end must mean more speed");
+    }
+
+    #[test]
+    fn pacing_never_crosses_line_while_window_blocks() {
+        let s = scenario();
+        let mut cons = TeacherPolicy::conservative(&s);
+        let lims = s.ego_limits();
+        // Blocked window covering the whole episode: must never enter.
+        let window = Some(Interval::new(0.0, 1e5));
+        let mut ego = VehicleState::new(-25.0, 8.0, 0.0);
+        for i in 0..2000 {
+            let t = i as f64 * 0.05;
+            let a = cons.plan(&obs(t, ego.position, ego.velocity, window));
+            ego = lims.step(&ego, a, 0.05);
+            assert!(
+                ego.position < s.geometry().p_f,
+                "crossed the line while yielding at step {i}"
+            );
+        }
+        assert!(ego.velocity < 0.5, "should be (nearly) stopped");
+    }
+
+    #[test]
+    fn committed_ego_floors_it() {
+        let s = scenario();
+        let mut cons = TeacherPolicy::conservative(&s);
+        // At 2 m before the line doing 12 m/s, stopping needs 12 m: committed.
+        let a = cons.plan(&obs(0.0, 3.0, 12.0, Some(Interval::new(0.0, 10.0))));
+        assert_eq!(a, s.ego_limits().a_max());
+        // Inside the zone likewise.
+        let a = cons.plan(&obs(0.0, 10.0, 5.0, Some(Interval::new(0.0, 10.0))));
+        assert_eq!(a, s.ego_limits().a_max());
+    }
+
+    #[test]
+    fn aggressive_arrives_earlier_than_conservative_when_paced() {
+        let s = scenario();
+        let lims = s.ego_limits();
+        let window = Some(Interval::new(3.0, 6.0));
+        let run = |mut teacher: TeacherPolicy| {
+            let mut ego = VehicleState::new(-30.0, 8.0, 0.0);
+            for i in 0..600 {
+                let t = i as f64 * 0.05;
+                let a = teacher.plan(&obs(t, ego.position, ego.velocity, window));
+                ego = lims.step(&ego, a, 0.05);
+                if ego.position >= s.geometry().p_f {
+                    return t;
+                }
+            }
+            f64::MAX
+        };
+        let t_cons = run(TeacherPolicy::conservative(&s));
+        let t_aggr = run(TeacherPolicy::aggressive(&s));
+        assert!(
+            t_aggr + 0.25 < t_cons,
+            "aggressive {t_aggr} not earlier than conservative {t_cons}"
+        );
+        // The conservative pacer arrives only after the window closes.
+        assert!(t_cons >= 6.0, "conservative arrived at {t_cons}");
+    }
+
+    #[test]
+    fn smaller_window_end_means_earlier_arrival() {
+        // The property the ultimate compound planner exploits: pacing
+        // against a more compact (aggressive) window ends earlier.
+        let s = scenario();
+        let lims = s.ego_limits();
+        let run = |hi: f64| {
+            let mut teacher = TeacherPolicy::conservative(&s);
+            let mut ego = VehicleState::new(-30.0, 8.0, 0.0);
+            for i in 0..600 {
+                let t = i as f64 * 0.05;
+                let a = teacher.plan(&obs(t, ego.position, ego.velocity, Some(Interval::new(2.0, hi))));
+                ego = lims.step(&ego, a, 0.05);
+                if ego.position >= s.geometry().p_f {
+                    return t;
+                }
+            }
+            f64::MAX
+        };
+        let arrive_tight = run(4.0);
+        let arrive_loose = run(6.5);
+        assert!(
+            arrive_tight + 1.0 < arrive_loose,
+            "tight {arrive_tight} vs loose {arrive_loose}"
+        );
+    }
+
+    #[test]
+    fn past_zone_keeps_cruising() {
+        let s = scenario();
+        let mut aggr = TeacherPolicy::aggressive(&s);
+        assert!(aggr.plan(&obs(0.0, 16.0, 5.0, Some(Interval::new(0.0, 10.0)))) > 0.0);
+    }
+
+    #[test]
+    fn names_differ() {
+        let s = scenario();
+        assert_ne!(
+            TeacherPolicy::conservative(&s).name(),
+            TeacherPolicy::aggressive(&s).name()
+        );
+    }
+}

@@ -1,0 +1,31 @@
+//! Onboard sensor substrate.
+//!
+//! Models the ego vehicle's sensors from paper Section II-A: every `Δt_s`
+//! seconds the ego obtains `(p, v, a)` of each other vehicle without delay,
+//! but corrupted by *bounded uniform* noise — the measured position lies in
+//! `[p − δ_p, p + δ_p]` (uniformly distributed), and likewise `δ_v`, `δ_a`
+//! for velocity and acceleration.
+//!
+//! The bounded support is what lets the information filter derive *hard*
+//! intervals from measurements (soundness of the runtime monitor), while the
+//! uniform distribution fixes the Kalman filter's measurement covariance to
+//! `δ²/3` (variance of `U(−δ, δ)`), exactly the `R` matrix in paper §III-B.
+//!
+//! # Example
+//!
+//! ```
+//! use cv_dynamics::VehicleState;
+//! use cv_sensing::{SensorNoise, UniformNoiseSensor};
+//!
+//! let mut sensor = UniformNoiseSensor::new(SensorNoise::uniform(2.0), 42);
+//! let truth = VehicleState::new(50.0, 10.0, 0.5);
+//! let m = sensor.measure(1, 0.0, &truth);
+//! assert!((m.position - truth.position).abs() <= 2.0);
+//! assert!((m.velocity - truth.velocity).abs() <= 2.0);
+//! ```
+
+mod measurement;
+mod sensor;
+
+pub use measurement::Measurement;
+pub use sensor::{SensorNoise, UniformNoiseSensor};

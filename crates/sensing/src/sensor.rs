@@ -1,0 +1,252 @@
+use cv_dynamics::VehicleState;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::Measurement;
+
+/// Sensor noise bounds `(δ_p, δ_v, δ_a)`.
+///
+/// Each measured quantity is the true value plus noise drawn uniformly from
+/// `[−δ, +δ]`. The paper's "messages lost" sweep uses
+/// `δ_p = δ_v = δ_a = 1 + 0.2·j` (see [`SensorNoise::uniform`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SensorNoise {
+    /// Position uncertainty bound `δ_p` (m).
+    pub delta_p: f64,
+    /// Velocity uncertainty bound `δ_v` (m/s).
+    pub delta_v: f64,
+    /// Acceleration uncertainty bound `δ_a` (m/s²).
+    pub delta_a: f64,
+}
+
+impl SensorNoise {
+    /// Creates noise bounds from the three deltas.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any bound is negative or non-finite.
+    pub fn new(delta_p: f64, delta_v: f64, delta_a: f64) -> Self {
+        assert!(
+            delta_p >= 0.0 && delta_v >= 0.0 && delta_a >= 0.0,
+            "noise bounds must be nonnegative"
+        );
+        assert!(
+            delta_p.is_finite() && delta_v.is_finite() && delta_a.is_finite(),
+            "noise bounds must be finite"
+        );
+        Self {
+            delta_p,
+            delta_v,
+            delta_a,
+        }
+    }
+
+    /// Equal bounds on all three quantities, as in the paper's sensor
+    /// uncertainty sweep (`δ_p = δ_v = δ_a = δ`).
+    pub fn uniform(delta: f64) -> Self {
+        Self::new(delta, delta, delta)
+    }
+
+    /// A noiseless sensor (useful for tests and for "perfect information"
+    /// baselines).
+    pub fn none() -> Self {
+        Self::new(0.0, 0.0, 0.0)
+    }
+
+    /// Measurement-noise variance of a quantity with bound `δ`:
+    /// `Var[U(−δ, δ)] = δ²/3`. This is the diagonal of the paper's `R`.
+    pub fn variance(delta: f64) -> f64 {
+        delta * delta / 3.0
+    }
+}
+
+impl Default for SensorNoise {
+    fn default() -> Self {
+        Self::uniform(1.0)
+    }
+}
+
+/// Sensor producing measurements with i.i.d. bounded uniform noise.
+///
+/// The RNG is seeded so that paired experiments (same episode evaluated under
+/// different planners) observe identical noise realisations.
+///
+/// # Example
+///
+/// ```
+/// use cv_dynamics::VehicleState;
+/// use cv_sensing::{SensorNoise, UniformNoiseSensor};
+///
+/// let mut s = UniformNoiseSensor::new(SensorNoise::none(), 0);
+/// let truth = VehicleState::new(10.0, 5.0, 1.0);
+/// let m = s.measure(1, 2.0, &truth);
+/// assert_eq!(m.position, 10.0); // zero noise bound => exact
+/// ```
+#[derive(Debug, Clone)]
+pub struct UniformNoiseSensor {
+    noise: SensorNoise,
+    dropout: f64,
+    rng: StdRng,
+}
+
+impl UniformNoiseSensor {
+    /// Creates a sensor with the given noise bounds and RNG seed.
+    pub fn new(noise: SensorNoise, seed: u64) -> Self {
+        Self {
+            noise,
+            dropout: 0.0,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Adds an i.i.d. per-measurement dropout probability (occlusion,
+    /// detector misses). Dropped measurements are reported through
+    /// [`UniformNoiseSensor::try_measure`] as `None`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dropout ∉ [0, 1]`.
+    pub fn with_dropout(mut self, dropout: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&dropout),
+            "dropout must be in [0, 1], got {dropout}"
+        );
+        self.dropout = dropout;
+        self
+    }
+
+    /// The configured noise bounds.
+    pub fn noise(&self) -> SensorNoise {
+        self.noise
+    }
+
+    /// The configured dropout probability.
+    pub fn dropout(&self) -> f64 {
+        self.dropout
+    }
+
+    /// Measures `truth` (the state of vehicle `target`) at time `stamp`.
+    ///
+    /// Ignores dropout — use [`UniformNoiseSensor::try_measure`] when
+    /// dropout is configured.
+    pub fn measure(&mut self, target: usize, stamp: f64, truth: &VehicleState) -> Measurement {
+        Measurement {
+            target,
+            stamp,
+            position: truth.position + self.draw(self.noise.delta_p),
+            velocity: truth.velocity + self.draw(self.noise.delta_v),
+            acceleration: truth.acceleration + self.draw(self.noise.delta_a),
+        }
+    }
+
+    /// Like [`UniformNoiseSensor::measure`], but subject to dropout:
+    /// returns `None` when this sensing period produced no detection.
+    ///
+    /// The dropout decision is drawn even when `dropout == 0`, so sweeping
+    /// the dropout probability keeps the noise stream aligned across runs.
+    pub fn try_measure(
+        &mut self,
+        target: usize,
+        stamp: f64,
+        truth: &VehicleState,
+    ) -> Option<Measurement> {
+        let dropped = self.rng.random::<f64>() < self.dropout;
+        let m = self.measure(target, stamp, truth);
+        (!dropped).then_some(m)
+    }
+
+    fn draw(&mut self, delta: f64) -> f64 {
+        if delta == 0.0 {
+            0.0
+        } else {
+            self.rng.random_range(-delta..=delta)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noise_stays_within_bounds() {
+        let mut s = UniformNoiseSensor::new(SensorNoise::new(1.0, 0.5, 0.1), 3);
+        let truth = VehicleState::new(100.0, 10.0, 1.0);
+        for i in 0..1000 {
+            let m = s.measure(1, i as f64 * 0.1, &truth);
+            assert!((m.position - 100.0).abs() <= 1.0);
+            assert!((m.velocity - 10.0).abs() <= 0.5);
+            assert!((m.acceleration - 1.0).abs() <= 0.1);
+        }
+    }
+
+    #[test]
+    fn noise_mean_is_near_zero() {
+        let mut s = UniformNoiseSensor::new(SensorNoise::uniform(2.0), 11);
+        let truth = VehicleState::new(0.0, 0.0, 0.0);
+        let n = 20_000;
+        let mean: f64 = (0..n)
+            .map(|i| s.measure(1, i as f64, &truth).position)
+            .sum::<f64>()
+            / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn empirical_variance_matches_delta_sq_over_3() {
+        let delta = 3.0;
+        let mut s = UniformNoiseSensor::new(SensorNoise::uniform(delta), 5);
+        let truth = VehicleState::new(0.0, 0.0, 0.0);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|i| s.measure(1, i as f64, &truth).velocity).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        let expect = SensorNoise::variance(delta);
+        assert!((var - expect).abs() / expect < 0.05, "var {var} vs {expect}");
+    }
+
+    #[test]
+    fn seeded_sensor_is_reproducible() {
+        let truth = VehicleState::new(1.0, 2.0, 3.0);
+        let mut a = UniformNoiseSensor::new(SensorNoise::uniform(1.0), 42);
+        let mut b = UniformNoiseSensor::new(SensorNoise::uniform(1.0), 42);
+        for i in 0..10 {
+            assert_eq!(
+                a.measure(1, i as f64, &truth),
+                b.measure(1, i as f64, &truth)
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_bound_panics() {
+        let _ = SensorNoise::new(-1.0, 0.0, 0.0);
+    }
+
+    #[test]
+    fn dropout_rate_is_roughly_respected() {
+        let mut s = UniformNoiseSensor::new(SensorNoise::uniform(1.0), 4).with_dropout(0.3);
+        let truth = VehicleState::new(0.0, 5.0, 0.0);
+        let n = 10_000;
+        let detections = (0..n)
+            .filter(|i| s.try_measure(1, *i as f64, &truth).is_some())
+            .count();
+        let rate = detections as f64 / n as f64;
+        assert!((rate - 0.7).abs() < 0.03, "detection rate {rate}");
+    }
+
+    #[test]
+    fn zero_dropout_always_detects() {
+        let mut s = UniformNoiseSensor::new(SensorNoise::uniform(1.0), 4);
+        let truth = VehicleState::new(0.0, 5.0, 0.0);
+        assert!((0..100).all(|i| s.try_measure(1, i as f64, &truth).is_some()));
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_dropout_panics() {
+        let _ = UniformNoiseSensor::new(SensorNoise::uniform(1.0), 0).with_dropout(1.5);
+    }
+}

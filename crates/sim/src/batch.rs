@@ -1,0 +1,159 @@
+use crate::{run_episode, BatchSummary, EpisodeConfig, EpisodeResult, SimError, StackSpec};
+
+/// Configuration for a Monte-Carlo batch.
+///
+/// Episode `i` uses seed `base_seed + i` and the `i % starts.len()`-th entry
+/// of the initial-position grid, so two batches with the same `BatchConfig`
+/// but different [`StackSpec`]s replay *identical* episodes — which is what
+/// makes the paired winning-percentage columns of the paper's tables
+/// meaningful.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchConfig {
+    /// Episode template (comm setting, noise, periods…). The `seed` and
+    /// `other_start_shared` fields are overwritten per episode.
+    pub template: EpisodeConfig,
+    /// Number of episodes.
+    pub episodes: usize,
+    /// Base seed.
+    pub base_seed: u64,
+    /// Grid of `C_1` initial positions cycled through
+    /// (default: the paper's `{50.5 + 0.5j}`).
+    pub starts: Vec<f64>,
+    /// Worker threads (`0` = all available parallelism).
+    pub threads: usize,
+}
+
+impl BatchConfig {
+    /// A batch over the paper's start grid with the given template.
+    pub fn new(template: EpisodeConfig, episodes: usize) -> Self {
+        let base_seed = template.seed;
+        Self {
+            template,
+            episodes,
+            base_seed,
+            starts: EpisodeConfig::paper_start_grid(),
+            threads: 0,
+        }
+    }
+
+    /// The concrete configuration of episode `index`.
+    pub fn episode(&self, index: usize) -> EpisodeConfig {
+        let mut cfg = self.template.clone();
+        cfg.seed = self.base_seed.wrapping_add(index as u64);
+        cfg.other_start_shared = self.starts[index % self.starts.len()];
+        cfg
+    }
+
+    fn worker_count(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+}
+
+/// Runs `batch.episodes` simulations of `spec` in parallel and returns the
+/// per-episode results in seed order.
+///
+/// # Errors
+///
+/// Returns the first [`SimError`] encountered (episodes are configuration-
+/// deterministic, so an invalid geometry fails the whole batch).
+///
+/// # Example
+///
+/// ```
+/// use cv_sim::{run_batch, BatchConfig, BatchSummary, EpisodeConfig, StackSpec};
+///
+/// let template = EpisodeConfig::paper_default(0);
+/// let spec = StackSpec::pure_teacher_conservative(&template)?;
+/// let batch = BatchConfig::new(template, 8);
+/// let results = run_batch(&batch, &spec)?;
+/// let summary = BatchSummary::from_results(&results);
+/// assert_eq!(summary.episodes, 8);
+/// assert_eq!(summary.safe_rate, 1.0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn run_batch(batch: &BatchConfig, spec: &StackSpec) -> Result<Vec<EpisodeResult>, SimError> {
+    assert!(batch.episodes > 0, "batch must contain at least one episode");
+    let workers = batch.worker_count().min(batch.episodes);
+    if workers <= 1 {
+        return (0..batch.episodes)
+            .map(|i| run_episode(&batch.episode(i), spec, false))
+            .collect();
+    }
+
+    let mut slots: Vec<Option<Result<EpisodeResult, SimError>>> = Vec::new();
+    slots.resize_with(batch.episodes, || None);
+    let mut chunks: Vec<&mut [Option<Result<EpisodeResult, SimError>>]> = Vec::new();
+    let per = batch.episodes.div_ceil(workers);
+    let mut rest = slots.as_mut_slice();
+    while !rest.is_empty() {
+        let take = per.min(rest.len());
+        let (head, tail) = rest.split_at_mut(take);
+        chunks.push(head);
+        rest = tail;
+    }
+
+    std::thread::scope(|scope| {
+        let mut offset = 0usize;
+        for chunk in chunks {
+            let start = offset;
+            offset += chunk.len();
+            let spec = spec.clone();
+            scope.spawn(move || {
+                for (k, slot) in chunk.iter_mut().enumerate() {
+                    *slot = Some(run_episode(&batch.episode(start + k), &spec, false));
+                }
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|s| s.expect("worker filled every slot"))
+        .collect()
+}
+
+/// Convenience wrapper: run a batch and summarise it in one call.
+///
+/// # Errors
+///
+/// Propagates [`run_batch`] errors.
+pub fn run_batch_summary(batch: &BatchConfig, spec: &StackSpec) -> Result<BatchSummary, SimError> {
+    Ok(BatchSummary::from_results(&run_batch(batch, spec)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_is_deterministic_and_parallel_matches_serial() {
+        let template = EpisodeConfig::paper_default(100);
+        let spec = StackSpec::pure_teacher_conservative(&template).unwrap();
+        let mut serial_cfg = BatchConfig::new(template, 12);
+        serial_cfg.threads = 1;
+        let mut parallel_cfg = serial_cfg.clone();
+        parallel_cfg.threads = 4;
+        let a = run_batch(&serial_cfg, &spec).unwrap();
+        let b = run_batch(&parallel_cfg, &spec).unwrap();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.outcome, y.outcome);
+            assert_eq!(x.emergency_steps, y.emergency_steps);
+        }
+    }
+
+    #[test]
+    fn episodes_cycle_the_start_grid() {
+        let batch = BatchConfig::new(EpisodeConfig::paper_default(0), 25);
+        assert_eq!(batch.episode(0).other_start_shared, 50.5);
+        assert_eq!(batch.episode(19).other_start_shared, 60.0);
+        assert_eq!(batch.episode(20).other_start_shared, 50.5);
+        assert_eq!(batch.episode(3).seed, 3);
+    }
+}

@@ -1,0 +1,230 @@
+use cv_comm::CommSetting;
+use cv_dynamics::VehicleState;
+use cv_sensing::SensorNoise;
+use left_turn::{LeftTurnScenario, ScenarioError};
+use serde::{Deserialize, Serialize};
+
+use crate::DriverModel;
+
+/// An additional conflicting vehicle beyond the paper's single `C_1`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExtraVehicle {
+    /// Initial position on the shared ego axis.
+    pub start_shared: f64,
+    /// Initial speed (m/s, forward frame).
+    pub init_speed: f64,
+    /// Driving behaviour.
+    pub driver: DriverModel,
+}
+
+/// Full configuration of one simulated episode.
+///
+/// Defaults ([`EpisodeConfig::paper_default`]) follow paper Section V; the
+/// quantities the paper does not specify (speed/acceleration limits, initial
+/// speeds, horizon) are fixed in `DESIGN.md` §6.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpisodeConfig {
+    /// `C_1`'s initial position on the shared ego axis (`p_1(0)`).
+    pub other_start_shared: f64,
+    /// Ego initial state (paper: `p_0(0) = −30 m`).
+    pub ego_init: VehicleState,
+    /// `C_1` initial speed (m/s, forward frame).
+    pub other_init_speed: f64,
+    /// Control period `Δt_c` (s).
+    pub dt_c: f64,
+    /// Message transmission period `Δt_m` (s).
+    pub dt_m: f64,
+    /// Sensing period `Δt_s` (s).
+    pub dt_s: f64,
+    /// Episode horizon (s); `η = 0` on timeout.
+    pub horizon: f64,
+    /// Communication setting.
+    pub comm: CommSetting,
+    /// Sensor noise bounds.
+    pub noise: SensorNoise,
+    /// Master seed; sub-streams (C1 driving, channel drops, sensor noise)
+    /// are derived deterministically so different planner stacks replay the
+    /// *same* episode.
+    pub seed: u64,
+    /// Per-measurement sensor dropout probability (occlusions / detector
+    /// misses). `0` reproduces the paper's always-detecting sensor and
+    /// keeps the historical noise stream bit-identical; positive values use
+    /// an extra RNG draw per sensing period.
+    pub sensor_dropout: f64,
+    /// Driving behaviour of the primary oncoming vehicle `C_1`.
+    pub driver: DriverModel,
+    /// Additional oncoming vehicles (the paper's system model allows
+    /// `n − 1`; its evaluation uses one). Empty by default.
+    pub extra_others: Vec<ExtraVehicle>,
+}
+
+impl EpisodeConfig {
+    /// The paper's default episode at `p_1(0) = 52 m` under perfect
+    /// communication, with `Δt_m = Δt_s = 0.1 s` and `δ = 1`.
+    pub fn paper_default(seed: u64) -> Self {
+        Self {
+            other_start_shared: 52.0,
+            ego_init: VehicleState::new(-30.0, 8.0, 0.0),
+            other_init_speed: 10.0,
+            dt_c: 0.05,
+            dt_m: 0.1,
+            dt_s: 0.1,
+            horizon: 30.0,
+            comm: CommSetting::NoDisturbance,
+            noise: SensorNoise::uniform(1.0),
+            seed,
+            sensor_dropout: 0.0,
+            driver: DriverModel::UniformRandom,
+            extra_others: Vec::new(),
+        }
+    }
+
+    /// Builds the scenario geometry for this episode.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ScenarioError`] if the configuration is geometrically
+    /// invalid (e.g. `C_1` starting inside the zone).
+    pub fn scenario(&self) -> Result<LeftTurnScenario, ScenarioError> {
+        let mut scenario = LeftTurnScenario::paper_default(self.other_start_shared)?;
+        if (scenario.dt_c() - self.dt_c).abs() > 1e-12 {
+            scenario = LeftTurnScenario::new(
+                scenario.geometry(),
+                scenario.ego_limits(),
+                scenario.other_limits(),
+                self.other_start_shared,
+                self.dt_c,
+            )?;
+        }
+        Ok(scenario)
+    }
+
+    /// `C_1`'s initial state in its forward frame.
+    pub fn other_init(&self) -> VehicleState {
+        VehicleState::new(0.0, self.other_init_speed, 0.0)
+    }
+
+    /// All conflicting vehicles: the primary `C_1` followed by
+    /// [`EpisodeConfig::extra_others`], as
+    /// `(start_shared, init_speed, driver)` tuples.
+    pub fn vehicles(&self) -> Vec<(f64, f64, DriverModel)> {
+        let mut v = vec![(self.other_start_shared, self.other_init_speed, self.driver)];
+        v.extend(
+            self.extra_others
+                .iter()
+                .map(|e| (e.start_shared, e.init_speed, e.driver)),
+        );
+        v
+    }
+
+    /// One scenario per conflicting vehicle (shared geometry, per-vehicle
+    /// frame mapping).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ScenarioError`] if any vehicle starts inside the zone.
+    pub fn scenarios(&self) -> Result<Vec<LeftTurnScenario>, ScenarioError> {
+        let primary = self.scenario()?;
+        let mut out = vec![primary];
+        for extra in &self.extra_others {
+            out.push(LeftTurnScenario::new(
+                primary.geometry(),
+                primary.ego_limits(),
+                primary.other_limits(),
+                extra.start_shared,
+                self.dt_c,
+            )?);
+        }
+        Ok(out)
+    }
+
+    /// Derived sub-seed for vehicle `i`'s random driving.
+    pub fn seed_driving_for(&self, i: usize) -> u64 {
+        split_seed(self.seed, 1 + 8 * i as u64)
+    }
+
+    /// Derived sub-seed for vehicle `i`'s communication channel.
+    pub fn seed_channel_for(&self, i: usize) -> u64 {
+        split_seed(self.seed, 2 + 8 * i as u64)
+    }
+
+    /// Derived sub-seed for the sensor observing vehicle `i`.
+    pub fn seed_sensor_for(&self, i: usize) -> u64 {
+        split_seed(self.seed, 3 + 8 * i as u64)
+    }
+
+    /// Derived sub-seed for `C_1`'s random acceleration sequence.
+    pub fn seed_driving(&self) -> u64 {
+        split_seed(self.seed, 1)
+    }
+
+    /// Derived sub-seed for the communication channel.
+    pub fn seed_channel(&self) -> u64 {
+        split_seed(self.seed, 2)
+    }
+
+    /// Derived sub-seed for the sensor noise.
+    pub fn seed_sensor(&self) -> u64 {
+        split_seed(self.seed, 3)
+    }
+
+    /// The 20 initial positions of the paper's sweep,
+    /// `p_1(0) ∈ {50.5 + 0.5j | j = 0..19}`.
+    pub fn paper_start_grid() -> Vec<f64> {
+        (0..20).map(|j| 50.5 + 0.5 * j as f64).collect()
+    }
+}
+
+/// SplitMix64-style seed derivation: decorrelates the per-purpose RNG
+/// streams from the master seed.
+fn split_seed(seed: u64, stream: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(stream.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_parameters() {
+        let c = EpisodeConfig::paper_default(0);
+        assert_eq!(c.ego_init.position, -30.0);
+        assert_eq!(c.dt_c, 0.05);
+        assert_eq!(c.dt_m, c.dt_s); // paper: Δt_m = Δt_s
+        let s = c.scenario().unwrap();
+        assert_eq!(s.geometry().p_f, 5.0);
+        assert_eq!(s.geometry().p_b, 15.0);
+    }
+
+    #[test]
+    fn start_grid_matches_paper() {
+        let grid = EpisodeConfig::paper_start_grid();
+        assert_eq!(grid.len(), 20);
+        assert_eq!(grid[0], 50.5);
+        assert_eq!(grid[19], 60.0);
+    }
+
+    #[test]
+    fn sub_seeds_are_distinct_and_deterministic() {
+        let c = EpisodeConfig::paper_default(7);
+        assert_ne!(c.seed_driving(), c.seed_channel());
+        assert_ne!(c.seed_channel(), c.seed_sensor());
+        assert_eq!(c.seed_driving(), EpisodeConfig::paper_default(7).seed_driving());
+        assert_ne!(
+            c.seed_driving(),
+            EpisodeConfig::paper_default(8).seed_driving()
+        );
+    }
+
+    #[test]
+    fn scenario_respects_custom_dt_c() {
+        let mut c = EpisodeConfig::paper_default(0);
+        c.dt_c = 0.02;
+        assert_eq!(c.scenario().unwrap().dt_c(), 0.02);
+    }
+}

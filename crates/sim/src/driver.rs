@@ -1,0 +1,155 @@
+//! Driver models for the oncoming vehicle `C_1`.
+//!
+//! The paper's experiments draw `C_1`'s control input uniformly at random
+//! every control step (Section V-A) — [`DriverModel::UniformRandom`]. As a
+//! library we also provide smoother and *harder* traffic behaviours, used by
+//! the stress tests and available for custom experiments:
+//!
+//! * [`DriverModel::OrnsteinUhlenbeck`] — temporally correlated
+//!   accelerations (more realistic speed profiles than white noise);
+//! * [`DriverModel::ConstantSpeed`] — the textbook baseline;
+//! * [`DriverModel::Ambush`] — cruise, then brake hard at a fixed time: the
+//!   adversarial manoeuvre that breaks constant-velocity assumptions.
+//!
+//! All models are deterministic given the episode seed, preserving paired
+//! Monte-Carlo comparisons across planner stacks.
+
+use cv_dynamics::{VehicleLimits, VehicleState};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A driving behaviour for a non-ego vehicle.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DriverModel {
+    /// The paper's behaviour: a fresh uniform sample from
+    /// `[a_min, a_max]` at every control step.
+    UniformRandom,
+    /// Mean-reverting (Ornstein–Uhlenbeck) acceleration:
+    /// `a' = a + θ·(0 − a)·Δt + σ·√Δt·ξ`, clamped to the limits.
+    OrnsteinUhlenbeck {
+        /// Mean-reversion rate `θ` (1/s).
+        theta: f64,
+        /// Noise scale `σ` (m/s²·√s).
+        sigma: f64,
+    },
+    /// No acceleration at all.
+    ConstantSpeed,
+    /// Cruise at constant speed, then brake at `a_min` from `brake_at`
+    /// until `v_min` — the adversarial profile that invalidates naive
+    /// constant-velocity predictions in a single manoeuvre.
+    Ambush {
+        /// Time at which braking starts (s).
+        brake_at: f64,
+    },
+}
+
+impl Default for DriverModel {
+    fn default() -> Self {
+        DriverModel::UniformRandom
+    }
+}
+
+impl DriverModel {
+    /// Instantiates the per-episode driver with a deterministic seed.
+    pub fn driver(&self, limits: VehicleLimits, seed: u64) -> Driver {
+        Driver {
+            model: *self,
+            limits,
+            rng: StdRng::seed_from_u64(seed),
+            accel: 0.0,
+        }
+    }
+}
+
+/// Stateful per-episode driver produced by [`DriverModel::driver`].
+#[derive(Debug, Clone)]
+pub struct Driver {
+    model: DriverModel,
+    limits: VehicleLimits,
+    rng: StdRng,
+    accel: f64,
+}
+
+impl Driver {
+    /// The acceleration command for the step starting at `time`.
+    pub fn accel(&mut self, time: f64, _state: &VehicleState, dt: f64) -> f64 {
+        let (a_min, a_max) = (self.limits.a_min(), self.limits.a_max());
+        self.accel = match self.model {
+            DriverModel::UniformRandom => self.rng.random_range(a_min..=a_max),
+            DriverModel::OrnsteinUhlenbeck { theta, sigma } => {
+                let xi: f64 = self.rng.random_range(-1.0..=1.0) * 3.0_f64.sqrt(); // unit variance
+                (self.accel - theta * self.accel * dt + sigma * dt.sqrt() * xi)
+                    .clamp(a_min, a_max)
+            }
+            DriverModel::ConstantSpeed => 0.0,
+            DriverModel::Ambush { brake_at } => {
+                if time >= brake_at {
+                    a_min
+                } else {
+                    0.0
+                }
+            }
+        };
+        self.accel
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn limits() -> VehicleLimits {
+        VehicleLimits::new(3.0, 14.0, -3.0, 3.0).unwrap()
+    }
+
+    #[test]
+    fn uniform_random_stays_in_bounds_and_is_seeded() {
+        let s = VehicleState::new(0.0, 10.0, 0.0);
+        let mut d1 = DriverModel::UniformRandom.driver(limits(), 9);
+        let mut d2 = DriverModel::UniformRandom.driver(limits(), 9);
+        for i in 0..200 {
+            let t = i as f64 * 0.05;
+            let a1 = d1.accel(t, &s, 0.05);
+            assert!((-3.0..=3.0).contains(&a1));
+            assert_eq!(a1, d2.accel(t, &s, 0.05));
+        }
+    }
+
+    #[test]
+    fn ou_accelerations_are_correlated() {
+        let s = VehicleState::new(0.0, 10.0, 0.0);
+        let model = DriverModel::OrnsteinUhlenbeck {
+            theta: 0.5,
+            sigma: 1.5,
+        };
+        let mut d = model.driver(limits(), 4);
+        let series: Vec<f64> = (0..400).map(|i| d.accel(i as f64 * 0.05, &s, 0.05)).collect();
+        // Lag-1 autocorrelation should be clearly positive (white noise ~ 0).
+        let mean = series.iter().sum::<f64>() / series.len() as f64;
+        let var: f64 = series.iter().map(|a| (a - mean) * (a - mean)).sum();
+        let cov: f64 = series
+            .windows(2)
+            .map(|w| (w[0] - mean) * (w[1] - mean))
+            .sum();
+        let rho = cov / var;
+        assert!(rho > 0.5, "lag-1 autocorrelation {rho}");
+        assert!(series.iter().all(|a| (-3.0..=3.0).contains(a)));
+    }
+
+    #[test]
+    fn ambush_switches_to_full_braking() {
+        let s = VehicleState::new(0.0, 10.0, 0.0);
+        let mut d = DriverModel::Ambush { brake_at: 1.0 }.driver(limits(), 0);
+        assert_eq!(d.accel(0.5, &s, 0.05), 0.0);
+        assert_eq!(d.accel(1.0, &s, 0.05), -3.0);
+        assert_eq!(d.accel(2.0, &s, 0.05), -3.0);
+    }
+
+    #[test]
+    fn constant_speed_never_accelerates() {
+        let s = VehicleState::new(0.0, 10.0, 0.0);
+        let mut d = DriverModel::ConstantSpeed.driver(limits(), 0);
+        assert_eq!(d.accel(0.0, &s, 0.05), 0.0);
+    }
+}

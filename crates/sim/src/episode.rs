@@ -1,0 +1,400 @@
+use cv_comm::{Channel, Message};
+use cv_dynamics::Trajectory;
+use cv_estimation::{Interval, VehicleEstimate};
+use cv_sensing::{Measurement, UniformNoiseSensor};
+use left_turn::ScenarioError;
+use safe_shield::{Outcome, PlannerSource, Scenario};
+
+use crate::{EpisodeConfig, StackSpec};
+
+/// Errors running an episode.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The episode configuration produced an invalid scenario.
+    Scenario(ScenarioError),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Scenario(e) => write!(f, "invalid scenario: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Scenario(e) => Some(e),
+        }
+    }
+}
+
+impl From<ScenarioError> for SimError {
+    fn from(e: ScenarioError) -> Self {
+        SimError::Scenario(e)
+    }
+}
+
+/// Per-step traces recorded when requested (used by the Fig. 6 experiments
+/// and the examples).
+#[derive(Debug, Clone, Default)]
+pub struct EpisodeTraces {
+    /// Ego trajectory (shared axis).
+    pub ego: Trajectory,
+    /// Conflicting-vehicle trajectories (each in its own forward frame),
+    /// primary `C_1` first.
+    pub others: Vec<Trajectory>,
+    /// Raw sensor measurements (all vehicles, in event order).
+    pub measurements: Vec<Measurement>,
+    /// The estimator's belief about the primary vehicle at each control step.
+    pub estimates: Vec<(f64, VehicleEstimate)>,
+    /// Window estimates for the primary vehicle at each control step.
+    pub windows: Vec<WindowTrace>,
+    /// Planner decision at each control step.
+    pub decisions: Vec<DecisionTrace>,
+}
+
+impl EpisodeTraces {
+    /// The primary conflicting vehicle's trajectory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no trajectory was recorded.
+    pub fn primary_other(&self) -> &Trajectory {
+        &self.others[0]
+    }
+}
+
+/// One planning decision along an episode.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecisionTrace {
+    /// Step time.
+    pub time: f64,
+    /// Who produced the command.
+    pub source: PlannerSource,
+    /// The (unclamped) acceleration command.
+    pub accel: f64,
+}
+
+/// The three `τ_1` window estimates at one control step, plus the truth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowTrace {
+    /// Step time.
+    pub time: f64,
+    /// Conservative window (paper Eq. 7).
+    pub conservative: Option<Interval>,
+    /// Aggressive window (paper Eq. 8, default buffers).
+    pub aggressive: Option<Interval>,
+    /// Window computed from the *true* `C_1` state with zero uncertainty
+    /// (constant-speed projection of the truth).
+    pub truth_nominal: Option<Interval>,
+}
+
+/// Result of one simulated episode.
+#[derive(Debug, Clone)]
+pub struct EpisodeResult {
+    /// Ground-truth outcome (collision / reached / timeout).
+    pub outcome: Outcome,
+    /// The paper's evaluation value `η`.
+    pub eta: f64,
+    /// Steps decided by the emergency planner.
+    pub emergency_steps: u64,
+    /// Total planned steps.
+    pub total_steps: u64,
+    /// Optional per-step traces.
+    pub traces: Option<EpisodeTraces>,
+}
+
+impl EpisodeResult {
+    /// Emergency frequency: fraction of steps decided by `κ_e`.
+    pub fn emergency_frequency(&self) -> f64 {
+        if self.total_steps == 0 {
+            0.0
+        } else {
+            self.emergency_steps as f64 / self.total_steps as f64
+        }
+    }
+}
+
+/// Simulates one episode of the unprotected left turn (with one or more
+/// oncoming vehicles; the paper evaluates one).
+///
+/// Event order per control step `t = k·Δt_c`: every vehicle broadcasts
+/// (every `Δt_m`), due messages are delivered, the sensors fire (every
+/// `Δt_s`), ground truth is checked (collision → `η = −1`, target →
+/// `η = 1/t`), the stack plans, and all vehicles advance one step (each
+/// conflicting vehicle under its configured [`crate::DriverModel`]).
+///
+/// # Errors
+///
+/// Returns [`SimError::Scenario`] if the configuration is invalid.
+pub fn run_episode(
+    cfg: &EpisodeConfig,
+    spec: &StackSpec,
+    record_traces: bool,
+) -> Result<EpisodeResult, SimError> {
+    let scenarios = cfg.scenarios()?;
+    let ego_limits = scenarios[0].ego_limits();
+    let other_limits = scenarios[0].other_limits();
+    let mut exec = spec.build(cfg, &scenarios);
+
+    let mut ego = cfg.ego_init;
+    let vehicles = cfg.vehicles();
+    let mut others: Vec<cv_dynamics::VehicleState> = vehicles
+        .iter()
+        .map(|(_, speed, _)| cv_dynamics::VehicleState::new(0.0, *speed, 0.0))
+        .collect();
+    let mut channels: Vec<Box<dyn Channel + Send>> = (0..vehicles.len())
+        .map(|i| cfg.comm.channel(cfg.seed_channel_for(i)))
+        .collect();
+    let mut sensors: Vec<UniformNoiseSensor> = (0..vehicles.len())
+        .map(|i| {
+            UniformNoiseSensor::new(cfg.noise, cfg.seed_sensor_for(i))
+                .with_dropout(cfg.sensor_dropout)
+        })
+        .collect();
+    let mut drivers: Vec<crate::driver::Driver> = vehicles
+        .iter()
+        .enumerate()
+        .map(|(i, (_, _, model))| model.driver(other_limits, cfg.seed_driving_for(i)))
+        .collect();
+
+    let msg_every = (cfg.dt_m / cfg.dt_c).round().max(1.0) as u64;
+    let sense_every = (cfg.dt_s / cfg.dt_c).round().max(1.0) as u64;
+    let steps = (cfg.horizon / cfg.dt_c).ceil() as u64;
+
+    let mut traces = record_traces.then(|| EpisodeTraces {
+        others: vec![Trajectory::new(); vehicles.len()],
+        ..EpisodeTraces::default()
+    });
+    let mut emergency_steps = 0u64;
+    let mut total_steps = 0u64;
+    let mut outcome = Outcome::Timeout;
+
+    for step in 0..=steps {
+        let t = step as f64 * cfg.dt_c;
+
+        // V2V broadcast and delivery, then sensing — per vehicle.
+        for (i, other) in others.iter().enumerate() {
+            if step % msg_every == 0 {
+                channels[i].send(Message::from_state(1 + i, t, other), t);
+            }
+            for msg in channels[i].receive(t) {
+                exec.estimator_mut(i).on_message(&msg);
+            }
+            if step % sense_every == 0 {
+                // Dropout-free sensors keep the historical RNG stream.
+                let maybe = if cfg.sensor_dropout > 0.0 {
+                    sensors[i].try_measure(1 + i, t, other)
+                } else {
+                    Some(sensors[i].measure(1 + i, t, other))
+                };
+                if let Some(m) = maybe {
+                    if let Some(tr) = traces.as_mut() {
+                        tr.measurements.push(m);
+                    }
+                    exec.estimator_mut(i).on_measurement(&m);
+                }
+            }
+        }
+
+        // Ground-truth evaluation.
+        if scenarios
+            .iter()
+            .zip(&others)
+            .any(|(s, other)| s.collision(&ego, other))
+        {
+            outcome = Outcome::Collision { time: t };
+            break;
+        }
+        if scenarios[0].target_reached(t, &ego) {
+            outcome = Outcome::Reached { time: t };
+            break;
+        }
+
+        // Plan and actuate.
+        let (decision, est) = exec.plan(t, &ego);
+        total_steps += 1;
+        if decision.source == PlannerSource::Emergency {
+            emergency_steps += 1;
+        }
+        if let Some(tr) = traces.as_mut() {
+            tr.ego.push(t, ego);
+            for (trajectory, other) in tr.others.iter_mut().zip(&others) {
+                trajectory.push(t, *other);
+            }
+            tr.estimates.push((t, est));
+            let truth_est = VehicleEstimate::exact(t, others[0]);
+            tr.windows.push(WindowTrace {
+                time: t,
+                conservative: scenarios[0].conservative_window(t, &est),
+                aggressive: scenarios[0].aggressive_window(t, &est, &Default::default()),
+                truth_nominal: scenarios[0].nominal_window(t, &truth_est),
+            });
+            tr.decisions.push(DecisionTrace {
+                time: t,
+                source: decision.source,
+                accel: decision.accel,
+            });
+        }
+
+        ego = ego_limits.step(&ego, decision.accel, cfg.dt_c);
+        for (i, other) in others.iter_mut().enumerate() {
+            let a = drivers[i].accel(t, other, cfg.dt_c);
+            *other = other_limits.step(other, a, cfg.dt_c);
+        }
+    }
+
+    Ok(EpisodeResult {
+        eta: outcome.eta(),
+        outcome,
+        emergency_steps,
+        total_steps,
+        traces,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DriverModel, ExtraVehicle};
+    use cv_comm::CommSetting;
+
+    #[test]
+    fn conservative_teacher_is_safe_and_eventually_reaches() {
+        let mut safe = 0;
+        let mut reached = 0;
+        for seed in 0..20 {
+            let cfg = EpisodeConfig::paper_default(seed);
+            let spec = StackSpec::pure_teacher_conservative(&cfg).unwrap();
+            let r = run_episode(&cfg, &spec, false).unwrap();
+            if r.outcome.is_safe() {
+                safe += 1;
+            }
+            if r.outcome.reaching_time().is_some() {
+                reached += 1;
+            }
+        }
+        assert_eq!(safe, 20, "conservative teacher collided");
+        assert!(reached >= 18, "only {reached} reached the target");
+    }
+
+    #[test]
+    fn aggressive_teacher_is_fast_but_unsafe_somewhere() {
+        let mut collisions = 0;
+        let mut fastest = f64::MAX;
+        for seed in 0..60 {
+            let mut cfg = EpisodeConfig::paper_default(seed);
+            // Under disturbance its naive estimates go stale.
+            cfg.comm = CommSetting::Delayed {
+                delay: 0.25,
+                drop_prob: 0.5,
+            };
+            let spec = StackSpec::pure_teacher_aggressive(&cfg).unwrap();
+            let r = run_episode(&cfg, &spec, false).unwrap();
+            if !r.outcome.is_safe() {
+                collisions += 1;
+            }
+            if let Some(t) = r.outcome.reaching_time() {
+                fastest = fastest.min(t);
+            }
+        }
+        assert!(collisions > 0, "aggressive teacher never collided");
+        assert!(fastest < 8.0, "aggressive teacher too slow: {fastest}");
+    }
+
+    #[test]
+    fn same_seed_same_result() {
+        let cfg = EpisodeConfig::paper_default(9);
+        let spec = StackSpec::pure_teacher_conservative(&cfg).unwrap();
+        let a = run_episode(&cfg, &spec, false).unwrap();
+        let b = run_episode(&cfg, &spec, false).unwrap();
+        assert_eq!(a.outcome, b.outcome);
+        assert_eq!(a.emergency_steps, b.emergency_steps);
+    }
+
+    #[test]
+    fn traces_are_recorded_when_requested() {
+        let cfg = EpisodeConfig::paper_default(1);
+        let spec = StackSpec::pure_teacher_conservative(&cfg).unwrap();
+        let r = run_episode(&cfg, &spec, true).unwrap();
+        let tr = r.traces.expect("traces requested");
+        assert!(!tr.ego.is_empty());
+        assert_eq!(tr.ego.len(), tr.primary_other().len());
+        assert!(!tr.measurements.is_empty());
+        assert_eq!(tr.estimates.len(), tr.windows.len());
+        assert_eq!(tr.estimates.len(), tr.decisions.len());
+    }
+
+    #[test]
+    fn timeout_when_ego_cannot_move() {
+        let mut cfg = EpisodeConfig::paper_default(2);
+        cfg.horizon = 0.5;
+        let spec = StackSpec::pure_teacher_conservative(&cfg).unwrap();
+        let r = run_episode(&cfg, &spec, false).unwrap();
+        assert_eq!(r.outcome, Outcome::Timeout);
+        assert_eq!(r.eta, 0.0);
+    }
+
+    #[test]
+    fn platoon_episode_runs_and_respects_every_vehicle() {
+        // Two oncoming vehicles; the conservative teacher must stay safe and
+        // crossing behind two cars can never beat crossing behind one.
+        let mut cfg = EpisodeConfig::paper_default(4);
+        cfg.extra_others = vec![ExtraVehicle {
+            start_shared: 62.0,
+            init_speed: 10.0,
+            driver: DriverModel::UniformRandom,
+        }];
+        let spec = StackSpec::pure_teacher_conservative(&cfg).unwrap();
+        let single = {
+            let mut c = cfg.clone();
+            c.extra_others.clear();
+            run_episode(&c, &spec, false).unwrap()
+        };
+        let platoon = run_episode(&cfg, &spec, false).unwrap();
+        assert!(platoon.outcome.is_safe());
+        if let (Some(t1), Some(t2)) = (
+            single.outcome.reaching_time(),
+            platoon.outcome.reaching_time(),
+        ) {
+            assert!(t2 + 1e-9 >= t1, "platoon {t2} vs single {t1}");
+        }
+    }
+
+    #[test]
+    fn legacy_sub_seeds_are_vehicle_zero() {
+        let cfg = EpisodeConfig::paper_default(77);
+        assert_eq!(cfg.seed_driving_for(0), cfg.seed_driving());
+        assert_eq!(cfg.seed_channel_for(0), cfg.seed_channel());
+        assert_eq!(cfg.seed_sensor_for(0), cfg.seed_sensor());
+    }
+
+    #[test]
+    fn sensor_dropout_does_not_break_safety() {
+        // Messages lost AND half the sensor frames dropped: the hard
+        // intervals widen, the shield stays sound.
+        let spec_cfg = EpisodeConfig::paper_default(0);
+        let spec = StackSpec::pure_teacher_conservative(&spec_cfg).unwrap();
+        for seed in 0..10 {
+            let mut cfg = EpisodeConfig::paper_default(seed);
+            cfg.comm = CommSetting::Lost;
+            cfg.sensor_dropout = 0.5;
+            let r = run_episode(&cfg, &spec, false).unwrap();
+            assert!(r.outcome.is_safe(), "seed {seed}: {:?}", r.outcome);
+        }
+    }
+
+    #[test]
+    fn ambush_driver_is_contained_by_the_teacher() {
+        // The oncoming vehicle brakes hard mid-approach: worst case for a
+        // constant-velocity assumption. The conservative teacher uses sound
+        // windows, so it must stay safe.
+        let mut cfg = EpisodeConfig::paper_default(5);
+        cfg.driver = DriverModel::Ambush { brake_at: 2.0 };
+        let spec = StackSpec::pure_teacher_conservative(&cfg).unwrap();
+        let r = run_episode(&cfg, &spec, false).unwrap();
+        assert!(r.outcome.is_safe());
+    }
+}

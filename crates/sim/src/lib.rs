@@ -1,0 +1,50 @@
+//! Discrete-time connected-vehicle simulator and experiment engine.
+//!
+//! Reproduces the experimental setup of paper Section V: the ego vehicle
+//! `C_0` performs an unprotected left turn across a randomly driven oncoming
+//! vehicle `C_1`, receiving V2V messages every `Δt_m` (subject to delay and
+//! drops) and sensor measurements every `Δt_s` (subject to bounded noise).
+//!
+//! * [`EpisodeConfig`] — one episode's physical/communication parameters
+//!   (defaults follow the paper: `p_0(0) = −30 m`, zone `[5, 15]`,
+//!   `p_1(0) ∈ {50.5 + 0.5j}`, `Δt_c = 0.05 s`, `Δt_d = 0.25 s`).
+//! * [`StackSpec`] — which planner runs: a pure NN planner (naive
+//!   estimation, no shield), the basic compound planner `κ_cb`, or the
+//!   ultimate compound planner `κ_cu` (information filter + aggressive
+//!   unsafe set).
+//! * [`run_episode`] — simulates one episode and scores it with the paper's
+//!   `η` ([`safe_shield::Outcome`]).
+//! * [`run_batch`] — multi-threaded Monte-Carlo over seeds and initial
+//!   positions, summarised as the columns of the paper's Tables I/II
+//!   ([`BatchSummary`]): reaching time, safe rate, mean `η`, emergency
+//!   frequency — plus paired per-episode `η`s for winning percentages.
+//! * [`training`] — closed-loop teacher rollouts + behaviour cloning to
+//!   produce the conservative/aggressive NN planners (`κ_n,cons`,
+//!   `κ_n,aggr`).
+//!
+//! # Example
+//!
+//! ```
+//! use cv_sim::{run_episode, EpisodeConfig, StackSpec, WindowKind};
+//!
+//! // A single conservative-teacher episode under perfect communication.
+//! let cfg = EpisodeConfig::paper_default(42);
+//! let result = run_episode(&cfg, &StackSpec::pure_teacher_conservative(&cfg)?, false)?;
+//! assert!(result.outcome.is_safe());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod batch;
+mod config;
+mod driver;
+mod episode;
+mod metrics;
+mod stack;
+pub mod training;
+
+pub use batch::{run_batch, run_batch_summary, BatchConfig};
+pub use config::{EpisodeConfig, ExtraVehicle};
+pub use driver::{Driver, DriverModel};
+pub use episode::{run_episode, DecisionTrace, EpisodeResult, EpisodeTraces, SimError, WindowTrace};
+pub use metrics::{rmse, winning_percentage, BatchSummary};
+pub use stack::{StackSpec, WindowKind};

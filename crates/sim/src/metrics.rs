@@ -1,0 +1,210 @@
+use serde::{Deserialize, Serialize};
+
+use crate::EpisodeResult;
+
+/// Aggregate statistics over a batch of episodes — the columns of the
+/// paper's Tables I and II.
+///
+/// Reaching time follows the paper's convention: *"only reaching time of
+/// safe cases is counted"* (the `*` footnote of Table II), and episodes that
+/// time out contribute to neither the reaching time nor the collision count.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchSummary {
+    /// Number of episodes.
+    pub episodes: usize,
+    /// Mean reaching time over safe episodes that reached the target (s).
+    pub reaching_time: f64,
+    /// Fraction of episodes without a safety violation.
+    pub safe_rate: f64,
+    /// Mean `η` over all episodes.
+    pub eta_mean: f64,
+    /// Mean emergency frequency (fraction of steps decided by `κ_e`).
+    pub emergency_frequency: f64,
+    /// Per-episode `η` values, aligned with the episode seed order, for
+    /// paired comparisons ([`winning_percentage`]).
+    pub etas: Vec<f64>,
+    /// Reaching times of the episodes that reached the target (s).
+    pub reaching_times: Vec<f64>,
+}
+
+impl BatchSummary {
+    /// Summarises a slice of episode results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `results` is empty.
+    pub fn from_results(results: &[EpisodeResult]) -> Self {
+        assert!(!results.is_empty(), "cannot summarise an empty batch");
+        let episodes = results.len();
+        let mut reach_sum = 0.0;
+        let mut reach_n = 0usize;
+        let mut safe_n = 0usize;
+        let mut eta_sum = 0.0;
+        let mut emer_sum = 0.0;
+        let mut etas = Vec::with_capacity(episodes);
+        let mut reaching_times = Vec::new();
+        for r in results {
+            if r.outcome.is_safe() {
+                safe_n += 1;
+            }
+            if let Some(t) = r.outcome.reaching_time() {
+                reach_sum += t;
+                reach_n += 1;
+                reaching_times.push(t);
+            }
+            eta_sum += r.eta;
+            emer_sum += r.emergency_frequency();
+            etas.push(r.eta);
+        }
+        BatchSummary {
+            episodes,
+            reaching_time: if reach_n > 0 {
+                reach_sum / reach_n as f64
+            } else {
+                f64::NAN
+            },
+            safe_rate: safe_n as f64 / episodes as f64,
+            eta_mean: eta_sum / episodes as f64,
+            emergency_frequency: emer_sum / episodes as f64,
+            etas,
+            reaching_times,
+        }
+    }
+
+    /// 95% normal-approximation confidence half-width of the mean `η`.
+    pub fn eta_ci95(&self) -> f64 {
+        ci95_half_width(&self.etas)
+    }
+
+    /// 95% confidence half-width of the mean reaching time (over episodes
+    /// that reached; `NaN` when fewer than two did).
+    pub fn reaching_time_ci95(&self) -> f64 {
+        ci95_half_width(&self.reaching_times)
+    }
+}
+
+/// 95% normal-approximation confidence half-width of a sample mean
+/// (`1.96·s/√n`); `NaN` for fewer than two samples.
+pub fn ci95_half_width(samples: &[f64]) -> f64 {
+    let n = samples.len();
+    if n < 2 {
+        return f64::NAN;
+    }
+    let mean = samples.iter().sum::<f64>() / n as f64;
+    let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64;
+    1.96 * (var / n as f64).sqrt()
+}
+
+/// Winning percentage (paper Tables I/II): the fraction of paired episodes
+/// in which `ours` achieves a strictly higher `η` than `baseline`.
+///
+/// Both slices must be aligned on the same episode seeds.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+pub fn winning_percentage(ours: &[f64], baseline: &[f64]) -> f64 {
+    assert_eq!(ours.len(), baseline.len(), "unpaired η slices");
+    assert!(!ours.is_empty(), "empty η slices");
+    let wins = ours
+        .iter()
+        .zip(baseline)
+        .filter(|(a, b)| *a > *b)
+        .count();
+    wins as f64 / ours.len() as f64
+}
+
+/// Root-mean-square error between two aligned signals (used by the Fig. 6a
+/// filter-quality experiment).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+pub fn rmse(estimate: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(estimate.len(), truth.len(), "unaligned signals");
+    assert!(!estimate.is_empty(), "empty signals");
+    let sq_sum: f64 = estimate
+        .iter()
+        .zip(truth)
+        .map(|(a, b)| (a - b) * (a - b))
+        .sum();
+    (sq_sum / estimate.len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safe_shield::Outcome;
+
+    fn result(outcome: Outcome, emergency: u64, total: u64) -> EpisodeResult {
+        EpisodeResult {
+            eta: outcome.eta(),
+            outcome,
+            emergency_steps: emergency,
+            total_steps: total,
+            traces: None,
+        }
+    }
+
+    #[test]
+    fn summary_counts_only_safe_reaches() {
+        let results = vec![
+            result(Outcome::Reached { time: 8.0 }, 0, 100),
+            result(Outcome::Collision { time: 3.0 }, 0, 60),
+            result(Outcome::Timeout, 50, 100),
+        ];
+        let s = BatchSummary::from_results(&results);
+        assert_eq!(s.episodes, 3);
+        assert!((s.reaching_time - 8.0).abs() < 1e-12);
+        assert!((s.safe_rate - 2.0 / 3.0).abs() < 1e-12);
+        assert!((s.eta_mean - (0.125 - 1.0 + 0.0) / 3.0).abs() < 1e-12);
+        assert!((s.emergency_frequency - 0.5 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reaching_time_nan_when_nothing_reached() {
+        let s = BatchSummary::from_results(&[result(Outcome::Timeout, 0, 10)]);
+        assert!(s.reaching_time.is_nan());
+    }
+
+    #[test]
+    fn confidence_intervals_shrink_with_more_data() {
+        let few: Vec<EpisodeResult> = (0..4)
+            .map(|i| result(Outcome::Reached { time: 6.0 + 0.1 * i as f64 }, 0, 100))
+            .collect();
+        let many: Vec<EpisodeResult> = (0..64)
+            .map(|i| result(Outcome::Reached { time: 6.0 + 0.1 * (i % 4) as f64 }, 0, 100))
+            .collect();
+        let s_few = BatchSummary::from_results(&few);
+        let s_many = BatchSummary::from_results(&many);
+        assert!(s_many.reaching_time_ci95() < s_few.reaching_time_ci95());
+        assert!(s_many.eta_ci95() < s_few.eta_ci95());
+    }
+
+    #[test]
+    fn ci_is_nan_for_tiny_samples() {
+        let s = BatchSummary::from_results(&[result(Outcome::Timeout, 0, 10)]);
+        assert!(s.reaching_time_ci95().is_nan());
+        assert!(ci95_half_width(&[1.0]).is_nan());
+        assert_eq!(ci95_half_width(&[1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn winning_percentage_counts_strict_wins() {
+        let ours = [0.2, 0.1, 0.3, 0.1];
+        let base = [0.1, 0.1, 0.1, 0.2];
+        assert!((winning_percentage(&ours, &base) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rmse_known_value() {
+        assert!((rmse(&[1.0, 2.0], &[0.0, 0.0]) - (2.5f64).sqrt()).abs() < 1e-12);
+        assert_eq!(rmse(&[3.0], &[3.0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rmse_rejects_unaligned() {
+        let _ = rmse(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,282 @@
+use cv_dynamics::VehicleState;
+use cv_estimation::{
+    Estimator, FilterMode, InformationFilter, NaiveEstimator, Prior, VehicleEstimate,
+};
+use cv_planner::{NnPlanner, TeacherPolicy};
+use left_turn::{LeftTurnScenario, ScenarioError};
+use safe_shield::{
+    merge_windows, AggressiveConfig, MultiCompoundPlanner, Observation, PlanDecision, Planner,
+    PlannerSource, Scenario, WindowSource, DEFAULT_MERGE_GAP,
+};
+
+use crate::EpisodeConfig;
+
+/// Which passing-time window an *unshielded* planner is fed.
+///
+/// The conservative planner family was trained on (and deploys with) sound
+/// Eq. 7 windows; the aggressive family uses the optimistic constant-speed
+/// window. Inside a compound planner this choice is superseded by
+/// [`safe_shield::WindowSource`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WindowKind {
+    /// Paper Eq. 7 with physical limits.
+    Conservative,
+    /// Constant-current-speed projection (optimistic, unsound).
+    Nominal,
+}
+
+/// One of the planner configurations compared in the paper's tables.
+///
+/// `PureNn`/`PureTeacher` run *unshielded* with naive estimation — the
+/// baselines. `Basic` is `κ_cb` (runtime monitor + emergency planner over
+/// sound hard-interval estimation). `Ultimate` is `κ_cu` (adds the Kalman
+/// information filter and the aggressive unsafe set).
+#[derive(Debug, Clone)]
+pub enum StackSpec {
+    /// An unshielded NN planner with naive estimation.
+    PureNn {
+        /// The trained planner.
+        planner: NnPlanner,
+        /// Window flavour it was trained with.
+        window: WindowKind,
+    },
+    /// An unshielded analytic teacher (interpretable baseline).
+    PureTeacher {
+        /// The policy.
+        policy: TeacherPolicy,
+        /// Window flavour it consumes.
+        window: WindowKind,
+    },
+    /// A compound planner with an explicit estimator/window configuration.
+    /// Use [`StackSpec::basic`] / [`StackSpec::ultimate`] for the paper's
+    /// two variants; other combinations serve the ablation experiments.
+    Compound {
+        /// The embedded NN planner.
+        planner: NnPlanner,
+        /// Which estimator feeds the monitor and the NN.
+        filter_mode: FilterMode,
+        /// Which window the NN sees.
+        window_source: WindowSource,
+    },
+}
+
+impl StackSpec {
+    /// The basic compound planner `κ_cb`: monitor + emergency planner over
+    /// hard-interval estimation, conservative window for the NN.
+    pub fn basic(planner: NnPlanner) -> Self {
+        StackSpec::Compound {
+            planner,
+            filter_mode: FilterMode::HardOnly,
+            window_source: WindowSource::Conservative,
+        }
+    }
+
+    /// The ultimate compound planner `κ_cu`: adds the Kalman information
+    /// filter and feeds the NN the aggressive (Eq. 8) window.
+    pub fn ultimate(planner: NnPlanner, aggressive: AggressiveConfig) -> Self {
+        StackSpec::Compound {
+            planner,
+            filter_mode: FilterMode::Fused,
+            window_source: WindowSource::Aggressive(aggressive),
+        }
+    }
+
+    /// Unshielded conservative teacher baseline for `cfg`'s scenario.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ScenarioError`] if the episode geometry is invalid.
+    pub fn pure_teacher_conservative(cfg: &EpisodeConfig) -> Result<Self, ScenarioError> {
+        Ok(StackSpec::PureTeacher {
+            policy: TeacherPolicy::conservative(&cfg.scenario()?),
+            window: WindowKind::Conservative,
+        })
+    }
+
+    /// Unshielded aggressive teacher baseline for `cfg`'s scenario.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ScenarioError`] if the episode geometry is invalid.
+    pub fn pure_teacher_aggressive(cfg: &EpisodeConfig) -> Result<Self, ScenarioError> {
+        Ok(StackSpec::PureTeacher {
+            policy: TeacherPolicy::aggressive(&cfg.scenario()?),
+            window: WindowKind::Nominal,
+        })
+    }
+
+    /// Display name matching the paper's tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            StackSpec::PureNn { .. } => "pure NN",
+            StackSpec::PureTeacher { .. } => "pure teacher",
+            StackSpec::Compound {
+                filter_mode: FilterMode::HardOnly,
+                window_source: WindowSource::Conservative,
+                ..
+            } => "basic",
+            StackSpec::Compound {
+                filter_mode: FilterMode::Fused,
+                window_source: WindowSource::Aggressive(_),
+                ..
+            } => "ultimate",
+            StackSpec::Compound { .. } => "compound",
+        }
+    }
+
+    /// Builds the per-episode executor (estimator + planner pipeline), one
+    /// estimator per conflicting vehicle.
+    pub(crate) fn build(&self, cfg: &EpisodeConfig, scenarios: &[LeftTurnScenario]) -> StackExec {
+        let other_limits = scenarios[0].other_limits();
+        let inits: Vec<VehicleState> = cfg
+            .vehicles()
+            .iter()
+            .map(|(_, speed, _)| VehicleState::new(0.0, *speed, 0.0))
+            .collect();
+        match self {
+            StackSpec::PureNn { planner, window } => StackExec::Pure {
+                planner: Box::new(planner.clone()),
+                estimators: inits
+                    .iter()
+                    .map(|init| {
+                        Box::new(NaiveEstimator::new(other_limits, 0.0, *init))
+                            as Box<dyn Estimator + Send>
+                    })
+                    .collect(),
+                window: *window,
+                scenarios: scenarios.to_vec(),
+            },
+            StackSpec::PureTeacher { policy, window } => StackExec::Pure {
+                planner: Box::new(*policy),
+                estimators: inits
+                    .iter()
+                    .map(|init| {
+                        Box::new(NaiveEstimator::new(other_limits, 0.0, *init))
+                            as Box<dyn Estimator + Send>
+                    })
+                    .collect(),
+                window: *window,
+                scenarios: scenarios.to_vec(),
+            },
+            StackSpec::Compound {
+                planner,
+                filter_mode,
+                window_source,
+            } => StackExec::Compound {
+                compound: MultiCompoundPlanner::new(
+                    scenarios.to_vec(),
+                    Box::new(planner.clone()) as Box<dyn Planner + Send>,
+                    *window_source,
+                ),
+                estimators: inits
+                    .iter()
+                    .map(|init| {
+                        Box::new(InformationFilter::new(
+                            other_limits,
+                            cfg.noise,
+                            *filter_mode,
+                            Prior::exact(0.0, init.position, init.velocity),
+                        )) as Box<dyn Estimator + Send>
+                    })
+                    .collect(),
+            },
+        }
+    }
+}
+
+/// Per-episode executor: owns the estimators and the planner pipeline.
+pub(crate) enum StackExec {
+    Pure {
+        planner: Box<dyn Planner + Send>,
+        estimators: Vec<Box<dyn Estimator + Send>>,
+        window: WindowKind,
+        scenarios: Vec<LeftTurnScenario>,
+    },
+    Compound {
+        compound: MultiCompoundPlanner<LeftTurnScenario, Box<dyn Planner + Send>>,
+        estimators: Vec<Box<dyn Estimator + Send>>,
+    },
+}
+
+impl StackExec {
+    /// The estimator tracking conflicting vehicle `i`.
+    pub(crate) fn estimator_mut(&mut self, i: usize) -> &mut (dyn Estimator + Send) {
+        match self {
+            StackExec::Pure { estimators, .. } => estimators[i].as_mut(),
+            StackExec::Compound { estimators, .. } => estimators[i].as_mut(),
+        }
+    }
+
+    /// Plans one step; returns the decision and the primary vehicle's
+    /// estimate (for tracing).
+    pub(crate) fn plan(
+        &mut self,
+        time: f64,
+        ego: &VehicleState,
+    ) -> (PlanDecision, VehicleEstimate) {
+        match self {
+            StackExec::Pure {
+                planner,
+                estimators,
+                window,
+                scenarios,
+            } => {
+                let estimates: Vec<VehicleEstimate> =
+                    estimators.iter().map(|e| e.estimate(time)).collect();
+                let windows = scenarios.iter().zip(&estimates).map(|(s, e)| match window {
+                    WindowKind::Conservative => s.conservative_window(time, e),
+                    WindowKind::Nominal => s.nominal_window(time, e),
+                });
+                let obs = Observation::new(time, *ego, merge_windows(windows, DEFAULT_MERGE_GAP));
+                (
+                    PlanDecision {
+                        accel: planner.plan(&obs),
+                        source: PlannerSource::NeuralNetwork,
+                    },
+                    estimates[0],
+                )
+            }
+            StackExec::Compound {
+                compound,
+                estimators,
+            } => {
+                let estimates: Vec<VehicleEstimate> =
+                    estimators.iter().map(|e| e.estimate(time)).collect();
+                let decision = compound.plan(time, ego, &estimates);
+                (decision, estimates[0])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_tables() {
+        let cfg = EpisodeConfig::paper_default(0);
+        let t = StackSpec::pure_teacher_conservative(&cfg).unwrap();
+        assert_eq!(t.label(), "pure teacher");
+    }
+
+    #[test]
+    fn executors_build_for_every_spec() {
+        let cfg = EpisodeConfig::paper_default(0);
+        let scenarios = cfg.scenarios().unwrap();
+        let teacher = TeacherPolicy::conservative(&scenarios[0]);
+        let specs = [
+            StackSpec::PureTeacher {
+                policy: teacher,
+                window: WindowKind::Conservative,
+            },
+            StackSpec::pure_teacher_aggressive(&cfg).unwrap(),
+        ];
+        for spec in specs {
+            let mut exec = spec.build(&cfg, &scenarios);
+            let (decision, est) = exec.plan(0.0, &cfg.ego_init);
+            assert!(decision.accel.is_finite());
+            assert!(est.position.contains(0.0)); // C1 starts at forward 0
+        }
+    }
+}

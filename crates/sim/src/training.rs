@@ -1,0 +1,337 @@
+//! Behaviour-cloning pipeline: teacher rollouts → datasets → NN planners.
+//!
+//! The paper trains `κ_n,cons` and `κ_n,aggr` with the learning method of
+//! its ref. [6]; per the substitution in `DESIGN.md`, we clone two analytic
+//! [`TeacherPolicy`] presets instead. Rollouts run closed-loop under a mix
+//! of communication settings so the NN sees the windows it will face at
+//! deployment time.
+
+use std::path::Path;
+
+use cv_comm::{Channel, CommSetting, Message};
+use cv_estimation::{Estimator, NaiveEstimator};
+use cv_planner::{clone_behaviour, CloneConfig, Dataset, FeatureScaling, NnPlanner, TeacherPolicy};
+use cv_sensing::UniformNoiseSensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use safe_shield::{Observation, Planner, Scenario};
+
+use crate::{EpisodeConfig, SimError, WindowKind};
+
+/// Training-pipeline errors.
+#[derive(Debug)]
+pub enum TrainError {
+    /// Episode simulation failed.
+    Sim(SimError),
+    /// Network training failed.
+    Nn(cv_nn::NnError),
+    /// Reading/writing cached planner weights failed.
+    Io(std::io::Error),
+    /// A cached planner file was unparseable.
+    Parse(String),
+}
+
+impl std::fmt::Display for TrainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrainError::Sim(e) => write!(f, "simulation failed: {e}"),
+            TrainError::Nn(e) => write!(f, "training failed: {e}"),
+            TrainError::Io(e) => write!(f, "planner cache I/O failed: {e}"),
+            TrainError::Parse(e) => write!(f, "cannot parse cached planner: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
+
+impl From<SimError> for TrainError {
+    fn from(e: SimError) -> Self {
+        TrainError::Sim(e)
+    }
+}
+
+impl From<left_turn::ScenarioError> for TrainError {
+    fn from(e: left_turn::ScenarioError) -> Self {
+        TrainError::Sim(SimError::from(e))
+    }
+}
+
+impl From<cv_nn::NnError> for TrainError {
+    fn from(e: cv_nn::NnError) -> Self {
+        TrainError::Nn(e)
+    }
+}
+
+impl From<std::io::Error> for TrainError {
+    fn from(e: std::io::Error) -> Self {
+        TrainError::Io(e)
+    }
+}
+
+/// Hyperparameters of the full training pipeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainSetup {
+    /// Closed-loop teacher rollouts per planner.
+    pub rollout_episodes: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Behaviour-cloning hyperparameters.
+    pub clone: CloneConfig,
+}
+
+impl Default for TrainSetup {
+    fn default() -> Self {
+        Self {
+            rollout_episodes: 240,
+            seed: 7,
+            clone: CloneConfig::default(),
+        }
+    }
+}
+
+impl TrainSetup {
+    /// A tiny setup for unit tests (seconds instead of minutes in debug
+    /// builds; the resulting planners are crude but functional).
+    pub fn smoke() -> Self {
+        Self {
+            rollout_episodes: 24,
+            seed: 7,
+            clone: CloneConfig {
+                epochs: 15,
+                ..CloneConfig::default()
+            },
+        }
+    }
+}
+
+/// Which planner personality to produce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Personality {
+    /// Clone of [`TeacherPolicy::conservative`] on Eq. 7 windows.
+    Conservative,
+    /// Clone of [`TeacherPolicy::aggressive`] on optimistic windows.
+    Aggressive,
+}
+
+impl Personality {
+    fn window_kind(&self) -> WindowKind {
+        match self {
+            Personality::Conservative => WindowKind::Conservative,
+            Personality::Aggressive => WindowKind::Nominal,
+        }
+    }
+
+    fn planner_name(&self) -> &'static str {
+        match self {
+            Personality::Conservative => "kappa_n_cons",
+            Personality::Aggressive => "kappa_n_aggr",
+        }
+    }
+
+    fn file_name(&self) -> &'static str {
+        match self {
+            Personality::Conservative => "kappa_n_cons.nnp",
+            Personality::Aggressive => "kappa_n_aggr.nnp",
+        }
+    }
+}
+
+/// Rolls out the teacher closed-loop and collects `(observation, accel)`
+/// pairs, cycling communication settings and initial positions for coverage.
+///
+/// # Errors
+///
+/// Returns [`TrainError::Sim`] if an episode configuration is invalid.
+pub fn collect_teacher_dataset(
+    setup: &TrainSetup,
+    personality: Personality,
+) -> Result<Dataset, TrainError> {
+    let comm_mix = [
+        CommSetting::NoDisturbance,
+        CommSetting::Delayed {
+            delay: 0.25,
+            drop_prob: 0.25,
+        },
+        CommSetting::Lost,
+    ];
+    let starts = EpisodeConfig::paper_start_grid();
+    let mut vary_rng = StdRng::seed_from_u64(setup.seed ^ 0xDA7A);
+    let mut data = Dataset::new();
+
+    for ep in 0..setup.rollout_episodes {
+        let mut cfg = EpisodeConfig::paper_default(setup.seed.wrapping_add(ep as u64));
+        cfg.comm = comm_mix[ep % comm_mix.len()];
+        cfg.other_start_shared = starts[ep % starts.len()];
+        // Randomise the start state a little so the clone generalises.
+        cfg.ego_init.velocity = vary_rng.random_range(5.0..10.0);
+        cfg.ego_init.position = -30.0 + vary_rng.random_range(-3.0..3.0);
+        cfg.other_init_speed = vary_rng.random_range(8.0..12.0);
+        rollout_into(&cfg, personality, &mut data)?;
+    }
+    Ok(data)
+}
+
+/// Rolls out one teacher episode, appending samples to `data`.
+fn rollout_into(
+    cfg: &EpisodeConfig,
+    personality: Personality,
+    data: &mut Dataset,
+) -> Result<(), TrainError> {
+    let scenario = cfg.scenario()?;
+    let mut teacher = match personality {
+        Personality::Conservative => TeacherPolicy::conservative(&scenario),
+        Personality::Aggressive => TeacherPolicy::aggressive(&scenario),
+    };
+    let window_kind = personality.window_kind();
+    let ego_limits = scenario.ego_limits();
+    let other_limits = scenario.other_limits();
+
+    let mut ego = cfg.ego_init;
+    let mut other = cfg.other_init();
+    let mut estimator = NaiveEstimator::new(other_limits, 0.0, other);
+    let mut channel = cfg.comm.channel(cfg.seed_channel());
+    let mut sensor = UniformNoiseSensor::new(cfg.noise, cfg.seed_sensor());
+    let mut driving_rng = StdRng::seed_from_u64(cfg.seed_driving());
+
+    let msg_every = (cfg.dt_m / cfg.dt_c).round().max(1.0) as u64;
+    let sense_every = (cfg.dt_s / cfg.dt_c).round().max(1.0) as u64;
+    let steps = (cfg.horizon / cfg.dt_c).ceil() as u64;
+
+    for step in 0..=steps {
+        let t = step as f64 * cfg.dt_c;
+        if step % msg_every == 0 {
+            channel.send(Message::from_state(1, t, &other), t);
+        }
+        for msg in channel.receive(t) {
+            estimator.on_message(&msg);
+        }
+        if step % sense_every == 0 {
+            estimator.on_measurement(&sensor.measure(1, t, &other));
+        }
+        if scenario.collision(&ego, &other) || scenario.target_reached(t, &ego) {
+            break;
+        }
+        let est = estimator.estimate(t);
+        let window = match window_kind {
+            WindowKind::Conservative => scenario.conservative_window(t, &est),
+            WindowKind::Nominal => scenario.nominal_window(t, &est),
+        };
+        let obs = Observation::new(t, ego, window);
+        let accel = teacher.plan(&obs);
+        data.push(obs, accel);
+        ego = ego_limits.step(&ego, accel, cfg.dt_c);
+        let a1 = driving_rng.random_range(other_limits.a_min()..=other_limits.a_max());
+        other = other_limits.step(&other, a1, cfg.dt_c);
+    }
+    Ok(())
+}
+
+/// Trains one planner personality from scratch.
+///
+/// # Errors
+///
+/// Returns a [`TrainError`] if rollout or fitting fails.
+pub fn train_planner(
+    setup: &TrainSetup,
+    personality: Personality,
+) -> Result<NnPlanner, TrainError> {
+    let data = collect_teacher_dataset(setup, personality)?;
+    let scenario = EpisodeConfig::paper_default(0).scenario()?;
+    let (planner, _loss) = clone_behaviour(
+        &data,
+        scenario.ego_limits(),
+        FeatureScaling::left_turn(),
+        CloneConfig {
+            seed: setup.seed,
+            ..setup.clone
+        },
+        personality.planner_name(),
+    )?;
+    Ok(planner)
+}
+
+/// Trains (or loads from `cache_dir`) the paper's two NN planners,
+/// `(κ_n,cons, κ_n,aggr)`.
+///
+/// Training is deterministic in `setup`, so the cache is just an
+/// accelerator; delete the directory to force retraining.
+///
+/// # Errors
+///
+/// Returns a [`TrainError`] on training or cache-I/O failure.
+pub fn load_or_train_planners(
+    cache_dir: &Path,
+    setup: &TrainSetup,
+) -> Result<(NnPlanner, NnPlanner), TrainError> {
+    std::fs::create_dir_all(cache_dir)?;
+    let mut planners = Vec::with_capacity(2);
+    for personality in [Personality::Conservative, Personality::Aggressive] {
+        let path = cache_dir.join(personality.file_name());
+        let planner = if path.exists() {
+            NnPlanner::from_text(&std::fs::read_to_string(&path)?).map_err(TrainError::Parse)?
+        } else {
+            let p = train_planner(setup, personality)?;
+            std::fs::write(&path, p.to_text())?;
+            p
+        };
+        planners.push(planner);
+    }
+    let aggr = planners.pop().expect("two planners");
+    let cons = planners.pop().expect("two planners");
+    Ok((cons, aggr))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run_episode, StackSpec};
+
+    #[test]
+    fn dataset_collection_produces_samples() {
+        let setup = TrainSetup {
+            rollout_episodes: 3,
+            ..TrainSetup::smoke()
+        };
+        let data = collect_teacher_dataset(&setup, Personality::Conservative).unwrap();
+        assert!(data.len() > 100, "only {} samples", data.len());
+    }
+
+    #[test]
+    fn smoke_trained_conservative_planner_mostly_reaches() {
+        let planner = train_planner(&TrainSetup::smoke(), Personality::Conservative).unwrap();
+        let mut reached = 0;
+        let n = 10;
+        for seed in 0..n {
+            let cfg = EpisodeConfig::paper_default(1000 + seed);
+            let spec = StackSpec::PureNn {
+                planner: planner.clone(),
+                window: WindowKind::Conservative,
+            };
+            let r = run_episode(&cfg, &spec, false).unwrap();
+            if r.outcome.reaching_time().is_some() {
+                reached += 1;
+            }
+        }
+        assert!(reached >= n / 2, "only {reached}/{n} reached");
+    }
+
+    #[test]
+    fn cache_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("safe-cv-test-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let setup = TrainSetup {
+            rollout_episodes: 2,
+            clone: CloneConfig {
+                epochs: 2,
+                ..CloneConfig::default()
+            },
+            ..TrainSetup::smoke()
+        };
+        let (cons1, aggr1) = load_or_train_planners(&dir, &setup).unwrap();
+        // Second call loads from cache and must be identical.
+        let (cons2, aggr2) = load_or_train_planners(&dir, &setup).unwrap();
+        assert_eq!(cons1, cons2);
+        assert_eq!(aggr1, aggr2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,41 @@
+//! How communication disturbance degrades an unshielded planner — and how
+//! the compound planner absorbs it. Sweeps the message drop probability and
+//! prints reaching time and safety for the interpretable teacher baselines.
+//!
+//! Run with: `cargo run --release --example comm_disturbance`
+
+use safe_cv::prelude::*;
+use safe_cv::sim::BatchSummary;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let sims = 120;
+    println!("{sims} episodes per point; aggressive teacher, unshielded\n");
+    println!(
+        "{:>6} {:>10} {:>9} {:>9}",
+        "p_d", "reach[s]", "safe", "mean η"
+    );
+    for j in 0..=5 {
+        let p_d = 0.18 * j as f64;
+        let mut template = EpisodeConfig::paper_default(1);
+        template.comm = CommSetting::Delayed {
+            delay: 0.25,
+            drop_prob: p_d,
+        };
+        let spec = StackSpec::pure_teacher_aggressive(&template)?;
+        let batch = BatchConfig::new(template, sims);
+        let summary = BatchSummary::from_results(&run_batch(&batch, &spec)?);
+        println!(
+            "{p_d:6.2} {:10.3} {:8.1}% {:+9.3}",
+            summary.reaching_time,
+            100.0 * summary.safe_rate,
+            summary.eta_mean
+        );
+    }
+    println!(
+        "\nModerate drops leave the planner trusting stale-but-recent messages (the\n\
+         worst case for its perfect-communication assumption); only extreme drop\n\
+         rates push it back onto its own sensors. Either way it keeps colliding —\n\
+         the failure mode the paper's shield removes (see `quickstart`)."
+    );
+    Ok(())
+}

@@ -1,0 +1,73 @@
+//! The information filter in isolation: how reachability over delayed
+//! messages and Kalman filtering over noisy sensing combine into a tight,
+//! sound estimate (paper Section III-B and Fig. 6a).
+//!
+//! Run with: `cargo run --release --example information_filter`
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use safe_cv::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let limits = VehicleLimits::new(3.0, 14.0, -3.0, 3.0)?;
+    let noise = SensorNoise::uniform(2.0);
+    let dt = 0.05;
+
+    // Three estimators watching the same vehicle:
+    let mut naive = NaiveEstimator::new(limits, 0.0, VehicleState::new(0.0, 10.0, 0.0));
+    let mut hard = InformationFilter::new(limits, noise, FilterMode::HardOnly, Prior::exact(0.0, 0.0, 10.0));
+    let mut fused = InformationFilter::new(limits, noise, FilterMode::Fused, Prior::exact(0.0, 0.0, 10.0));
+
+    let mut truth = VehicleState::new(0.0, 10.0, 0.0);
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut sensor = UniformNoiseSensor::new(noise, 99);
+    // Messages delayed by 0.4 s and 50% dropped.
+    let mut channel = CommSetting::Delayed { delay: 0.4, drop_prob: 0.5 }.channel(17);
+
+    println!(
+        "{:>6} {:>9} {:>22} {:>9} {:>9} {:>9}",
+        "t[s]", "true p", "hard interval", "width", "naive err", "fused err"
+    );
+    for step in 0..=120u64 {
+        let t = step as f64 * dt;
+        if step % 2 == 0 {
+            channel.send(Message::from_state(1, t, &truth), t);
+            for m in channel.receive(t) {
+                naive.on_message(&m);
+                hard.on_message(&m);
+                fused.on_message(&m);
+            }
+            let m = sensor.measure(1, t, &truth);
+            naive.on_measurement(&m);
+            hard.on_measurement(&m);
+            fused.on_measurement(&m);
+        }
+        if step % 20 == 0 {
+            let h = hard.estimate(t);
+            let n = naive.estimate(t);
+            let f = fused.estimate(t);
+            assert!(
+                h.position.contains(truth.position),
+                "hard bound must always contain the truth"
+            );
+            println!(
+                "{t:6.2} {:9.3} [{:8.3}, {:8.3}] {:9.3} {:9.3} {:9.3}",
+                truth.position,
+                h.position.lo(),
+                h.position.hi(),
+                h.position.width(),
+                (n.nominal.position - truth.position).abs(),
+                (f.nominal.position - truth.position).abs(),
+            );
+        }
+        let a = rng.random_range(limits.a_min()..=limits.a_max());
+        truth = limits.step(&truth, a, dt);
+    }
+
+    println!(
+        "\nThe hard interval is *sound* (always contains the truth) — that is what\n\
+         the runtime monitor consumes. The fused nominal (Kalman + message rollback)\n\
+         is the sharp point estimate that drives the aggressive unsafe-set estimation."
+    );
+    Ok(())
+}

@@ -1,0 +1,41 @@
+//! Quickstart: wrap an NN planner with the safety shield and simulate one
+//! unprotected left turn.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use safe_cv::prelude::*;
+use safe_cv::sim::training::{train_planner, Personality, TrainSetup};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Obtain an NN planner. Here we behaviour-clone the conservative
+    //    teacher with a small budget; the experiment binaries cache a fully
+    //    trained pair under target/planner-cache/.
+    println!("training a small conservative NN planner...");
+    let planner = train_planner(&TrainSetup::smoke(), Personality::Conservative)?;
+
+    // 2. Configure an episode: the paper's geometry, with messages delayed
+    //    0.25 s and 25% of them dropped.
+    let mut cfg = EpisodeConfig::paper_default(42);
+    cfg.comm = CommSetting::Delayed {
+        delay: 0.25,
+        drop_prob: 0.25,
+    };
+
+    // 3. Compare the unshielded planner with the ultimate compound planner.
+    let pure = StackSpec::PureNn {
+        planner: planner.clone(),
+        window: WindowKind::Conservative,
+    };
+    let shielded = StackSpec::ultimate(planner, AggressiveConfig::default());
+
+    for (name, spec) in [("pure NN", &pure), ("ultimate compound", &shielded)] {
+        let result = run_episode(&cfg, spec, false)?;
+        println!(
+            "{name:<18} -> {} (η = {:+.3}, emergency engaged {:.1}% of steps)",
+            result.outcome,
+            result.eta,
+            100.0 * result.emergency_frequency()
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,147 @@
+//! Cross-crate integration of the estimation pipeline: channels + sensors +
+//! information filter driven exactly like the simulator drives them.
+
+use safe_cv::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+struct Rig {
+    limits: VehicleLimits,
+    truth: VehicleState,
+    channel: Box<dyn Channel + Send>,
+    sensor: UniformNoiseSensor,
+    rng: StdRng,
+}
+
+impl Rig {
+    fn new(comm: CommSetting, noise: SensorNoise, seed: u64) -> Self {
+        let limits = VehicleLimits::new(3.0, 14.0, -3.0, 3.0).expect("valid limits");
+        Rig {
+            limits,
+            truth: VehicleState::new(0.0, 10.0, 0.0),
+            channel: comm.channel(seed),
+            sensor: UniformNoiseSensor::new(noise, seed ^ 0xFFFF),
+            rng: StdRng::seed_from_u64(seed.wrapping_mul(31)),
+        }
+    }
+
+    /// Advances one 0.05 s step, feeding `estimators` with comm/sensor events
+    /// on the paper's cadence (both every 0.1 s).
+    fn step(&mut self, step: u64, estimators: &mut [&mut dyn Estimator]) {
+        let t = step as f64 * 0.05;
+        if step % 2 == 0 {
+            self.channel.send(Message::from_state(1, t, &self.truth), t);
+            for m in self.channel.receive(t) {
+                for e in estimators.iter_mut() {
+                    e.on_message(&m);
+                }
+            }
+            let meas = self.sensor.measure(1, t, &self.truth);
+            for e in estimators.iter_mut() {
+                e.on_measurement(&meas);
+            }
+        }
+        let a = self.rng.random_range(-3.0..=3.0);
+        self.truth = self.limits.step(&self.truth, a, 0.05);
+    }
+}
+
+fn soundness_run(comm: CommSetting, noise: SensorNoise, seed: u64) {
+    let mut rig = Rig::new(comm, noise, seed);
+    let mut hard = InformationFilter::new(
+        rig.limits,
+        noise,
+        FilterMode::HardOnly,
+        Prior::exact(0.0, 0.0, 10.0),
+    );
+    let mut fused = InformationFilter::new(
+        rig.limits,
+        noise,
+        FilterMode::Fused,
+        Prior::exact(0.0, 0.0, 10.0),
+    );
+    for step in 0..200 {
+        let t = step as f64 * 0.05;
+        for (name, filt) in [("hard", &hard), ("fused", &fused)] {
+            let est = filt.estimate(t);
+            assert!(
+                est.consistent_with(&rig.truth),
+                "{name} estimate lost the truth under {comm} at t = {t:.2} (seed {seed})"
+            );
+            assert!(est.position.contains(est.nominal.position));
+            assert!(est.velocity.contains(est.nominal.velocity));
+        }
+        let mut ests: [&mut dyn Estimator; 2] = [&mut hard, &mut fused];
+        rig.step(step, &mut ests);
+    }
+}
+
+#[test]
+fn hard_and_fused_estimates_stay_sound_under_every_comm_setting() {
+    for seed in 0..8u64 {
+        soundness_run(CommSetting::NoDisturbance, SensorNoise::uniform(1.0), seed);
+        soundness_run(
+            CommSetting::Delayed {
+                delay: 0.25,
+                drop_prob: 0.5,
+            },
+            SensorNoise::uniform(2.0),
+            seed,
+        );
+        soundness_run(CommSetting::Lost, SensorNoise::uniform(4.8), seed);
+    }
+}
+
+#[test]
+fn fused_nominal_beats_raw_measurements_on_rmse() {
+    let noise = SensorNoise::uniform(2.0);
+    let mut rig = Rig::new(CommSetting::Lost, noise, 3);
+    let mut fused = InformationFilter::new(
+        rig.limits,
+        noise,
+        FilterMode::Fused,
+        Prior::exact(0.0, 0.0, 10.0),
+    );
+    let mut raw_err = Vec::new();
+    let mut fused_err = Vec::new();
+    let mut sensor_probe = UniformNoiseSensor::new(noise, 0xBEEF); // an independent raw consumer
+    for step in 0..400u64 {
+        let t = step as f64 * 0.05;
+        if step % 2 == 0 && step > 0 {
+            // Compare against what a raw-measurement consumer would believe.
+            let m = sensor_probe.measure(1, t, &rig.truth);
+            raw_err.push(m.velocity - rig.truth.velocity);
+            fused_err.push(fused.estimate(t).nominal.velocity - rig.truth.velocity);
+        }
+        let mut ests: [&mut dyn Estimator; 1] = [&mut fused];
+        rig.step(step, &mut ests);
+    }
+    let rms = |v: &[f64]| (v.iter().map(|e| e * e).sum::<f64>() / v.len() as f64).sqrt();
+    let (raw, fil) = (rms(&raw_err), rms(&fused_err));
+    assert!(
+        fil < 0.7 * raw,
+        "expected ≥30% RMSE improvement: raw {raw:.3}, fused {fil:.3}"
+    );
+}
+
+#[test]
+fn messages_tighten_the_monitorable_interval() {
+    // Under heavy sensing noise, each exact (even delayed) message must
+    // sharply shrink the hard interval the monitor works with.
+    let noise = SensorNoise::uniform(4.0);
+    let limits = VehicleLimits::new(3.0, 14.0, -3.0, 3.0).expect("valid limits");
+    let mut filt = InformationFilter::new(
+        limits,
+        noise,
+        FilterMode::HardOnly,
+        Prior::exact(0.0, 0.0, 10.0),
+    );
+    filt.on_measurement(&Measurement::new(1, 1.0, 11.0, 9.5, 0.0));
+    let before = filt.estimate(1.2).uncertainty();
+    filt.on_message(&Message::new(1, 1.0, 10.2, 10.1, 0.0));
+    let after = filt.estimate(1.2).uncertainty();
+    assert!(
+        after < 0.5 * before,
+        "message should at least halve the uncertainty: {before:.3} -> {after:.3}"
+    );
+}

@@ -1,0 +1,105 @@
+//! Paper Eq. 1: the compound planner must achieve `η(κ_c) ≥ η(κ_n)` (in the
+//! mean, per §III-E's argument) and `η(κ_c) ≥ 0` (always). These tests check
+//! the efficiency half on paired Monte-Carlo batches.
+
+mod common;
+
+use safe_cv::prelude::*;
+use safe_cv::sim::{run_batch, BatchConfig, BatchSummary};
+
+fn paired_summaries(
+    spec_a: &StackSpec,
+    spec_b: &StackSpec,
+    episodes: usize,
+    mutate: impl Fn(&mut EpisodeConfig),
+) -> (BatchSummary, BatchSummary) {
+    let mut template = EpisodeConfig::paper_default(500);
+    mutate(&mut template);
+    let batch = BatchConfig::new(template, episodes);
+    let a = BatchSummary::from_results(&run_batch(&batch, spec_a).expect("batch a"));
+    let b = BatchSummary::from_results(&run_batch(&batch, spec_b).expect("batch b"));
+    (a, b)
+}
+
+#[test]
+fn ultimate_beats_unsafe_pure_aggressive_on_mean_eta() {
+    let nn = common::aggressive_nn();
+    let pure = StackSpec::PureNn {
+        planner: nn.clone(),
+        window: WindowKind::Nominal,
+    };
+    let ultimate = StackSpec::ultimate(nn, AggressiveConfig::default());
+    let (p, u) = paired_summaries(&pure, &ultimate, 60, |cfg| {
+        cfg.comm = CommSetting::Delayed {
+            delay: 0.25,
+            drop_prob: 0.25,
+        };
+    });
+    assert!(p.safe_rate < 1.0, "pure aggressive planner should collide sometimes");
+    assert_eq!(u.safe_rate, 1.0, "ultimate must be 100% safe");
+    assert!(
+        u.eta_mean > p.eta_mean,
+        "mean η: ultimate {} vs pure {}",
+        u.eta_mean,
+        p.eta_mean
+    );
+}
+
+#[test]
+fn ultimate_is_at_least_as_fast_as_basic_for_the_conservative_family() {
+    let nn = common::conservative_nn();
+    let basic = StackSpec::basic(nn.clone());
+    let ultimate = StackSpec::ultimate(nn, AggressiveConfig::default());
+    let (b, u) = paired_summaries(&basic, &ultimate, 60, |cfg| {
+        cfg.comm = CommSetting::Lost;
+        cfg.noise = SensorNoise::uniform(2.0);
+    });
+    assert_eq!(b.safe_rate, 1.0);
+    assert_eq!(u.safe_rate, 1.0);
+    assert!(
+        u.reaching_time <= b.reaching_time + 0.05,
+        "ultimate {} vs basic {}",
+        u.reaching_time,
+        b.reaching_time
+    );
+    assert!(u.eta_mean + 1e-9 >= b.eta_mean);
+}
+
+#[test]
+fn emergency_frequency_is_higher_for_the_ultimate_planner() {
+    // The ultimate planner rides closer to the unsafe set (that is where its
+    // efficiency comes from), so κ_e engages more often than in the basic
+    // configuration (paper Table I: 0.02% vs 17.58% under "messages lost").
+    // The conservative family shows the cleanest separation.
+    let nn = common::conservative_nn();
+    let basic = StackSpec::basic(nn.clone());
+    let ultimate = StackSpec::ultimate(nn, AggressiveConfig::default());
+    let (b, u) = paired_summaries(&basic, &ultimate, 60, |cfg| {
+        cfg.comm = CommSetting::Lost;
+        cfg.noise = SensorNoise::uniform(2.0);
+    });
+    assert!(
+        u.emergency_frequency > b.emergency_frequency,
+        "ultimate {} vs basic {}",
+        u.emergency_frequency,
+        b.emergency_frequency
+    );
+}
+
+#[test]
+fn compound_eta_is_never_negative_even_when_pure_eta_is() {
+    let nn = common::aggressive_nn();
+    let pure = StackSpec::PureNn {
+        planner: nn.clone(),
+        window: WindowKind::Nominal,
+    };
+    let basic = StackSpec::basic(nn);
+    let (p, b) = paired_summaries(&pure, &basic, 60, |cfg| {
+        cfg.comm = CommSetting::Delayed {
+            delay: 0.25,
+            drop_prob: 0.5,
+        };
+    });
+    assert!(p.etas.iter().any(|&e| e < 0.0), "pure should have crashes here");
+    assert!(b.etas.iter().all(|&e| e >= 0.0), "compound η must be ≥ 0");
+}

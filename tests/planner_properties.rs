@@ -1,0 +1,95 @@
+//! Property tests over the planner layer: every planner must emit only
+//! admissible accelerations for arbitrary observations, and the NN output
+//! mapping must be a clean bijection onto the actuation range.
+
+use proptest::prelude::*;
+use safe_cv::planner::{NnPlanner, TeacherPolicy};
+use safe_cv::prelude::*;
+use safe_cv::sim::training::{train_planner, Personality, TrainSetup};
+use std::sync::OnceLock;
+
+fn scenario() -> LeftTurnScenario {
+    LeftTurnScenario::paper_default(52.0).expect("valid scenario")
+}
+
+fn nn() -> NnPlanner {
+    static CELL: OnceLock<NnPlanner> = OnceLock::new();
+    CELL.get_or_init(|| {
+        train_planner(&TrainSetup::smoke(), Personality::Conservative).expect("training ok")
+    })
+    .clone()
+}
+
+fn obs(t: f64, p: f64, v: f64, window: Option<(f64, f64)>) -> Observation {
+    Observation::new(
+        t,
+        VehicleState::new(p, v, 0.0),
+        window.map(|(lo, hi)| Interval::new(t + lo.min(hi), t + hi)),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn teachers_always_emit_admissible_accelerations(
+        t in 0.0..20.0f64,
+        p in -40.0..20.0f64,
+        v in 0.0..12.0f64,
+        lo in 0.0..15.0f64,
+        len in 0.0..15.0f64,
+        has_window in proptest::bool::ANY,
+    ) {
+        let s = scenario();
+        let lims = s.ego_limits();
+        let o = obs(t, p, v, has_window.then_some((lo, lo + len)));
+        for mut teacher in [TeacherPolicy::conservative(&s), TeacherPolicy::aggressive(&s)] {
+            let a = teacher.plan(&o);
+            prop_assert!(a.is_finite());
+            prop_assert!(a >= lims.a_min() - 1e-9 && a <= lims.a_max() + 1e-9, "{a}");
+        }
+    }
+
+    #[test]
+    fn nn_planner_always_emits_admissible_accelerations(
+        t in 0.0..20.0f64,
+        p in -40.0..20.0f64,
+        v in 0.0..12.0f64,
+        lo in 0.0..15.0f64,
+        len in 0.0..15.0f64,
+        has_window in proptest::bool::ANY,
+    ) {
+        let s = scenario();
+        let lims = s.ego_limits();
+        let mut planner = nn();
+        let a = planner.plan(&obs(t, p, v, has_window.then_some((lo, lo + len))));
+        prop_assert!(a.is_finite());
+        prop_assert!(a >= lims.a_min() - 1e-9 && a <= lims.a_max() + 1e-9, "{a}");
+    }
+
+    #[test]
+    fn accel_output_mapping_roundtrips(a in -6.0..3.0f64) {
+        let lims = scenario().ego_limits();
+        let planner = nn();
+        let y = NnPlanner::accel_to_output(&lims, a);
+        prop_assert!((-1.0..=1.0).contains(&y));
+        prop_assert!((planner.output_to_accel(y) - a).abs() < 1e-9);
+    }
+
+    #[test]
+    fn emergency_accel_is_always_admissible(
+        t in 0.0..20.0f64,
+        p in -40.0..20.0f64,
+        v in 0.0..12.0f64,
+        lo in 0.0..15.0f64,
+        len in 0.0..15.0f64,
+    ) {
+        let s = scenario();
+        let lims = s.ego_limits();
+        let ego = VehicleState::new(p, v, 0.0);
+        let w = Some(Interval::new(t + lo.min(lo + len), t + lo + len));
+        let a = s.emergency_accel(t, &ego, w);
+        prop_assert!(a.is_finite());
+        prop_assert!(a >= lims.a_min() - 1e-9 && a <= lims.a_max() + 1e-9, "{a}");
+    }
+}

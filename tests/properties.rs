@@ -1,0 +1,65 @@
+//! Workspace-level property tests: the safety guarantee and estimator
+//! soundness under randomly drawn disturbance parameters.
+
+mod common;
+
+use proptest::prelude::*;
+use safe_cv::prelude::*;
+use safe_cv::sim::run_episode;
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        ..ProptestConfig::default()
+    })]
+
+    /// η(κ_c) ≥ 0 for the ultimate compound planner under arbitrary
+    /// delay/drop/noise/start combinations.
+    #[test]
+    fn ultimate_compound_never_collides(
+        seed in 0u64..10_000,
+        drop_prob in 0.0..0.95f64,
+        delay in 0.0..0.5f64,
+        delta in 0.5..4.8f64,
+        start_idx in 0usize..20,
+    ) {
+        let mut cfg = EpisodeConfig::paper_default(seed);
+        cfg.comm = CommSetting::Delayed { delay, drop_prob };
+        cfg.noise = SensorNoise::uniform(delta);
+        cfg.other_start_shared = 50.5 + 0.5 * start_idx as f64;
+        let spec = StackSpec::ultimate(common::aggressive_nn(), AggressiveConfig::default());
+        let r = run_episode(&cfg, &spec, false).expect("valid episode");
+        prop_assert!(r.outcome.is_safe(), "collision: {:?}", r.outcome);
+        prop_assert!(r.eta >= 0.0);
+    }
+
+    /// Same guarantee with messages entirely lost and arbitrary sensing
+    /// noise/periods.
+    #[test]
+    fn basic_compound_never_collides_on_sensing_alone(
+        seed in 0u64..10_000,
+        delta in 0.5..4.8f64,
+        sense_steps in 1u64..10,
+    ) {
+        let mut cfg = EpisodeConfig::paper_default(seed);
+        cfg.comm = CommSetting::Lost;
+        cfg.noise = SensorNoise::uniform(delta);
+        cfg.dt_s = 0.1 * sense_steps as f64;
+        cfg.dt_m = cfg.dt_s;
+        let spec = StackSpec::basic(common::aggressive_nn());
+        let r = run_episode(&cfg, &spec, false).expect("valid episode");
+        prop_assert!(r.outcome.is_safe(), "collision: {:?}", r.outcome);
+    }
+
+    /// Episodes are exactly reproducible from their configuration.
+    #[test]
+    fn episodes_are_deterministic(seed in 0u64..1_000) {
+        let cfg = EpisodeConfig::paper_default(seed);
+        let spec = StackSpec::pure_teacher_conservative(&cfg).expect("valid scenario");
+        let a = run_episode(&cfg, &spec, false).expect("episode a");
+        let b = run_episode(&cfg, &spec, false).expect("episode b");
+        prop_assert_eq!(a.outcome, b.outcome);
+        prop_assert_eq!(a.emergency_steps, b.emergency_steps);
+        prop_assert_eq!(a.total_steps, b.total_steps);
+    }
+}

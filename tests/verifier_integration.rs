@@ -1,0 +1,68 @@
+//! The offline shield verifier across non-default scenario geometries: the
+//! safety obligations must hold for any valid parameterisation, not just the
+//! paper's.
+
+use safe_cv::dynamics::VehicleLimits;
+use safe_cv::left_turn::verify::{check_invariants, VerifyGrid};
+use safe_cv::left_turn::{Geometry, LeftTurnScenario};
+
+fn verify(scenario: &LeftTurnScenario) {
+    let report = check_invariants(scenario, &VerifyGrid::coarse());
+    assert!(report.is_clean(), "{report}");
+    assert!(report.states_checked > 500);
+}
+
+#[test]
+fn wider_conflict_zone_verifies() {
+    let scenario = LeftTurnScenario::new(
+        Geometry { p_f: 2.0, p_b: 28.0 },
+        VehicleLimits::new(0.0, 12.0, -6.0, 3.0).expect("valid limits"),
+        VehicleLimits::new(3.0, 14.0, -3.0, 3.0).expect("valid limits"),
+        60.0,
+        0.05,
+    )
+    .expect("valid scenario");
+    verify(&scenario);
+}
+
+#[test]
+fn weak_brakes_verify() {
+    // Much weaker braking shifts every set boundary; the obligations are
+    // parameter-relative and must still hold.
+    let scenario = LeftTurnScenario::new(
+        Geometry::paper(),
+        VehicleLimits::new(0.0, 12.0, -2.5, 2.0).expect("valid limits"),
+        VehicleLimits::new(3.0, 14.0, -3.0, 3.0).expect("valid limits"),
+        52.0,
+        0.05,
+    )
+    .expect("valid scenario");
+    verify(&scenario);
+}
+
+#[test]
+fn coarse_control_period_verifies() {
+    // A 5x longer control period widens the boundary band accordingly.
+    let scenario = LeftTurnScenario::new(
+        Geometry::paper(),
+        VehicleLimits::new(0.0, 12.0, -6.0, 3.0).expect("valid limits"),
+        VehicleLimits::new(3.0, 14.0, -3.0, 3.0).expect("valid limits"),
+        52.0,
+        0.25,
+    )
+    .expect("valid scenario");
+    verify(&scenario);
+}
+
+#[test]
+fn fast_oncoming_traffic_verifies() {
+    let scenario = LeftTurnScenario::new(
+        Geometry::paper(),
+        VehicleLimits::new(0.0, 12.0, -6.0, 3.0).expect("valid limits"),
+        VehicleLimits::new(8.0, 25.0, -5.0, 5.0).expect("valid limits"),
+        80.0,
+        0.05,
+    )
+    .expect("valid scenario");
+    verify(&scenario);
+}

@@ -1,7 +1,8 @@
 //! Whole-episode throughput per planner stack — what determines how fast
 //! the Monte-Carlo experiments run.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::timing::Criterion;
+use bench::{criterion_group, criterion_main};
 use cv_comm::CommSetting;
 use cv_sim::training::{train_planner, Personality, TrainSetup};
 use cv_sim::{run_episode, EpisodeConfig, StackSpec, WindowKind};

@@ -2,7 +2,8 @@
 //! control step per tracked vehicle, so their cost bounds how much traffic a
 //! real deployment could monitor.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use bench::timing::{BatchSize, Criterion};
+use bench::{criterion_group, criterion_main};
 use cv_comm::Message;
 use cv_dynamics::VehicleLimits;
 use cv_estimation::{

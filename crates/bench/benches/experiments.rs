@@ -8,15 +8,15 @@
 //! * `experiments/fig6a_filter_rmse` — the Fig. 6a RMSE computation;
 //! * `experiments/fig6b_window_trace` — the Fig. 6b traced episode.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::timing::Criterion;
+use bench::{criterion_group, criterion_main};
 use cv_comm::CommSetting;
 use cv_dynamics::{VehicleLimits, VehicleState};
 use cv_estimation::TrackingFilter;
+use cv_rng::{Rng, SplitMix64};
 use cv_sensing::{SensorNoise, UniformNoiseSensor};
 use cv_sim::training::{train_planner, Personality, TrainSetup};
 use cv_sim::{run_batch, run_episode, BatchConfig, EpisodeConfig, StackSpec, WindowKind};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use safe_shield::AggressiveConfig;
 use std::hint::black_box;
 
@@ -91,7 +91,7 @@ fn bench_fig6a(c: &mut Criterion) {
     group.bench_function("fig6a_filter_rmse", |b| {
         b.iter(|| {
             // One filtered trajectory of the Fig. 6a kind.
-            let mut rng = StdRng::seed_from_u64(7);
+            let mut rng = SplitMix64::seed_from_u64(7);
             let mut sensor = UniformNoiseSensor::new(SensorNoise::uniform(2.0), 8);
             let mut truth = VehicleState::new(0.0, 10.0, 0.0);
             let mut filter = TrackingFilter::new(SensorNoise::uniform(2.0), 0.0, 0.0, 10.0)

@@ -1,7 +1,8 @@
 //! Micro-benchmarks of the from-scratch NN library: inference cost (what a
 //! planner pays per control step) and training throughput.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use bench::timing::{BatchSize, Criterion};
+use bench::{criterion_group, criterion_main};
 use cv_nn::{Activation, Matrix, Mlp, Optimizer, TrainConfig, Trainer};
 use std::hint::black_box;
 

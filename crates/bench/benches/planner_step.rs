@@ -3,7 +3,8 @@
 //! benches quantify the (small) overhead of the monitor + compound planner
 //! over the bare NN planner.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::timing::Criterion;
+use bench::{criterion_group, criterion_main};
 use cv_dynamics::VehicleState;
 use cv_estimation::VehicleEstimate;
 use cv_planner::TeacherPolicy;

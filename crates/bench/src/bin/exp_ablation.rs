@@ -34,13 +34,7 @@ fn main() {
             "{:>6} {:>6} {:>8} {:>8} {:>8}",
             "a_buf", "v_buf", "reach", "safe", "emerg"
         );
-        for (a_buf, v_buf) in [
-            (0.25, 0.5),
-            (0.5, 1.0),
-            (1.0, 2.0),
-            (2.0, 4.0),
-            (3.0, 6.0),
-        ] {
+        for (a_buf, v_buf) in [(0.25, 0.5), (0.5, 1.0), (1.0, 2.0), (2.0, 4.0), (3.0, 6.0)] {
             let spec = StackSpec::ultimate(cons.clone(), AggressiveConfig::new(a_buf, v_buf));
             let s = summarise(&spec, CommScenario::NoDisturbance, sims, seed);
             println!(

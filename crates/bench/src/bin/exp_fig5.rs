@@ -54,7 +54,11 @@ fn print_sweep(title: &str, x_name: &str, points: &[SweepPoint]) {
     println!("\n{title}");
     print!("{x_name:>8}");
     for (label, _) in &points[0].rows {
-        print!(" {:>10} {:>9}", format!("reach:{label}"), format!("emrg:{label}"));
+        print!(
+            " {:>10} {:>9}",
+            format!("reach:{label}"),
+            format!("emrg:{label}")
+        );
     }
     println!();
     for p in points {

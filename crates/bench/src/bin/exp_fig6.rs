@@ -11,19 +11,22 @@
 
 use cv_dynamics::{VehicleLimits, VehicleState};
 use cv_estimation::TrackingFilter;
+use cv_rng::{Rng, SplitMix64};
 use cv_sensing::{Measurement, SensorNoise, UniformNoiseSensor};
 use cv_sim::{run_episode, EpisodeConfig, StackSpec};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use safe_shield::AggressiveConfig;
 
 /// Simulates one random `C_1` trajectory and returns per-sensing-period
 /// `(t, truth, measurement, filtered)` samples.
-fn filter_run(seed: u64, delta: f64, duration: f64) -> Vec<(f64, VehicleState, Measurement, (f64, f64))> {
+fn filter_run(
+    seed: u64,
+    delta: f64,
+    duration: f64,
+) -> Vec<(f64, VehicleState, Measurement, (f64, f64))> {
     let limits = VehicleLimits::new(3.0, 14.0, -3.0, 3.0).expect("valid limits");
     let dt_c = 0.05;
     let dt_s = 0.1;
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let mut sensor = UniformNoiseSensor::new(SensorNoise::uniform(delta), seed ^ 0xABCD);
     let mut truth = VehicleState::new(0.0, 10.0, 0.0);
     let half_range = 0.5 * (limits.a_max() - limits.a_min());
@@ -47,7 +50,10 @@ fn filter_run(seed: u64, delta: f64, duration: f64) -> Vec<(f64, VehicleState, M
 
 fn panel_a() {
     println!("\nFIG 6a — sensor-measured vs filtered velocity (one sensing-only episode, δ = 2)");
-    println!("{:>6} {:>10} {:>10} {:>10}", "t[s]", "true v", "measured v", "filtered v");
+    println!(
+        "{:>6} {:>10} {:>10} {:>10}",
+        "t[s]", "true v", "measured v", "filtered v"
+    );
     for (t, truth, meas, (_, v_filt)) in filter_run(7, 2.0, 8.0) {
         if (t * 10.0).round() as i64 % 5 == 0 {
             println!(
@@ -60,7 +66,8 @@ fn panel_a() {
     // RMSE reduction over 200 sampled trajectories (paper: −69 % position,
     // −76 % velocity).
     let trajectories = 200;
-    let (mut raw_p, mut raw_v, mut fil_p, mut fil_v) = (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+    let (mut raw_p, mut raw_v, mut fil_p, mut fil_v) =
+        (Vec::new(), Vec::new(), Vec::new(), Vec::new());
     let (mut tru_p, mut tru_v) = (Vec::new(), Vec::new());
     for seed in 0..trajectories {
         for (_, truth, meas, (p_f, v_f)) in filter_run(1000 + seed, 2.0, 8.0) {
@@ -104,9 +111,7 @@ fn panel_b() {
     let inside: Vec<f64> = traces
         .primary_other()
         .iter()
-        .filter(|s| {
-            (scenario.other_entry()..=scenario.other_exit()).contains(&s.state.position)
-        })
+        .filter(|s| (scenario.other_entry()..=scenario.other_exit()).contains(&s.state.position))
         .map(|s| s.time)
         .collect();
     match (inside.first(), inside.last()) {
@@ -120,7 +125,11 @@ fn panel_b() {
         "{:>6} {:>9} {:>9} {:>9} {:>9}",
         "t[s]", "cons.lo", "cons.hi", "aggr.lo", "aggr.hi"
     );
-    for w in traces.windows.iter().filter(|w| (w.time * 10.0).round() as i64 % 5 == 0) {
+    for w in traces
+        .windows
+        .iter()
+        .filter(|w| (w.time * 10.0).round() as i64 % 5 == 0)
+    {
         let fmt = |i: Option<cv_estimation::Interval>, hi: bool| match i {
             Some(iv) => format!("{:9.2}", if hi { iv.hi() } else { iv.lo() }),
             None => "       --".to_string(),

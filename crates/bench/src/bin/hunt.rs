@@ -53,16 +53,36 @@ fn main() {
     let (cons, aggr) = bench::planners();
     let settings: [(&str, CommSetting, f64); 4] = [
         ("no-dist", CommSetting::NoDisturbance, 1.0),
-        ("delayed", CommSetting::Delayed { delay: 0.25, drop_prob: 0.25 }, 1.0),
-        ("heavy-drop", CommSetting::Delayed { delay: 0.5, drop_prob: 0.9 }, 2.0),
+        (
+            "delayed",
+            CommSetting::Delayed {
+                delay: 0.25,
+                drop_prob: 0.25,
+            },
+            1.0,
+        ),
+        (
+            "heavy-drop",
+            CommSetting::Delayed {
+                delay: 0.5,
+                drop_prob: 0.9,
+            },
+            2.0,
+        ),
         ("lost", CommSetting::Lost, 3.0),
     ];
     let mut violations = 0usize;
     for (nn_name, nn) in [("cons", &cons), ("aggr", &aggr)] {
         for (stack_name, spec) in [
             ("basic", StackSpec::basic(nn.clone())),
-            ("ultimate", StackSpec::ultimate(nn.clone(), AggressiveConfig::default())),
-            ("zero-buffers", StackSpec::ultimate(nn.clone(), AggressiveConfig::new(0.0, 0.0))),
+            (
+                "ultimate",
+                StackSpec::ultimate(nn.clone(), AggressiveConfig::default()),
+            ),
+            (
+                "zero-buffers",
+                StackSpec::ultimate(nn.clone(), AggressiveConfig::new(0.0, 0.0)),
+            ),
         ] {
             for (setting_name, comm, delta) in &settings {
                 let mut template = EpisodeConfig::paper_default(1);

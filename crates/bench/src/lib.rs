@@ -1,6 +1,6 @@
 //! Shared experiment harness for regenerating the paper's tables & figures.
 //!
-//! Every binary in `src/bin/` (one per paper artifact) and every criterion
+//! Every binary in `src/bin/` (one per paper artifact) and every micro-
 //! bench builds on these helpers:
 //!
 //! * [`planners`] — loads (or trains once, cached under
@@ -13,6 +13,8 @@
 //! Binaries accept `--sims N` to scale the Monte-Carlo size (the paper used
 //! 80,000 per setting; the default here is 2,000, which already stabilises
 //! every qualitative ordering).
+
+pub mod timing;
 
 use cv_comm::CommSetting;
 use cv_planner::NnPlanner;
@@ -223,8 +225,7 @@ pub fn evaluate_block(
         .map(|(i, summary)| TableRow {
             setting: scenario.label(),
             planner: stacks[i].0,
-            ultimate_wins: (i != 2)
-                .then(|| winning_percentage(&ultimate_etas, &summary.etas)),
+            ultimate_wins: (i != 2).then(|| winning_percentage(&ultimate_etas, &summary.etas)),
             summary,
         })
         .collect()

@@ -1,6 +1,5 @@
 use cv_dynamics::VehicleLimits;
 use safe_shield::{Observation, Planner};
-use serde::{Deserialize, Serialize};
 
 use crate::CarFollowingScenario;
 
@@ -16,7 +15,7 @@ use crate::CarFollowingScenario;
 /// * [`CruisePlanner::adaptive`] — a proportional ACC that additionally
 ///   regulates a time headway to the lead's estimated position (read from
 ///   the observation's conflict descriptor).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CruisePlanner {
     limits: VehicleLimits,
     desired_speed: f64,
@@ -105,11 +104,7 @@ mod tests {
     }
 
     fn obs(p: f64, v: f64, lead: Option<f64>) -> Observation {
-        Observation::new(
-            0.0,
-            VehicleState::new(p, v, 0.0),
-            lead.map(Interval::point),
-        )
+        Observation::new(0.0, VehicleState::new(p, v, 0.0), lead.map(Interval::point))
     }
 
     #[test]
@@ -127,7 +122,10 @@ mod tests {
         let s = scenario();
         let mut p = CruisePlanner::adaptive(&s, 1.5);
         let close = p.plan(&obs(0.0, 20.0, Some(15.0)));
-        assert!(close < 0.0, "should brake at 15 m gap doing 20 m/s: {close}");
+        assert!(
+            close < 0.0,
+            "should brake at 15 m gap doing 20 m/s: {close}"
+        );
         let far = p.plan(&obs(0.0, 20.0, Some(200.0)));
         assert!(far > 0.0, "should accelerate with 200 m of room");
     }
@@ -142,7 +140,11 @@ mod tests {
             let a = p.plan(&Observation::new(i as f64 * 0.05, ego, None));
             ego = lims.step(&ego, a, 0.05);
         }
-        assert!((ego.velocity - 25.0).abs() < 0.2, "settled at {}", ego.velocity);
+        assert!(
+            (ego.velocity - 25.0).abs() < 0.2,
+            "settled at {}",
+            ego.velocity
+        );
     }
 
     #[test]

@@ -1,7 +1,6 @@
 use cv_dynamics::{braking_distance, VehicleLimits, VehicleState};
 use cv_estimation::{Interval, VehicleEstimate};
 use safe_shield::{AggressiveConfig, Scenario};
-use serde::{Deserialize, Serialize};
 
 /// Errors constructing a [`CarFollowingScenario`].
 #[derive(Debug, Clone, PartialEq)]
@@ -52,7 +51,7 @@ impl From<cv_dynamics::LimitsError> for CarFollowingError {
 /// The monitor works against a slightly inflated gap
 /// (`p_gap + MONITOR_GAP_MARGIN`) so floating-point drift on the exact
 /// stopping trajectory can never produce a real-gap violation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CarFollowingScenario {
     ego_limits: VehicleLimits,
     lead_limits: VehicleLimits,

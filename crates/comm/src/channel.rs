@@ -1,5 +1,4 @@
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cv_rng::{Rng, SplitMix64};
 
 use crate::Message;
 
@@ -77,7 +76,7 @@ impl Channel for PerfectChannel {
 /// ("messages delayed" setting of paper Section V).
 ///
 /// Dropped messages vanish; surviving ones arrive exactly `delay` seconds
-/// after they were sent. The drop decisions come from a seeded [`StdRng`] so
+/// after they were sent. The drop decisions come from a seeded [`SplitMix64`] so
 /// paired experiments can reproduce identical channel realisations.
 ///
 /// # Example
@@ -94,7 +93,7 @@ impl Channel for PerfectChannel {
 pub struct DelayDropChannel {
     delay: f64,
     drop_prob: f64,
-    rng: StdRng,
+    rng: SplitMix64,
     queue: Vec<InFlight>,
 }
 
@@ -114,7 +113,7 @@ impl DelayDropChannel {
         Self {
             delay,
             drop_prob,
-            rng: StdRng::seed_from_u64(seed),
+            rng: SplitMix64::seed_from_u64(seed),
             queue: Vec::new(),
         }
     }
@@ -134,7 +133,7 @@ impl Channel for DelayDropChannel {
     fn send(&mut self, msg: Message, now: f64) {
         // Draw the drop decision even for p_d = 0 so that sweeping p_d keeps
         // the same per-message random stream alignment.
-        let dropped = self.rng.random::<f64>() < self.drop_prob;
+        let dropped = self.rng.random_f64() < self.drop_prob;
         if !dropped {
             self.queue.push(InFlight {
                 deliver_at: now + self.delay,

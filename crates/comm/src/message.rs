@@ -1,5 +1,4 @@
 use cv_dynamics::VehicleState;
-use serde::{Deserialize, Serialize};
 
 /// A V2V beacon message.
 ///
@@ -16,7 +15,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(m.sender, 1);
 /// assert_eq!(m.state().velocity, 10.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Message {
     /// Index of the sending vehicle (`C_i`).
     pub sender: usize,
@@ -44,7 +43,13 @@ impl Message {
 
     /// Builds a message from a vehicle state sampled at `stamp`.
     pub fn from_state(sender: usize, stamp: f64, state: &VehicleState) -> Self {
-        Self::new(sender, stamp, state.position, state.velocity, state.acceleration)
+        Self::new(
+            sender,
+            stamp,
+            state.position,
+            state.velocity,
+            state.acceleration,
+        )
     }
 
     /// The payload as a [`VehicleState`].

@@ -1,5 +1,3 @@
-use serde::{Deserialize, Serialize};
-
 use crate::{Channel, DelayDropChannel, LostChannel, Message, PerfectChannel};
 
 /// The three communication settings evaluated in paper Section V.
@@ -16,7 +14,7 @@ use crate::{Channel, DelayDropChannel, LostChannel, Message, PerfectChannel};
 /// ch.send(Message::new(1, 0.0, 0.0, 0.0, 0.0), 0.0);
 /// assert!(ch.receive(10.0).is_empty());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum CommSetting {
     /// Messages always arrive instantly.
     NoDisturbance,

@@ -1,5 +1,3 @@
-use serde::{Deserialize, Serialize};
-
 /// Buffers for the aggressive unsafe-set estimation (paper Section IV).
 ///
 /// Instead of the physical limits `a_1,max`/`v_1,max` (Eq. 7), the aggressive
@@ -13,7 +11,7 @@ use serde::{Deserialize, Serialize};
 /// (and symmetrically `−a_buf`/`−v_buf` against the lower limits for the late
 /// edge of the window). Larger buffers are more conservative; zero buffers
 /// trust the current measurement completely.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AggressiveConfig {
     /// Acceleration buffer `a_buf ≥ 0` (m/s²).
     pub a_buf: f64,

@@ -1,13 +1,10 @@
 use cv_dynamics::VehicleState;
 use cv_estimation::VehicleEstimate;
-use serde::{Deserialize, Serialize};
 
-use crate::{
-    AggressiveConfig, MonitorVerdict, Observation, Planner, RuntimeMonitor, Scenario,
-};
+use crate::{AggressiveConfig, MonitorVerdict, Observation, Planner, RuntimeMonitor, Scenario};
 
 /// Which planner produced the acceleration of a step.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PlannerSource {
     /// The embedded NN-based planner `κ_n`.
     NeuralNetwork,
@@ -16,7 +13,7 @@ pub enum PlannerSource {
 }
 
 /// Which unsafe-set estimate the embedded NN planner is fed.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum WindowSource {
     /// The sound conservative window (paper Eq. 7) — the *basic* compound
     /// planner (`κ_cb`).
@@ -27,7 +24,7 @@ pub enum WindowSource {
 }
 
 /// One planning decision of the compound planner.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PlanDecision {
     /// Acceleration command for this control step (m/s², unclamped).
     pub accel: f64,
@@ -37,7 +34,7 @@ pub struct PlanDecision {
 
 /// Running counters over an episode (emergency frequency in the paper's
 /// tables is `emergency_steps / total_steps`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CompoundStats {
     /// Steps decided by the emergency planner.
     pub emergency_steps: u64,
@@ -132,7 +129,12 @@ impl<S: Scenario, P: Planner> CompoundPlanner<S, P> {
     /// `estimate` is the (filtered) belief about the conflicting vehicle; it
     /// must come from a sound estimator for the safety guarantee (paper
     /// §III-E) to hold.
-    pub fn plan(&mut self, time: f64, ego: &VehicleState, estimate: &VehicleEstimate) -> PlanDecision {
+    pub fn plan(
+        &mut self,
+        time: f64,
+        ego: &VehicleState,
+        estimate: &VehicleEstimate,
+    ) -> PlanDecision {
         self.stats.total_steps += 1;
         match self.monitor.check(&self.scenario, time, ego, estimate) {
             MonitorVerdict::Emergency { window } => {
@@ -259,11 +261,8 @@ mod tests {
 
     #[test]
     fn ultimate_feeds_aggressive_window_to_nn() {
-        let mut cp = CompoundPlanner::ultimate(
-            Wall,
-            Probe { windows: vec![] },
-            AggressiveConfig::default(),
-        );
+        let mut cp =
+            CompoundPlanner::ultimate(Wall, Probe { windows: vec![] }, AggressiveConfig::default());
         cp.plan(0.0, &VehicleState::new(0.0, 1.0, 0.0), &est());
         assert_eq!(cp.nn().windows[0], Some(Interval::new(0.0, 4.0)));
 

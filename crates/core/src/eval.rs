@@ -1,5 +1,3 @@
-use serde::{Deserialize, Serialize};
-
 /// Outcome of one simulated episode, evaluated on ground truth.
 ///
 /// Implements the evaluation function `η` of paper Section II-A:
@@ -19,7 +17,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(Outcome::Reached { time: 8.0 }.eta(), 0.125);
 /// assert_eq!(Outcome::Timeout.eta(), 0.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Outcome {
     /// Safety was violated at `time` before the target was reached.
     Collision {

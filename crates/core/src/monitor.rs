@@ -1,11 +1,10 @@
 use cv_dynamics::VehicleState;
 use cv_estimation::{Interval, VehicleEstimate};
-use serde::{Deserialize, Serialize};
 
 use crate::Scenario;
 
 /// What the runtime monitor decided for the current control step.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum MonitorVerdict {
     /// The state is in the boundary safe set (or, defensively, already in
     /// the unsafe set): the emergency planner must take over.
@@ -124,19 +123,26 @@ mod tests {
 
     #[test]
     fn nominal_when_far_from_unsafe_set() {
-        let v = RuntimeMonitor::new().check(&Wall, 0.0, &VehicleState::new(0.0, 1.0, 0.0), &estimate());
+        let v =
+            RuntimeMonitor::new().check(&Wall, 0.0, &VehicleState::new(0.0, 1.0, 0.0), &estimate());
         assert!(!v.is_emergency());
     }
 
     #[test]
     fn emergency_inside_boundary_safe_set() {
-        let v = RuntimeMonitor::new().check(&Wall, 0.0, &VehicleState::new(9.5, 1.0, 0.0), &estimate());
+        let v =
+            RuntimeMonitor::new().check(&Wall, 0.0, &VehicleState::new(9.5, 1.0, 0.0), &estimate());
         assert!(v.is_emergency());
     }
 
     #[test]
     fn emergency_inside_unsafe_set_defensively() {
-        let v = RuntimeMonitor::new().check(&Wall, 0.0, &VehicleState::new(10.5, 1.0, 0.0), &estimate());
+        let v = RuntimeMonitor::new().check(
+            &Wall,
+            0.0,
+            &VehicleState::new(10.5, 1.0, 0.0),
+            &estimate(),
+        );
         assert!(v.is_emergency());
     }
 }

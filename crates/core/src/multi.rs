@@ -1,7 +1,9 @@
 use cv_dynamics::VehicleState;
 use cv_estimation::{Interval, VehicleEstimate};
 
-use crate::{CompoundStats, Observation, PlanDecision, Planner, PlannerSource, Scenario, WindowSource};
+use crate::{
+    CompoundStats, Observation, PlanDecision, Planner, PlannerSource, Scenario, WindowSource,
+};
 
 /// Merges per-vehicle passing windows into the single window the (one-window)
 /// NN planner consumes: the hull of the *earliest cluster* of windows whose
@@ -153,12 +155,14 @@ impl<S: Scenario, P: Planner> MultiCompoundPlanner<S, P> {
         }
 
         // NN step: fuse the per-vehicle windows of the configured source.
-        let nn_windows = self.scenarios.iter().zip(estimates).map(|(s, e)| {
-            match self.window_source {
-                WindowSource::Conservative => s.conservative_window(time, e),
-                WindowSource::Aggressive(cfg) => s.aggressive_window(time, e, &cfg),
-            }
-        });
+        let nn_windows =
+            self.scenarios
+                .iter()
+                .zip(estimates)
+                .map(|(s, e)| match self.window_source {
+                    WindowSource::Conservative => s.conservative_window(time, e),
+                    WindowSource::Aggressive(cfg) => s.aggressive_window(time, e, &cfg),
+                });
         let obs = Observation::new(time, *ego, merge_windows(nn_windows, self.merge_gap));
         PlanDecision {
             accel: self.nn.plan(&obs),

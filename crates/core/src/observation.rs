@@ -1,6 +1,5 @@
 use cv_dynamics::VehicleState;
 use cv_estimation::Interval;
-use serde::{Deserialize, Serialize};
 
 /// The input a planner sees at one control step.
 ///
@@ -9,7 +8,7 @@ use serde::{Deserialize, Serialize};
 /// window `[τ_1,min(t), τ_1,max(t)]` of the oncoming vehicle. Which window
 /// (naive, conservative Eq. 7, or aggressive Eq. 8) gets put here is decided
 /// by the surrounding planner stack — the planner itself is window-agnostic.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Observation {
     /// Current time, in seconds.
     pub time: f64,
@@ -43,10 +42,7 @@ impl Observation {
     /// efficient than feeding absolute `τ` values.
     pub fn features(&self) -> [f64; Self::FEATURES] {
         let (rel_min, rel_max) = match self.window {
-            Some(w) => (
-                (w.lo() - self.time).max(0.0),
-                (w.hi() - self.time).max(0.0),
-            ),
+            Some(w) => ((w.lo() - self.time).max(0.0), (w.hi() - self.time).max(0.0)),
             None => (Self::WINDOW_PASSED, Self::WINDOW_PASSED),
         };
         [
@@ -85,11 +81,7 @@ mod tests {
     fn window_in_the_past_clamps_to_zero() {
         // A still-Some window whose start is already behind `t` clamps the
         // relative start at 0 (the vehicle may be inside the zone *now*).
-        let obs = Observation::new(
-            6.0,
-            VehicleState::at_rest(),
-            Some(Interval::new(5.0, 7.0)),
-        );
+        let obs = Observation::new(6.0, VehicleState::at_rest(), Some(Interval::new(5.0, 7.0)));
         let f = obs.features();
         assert_eq!(f[3], 0.0);
         assert_eq!(f[4], 1.0);

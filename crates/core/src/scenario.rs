@@ -90,12 +90,7 @@ pub trait Scenario {
     /// planner that might hesitate mid-zone. (This closes a corner Eq. 3
     /// leaves open: a planner may enter the committed region from a
     /// no-overlap state and only then steer into overlap.)
-    fn requires_emergency(
-        &self,
-        time: f64,
-        ego: &VehicleState,
-        window: Option<Interval>,
-    ) -> bool {
+    fn requires_emergency(&self, time: f64, ego: &VehicleState, window: Option<Interval>) -> bool {
         self.in_boundary_safe_set(time, ego, window) || self.in_unsafe_set(time, ego, window)
     }
 }
@@ -143,12 +138,7 @@ impl<S: Scenario + ?Sized> Scenario for &S {
         (**self).emergency_accel(time, ego, window)
     }
 
-    fn requires_emergency(
-        &self,
-        time: f64,
-        ego: &VehicleState,
-        window: Option<Interval>,
-    ) -> bool {
+    fn requires_emergency(&self, time: f64, ego: &VehicleState, window: Option<Interval>) -> bool {
         (**self).requires_emergency(time, ego, window)
     }
 }

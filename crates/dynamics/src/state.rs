@@ -1,5 +1,3 @@
-use serde::{Deserialize, Serialize};
-
 /// Kinematic state of a single vehicle on its 1-D longitudinal axis.
 ///
 /// Positions are in metres, velocities in m/s, accelerations in m/s².
@@ -15,7 +13,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(s.position, -30.0);
 /// assert_eq!(s.velocity, 8.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct VehicleState {
     /// Longitudinal position `p(t)` in metres.
     pub position: f64,

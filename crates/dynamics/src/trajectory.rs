@@ -1,9 +1,7 @@
-use serde::{Deserialize, Serialize};
-
 use crate::VehicleState;
 
 /// One time-stamped sample of a vehicle trajectory.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TrajectorySample {
     /// Simulation time of the sample, in seconds.
     pub time: f64,
@@ -28,7 +26,7 @@ pub struct TrajectorySample {
 /// assert_eq!(traj.len(), 2);
 /// assert_eq!(traj.duration(), 0.1);
 /// ```
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Trajectory {
     samples: Vec<TrajectorySample>,
 }

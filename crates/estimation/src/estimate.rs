@@ -1,5 +1,4 @@
 use cv_dynamics::VehicleState;
-use serde::{Deserialize, Serialize};
 
 use crate::Interval;
 
@@ -12,7 +11,7 @@ use crate::Interval;
 /// The runtime monitor consumes the intervals (sound set-membership tests);
 /// the aggressive unsafe-set estimation consumes `nominal` (paper Eq. 8 uses
 /// the current `v_1(t)`, `a_1(t)`).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct VehicleEstimate {
     /// Time the estimate refers to.
     pub time: f64,

@@ -1,12 +1,11 @@
 use cv_comm::Message;
 use cv_dynamics::{VehicleLimits, VehicleState};
 use cv_sensing::{Measurement, SensorNoise};
-use serde::{Deserialize, Serialize};
 
 use crate::{reachability, Estimator, Interval, TrackingFilter, VehicleEstimate};
 
 /// How much processing the information filter applies (paper §III-B).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FilterMode {
     /// Hard bounds only: reachability over the latest message and the
     /// noise-bound-widened latest measurement, joined by intersection.
@@ -27,7 +26,7 @@ pub enum FilterMode {
 }
 
 /// Prior knowledge about a tracked vehicle before any message/measurement.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Prior {
     /// Time of the prior.
     pub time: f64,
@@ -187,7 +186,12 @@ impl InformationFilter {
                 Interval::centered(m.velocity, self.noise.delta_v),
                 &self.limits,
             );
-            candidates.push(reachability::reach(p, v, (now - m.stamp).max(0.0), &self.limits));
+            candidates.push(reachability::reach(
+                p,
+                v,
+                (now - m.stamp).max(0.0),
+                &self.limits,
+            ));
         }
         let mut p = candidates[0].position;
         let mut v = candidates[0].velocity;
@@ -195,8 +199,12 @@ impl InformationFilter {
             // The truth lies in every candidate, so the intersection is
             // nonempty up to floating-point noise; fall back to the tighter
             // candidate if rounding makes them disjoint.
-            p = p.intersect(&c.position).unwrap_or_else(|| tighter(p, c.position));
-            v = v.intersect(&c.velocity).unwrap_or_else(|| tighter(v, c.velocity));
+            p = p
+                .intersect(&c.position)
+                .unwrap_or_else(|| tighter(p, c.position));
+            v = v
+                .intersect(&c.velocity)
+                .unwrap_or_else(|| tighter(v, c.velocity));
         }
         // Guard against the ~1 ulp discrepancy between the closed-form
         // reachability bound and the step-wise simulated integrator.
@@ -205,11 +213,16 @@ impl InformationFilter {
 
     fn accel_bound(&self) -> Interval {
         let a_range = Interval::new(self.limits.a_min(), self.limits.a_max());
-        let from_msg = self.last_msg.as_ref().map(|m| (m.stamp, Interval::point(m.acceleration)));
-        let from_meas = self
-            .last_meas
+        let from_msg = self
+            .last_msg
             .as_ref()
-            .map(|m| (m.stamp, Interval::centered(m.acceleration, self.noise.delta_a)));
+            .map(|m| (m.stamp, Interval::point(m.acceleration)));
+        let from_meas = self.last_meas.as_ref().map(|m| {
+            (
+                m.stamp,
+                Interval::centered(m.acceleration, self.noise.delta_a),
+            )
+        });
         let latest = match (from_msg, from_meas) {
             (Some((t1, a1)), Some((t2, a2))) => Some(if t1 >= t2 { a1 } else { a2 }),
             (Some((_, a)), None) | (None, Some((_, a))) => Some(a),
@@ -312,8 +325,7 @@ impl Estimator for InformationFilter {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use cv_rng::{Rng, SplitMix64};
 
     fn limits() -> VehicleLimits {
         VehicleLimits::new(3.0, 14.0, -3.0, 3.0).unwrap()
@@ -361,7 +373,7 @@ mod tests {
     fn fused_mode_is_at_least_as_tight_as_hard_only() {
         let mut hard = filter(FilterMode::HardOnly);
         let mut fused = filter(FilterMode::Fused);
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = SplitMix64::seed_from_u64(5);
         let lim = limits();
         let mut truth = cv_dynamics::VehicleState::new(0.0, 10.0, 0.0);
         for i in 1..=30 {
@@ -392,7 +404,7 @@ mod tests {
         let lim = limits();
         let dt = 0.05;
         for seed in 0..20u64 {
-            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rng = SplitMix64::seed_from_u64(seed);
             let mut truth = cv_dynamics::VehicleState::new(0.0, rng.random_range(3.0..14.0), 0.0);
             let mut f = InformationFilter::new(
                 lim,

@@ -1,5 +1,4 @@
 use cv_sensing::SensorNoise;
-use serde::{Deserialize, Serialize};
 
 use crate::{Interval, Mat2, Vec2};
 
@@ -33,7 +32,7 @@ use crate::{Interval, Mat2, Vec2};
 /// kf.update(Vec2::new(0.52, 5.1));       // noisy measurement
 /// assert!(kf.covariance().a < 4.0);      // uncertainty shrank
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct KalmanFilter {
     noise: SensorNoise,
     process_accel_var: f64,
@@ -71,7 +70,10 @@ impl KalmanFilter {
     ///
     /// Panics if `var` is negative or non-finite.
     pub fn with_process_accel_var(mut self, var: f64) -> Self {
-        assert!(var >= 0.0 && var.is_finite(), "invalid process variance {var}");
+        assert!(
+            var >= 0.0 && var.is_finite(),
+            "invalid process variance {var}"
+        );
         self.process_accel_var = var;
         self
     }
@@ -169,8 +171,7 @@ impl KalmanFilter {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use cv_rng::{Rng, SplitMix64};
 
     fn filter() -> KalmanFilter {
         KalmanFilter::new(
@@ -203,7 +204,7 @@ mod tests {
     #[test]
     fn covariance_stays_psd_over_long_runs() {
         let mut kf = filter();
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = SplitMix64::seed_from_u64(1);
         for _ in 0..5000 {
             kf.predict(rng.random_range(-3.0..3.0), 0.1);
             kf.update(Vec2::new(
@@ -219,7 +220,7 @@ mod tests {
         // Track a target moving at constant 8 m/s with noisy measurements;
         // the filtered error must end up well below the raw noise bound.
         let delta = 2.0;
-        let mut rng = StdRng::seed_from_u64(42);
+        let mut rng = SplitMix64::seed_from_u64(42);
         let mut kf = KalmanFilter::new(
             SensorNoise::uniform(delta),
             Vec2::new(0.0, 6.0), // biased initial guess

@@ -12,12 +12,11 @@
 //! the worst corner is sound.
 
 use cv_dynamics::VehicleLimits;
-use serde::{Deserialize, Serialize};
 
 use crate::Interval;
 
 /// Reachable position and velocity intervals after some elapsed time.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ReachSet {
     /// All positions the vehicle may occupy.
     pub position: Interval,
@@ -164,11 +163,10 @@ mod tests {
     /// property the runtime monitor relies on.
     #[test]
     fn reach_set_contains_all_simulated_trajectories() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
+        use cv_rng::{Rng, SplitMix64};
         let lim = limits();
         let dt = 0.05;
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = SplitMix64::seed_from_u64(7);
         for trial in 0..200 {
             let v0 = rng.random_range(0.0..10.0);
             let p0 = rng.random_range(-50.0..50.0);
@@ -196,11 +194,8 @@ mod tests {
 
     mod props {
         use super::*;
-        use proptest::prelude::*;
 
-        proptest! {
-            #[test]
-            fn reach_bounds_evolve_monotonically(
+        cv_rng::props! {            fn reach_bounds_evolve_monotonically(
                 p in -50.0..50.0f64,
                 v in 0.0..10.0f64,
                 t1 in 0.0..5.0f64,
@@ -212,13 +207,11 @@ mod tests {
                 let lim = limits();
                 let early = reach(Interval::point(p), Interval::point(v), t1, &lim);
                 let late = reach(Interval::point(p), Interval::point(v), t1 + dt, &lim);
-                prop_assert!(late.position.lo() + 1e-9 >= early.position.lo());
-                prop_assert!(late.position.hi() + 1e-9 >= early.position.hi());
-                prop_assert!(late.position.width() + 1e-9 >= early.position.width());
-                prop_assert!(late.velocity.width() + 1e-9 >= early.velocity.width());
+                assert!(late.position.lo() + 1e-9 >= early.position.lo());
+                assert!(late.position.hi() + 1e-9 >= early.position.hi());
+                assert!(late.position.width() + 1e-9 >= early.position.width());
+                assert!(late.velocity.width() + 1e-9 >= early.velocity.width());
             }
-
-            #[test]
             fn reach_is_monotone_in_input_interval(
                 p in -50.0..50.0f64,
                 v in 0.0..9.0f64,
@@ -234,11 +227,9 @@ mod tests {
                     t,
                     &lim,
                 );
-                prop_assert!(wide.position.contains_interval(&tight.position));
-                prop_assert!(wide.velocity.contains_interval(&tight.velocity));
+                assert!(wide.position.contains_interval(&tight.position));
+                assert!(wide.velocity.contains_interval(&tight.velocity));
             }
-
-            #[test]
             fn reach_semigroup_superset(
                 p in -50.0..50.0f64,
                 v in 0.0..10.0f64,
@@ -252,8 +243,8 @@ mod tests {
                 let direct = reach(Interval::point(p), Interval::point(v), t1 + t2, &lim);
                 let mid = reach(Interval::point(p), Interval::point(v), t1, &lim);
                 let staged = reach(mid.position, mid.velocity, t2, &lim);
-                prop_assert!(staged.position.expand(1e-9).contains_interval(&direct.position));
-                prop_assert!(staged.velocity.expand(1e-9).contains_interval(&direct.velocity));
+                assert!(staged.position.expand(1e-9).contains_interval(&direct.position));
+                assert!(staged.velocity.expand(1e-9).contains_interval(&direct.velocity));
             }
         }
     }

@@ -2,12 +2,11 @@ use std::collections::VecDeque;
 
 use cv_comm::Message;
 use cv_sensing::{Measurement, SensorNoise};
-use serde::{Deserialize, Serialize};
 
 use crate::{Interval, KalmanFilter, Mat2, Vec2};
 
 /// One stored sensing event, kept for message-triggered replay.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 struct SensorRecord {
     stamp: f64,
     z: Vec2,
@@ -38,7 +37,7 @@ struct SensorRecord {
 /// let (state, _) = tf.predicted(0.3);
 /// assert!((state.x - 53.0).abs() < 1.5);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TrackingFilter {
     kf: KalmanFilter,
     /// Time of the current posterior estimate.
@@ -173,13 +172,12 @@ impl TrackingFilter {
 mod tests {
     use super::*;
     use cv_dynamics::{VehicleLimits, VehicleState};
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use cv_rng::{Rng, SplitMix64};
 
     #[test]
     fn measurement_sequence_tracks_target() {
         let mut tf = TrackingFilter::new(SensorNoise::uniform(1.0), 0.0, 0.0, 5.0);
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = SplitMix64::seed_from_u64(3);
         let mut p = 0.0;
         let v = 6.0;
         for i in 1..=200 {
@@ -214,7 +212,7 @@ mod tests {
         // A delayed exact message about the past should *reduce* the error
         // at the current time versus not having the message.
         let limits = VehicleLimits::new(0.0, 20.0, -3.0, 3.0).unwrap();
-        let mut rng = StdRng::seed_from_u64(9);
+        let mut rng = SplitMix64::seed_from_u64(9);
         let dt = 0.1;
         let mut truth = VehicleState::new(0.0, 8.0, 0.0);
         let mut with_msg = TrackingFilter::new(SensorNoise::uniform(3.0), 0.0, 0.0, 8.0);

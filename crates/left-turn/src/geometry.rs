@@ -1,11 +1,9 @@
-use serde::{Deserialize, Serialize};
-
 /// Location of the conflict zone on the shared (ego) axis.
 ///
 /// `p_f` is the *front line* (the ego enters the zone crossing it) and `p_b`
 /// the *back line* (the ego leaves the zone crossing it). The paper's
 /// experiments place the zone at `[5, 15]` metres.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Geometry {
     /// Front line `p_f` (m) — where the ego enters the conflict zone.
     pub p_f: f64,
@@ -16,7 +14,10 @@ pub struct Geometry {
 impl Geometry {
     /// The paper's conflict zone `[5, 15]`.
     pub fn paper() -> Self {
-        Self { p_f: 5.0, p_b: 15.0 }
+        Self {
+            p_f: 5.0,
+            p_b: 15.0,
+        }
     }
 
     /// Zone length `p_b − p_f`.

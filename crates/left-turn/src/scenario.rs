@@ -1,7 +1,6 @@
 use cv_dynamics::{braking_distance, VehicleLimits, VehicleState};
 use cv_estimation::{Interval, VehicleEstimate};
 use safe_shield::{AggressiveConfig, Scenario};
-use serde::{Deserialize, Serialize};
 
 use crate::tau::{time_to_cover, TAU_CAP};
 use crate::{Geometry, ScenarioError};
@@ -16,7 +15,7 @@ use crate::{Geometry, ScenarioError};
 ///
 /// All `C_1`-related quantities ([`VehicleEstimate`]s, the `other` state in
 /// [`Scenario::collision`]) are expressed in `C_1`'s forward frame.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LeftTurnScenario {
     geometry: Geometry,
     ego_limits: VehicleLimits,
@@ -448,12 +447,7 @@ impl Scenario for LeftTurnScenario {
         }
     }
 
-    fn requires_emergency(
-        &self,
-        time: f64,
-        ego: &VehicleState,
-        window: Option<Interval>,
-    ) -> bool {
+    fn requires_emergency(&self, time: f64, ego: &VehicleState, window: Option<Interval>) -> bool {
         let Some(w) = window else {
             return false; // oncoming traffic has cleared: nothing to shield
         };
@@ -506,7 +500,10 @@ mod tests {
     fn construction_validates() {
         assert!(matches!(
             LeftTurnScenario::new(
-                Geometry { p_f: 15.0, p_b: 5.0 },
+                Geometry {
+                    p_f: 15.0,
+                    p_b: 5.0
+                },
                 VehicleLimits::new(0.0, 12.0, -6.0, 3.0).unwrap(),
                 VehicleLimits::new(3.0, 14.0, -3.0, 3.0).unwrap(),
                 52.0,
@@ -777,8 +774,7 @@ mod tests {
             for pi in 0..=300 {
                 let p = -20.0 + pi as f64 * 0.12;
                 let ego = VehicleState::new(p, v, 0.0);
-                if s.in_unsafe_set(0.0, &ego, window) || s.in_boundary_safe_set(0.0, &ego, window)
-                {
+                if s.in_unsafe_set(0.0, &ego, window) || s.in_boundary_safe_set(0.0, &ego, window) {
                     continue;
                 }
                 for ai in 0..=12 {

@@ -20,12 +20,11 @@
 use cv_dynamics::VehicleState;
 use cv_estimation::Interval;
 use safe_shield::Scenario;
-use serde::{Deserialize, Serialize};
 
 use crate::LeftTurnScenario;
 
 /// Grid resolution for [`check_invariants`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct VerifyGrid {
     /// Ego positions checked, from `p_min` to the back line.
     pub p_min: f64,
@@ -69,7 +68,7 @@ impl VerifyGrid {
 }
 
 /// One counterexample found by the verifier.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Violation {
     /// Which property failed.
     pub kind: ViolationKind,
@@ -83,7 +82,7 @@ pub struct Violation {
 }
 
 /// The two checkable properties.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ViolationKind {
     /// A nominal (NN-controlled) state reached the unsafe set in one step.
     BoundaryCoverage,
@@ -93,7 +92,7 @@ pub enum ViolationKind {
 }
 
 /// Verification report: states checked and any counterexamples (capped).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct VerifyReport {
     /// Number of `(state, window)` pairs examined.
     pub states_checked: u64,
@@ -118,7 +117,11 @@ impl VerifyReport {
 impl std::fmt::Display for VerifyReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         if self.is_clean() {
-            write!(f, "verified: {} state/window pairs, no violations", self.states_checked)
+            write!(
+                f,
+                "verified: {} state/window pairs, no violations",
+                self.states_checked
+            )
         } else {
             write!(
                 f,
@@ -184,9 +187,7 @@ pub fn check_invariants(scenario: &LeftTurnScenario, grid: &VerifyGrid) -> Verif
                 if scenario.in_unsafe_set(0.0, &ego, window) {
                     continue; // already lost: not reachable under the shield
                 }
-                if scenario.is_committed(&ego)
-                    && !scenario.commitment_is_certified(0.0, &ego, w)
-                {
+                if scenario.is_committed(&ego) && !scenario.commitment_is_certified(0.0, &ego, w) {
                     // The shield never creates uncertified commitments.
                     report.unreachable_pruned += 1;
                     continue;

@@ -1,12 +1,11 @@
-use rand::rngs::StdRng;
-use serde::{Deserialize, Serialize};
+use cv_rng::SplitMix64;
 
 use crate::{Activation, Matrix, NnError};
 
 /// A fully connected layer `y = σ(x·W + b)`.
 ///
 /// `W` is `in_dim × out_dim`; inputs are batches with samples as rows.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Dense {
     weights: Matrix,
     bias: Vec<f64>,
@@ -31,7 +30,12 @@ pub(crate) struct DenseGrads {
 
 impl Dense {
     /// Creates a layer with Xavier-uniform weights and zero bias.
-    pub fn new(in_dim: usize, out_dim: usize, activation: Activation, rng: &mut StdRng) -> Self {
+    pub fn new(
+        in_dim: usize,
+        out_dim: usize,
+        activation: Activation,
+        rng: &mut SplitMix64,
+    ) -> Self {
         Self {
             weights: Matrix::xavier_uniform(in_dim, out_dim, rng),
             bias: vec![0.0; out_dim],
@@ -51,11 +55,7 @@ impl Dense {
     ) -> Result<Self, NnError> {
         if bias.len() != weights.cols() {
             return Err(NnError::ShapeMismatch {
-                context: format!(
-                    "dense bias {} vs out_dim {}",
-                    bias.len(),
-                    weights.cols()
-                ),
+                context: format!("dense bias {} vs out_dim {}", bias.len(), weights.cols()),
             });
         }
         Ok(Self {
@@ -150,10 +150,9 @@ impl Dense {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     fn layer() -> Dense {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = SplitMix64::seed_from_u64(1);
         Dense::new(3, 2, Activation::Tanh, &mut rng)
     }
 
@@ -168,13 +167,10 @@ mod tests {
 
     #[test]
     fn zero_weights_give_bias_through_activation() {
-        let l = Dense::from_parts(
-            Matrix::zeros(2, 1),
-            vec![0.7],
-            Activation::Identity,
-        )
-        .unwrap();
-        let y = l.forward(&Matrix::from_rows(&[&[3.0, -1.0]]).unwrap()).unwrap();
+        let l = Dense::from_parts(Matrix::zeros(2, 1), vec![0.7], Activation::Identity).unwrap();
+        let y = l
+            .forward(&Matrix::from_rows(&[&[3.0, -1.0]]).unwrap())
+            .unwrap();
         assert!((y.get(0, 0) - 0.7).abs() < 1e-12);
     }
 
@@ -186,7 +182,7 @@ mod tests {
     /// Finite-difference gradient check on a single layer.
     #[test]
     fn backward_matches_finite_difference() {
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = SplitMix64::seed_from_u64(7);
         let l = Dense::new(3, 2, Activation::Tanh, &mut rng);
         let x = Matrix::from_rows(&[&[0.3, -0.5, 0.9], &[-0.1, 0.8, 0.2]]).unwrap();
         // Loss = mean of squares of outputs; dL/dy = 2y/N.

@@ -1,6 +1,4 @@
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
+use cv_rng::SplitMix64;
 
 use crate::layer::DenseCache;
 use crate::{Activation, Dense, Matrix, NnError};
@@ -23,7 +21,7 @@ use crate::{Activation, Dense, Matrix, NnError};
 /// assert_eq!((y.rows(), y.cols()), (3, 1));
 /// # Ok::<(), cv_nn::NnError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Mlp {
     layers: Vec<Dense>,
 }
@@ -47,7 +45,7 @@ impl Mlp {
         if sizes.len() < 2 || sizes.iter().any(|&s| s == 0) {
             return Err(NnError::InvalidArchitecture);
         }
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SplitMix64::seed_from_u64(seed);
         let layers = sizes
             .windows(2)
             .enumerate()
@@ -224,8 +222,10 @@ impl Mlp {
             if bias.len() != out_dim {
                 return Err(err("bias row length"));
             }
-            layers.push(Dense::from_parts(weights, bias, act).map_err(|e| NnError::ParseWeights {
-                context: e.to_string(),
+            layers.push(Dense::from_parts(weights, bias, act).map_err(|e| {
+                NnError::ParseWeights {
+                    context: e.to_string(),
+                }
             })?);
         }
         Self::from_layers(layers)
@@ -255,9 +255,7 @@ mod tests {
         let net = Mlp::new(&[3, 8, 2], Activation::Tanh, Activation::Identity, 9).unwrap();
         let input = [0.1, -0.2, 0.3];
         let y1 = net.predict(&input).unwrap();
-        let y2 = net
-            .forward(&Matrix::from_rows(&[&input]).unwrap())
-            .unwrap();
+        let y2 = net.forward(&Matrix::from_rows(&[&input]).unwrap()).unwrap();
         assert_eq!(y1, y2.as_slice());
     }
 
@@ -288,7 +286,7 @@ mod tests {
 
     #[test]
     fn from_layers_checks_boundaries() {
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = SplitMix64::seed_from_u64(0);
         let l1 = Dense::new(2, 3, Activation::Tanh, &mut rng);
         let l2 = Dense::new(4, 1, Activation::Identity, &mut rng);
         assert!(Mlp::from_layers(vec![l1, l2]).is_err());

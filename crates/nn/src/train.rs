@@ -1,6 +1,4 @@
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use cv_rng::{Rng, SplitMix64};
 
 use crate::optimizer::LayerOptState;
 use crate::{Loss, Matrix, Mlp, NnError, Optimizer};
@@ -103,13 +101,14 @@ impl Trainer {
                 ),
             });
         }
-        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut rng = SplitMix64::seed_from_u64(self.config.seed);
 
         // Optional validation hold-out (deterministic shuffle, tail split).
-        let early_stopping = self.config.patience.is_some() && self.config.validation_fraction > 0.0;
+        let early_stopping =
+            self.config.patience.is_some() && self.config.validation_fraction > 0.0;
         let mut all: Vec<usize> = (0..x.rows()).collect();
         let (train_idx, val_idx): (Vec<usize>, Vec<usize>) = if early_stopping {
-            all.shuffle(&mut rng);
+            rng.shuffle(&mut all);
             let val_n = ((x.rows() as f64 * self.config.validation_fraction) as usize)
                 .clamp(1, x.rows() - 1);
             let split = x.rows() - val_n;
@@ -135,7 +134,7 @@ impl Trainer {
         let mut stale_epochs = 0usize;
 
         for _ in 0..self.config.epochs {
-            order.shuffle(&mut rng);
+            rng.shuffle(&mut order);
             let mut epoch_loss = 0.0;
             let mut batches = 0usize;
             for chunk in order.chunks(batch) {
@@ -186,7 +185,9 @@ mod tests {
     fn toy_regression() -> (Matrix, Matrix) {
         // y = sin(2x) on [-1, 1].
         let n = 64;
-        let xs: Vec<f64> = (0..n).map(|i| -1.0 + 2.0 * i as f64 / (n - 1) as f64).collect();
+        let xs: Vec<f64> = (0..n)
+            .map(|i| -1.0 + 2.0 * i as f64 / (n - 1) as f64)
+            .collect();
         let x = Matrix::from_vec(n, 1, xs.clone()).unwrap();
         let y = Matrix::from_vec(n, 1, xs.iter().map(|v| (2.0 * v).sin()).collect()).unwrap();
         (x, y)
@@ -201,9 +202,15 @@ mod tests {
             batch_size: 16,
             ..TrainConfig::default()
         };
-        let hist = Trainer::new(Optimizer::adam(0.01), cfg).fit(&mut net, &x, &y).unwrap();
+        let hist = Trainer::new(Optimizer::adam(0.01), cfg)
+            .fit(&mut net, &x, &y)
+            .unwrap();
         assert!(hist[0] > *hist.last().unwrap());
-        assert!(*hist.last().unwrap() < 0.01, "final loss {}", hist.last().unwrap());
+        assert!(
+            *hist.last().unwrap() < 0.01,
+            "final loss {}",
+            hist.last().unwrap()
+        );
     }
 
     #[test]
@@ -215,7 +222,9 @@ mod tests {
             batch_size: 16,
             ..TrainConfig::default()
         };
-        let hist = Trainer::new(Optimizer::sgd(0.05), cfg).fit(&mut net, &x, &y).unwrap();
+        let hist = Trainer::new(Optimizer::sgd(0.05), cfg)
+            .fit(&mut net, &x, &y)
+            .unwrap();
         assert!(*hist.last().unwrap() < hist[0]);
     }
 
@@ -223,15 +232,16 @@ mod tests {
     fn training_is_deterministic_given_seeds() {
         let (x, y) = toy_regression();
         let run = || {
-            let mut net =
-                Mlp::new(&[1, 8, 1], Activation::Tanh, Activation::Identity, 3).unwrap();
+            let mut net = Mlp::new(&[1, 8, 1], Activation::Tanh, Activation::Identity, 3).unwrap();
             let cfg = TrainConfig {
                 epochs: 20,
                 batch_size: 8,
                 seed: 11,
                 ..TrainConfig::default()
             };
-            Trainer::new(Optimizer::adam(0.01), cfg).fit(&mut net, &x, &y).unwrap();
+            Trainer::new(Optimizer::adam(0.01), cfg)
+                .fit(&mut net, &x, &y)
+                .unwrap();
             net
         };
         assert_eq!(run(), run());
@@ -248,7 +258,9 @@ mod tests {
             patience: Some(8),
             ..TrainConfig::default()
         };
-        let hist = Trainer::new(Optimizer::adam(0.01), cfg).fit(&mut net, &x, &y).unwrap();
+        let hist = Trainer::new(Optimizer::adam(0.01), cfg)
+            .fit(&mut net, &x, &y)
+            .unwrap();
         assert!(
             hist.len() < 2000,
             "early stopping never fired ({} epochs)",
@@ -275,8 +287,7 @@ mod tests {
         let x = Matrix::zeros(4, 2);
         let y = Matrix::zeros(3, 1);
         let mut net = Mlp::new(&[2, 4, 1], Activation::Tanh, Activation::Identity, 0).unwrap();
-        let res = Trainer::new(Optimizer::adam(0.01), TrainConfig::default())
-            .fit(&mut net, &x, &y);
+        let res = Trainer::new(Optimizer::adam(0.01), TrainConfig::default()).fit(&mut net, &x, &y);
         assert!(matches!(res, Err(NnError::InvalidTrainingData { .. })));
     }
 
@@ -285,8 +296,7 @@ mod tests {
         let x = Matrix::zeros(0, 2);
         let y = Matrix::zeros(0, 1);
         let mut net = Mlp::new(&[2, 4, 1], Activation::Tanh, Activation::Identity, 0).unwrap();
-        let res = Trainer::new(Optimizer::adam(0.01), TrainConfig::default())
-            .fit(&mut net, &x, &y);
+        let res = Trainer::new(Optimizer::adam(0.01), TrainConfig::default()).fit(&mut net, &x, &y);
         assert!(matches!(res, Err(NnError::InvalidTrainingData { .. })));
     }
 }

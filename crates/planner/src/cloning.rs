@@ -1,13 +1,12 @@
 use cv_dynamics::VehicleLimits;
 use cv_nn::{Activation, Matrix, Mlp, NnError, Optimizer, TrainConfig, Trainer};
 use safe_shield::Observation;
-use serde::{Deserialize, Serialize};
 
 use crate::{FeatureScaling, NnPlanner};
 
 /// A behaviour-cloning dataset: observations paired with the teacher's
 /// acceleration commands.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Dataset {
     samples: Vec<(Observation, f64)>,
 }
@@ -144,12 +143,7 @@ pub fn clone_behaviour(
 ) -> Result<(NnPlanner, f64), NnError> {
     let (x, y) = data.to_matrices(&scaling, &limits)?;
     let mut net = Mlp::new(
-        &[
-            Observation::FEATURES,
-            config.hidden[0],
-            config.hidden[1],
-            1,
-        ],
+        &[Observation::FEATURES, config.hidden[0], config.hidden[1], 1],
         Activation::Tanh,
         Activation::Tanh,
         config.seed,
@@ -160,8 +154,8 @@ pub fn clone_behaviour(
         seed: config.seed ^ 0x5EED,
         ..TrainConfig::default()
     };
-    let history = Trainer::new(Optimizer::adam(config.learning_rate), train_cfg)
-        .fit(&mut net, &x, &y)?;
+    let history =
+        Trainer::new(Optimizer::adam(config.learning_rate), train_cfg).fit(&mut net, &x, &y)?;
     let final_loss = *history.last().expect("at least one epoch");
     Ok((NnPlanner::new(net, limits, scaling, name), final_loss))
 }

@@ -1,7 +1,6 @@
 use cv_dynamics::VehicleLimits;
 use cv_nn::Mlp;
 use safe_shield::{Observation, Planner};
-use serde::{Deserialize, Serialize};
 
 /// Fixed input scaling applied before the MLP.
 ///
@@ -9,7 +8,7 @@ use serde::{Deserialize, Serialize};
 /// very different magnitudes; dividing by these constants keeps them roughly
 /// in `[−1, 1]`, which matters for tanh networks. The scales are part of the
 /// planner (serialized with it), not of the network.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FeatureScaling {
     /// Divisor for the time feature.
     pub time: f64,
@@ -76,7 +75,7 @@ impl Default for FeatureScaling {
 /// assert!((-6.0..=3.0).contains(&accel));
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NnPlanner {
     net: Mlp,
     limits: VehicleLimits,
@@ -190,8 +189,8 @@ impl NnPlanner {
             velocity: num(4)?,
             window: num(5)?,
         };
-        let limits = VehicleLimits::new(num(6)?, num(7)?, num(8)?, num(9)?)
-            .map_err(|e| e.to_string())?;
+        let limits =
+            VehicleLimits::new(num(6)?, num(7)?, num(8)?, num(9)?).map_err(|e| e.to_string())?;
         let net = Mlp::from_text(rest).map_err(|e| e.to_string())?;
         Ok(Self::new(net, limits, scaling, parts[1].to_string()))
     }

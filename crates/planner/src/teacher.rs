@@ -2,7 +2,6 @@ use cv_dynamics::VehicleLimits;
 use cv_estimation::Interval;
 use left_turn::{time_to_cover, LeftTurnScenario};
 use safe_shield::{Observation, Planner};
-use serde::{Deserialize, Serialize};
 
 /// An analytic *pacing* policy for the unprotected left turn, used as the
 /// behaviour-cloning teacher for the NN planners (and as an interpretable
@@ -31,7 +30,7 @@ use serde::{Deserialize, Serialize};
 /// against the compact aggressive window (paper Eq. 8) automatically yields
 /// earlier arrivals. This is the mechanism behind the ultimate compound
 /// planner's efficiency gain in Tables I/II.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TeacherPolicy {
     p_f: f64,
     p_b: f64,
@@ -329,7 +328,12 @@ mod tests {
             let mut ego = VehicleState::new(-30.0, 8.0, 0.0);
             for i in 0..600 {
                 let t = i as f64 * 0.05;
-                let a = teacher.plan(&obs(t, ego.position, ego.velocity, Some(Interval::new(2.0, hi))));
+                let a = teacher.plan(&obs(
+                    t,
+                    ego.position,
+                    ego.velocity,
+                    Some(Interval::new(2.0, hi)),
+                ));
                 ego = lims.step(&ego, a, 0.05);
                 if ego.position >= s.geometry().p_f {
                     return t;

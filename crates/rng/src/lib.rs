@@ -1,0 +1,431 @@
+//! Std-only deterministic random-number substrate.
+//!
+//! Every stochastic component of the workspace (the `C_1` driver, the
+//! delay/drop channel, the noisy sensor, NN weight initialisation, batch
+//! shuffling) draws from the generators in this crate, so the whole
+//! reproduction builds offline with zero external dependencies while keeping
+//! the property the paper's paired Monte-Carlo comparisons rely on: *the same
+//! seed always replays the same episode*.
+//!
+//! * [`SplitMix64`] — the workspace default: a 64-bit state, splittable,
+//!   statistically solid generator (Steele et al., OOPSLA 2014). Seeding is
+//!   trivially robust (any `u64`, including 0).
+//! * [`Xorshift64Star`] — Marsaglia xorshift with a finalising multiply;
+//!   kept as an independent second opinion for sanity-checking statistics.
+//! * [`split_stream`] — derives decorrelated per-purpose sub-seeds from a
+//!   master seed (used by `cv-sim` to give driving / channel / sensor their
+//!   own streams).
+//! * [`props!`] — a tiny property-test harness replacing `proptest` for the
+//!   offline build: deterministic per-test seeds, uniform sampling over
+//!   ranges, fixed case count.
+//!
+//! # Example
+//!
+//! ```
+//! use cv_rng::{Rng, SplitMix64};
+//!
+//! let mut rng = SplitMix64::seed_from_u64(42);
+//! let a = rng.random_range(-3.0..=3.0);
+//! assert!((-3.0..=3.0).contains(&a));
+//! let mut again = SplitMix64::seed_from_u64(42);
+//! assert_eq!(a, again.random_range(-3.0..=3.0));
+//! ```
+
+use std::ops::{Range, RangeInclusive};
+
+/// Number of cases each [`props!`] property test runs.
+pub const PROP_CASES: usize = 256;
+
+/// A deterministic, seedable pseudo-random generator.
+///
+/// Only [`Rng::next_u64`] is required; the sampling helpers are derived.
+/// All helpers consume exactly one `next_u64` draw per scalar sample, so
+/// streams stay aligned when sweeping parameters (e.g. a drop probability
+/// of 0 still draws the per-message decision).
+pub trait Rng {
+    /// The next raw 64-bit output.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    fn random_f64(&mut self) -> f64 {
+        // 53 high-quality bits -> the standard [0,1) double construction.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform sample from `range` (see [`SampleRange`] for supported types).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn random_range<R: SampleRange>(&mut self, range: R) -> R::Output
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p`. Always consumes one draw.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p ∉ [0, 1]`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+        self.random_f64() < p
+    }
+
+    /// Uniform index in `[0, n)` using an unbiased widening multiply.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    fn random_index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "cannot sample an index from an empty range");
+        (((self.next_u64() as u128) * (n as u128)) >> 64) as usize
+    }
+
+    /// Fisher–Yates shuffle in place.
+    fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.random_index(i + 1);
+            slice.swap(i, j);
+        }
+    }
+}
+
+/// The workspace's default generator (Steele et al., "Fast Splittable
+/// Pseudorandom Number Generators", OOPSLA 2014).
+///
+/// Period 2⁶⁴, one add + three xor-shift-multiplies per output, any seed is
+/// a good seed. This is also the generator behind [`split_stream`], so
+/// sub-seed derivation and sampling share one algebra.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+const GOLDEN_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+#[inline]
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SplitMix64 {
+    /// Seeds the generator. Every distinct seed yields an uncorrelated
+    /// stream; 0 is a valid seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Forks an independent child generator, advancing this one by one draw.
+    pub fn split(&mut self) -> Self {
+        Self::seed_from_u64(self.next_u64())
+    }
+}
+
+impl Rng for SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(GOLDEN_GAMMA);
+        mix64(self.state)
+    }
+}
+
+/// Marsaglia `xorshift64*`: three shifts and a finalising multiply.
+///
+/// Kept as an algorithmically independent generator so statistical tests can
+/// cross-check [`SplitMix64`]. Note the all-zero state is degenerate, so
+/// seeding remaps 0 internally.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xorshift64Star {
+    state: u64,
+}
+
+impl Xorshift64Star {
+    /// Seeds the generator (seed 0 is remapped to a fixed nonzero state).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let state = if seed == 0 { GOLDEN_GAMMA } else { seed };
+        Self { state }
+    }
+}
+
+impl Rng for Xorshift64Star {
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+/// Derives the `stream`-th decorrelated sub-seed of `seed`.
+///
+/// This is one SplitMix64 output at gamma-scaled offset `stream`, so
+/// sub-streams inherit the generator's equidistribution. `cv-sim` uses it to
+/// give driving, channel and sensor noise independent streams from one
+/// master episode seed.
+pub fn split_stream(seed: u64, stream: u64) -> u64 {
+    mix64(
+        seed.wrapping_add(stream.wrapping_mul(GOLDEN_GAMMA))
+            .wrapping_add(GOLDEN_GAMMA),
+    )
+}
+
+/// FNV-1a hash of a byte string; used by [`props!`] to derive a stable
+/// per-test seed from the test's name.
+pub const fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    let mut i = 0;
+    while i < bytes.len() {
+        hash ^= bytes[i] as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        i += 1;
+    }
+    hash
+}
+
+/// A range that [`Rng::random_range`] can sample uniformly.
+pub trait SampleRange {
+    /// The sampled scalar type.
+    type Output;
+    /// Draws one uniform sample (exactly one `next_u64` consumed).
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> Self::Output;
+}
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty range {self:?}");
+        let x = self.start + rng.random_f64() * (self.end - self.start);
+        // Guard against rounding up onto the excluded endpoint.
+        if x >= self.end {
+            self.start
+        } else {
+            x
+        }
+    }
+}
+
+impl SampleRange for RangeInclusive<f64> {
+    type Output = f64;
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range {self:?}");
+        // random_f64() is [0,1); scale by the next representable multiplier
+        // so hi is attainable.
+        let x = lo + rng.random_f64() * (hi - lo) * (1.0 + f64::EPSILON);
+        x.clamp(lo, hi)
+    }
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range {self:?}");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = ((rng.next_u64() as u128) * span) >> 64;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Output = $t;
+            fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range {self:?}");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let off = ((rng.next_u64() as u128) * span) >> 64;
+                (lo as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(usize, u64, u32, i64, i32);
+
+/// Declarative deterministic property tests — the offline stand-in for
+/// `proptest!`.
+///
+/// Each test draws its variables uniformly from the given ranges for
+/// [`PROP_CASES`] cases (override with a leading `cases = N,`), using a seed
+/// derived from the test's name (stable across runs and platforms). Use
+/// plain `assert!` in the body.
+///
+/// ```
+/// cv_rng::props! {
+///     fn addition_commutes(a in -100.0..100.0, b in -100.0..100.0) {
+///         assert_eq!(a + b, b + a);
+///     }
+///     fn expensive_property(cases = 8, n in 1..100usize) {
+///         assert!((1..=n).sum::<usize>() == n * (n + 1) / 2);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! props {
+    ($(#[$attr:meta])* fn $name:ident(cases = $cases:expr, $($var:ident in $range:expr),+ $(,)?) $body:block $($rest:tt)*) => {
+        #[test]
+        $(#[$attr])*
+        fn $name() {
+            let mut __rng =
+                $crate::SplitMix64::seed_from_u64($crate::fnv1a(stringify!($name).as_bytes()));
+            for __case in 0..$cases {
+                $(let $var = $crate::Rng::random_range(&mut __rng, $range);)+
+                $body
+            }
+        }
+        $crate::props! { $($rest)* }
+    };
+    ($(#[$attr:meta])* fn $name:ident($($var:ident in $range:expr),+ $(,)?) $body:block $($rest:tt)*) => {
+        $crate::props! {
+            $(#[$attr])*
+            fn $name(cases = $crate::PROP_CASES, $($var in $range),+) $body
+            $($rest)*
+        }
+    };
+    () => {};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_matches_reference_vectors() {
+        // Reference outputs for seed 0x9E3779B97F4A7C15 from the public
+        // SplitMix64 test vectors (Vigna's splitmix64.c).
+        let mut rng = SplitMix64::seed_from_u64(0);
+        let first: Vec<u64> = (0..3).map(|_| rng.next_u64()).collect();
+        assert_eq!(first[0], 0xE220_A839_7B1D_CDAF);
+        assert_eq!(first[1], 0x6E78_9E6A_A1B9_65F4);
+        assert_eq!(first[2], 0x06C4_5D18_8009_454F);
+    }
+
+    #[test]
+    fn same_seed_same_stream_different_seed_different_stream() {
+        let a: Vec<u64> = {
+            let mut r = SplitMix64::seed_from_u64(7);
+            (0..32).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = SplitMix64::seed_from_u64(7);
+            (0..32).map(|_| r.next_u64()).collect()
+        };
+        let c: Vec<u64> = {
+            let mut r = SplitMix64::seed_from_u64(8);
+            (0..32).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn f64_samples_are_in_unit_interval_with_good_mean() {
+        let mut rng = SplitMix64::seed_from_u64(1);
+        let n = 100_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = rng.random_f64();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.005, "mean {mean}");
+    }
+
+    #[test]
+    fn range_sampling_respects_bounds() {
+        let mut rng = SplitMix64::seed_from_u64(2);
+        for _ in 0..10_000 {
+            let x = rng.random_range(-3.0..=3.0);
+            assert!((-3.0..=3.0).contains(&x));
+            let y = rng.random_range(5.0..6.0);
+            assert!((5.0..6.0).contains(&y));
+            let i = rng.random_range(0..10usize);
+            assert!(i < 10);
+            let j = rng.random_range(0..=4u64);
+            assert!(j <= 4);
+        }
+    }
+
+    #[test]
+    fn integer_ranges_hit_every_value() {
+        let mut rng = SplitMix64::seed_from_u64(3);
+        let mut seen = [false; 5];
+        for _ in 0..1000 {
+            seen[rng.random_range(0..5usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "coverage {seen:?}");
+    }
+
+    #[test]
+    fn random_bool_matches_probability() {
+        let mut rng = SplitMix64::seed_from_u64(4);
+        let n = 100_000;
+        let hits = (0..n).filter(|_| rng.random_bool(0.3)).count();
+        let rate = hits as f64 / n as f64;
+        assert!((rate - 0.3).abs() < 0.01, "rate {rate}");
+        let mut rng = SplitMix64::seed_from_u64(5);
+        assert!((0..100).all(|_| !rng.random_bool(0.0)));
+        let mut rng = SplitMix64::seed_from_u64(6);
+        assert!((0..100).all(|_| rng.random_bool(1.0)));
+    }
+
+    #[test]
+    fn shuffle_is_a_seeded_permutation() {
+        let mut a: Vec<u32> = (0..100).collect();
+        let mut b = a.clone();
+        SplitMix64::seed_from_u64(9).shuffle(&mut a);
+        SplitMix64::seed_from_u64(9).shuffle(&mut b);
+        assert_eq!(a, b);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<u32>>());
+        let mut c: Vec<u32> = (0..100).collect();
+        SplitMix64::seed_from_u64(10).shuffle(&mut c);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn split_produces_decorrelated_children() {
+        let mut parent = SplitMix64::seed_from_u64(0);
+        let mut kid_a = parent.split();
+        let mut kid_b = parent.split();
+        let a: Vec<u64> = (0..16).map(|_| kid_a.next_u64()).collect();
+        let b: Vec<u64> = (0..16).map(|_| kid_b.next_u64()).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn split_stream_is_deterministic_and_distinct() {
+        assert_eq!(split_stream(7, 1), split_stream(7, 1));
+        assert_ne!(split_stream(7, 1), split_stream(7, 2));
+        assert_ne!(split_stream(7, 1), split_stream(8, 1));
+    }
+
+    #[test]
+    fn xorshift_disagrees_with_splitmix() {
+        let mut a = SplitMix64::seed_from_u64(12);
+        let mut b = Xorshift64Star::seed_from_u64(12);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(xs, ys);
+        let mean: f64 = {
+            let mut r = Xorshift64Star::seed_from_u64(0);
+            (0..50_000).map(|_| r.random_f64()).sum::<f64>() / 50_000.0
+        };
+        assert!((mean - 0.5).abs() < 0.01, "xorshift mean {mean}");
+    }
+
+    props! {
+        fn props_macro_draws_within_ranges(x in -2.0..2.0, n in 1..10usize) {
+            assert!((-2.0..2.0).contains(&x));
+            assert!((1..10).contains(&n));
+        }
+    }
+}

@@ -1,10 +1,8 @@
-use serde::{Deserialize, Serialize};
-
 /// One sensor measurement of another vehicle, taken at `stamp`.
 ///
 /// Unlike a V2V [`cv_comm::Message`] the values here are *inaccurate*
 /// (bounded uniform noise) but never delayed.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Measurement {
     /// Index of the measured vehicle.
     pub target: usize,

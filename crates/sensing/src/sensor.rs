@@ -1,7 +1,5 @@
 use cv_dynamics::VehicleState;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use cv_rng::{Rng, SplitMix64};
 
 use crate::Measurement;
 
@@ -10,7 +8,7 @@ use crate::Measurement;
 /// Each measured quantity is the true value plus noise drawn uniformly from
 /// `[−δ, +δ]`. The paper's "messages lost" sweep uses
 /// `δ_p = δ_v = δ_a = 1 + 0.2·j` (see [`SensorNoise::uniform`]).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SensorNoise {
     /// Position uncertainty bound `δ_p` (m).
     pub delta_p: f64,
@@ -87,7 +85,7 @@ impl Default for SensorNoise {
 pub struct UniformNoiseSensor {
     noise: SensorNoise,
     dropout: f64,
-    rng: StdRng,
+    rng: SplitMix64,
 }
 
 impl UniformNoiseSensor {
@@ -96,7 +94,7 @@ impl UniformNoiseSensor {
         Self {
             noise,
             dropout: 0.0,
-            rng: StdRng::seed_from_u64(seed),
+            rng: SplitMix64::seed_from_u64(seed),
         }
     }
 
@@ -151,7 +149,7 @@ impl UniformNoiseSensor {
         stamp: f64,
         truth: &VehicleState,
     ) -> Option<Measurement> {
-        let dropped = self.rng.random::<f64>() < self.dropout;
+        let dropped = self.rng.random_f64() < self.dropout;
         let m = self.measure(target, stamp, truth);
         (!dropped).then_some(m)
     }
@@ -199,11 +197,16 @@ mod tests {
         let mut s = UniformNoiseSensor::new(SensorNoise::uniform(delta), 5);
         let truth = VehicleState::new(0.0, 0.0, 0.0);
         let n = 50_000;
-        let samples: Vec<f64> = (0..n).map(|i| s.measure(1, i as f64, &truth).velocity).collect();
+        let samples: Vec<f64> = (0..n)
+            .map(|i| s.measure(1, i as f64, &truth).velocity)
+            .collect();
         let mean = samples.iter().sum::<f64>() / n as f64;
         let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
         let expect = SensorNoise::variance(delta);
-        assert!((var - expect).abs() / expect < 0.05, "var {var} vs {expect}");
+        assert!(
+            (var - expect).abs() / expect < 0.05,
+            "var {var} vs {expect}"
+        );
     }
 
     #[test]

@@ -1,0 +1,44 @@
+//! The batch-simulation daemon.
+//!
+//! Usage: `cargo run --release -p cv-server --bin cv-serve --
+//! [--addr 127.0.0.1:7878] [--queue-depth 8] [--workers 0]`
+//!
+//! Listens for newline-delimited JSON requests (see `cv_server::protocol`),
+//! runs submitted batches through the sharded worker pool, and streams
+//! progress back to each submitter. Runs until a client sends
+//! `{"op":"shutdown"}`, then drains in-flight jobs and exits.
+
+use cv_server::{Server, ServerConfig};
+
+fn arg_string(flag: &str, default: &str) -> String {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| default.to_string())
+}
+
+fn arg_usize(flag: &str, default: usize) -> usize {
+    arg_string(flag, &default.to_string())
+        .parse()
+        .unwrap_or(default)
+}
+
+fn main() {
+    let config = ServerConfig {
+        addr: arg_string("--addr", "127.0.0.1:7878"),
+        queue_capacity: arg_usize("--queue-depth", 8),
+        workers: arg_usize("--workers", 0),
+    };
+    let server = match Server::start(config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("cv-serve: failed to bind: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("cv-serve listening on {}", server.local_addr());
+    server.wait();
+    println!("cv-serve: drained and shut down");
+}

@@ -1,0 +1,169 @@
+//! Submits a Monte-Carlo batch to a running `cv-serve` and streams progress.
+//!
+//! Usage:
+//!
+//! ```text
+//! cv-submit [--addr 127.0.0.1:7878] [--episodes 16] [--seed 1]
+//!           [--stack teacher_conservative|teacher_aggressive]
+//!           [--comm none|delayed|lost] [--drop-prob 0.0] [--quiet]
+//! cv-submit status   [--addr …]
+//! cv-submit cancel JOB [--addr …]
+//! cv-submit shutdown [--addr …]
+//! ```
+//!
+//! The batch uses the paper's defaults: template `EpisodeConfig::paper_default`,
+//! the 20-point `p_1(0)` start grid, per-episode seeds `base_seed + i`.
+
+use cv_server::{Client, Event, Request, StackSpecWire};
+use cv_sim::{BatchConfig, EpisodeConfig};
+
+fn arg_string(flag: &str, default: &str) -> String {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| default.to_string())
+}
+
+fn arg_usize(flag: &str, default: usize) -> usize {
+    arg_string(flag, &default.to_string())
+        .parse()
+        .unwrap_or(default)
+}
+
+fn arg_f64(flag: &str, default: f64) -> f64 {
+    arg_string(flag, &default.to_string())
+        .parse()
+        .unwrap_or(default)
+}
+
+fn has_flag(flag: &str) -> bool {
+    std::env::args().any(|a| a == flag)
+}
+
+fn die(msg: String) -> ! {
+    eprintln!("cv-submit: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let addr = arg_string("--addr", "127.0.0.1:7878");
+    let mut client = Client::connect(&addr).unwrap_or_else(|e| die(format!("connect {addr}: {e}")));
+
+    // Accept the subcommand anywhere among the flags: "--addr X status" is
+    // as natural to type as "status --addr X", and a silent fall-through to
+    // submit would fire off a batch the user never asked for.
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let subcommand = args
+        .iter()
+        .find(|a| matches!(a.as_str(), "status" | "cancel" | "shutdown"))
+        .cloned()
+        .unwrap_or_default();
+    match subcommand.as_str() {
+        "status" => {
+            let reply = client
+                .round_trip(&Request::Status { job: None })
+                .unwrap_or_else(|e| die(e.to_string()));
+            print_status(&reply);
+        }
+        "cancel" => {
+            let pos = args.iter().position(|a| a == "cancel").unwrap();
+            let job = args
+                .get(pos + 1)
+                .and_then(|a| a.parse().ok())
+                .unwrap_or_else(|| die("usage: cv-submit cancel JOB".into()));
+            let reply = client
+                .round_trip(&Request::Cancel { job })
+                .unwrap_or_else(|e| die(e.to_string()));
+            print_status(&reply);
+        }
+        "shutdown" => {
+            match client
+                .round_trip(&Request::Shutdown)
+                .unwrap_or_else(|e| die(e.to_string()))
+            {
+                Event::ShutdownAck { draining } => {
+                    println!("server shutting down ({draining} jobs draining)");
+                }
+                other => die(format!("unexpected reply: {other:?}")),
+            }
+        }
+        _ => submit(&mut client),
+    }
+}
+
+fn submit(client: &mut Client) {
+    let episodes = arg_usize("--episodes", 16);
+    let seed = arg_usize("--seed", 1) as u64;
+    let quiet = has_flag("--quiet");
+    let stack = StackSpecWire::from_name(&arg_string("--stack", "teacher_conservative"))
+        .unwrap_or_else(|e| die(e.to_string()));
+
+    let mut template = EpisodeConfig::paper_default(seed);
+    template.comm = match arg_string("--comm", "none").as_str() {
+        "none" => cv_comm::CommSetting::NoDisturbance,
+        "delayed" => cv_comm::CommSetting::delayed_with_drop(arg_f64("--drop-prob", 0.0)),
+        "lost" => cv_comm::CommSetting::Lost,
+        other => die(format!("unknown --comm '{other}' (none|delayed|lost)")),
+    };
+    let batch = BatchConfig::new(template, episodes);
+
+    let summary = client
+        .submit_batch(&batch, stack, |event| match event {
+            Event::Accepted { job, queued_ahead } => {
+                eprintln!("job {job} accepted ({queued_ahead} ahead in queue)");
+            }
+            Event::EpisodeDone {
+                index,
+                eta,
+                done,
+                total,
+                eta_secs,
+                ..
+            } if !quiet => {
+                eprintln!(
+                    "episode {index:>4}: eta = {eta:+.4}   [{done}/{total}, ~{eta_secs:.1}s left]"
+                );
+            }
+            _ => {}
+        })
+        .unwrap_or_else(|e| die(e.to_string()));
+
+    println!("episodes            {}", summary.episodes);
+    println!("reaching time (s)   {:.3}", summary.reaching_time);
+    println!("safe rate           {:.4}", summary.safe_rate);
+    println!(
+        "mean eta            {:+.4} ± {:.4}",
+        summary.eta_mean,
+        summary.eta_ci95()
+    );
+    println!("emergency freq      {:.4}", summary.emergency_frequency);
+    println!(
+        "wall time           {:.2}s  ({:.1} episodes/s)",
+        summary.wall_time_secs, summary.episodes_per_sec
+    );
+}
+
+fn print_status(reply: &Event) {
+    match reply {
+        Event::Status {
+            jobs,
+            queue_capacity,
+            queue_len,
+        } => {
+            println!("queue: {queue_len}/{queue_capacity}");
+            if jobs.is_empty() {
+                println!("no jobs");
+            }
+            for j in jobs {
+                println!(
+                    "job {:>4}  {:<10} {:>5}/{}",
+                    j.job, j.state, j.done, j.total
+                );
+            }
+        }
+        Event::Error { code, message } => die(format!("[{code}] {message}")),
+        other => die(format!("unexpected reply: {other:?}")),
+    }
+}

@@ -1,0 +1,162 @@
+//! Blocking client helpers shared by `cv-submit` and the integration tests.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use cv_sim::{BatchConfig, BatchSummary};
+
+use crate::protocol::{Event, Request, StackSpecWire};
+use crate::wire::Json;
+
+/// A client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// The server sent something that is not a valid event frame.
+    Protocol(String),
+    /// The server answered with an `error` frame.
+    Server {
+        /// Machine-readable code (`queue_full`, `invalid_batch`, …).
+        code: String,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// The job was cancelled before completing.
+    Cancelled {
+        /// Episodes finished before cancellation.
+        done: usize,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "I/O error: {e}"),
+            ClientError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            ClientError::Server { code, message } => write!(f, "server error [{code}]: {message}"),
+            ClientError::Cancelled { done } => {
+                write!(f, "job cancelled after {done} episodes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A connection to a `cv-serve` instance.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to the server.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors from resolution or connection.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            reader,
+            writer: stream,
+        })
+    }
+
+    /// Sends one request frame.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors.
+    pub fn send(&mut self, request: &Request) -> Result<(), ClientError> {
+        let mut line = request.to_json().encode();
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())?;
+        Ok(())
+    }
+
+    /// Reads the next event frame.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] on EOF/socket errors, [`ClientError::Protocol`]
+    /// on undecodable frames.
+    pub fn recv(&mut self) -> Result<Event, ClientError> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )));
+        }
+        let frame = Json::parse(line.trim()).map_err(|e| ClientError::Protocol(e.to_string()))?;
+        Event::from_json(&frame).map_err(|e| ClientError::Protocol(e.to_string()))
+    }
+
+    /// Sends a request and reads a single reply frame.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Client::send`] / [`Client::recv`] errors.
+    pub fn round_trip(&mut self, request: &Request) -> Result<Event, ClientError> {
+        self.send(request)?;
+        self.recv()
+    }
+
+    /// Submits a batch and blocks until the terminal frame, invoking
+    /// `on_event` for every streamed frame (including the terminal one).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] when the submission is rejected or the batch
+    /// fails, [`ClientError::Cancelled`] when it is cancelled, plus the
+    /// usual I/O and protocol errors.
+    pub fn submit_batch<F>(
+        &mut self,
+        batch: &BatchConfig,
+        stack: StackSpecWire,
+        mut on_event: F,
+    ) -> Result<BatchSummary, ClientError>
+    where
+        F: FnMut(&Event),
+    {
+        self.send(&Request::SubmitBatch {
+            batch: batch.clone(),
+            stack,
+        })?;
+        loop {
+            let event = self.recv()?;
+            on_event(&event);
+            match event {
+                Event::BatchDone { summary, .. } => return Ok(summary),
+                Event::Cancelled { done, .. } => return Err(ClientError::Cancelled { done }),
+                Event::Error { code, message } => {
+                    return Err(ClientError::Server { code, message })
+                }
+                Event::Accepted { .. } | Event::EpisodeDone { .. } => {}
+                other => {
+                    return Err(ClientError::Protocol(format!(
+                        "unexpected frame during submission: {other:?}"
+                    )))
+                }
+            }
+        }
+    }
+}

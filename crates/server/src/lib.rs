@@ -1,0 +1,48 @@
+//! Networked batch-simulation service for the connected-vehicle simulator.
+//!
+//! `cv-server` exposes [`cv_sim::run_batch`]-equivalent Monte-Carlo batches
+//! over a TCP JSON-lines protocol, so experiment sweeps (the paper's
+//! Tables I/II grids) can run on a long-lived daemon instead of a fresh
+//! process per batch:
+//!
+//! * one request or response frame per line, hand-rolled JSON ([`wire`]) —
+//!   the build environment has no crates.io access, so no serde/tokio;
+//! * a bounded FIFO job queue with typed backpressure ([`queue`]): when the
+//!   queue is full the client gets a `queue_full` error frame immediately;
+//! * a sharded worker pool ([`worker`]) that reuses [`cv_sim::run_episode`]
+//!   per derived seed, keeping results **bit-identical** to an in-process
+//!   `run_batch` of the same [`cv_sim::BatchConfig`];
+//! * streamed progress (`episode_done` frames with the episode's `η` and a
+//!   remaining-time estimate) followed by one terminal `batch_done` frame
+//!   carrying the [`cv_sim::BatchSummary`];
+//! * graceful shutdown: the accept loop stops, the queue drains, and every
+//!   accepted job still reaches its terminal frame.
+//!
+//! Binaries: `cv-serve` (the daemon) and `cv-submit` (submit a batch and
+//! print streamed progress). In-process use:
+//!
+//! ```
+//! use cv_server::{Client, Server, StackSpecWire};
+//! use cv_sim::{BatchConfig, EpisodeConfig};
+//!
+//! let server = Server::spawn_ephemeral()?;
+//! let mut client = Client::connect(server.local_addr())?;
+//! let batch = BatchConfig::new(EpisodeConfig::paper_default(1), 4);
+//! let summary = client.submit_batch(&batch, StackSpecWire::TeacherConservative, |_| {})?;
+//! assert_eq!(summary.episodes, 4);
+//! server.shutdown();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod client;
+pub mod protocol;
+pub mod queue;
+pub mod server;
+pub mod wire;
+pub mod worker;
+
+pub use client::{Client, ClientError};
+pub use protocol::{Event, JobStatus, Request, StackSpecWire};
+pub use queue::{JobQueue, QueueFull};
+pub use server::{Server, ServerConfig};
+pub use worker::{run_sharded, EpisodeProgress, JobOutcome};

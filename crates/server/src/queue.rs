@@ -1,0 +1,173 @@
+//! Bounded FIFO job queue with backpressure.
+//!
+//! Producers (connection handlers) never block: [`JobQueue::try_push`]
+//! returns [`QueueFull`] immediately when the queue is at capacity, which
+//! the server translates into a `queue_full` error frame — backpressure is
+//! pushed all the way out to the client instead of buffering unboundedly.
+//! The single consumer (the job runner) blocks on [`JobQueue::pop`], which
+//! drains remaining items after [`JobQueue::close`] before reporting
+//! exhaustion — that drain is what makes shutdown graceful.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Typed backpressure error: the queue is at capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueFull {
+    /// The configured capacity that was hit.
+    pub capacity: usize,
+}
+
+impl std::fmt::Display for QueueFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job queue is at capacity ({} jobs)", self.capacity)
+    }
+}
+
+impl std::error::Error for QueueFull {}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer / blocking-consumer FIFO.
+pub struct JobQueue<T> {
+    inner: Mutex<Inner<T>>,
+    nonempty: Condvar,
+    capacity: usize,
+}
+
+impl<T> JobQueue<T> {
+    /// Creates a queue holding at most `capacity` items (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        JobQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            nonempty: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("queue poisoned").items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enqueues without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`QueueFull`] at capacity; closed queues also refuse new items (as
+    /// `QueueFull`, since the caller's remedy — report and retry later — is
+    /// the same, and the server rejects submissions before this once
+    /// shutdown begins).
+    pub fn try_push(&self, item: T) -> Result<(), QueueFull> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        if inner.closed || inner.items.len() >= self.capacity {
+            return Err(QueueFull {
+                capacity: self.capacity,
+            });
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.nonempty.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until an item is available or the queue is closed *and*
+    /// drained, returning `None` only in the latter case.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.nonempty.wait(inner).expect("queue poisoned");
+        }
+    }
+
+    /// Closes the queue: no new items, consumers drain what remains.
+    pub fn close(&self) {
+        self.inner.lock().expect("queue poisoned").closed = true;
+        self.nonempty.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order_and_backpressure() {
+        let q = JobQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.try_push(3), Err(QueueFull { capacity: 2 }));
+        assert_eq!(q.pop(), Some(1));
+        q.try_push(3).unwrap();
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = JobQueue::new(4);
+        q.try_push("a").unwrap();
+        q.try_push("b").unwrap();
+        q.close();
+        assert!(q.try_push("c").is_err());
+        assert_eq!(q.pop(), Some("a"));
+        assert_eq!(q.pop(), Some("b"));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn pop_blocks_until_push_from_another_thread() {
+        let q = Arc::new(JobQueue::new(1));
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop())
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.try_push(99).unwrap();
+        assert_eq!(consumer.join().unwrap(), Some(99));
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumer() {
+        let q = Arc::new(JobQueue::<u32>::new(1));
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop())
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(consumer.join().unwrap(), None);
+    }
+
+    #[test]
+    fn capacity_floor_is_one() {
+        let q = JobQueue::new(0);
+        assert_eq!(q.capacity(), 1);
+        q.try_push(1).unwrap();
+        assert!(q.try_push(2).is_err());
+    }
+}

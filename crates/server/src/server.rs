@@ -1,0 +1,531 @@
+//! The TCP service: accept loop, per-connection handlers, job runner.
+//!
+//! Threading model, one line each:
+//!
+//! * **accept loop** — blocks in `accept`, spawns one handler thread per
+//!   connection, exits when shutdown begins (woken by a self-connect);
+//! * **connection handlers** — parse newline-delimited request frames,
+//!   answer control requests inline, and for `submit_batch` stay on the
+//!   connection streaming the job's progress events until a terminal frame;
+//! * **job runner** — single consumer of the bounded [`JobQueue`], runs one
+//!   job at a time sharded across [`run_sharded`] workers, pushing events
+//!   into the submitting connection's channel.
+//!
+//! A malformed line gets an `error` frame and the connection keeps reading;
+//! a client that disconnects mid-batch flips its job's cancel flag and the
+//! runner moves on — neither path panics or wedges the service. Graceful
+//! shutdown stops the accept loop and closes the queue, which the runner
+//! then drains: every accepted job still reaches a terminal frame.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use cv_sim::{BatchConfig, SimError, StackSpec};
+
+use crate::protocol::{Event, JobStatus, Request};
+use crate::queue::JobQueue;
+use crate::wire::Json;
+use crate::worker::{run_sharded, JobOutcome};
+
+/// How often an idle connection rechecks the shutdown flag.
+const READ_POLL: Duration = Duration::from_millis(200);
+
+/// Tunables for [`Server::start`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address (`127.0.0.1:0` for an OS-assigned ephemeral port).
+    pub addr: String,
+    /// Maximum queued (not yet running) jobs before submissions are
+    /// rejected with `queue_full`.
+    pub queue_capacity: usize,
+    /// Worker threads per job (`0` = all available parallelism).
+    pub workers: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            queue_capacity: 8,
+            workers: 0,
+        }
+    }
+}
+
+/// Lifecycle phase of a job, for `status` reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Queued,
+    Running,
+    Done,
+    Cancelled,
+    Failed,
+}
+
+impl Phase {
+    fn name(self) -> &'static str {
+        match self {
+            Phase::Queued => "queued",
+            Phase::Running => "running",
+            Phase::Done => "done",
+            Phase::Cancelled => "cancelled",
+            Phase::Failed => "failed",
+        }
+    }
+}
+
+/// Shared per-job state: progress counters and the cancel flag.
+struct JobState {
+    id: u64,
+    total: usize,
+    done: AtomicUsize,
+    phase: Mutex<Phase>,
+    cancel: AtomicBool,
+}
+
+impl JobState {
+    fn status(&self) -> JobStatus {
+        JobStatus {
+            job: self.id,
+            state: self
+                .phase
+                .lock()
+                .expect("phase poisoned")
+                .name()
+                .to_string(),
+            done: self.done.load(Ordering::Relaxed),
+            total: self.total,
+        }
+    }
+
+    fn set_phase(&self, phase: Phase) {
+        *self.phase.lock().expect("phase poisoned") = phase;
+    }
+}
+
+/// A queued unit of work.
+struct Job {
+    state: Arc<JobState>,
+    batch: BatchConfig,
+    spec: StackSpec,
+    events: std::sync::mpsc::Sender<Event>,
+}
+
+struct Shared {
+    queue: JobQueue<Job>,
+    jobs: Mutex<HashMap<u64, Arc<JobState>>>,
+    next_id: AtomicU64,
+    shutdown: AtomicBool,
+    workers: usize,
+    addr: SocketAddr,
+    conns: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Shared {
+    /// Begins graceful shutdown (idempotent): stop accepting, close the
+    /// queue so the runner drains, wake the blocked accept call.
+    fn begin_shutdown(&self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.queue.close();
+        // Wake the accept loop so it observes the flag.
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    fn job_statuses(&self, filter: Option<u64>) -> Vec<JobStatus> {
+        let jobs = self.jobs.lock().expect("jobs poisoned");
+        let mut out: Vec<JobStatus> = jobs
+            .values()
+            .filter(|j| filter.is_none_or(|id| j.id == id))
+            .map(|j| j.status())
+            .collect();
+        out.sort_by_key(|j| j.job);
+        out
+    }
+
+    fn draining(&self) -> usize {
+        let jobs = self.jobs.lock().expect("jobs poisoned");
+        jobs.values()
+            .filter(|j| {
+                matches!(
+                    *j.phase.lock().expect("phase poisoned"),
+                    Phase::Queued | Phase::Running
+                )
+            })
+            .count()
+    }
+}
+
+/// A running batch-simulation service.
+///
+/// Dropping (or calling [`Server::shutdown`]) drains in-flight jobs and
+/// joins every service thread.
+pub struct Server {
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    runner: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds and starts the service threads.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from binding the listener.
+    pub fn start(config: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            queue: JobQueue::new(config.queue_capacity),
+            jobs: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            workers: config.workers,
+            addr,
+            conns: Mutex::new(Vec::new()),
+        });
+
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(&listener, &shared))
+        };
+        let runner = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || runner_loop(&shared))
+        };
+        Ok(Server {
+            shared,
+            accept: Some(accept),
+            runner: Some(runner),
+        })
+    }
+
+    /// Starts a server on an OS-assigned loopback port with default
+    /// settings — the entry point for integration tests.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from binding the listener.
+    pub fn spawn_ephemeral() -> std::io::Result<Server> {
+        Server::start(ServerConfig::default())
+    }
+
+    /// The bound address (resolves the ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Blocks until the service exits — i.e. until some client sends a
+    /// `shutdown` request (or [`Server::shutdown`] runs on another thread)
+    /// and the queue drains.
+    pub fn wait(mut self) {
+        self.finish();
+    }
+
+    /// Initiates graceful shutdown and joins all service threads: no new
+    /// work is accepted, already-accepted jobs run to their terminal frame.
+    pub fn shutdown(mut self) {
+        self.shared.begin_shutdown();
+        self.finish();
+    }
+
+    fn finish(&mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.runner.take() {
+            let _ = h.join();
+        }
+        let conns = std::mem::take(&mut *self.shared.conns.lock().expect("conns poisoned"));
+        for h in conns {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shared.begin_shutdown();
+        self.finish();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    loop {
+        let Ok((stream, _peer)) = listener.accept() else {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            continue;
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let handle = {
+            let shared = Arc::clone(shared);
+            std::thread::spawn(move || handle_connection(stream, &shared))
+        };
+        shared.conns.lock().expect("conns poisoned").push(handle);
+    }
+}
+
+/// Writes one frame (`json` + `\n`); an error means the client went away.
+fn write_frame(stream: &mut TcpStream, event: &Event) -> std::io::Result<()> {
+    let mut line = event.to_json().encode();
+    line.push('\n');
+    stream.write_all(line.as_bytes())
+}
+
+fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(READ_POLL));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    let mut line = String::new();
+
+    'conn: loop {
+        line.clear();
+        // Read one line, polling so idle connections notice shutdown.
+        loop {
+            match reader.read_line(&mut line) {
+                Ok(0) => return,
+                Ok(_) => break,
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                    if shared.shutdown.load(Ordering::SeqCst) && line.is_empty() {
+                        return;
+                    }
+                }
+                Err(_) => return,
+            }
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+
+        let request = Json::parse(trimmed)
+            .map_err(|e| format!("not JSON: {e}"))
+            .and_then(|frame| Request::from_json(&frame).map_err(|e| e.to_string()));
+        let request = match request {
+            Ok(r) => r,
+            Err(message) => {
+                let err = Event::Error {
+                    code: "bad_request".into(),
+                    message,
+                };
+                if write_frame(&mut writer, &err).is_err() {
+                    return;
+                }
+                continue;
+            }
+        };
+
+        let reply = match request {
+            Request::Ping => Event::Pong,
+            Request::Status { job } => Event::Status {
+                jobs: shared.job_statuses(job),
+                queue_capacity: shared.queue.capacity(),
+                queue_len: shared.queue.len(),
+            },
+            Request::Cancel { job } => {
+                let found = shared
+                    .jobs
+                    .lock()
+                    .expect("jobs poisoned")
+                    .get(&job)
+                    .cloned();
+                match found {
+                    Some(state) => {
+                        state.cancel.store(true, Ordering::Relaxed);
+                        Event::Status {
+                            jobs: vec![state.status()],
+                            queue_capacity: shared.queue.capacity(),
+                            queue_len: shared.queue.len(),
+                        }
+                    }
+                    None => Event::Error {
+                        code: "unknown_job".into(),
+                        message: format!("no job with id {job}"),
+                    },
+                }
+            }
+            Request::Shutdown => {
+                let draining = shared.draining();
+                shared.begin_shutdown();
+                Event::ShutdownAck { draining }
+            }
+            Request::SubmitBatch { batch, stack } => {
+                match handle_submit(&mut writer, shared, batch, stack) {
+                    Ok(()) => continue,
+                    Err(()) => return, // client went away mid-stream
+                }
+            }
+        };
+        if write_frame(&mut writer, &reply).is_err() {
+            return;
+        }
+        if matches!(reply, Event::ShutdownAck { .. }) {
+            break 'conn;
+        }
+    }
+}
+
+/// Validates, enqueues, and streams one batch submission. `Err(())` means
+/// the client disconnected and the connection should be dropped.
+fn handle_submit(
+    writer: &mut TcpStream,
+    shared: &Arc<Shared>,
+    batch: BatchConfig,
+    stack: crate::protocol::StackSpecWire,
+) -> Result<(), ()> {
+    let reject = |writer: &mut TcpStream, code: &str, message: String| {
+        let err = Event::Error {
+            code: code.into(),
+            message,
+        };
+        write_frame(writer, &err).map_err(|_| ())
+    };
+
+    if shared.shutdown.load(Ordering::SeqCst) {
+        return reject(
+            writer,
+            "shutting_down",
+            "server is draining; not accepting work".into(),
+        );
+    }
+    if let Err(e) = batch.validate() {
+        return reject(writer, "invalid_batch", e.to_string());
+    }
+    let spec = match stack.resolve(&batch.template) {
+        Ok(spec) => spec,
+        Err(message) => return reject(writer, "invalid_batch", message),
+    };
+
+    let id = shared.next_id.fetch_add(1, Ordering::Relaxed) + 1;
+    let state = Arc::new(JobState {
+        id,
+        total: batch.episodes,
+        done: AtomicUsize::new(0),
+        phase: Mutex::new(Phase::Queued),
+        cancel: AtomicBool::new(false),
+    });
+    let (tx, rx) = std::sync::mpsc::channel();
+    let job = Job {
+        state: Arc::clone(&state),
+        batch,
+        spec,
+        events: tx,
+    };
+    let queued_ahead = shared.queue.len();
+    if let Err(full) = shared.queue.try_push(job) {
+        return reject(writer, "queue_full", full.to_string());
+    }
+    shared
+        .jobs
+        .lock()
+        .expect("jobs poisoned")
+        .insert(id, Arc::clone(&state));
+
+    let accepted = Event::Accepted {
+        job: id,
+        queued_ahead,
+    };
+    if write_frame(writer, &accepted).is_err() {
+        state.cancel.store(true, Ordering::Relaxed);
+        return Err(());
+    }
+
+    // Stream the job's events; a write failure = client disconnect, which
+    // cancels the job so the runner stops burning CPU on it.
+    while let Ok(event) = rx.recv() {
+        let terminal = matches!(
+            event,
+            Event::BatchDone { .. } | Event::Cancelled { .. } | Event::Error { .. }
+        );
+        if write_frame(writer, &event).is_err() {
+            state.cancel.store(true, Ordering::Relaxed);
+            return Err(());
+        }
+        if terminal {
+            break;
+        }
+    }
+    Ok(())
+}
+
+fn runner_loop(shared: &Arc<Shared>) {
+    while let Some(job) = shared.queue.pop() {
+        let state = job.state;
+        let id = state.id;
+        if state.cancel.load(Ordering::Relaxed) {
+            state.set_phase(Phase::Cancelled);
+            let _ = job.events.send(Event::Cancelled { job: id, done: 0 });
+            continue;
+        }
+        state.set_phase(Phase::Running);
+        let outcome = run_sharded(
+            &job.batch,
+            &job.spec,
+            effective_workers(shared.workers, job.batch.threads),
+            &state.cancel,
+            |p| {
+                state.done.store(p.done, Ordering::Relaxed);
+                let _ = job.events.send(Event::EpisodeDone {
+                    job: id,
+                    index: p.index,
+                    eta: p.eta,
+                    done: p.done,
+                    total: p.total,
+                    eta_secs: p.eta_secs,
+                });
+            },
+        );
+        let terminal = match outcome {
+            JobOutcome::Completed(summary) => {
+                state.set_phase(Phase::Done);
+                Event::BatchDone { job: id, summary }
+            }
+            JobOutcome::Cancelled { done } => {
+                state.set_phase(Phase::Cancelled);
+                Event::Cancelled { job: id, done }
+            }
+            JobOutcome::Failed(error) => {
+                state.set_phase(Phase::Failed);
+                Event::Error {
+                    code: match error {
+                        SimError::InvalidBatch { .. } => "invalid_batch".into(),
+                        SimError::Scenario(_) => "episode_failed".into(),
+                    },
+                    message: error.to_string(),
+                }
+            }
+        };
+        let _ = job.events.send(terminal);
+    }
+}
+
+/// Server-side worker count: the batch's own `threads` wins if set,
+/// otherwise the server default (`0` = all available parallelism).
+fn effective_workers(server_default: usize, batch_threads: usize) -> usize {
+    let chosen = if batch_threads > 0 {
+        batch_threads
+    } else {
+        server_default
+    };
+    if chosen > 0 {
+        chosen
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+}

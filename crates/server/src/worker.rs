@@ -1,0 +1,242 @@
+//! Sharded execution of one batch job with streamed per-episode progress.
+//!
+//! The shard layout mirrors [`cv_sim::run_batch`]: episodes split into
+//! contiguous per-worker ranges of `ceil(episodes / workers)`, each episode
+//! run through [`cv_sim::run_episode`] on its own derived seed — so the
+//! per-episode results (and therefore the final [`BatchSummary`]) are
+//! bit-identical to an in-process `run_batch` of the same [`BatchConfig`],
+//! regardless of worker count or completion order.
+//!
+//! Workers report each finished episode over an [`mpsc`] channel to the
+//! coordinating thread (the job runner), which owns the progress callback
+//! and result assembly — callbacks never run concurrently. Cancellation is
+//! a relaxed [`AtomicBool`] checked between episodes; a simulation error in
+//! any shard aborts the others at the same granularity.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::time::Instant;
+
+use cv_sim::{run_episode, BatchConfig, BatchSummary, EpisodeResult, SimError, StackSpec};
+
+/// One finished episode, as handed to the progress callback.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpisodeProgress {
+    /// Episode index within the batch (seed order).
+    pub index: usize,
+    /// The episode's `η` score.
+    pub eta: f64,
+    /// Episodes finished so far (including this one).
+    pub done: usize,
+    /// Total episodes in the batch.
+    pub total: usize,
+    /// Estimated wall-clock seconds remaining, extrapolated from the mean
+    /// episode time so far.
+    pub eta_secs: f64,
+}
+
+/// Terminal state of a sharded job.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobOutcome {
+    /// Every episode ran; summary carries measured wall-clock timing.
+    Completed(BatchSummary),
+    /// The cancel flag was observed before the batch finished.
+    Cancelled {
+        /// Episodes that completed before the workers stopped.
+        done: usize,
+    },
+    /// An episode failed; the whole batch fails (episodes are
+    /// configuration-deterministic, so a retry cannot succeed either).
+    Failed(SimError),
+}
+
+/// Runs `batch` with `spec` across `workers` shards, invoking `on_episode`
+/// for every finished episode.
+///
+/// The batch must already be validated ([`BatchConfig::validate`]); an
+/// invalid one surfaces as [`JobOutcome::Failed`].
+pub fn run_sharded<F>(
+    batch: &BatchConfig,
+    spec: &StackSpec,
+    workers: usize,
+    cancel: &AtomicBool,
+    mut on_episode: F,
+) -> JobOutcome
+where
+    F: FnMut(EpisodeProgress),
+{
+    if let Err(e) = batch.validate() {
+        return JobOutcome::Failed(e);
+    }
+    let total = batch.episodes;
+    let workers = workers.clamp(1, total);
+    let per = total.div_ceil(workers);
+    let abort = AtomicBool::new(false);
+    let t0 = Instant::now();
+
+    let mut slots: Vec<Option<EpisodeResult>> = Vec::new();
+    slots.resize_with(total, || None);
+    let mut first_error: Option<SimError> = None;
+    let mut done = 0usize;
+
+    std::thread::scope(|scope| {
+        // Rendezvous handoff: a worker's send completes only when the
+        // coordinator receives, so workers observe a cancel flag flipped by
+        // the progress callback within one episode, instead of racing an
+        // arbitrarily deep buffer ahead of it.
+        let (tx, rx) = mpsc::sync_channel::<(usize, Result<EpisodeResult, SimError>)>(0);
+        for w in 0..workers {
+            let lo = w * per;
+            let hi = ((w + 1) * per).min(total);
+            let tx = tx.clone();
+            let spec = spec.clone();
+            let abort = &abort;
+            scope.spawn(move || {
+                for i in lo..hi {
+                    if cancel.load(Ordering::Relaxed) || abort.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    let result = run_episode(&batch.episode(i), &spec, false);
+                    if result.is_err() {
+                        abort.store(true, Ordering::Relaxed);
+                    }
+                    if tx.send((i, result)).is_err() {
+                        return;
+                    }
+                }
+            });
+        }
+        drop(tx);
+
+        while let Ok((index, result)) = rx.recv() {
+            match result {
+                Ok(r) => {
+                    done += 1;
+                    let elapsed = t0.elapsed().as_secs_f64();
+                    let eta_secs = if done > 0 {
+                        elapsed / done as f64 * (total - done) as f64
+                    } else {
+                        f64::NAN
+                    };
+                    on_episode(EpisodeProgress {
+                        index,
+                        eta: r.eta,
+                        done,
+                        total,
+                        eta_secs,
+                    });
+                    slots[index] = Some(r);
+                }
+                Err(e) => {
+                    if first_error.is_none() {
+                        first_error = Some(e);
+                    }
+                }
+            }
+        }
+    });
+
+    if let Some(e) = first_error {
+        return JobOutcome::Failed(e);
+    }
+    // `done == total` means every episode ran — a cancel that landed after
+    // the last result still yields the complete (deterministic) summary.
+    if done < total {
+        return JobOutcome::Cancelled { done };
+    }
+    let results: Vec<EpisodeResult> = slots
+        .into_iter()
+        .map(|s| s.expect("all episodes completed"))
+        .collect();
+    JobOutcome::Completed(BatchSummary::from_results(&results).with_timing(t0.elapsed()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cv_sim::{run_batch, EpisodeConfig};
+
+    fn paper_batch(episodes: usize) -> (BatchConfig, StackSpec) {
+        let template = EpisodeConfig::paper_default(11);
+        let spec = StackSpec::pure_teacher_conservative(&template).unwrap();
+        (BatchConfig::new(template, episodes), spec)
+    }
+
+    #[test]
+    fn sharded_matches_run_batch_bit_identically() {
+        let (batch, spec) = paper_batch(10);
+        let reference = BatchSummary::from_results(&run_batch(&batch, &spec).unwrap());
+        for workers in [1, 3, 10] {
+            let cancel = AtomicBool::new(false);
+            let mut seen = Vec::new();
+            let outcome = run_sharded(&batch, &spec, workers, &cancel, |p| seen.push(p.index));
+            let JobOutcome::Completed(summary) = outcome else {
+                panic!("expected completion with {workers} workers");
+            };
+            assert!(summary.stats_eq(&reference), "{workers} workers diverged");
+            assert!(summary.wall_time_secs > 0.0);
+            seen.sort_unstable();
+            assert_eq!(seen, (0..10).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn progress_counts_monotonically() {
+        let (batch, spec) = paper_batch(6);
+        let cancel = AtomicBool::new(false);
+        let mut last_done = 0;
+        let outcome = run_sharded(&batch, &spec, 2, &cancel, |p| {
+            assert_eq!(p.done, last_done + 1);
+            assert_eq!(p.total, 6);
+            assert!(p.eta_secs >= 0.0);
+            last_done = p.done;
+        });
+        assert!(matches!(outcome, JobOutcome::Completed(_)));
+        assert_eq!(last_done, 6);
+    }
+
+    #[test]
+    fn pre_set_cancel_flag_stops_immediately() {
+        let (batch, spec) = paper_batch(8);
+        let cancel = AtomicBool::new(true);
+        let outcome = run_sharded(&batch, &spec, 2, &cancel, |_| {});
+        assert_eq!(outcome, JobOutcome::Cancelled { done: 0 });
+    }
+
+    #[test]
+    fn cancel_mid_batch_reports_partial_progress() {
+        let (batch, spec) = paper_batch(12);
+        let cancel = AtomicBool::new(false);
+        let outcome = run_sharded(&batch, &spec, 1, &cancel, |p| {
+            if p.done == 2 {
+                cancel.store(true, Ordering::Relaxed);
+            }
+        });
+        match outcome {
+            JobOutcome::Cancelled { done } => assert!(done >= 2 && done < 12),
+            other => panic!("expected cancellation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_batch_fails_typed() {
+        let (mut batch, spec) = paper_batch(4);
+        batch.starts.clear();
+        let cancel = AtomicBool::new(false);
+        let outcome = run_sharded(&batch, &spec, 2, &cancel, |_| {});
+        assert!(matches!(
+            outcome,
+            JobOutcome::Failed(SimError::InvalidBatch { .. })
+        ));
+    }
+
+    #[test]
+    fn scenario_error_fails_the_job() {
+        let (mut batch, spec) = paper_batch(4);
+        // C1 starting inside the conflict zone is geometrically invalid.
+        batch.starts = vec![10.0];
+        let cancel = AtomicBool::new(false);
+        let outcome = run_sharded(&batch, &spec, 2, &cancel, |_| {});
+        assert!(matches!(outcome, JobOutcome::Failed(SimError::Scenario(_))));
+    }
+}

@@ -1,0 +1,287 @@
+//! End-to-end tests over a real TCP socket: an ephemeral server, the
+//! blocking client, and the acceptance criteria from the service design —
+//! bit-identical summaries, malformed-input robustness, mid-batch
+//! disconnects, backpressure, and graceful shutdown.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+use cv_server::{Client, ClientError, Event, Request, Server, ServerConfig, StackSpecWire};
+use cv_sim::{run_batch, BatchConfig, BatchSummary, EpisodeConfig, StackSpec};
+
+fn paper_batch(episodes: usize, seed: u64) -> BatchConfig {
+    BatchConfig::new(EpisodeConfig::paper_default(seed), episodes)
+}
+
+#[test]
+fn streamed_summary_is_bit_identical_to_in_process_run_batch() {
+    let server = Server::spawn_ephemeral().unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    let batch = paper_batch(16, 1);
+    let mut episode_events = Vec::new();
+    let streamed = client
+        .submit_batch(&batch, StackSpecWire::TeacherConservative, |event| {
+            if let Event::EpisodeDone { index, eta, .. } = event {
+                episode_events.push((*index, *eta));
+            }
+        })
+        .unwrap();
+
+    let spec = StackSpec::pure_teacher_conservative(&batch.template).unwrap();
+    let reference = BatchSummary::from_results(&run_batch(&batch, &spec).unwrap());
+
+    // Paper-statistics acceptance: reaching time, safe rate, mean η,
+    // emergency frequency, and the per-episode ηs all match exactly.
+    assert!(streamed.stats_eq(&reference));
+    assert_eq!(streamed.etas, reference.etas);
+    assert!(streamed.wall_time_secs > 0.0, "server side measures timing");
+
+    // Every episode was streamed exactly once, with its true η.
+    episode_events.sort_unstable_by_key(|(i, _)| *i);
+    assert_eq!(episode_events.len(), 16);
+    for (i, (index, eta)) in episode_events.iter().enumerate() {
+        assert_eq!(*index, i);
+        assert_eq!(*eta, reference.etas[i]);
+    }
+
+    server.shutdown();
+}
+
+#[test]
+fn malformed_requests_get_error_frames_and_the_connection_survives() {
+    let server = Server::spawn_ephemeral().unwrap();
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+
+    for bad in [
+        "this is not json\n",
+        "{\"op\":\"submit_batch\"}\n", // valid JSON, missing payload
+        "{\"op\":\"warp_drive\"}\n",   // unknown op
+        "{\"op\":\"submit_batch\",\"stack\":\"ultimate\",\"batch\":{}}\n",
+    ] {
+        stream.write_all(bad.as_bytes()).unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(
+            line.contains("\"event\":\"error\""),
+            "expected error frame for {bad:?}, got {line:?}"
+        );
+    }
+
+    // The same connection still answers a well-formed request.
+    stream.write_all(b"{\"op\":\"ping\"}\n").unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.contains("\"event\":\"pong\""));
+
+    server.shutdown();
+}
+
+#[test]
+fn empty_start_grid_is_rejected_with_invalid_batch() {
+    let server = Server::spawn_ephemeral().unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let mut batch = paper_batch(4, 0);
+    batch.starts.clear();
+    match client.submit_batch(&batch, StackSpecWire::TeacherConservative, |_| {}) {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, "invalid_batch"),
+        other => panic!("expected invalid_batch rejection, got {other:?}"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn client_disconnect_mid_batch_cancels_without_killing_the_server() {
+    let server = Server::spawn_ephemeral().unwrap();
+
+    // Submit a long batch raw, read the accepted frame plus one progress
+    // frame, then slam the connection shut.
+    {
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        let batch = paper_batch(64, 3);
+        let frame = Request::SubmitBatch {
+            batch,
+            stack: StackSpecWire::TeacherConservative,
+        }
+        .to_json()
+        .encode();
+        stream.write_all(format!("{frame}\n").as_bytes()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("\"event\":\"accepted\""));
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("\"event\":\"episode_done\""));
+    } // both halves dropped: TCP reset/close mid-stream
+
+    // The server keeps serving new clients and completes new work.
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let summary = client
+        .submit_batch(&paper_batch(2, 5), StackSpecWire::TeacherAggressive, |_| {})
+        .unwrap();
+    assert_eq!(summary.episodes, 2);
+
+    // The abandoned job wound up cancelled (or finished, on a fast box —
+    // but never left running forever).
+    let reply = client
+        .round_trip(&Request::Status { job: Some(1) })
+        .unwrap();
+    match reply {
+        Event::Status { jobs, .. } => {
+            assert_eq!(jobs.len(), 1);
+            assert!(
+                jobs[0].state == "cancelled" || jobs[0].state == "done",
+                "job 1 in state {}",
+                jobs[0].state
+            );
+        }
+        other => panic!("expected status, got {other:?}"),
+    }
+
+    server.shutdown();
+}
+
+#[test]
+fn full_queue_pushes_back_with_a_typed_error_frame() {
+    // Capacity-1 queue and a single worker thread: one running job, one
+    // queued job, and the third submission must bounce.
+    let server = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        queue_capacity: 1,
+        workers: 1,
+    })
+    .unwrap();
+    let addr = server.local_addr();
+
+    let occupy = |seed: u64| {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        // Large enough to still be running when the third submission
+        // arrives, even though single episodes take well under a millisecond.
+        let mut batch = paper_batch(5_000, seed);
+        batch.threads = 1;
+        let frame = Request::SubmitBatch {
+            batch,
+            stack: StackSpecWire::TeacherConservative,
+        }
+        .to_json()
+        .encode();
+        stream.write_all(format!("{frame}\n").as_bytes()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("\"event\":\"accepted\""), "got {line:?}");
+        stream
+    };
+    // First job: popped by the runner and running. Second: sits in the queue.
+    let _running = occupy(10);
+    std::thread::sleep(std::time::Duration::from_millis(100));
+    let _queued = occupy(11);
+    std::thread::sleep(std::time::Duration::from_millis(100));
+
+    let mut client = Client::connect(addr).unwrap();
+    match client.submit_batch(
+        &paper_batch(4, 12),
+        StackSpecWire::TeacherConservative,
+        |_| {},
+    ) {
+        Err(ClientError::Server { code, message }) => {
+            assert_eq!(code, "queue_full");
+            assert!(message.contains("capacity"));
+        }
+        other => panic!("expected queue_full, got {other:?}"),
+    }
+
+    // Cancel both occupants so the drop below drains quickly.
+    client.round_trip(&Request::Cancel { job: 1 }).unwrap();
+    client.round_trip(&Request::Cancel { job: 2 }).unwrap();
+    drop(server);
+}
+
+#[test]
+fn shutdown_drains_in_flight_jobs_before_exiting() {
+    let server = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        queue_capacity: 4,
+        workers: 1,
+    })
+    .unwrap();
+    let addr = server.local_addr();
+
+    // Submit a batch, then send shutdown from a second connection while it
+    // runs; the submitter must still receive its full summary.
+    let submitter = std::thread::spawn(move || {
+        let mut client = Client::connect(addr).unwrap();
+        let mut batch = paper_batch(24, 7);
+        batch.threads = 1;
+        client.submit_batch(&batch, StackSpecWire::TeacherConservative, |_| {})
+    });
+    std::thread::sleep(std::time::Duration::from_millis(150));
+
+    let mut control = Client::connect(addr).unwrap();
+    match control.round_trip(&Request::Shutdown).unwrap() {
+        Event::ShutdownAck { .. } => {}
+        other => panic!("expected shutdown_ack, got {other:?}"),
+    }
+
+    let summary = submitter.join().unwrap().expect("draining job completes");
+    assert_eq!(summary.episodes, 24);
+
+    // New submissions are refused while draining/after exit: either the
+    // connection is refused outright or the server answers shutting_down.
+    match Client::connect(addr) {
+        Err(_) => {}
+        Ok(mut late) => {
+            match late.submit_batch(
+                &paper_batch(2, 9),
+                StackSpecWire::TeacherConservative,
+                |_| {},
+            ) {
+                Err(ClientError::Server { code, .. }) => assert_eq!(code, "shutting_down"),
+                Err(ClientError::Io(_)) => {}
+                other => panic!("late submission should fail, got {other:?}"),
+            }
+        }
+    }
+
+    server.wait(); // returns because shutdown was requested
+}
+
+#[test]
+fn cancel_request_stops_a_running_job() {
+    let server = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        queue_capacity: 4,
+        workers: 1,
+    })
+    .unwrap();
+    let addr = server.local_addr();
+
+    let submitter = std::thread::spawn(move || {
+        let mut client = Client::connect(addr).unwrap();
+        let mut batch = paper_batch(20_000, 21);
+        batch.threads = 1;
+        client.submit_batch(&batch, StackSpecWire::TeacherConservative, |_| {})
+    });
+    std::thread::sleep(std::time::Duration::from_millis(200));
+
+    let mut control = Client::connect(addr).unwrap();
+    control.round_trip(&Request::Cancel { job: 1 }).unwrap();
+
+    match submitter.join().unwrap() {
+        Err(ClientError::Cancelled { done }) => assert!(done < 20_000),
+        Ok(_) => panic!("20000-episode job finished before the cancel landed"),
+        Err(other) => panic!("expected cancellation, got {other}"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn server_closes_idle_connections_on_shutdown() {
+    let server = Server::spawn_ephemeral().unwrap();
+    let mut idle = TcpStream::connect(server.local_addr()).unwrap();
+    server.shutdown(); // must not hang on the idle connection
+    let mut buf = [0u8; 16];
+    assert_eq!(idle.read(&mut buf).unwrap(), 0, "idle connection closed");
+}

@@ -36,8 +36,38 @@ impl BatchConfig {
         }
     }
 
+    /// Checks that the batch can actually be run.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidBatch`] when `episodes == 0` or `starts` is empty
+    /// (the latter used to surface as a modulo-by-zero panic inside
+    /// [`BatchConfig::episode`]).
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.episodes == 0 {
+            return Err(SimError::InvalidBatch {
+                reason: "batch must contain at least one episode".into(),
+            });
+        }
+        if self.starts.is_empty() {
+            return Err(SimError::InvalidBatch {
+                reason: "initial-position grid `starts` must not be empty".into(),
+            });
+        }
+        Ok(())
+    }
+
     /// The concrete configuration of episode `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `starts` is empty; run the batch through [`run_batch`] (or
+    /// call [`BatchConfig::validate`] first) to get a typed error instead.
     pub fn episode(&self, index: usize) -> EpisodeConfig {
+        assert!(
+            !self.starts.is_empty(),
+            "BatchConfig::starts is empty; BatchConfig::validate would have rejected this"
+        );
         let mut cfg = self.template.clone();
         cfg.seed = self.base_seed.wrapping_add(index as u64);
         cfg.other_start_shared = self.starts[index % self.starts.len()];
@@ -60,8 +90,10 @@ impl BatchConfig {
 ///
 /// # Errors
 ///
-/// Returns the first [`SimError`] encountered (episodes are configuration-
-/// deterministic, so an invalid geometry fails the whole batch).
+/// Returns [`SimError::InvalidBatch`] for an unrunnable configuration (zero
+/// episodes, empty start grid), otherwise the first [`SimError`] encountered
+/// (episodes are configuration-deterministic, so an invalid geometry fails
+/// the whole batch).
 ///
 /// # Example
 ///
@@ -78,7 +110,7 @@ impl BatchConfig {
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn run_batch(batch: &BatchConfig, spec: &StackSpec) -> Result<Vec<EpisodeResult>, SimError> {
-    assert!(batch.episodes > 0, "batch must contain at least one episode");
+    batch.validate()?;
     let workers = batch.worker_count().min(batch.episodes);
     if workers <= 1 {
         return (0..batch.episodes)
@@ -120,11 +152,17 @@ pub fn run_batch(batch: &BatchConfig, spec: &StackSpec) -> Result<Vec<EpisodeRes
 
 /// Convenience wrapper: run a batch and summarise it in one call.
 ///
+/// The summary carries the measured wall-clock duration and throughput of
+/// this run ([`BatchSummary::wall_time_secs`] /
+/// [`BatchSummary::episodes_per_sec`]).
+///
 /// # Errors
 ///
 /// Propagates [`run_batch`] errors.
 pub fn run_batch_summary(batch: &BatchConfig, spec: &StackSpec) -> Result<BatchSummary, SimError> {
-    Ok(BatchSummary::from_results(&run_batch(batch, spec)?))
+    let t0 = std::time::Instant::now();
+    let results = run_batch(batch, spec)?;
+    Ok(BatchSummary::from_results(&results).with_timing(t0.elapsed()))
 }
 
 #[cfg(test)]
@@ -146,6 +184,39 @@ mod tests {
             assert_eq!(x.outcome, y.outcome);
             assert_eq!(x.emergency_steps, y.emergency_steps);
         }
+    }
+
+    #[test]
+    fn empty_start_grid_is_a_typed_error_not_a_panic() {
+        let template = EpisodeConfig::paper_default(0);
+        let spec = StackSpec::pure_teacher_conservative(&template).unwrap();
+        let mut batch = BatchConfig::new(template, 4);
+        batch.starts.clear();
+        match run_batch(&batch, &spec) {
+            Err(SimError::InvalidBatch { reason }) => assert!(reason.contains("starts")),
+            other => panic!("expected InvalidBatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_episodes_is_a_typed_error() {
+        let template = EpisodeConfig::paper_default(0);
+        let spec = StackSpec::pure_teacher_conservative(&template).unwrap();
+        let batch = BatchConfig::new(template, 0);
+        assert!(matches!(
+            run_batch(&batch, &spec),
+            Err(SimError::InvalidBatch { .. })
+        ));
+    }
+
+    #[test]
+    fn summary_wrapper_records_timing() {
+        let template = EpisodeConfig::paper_default(7);
+        let spec = StackSpec::pure_teacher_conservative(&template).unwrap();
+        let batch = BatchConfig::new(template, 2);
+        let summary = run_batch_summary(&batch, &spec).unwrap();
+        assert!(summary.wall_time_secs > 0.0);
+        assert!(summary.episodes_per_sec > 0.0);
     }
 
     #[test]

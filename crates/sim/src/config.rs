@@ -2,12 +2,11 @@ use cv_comm::CommSetting;
 use cv_dynamics::VehicleState;
 use cv_sensing::SensorNoise;
 use left_turn::{LeftTurnScenario, ScenarioError};
-use serde::{Deserialize, Serialize};
 
 use crate::DriverModel;
 
 /// An additional conflicting vehicle beyond the paper's single `C_1`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ExtraVehicle {
     /// Initial position on the shared ego axis.
     pub start_shared: f64,
@@ -22,7 +21,7 @@ pub struct ExtraVehicle {
 /// Defaults ([`EpisodeConfig::paper_default`]) follow paper Section V; the
 /// quantities the paper does not specify (speed/acceleration limits, initial
 /// speeds, horizon) are fixed in `DESIGN.md` §6.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EpisodeConfig {
     /// `C_1`'s initial position on the shared ego axis (`p_1(0)`).
     pub other_start_shared: f64,
@@ -214,7 +213,10 @@ mod tests {
         let c = EpisodeConfig::paper_default(7);
         assert_ne!(c.seed_driving(), c.seed_channel());
         assert_ne!(c.seed_channel(), c.seed_sensor());
-        assert_eq!(c.seed_driving(), EpisodeConfig::paper_default(7).seed_driving());
+        assert_eq!(
+            c.seed_driving(),
+            EpisodeConfig::paper_default(7).seed_driving()
+        );
         assert_ne!(
             c.seed_driving(),
             EpisodeConfig::paper_default(8).seed_driving()

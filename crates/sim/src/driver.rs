@@ -15,12 +15,10 @@
 //! Monte-Carlo comparisons across planner stacks.
 
 use cv_dynamics::{VehicleLimits, VehicleState};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use cv_rng::{Rng, SplitMix64};
 
 /// A driving behaviour for a non-ego vehicle.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum DriverModel {
     /// The paper's behaviour: a fresh uniform sample from
     /// `[a_min, a_max]` at every control step.
@@ -56,7 +54,7 @@ impl DriverModel {
         Driver {
             model: *self,
             limits,
-            rng: StdRng::seed_from_u64(seed),
+            rng: SplitMix64::seed_from_u64(seed),
             accel: 0.0,
         }
     }
@@ -67,7 +65,7 @@ impl DriverModel {
 pub struct Driver {
     model: DriverModel,
     limits: VehicleLimits,
-    rng: StdRng,
+    rng: SplitMix64,
     accel: f64,
 }
 
@@ -79,8 +77,7 @@ impl Driver {
             DriverModel::UniformRandom => self.rng.random_range(a_min..=a_max),
             DriverModel::OrnsteinUhlenbeck { theta, sigma } => {
                 let xi: f64 = self.rng.random_range(-1.0..=1.0) * 3.0_f64.sqrt(); // unit variance
-                (self.accel - theta * self.accel * dt + sigma * dt.sqrt() * xi)
-                    .clamp(a_min, a_max)
+                (self.accel - theta * self.accel * dt + sigma * dt.sqrt() * xi).clamp(a_min, a_max)
             }
             DriverModel::ConstantSpeed => 0.0,
             DriverModel::Ambush { brake_at } => {
@@ -124,7 +121,9 @@ mod tests {
             sigma: 1.5,
         };
         let mut d = model.driver(limits(), 4);
-        let series: Vec<f64> = (0..400).map(|i| d.accel(i as f64 * 0.05, &s, 0.05)).collect();
+        let series: Vec<f64> = (0..400)
+            .map(|i| d.accel(i as f64 * 0.05, &s, 0.05))
+            .collect();
         // Lag-1 autocorrelation should be clearly positive (white noise ~ 0).
         let mean = series.iter().sum::<f64>() / series.len() as f64;
         let var: f64 = series.iter().map(|a| (a - mean) * (a - mean)).sum();

@@ -12,12 +12,19 @@ use crate::{EpisodeConfig, StackSpec};
 pub enum SimError {
     /// The episode configuration produced an invalid scenario.
     Scenario(ScenarioError),
+    /// A batch configuration that cannot be run (empty start grid, zero
+    /// episodes, …) — rejected up front instead of panicking mid-batch.
+    InvalidBatch {
+        /// What is wrong with the configuration.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for SimError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SimError::Scenario(e) => write!(f, "invalid scenario: {e}"),
+            SimError::InvalidBatch { reason } => write!(f, "invalid batch: {reason}"),
         }
     }
 }
@@ -26,6 +33,7 @@ impl std::error::Error for SimError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             SimError::Scenario(e) => Some(e),
+            SimError::InvalidBatch { .. } => None,
         }
     }
 }

@@ -45,6 +45,8 @@ pub mod training;
 pub use batch::{run_batch, run_batch_summary, BatchConfig};
 pub use config::{EpisodeConfig, ExtraVehicle};
 pub use driver::{Driver, DriverModel};
-pub use episode::{run_episode, DecisionTrace, EpisodeResult, EpisodeTraces, SimError, WindowTrace};
+pub use episode::{
+    run_episode, DecisionTrace, EpisodeResult, EpisodeTraces, SimError, WindowTrace,
+};
 pub use metrics::{rmse, winning_percentage, BatchSummary};
 pub use stack::{StackSpec, WindowKind};

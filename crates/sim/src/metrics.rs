@@ -1,5 +1,3 @@
-use serde::{Deserialize, Serialize};
-
 use crate::EpisodeResult;
 
 /// Aggregate statistics over a batch of episodes — the columns of the
@@ -8,7 +6,7 @@ use crate::EpisodeResult;
 /// Reaching time follows the paper's convention: *"only reaching time of
 /// safe cases is counted"* (the `*` footnote of Table II), and episodes that
 /// time out contribute to neither the reaching time nor the collision count.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BatchSummary {
     /// Number of episodes.
     pub episodes: usize,
@@ -25,6 +23,11 @@ pub struct BatchSummary {
     pub etas: Vec<f64>,
     /// Reaching times of the episodes that reached the target (s).
     pub reaching_times: Vec<f64>,
+    /// Wall-clock duration of the batch run (s); `0.0` when the summary was
+    /// built from results alone and never timed ([`BatchSummary::with_timing`]).
+    pub wall_time_secs: f64,
+    /// Throughput of the batch run (episodes/s); `0.0` when untimed.
+    pub episodes_per_sec: f64,
 }
 
 impl BatchSummary {
@@ -68,7 +71,45 @@ impl BatchSummary {
             emergency_frequency: emer_sum / episodes as f64,
             etas,
             reaching_times,
+            wall_time_secs: 0.0,
+            episodes_per_sec: 0.0,
         }
+    }
+
+    /// Attaches the measured wall-clock duration of the run, deriving the
+    /// episodes/s throughput.
+    #[must_use]
+    pub fn with_timing(mut self, wall: std::time::Duration) -> Self {
+        self.wall_time_secs = wall.as_secs_f64();
+        self.episodes_per_sec = if self.wall_time_secs > 0.0 {
+            self.episodes as f64 / self.wall_time_secs
+        } else {
+            0.0
+        };
+        self
+    }
+
+    /// Whether two summaries agree on every *deterministic* statistic —
+    /// everything except the timing fields, which vary run to run. `NaN`
+    /// compares equal to `NaN` here (an all-timeout batch has a `NaN`
+    /// reaching time on both sides).
+    pub fn stats_eq(&self, other: &Self) -> bool {
+        fn feq(a: f64, b: f64) -> bool {
+            a == b || (a.is_nan() && b.is_nan())
+        }
+        self.episodes == other.episodes
+            && feq(self.reaching_time, other.reaching_time)
+            && feq(self.safe_rate, other.safe_rate)
+            && feq(self.eta_mean, other.eta_mean)
+            && feq(self.emergency_frequency, other.emergency_frequency)
+            && self.etas.len() == other.etas.len()
+            && self.etas.iter().zip(&other.etas).all(|(a, b)| feq(*a, *b))
+            && self.reaching_times.len() == other.reaching_times.len()
+            && self
+                .reaching_times
+                .iter()
+                .zip(&other.reaching_times)
+                .all(|(a, b)| feq(*a, *b))
     }
 
     /// 95% normal-approximation confidence half-width of the mean `η`.
@@ -106,11 +147,7 @@ pub fn ci95_half_width(samples: &[f64]) -> f64 {
 pub fn winning_percentage(ours: &[f64], baseline: &[f64]) -> f64 {
     assert_eq!(ours.len(), baseline.len(), "unpaired η slices");
     assert!(!ours.is_empty(), "empty η slices");
-    let wins = ours
-        .iter()
-        .zip(baseline)
-        .filter(|(a, b)| *a > *b)
-        .count();
+    let wins = ours.iter().zip(baseline).filter(|(a, b)| *a > *b).count();
     wins as f64 / ours.len() as f64
 }
 
@@ -162,6 +199,29 @@ mod tests {
     }
 
     #[test]
+    fn timing_attaches_and_stats_eq_ignores_it() {
+        let results = vec![result(Outcome::Reached { time: 8.0 }, 0, 100)];
+        let plain = BatchSummary::from_results(&results);
+        let timed = plain
+            .clone()
+            .with_timing(std::time::Duration::from_millis(250));
+        assert_eq!(plain.wall_time_secs, 0.0);
+        assert!((timed.wall_time_secs - 0.25).abs() < 1e-12);
+        assert!((timed.episodes_per_sec - 4.0).abs() < 1e-9);
+        assert!(plain.stats_eq(&timed));
+        assert_ne!(plain, timed);
+    }
+
+    #[test]
+    fn stats_eq_treats_nan_reaching_time_as_equal() {
+        let a = BatchSummary::from_results(&[result(Outcome::Timeout, 0, 10)]);
+        let b = BatchSummary::from_results(&[result(Outcome::Timeout, 0, 10)]);
+        assert!(a.stats_eq(&b));
+        let c = BatchSummary::from_results(&[result(Outcome::Reached { time: 5.0 }, 0, 10)]);
+        assert!(!a.stats_eq(&c));
+    }
+
+    #[test]
     fn reaching_time_nan_when_nothing_reached() {
         let s = BatchSummary::from_results(&[result(Outcome::Timeout, 0, 10)]);
         assert!(s.reaching_time.is_nan());
@@ -170,10 +230,26 @@ mod tests {
     #[test]
     fn confidence_intervals_shrink_with_more_data() {
         let few: Vec<EpisodeResult> = (0..4)
-            .map(|i| result(Outcome::Reached { time: 6.0 + 0.1 * i as f64 }, 0, 100))
+            .map(|i| {
+                result(
+                    Outcome::Reached {
+                        time: 6.0 + 0.1 * i as f64,
+                    },
+                    0,
+                    100,
+                )
+            })
             .collect();
         let many: Vec<EpisodeResult> = (0..64)
-            .map(|i| result(Outcome::Reached { time: 6.0 + 0.1 * (i % 4) as f64 }, 0, 100))
+            .map(|i| {
+                result(
+                    Outcome::Reached {
+                        time: 6.0 + 0.1 * (i % 4) as f64,
+                    },
+                    0,
+                    100,
+                )
+            })
             .collect();
         let s_few = BatchSummary::from_results(&few);
         let s_many = BatchSummary::from_results(&many);

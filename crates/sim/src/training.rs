@@ -11,9 +11,8 @@ use std::path::Path;
 use cv_comm::{Channel, CommSetting, Message};
 use cv_estimation::{Estimator, NaiveEstimator};
 use cv_planner::{clone_behaviour, CloneConfig, Dataset, FeatureScaling, NnPlanner, TeacherPolicy};
+use cv_rng::{Rng, SplitMix64};
 use cv_sensing::UniformNoiseSensor;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use safe_shield::{Observation, Planner, Scenario};
 
 use crate::{EpisodeConfig, SimError, WindowKind};
@@ -155,7 +154,7 @@ pub fn collect_teacher_dataset(
         CommSetting::Lost,
     ];
     let starts = EpisodeConfig::paper_start_grid();
-    let mut vary_rng = StdRng::seed_from_u64(setup.seed ^ 0xDA7A);
+    let mut vary_rng = SplitMix64::seed_from_u64(setup.seed ^ 0xDA7A);
     let mut data = Dataset::new();
 
     for ep in 0..setup.rollout_episodes {
@@ -191,7 +190,7 @@ fn rollout_into(
     let mut estimator = NaiveEstimator::new(other_limits, 0.0, other);
     let mut channel = cfg.comm.channel(cfg.seed_channel());
     let mut sensor = UniformNoiseSensor::new(cfg.noise, cfg.seed_sensor());
-    let mut driving_rng = StdRng::seed_from_u64(cfg.seed_driving());
+    let mut driving_rng = SplitMix64::seed_from_u64(cfg.seed_driving());
 
     let msg_every = (cfg.dt_m / cfg.dt_c).round().max(1.0) as u64;
     let sense_every = (cfg.dt_s / cfg.dt_c).round().max(1.0) as u64;

@@ -55,14 +55,28 @@ fn main() {
     let (gap_raw, ok_raw) = closed_loop(false);
     println!(
         "reckless cruise, unshielded: min gap {gap_raw:6.2} m — {}",
-        if ok_raw { "survived (lucky)" } else { "REAR-ENDED the lead" }
+        if ok_raw {
+            "survived (lucky)"
+        } else {
+            "REAR-ENDED the lead"
+        }
     );
     let (gap_shielded, ok_shielded) = closed_loop(true);
     println!(
         "reckless cruise, shielded:   min gap {gap_shielded:6.2} m — {}",
-        if ok_shielded { "gap held" } else { "rear-ended (bug!)" }
+        if ok_shielded {
+            "gap held"
+        } else {
+            "rear-ended (bug!)"
+        }
     );
-    assert!(!ok_raw, "the ambush should defeat the unshielded controller");
-    assert!(ok_shielded && gap_shielded >= 5.0, "the shield must hold the gap");
+    assert!(
+        !ok_raw,
+        "the ambush should defeat the unshielded controller"
+    );
+    assert!(
+        ok_shielded && gap_shielded >= 5.0,
+        "the shield must hold the gap"
+    );
     println!("\nSame framework, different scenario — the Scenario trait carries all geometry.");
 }

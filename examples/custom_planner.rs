@@ -40,13 +40,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut other = VehicleState::new(0.0, cfg.other_init_speed, 0.0);
     let mut channel = cfg.comm.channel(cfg.seed_channel());
     let mut sensor = UniformNoiseSensor::new(cfg.noise, cfg.seed_sensor());
-    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(cfg.seed_driving());
+    let mut rng = cv_rng::SplitMix64::seed_from_u64(cfg.seed_driving());
 
     let dt = cfg.dt_c;
     let mut collided = false;
     let mut reached = None;
     for step in 0..(cfg.horizon / dt) as u64 {
-        use rand::Rng as _;
+        use cv_rng::Rng as _;
         let t = step as f64 * dt;
         if step % 2 == 0 {
             channel.send(Message::from_state(1, t, &other), t);

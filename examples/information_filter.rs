@@ -4,8 +4,7 @@
 //!
 //! Run with: `cargo run --release --example information_filter`
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cv_rng::{Rng, SplitMix64};
 use safe_cv::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -15,14 +14,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Three estimators watching the same vehicle:
     let mut naive = NaiveEstimator::new(limits, 0.0, VehicleState::new(0.0, 10.0, 0.0));
-    let mut hard = InformationFilter::new(limits, noise, FilterMode::HardOnly, Prior::exact(0.0, 0.0, 10.0));
-    let mut fused = InformationFilter::new(limits, noise, FilterMode::Fused, Prior::exact(0.0, 0.0, 10.0));
+    let mut hard = InformationFilter::new(
+        limits,
+        noise,
+        FilterMode::HardOnly,
+        Prior::exact(0.0, 0.0, 10.0),
+    );
+    let mut fused = InformationFilter::new(
+        limits,
+        noise,
+        FilterMode::Fused,
+        Prior::exact(0.0, 0.0, 10.0),
+    );
 
     let mut truth = VehicleState::new(0.0, 10.0, 0.0);
-    let mut rng = StdRng::seed_from_u64(5);
+    let mut rng = SplitMix64::seed_from_u64(5);
     let mut sensor = UniformNoiseSensor::new(noise, 99);
     // Messages delayed by 0.4 s and 50% dropped.
-    let mut channel = CommSetting::Delayed { delay: 0.4, drop_prob: 0.5 }.channel(17);
+    let mut channel = CommSetting::Delayed {
+        delay: 0.4,
+        drop_prob: 0.5,
+    }
+    .channel(17);
 
     println!(
         "{:>6} {:>9} {:>22} {:>9} {:>9} {:>9}",

@@ -47,7 +47,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         result.eta,
         100.0 * result.emergency_frequency()
     );
-    assert!(result.outcome.is_safe(), "the shield must hold for platoons");
+    assert!(
+        result.outcome.is_safe(),
+        "the shield must hold for platoons"
+    );
 
     // Show when each vehicle actually crossed the zone.
     let traces = result.traces.expect("traces requested");
@@ -55,12 +58,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (i, (scenario, trajectory)) in scenarios.iter().zip(&traces.others).enumerate() {
         let inside: Vec<f64> = trajectory
             .iter()
-            .filter(|s| (scenario.other_entry()..=scenario.other_exit()).contains(&s.state.position))
+            .filter(|s| {
+                (scenario.other_entry()..=scenario.other_exit()).contains(&s.state.position)
+            })
             .map(|s| s.time)
             .collect();
         match (inside.first(), inside.last()) {
-            (Some(a), Some(b)) => println!("  C{} occupied the zone during [{a:.2}, {b:.2}] s", i + 1),
-            _ => println!("  C{} never entered the zone before the episode ended", i + 1),
+            (Some(a), Some(b)) => {
+                println!("  C{} occupied the zone during [{a:.2}, {b:.2}] s", i + 1)
+            }
+            _ => println!(
+                "  C{} never entered the zone before the episode ended",
+                i + 1
+            ),
         }
     }
     if let Some(t) = result.outcome.reaching_time() {

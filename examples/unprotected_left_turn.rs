@@ -73,8 +73,7 @@ trait StepIter {
 impl StepIter for cv_sim::EpisodeTraces {
     fn iter_steps(
         &self,
-    ) -> Box<dyn Iterator<Item = (&cv_dynamics::TrajectorySample, &cv_sim::WindowTrace)> + '_>
-    {
+    ) -> Box<dyn Iterator<Item = (&cv_dynamics::TrajectorySample, &cv_sim::WindowTrace)> + '_> {
         Box::new(self.ego.iter().zip(self.windows.iter()))
     }
 }

@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the gate every PR must keep green.
+#
+# Fully offline by design — the workspace has no external dependencies
+# (see DESIGN.md §4), so `--offline` both enforces that invariant and
+# keeps the gate runnable on air-gapped boxes. `--workspace` matters:
+# a plain `cargo test` in this workspace runs only the root package.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline --workspace
+cargo test -q --offline --workspace
+cargo fmt --check

@@ -44,13 +44,13 @@
 //! See `examples/` for runnable scenarios and `crates/bench/src/bin/` for
 //! the binaries regenerating every table and figure of the paper.
 
+pub use car_following;
 pub use cv_comm as comm;
 pub use cv_dynamics as dynamics;
 pub use cv_estimation as estimation;
 pub use cv_nn as nn;
 pub use cv_planner as planner;
 pub use cv_sensing as sensing;
-pub use car_following;
 pub use cv_sim as sim;
 pub use left_turn;
 pub use safe_shield as shield;
@@ -60,8 +60,7 @@ pub mod prelude {
     pub use cv_comm::{Channel, CommSetting, Message};
     pub use cv_dynamics::{VehicleLimits, VehicleState};
     pub use cv_estimation::{
-        Estimator, FilterMode, InformationFilter, Interval, NaiveEstimator, Prior,
-        VehicleEstimate,
+        Estimator, FilterMode, InformationFilter, Interval, NaiveEstimator, Prior, VehicleEstimate,
     };
     pub use cv_planner::{NnPlanner, TeacherPolicy};
     pub use cv_sensing::{Measurement, SensorNoise, UniformNoiseSensor};

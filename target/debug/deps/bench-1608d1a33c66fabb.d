@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/bench-1608d1a33c66fabb.d: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+/root/repo/target/debug/deps/libbench-1608d1a33c66fabb.rlib: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+/root/repo/target/debug/deps/libbench-1608d1a33c66fabb.rmeta: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/timing.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/bench-e6554fe6109c7fc0.d: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+/root/repo/target/debug/deps/bench-e6554fe6109c7fc0: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/timing.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/car_following-5c1e6b3a018c75ae.d: crates/car-following/src/lib.rs crates/car-following/src/cruise.rs crates/car-following/src/scenario.rs
+
+/root/repo/target/debug/deps/libcar_following-5c1e6b3a018c75ae.rlib: crates/car-following/src/lib.rs crates/car-following/src/cruise.rs crates/car-following/src/scenario.rs
+
+/root/repo/target/debug/deps/libcar_following-5c1e6b3a018c75ae.rmeta: crates/car-following/src/lib.rs crates/car-following/src/cruise.rs crates/car-following/src/scenario.rs
+
+crates/car-following/src/lib.rs:
+crates/car-following/src/cruise.rs:
+crates/car-following/src/scenario.rs:

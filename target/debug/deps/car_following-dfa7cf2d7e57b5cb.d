@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/car_following-dfa7cf2d7e57b5cb.d: crates/car-following/src/lib.rs crates/car-following/src/cruise.rs crates/car-following/src/scenario.rs
+
+/root/repo/target/debug/deps/car_following-dfa7cf2d7e57b5cb: crates/car-following/src/lib.rs crates/car-following/src/cruise.rs crates/car-following/src/scenario.rs
+
+crates/car-following/src/lib.rs:
+crates/car-following/src/cruise.rs:
+crates/car-following/src/scenario.rs:

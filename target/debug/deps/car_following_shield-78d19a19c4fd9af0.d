@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/car_following_shield-78d19a19c4fd9af0.d: tests/car_following_shield.rs
+
+/root/repo/target/debug/deps/car_following_shield-78d19a19c4fd9af0: tests/car_following_shield.rs
+
+tests/car_following_shield.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/cv_comm-2332418d22e7c56e.d: crates/comm/src/lib.rs crates/comm/src/channel.rs crates/comm/src/message.rs crates/comm/src/setting.rs
+
+/root/repo/target/debug/deps/cv_comm-2332418d22e7c56e: crates/comm/src/lib.rs crates/comm/src/channel.rs crates/comm/src/message.rs crates/comm/src/setting.rs
+
+crates/comm/src/lib.rs:
+crates/comm/src/channel.rs:
+crates/comm/src/message.rs:
+crates/comm/src/setting.rs:

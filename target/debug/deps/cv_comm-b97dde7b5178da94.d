@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cv_comm-b97dde7b5178da94.d: crates/comm/src/lib.rs crates/comm/src/channel.rs crates/comm/src/message.rs crates/comm/src/setting.rs
+
+/root/repo/target/debug/deps/libcv_comm-b97dde7b5178da94.rlib: crates/comm/src/lib.rs crates/comm/src/channel.rs crates/comm/src/message.rs crates/comm/src/setting.rs
+
+/root/repo/target/debug/deps/libcv_comm-b97dde7b5178da94.rmeta: crates/comm/src/lib.rs crates/comm/src/channel.rs crates/comm/src/message.rs crates/comm/src/setting.rs
+
+crates/comm/src/lib.rs:
+crates/comm/src/channel.rs:
+crates/comm/src/message.rs:
+crates/comm/src/setting.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cv_dynamics-2bfcc18180deffce.d: crates/dynamics/src/lib.rs crates/dynamics/src/limits.rs crates/dynamics/src/state.rs crates/dynamics/src/trajectory.rs
+
+/root/repo/target/debug/deps/libcv_dynamics-2bfcc18180deffce.rlib: crates/dynamics/src/lib.rs crates/dynamics/src/limits.rs crates/dynamics/src/state.rs crates/dynamics/src/trajectory.rs
+
+/root/repo/target/debug/deps/libcv_dynamics-2bfcc18180deffce.rmeta: crates/dynamics/src/lib.rs crates/dynamics/src/limits.rs crates/dynamics/src/state.rs crates/dynamics/src/trajectory.rs
+
+crates/dynamics/src/lib.rs:
+crates/dynamics/src/limits.rs:
+crates/dynamics/src/state.rs:
+crates/dynamics/src/trajectory.rs:

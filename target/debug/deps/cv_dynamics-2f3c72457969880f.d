@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/cv_dynamics-2f3c72457969880f.d: crates/dynamics/src/lib.rs crates/dynamics/src/limits.rs crates/dynamics/src/state.rs crates/dynamics/src/trajectory.rs
+
+/root/repo/target/debug/deps/cv_dynamics-2f3c72457969880f: crates/dynamics/src/lib.rs crates/dynamics/src/limits.rs crates/dynamics/src/state.rs crates/dynamics/src/trajectory.rs
+
+crates/dynamics/src/lib.rs:
+crates/dynamics/src/limits.rs:
+crates/dynamics/src/state.rs:
+crates/dynamics/src/trajectory.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/cv_estimation-c201f074013ea6fe.d: crates/estimation/src/lib.rs crates/estimation/src/estimate.rs crates/estimation/src/estimator.rs crates/estimation/src/fusion.rs crates/estimation/src/interval.rs crates/estimation/src/kalman.rs crates/estimation/src/linalg.rs crates/estimation/src/reachability.rs crates/estimation/src/tracking.rs
+
+/root/repo/target/debug/deps/cv_estimation-c201f074013ea6fe: crates/estimation/src/lib.rs crates/estimation/src/estimate.rs crates/estimation/src/estimator.rs crates/estimation/src/fusion.rs crates/estimation/src/interval.rs crates/estimation/src/kalman.rs crates/estimation/src/linalg.rs crates/estimation/src/reachability.rs crates/estimation/src/tracking.rs
+
+crates/estimation/src/lib.rs:
+crates/estimation/src/estimate.rs:
+crates/estimation/src/estimator.rs:
+crates/estimation/src/fusion.rs:
+crates/estimation/src/interval.rs:
+crates/estimation/src/kalman.rs:
+crates/estimation/src/linalg.rs:
+crates/estimation/src/reachability.rs:
+crates/estimation/src/tracking.rs:

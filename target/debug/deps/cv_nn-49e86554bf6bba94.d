@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/cv_nn-49e86554bf6bba94.d: crates/nn/src/lib.rs crates/nn/src/activation.rs crates/nn/src/error.rs crates/nn/src/layer.rs crates/nn/src/loss.rs crates/nn/src/matrix.rs crates/nn/src/mlp.rs crates/nn/src/optimizer.rs crates/nn/src/train.rs
+
+/root/repo/target/debug/deps/cv_nn-49e86554bf6bba94: crates/nn/src/lib.rs crates/nn/src/activation.rs crates/nn/src/error.rs crates/nn/src/layer.rs crates/nn/src/loss.rs crates/nn/src/matrix.rs crates/nn/src/mlp.rs crates/nn/src/optimizer.rs crates/nn/src/train.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/activation.rs:
+crates/nn/src/error.rs:
+crates/nn/src/layer.rs:
+crates/nn/src/loss.rs:
+crates/nn/src/matrix.rs:
+crates/nn/src/mlp.rs:
+crates/nn/src/optimizer.rs:
+crates/nn/src/train.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/cv_nn-65fe7cd46fc35d5d.d: crates/nn/src/lib.rs crates/nn/src/activation.rs crates/nn/src/error.rs crates/nn/src/layer.rs crates/nn/src/loss.rs crates/nn/src/matrix.rs crates/nn/src/mlp.rs crates/nn/src/optimizer.rs crates/nn/src/train.rs
+
+/root/repo/target/debug/deps/libcv_nn-65fe7cd46fc35d5d.rlib: crates/nn/src/lib.rs crates/nn/src/activation.rs crates/nn/src/error.rs crates/nn/src/layer.rs crates/nn/src/loss.rs crates/nn/src/matrix.rs crates/nn/src/mlp.rs crates/nn/src/optimizer.rs crates/nn/src/train.rs
+
+/root/repo/target/debug/deps/libcv_nn-65fe7cd46fc35d5d.rmeta: crates/nn/src/lib.rs crates/nn/src/activation.rs crates/nn/src/error.rs crates/nn/src/layer.rs crates/nn/src/loss.rs crates/nn/src/matrix.rs crates/nn/src/mlp.rs crates/nn/src/optimizer.rs crates/nn/src/train.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/activation.rs:
+crates/nn/src/error.rs:
+crates/nn/src/layer.rs:
+crates/nn/src/loss.rs:
+crates/nn/src/matrix.rs:
+crates/nn/src/mlp.rs:
+crates/nn/src/optimizer.rs:
+crates/nn/src/train.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cv_planner-3dc531f8a6014227.d: crates/planner/src/lib.rs crates/planner/src/cloning.rs crates/planner/src/nn_planner.rs crates/planner/src/teacher.rs
+
+/root/repo/target/debug/deps/libcv_planner-3dc531f8a6014227.rlib: crates/planner/src/lib.rs crates/planner/src/cloning.rs crates/planner/src/nn_planner.rs crates/planner/src/teacher.rs
+
+/root/repo/target/debug/deps/libcv_planner-3dc531f8a6014227.rmeta: crates/planner/src/lib.rs crates/planner/src/cloning.rs crates/planner/src/nn_planner.rs crates/planner/src/teacher.rs
+
+crates/planner/src/lib.rs:
+crates/planner/src/cloning.rs:
+crates/planner/src/nn_planner.rs:
+crates/planner/src/teacher.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/cv_planner-929540bb2b8b4e5f.d: crates/planner/src/lib.rs crates/planner/src/cloning.rs crates/planner/src/nn_planner.rs crates/planner/src/teacher.rs
+
+/root/repo/target/debug/deps/cv_planner-929540bb2b8b4e5f: crates/planner/src/lib.rs crates/planner/src/cloning.rs crates/planner/src/nn_planner.rs crates/planner/src/teacher.rs
+
+crates/planner/src/lib.rs:
+crates/planner/src/cloning.rs:
+crates/planner/src/nn_planner.rs:
+crates/planner/src/teacher.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cv_rng-534a78304fb57434.d: crates/rng/src/lib.rs
+
+/root/repo/target/debug/deps/libcv_rng-534a78304fb57434.rlib: crates/rng/src/lib.rs
+
+/root/repo/target/debug/deps/libcv_rng-534a78304fb57434.rmeta: crates/rng/src/lib.rs
+
+crates/rng/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cv_rng-b1e5618fdb62bed5.d: crates/rng/src/lib.rs
+
+/root/repo/target/debug/deps/cv_rng-b1e5618fdb62bed5: crates/rng/src/lib.rs
+
+crates/rng/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cv_sensing-20d3b4b00b5c65e6.d: crates/sensing/src/lib.rs crates/sensing/src/measurement.rs crates/sensing/src/sensor.rs
+
+/root/repo/target/debug/deps/cv_sensing-20d3b4b00b5c65e6: crates/sensing/src/lib.rs crates/sensing/src/measurement.rs crates/sensing/src/sensor.rs
+
+crates/sensing/src/lib.rs:
+crates/sensing/src/measurement.rs:
+crates/sensing/src/sensor.rs:

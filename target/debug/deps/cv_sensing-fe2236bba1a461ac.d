@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cv_sensing-fe2236bba1a461ac.d: crates/sensing/src/lib.rs crates/sensing/src/measurement.rs crates/sensing/src/sensor.rs
+
+/root/repo/target/debug/deps/libcv_sensing-fe2236bba1a461ac.rlib: crates/sensing/src/lib.rs crates/sensing/src/measurement.rs crates/sensing/src/sensor.rs
+
+/root/repo/target/debug/deps/libcv_sensing-fe2236bba1a461ac.rmeta: crates/sensing/src/lib.rs crates/sensing/src/measurement.rs crates/sensing/src/sensor.rs
+
+crates/sensing/src/lib.rs:
+crates/sensing/src/measurement.rs:
+crates/sensing/src/sensor.rs:

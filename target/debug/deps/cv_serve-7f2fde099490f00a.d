@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cv_serve-7f2fde099490f00a.d: crates/server/src/bin/cv-serve.rs
+
+/root/repo/target/debug/deps/cv_serve-7f2fde099490f00a: crates/server/src/bin/cv-serve.rs
+
+crates/server/src/bin/cv-serve.rs:

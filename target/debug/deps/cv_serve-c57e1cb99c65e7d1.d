@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cv_serve-c57e1cb99c65e7d1.d: crates/server/src/bin/cv-serve.rs
+
+/root/repo/target/debug/deps/cv_serve-c57e1cb99c65e7d1: crates/server/src/bin/cv-serve.rs
+
+crates/server/src/bin/cv-serve.rs:

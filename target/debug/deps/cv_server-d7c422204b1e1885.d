@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/cv_server-d7c422204b1e1885.d: crates/server/src/lib.rs crates/server/src/client.rs crates/server/src/protocol.rs crates/server/src/queue.rs crates/server/src/server.rs crates/server/src/wire.rs crates/server/src/worker.rs
+
+/root/repo/target/debug/deps/libcv_server-d7c422204b1e1885.rlib: crates/server/src/lib.rs crates/server/src/client.rs crates/server/src/protocol.rs crates/server/src/queue.rs crates/server/src/server.rs crates/server/src/wire.rs crates/server/src/worker.rs
+
+/root/repo/target/debug/deps/libcv_server-d7c422204b1e1885.rmeta: crates/server/src/lib.rs crates/server/src/client.rs crates/server/src/protocol.rs crates/server/src/queue.rs crates/server/src/server.rs crates/server/src/wire.rs crates/server/src/worker.rs
+
+crates/server/src/lib.rs:
+crates/server/src/client.rs:
+crates/server/src/protocol.rs:
+crates/server/src/queue.rs:
+crates/server/src/server.rs:
+crates/server/src/wire.rs:
+crates/server/src/worker.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cv_submit-8681a34eeb0038b9.d: crates/server/src/bin/cv-submit.rs
+
+/root/repo/target/debug/deps/cv_submit-8681a34eeb0038b9: crates/server/src/bin/cv-submit.rs
+
+crates/server/src/bin/cv-submit.rs:

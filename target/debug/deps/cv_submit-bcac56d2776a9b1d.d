@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cv_submit-bcac56d2776a9b1d.d: crates/server/src/bin/cv-submit.rs
+
+/root/repo/target/debug/deps/cv_submit-bcac56d2776a9b1d: crates/server/src/bin/cv-submit.rs
+
+crates/server/src/bin/cv-submit.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e2e-5d96bec670a1c4cc.d: crates/server/tests/e2e.rs
+
+/root/repo/target/debug/deps/e2e-5d96bec670a1c4cc: crates/server/tests/e2e.rs
+
+crates/server/tests/e2e.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/episode-f00dae461d3b81a7.d: crates/bench/benches/episode.rs
+
+/root/repo/target/debug/deps/episode-f00dae461d3b81a7: crates/bench/benches/episode.rs
+
+crates/bench/benches/episode.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/estimation-5546fe59c3347502.d: crates/bench/benches/estimation.rs
+
+/root/repo/target/debug/deps/estimation-5546fe59c3347502: crates/bench/benches/estimation.rs
+
+crates/bench/benches/estimation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/estimation_pipeline-8b96fef3d226b994.d: tests/estimation_pipeline.rs
+
+/root/repo/target/debug/deps/estimation_pipeline-8b96fef3d226b994: tests/estimation_pipeline.rs
+
+tests/estimation_pipeline.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/eta_guarantee-c10bad9f16686cb7.d: tests/eta_guarantee.rs tests/common/mod.rs
+
+/root/repo/target/debug/deps/eta_guarantee-c10bad9f16686cb7: tests/eta_guarantee.rs tests/common/mod.rs
+
+tests/eta_guarantee.rs:
+tests/common/mod.rs:

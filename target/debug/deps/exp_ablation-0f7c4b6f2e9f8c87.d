@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_ablation-0f7c4b6f2e9f8c87.d: crates/bench/src/bin/exp_ablation.rs
+
+/root/repo/target/debug/deps/exp_ablation-0f7c4b6f2e9f8c87: crates/bench/src/bin/exp_ablation.rs
+
+crates/bench/src/bin/exp_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_ablation-7ef0bed5f3bd17ad.d: crates/bench/src/bin/exp_ablation.rs
+
+/root/repo/target/debug/deps/exp_ablation-7ef0bed5f3bd17ad: crates/bench/src/bin/exp_ablation.rs
+
+crates/bench/src/bin/exp_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig5-064cfcfc4e618561.d: crates/bench/src/bin/exp_fig5.rs
+
+/root/repo/target/debug/deps/exp_fig5-064cfcfc4e618561: crates/bench/src/bin/exp_fig5.rs
+
+crates/bench/src/bin/exp_fig5.rs:

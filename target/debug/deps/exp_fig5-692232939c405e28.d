@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig5-692232939c405e28.d: crates/bench/src/bin/exp_fig5.rs
+
+/root/repo/target/debug/deps/exp_fig5-692232939c405e28: crates/bench/src/bin/exp_fig5.rs
+
+crates/bench/src/bin/exp_fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig6-0fc75d02f5e5a6d1.d: crates/bench/src/bin/exp_fig6.rs
+
+/root/repo/target/debug/deps/exp_fig6-0fc75d02f5e5a6d1: crates/bench/src/bin/exp_fig6.rs
+
+crates/bench/src/bin/exp_fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig6-a37f4494cbe41e2f.d: crates/bench/src/bin/exp_fig6.rs
+
+/root/repo/target/debug/deps/exp_fig6-a37f4494cbe41e2f: crates/bench/src/bin/exp_fig6.rs
+
+crates/bench/src/bin/exp_fig6.rs:

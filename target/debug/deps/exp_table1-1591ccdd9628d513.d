@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_table1-1591ccdd9628d513.d: crates/bench/src/bin/exp_table1.rs
+
+/root/repo/target/debug/deps/exp_table1-1591ccdd9628d513: crates/bench/src/bin/exp_table1.rs
+
+crates/bench/src/bin/exp_table1.rs:

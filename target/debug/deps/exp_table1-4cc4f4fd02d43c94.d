@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_table1-4cc4f4fd02d43c94.d: crates/bench/src/bin/exp_table1.rs
+
+/root/repo/target/debug/deps/exp_table1-4cc4f4fd02d43c94: crates/bench/src/bin/exp_table1.rs
+
+crates/bench/src/bin/exp_table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_table2-54c46f0a871eb55e.d: crates/bench/src/bin/exp_table2.rs
+
+/root/repo/target/debug/deps/exp_table2-54c46f0a871eb55e: crates/bench/src/bin/exp_table2.rs
+
+crates/bench/src/bin/exp_table2.rs:

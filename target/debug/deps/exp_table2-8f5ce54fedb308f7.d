@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_table2-8f5ce54fedb308f7.d: crates/bench/src/bin/exp_table2.rs
+
+/root/repo/target/debug/deps/exp_table2-8f5ce54fedb308f7: crates/bench/src/bin/exp_table2.rs
+
+crates/bench/src/bin/exp_table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-bb3d7e29d5bf3a86.d: crates/bench/benches/experiments.rs
+
+/root/repo/target/debug/deps/experiments-bb3d7e29d5bf3a86: crates/bench/benches/experiments.rs
+
+crates/bench/benches/experiments.rs:

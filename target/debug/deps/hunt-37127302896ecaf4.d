@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hunt-37127302896ecaf4.d: crates/bench/src/bin/hunt.rs
+
+/root/repo/target/debug/deps/hunt-37127302896ecaf4: crates/bench/src/bin/hunt.rs
+
+crates/bench/src/bin/hunt.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hunt-862a635ff80a71be.d: crates/bench/src/bin/hunt.rs
+
+/root/repo/target/debug/deps/hunt-862a635ff80a71be: crates/bench/src/bin/hunt.rs
+
+crates/bench/src/bin/hunt.rs:

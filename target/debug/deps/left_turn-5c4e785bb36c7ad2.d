@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/left_turn-5c4e785bb36c7ad2.d: crates/left-turn/src/lib.rs crates/left-turn/src/geometry.rs crates/left-turn/src/scenario.rs crates/left-turn/src/tau.rs crates/left-turn/src/verify.rs
+
+/root/repo/target/debug/deps/left_turn-5c4e785bb36c7ad2: crates/left-turn/src/lib.rs crates/left-turn/src/geometry.rs crates/left-turn/src/scenario.rs crates/left-turn/src/tau.rs crates/left-turn/src/verify.rs
+
+crates/left-turn/src/lib.rs:
+crates/left-turn/src/geometry.rs:
+crates/left-turn/src/scenario.rs:
+crates/left-turn/src/tau.rs:
+crates/left-turn/src/verify.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/left_turn-e6500c87a568d3c5.d: crates/left-turn/src/lib.rs crates/left-turn/src/geometry.rs crates/left-turn/src/scenario.rs crates/left-turn/src/tau.rs crates/left-turn/src/verify.rs
+
+/root/repo/target/debug/deps/libleft_turn-e6500c87a568d3c5.rlib: crates/left-turn/src/lib.rs crates/left-turn/src/geometry.rs crates/left-turn/src/scenario.rs crates/left-turn/src/tau.rs crates/left-turn/src/verify.rs
+
+/root/repo/target/debug/deps/libleft_turn-e6500c87a568d3c5.rmeta: crates/left-turn/src/lib.rs crates/left-turn/src/geometry.rs crates/left-turn/src/scenario.rs crates/left-turn/src/tau.rs crates/left-turn/src/verify.rs
+
+crates/left-turn/src/lib.rs:
+crates/left-turn/src/geometry.rs:
+crates/left-turn/src/scenario.rs:
+crates/left-turn/src/tau.rs:
+crates/left-turn/src/verify.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/multi_vehicle-998d75c0fc6dca78.d: tests/multi_vehicle.rs tests/common/mod.rs
+
+/root/repo/target/debug/deps/multi_vehicle-998d75c0fc6dca78: tests/multi_vehicle.rs tests/common/mod.rs
+
+tests/multi_vehicle.rs:
+tests/common/mod.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nn-1603260dd190bd10.d: crates/bench/benches/nn.rs
+
+/root/repo/target/debug/deps/nn-1603260dd190bd10: crates/bench/benches/nn.rs
+
+crates/bench/benches/nn.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/planner_properties-fdc8b9e0be83e2f1.d: tests/planner_properties.rs
+
+/root/repo/target/debug/deps/planner_properties-fdc8b9e0be83e2f1: tests/planner_properties.rs
+
+tests/planner_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/planner_step-aad94fb6f4eb8521.d: crates/bench/benches/planner_step.rs
+
+/root/repo/target/debug/deps/planner_step-aad94fb6f4eb8521: crates/bench/benches/planner_step.rs
+
+crates/bench/benches/planner_step.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/properties-b1106897dfb3f1d1.d: tests/properties.rs tests/common/mod.rs
+
+/root/repo/target/debug/deps/properties-b1106897dfb3f1d1: tests/properties.rs tests/common/mod.rs
+
+tests/properties.rs:
+tests/common/mod.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/safe_cv-3f492e45213ac487.d: src/lib.rs
+
+/root/repo/target/debug/deps/libsafe_cv-3f492e45213ac487.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libsafe_cv-3f492e45213ac487.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/safe_cv-b9a9d368b3c5a63c.d: src/lib.rs
+
+/root/repo/target/debug/deps/safe_cv-b9a9d368b3c5a63c: src/lib.rs
+
+src/lib.rs:

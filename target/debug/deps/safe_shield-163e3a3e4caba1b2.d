@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/safe_shield-163e3a3e4caba1b2.d: crates/core/src/lib.rs crates/core/src/aggressive.rs crates/core/src/compound.rs crates/core/src/eval.rs crates/core/src/monitor.rs crates/core/src/multi.rs crates/core/src/observation.rs crates/core/src/planner.rs crates/core/src/scenario.rs
+
+/root/repo/target/debug/deps/safe_shield-163e3a3e4caba1b2: crates/core/src/lib.rs crates/core/src/aggressive.rs crates/core/src/compound.rs crates/core/src/eval.rs crates/core/src/monitor.rs crates/core/src/multi.rs crates/core/src/observation.rs crates/core/src/planner.rs crates/core/src/scenario.rs
+
+crates/core/src/lib.rs:
+crates/core/src/aggressive.rs:
+crates/core/src/compound.rs:
+crates/core/src/eval.rs:
+crates/core/src/monitor.rs:
+crates/core/src/multi.rs:
+crates/core/src/observation.rs:
+crates/core/src/planner.rs:
+crates/core/src/scenario.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/safety_guarantee-03710b3c8b0423ba.d: tests/safety_guarantee.rs tests/common/mod.rs
+
+/root/repo/target/debug/deps/safety_guarantee-03710b3c8b0423ba: tests/safety_guarantee.rs tests/common/mod.rs
+
+tests/safety_guarantee.rs:
+tests/common/mod.rs:

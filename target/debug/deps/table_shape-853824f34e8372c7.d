@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/table_shape-853824f34e8372c7.d: tests/table_shape.rs tests/common/mod.rs
+
+/root/repo/target/debug/deps/table_shape-853824f34e8372c7: tests/table_shape.rs tests/common/mod.rs
+
+tests/table_shape.rs:
+tests/common/mod.rs:

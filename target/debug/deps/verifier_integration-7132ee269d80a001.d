@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/verifier_integration-7132ee269d80a001.d: tests/verifier_integration.rs
+
+/root/repo/target/debug/deps/verifier_integration-7132ee269d80a001: tests/verifier_integration.rs
+
+tests/verifier_integration.rs:

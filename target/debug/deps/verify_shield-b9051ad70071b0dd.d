@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/verify_shield-b9051ad70071b0dd.d: crates/bench/src/bin/verify_shield.rs
+
+/root/repo/target/debug/deps/verify_shield-b9051ad70071b0dd: crates/bench/src/bin/verify_shield.rs
+
+crates/bench/src/bin/verify_shield.rs:

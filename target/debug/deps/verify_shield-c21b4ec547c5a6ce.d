@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/verify_shield-c21b4ec547c5a6ce.d: crates/bench/src/bin/verify_shield.rs
+
+/root/repo/target/debug/deps/verify_shield-c21b4ec547c5a6ce: crates/bench/src/bin/verify_shield.rs
+
+crates/bench/src/bin/verify_shield.rs:

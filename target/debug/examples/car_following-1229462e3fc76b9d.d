@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/car_following-1229462e3fc76b9d.d: examples/car_following.rs
+
+/root/repo/target/debug/examples/car_following-1229462e3fc76b9d: examples/car_following.rs
+
+examples/car_following.rs:

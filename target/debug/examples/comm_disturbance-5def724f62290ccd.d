@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/comm_disturbance-5def724f62290ccd.d: examples/comm_disturbance.rs
+
+/root/repo/target/debug/examples/comm_disturbance-5def724f62290ccd: examples/comm_disturbance.rs
+
+examples/comm_disturbance.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_planner-5514b09a83530432.d: examples/custom_planner.rs
+
+/root/repo/target/debug/examples/custom_planner-5514b09a83530432: examples/custom_planner.rs
+
+examples/custom_planner.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/information_filter-7340f39d73f893cb.d: examples/information_filter.rs
+
+/root/repo/target/debug/examples/information_filter-7340f39d73f893cb: examples/information_filter.rs
+
+examples/information_filter.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/platoon-d41072e824289e69.d: examples/platoon.rs
+
+/root/repo/target/debug/examples/platoon-d41072e824289e69: examples/platoon.rs
+
+examples/platoon.rs:

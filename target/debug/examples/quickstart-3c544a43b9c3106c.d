@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-3c544a43b9c3106c.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-3c544a43b9c3106c: examples/quickstart.rs
+
+examples/quickstart.rs:

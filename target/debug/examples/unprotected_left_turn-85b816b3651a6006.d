@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/unprotected_left_turn-85b816b3651a6006.d: examples/unprotected_left_turn.rs
+
+/root/repo/target/debug/examples/unprotected_left_turn-85b816b3651a6006: examples/unprotected_left_turn.rs
+
+examples/unprotected_left_turn.rs:

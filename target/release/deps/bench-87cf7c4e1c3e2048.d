@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/bench-87cf7c4e1c3e2048.d: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+/root/repo/target/release/deps/libbench-87cf7c4e1c3e2048.rlib: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+/root/repo/target/release/deps/libbench-87cf7c4e1c3e2048.rmeta: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/timing.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/car_following-08bddc1365c78491.d: crates/car-following/src/lib.rs crates/car-following/src/cruise.rs crates/car-following/src/scenario.rs
+
+/root/repo/target/release/deps/libcar_following-08bddc1365c78491.rlib: crates/car-following/src/lib.rs crates/car-following/src/cruise.rs crates/car-following/src/scenario.rs
+
+/root/repo/target/release/deps/libcar_following-08bddc1365c78491.rmeta: crates/car-following/src/lib.rs crates/car-following/src/cruise.rs crates/car-following/src/scenario.rs
+
+crates/car-following/src/lib.rs:
+crates/car-following/src/cruise.rs:
+crates/car-following/src/scenario.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/cv_comm-d72a61e7b2e121dc.d: crates/comm/src/lib.rs crates/comm/src/channel.rs crates/comm/src/message.rs crates/comm/src/setting.rs
+
+/root/repo/target/release/deps/libcv_comm-d72a61e7b2e121dc.rlib: crates/comm/src/lib.rs crates/comm/src/channel.rs crates/comm/src/message.rs crates/comm/src/setting.rs
+
+/root/repo/target/release/deps/libcv_comm-d72a61e7b2e121dc.rmeta: crates/comm/src/lib.rs crates/comm/src/channel.rs crates/comm/src/message.rs crates/comm/src/setting.rs
+
+crates/comm/src/lib.rs:
+crates/comm/src/channel.rs:
+crates/comm/src/message.rs:
+crates/comm/src/setting.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/cv_dynamics-bda373030e620b0c.d: crates/dynamics/src/lib.rs crates/dynamics/src/limits.rs crates/dynamics/src/state.rs crates/dynamics/src/trajectory.rs
+
+/root/repo/target/release/deps/libcv_dynamics-bda373030e620b0c.rlib: crates/dynamics/src/lib.rs crates/dynamics/src/limits.rs crates/dynamics/src/state.rs crates/dynamics/src/trajectory.rs
+
+/root/repo/target/release/deps/libcv_dynamics-bda373030e620b0c.rmeta: crates/dynamics/src/lib.rs crates/dynamics/src/limits.rs crates/dynamics/src/state.rs crates/dynamics/src/trajectory.rs
+
+crates/dynamics/src/lib.rs:
+crates/dynamics/src/limits.rs:
+crates/dynamics/src/state.rs:
+crates/dynamics/src/trajectory.rs:

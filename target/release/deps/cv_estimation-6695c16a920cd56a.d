@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/cv_estimation-6695c16a920cd56a.d: crates/estimation/src/lib.rs crates/estimation/src/estimate.rs crates/estimation/src/estimator.rs crates/estimation/src/fusion.rs crates/estimation/src/interval.rs crates/estimation/src/kalman.rs crates/estimation/src/linalg.rs crates/estimation/src/reachability.rs crates/estimation/src/tracking.rs
+
+/root/repo/target/release/deps/libcv_estimation-6695c16a920cd56a.rlib: crates/estimation/src/lib.rs crates/estimation/src/estimate.rs crates/estimation/src/estimator.rs crates/estimation/src/fusion.rs crates/estimation/src/interval.rs crates/estimation/src/kalman.rs crates/estimation/src/linalg.rs crates/estimation/src/reachability.rs crates/estimation/src/tracking.rs
+
+/root/repo/target/release/deps/libcv_estimation-6695c16a920cd56a.rmeta: crates/estimation/src/lib.rs crates/estimation/src/estimate.rs crates/estimation/src/estimator.rs crates/estimation/src/fusion.rs crates/estimation/src/interval.rs crates/estimation/src/kalman.rs crates/estimation/src/linalg.rs crates/estimation/src/reachability.rs crates/estimation/src/tracking.rs
+
+crates/estimation/src/lib.rs:
+crates/estimation/src/estimate.rs:
+crates/estimation/src/estimator.rs:
+crates/estimation/src/fusion.rs:
+crates/estimation/src/interval.rs:
+crates/estimation/src/kalman.rs:
+crates/estimation/src/linalg.rs:
+crates/estimation/src/reachability.rs:
+crates/estimation/src/tracking.rs:

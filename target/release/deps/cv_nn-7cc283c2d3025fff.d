@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/cv_nn-7cc283c2d3025fff.d: crates/nn/src/lib.rs crates/nn/src/activation.rs crates/nn/src/error.rs crates/nn/src/layer.rs crates/nn/src/loss.rs crates/nn/src/matrix.rs crates/nn/src/mlp.rs crates/nn/src/optimizer.rs crates/nn/src/train.rs
+
+/root/repo/target/release/deps/libcv_nn-7cc283c2d3025fff.rlib: crates/nn/src/lib.rs crates/nn/src/activation.rs crates/nn/src/error.rs crates/nn/src/layer.rs crates/nn/src/loss.rs crates/nn/src/matrix.rs crates/nn/src/mlp.rs crates/nn/src/optimizer.rs crates/nn/src/train.rs
+
+/root/repo/target/release/deps/libcv_nn-7cc283c2d3025fff.rmeta: crates/nn/src/lib.rs crates/nn/src/activation.rs crates/nn/src/error.rs crates/nn/src/layer.rs crates/nn/src/loss.rs crates/nn/src/matrix.rs crates/nn/src/mlp.rs crates/nn/src/optimizer.rs crates/nn/src/train.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/activation.rs:
+crates/nn/src/error.rs:
+crates/nn/src/layer.rs:
+crates/nn/src/loss.rs:
+crates/nn/src/matrix.rs:
+crates/nn/src/mlp.rs:
+crates/nn/src/optimizer.rs:
+crates/nn/src/train.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/cv_planner-22df9cbe87e51637.d: crates/planner/src/lib.rs crates/planner/src/cloning.rs crates/planner/src/nn_planner.rs crates/planner/src/teacher.rs
+
+/root/repo/target/release/deps/libcv_planner-22df9cbe87e51637.rlib: crates/planner/src/lib.rs crates/planner/src/cloning.rs crates/planner/src/nn_planner.rs crates/planner/src/teacher.rs
+
+/root/repo/target/release/deps/libcv_planner-22df9cbe87e51637.rmeta: crates/planner/src/lib.rs crates/planner/src/cloning.rs crates/planner/src/nn_planner.rs crates/planner/src/teacher.rs
+
+crates/planner/src/lib.rs:
+crates/planner/src/cloning.rs:
+crates/planner/src/nn_planner.rs:
+crates/planner/src/teacher.rs:

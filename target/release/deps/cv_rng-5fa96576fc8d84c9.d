@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/cv_rng-5fa96576fc8d84c9.d: crates/rng/src/lib.rs
+
+/root/repo/target/release/deps/libcv_rng-5fa96576fc8d84c9.rlib: crates/rng/src/lib.rs
+
+/root/repo/target/release/deps/libcv_rng-5fa96576fc8d84c9.rmeta: crates/rng/src/lib.rs
+
+crates/rng/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/cv_sensing-5b6ffa34316abbb3.d: crates/sensing/src/lib.rs crates/sensing/src/measurement.rs crates/sensing/src/sensor.rs
+
+/root/repo/target/release/deps/libcv_sensing-5b6ffa34316abbb3.rlib: crates/sensing/src/lib.rs crates/sensing/src/measurement.rs crates/sensing/src/sensor.rs
+
+/root/repo/target/release/deps/libcv_sensing-5b6ffa34316abbb3.rmeta: crates/sensing/src/lib.rs crates/sensing/src/measurement.rs crates/sensing/src/sensor.rs
+
+crates/sensing/src/lib.rs:
+crates/sensing/src/measurement.rs:
+crates/sensing/src/sensor.rs:

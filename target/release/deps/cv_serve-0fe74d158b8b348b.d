@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cv_serve-0fe74d158b8b348b.d: crates/server/src/bin/cv-serve.rs
+
+/root/repo/target/release/deps/cv_serve-0fe74d158b8b348b: crates/server/src/bin/cv-serve.rs
+
+crates/server/src/bin/cv-serve.rs:

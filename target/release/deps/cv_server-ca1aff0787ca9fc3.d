@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/cv_server-ca1aff0787ca9fc3.d: crates/server/src/lib.rs crates/server/src/client.rs crates/server/src/protocol.rs crates/server/src/queue.rs crates/server/src/server.rs crates/server/src/wire.rs crates/server/src/worker.rs
+
+/root/repo/target/release/deps/libcv_server-ca1aff0787ca9fc3.rlib: crates/server/src/lib.rs crates/server/src/client.rs crates/server/src/protocol.rs crates/server/src/queue.rs crates/server/src/server.rs crates/server/src/wire.rs crates/server/src/worker.rs
+
+/root/repo/target/release/deps/libcv_server-ca1aff0787ca9fc3.rmeta: crates/server/src/lib.rs crates/server/src/client.rs crates/server/src/protocol.rs crates/server/src/queue.rs crates/server/src/server.rs crates/server/src/wire.rs crates/server/src/worker.rs
+
+crates/server/src/lib.rs:
+crates/server/src/client.rs:
+crates/server/src/protocol.rs:
+crates/server/src/queue.rs:
+crates/server/src/server.rs:
+crates/server/src/wire.rs:
+crates/server/src/worker.rs:

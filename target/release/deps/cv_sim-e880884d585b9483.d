@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/cv_sim-e880884d585b9483.d: crates/sim/src/lib.rs crates/sim/src/batch.rs crates/sim/src/config.rs crates/sim/src/driver.rs crates/sim/src/episode.rs crates/sim/src/metrics.rs crates/sim/src/stack.rs crates/sim/src/training.rs
+
+/root/repo/target/release/deps/libcv_sim-e880884d585b9483.rlib: crates/sim/src/lib.rs crates/sim/src/batch.rs crates/sim/src/config.rs crates/sim/src/driver.rs crates/sim/src/episode.rs crates/sim/src/metrics.rs crates/sim/src/stack.rs crates/sim/src/training.rs
+
+/root/repo/target/release/deps/libcv_sim-e880884d585b9483.rmeta: crates/sim/src/lib.rs crates/sim/src/batch.rs crates/sim/src/config.rs crates/sim/src/driver.rs crates/sim/src/episode.rs crates/sim/src/metrics.rs crates/sim/src/stack.rs crates/sim/src/training.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/batch.rs:
+crates/sim/src/config.rs:
+crates/sim/src/driver.rs:
+crates/sim/src/episode.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/stack.rs:
+crates/sim/src/training.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cv_submit-490994ea4acd8080.d: crates/server/src/bin/cv-submit.rs
+
+/root/repo/target/release/deps/cv_submit-490994ea4acd8080: crates/server/src/bin/cv-submit.rs
+
+crates/server/src/bin/cv-submit.rs:

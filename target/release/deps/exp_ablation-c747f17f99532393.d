@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_ablation-c747f17f99532393.d: crates/bench/src/bin/exp_ablation.rs
+
+/root/repo/target/release/deps/exp_ablation-c747f17f99532393: crates/bench/src/bin/exp_ablation.rs
+
+crates/bench/src/bin/exp_ablation.rs:

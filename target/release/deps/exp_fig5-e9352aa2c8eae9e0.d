@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig5-e9352aa2c8eae9e0.d: crates/bench/src/bin/exp_fig5.rs
+
+/root/repo/target/release/deps/exp_fig5-e9352aa2c8eae9e0: crates/bench/src/bin/exp_fig5.rs
+
+crates/bench/src/bin/exp_fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig6-4a674efd4e033aeb.d: crates/bench/src/bin/exp_fig6.rs
+
+/root/repo/target/release/deps/exp_fig6-4a674efd4e033aeb: crates/bench/src/bin/exp_fig6.rs
+
+crates/bench/src/bin/exp_fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_table1-bb98cfb62b71e640.d: crates/bench/src/bin/exp_table1.rs
+
+/root/repo/target/release/deps/exp_table1-bb98cfb62b71e640: crates/bench/src/bin/exp_table1.rs
+
+crates/bench/src/bin/exp_table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_table2-424af7714cca5588.d: crates/bench/src/bin/exp_table2.rs
+
+/root/repo/target/release/deps/exp_table2-424af7714cca5588: crates/bench/src/bin/exp_table2.rs
+
+crates/bench/src/bin/exp_table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hunt-a8e38e5978e7674d.d: crates/bench/src/bin/hunt.rs
+
+/root/repo/target/release/deps/hunt-a8e38e5978e7674d: crates/bench/src/bin/hunt.rs
+
+crates/bench/src/bin/hunt.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/left_turn-26bd0efcf27a5cc3.d: crates/left-turn/src/lib.rs crates/left-turn/src/geometry.rs crates/left-turn/src/scenario.rs crates/left-turn/src/tau.rs crates/left-turn/src/verify.rs
+
+/root/repo/target/release/deps/libleft_turn-26bd0efcf27a5cc3.rlib: crates/left-turn/src/lib.rs crates/left-turn/src/geometry.rs crates/left-turn/src/scenario.rs crates/left-turn/src/tau.rs crates/left-turn/src/verify.rs
+
+/root/repo/target/release/deps/libleft_turn-26bd0efcf27a5cc3.rmeta: crates/left-turn/src/lib.rs crates/left-turn/src/geometry.rs crates/left-turn/src/scenario.rs crates/left-turn/src/tau.rs crates/left-turn/src/verify.rs
+
+crates/left-turn/src/lib.rs:
+crates/left-turn/src/geometry.rs:
+crates/left-turn/src/scenario.rs:
+crates/left-turn/src/tau.rs:
+crates/left-turn/src/verify.rs:

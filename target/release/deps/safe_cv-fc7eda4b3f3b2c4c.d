@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/safe_cv-fc7eda4b3f3b2c4c.d: src/lib.rs
+
+/root/repo/target/release/deps/libsafe_cv-fc7eda4b3f3b2c4c.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libsafe_cv-fc7eda4b3f3b2c4c.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/safe_shield-ebd176ff58b0f67e.d: crates/core/src/lib.rs crates/core/src/aggressive.rs crates/core/src/compound.rs crates/core/src/eval.rs crates/core/src/monitor.rs crates/core/src/multi.rs crates/core/src/observation.rs crates/core/src/planner.rs crates/core/src/scenario.rs
+
+/root/repo/target/release/deps/libsafe_shield-ebd176ff58b0f67e.rlib: crates/core/src/lib.rs crates/core/src/aggressive.rs crates/core/src/compound.rs crates/core/src/eval.rs crates/core/src/monitor.rs crates/core/src/multi.rs crates/core/src/observation.rs crates/core/src/planner.rs crates/core/src/scenario.rs
+
+/root/repo/target/release/deps/libsafe_shield-ebd176ff58b0f67e.rmeta: crates/core/src/lib.rs crates/core/src/aggressive.rs crates/core/src/compound.rs crates/core/src/eval.rs crates/core/src/monitor.rs crates/core/src/multi.rs crates/core/src/observation.rs crates/core/src/planner.rs crates/core/src/scenario.rs
+
+crates/core/src/lib.rs:
+crates/core/src/aggressive.rs:
+crates/core/src/compound.rs:
+crates/core/src/eval.rs:
+crates/core/src/monitor.rs:
+crates/core/src/multi.rs:
+crates/core/src/observation.rs:
+crates/core/src/planner.rs:
+crates/core/src/scenario.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/verify_shield-5167c1d371c87ed2.d: crates/bench/src/bin/verify_shield.rs
+
+/root/repo/target/release/deps/verify_shield-5167c1d371c87ed2: crates/bench/src/bin/verify_shield.rs
+
+crates/bench/src/bin/verify_shield.rs:

@@ -1,0 +1,1 @@
+/root/repo/target/release/libcv_rng.rlib: /root/repo/crates/rng/src/lib.rs

@@ -20,8 +20,7 @@ pub fn medium_setup() -> TrainSetup {
 pub fn conservative_nn() -> NnPlanner {
     static CELL: OnceLock<NnPlanner> = OnceLock::new();
     CELL.get_or_init(|| {
-        train_planner(&medium_setup(), Personality::Conservative)
-            .expect("training must succeed")
+        train_planner(&medium_setup(), Personality::Conservative).expect("training must succeed")
     })
     .clone()
 }
@@ -30,8 +29,7 @@ pub fn conservative_nn() -> NnPlanner {
 pub fn aggressive_nn() -> NnPlanner {
     static CELL: OnceLock<NnPlanner> = OnceLock::new();
     CELL.get_or_init(|| {
-        train_planner(&TrainSetup::smoke(), Personality::Aggressive)
-            .expect("smoke training must succeed")
+        train_planner(&medium_setup(), Personality::Aggressive).expect("training must succeed")
     })
     .clone()
 }

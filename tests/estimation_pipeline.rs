@@ -1,16 +1,15 @@
 //! Cross-crate integration of the estimation pipeline: channels + sensors +
 //! information filter driven exactly like the simulator drives them.
 
+use cv_rng::{Rng, SplitMix64};
 use safe_cv::prelude::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 struct Rig {
     limits: VehicleLimits,
     truth: VehicleState,
     channel: Box<dyn Channel + Send>,
     sensor: UniformNoiseSensor,
-    rng: StdRng,
+    rng: SplitMix64,
 }
 
 impl Rig {
@@ -21,7 +20,7 @@ impl Rig {
             truth: VehicleState::new(0.0, 10.0, 0.0),
             channel: comm.channel(seed),
             sensor: UniformNoiseSensor::new(noise, seed ^ 0xFFFF),
-            rng: StdRng::seed_from_u64(seed.wrapping_mul(31)),
+            rng: SplitMix64::seed_from_u64(seed.wrapping_mul(31)),
         }
     }
 

@@ -35,7 +35,10 @@ fn ultimate_beats_unsafe_pure_aggressive_on_mean_eta() {
             drop_prob: 0.25,
         };
     });
-    assert!(p.safe_rate < 1.0, "pure aggressive planner should collide sometimes");
+    assert!(
+        p.safe_rate < 1.0,
+        "pure aggressive planner should collide sometimes"
+    );
     assert_eq!(u.safe_rate, 1.0, "ultimate must be 100% safe");
     assert!(
         u.eta_mean > p.eta_mean,
@@ -100,6 +103,9 @@ fn compound_eta_is_never_negative_even_when_pure_eta_is() {
             drop_prob: 0.5,
         };
     });
-    assert!(p.etas.iter().any(|&e| e < 0.0), "pure should have crashes here");
+    assert!(
+        p.etas.iter().any(|&e| e < 0.0),
+        "pure should have crashes here"
+    );
     assert!(b.etas.iter().all(|&e| e >= 0.0), "compound η must be ≥ 0");
 }

@@ -117,6 +117,9 @@ fn ego_waits_out_a_tight_cluster_and_uses_the_gap() {
         "crossed before the cluster cleared: reach {reach}, exit {second_exit}"
     );
     if let Some(third) = third_entry {
-        assert!(reach < third, "missed the gap: reach {reach}, third arrives {third}");
+        assert!(
+            reach < third,
+            "missed the gap: reach {reach}, third arrives {third}"
+        );
     }
 }

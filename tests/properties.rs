@@ -2,21 +2,14 @@
 //! soundness under randomly drawn disturbance parameters.
 
 mod common;
-
-use proptest::prelude::*;
 use safe_cv::prelude::*;
 use safe_cv::sim::run_episode;
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 24,
-        ..ProptestConfig::default()
-    })]
-
+cv_rng::props! {
     /// η(κ_c) ≥ 0 for the ultimate compound planner under arbitrary
     /// delay/drop/noise/start combinations.
-    #[test]
     fn ultimate_compound_never_collides(
+        cases = 24,
         seed in 0u64..10_000,
         drop_prob in 0.0..0.95f64,
         delay in 0.0..0.5f64,
@@ -29,14 +22,14 @@ proptest! {
         cfg.other_start_shared = 50.5 + 0.5 * start_idx as f64;
         let spec = StackSpec::ultimate(common::aggressive_nn(), AggressiveConfig::default());
         let r = run_episode(&cfg, &spec, false).expect("valid episode");
-        prop_assert!(r.outcome.is_safe(), "collision: {:?}", r.outcome);
-        prop_assert!(r.eta >= 0.0);
+        assert!(r.outcome.is_safe(), "collision: {:?}", r.outcome);
+        assert!(r.eta >= 0.0);
     }
 
     /// Same guarantee with messages entirely lost and arbitrary sensing
     /// noise/periods.
-    #[test]
     fn basic_compound_never_collides_on_sensing_alone(
+        cases = 24,
         seed in 0u64..10_000,
         delta in 0.5..4.8f64,
         sense_steps in 1u64..10,
@@ -48,18 +41,17 @@ proptest! {
         cfg.dt_m = cfg.dt_s;
         let spec = StackSpec::basic(common::aggressive_nn());
         let r = run_episode(&cfg, &spec, false).expect("valid episode");
-        prop_assert!(r.outcome.is_safe(), "collision: {:?}", r.outcome);
+        assert!(r.outcome.is_safe(), "collision: {:?}", r.outcome);
     }
 
     /// Episodes are exactly reproducible from their configuration.
-    #[test]
-    fn episodes_are_deterministic(seed in 0u64..1_000) {
+    fn episodes_are_deterministic(cases = 24, seed in 0u64..1_000) {
         let cfg = EpisodeConfig::paper_default(seed);
         let spec = StackSpec::pure_teacher_conservative(&cfg).expect("valid scenario");
         let a = run_episode(&cfg, &spec, false).expect("episode a");
         let b = run_episode(&cfg, &spec, false).expect("episode b");
-        prop_assert_eq!(a.outcome, b.outcome);
-        prop_assert_eq!(a.emergency_steps, b.emergency_steps);
-        prop_assert_eq!(a.total_steps, b.total_steps);
+        assert_eq!(a.outcome, b.outcome);
+        assert_eq!(a.emergency_steps, b.emergency_steps);
+        assert_eq!(a.total_steps, b.total_steps);
     }
 }

@@ -120,9 +120,9 @@ fn shield_contains_a_hostile_planner() {
         let mut ego = cfg.ego_init;
         let mut other = VehicleState::new(0.0, cfg.other_init_speed, 0.0);
         let mut sensor = UniformNoiseSensor::new(cfg.noise, cfg.seed_sensor());
-        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(cfg.seed_driving());
+        let mut rng = cv_rng::SplitMix64::seed_from_u64(cfg.seed_driving());
         for step in 0..(cfg.horizon / cfg.dt_c) as u64 {
-            use rand::Rng as _;
+            use cv_rng::Rng as _;
             let t = step as f64 * cfg.dt_c;
             if step % 2 == 0 {
                 estimator.on_measurement(&sensor.measure(1, t, &other));

@@ -15,7 +15,10 @@ fn verify(scenario: &LeftTurnScenario) {
 #[test]
 fn wider_conflict_zone_verifies() {
     let scenario = LeftTurnScenario::new(
-        Geometry { p_f: 2.0, p_b: 28.0 },
+        Geometry {
+            p_f: 2.0,
+            p_b: 28.0,
+        },
         VehicleLimits::new(0.0, 12.0, -6.0, 3.0).expect("valid limits"),
         VehicleLimits::new(3.0, 14.0, -3.0, 3.0).expect("valid limits"),
         60.0,

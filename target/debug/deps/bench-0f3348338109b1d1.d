@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/bench-0f3348338109b1d1.d: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+/root/repo/target/debug/deps/libbench-0f3348338109b1d1.rmeta: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/timing.rs:

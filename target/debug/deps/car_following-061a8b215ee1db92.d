@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/car_following-061a8b215ee1db92.d: crates/car-following/src/lib.rs crates/car-following/src/cruise.rs crates/car-following/src/scenario.rs
+
+/root/repo/target/debug/deps/libcar_following-061a8b215ee1db92.rmeta: crates/car-following/src/lib.rs crates/car-following/src/cruise.rs crates/car-following/src/scenario.rs
+
+crates/car-following/src/lib.rs:
+crates/car-following/src/cruise.rs:
+crates/car-following/src/scenario.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/cv_comm-9cf3b3ae70573c3a.d: crates/comm/src/lib.rs crates/comm/src/channel.rs crates/comm/src/message.rs crates/comm/src/setting.rs
+
+/root/repo/target/debug/deps/libcv_comm-9cf3b3ae70573c3a.rmeta: crates/comm/src/lib.rs crates/comm/src/channel.rs crates/comm/src/message.rs crates/comm/src/setting.rs
+
+crates/comm/src/lib.rs:
+crates/comm/src/channel.rs:
+crates/comm/src/message.rs:
+crates/comm/src/setting.rs:

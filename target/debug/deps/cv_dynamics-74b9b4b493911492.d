@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/cv_dynamics-74b9b4b493911492.d: crates/dynamics/src/lib.rs crates/dynamics/src/limits.rs crates/dynamics/src/state.rs crates/dynamics/src/trajectory.rs
+
+/root/repo/target/debug/deps/libcv_dynamics-74b9b4b493911492.rmeta: crates/dynamics/src/lib.rs crates/dynamics/src/limits.rs crates/dynamics/src/state.rs crates/dynamics/src/trajectory.rs
+
+crates/dynamics/src/lib.rs:
+crates/dynamics/src/limits.rs:
+crates/dynamics/src/state.rs:
+crates/dynamics/src/trajectory.rs:

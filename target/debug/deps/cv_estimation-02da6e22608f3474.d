@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/cv_estimation-02da6e22608f3474.d: crates/estimation/src/lib.rs crates/estimation/src/estimate.rs crates/estimation/src/estimator.rs crates/estimation/src/fusion.rs crates/estimation/src/interval.rs crates/estimation/src/kalman.rs crates/estimation/src/linalg.rs crates/estimation/src/reachability.rs crates/estimation/src/tracking.rs
+
+/root/repo/target/debug/deps/libcv_estimation-02da6e22608f3474.rmeta: crates/estimation/src/lib.rs crates/estimation/src/estimate.rs crates/estimation/src/estimator.rs crates/estimation/src/fusion.rs crates/estimation/src/interval.rs crates/estimation/src/kalman.rs crates/estimation/src/linalg.rs crates/estimation/src/reachability.rs crates/estimation/src/tracking.rs
+
+crates/estimation/src/lib.rs:
+crates/estimation/src/estimate.rs:
+crates/estimation/src/estimator.rs:
+crates/estimation/src/fusion.rs:
+crates/estimation/src/interval.rs:
+crates/estimation/src/kalman.rs:
+crates/estimation/src/linalg.rs:
+crates/estimation/src/reachability.rs:
+crates/estimation/src/tracking.rs:

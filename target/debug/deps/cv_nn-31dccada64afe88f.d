@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/cv_nn-31dccada64afe88f.d: crates/nn/src/lib.rs crates/nn/src/activation.rs crates/nn/src/error.rs crates/nn/src/layer.rs crates/nn/src/loss.rs crates/nn/src/matrix.rs crates/nn/src/mlp.rs crates/nn/src/optimizer.rs crates/nn/src/train.rs
+
+/root/repo/target/debug/deps/libcv_nn-31dccada64afe88f.rmeta: crates/nn/src/lib.rs crates/nn/src/activation.rs crates/nn/src/error.rs crates/nn/src/layer.rs crates/nn/src/loss.rs crates/nn/src/matrix.rs crates/nn/src/mlp.rs crates/nn/src/optimizer.rs crates/nn/src/train.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/activation.rs:
+crates/nn/src/error.rs:
+crates/nn/src/layer.rs:
+crates/nn/src/loss.rs:
+crates/nn/src/matrix.rs:
+crates/nn/src/mlp.rs:
+crates/nn/src/optimizer.rs:
+crates/nn/src/train.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/cv_planner-cb5e68cca9c8ab6f.d: crates/planner/src/lib.rs crates/planner/src/cloning.rs crates/planner/src/nn_planner.rs crates/planner/src/teacher.rs
+
+/root/repo/target/debug/deps/libcv_planner-cb5e68cca9c8ab6f.rmeta: crates/planner/src/lib.rs crates/planner/src/cloning.rs crates/planner/src/nn_planner.rs crates/planner/src/teacher.rs
+
+crates/planner/src/lib.rs:
+crates/planner/src/cloning.rs:
+crates/planner/src/nn_planner.rs:
+crates/planner/src/teacher.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cv_rng-afdbc1a5ef414d87.d: crates/rng/src/lib.rs
+
+/root/repo/target/debug/deps/libcv_rng-afdbc1a5ef414d87.rmeta: crates/rng/src/lib.rs
+
+crates/rng/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cv_sensing-59565e43bb4402d8.d: crates/sensing/src/lib.rs crates/sensing/src/measurement.rs crates/sensing/src/sensor.rs
+
+/root/repo/target/debug/deps/libcv_sensing-59565e43bb4402d8.rmeta: crates/sensing/src/lib.rs crates/sensing/src/measurement.rs crates/sensing/src/sensor.rs
+
+crates/sensing/src/lib.rs:
+crates/sensing/src/measurement.rs:
+crates/sensing/src/sensor.rs:

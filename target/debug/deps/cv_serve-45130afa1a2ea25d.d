@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cv_serve-45130afa1a2ea25d.d: crates/server/src/bin/cv-serve.rs
+
+/root/repo/target/debug/deps/libcv_serve-45130afa1a2ea25d.rmeta: crates/server/src/bin/cv-serve.rs
+
+crates/server/src/bin/cv-serve.rs:

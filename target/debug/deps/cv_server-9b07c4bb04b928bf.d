@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/cv_server-9b07c4bb04b928bf.d: crates/server/src/lib.rs crates/server/src/client.rs crates/server/src/protocol.rs crates/server/src/queue.rs crates/server/src/server.rs crates/server/src/wire.rs crates/server/src/worker.rs
+
+/root/repo/target/debug/deps/libcv_server-9b07c4bb04b928bf.rmeta: crates/server/src/lib.rs crates/server/src/client.rs crates/server/src/protocol.rs crates/server/src/queue.rs crates/server/src/server.rs crates/server/src/wire.rs crates/server/src/worker.rs
+
+crates/server/src/lib.rs:
+crates/server/src/client.rs:
+crates/server/src/protocol.rs:
+crates/server/src/queue.rs:
+crates/server/src/server.rs:
+crates/server/src/wire.rs:
+crates/server/src/worker.rs:

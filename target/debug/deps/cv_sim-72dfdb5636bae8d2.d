@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/cv_sim-72dfdb5636bae8d2.d: crates/sim/src/lib.rs crates/sim/src/batch.rs crates/sim/src/config.rs crates/sim/src/driver.rs crates/sim/src/episode.rs crates/sim/src/metrics.rs crates/sim/src/stack.rs crates/sim/src/training.rs
+
+/root/repo/target/debug/deps/libcv_sim-72dfdb5636bae8d2.rmeta: crates/sim/src/lib.rs crates/sim/src/batch.rs crates/sim/src/config.rs crates/sim/src/driver.rs crates/sim/src/episode.rs crates/sim/src/metrics.rs crates/sim/src/stack.rs crates/sim/src/training.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/batch.rs:
+crates/sim/src/config.rs:
+crates/sim/src/driver.rs:
+crates/sim/src/episode.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/stack.rs:
+crates/sim/src/training.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cv_submit-627d27a09b6fbb34.d: crates/server/src/bin/cv-submit.rs
+
+/root/repo/target/debug/deps/libcv_submit-627d27a09b6fbb34.rmeta: crates/server/src/bin/cv-submit.rs
+
+crates/server/src/bin/cv-submit.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_ablation-fd3294b25b12e6eb.d: crates/bench/src/bin/exp_ablation.rs
+
+/root/repo/target/debug/deps/libexp_ablation-fd3294b25b12e6eb.rmeta: crates/bench/src/bin/exp_ablation.rs
+
+crates/bench/src/bin/exp_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig5-b503d20721bfb55b.d: crates/bench/src/bin/exp_fig5.rs
+
+/root/repo/target/debug/deps/libexp_fig5-b503d20721bfb55b.rmeta: crates/bench/src/bin/exp_fig5.rs
+
+crates/bench/src/bin/exp_fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig6-5412dfe971f299aa.d: crates/bench/src/bin/exp_fig6.rs
+
+/root/repo/target/debug/deps/libexp_fig6-5412dfe971f299aa.rmeta: crates/bench/src/bin/exp_fig6.rs
+
+crates/bench/src/bin/exp_fig6.rs:

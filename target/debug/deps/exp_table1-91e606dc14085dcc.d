@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_table1-91e606dc14085dcc.d: crates/bench/src/bin/exp_table1.rs
+
+/root/repo/target/debug/deps/libexp_table1-91e606dc14085dcc.rmeta: crates/bench/src/bin/exp_table1.rs
+
+crates/bench/src/bin/exp_table1.rs:

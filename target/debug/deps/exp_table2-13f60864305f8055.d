@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_table2-13f60864305f8055.d: crates/bench/src/bin/exp_table2.rs
+
+/root/repo/target/debug/deps/libexp_table2-13f60864305f8055.rmeta: crates/bench/src/bin/exp_table2.rs
+
+crates/bench/src/bin/exp_table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hunt-8828599987444fef.d: crates/bench/src/bin/hunt.rs
+
+/root/repo/target/debug/deps/libhunt-8828599987444fef.rmeta: crates/bench/src/bin/hunt.rs
+
+crates/bench/src/bin/hunt.rs:

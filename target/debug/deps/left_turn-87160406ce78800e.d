@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/left_turn-87160406ce78800e.d: crates/left-turn/src/lib.rs crates/left-turn/src/geometry.rs crates/left-turn/src/scenario.rs crates/left-turn/src/tau.rs crates/left-turn/src/verify.rs
+
+/root/repo/target/debug/deps/libleft_turn-87160406ce78800e.rmeta: crates/left-turn/src/lib.rs crates/left-turn/src/geometry.rs crates/left-turn/src/scenario.rs crates/left-turn/src/tau.rs crates/left-turn/src/verify.rs
+
+crates/left-turn/src/lib.rs:
+crates/left-turn/src/geometry.rs:
+crates/left-turn/src/scenario.rs:
+crates/left-turn/src/tau.rs:
+crates/left-turn/src/verify.rs:

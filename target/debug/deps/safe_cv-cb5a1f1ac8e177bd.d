@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/safe_cv-cb5a1f1ac8e177bd.d: src/lib.rs
+
+/root/repo/target/debug/deps/libsafe_cv-cb5a1f1ac8e177bd.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/safe_shield-ab23df1de316279c.d: crates/core/src/lib.rs crates/core/src/aggressive.rs crates/core/src/compound.rs crates/core/src/eval.rs crates/core/src/monitor.rs crates/core/src/multi.rs crates/core/src/observation.rs crates/core/src/planner.rs crates/core/src/scenario.rs
+
+/root/repo/target/debug/deps/libsafe_shield-ab23df1de316279c.rmeta: crates/core/src/lib.rs crates/core/src/aggressive.rs crates/core/src/compound.rs crates/core/src/eval.rs crates/core/src/monitor.rs crates/core/src/multi.rs crates/core/src/observation.rs crates/core/src/planner.rs crates/core/src/scenario.rs
+
+crates/core/src/lib.rs:
+crates/core/src/aggressive.rs:
+crates/core/src/compound.rs:
+crates/core/src/eval.rs:
+crates/core/src/monitor.rs:
+crates/core/src/multi.rs:
+crates/core/src/observation.rs:
+crates/core/src/planner.rs:
+crates/core/src/scenario.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/verify_shield-f5c18fec176f4506.d: crates/bench/src/bin/verify_shield.rs
+
+/root/repo/target/debug/deps/libverify_shield-f5c18fec176f4506.rmeta: crates/bench/src/bin/verify_shield.rs
+
+crates/bench/src/bin/verify_shield.rs:

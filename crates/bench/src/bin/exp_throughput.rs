@@ -1,0 +1,327 @@
+//! Machine-readable throughput benchmark for the episode-engine overhaul.
+//!
+//! Runs a batch matrix (planner stack × thread count), timing the
+//! pre-overhaul path (`run_batch_static`: contiguous chunks, fresh episode
+//! build per run) against the current one (`run_batch`: dynamic
+//! claim-by-index scheduler + per-worker reused [`cv_sim::EpisodeWorkspace`])
+//! over the full paper start grid, and cross-checks that both produce
+//! bit-identical results. A kernel section micro-benchmarks `cv-nn`'s
+//! matmul family on the in-tree timing shim.
+//!
+//! Output: `results/BENCH_throughput.json` (schema `bench.throughput/v1`)
+//! plus a human-readable table on stdout.
+//!
+//! Usage:
+//! `cargo run --release -p bench --bin exp_throughput -- [--sims N] [--reps R] [--threads 1,2,4,8] [--out PATH] [--baseline PATH]`
+//!
+//! `--baseline` points at a `bench.throughput.baseline/v1` file of
+//! episodes/sec from an earlier engine (the committed
+//! `results/BENCH_throughput_seed.json` was measured at the growth-seed
+//! commit, before the engine overhaul); matching cells gain a
+//! `speedup_vs_baseline` field.
+//!
+//! Each cell is timed `--reps` times per path (interleaved) and the best
+//! wall time kept, so one noisy sample on a shared box cannot flip a
+//! comparison; `--sims 8 --threads 2 --reps 2` is the CI smoke
+//! configuration.
+
+use std::time::Instant;
+
+use bench::timing::measure_ns;
+use cv_comm::CommSetting;
+use cv_nn::Matrix;
+use cv_rng::{Rng, SplitMix64};
+use cv_server::wire::Json;
+use cv_sim::{
+    run_batch, run_batch_static, BatchConfig, BatchSummary, EpisodeConfig, EpisodeResult, StackSpec,
+};
+
+/// One cell of the batch matrix.
+struct Cell {
+    stack: &'static str,
+    threads: usize,
+    episodes: usize,
+    static_secs: f64,
+    dynamic_secs: f64,
+    static_eps: f64,
+    dynamic_eps: f64,
+    ns_per_step: f64,
+    total_steps: u64,
+    speedup: f64,
+}
+
+fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t0 = Instant::now();
+    let out = f();
+    (out, t0.elapsed().as_secs_f64())
+}
+
+/// The two teacher stacks of the matrix: a no-disturbance conservative
+/// baseline (long, uniform episodes) and the aggressive teacher under heavy
+/// disturbance (early-exit-heavy: collisions and fast crossings make episode
+/// costs vary wildly — the static scheduler's worst case).
+fn stack_matrix(seed: u64) -> Vec<(&'static str, EpisodeConfig, StackSpec)> {
+    let cons_template = EpisodeConfig::paper_default(seed);
+    let cons = StackSpec::pure_teacher_conservative(&cons_template).expect("paper geometry");
+    let mut aggr_template = EpisodeConfig::paper_default(seed);
+    aggr_template.comm = CommSetting::Delayed {
+        delay: 0.25,
+        drop_prob: 0.5,
+    };
+    let aggr = StackSpec::pure_teacher_aggressive(&aggr_template).expect("paper geometry");
+    vec![
+        ("teacher-cons/no-disturbance", cons_template, cons),
+        ("teacher-aggr/delayed-0.25-0.5", aggr_template, aggr),
+    ]
+}
+
+fn run_cell(
+    stack: &'static str,
+    template: &EpisodeConfig,
+    spec: &StackSpec,
+    episodes: usize,
+    threads: usize,
+    reps: usize,
+) -> Cell {
+    let mut batch = BatchConfig::new(template.clone(), episodes);
+    batch.threads = threads;
+
+    // Warm the scenario/planner caches and page in the code before timing.
+    let _ = run_batch(&batch, spec).expect("valid batch");
+
+    // Interleave the two paths and keep each one's best wall time: on a
+    // shared box a single 4–40 ms sample is dominated by scheduler noise
+    // and thread-spawn jitter, and the minimum is the standard
+    // least-noise throughput estimator.
+    let mut static_secs = f64::INFINITY;
+    let mut dynamic_secs = f64::INFINITY;
+    let mut static_results = Vec::new();
+    let mut dynamic_results = Vec::new();
+    for _ in 0..reps.max(1) {
+        let (s, s_secs) = timed(|| run_batch_static(&batch, spec));
+        static_results = s.expect("valid batch");
+        static_secs = static_secs.min(s_secs);
+        let (d, d_secs) = timed(|| run_batch(&batch, spec));
+        dynamic_results = d.expect("valid batch");
+        dynamic_secs = dynamic_secs.min(d_secs);
+    }
+
+    assert_eq!(
+        static_results, dynamic_results,
+        "{stack} @ {threads} threads: dynamic scheduler diverged from static baseline"
+    );
+    let sa = BatchSummary::from_results(&static_results);
+    let sb = BatchSummary::from_results(&dynamic_results);
+    assert!(sa.stats_eq(&sb), "summary stats diverged");
+
+    let total_steps: u64 = dynamic_results
+        .iter()
+        .map(|r: &EpisodeResult| r.total_steps)
+        .sum();
+    Cell {
+        stack,
+        threads,
+        episodes,
+        static_secs,
+        dynamic_secs,
+        static_eps: episodes as f64 / static_secs,
+        dynamic_eps: episodes as f64 / dynamic_secs,
+        ns_per_step: dynamic_secs * 1e9 / total_steps.max(1) as f64,
+        total_steps,
+        speedup: static_secs / dynamic_secs,
+    }
+}
+
+/// Loads a `bench.throughput.baseline/v1` file (episodes/sec measured on a
+/// previous engine — see `results/BENCH_throughput_seed.json` for the
+/// pre-overhaul engine at the growth-seed commit) and returns
+/// `(stack, threads) → episodes_per_sec`.
+fn load_baseline(path: &str) -> Vec<(String, usize, f64)> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("--baseline {path}: {e}"));
+    let json = Json::parse(&text).unwrap_or_else(|e| panic!("--baseline {path}: {e:?}"));
+    let cells = json
+        .get("cells")
+        .and_then(Json::as_arr)
+        .expect("baseline file has a `cells` array");
+    cells
+        .iter()
+        .map(|c| {
+            (
+                c.get("stack")
+                    .and_then(Json::as_str)
+                    .expect("baseline cell stack")
+                    .to_string(),
+                c.get("threads")
+                    .and_then(Json::as_usize)
+                    .expect("baseline cell threads"),
+                c.get("episodes_per_sec")
+                    .and_then(Json::as_f64_lossy)
+                    .expect("baseline cell episodes_per_sec"),
+            )
+        })
+        .collect()
+}
+
+/// Micro-benchmarks the matmul kernel family; returns
+/// `(matmul_gflops, tr_matmul_speedup_64, tr_matmul_speedup_training)`.
+///
+/// `tr_matmul` is the transpose-free `xᵀ·δ` weight-gradient kernel; it is
+/// compared against materialise-the-transpose-then-`matmul` both on a
+/// square 64×64 case and on the behaviour-cloning mini-batch shape
+/// (64-row batch, 16-wide hidden layer).
+fn kernel_rates() -> (f64, f64, f64) {
+    // Best of three shim runs per routine: a single mean is still at the
+    // mercy of a noisy neighbour on a shared box.
+    fn best_ns<R>(mut routine: impl FnMut() -> R) -> f64 {
+        (0..3)
+            .map(|_| measure_ns(5, &mut routine))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    let n = 64usize;
+    let mut rng = SplitMix64::seed_from_u64(7);
+    let a = Matrix::from_fn(n, n, |_, _| rng.random_range(-1.0..1.0));
+    let b = Matrix::from_fn(n, n, |_, _| rng.random_range(-1.0..1.0));
+
+    let matmul_ns = best_ns(|| a.matmul(&b).unwrap());
+    let flops = 2.0 * (n * n * n) as f64;
+    let gflops = flops / matmul_ns;
+
+    let sq_fast_ns = best_ns(|| a.tr_matmul(&b).unwrap());
+    let sq_ref_ns = best_ns(|| a.transpose().matmul(&b).unwrap());
+
+    let x = Matrix::from_fn(64, 16, |_, _| rng.random_range(-1.0..1.0));
+    let d = Matrix::from_fn(64, 16, |_, _| rng.random_range(-1.0..1.0));
+    let tr_fast_ns = best_ns(|| x.tr_matmul(&d).unwrap());
+    let tr_ref_ns = best_ns(|| x.transpose().matmul(&d).unwrap());
+    (gflops, sq_ref_ns / sq_fast_ns, tr_ref_ns / tr_fast_ns)
+}
+
+fn main() {
+    let sims = bench::arg_usize("--sims", 2000);
+    let reps = bench::arg_usize("--reps", 7);
+    let seed = bench::arg_usize("--seed", 1) as u64;
+    let threads: Vec<usize> = bench::arg_string("--threads", "1,2,4,8")
+        .split(',')
+        .filter_map(|t| t.trim().parse().ok())
+        .collect();
+    let out_path = bench::arg_string("--out", "results/BENCH_throughput.json");
+    let baseline_path = bench::arg_string("--baseline", "");
+    let baseline = if baseline_path.is_empty() {
+        Vec::new()
+    } else {
+        load_baseline(&baseline_path)
+    };
+    assert!(
+        !threads.is_empty(),
+        "--threads must name at least one count"
+    );
+
+    println!("episode throughput: {sims} episodes/cell, threads {threads:?}");
+    println!(
+        "{:<30} {:>7} {:>12} {:>12} {:>9} {:>10} {:>9}",
+        "stack", "threads", "static ep/s", "dynamic ep/s", "speedup", "ns/step", "vs seed"
+    );
+
+    let mut cells: Vec<Cell> = Vec::new();
+    for (stack, template, spec) in stack_matrix(seed) {
+        for &t in &threads {
+            let cell = run_cell(stack, &template, &spec, sims, t, reps);
+            let vs_baseline = baseline
+                .iter()
+                .find(|(s, bt, _)| s == cell.stack && *bt == cell.threads)
+                .map_or("-".to_string(), |(_, _, eps)| {
+                    format!("{:.2}x", cell.dynamic_eps / eps)
+                });
+            println!(
+                "{:<30} {:>7} {:>12.1} {:>12.1} {:>8.2}x {:>10.0} {:>9}",
+                cell.stack,
+                cell.threads,
+                cell.static_eps,
+                cell.dynamic_eps,
+                cell.speedup,
+                cell.ns_per_step,
+                vs_baseline
+            );
+            cells.push(cell);
+        }
+    }
+
+    let (gflops, tr_speedup_sq, tr_speedup_train) = kernel_rates();
+    println!(
+        "kernels: matmul {gflops:.2} GFLOP/s, tr_matmul vs transpose+matmul \
+         {tr_speedup_sq:.2}x (64x64) / {tr_speedup_train:.2}x (training shape)"
+    );
+
+    let json = Json::obj(vec![
+        ("schema", Json::str("bench.throughput/v1")),
+        ("sims_per_cell", Json::Int(sims as i128)),
+        ("reps_per_cell", Json::Int(reps as i128)),
+        ("base_seed", Json::Int(seed as i128)),
+        (
+            "baseline_file",
+            if baseline_path.is_empty() {
+                Json::Null
+            } else {
+                Json::str(&baseline_path)
+            },
+        ),
+        (
+            "threads",
+            Json::Arr(threads.iter().map(|&t| Json::Int(t as i128)).collect()),
+        ),
+        (
+            "cells",
+            Json::Arr(
+                cells
+                    .iter()
+                    .map(|c| {
+                        let vs_baseline = baseline
+                            .iter()
+                            .find(|(s, t, _)| s == c.stack && *t == c.threads)
+                            .map(|(_, _, eps)| c.dynamic_eps / eps);
+                        Json::obj(vec![
+                            ("stack", Json::str(c.stack)),
+                            ("threads", Json::Int(c.threads as i128)),
+                            ("episodes", Json::Int(c.episodes as i128)),
+                            ("total_steps", Json::Int(c.total_steps as i128)),
+                            ("static_wall_secs", Json::num_or_null(c.static_secs)),
+                            ("dynamic_wall_secs", Json::num_or_null(c.dynamic_secs)),
+                            ("static_episodes_per_sec", Json::num_or_null(c.static_eps)),
+                            ("dynamic_episodes_per_sec", Json::num_or_null(c.dynamic_eps)),
+                            ("dynamic_ns_per_step", Json::num_or_null(c.ns_per_step)),
+                            ("speedup_vs_static", Json::num_or_null(c.speedup)),
+                            (
+                                "speedup_vs_baseline",
+                                Json::num_or_null(vs_baseline.unwrap_or(f64::NAN)),
+                            ),
+                            ("bit_identical", Json::Bool(true)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "kernels",
+            Json::obj(vec![
+                ("matmul_gflops_64", Json::num_or_null(gflops)),
+                (
+                    "tr_matmul_speedup_vs_transpose_matmul_64",
+                    Json::num_or_null(tr_speedup_sq),
+                ),
+                (
+                    "tr_matmul_speedup_vs_transpose_matmul_training_shape",
+                    Json::num_or_null(tr_speedup_train),
+                ),
+            ]),
+        ),
+    ]);
+
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create output directory");
+        }
+    }
+    std::fs::write(&out_path, json.encode()).expect("write benchmark JSON");
+    println!("wrote {out_path}");
+}

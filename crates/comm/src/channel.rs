@@ -11,8 +11,22 @@ pub trait Channel {
     /// Submits `msg` for transmission at time `now`.
     fn send(&mut self, msg: Message, now: f64);
 
+    /// Appends all messages deliverable at or before `now` to `out`, in
+    /// stamp order. The allocation-free form of [`Channel::receive`] for
+    /// hot loops: callers keep one scratch buffer alive across steps.
+    fn receive_into(&mut self, now: f64, out: &mut Vec<Message>);
+
     /// Drains all messages deliverable at or before `now`, in stamp order.
-    fn receive(&mut self, now: f64) -> Vec<Message>;
+    fn receive(&mut self, now: f64) -> Vec<Message> {
+        let mut due = Vec::new();
+        self.receive_into(now, &mut due);
+        due
+    }
+
+    /// Restores the channel to its freshly-constructed state with a new
+    /// drop-decision seed: in-flight messages are discarded and any RNG is
+    /// reseeded, so a reused channel is bit-identical to a new one.
+    fn reset(&mut self, seed: u64);
 }
 
 /// In-flight message with its scheduled delivery time.
@@ -22,8 +36,8 @@ struct InFlight {
     msg: Message,
 }
 
-fn drain_due(queue: &mut Vec<InFlight>, now: f64) -> Vec<Message> {
-    let mut due: Vec<Message> = Vec::new();
+fn drain_due_into(queue: &mut Vec<InFlight>, now: f64, due: &mut Vec<Message>) {
+    let start = due.len();
     queue.retain(|entry| {
         if entry.deliver_at <= now + 1e-12 {
             due.push(entry.msg);
@@ -32,8 +46,7 @@ fn drain_due(queue: &mut Vec<InFlight>, now: f64) -> Vec<Message> {
             true
         }
     });
-    due.sort_by(|a, b| a.stamp.partial_cmp(&b.stamp).expect("non-NaN stamps"));
-    due
+    due[start..].sort_by(|a, b| a.stamp.partial_cmp(&b.stamp).expect("non-NaN stamps"));
 }
 
 /// Ideal channel: every message arrives instantly ("no disturbance").
@@ -67,8 +80,12 @@ impl Channel for PerfectChannel {
         });
     }
 
-    fn receive(&mut self, now: f64) -> Vec<Message> {
-        drain_due(&mut self.queue, now)
+    fn receive_into(&mut self, now: f64, out: &mut Vec<Message>) {
+        drain_due_into(&mut self.queue, now, out);
+    }
+
+    fn reset(&mut self, _seed: u64) {
+        self.queue.clear();
     }
 }
 
@@ -142,8 +159,13 @@ impl Channel for DelayDropChannel {
         }
     }
 
-    fn receive(&mut self, now: f64) -> Vec<Message> {
-        drain_due(&mut self.queue, now)
+    fn receive_into(&mut self, now: f64, out: &mut Vec<Message>) {
+        drain_due_into(&mut self.queue, now, out);
+    }
+
+    fn reset(&mut self, seed: u64) {
+        self.queue.clear();
+        self.rng = SplitMix64::seed_from_u64(seed);
     }
 }
 
@@ -164,9 +186,9 @@ impl LostChannel {
 impl Channel for LostChannel {
     fn send(&mut self, _msg: Message, _now: f64) {}
 
-    fn receive(&mut self, _now: f64) -> Vec<Message> {
-        Vec::new()
-    }
+    fn receive_into(&mut self, _now: f64, _out: &mut Vec<Message>) {}
+
+    fn reset(&mut self, _seed: u64) {}
 }
 
 #[cfg(test)]
@@ -231,6 +253,38 @@ mod tests {
         };
         assert_eq!(run(9), run(9));
         assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    fn reset_is_bit_identical_to_a_fresh_channel() {
+        let deliveries = |ch: &mut DelayDropChannel| {
+            (0..50).for_each(|i| ch.send(msg(i as f64), i as f64));
+            ch.receive(f64::MAX)
+                .iter()
+                .map(|m| m.stamp.to_bits())
+                .collect::<Vec<_>>()
+        };
+        let mut fresh = DelayDropChannel::new(0.25, 0.5, 42);
+        let expected = deliveries(&mut fresh);
+        // A dirty channel (different seed, message still in flight) reset to
+        // seed 42 must replay the exact same drop decisions.
+        let mut reused = DelayDropChannel::new(0.25, 0.5, 7);
+        reused.send(msg(0.0), 0.0);
+        reused.reset(42);
+        assert!(reused.receive(f64::MAX).is_empty(), "in-flight not cleared");
+        assert_eq!(deliveries(&mut reused), expected);
+    }
+
+    #[test]
+    fn receive_into_appends_in_stamp_order() {
+        let mut ch = PerfectChannel::new();
+        ch.send(msg(0.2), 0.2);
+        ch.send(msg(0.1), 0.2);
+        let mut out = vec![msg(0.0)];
+        ch.receive_into(0.2, &mut out);
+        assert_eq!(out.len(), 3);
+        assert!(out[1].stamp < out[2].stamp);
+        assert_eq!(out[0].stamp, 0.0, "existing entries untouched");
     }
 
     #[test]

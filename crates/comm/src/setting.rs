@@ -79,8 +79,16 @@ impl Channel for Box<dyn Channel + Send> {
         (**self).send(msg, now);
     }
 
+    fn receive_into(&mut self, now: f64, out: &mut Vec<Message>) {
+        (**self).receive_into(now, out);
+    }
+
     fn receive(&mut self, now: f64) -> Vec<Message> {
         (**self).receive(now)
+    }
+
+    fn reset(&mut self, seed: u64) {
+        (**self).reset(seed);
     }
 }
 

@@ -35,6 +35,16 @@ pub fn merge_windows(
     merge_gap: f64,
 ) -> Option<Interval> {
     let mut active: Vec<Interval> = windows.into_iter().flatten().collect();
+    merge_windows_in_place(&mut active, merge_gap)
+}
+
+/// Allocation-free core of [`merge_windows`]: merges the windows already
+/// collected in `active` (any order), sorting the buffer in place.
+///
+/// Hot loops keep `active` alive across calls (`clear()` + `extend(…)`) so
+/// the per-step merge performs no heap allocation in the steady state. The
+/// result is identical to [`merge_windows`] over the same windows.
+pub fn merge_windows_in_place(active: &mut [Interval], merge_gap: f64) -> Option<Interval> {
     if active.is_empty() {
         return None;
     }
@@ -66,6 +76,11 @@ pub struct MultiCompoundPlanner<S, P> {
     window_source: WindowSource,
     merge_gap: f64,
     stats: CompoundStats,
+    /// Per-step scratch (monitor windows / NN window cluster), retained
+    /// across calls so [`MultiCompoundPlanner::plan`] is allocation-free in
+    /// the steady state.
+    win_scratch: Vec<Option<Interval>>,
+    merge_scratch: Vec<Interval>,
 }
 
 /// Default window clustering gap (s): roughly the ego's zone-crossing time.
@@ -88,6 +103,8 @@ impl<S: Scenario, P: Planner> MultiCompoundPlanner<S, P> {
             window_source,
             merge_gap: DEFAULT_MERGE_GAP,
             stats: CompoundStats::default(),
+            win_scratch: Vec::new(),
+            merge_scratch: Vec::new(),
         }
     }
 
@@ -118,6 +135,30 @@ impl<S: Scenario, P: Planner> MultiCompoundPlanner<S, P> {
         self.nn.reset();
     }
 
+    /// Re-arms the planner for a fresh episode with new per-vehicle
+    /// scenarios, reusing the internal buffers (and, crucially, the embedded
+    /// planner — an NN planner's weight matrices are *not* re-cloned).
+    ///
+    /// Equivalent to building a new planner with [`MultiCompoundPlanner::new`]
+    /// over the same scenarios: statistics are cleared and the embedded
+    /// planner is [`Planner::reset`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scenarios` is empty.
+    pub fn reinit(&mut self, scenarios: &[S])
+    where
+        S: Clone,
+    {
+        assert!(
+            !scenarios.is_empty(),
+            "need at least one conflicting vehicle"
+        );
+        self.scenarios.clear();
+        self.scenarios.extend_from_slice(scenarios);
+        self.reset();
+    }
+
     /// Plans one control step from one estimate per conflicting vehicle.
     ///
     /// # Panics
@@ -136,34 +177,36 @@ impl<S: Scenario, P: Planner> MultiCompoundPlanner<S, P> {
         );
         self.stats.total_steps += 1;
 
-        let windows: Vec<Option<Interval>> = self
-            .scenarios
-            .iter()
-            .zip(estimates)
-            .map(|(s, e)| s.conservative_window(time, e))
-            .collect();
+        self.win_scratch.clear();
+        self.win_scratch.extend(
+            self.scenarios
+                .iter()
+                .zip(estimates)
+                .map(|(s, e)| s.conservative_window(time, e)),
+        );
 
         // The monitor escalates on the first vehicle demanding it.
         for (i, scenario) in self.scenarios.iter().enumerate() {
-            if scenario.requires_emergency(time, ego, windows[i]) {
+            if scenario.requires_emergency(time, ego, self.win_scratch[i]) {
                 self.stats.emergency_steps += 1;
                 return PlanDecision {
-                    accel: scenario.emergency_accel(time, ego, windows[i]),
+                    accel: scenario.emergency_accel(time, ego, self.win_scratch[i]),
                     source: PlannerSource::Emergency,
                 };
             }
         }
 
         // NN step: fuse the per-vehicle windows of the configured source.
-        let nn_windows =
-            self.scenarios
-                .iter()
-                .zip(estimates)
-                .map(|(s, e)| match self.window_source {
+        self.merge_scratch.clear();
+        self.merge_scratch
+            .extend(self.scenarios.iter().zip(estimates).filter_map(|(s, e)| {
+                match self.window_source {
                     WindowSource::Conservative => s.conservative_window(time, e),
                     WindowSource::Aggressive(cfg) => s.aggressive_window(time, e, &cfg),
-                });
-        let obs = Observation::new(time, *ego, merge_windows(nn_windows, self.merge_gap));
+                }
+            }));
+        let fused = merge_windows_in_place(&mut self.merge_scratch, self.merge_gap);
+        let obs = Observation::new(time, *ego, fused);
         PlanDecision {
             accel: self.nn.plan(&obs),
             source: PlannerSource::NeuralNetwork,
@@ -202,6 +245,30 @@ mod tests {
         .unwrap();
         // 2-3, 4-5 and 6.5-7 chain up (gaps 1.0 and 1.5 < 2.0).
         assert_eq!(merged, Interval::new(2.0, 7.0));
+    }
+
+    #[test]
+    fn in_place_merge_matches_allocating_merge() {
+        let cases: [&[Option<Interval>]; 4] = [
+            &[],
+            &[None, None],
+            &[Some(Interval::new(4.0, 5.0)), Some(Interval::new(5.5, 6.5))],
+            &[
+                Some(Interval::new(10.0, 11.0)),
+                None,
+                Some(Interval::new(2.0, 3.0)),
+                Some(Interval::new(4.5, 5.0)),
+            ],
+        ];
+        let mut buf = Vec::new();
+        for windows in cases {
+            buf.clear();
+            buf.extend(windows.iter().copied().flatten());
+            assert_eq!(
+                merge_windows_in_place(&mut buf, 2.0),
+                merge_windows(windows.iter().copied(), 2.0),
+            );
+        }
     }
 
     #[test]

@@ -120,13 +120,13 @@ impl NaiveEstimator {
 
 impl Estimator for NaiveEstimator {
     fn on_message(&mut self, msg: &Message) {
-        if self.last_msg.map_or(true, |(t, _)| msg.stamp >= t) {
+        if self.last_msg.is_none_or(|(t, _)| msg.stamp >= t) {
             self.last_msg = Some((msg.stamp, msg.state()));
         }
     }
 
     fn on_measurement(&mut self, m: &Measurement) {
-        if self.last_meas.map_or(true, |(t, _)| m.stamp >= t) {
+        if self.last_meas.is_none_or(|(t, _)| m.stamp >= t) {
             self.last_meas = Some((
                 m.stamp,
                 VehicleState::new(m.position, m.velocity, m.acceleration),

@@ -165,46 +165,51 @@ impl InformationFilter {
     }
 
     fn hard_position_velocity(&self, now: f64) -> (Interval, Interval) {
-        let mut candidates: Vec<reachability::ReachSet> = Vec::with_capacity(3);
-        candidates.push(reachability::reach(
+        // Intersect the candidate reach sets as they are produced — same
+        // order as before (prior, message, measurement), no per-call Vec:
+        // this runs every control step of every episode.
+        let prior = reachability::reach(
             self.prior.position,
             clamp_velocity_interval(self.prior.velocity, &self.limits),
             (now - self.prior.time).max(0.0),
             &self.limits,
-        ));
+        );
+        let mut p = prior.position;
+        let mut v = prior.velocity;
+        // The truth lies in every candidate, so the intersection is
+        // nonempty up to floating-point noise; fall back to the tighter
+        // candidate if rounding makes them disjoint.
+        let refine = |p: &mut Interval, v: &mut Interval, c: reachability::ReachSet| {
+            *p = p
+                .intersect(&c.position)
+                .unwrap_or_else(|| tighter(*p, c.position));
+            *v = v
+                .intersect(&c.velocity)
+                .unwrap_or_else(|| tighter(*v, c.velocity));
+        };
         if let Some(msg) = &self.last_msg {
-            candidates.push(reachability::reach(
-                Interval::point(msg.position),
-                clamp_velocity_interval(Interval::point(msg.velocity), &self.limits),
-                (now - msg.stamp).max(0.0),
-                &self.limits,
-            ));
+            refine(
+                &mut p,
+                &mut v,
+                reachability::reach(
+                    Interval::point(msg.position),
+                    clamp_velocity_interval(Interval::point(msg.velocity), &self.limits),
+                    (now - msg.stamp).max(0.0),
+                    &self.limits,
+                ),
+            );
         }
         if let Some(m) = &self.last_meas {
-            let p = Interval::centered(m.position, self.noise.delta_p);
-            let v = clamp_velocity_interval(
+            let mp = Interval::centered(m.position, self.noise.delta_p);
+            let mv = clamp_velocity_interval(
                 Interval::centered(m.velocity, self.noise.delta_v),
                 &self.limits,
             );
-            candidates.push(reachability::reach(
-                p,
-                v,
-                (now - m.stamp).max(0.0),
-                &self.limits,
-            ));
-        }
-        let mut p = candidates[0].position;
-        let mut v = candidates[0].velocity;
-        for c in &candidates[1..] {
-            // The truth lies in every candidate, so the intersection is
-            // nonempty up to floating-point noise; fall back to the tighter
-            // candidate if rounding makes them disjoint.
-            p = p
-                .intersect(&c.position)
-                .unwrap_or_else(|| tighter(p, c.position));
-            v = v
-                .intersect(&c.velocity)
-                .unwrap_or_else(|| tighter(v, c.velocity));
+            refine(
+                &mut p,
+                &mut v,
+                reachability::reach(mp, mv, (now - m.stamp).max(0.0), &self.limits),
+            );
         }
         // Guard against the ~1 ulp discrepancy between the closed-form
         // reachability bound and the step-wise simulated integrator.
@@ -258,7 +263,7 @@ fn tighter(a: Interval, b: Interval) -> Interval {
 
 impl Estimator for InformationFilter {
     fn on_message(&mut self, msg: &Message) {
-        let newer = self.last_msg.map_or(true, |m| msg.stamp > m.stamp);
+        let newer = self.last_msg.is_none_or(|m| msg.stamp > m.stamp);
         if newer {
             self.last_msg = Some(*msg);
         }
@@ -275,7 +280,7 @@ impl Estimator for InformationFilter {
     }
 
     fn on_measurement(&mut self, m: &Measurement) {
-        let newer = self.last_meas.map_or(true, |prev| m.stamp >= prev.stamp);
+        let newer = self.last_meas.is_none_or(|prev| m.stamp >= prev.stamp);
         if newer {
             self.last_meas = Some(*m);
         }

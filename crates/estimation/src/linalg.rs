@@ -225,7 +225,7 @@ mod tests {
             c in -10.0..10.0f64, d in -10.0..10.0f64,
         ) {
             let m = Mat2::new(a, b, c, d);
-            if !(m.det().abs() > 1e-6) { continue; }
+            if m.det().abs() <= 1e-6 { continue; }
             let inv = m.inverse().unwrap();
             let id = m.mul(&inv);
             assert!((id.a - 1.0).abs() < 1e-6);

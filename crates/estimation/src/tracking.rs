@@ -66,7 +66,10 @@ impl TrackingFilter {
             ),
             last_time: t0,
             last_accel: 0.0,
-            history: VecDeque::new(),
+            // Sized for the common case up front: the rollback/replay path
+            // pushes one record per sensing period, and regrowing the ring
+            // mid-episode is the only allocation the tracker would make.
+            history: VecDeque::with_capacity(64),
             max_history: Self::DEFAULT_MAX_HISTORY,
         }
     }

@@ -42,7 +42,7 @@ impl Mlp {
         output: Activation,
         seed: u64,
     ) -> Result<Self, NnError> {
-        if sizes.len() < 2 || sizes.iter().any(|&s| s == 0) {
+        if sizes.len() < 2 || sizes.contains(&0) {
             return Err(NnError::InvalidArchitecture);
         }
         let mut rng = SplitMix64::seed_from_u64(seed);

@@ -133,13 +133,16 @@ impl Trainer {
         let mut best: Option<(f64, Mlp)> = None;
         let mut stale_epochs = 0usize;
 
+        // Mini-batch buffers reused across every batch of every epoch.
+        let mut xb = Matrix::zeros(0, 0);
+        let mut yb = Matrix::zeros(0, 0);
         for _ in 0..self.config.epochs {
             rng.shuffle(&mut order);
             let mut epoch_loss = 0.0;
             let mut batches = 0usize;
             for chunk in order.chunks(batch) {
-                let xb = x.select_rows(chunk);
-                let yb = y.select_rows(chunk);
+                x.select_rows_into(chunk, &mut xb);
+                y.select_rows_into(chunk, &mut yb);
                 let (pred, caches) = net.forward_cached(&xb)?;
                 epoch_loss += self.config.loss.value(&pred, &yb)?;
                 batches += 1;
@@ -158,7 +161,7 @@ impl Trainer {
 
             if early_stopping {
                 let val_loss = self.config.loss.value(&net.forward(&x_val)?, &y_val)?;
-                let improved = best.as_ref().map_or(true, |(b, _)| val_loss < *b);
+                let improved = best.as_ref().is_none_or(|(b, _)| val_loss < *b);
                 if improved {
                     best = Some((val_loss, net.clone()));
                     stale_epochs = 0;

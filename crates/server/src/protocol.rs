@@ -369,6 +369,11 @@ pub fn summary_from_json(v: &Json) -> Result<BatchSummary, DecodeError> {
 }
 
 /// A client → server request frame.
+///
+/// `SubmitBatch` dominates the enum size, but requests are decoded one at a
+/// time and handed off immediately — never stored in bulk — so the
+/// indirection a `Box` would add buys nothing here.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
     /// Enqueue a batch; the connection then streams progress events.

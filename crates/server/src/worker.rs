@@ -1,11 +1,13 @@
 //! Sharded execution of one batch job with streamed per-episode progress.
 //!
-//! The shard layout mirrors [`cv_sim::run_batch`]: episodes split into
-//! contiguous per-worker ranges of `ceil(episodes / workers)`, each episode
-//! run through [`cv_sim::run_episode`] on its own derived seed — so the
-//! per-episode results (and therefore the final [`BatchSummary`]) are
-//! bit-identical to an in-process `run_batch` of the same [`BatchConfig`],
-//! regardless of worker count or completion order.
+//! The scheduling mirrors [`cv_sim::run_batch`]: every worker claims the
+//! next unclaimed episode index from a shared [`cv_sim::scheduler::WorkQueue`]
+//! (dynamic load balancing — early-exiting episodes don't leave tail workers
+//! idle) and runs it on a per-worker [`cv_sim::EpisodeWorkspace`], each
+//! episode on its own derived seed — so the per-episode results (and
+//! therefore the final [`BatchSummary`]) are bit-identical to an in-process
+//! `run_batch` of the same [`BatchConfig`], regardless of worker count,
+//! claim interleaving, or completion order.
 //!
 //! Workers report each finished episode over an [`mpsc`] channel to the
 //! coordinating thread (the job runner), which owns the progress callback
@@ -17,7 +19,8 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::time::Instant;
 
-use cv_sim::{run_episode, BatchConfig, BatchSummary, EpisodeResult, SimError, StackSpec};
+use cv_sim::scheduler::WorkQueue;
+use cv_sim::{BatchConfig, BatchSummary, EpisodeResult, EpisodeWorkspace, SimError, StackSpec};
 
 /// One finished episode, as handed to the progress callback.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -70,7 +73,7 @@ where
     }
     let total = batch.episodes;
     let workers = workers.clamp(1, total);
-    let per = total.div_ceil(workers);
+    let queue = WorkQueue::new(total);
     let abort = AtomicBool::new(false);
     let t0 = Instant::now();
 
@@ -85,18 +88,20 @@ where
         // the progress callback within one episode, instead of racing an
         // arbitrarily deep buffer ahead of it.
         let (tx, rx) = mpsc::sync_channel::<(usize, Result<EpisodeResult, SimError>)>(0);
-        for w in 0..workers {
-            let lo = w * per;
-            let hi = ((w + 1) * per).min(total);
+        for _ in 0..workers {
             let tx = tx.clone();
             let spec = spec.clone();
             let abort = &abort;
+            let queue = &queue;
             scope.spawn(move || {
-                for i in lo..hi {
+                // One workspace per worker: the planner is cloned once and
+                // episode buffers are reused across every claimed episode.
+                let mut ws = EpisodeWorkspace::new(spec);
+                while let Some(i) = queue.claim() {
                     if cancel.load(Ordering::Relaxed) || abort.load(Ordering::Relaxed) {
                         return;
                     }
-                    let result = run_episode(&batch.episode(i), &spec, false);
+                    let result = ws.run(&batch.episode(i), false);
                     if result.is_err() {
                         abort.store(true, Ordering::Relaxed);
                     }
@@ -213,7 +218,7 @@ mod tests {
             }
         });
         match outcome {
-            JobOutcome::Cancelled { done } => assert!(done >= 2 && done < 12),
+            JobOutcome::Cancelled { done } => assert!((2..12).contains(&done)),
             other => panic!("expected cancellation, got {other:?}"),
         }
     }

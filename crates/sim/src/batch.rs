@@ -1,4 +1,7 @@
-use crate::{run_episode, BatchSummary, EpisodeConfig, EpisodeResult, SimError, StackSpec};
+use crate::scheduler::for_each_dynamic;
+use crate::{
+    run_episode, BatchSummary, EpisodeConfig, EpisodeResult, EpisodeWorkspace, SimError, StackSpec,
+};
 
 /// Configuration for a Monte-Carlo batch.
 ///
@@ -88,6 +91,14 @@ impl BatchConfig {
 /// Runs `batch.episodes` simulations of `spec` in parallel and returns the
 /// per-episode results in seed order.
 ///
+/// Episodes are distributed dynamically: every worker claims the next
+/// unclaimed index from a shared [`crate::scheduler::WorkQueue`], which keeps
+/// all workers busy when episode costs vary (early exits from collisions or
+/// reached targets), and runs it on a per-worker [`EpisodeWorkspace`] so
+/// setup allocations are paid once per worker instead of once per episode.
+/// Results are written back by index and are bit-identical to a serial run
+/// for any thread count.
+///
 /// # Errors
 ///
 /// Returns [`SimError::InvalidBatch`] for an unrunnable configuration (zero
@@ -110,6 +121,30 @@ impl BatchConfig {
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn run_batch(batch: &BatchConfig, spec: &StackSpec) -> Result<Vec<EpisodeResult>, SimError> {
+    batch.validate()?;
+    let workers = batch.worker_count().min(batch.episodes);
+    for_each_dynamic(
+        batch.episodes,
+        workers,
+        || EpisodeWorkspace::new(spec.clone()),
+        |ws, i| ws.run(&batch.episode(i), false),
+    )
+    .into_iter()
+    .collect()
+}
+
+/// The pre-overhaul batch runner: static contiguous chunking, one fresh
+/// episode build per run. Kept as the baseline side of the
+/// `exp_throughput` A/B benchmark and as a cross-check in the determinism
+/// tests — [`run_batch`] must produce bit-identical results.
+///
+/// # Errors
+///
+/// Same contract as [`run_batch`].
+pub fn run_batch_static(
+    batch: &BatchConfig,
+    spec: &StackSpec,
+) -> Result<Vec<EpisodeResult>, SimError> {
     batch.validate()?;
     let workers = batch.worker_count().min(batch.episodes);
     if workers <= 1 {
@@ -184,6 +219,17 @@ mod tests {
             assert_eq!(x.outcome, y.outcome);
             assert_eq!(x.emergency_steps, y.emergency_steps);
         }
+    }
+
+    #[test]
+    fn dynamic_scheduler_matches_static_chunking() {
+        let template = EpisodeConfig::paper_default(40);
+        let spec = StackSpec::pure_teacher_conservative(&template).unwrap();
+        let mut batch = BatchConfig::new(template, 10);
+        batch.threads = 3;
+        let dynamic = run_batch(&batch, &spec).unwrap();
+        let static_ = run_batch_static(&batch, &spec).unwrap();
+        assert_eq!(dynamic, static_);
     }
 
     #[test]

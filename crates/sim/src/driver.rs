@@ -18,10 +18,11 @@ use cv_dynamics::{VehicleLimits, VehicleState};
 use cv_rng::{Rng, SplitMix64};
 
 /// A driving behaviour for a non-ego vehicle.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub enum DriverModel {
     /// The paper's behaviour: a fresh uniform sample from
     /// `[a_min, a_max]` at every control step.
+    #[default]
     UniformRandom,
     /// Mean-reverting (Ornstein–Uhlenbeck) acceleration:
     /// `a' = a + θ·(0 − a)·Δt + σ·√Δt·ξ`, clamped to the limits.
@@ -40,12 +41,6 @@ pub enum DriverModel {
         /// Time at which braking starts (s).
         brake_at: f64,
     },
-}
-
-impl Default for DriverModel {
-    fn default() -> Self {
-        DriverModel::UniformRandom
-    }
 }
 
 impl DriverModel {

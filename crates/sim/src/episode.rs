@@ -1,11 +1,11 @@
 use cv_comm::{Channel, Message};
 use cv_dynamics::Trajectory;
 use cv_estimation::{Interval, VehicleEstimate};
-use cv_sensing::{Measurement, UniformNoiseSensor};
+use cv_sensing::Measurement;
 use left_turn::ScenarioError;
 use safe_shield::{Outcome, PlannerSource, Scenario};
 
-use crate::{EpisodeConfig, StackSpec};
+use crate::{EpisodeConfig, EpisodeWorkspace, StackSpec};
 
 /// Errors running an episode.
 #[derive(Debug, Clone, PartialEq)]
@@ -46,7 +46,7 @@ impl From<ScenarioError> for SimError {
 
 /// Per-step traces recorded when requested (used by the Fig. 6 experiments
 /// and the examples).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct EpisodeTraces {
     /// Ego trajectory (shared axis).
     pub ego: Trajectory,
@@ -100,7 +100,7 @@ pub struct WindowTrace {
 }
 
 /// Result of one simulated episode.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EpisodeResult {
     /// Ground-truth outcome (collision / reached / timeout).
     pub outcome: Outcome,
@@ -137,130 +137,157 @@ impl EpisodeResult {
 /// # Errors
 ///
 /// Returns [`SimError::Scenario`] if the configuration is invalid.
+///
+/// This is the one-shot convenience path: it builds a fresh
+/// [`EpisodeWorkspace`] per call. Batch loops should hold one workspace per
+/// worker and call [`EpisodeWorkspace::run`] directly — the results are
+/// bit-identical.
 pub fn run_episode(
     cfg: &EpisodeConfig,
     spec: &StackSpec,
     record_traces: bool,
 ) -> Result<EpisodeResult, SimError> {
-    let scenarios = cfg.scenarios()?;
-    let ego_limits = scenarios[0].ego_limits();
-    let other_limits = scenarios[0].other_limits();
-    let mut exec = spec.build(cfg, &scenarios);
+    EpisodeWorkspace::new(spec.clone()).run(cfg, record_traces)
+}
 
-    let mut ego = cfg.ego_init;
-    let vehicles = cfg.vehicles();
-    let mut others: Vec<cv_dynamics::VehicleState> = vehicles
-        .iter()
-        .map(|(_, speed, _)| cv_dynamics::VehicleState::new(0.0, *speed, 0.0))
-        .collect();
-    let mut channels: Vec<Box<dyn Channel + Send>> = (0..vehicles.len())
-        .map(|i| cfg.comm.channel(cfg.seed_channel_for(i)))
-        .collect();
-    let mut sensors: Vec<UniformNoiseSensor> = (0..vehicles.len())
-        .map(|i| {
-            UniformNoiseSensor::new(cfg.noise, cfg.seed_sensor_for(i))
-                .with_dropout(cfg.sensor_dropout)
-        })
-        .collect();
-    let mut drivers: Vec<crate::driver::Driver> = vehicles
-        .iter()
-        .enumerate()
-        .map(|(i, (_, _, model))| model.driver(other_limits, cfg.seed_driving_for(i)))
-        .collect();
+impl EpisodeWorkspace {
+    /// Runs one episode, reusing every buffer this workspace retains from
+    /// earlier runs (see the [`crate::workspace`] module docs). Event order
+    /// and results are identical to [`run_episode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Scenario`] if the configuration is invalid.
+    pub fn run(
+        &mut self,
+        cfg: &EpisodeConfig,
+        record_traces: bool,
+    ) -> Result<EpisodeResult, SimError> {
+        let slot = self.scenario_slot(cfg)?;
+        let ego_limits = self.cached_scenarios(slot)[0].ego_limits();
+        let other_limits = self.cached_scenarios(slot)[0].other_limits();
+        self.arm_vehicles(cfg, other_limits);
 
-    let msg_every = (cfg.dt_m / cfg.dt_c).round().max(1.0) as u64;
-    let sense_every = (cfg.dt_s / cfg.dt_c).round().max(1.0) as u64;
-    let steps = (cfg.horizon / cfg.dt_c).ceil() as u64;
+        // Split the workspace into disjoint field borrows for the loop.
+        let EpisodeWorkspace {
+            spec,
+            exec,
+            scenario_cache,
+            channels,
+            sensors,
+            drivers,
+            others,
+            inbox,
+            ..
+        } = self;
+        let scenarios = scenario_cache[slot].1.as_slice();
+        match exec {
+            // Re-arm the retained executor: the planner (for an NN stack,
+            // its weight matrices) is NOT re-cloned.
+            Some(e) => spec.reinit(e, cfg, scenarios, others),
+            None => *exec = Some(spec.build(cfg, scenarios)),
+        }
+        let exec = exec.as_mut().expect("executor armed above");
 
-    let mut traces = record_traces.then(|| EpisodeTraces {
-        others: vec![Trajectory::new(); vehicles.len()],
-        ..EpisodeTraces::default()
-    });
-    let mut emergency_steps = 0u64;
-    let mut total_steps = 0u64;
-    let mut outcome = Outcome::Timeout;
+        let mut ego = cfg.ego_init;
+        let msg_every = (cfg.dt_m / cfg.dt_c).round().max(1.0) as u64;
+        let sense_every = (cfg.dt_s / cfg.dt_c).round().max(1.0) as u64;
+        let steps = (cfg.horizon / cfg.dt_c).ceil() as u64;
 
-    for step in 0..=steps {
-        let t = step as f64 * cfg.dt_c;
+        let mut traces = record_traces.then(|| EpisodeTraces {
+            others: vec![Trajectory::new(); others.len()],
+            ..EpisodeTraces::default()
+        });
+        let mut emergency_steps = 0u64;
+        let mut total_steps = 0u64;
+        let mut outcome = Outcome::Timeout;
 
-        // V2V broadcast and delivery, then sensing — per vehicle.
-        for (i, other) in others.iter().enumerate() {
-            if step % msg_every == 0 {
-                channels[i].send(Message::from_state(1 + i, t, other), t);
-            }
-            for msg in channels[i].receive(t) {
-                exec.estimator_mut(i).on_message(&msg);
-            }
-            if step % sense_every == 0 {
-                // Dropout-free sensors keep the historical RNG stream.
-                let maybe = if cfg.sensor_dropout > 0.0 {
-                    sensors[i].try_measure(1 + i, t, other)
-                } else {
-                    Some(sensors[i].measure(1 + i, t, other))
-                };
-                if let Some(m) = maybe {
-                    if let Some(tr) = traces.as_mut() {
-                        tr.measurements.push(m);
+        for step in 0..=steps {
+            let t = step as f64 * cfg.dt_c;
+
+            // V2V broadcast and delivery, then sensing — per vehicle.
+            for (i, other) in others.iter().enumerate() {
+                if step % msg_every == 0 {
+                    channels[i]
+                        .chan
+                        .send(Message::from_state(1 + i, t, other), t);
+                }
+                inbox.clear();
+                channels[i].chan.receive_into(t, inbox);
+                for msg in inbox.iter() {
+                    exec.estimator_mut(i).on_message(msg);
+                }
+                if step % sense_every == 0 {
+                    // Dropout-free sensors keep the historical RNG stream.
+                    let maybe = if cfg.sensor_dropout > 0.0 {
+                        sensors[i].try_measure(1 + i, t, other)
+                    } else {
+                        Some(sensors[i].measure(1 + i, t, other))
+                    };
+                    if let Some(m) = maybe {
+                        if let Some(tr) = traces.as_mut() {
+                            tr.measurements.push(m);
+                        }
+                        exec.estimator_mut(i).on_measurement(&m);
                     }
-                    exec.estimator_mut(i).on_measurement(&m);
                 }
             }
-        }
 
-        // Ground-truth evaluation.
-        if scenarios
-            .iter()
-            .zip(&others)
-            .any(|(s, other)| s.collision(&ego, other))
-        {
-            outcome = Outcome::Collision { time: t };
-            break;
-        }
-        if scenarios[0].target_reached(t, &ego) {
-            outcome = Outcome::Reached { time: t };
-            break;
-        }
-
-        // Plan and actuate.
-        let (decision, est) = exec.plan(t, &ego);
-        total_steps += 1;
-        if decision.source == PlannerSource::Emergency {
-            emergency_steps += 1;
-        }
-        if let Some(tr) = traces.as_mut() {
-            tr.ego.push(t, ego);
-            for (trajectory, other) in tr.others.iter_mut().zip(&others) {
-                trajectory.push(t, *other);
+            // Ground-truth evaluation.
+            if scenarios
+                .iter()
+                .zip(others.iter())
+                .any(|(s, other)| s.collision(&ego, other))
+            {
+                outcome = Outcome::Collision { time: t };
+                break;
             }
-            tr.estimates.push((t, est));
-            let truth_est = VehicleEstimate::exact(t, others[0]);
-            tr.windows.push(WindowTrace {
-                time: t,
-                conservative: scenarios[0].conservative_window(t, &est),
-                aggressive: scenarios[0].aggressive_window(t, &est, &Default::default()),
-                truth_nominal: scenarios[0].nominal_window(t, &truth_est),
-            });
-            tr.decisions.push(DecisionTrace {
-                time: t,
-                source: decision.source,
-                accel: decision.accel,
-            });
+            if scenarios[0].target_reached(t, &ego) {
+                outcome = Outcome::Reached { time: t };
+                break;
+            }
+
+            // Plan and actuate.
+            let (decision, est) = exec.plan(t, &ego);
+            total_steps += 1;
+            if decision.source == PlannerSource::Emergency {
+                emergency_steps += 1;
+            }
+            if let Some(tr) = traces.as_mut() {
+                tr.ego.push(t, ego);
+                for (trajectory, other) in tr.others.iter_mut().zip(others.iter()) {
+                    trajectory.push(t, *other);
+                }
+                tr.estimates.push((t, est));
+                let truth_est = VehicleEstimate::exact(t, others[0]);
+                tr.windows.push(WindowTrace {
+                    time: t,
+                    conservative: scenarios[0].conservative_window(t, &est),
+                    aggressive: scenarios[0].aggressive_window(t, &est, &Default::default()),
+                    truth_nominal: scenarios[0].nominal_window(t, &truth_est),
+                });
+                tr.decisions.push(DecisionTrace {
+                    time: t,
+                    source: decision.source,
+                    accel: decision.accel,
+                });
+            }
+
+            ego = ego_limits.step(&ego, decision.accel, cfg.dt_c);
+            for (i, other) in others.iter_mut().enumerate() {
+                let a = drivers[i].accel(t, other, cfg.dt_c);
+                *other = other_limits.step(other, a, cfg.dt_c);
+            }
         }
 
-        ego = ego_limits.step(&ego, decision.accel, cfg.dt_c);
-        for (i, other) in others.iter_mut().enumerate() {
-            let a = drivers[i].accel(t, other, cfg.dt_c);
-            *other = other_limits.step(other, a, cfg.dt_c);
-        }
+        Ok(EpisodeResult {
+            eta: outcome.eta(),
+            outcome,
+            emergency_steps,
+            total_steps,
+            traces,
+        })
     }
-
-    Ok(EpisodeResult {
-        eta: outcome.eta(),
-        outcome,
-        emergency_steps,
-        total_steps,
-        traces,
-    })
 }
 
 #[cfg(test)]

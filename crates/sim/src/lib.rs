@@ -18,6 +18,10 @@
 //!   positions, summarised as the columns of the paper's Tables I/II
 //!   ([`BatchSummary`]): reaching time, safe rate, mean `η`, emergency
 //!   frequency — plus paired per-episode `η`s for winning percentages.
+//!   Episodes are distributed over workers by a dynamic claim-by-index
+//!   [`scheduler`], and every worker reuses an [`EpisodeWorkspace`] so the
+//!   per-step loop allocates nothing in the steady state; results stay
+//!   bit-identical to a serial run.
 //! * [`training`] — closed-loop teacher rollouts + behaviour cloning to
 //!   produce the conservative/aggressive NN planners (`κ_n,cons`,
 //!   `κ_n,aggr`).
@@ -39,14 +43,18 @@ mod config;
 mod driver;
 mod episode;
 mod metrics;
+pub mod scheduler;
 mod stack;
 pub mod training;
+pub mod workspace;
 
-pub use batch::{run_batch, run_batch_summary, BatchConfig};
+pub use batch::{run_batch, run_batch_static, run_batch_summary, BatchConfig};
 pub use config::{EpisodeConfig, ExtraVehicle};
 pub use driver::{Driver, DriverModel};
 pub use episode::{
     run_episode, DecisionTrace, EpisodeResult, EpisodeTraces, SimError, WindowTrace,
 };
 pub use metrics::{rmse, winning_percentage, BatchSummary};
+pub use scheduler::{for_each_dynamic, WorkQueue};
 pub use stack::{StackSpec, WindowKind};
+pub use workspace::EpisodeWorkspace;

@@ -78,14 +78,21 @@ impl BatchSummary {
 
     /// Attaches the measured wall-clock duration of the run, deriving the
     /// episodes/s throughput.
+    ///
+    /// Both timing fields are `0.0` — meaning "untimed or unmeasurably
+    /// fast", never `inf`/`NaN` — when `wall` is zero or so short that its
+    /// seconds representation is subnormal (a denormal divisor would
+    /// otherwise overflow the throughput to `inf`).
     #[must_use]
     pub fn with_timing(mut self, wall: std::time::Duration) -> Self {
-        self.wall_time_secs = wall.as_secs_f64();
-        self.episodes_per_sec = if self.wall_time_secs > 0.0 {
-            self.episodes as f64 / self.wall_time_secs
-        } else {
-            0.0
-        };
+        let secs = wall.as_secs_f64();
+        if !secs.is_normal() || secs <= 0.0 {
+            self.wall_time_secs = 0.0;
+            self.episodes_per_sec = 0.0;
+            return self;
+        }
+        self.wall_time_secs = secs;
+        self.episodes_per_sec = self.episodes as f64 / secs;
         self
     }
 
@@ -282,5 +289,28 @@ mod tests {
     #[should_panic]
     fn rmse_rejects_unaligned() {
         let _ = rmse(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn zero_or_denormal_wall_time_yields_zero_throughput() {
+        let base = BatchSummary {
+            episodes: 4,
+            reaching_time: f64::NAN,
+            safe_rate: 1.0,
+            eta_mean: 0.0,
+            emergency_frequency: 0.0,
+            etas: vec![0.0; 4],
+            reaching_times: Vec::new(),
+            wall_time_secs: 0.0,
+            episodes_per_sec: 0.0,
+        };
+        let zero = base.clone().with_timing(std::time::Duration::ZERO);
+        assert_eq!(zero.wall_time_secs, 0.0);
+        assert_eq!(zero.episodes_per_sec, 0.0);
+        // 1 ns is representable but denormal arithmetic never appears: the
+        // seconds value is normal, so throughput is finite and positive.
+        let tiny = base.clone().with_timing(std::time::Duration::from_nanos(1));
+        assert!(tiny.episodes_per_sec.is_finite());
+        assert!(tiny.episodes_per_sec > 0.0);
     }
 }

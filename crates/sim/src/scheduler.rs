@@ -1,0 +1,168 @@
+//! Work-stealing batch scheduler shared by [`crate::run_batch`] and the
+//! cv-server worker pool.
+//!
+//! Episode lengths vary wildly — a collision or a reached target ends an
+//! episode after a fraction of the horizon — so splitting a batch into
+//! contiguous per-worker ranges leaves tail workers idle while one worker
+//! grinds through an unlucky chunk. Here every worker instead claims the
+//! next unclaimed episode index from a shared atomic counter ([`WorkQueue`]),
+//! so the makespan is bounded by the mean episode cost plus *one* straggler
+//! rather than the most expensive contiguous chunk.
+//!
+//! Determinism is unaffected: the index a worker claims fully determines the
+//! episode (seed, start position), results are written back by index, and
+//! every per-episode RNG stream is derived from the episode seed — so the
+//! result vector is bit-identical to a serial run regardless of worker count
+//! or claim interleaving.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A shared claim-by-index work queue over `0..total`.
+///
+/// `claim` hands out each index exactly once, in ascending order of claim
+/// time; which worker gets which index is racy by design, the set of indices
+/// is not.
+#[derive(Debug)]
+pub struct WorkQueue {
+    next: AtomicUsize,
+    total: usize,
+}
+
+impl WorkQueue {
+    /// A queue over the indices `0..total`.
+    pub fn new(total: usize) -> Self {
+        Self {
+            next: AtomicUsize::new(0),
+            total,
+        }
+    }
+
+    /// Claims the next unclaimed index, or `None` when the queue is drained.
+    pub fn claim(&self) -> Option<usize> {
+        // Relaxed suffices: the counter is the only shared state and the
+        // claimed index is consumed by the claiming thread alone.
+        let i = self.next.fetch_add(1, Ordering::Relaxed);
+        (i < self.total).then_some(i)
+    }
+
+    /// Number of indices in the queue (claimed or not).
+    pub fn total(&self) -> usize {
+        self.total
+    }
+}
+
+/// Runs `job(state, index)` for every `index ∈ 0..total` across `workers`
+/// threads with dynamic load balancing, returning the results in index
+/// order.
+///
+/// `init` builds one worker-local state (e.g. an episode workspace) per
+/// thread; with `workers <= 1` everything runs on the calling thread with a
+/// single state and no thread is spawned.
+pub fn for_each_dynamic<T, S, I, F>(total: usize, workers: usize, init: I, job: F) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
+    if total == 0 {
+        return Vec::new();
+    }
+    let workers = workers.max(1).min(total);
+    if workers == 1 {
+        let mut state = init();
+        return (0..total).map(|i| job(&mut state, i)).collect();
+    }
+
+    let queue = WorkQueue::new(total);
+    let mut slots: Vec<Option<T>> = Vec::new();
+    slots.resize_with(total, || None);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let queue = &queue;
+                let init = &init;
+                let job = &job;
+                scope.spawn(move || {
+                    let mut state = init();
+                    let mut local: Vec<(usize, T)> = Vec::new();
+                    while let Some(i) = queue.claim() {
+                        local.push((i, job(&mut state, i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, value) in handle.join().expect("scheduler worker panicked") {
+                slots[i] = Some(value);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index claimed exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_hands_out_each_index_once() {
+        let q = WorkQueue::new(5);
+        let claimed: Vec<usize> = std::iter::from_fn(|| q.claim()).collect();
+        assert_eq!(claimed, vec![0, 1, 2, 3, 4]);
+        assert_eq!(q.claim(), None);
+        assert_eq!(q.total(), 5);
+    }
+
+    #[test]
+    fn results_are_in_index_order_for_any_worker_count() {
+        for workers in [1, 2, 3, 8, 64] {
+            let out = for_each_dynamic(33, workers, || (), |(), i| i * i);
+            assert_eq!(
+                out,
+                (0..33).map(|i| i * i).collect::<Vec<_>>(),
+                "{workers} workers"
+            );
+        }
+    }
+
+    #[test]
+    fn worker_state_is_reused_within_a_worker() {
+        // Serial path: a single state sees every index.
+        let out = for_each_dynamic(
+            4,
+            1,
+            || 0usize,
+            |calls, _| {
+                *calls += 1;
+                *calls
+            },
+        );
+        assert_eq!(out, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_queue_spawns_nothing() {
+        let out: Vec<usize> = for_each_dynamic(0, 8, || (), |(), i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn uneven_loads_still_cover_everything() {
+        // Simulated early exits: some "episodes" cost 100x others.
+        let out = for_each_dynamic(
+            64,
+            4,
+            || (),
+            |(), i| {
+                let spins = if i % 7 == 0 { 10_000 } else { 100 };
+                (0..spins).map(std::hint::black_box).sum::<usize>();
+                i
+            },
+        );
+        assert_eq!(out, (0..64).collect::<Vec<_>>());
+    }
+}

@@ -1,12 +1,12 @@
 use cv_dynamics::VehicleState;
 use cv_estimation::{
-    Estimator, FilterMode, InformationFilter, NaiveEstimator, Prior, VehicleEstimate,
+    Estimator, FilterMode, InformationFilter, Interval, NaiveEstimator, Prior, VehicleEstimate,
 };
 use cv_planner::{NnPlanner, TeacherPolicy};
 use left_turn::{LeftTurnScenario, ScenarioError};
 use safe_shield::{
-    merge_windows, AggressiveConfig, MultiCompoundPlanner, Observation, PlanDecision, Planner,
-    PlannerSource, Scenario, WindowSource, DEFAULT_MERGE_GAP,
+    merge_windows_in_place, AggressiveConfig, MultiCompoundPlanner, Observation, PlanDecision,
+    Planner, PlannerSource, Scenario, WindowSource, DEFAULT_MERGE_GAP,
 };
 
 use crate::EpisodeConfig;
@@ -126,66 +126,119 @@ impl StackSpec {
 
     /// Builds the per-episode executor (estimator + planner pipeline), one
     /// estimator per conflicting vehicle.
+    ///
+    /// The planner is cloned here — once. Reuse the executor across episodes
+    /// with [`StackSpec::reinit`] to avoid re-cloning NN weight matrices per
+    /// episode.
     pub(crate) fn build(&self, cfg: &EpisodeConfig, scenarios: &[LeftTurnScenario]) -> StackExec {
-        let other_limits = scenarios[0].other_limits();
         let inits: Vec<VehicleState> = cfg
             .vehicles()
             .iter()
             .map(|(_, speed, _)| VehicleState::new(0.0, *speed, 0.0))
             .collect();
-        match self {
-            StackSpec::PureNn { planner, window } => StackExec::Pure {
+        let kind = match self {
+            StackSpec::PureNn { planner, window } => ExecKind::Pure {
                 planner: Box::new(planner.clone()),
-                estimators: inits
-                    .iter()
-                    .map(|init| {
-                        Box::new(NaiveEstimator::new(other_limits, 0.0, *init))
-                            as Box<dyn Estimator + Send>
-                    })
-                    .collect(),
+                estimators: Vec::new(),
                 window: *window,
                 scenarios: scenarios.to_vec(),
             },
-            StackSpec::PureTeacher { policy, window } => StackExec::Pure {
+            StackSpec::PureTeacher { policy, window } => ExecKind::Pure {
                 planner: Box::new(*policy),
-                estimators: inits
-                    .iter()
-                    .map(|init| {
-                        Box::new(NaiveEstimator::new(other_limits, 0.0, *init))
-                            as Box<dyn Estimator + Send>
-                    })
-                    .collect(),
+                estimators: Vec::new(),
                 window: *window,
                 scenarios: scenarios.to_vec(),
             },
             StackSpec::Compound {
                 planner,
-                filter_mode,
                 window_source,
-            } => StackExec::Compound {
+                ..
+            } => ExecKind::Compound {
                 compound: MultiCompoundPlanner::new(
                     scenarios.to_vec(),
                     Box::new(planner.clone()) as Box<dyn Planner + Send>,
                     *window_source,
                 ),
-                estimators: inits
-                    .iter()
-                    .map(|init| {
-                        Box::new(InformationFilter::new(
-                            other_limits,
-                            cfg.noise,
-                            *filter_mode,
-                            Prior::exact(0.0, init.position, init.velocity),
-                        )) as Box<dyn Estimator + Send>
-                    })
-                    .collect(),
+                estimators: Vec::new(),
             },
+        };
+        let mut exec = StackExec {
+            kind,
+            est_scratch: Vec::with_capacity(inits.len()),
+            win_scratch: Vec::with_capacity(inits.len()),
+        };
+        self.reinit(&mut exec, cfg, scenarios, &inits);
+        exec
+    }
+
+    /// Re-arms an executor previously built from **this same spec** for a
+    /// fresh episode: estimators are rebuilt from the episode's initial
+    /// states, the planner is reset in place (NN weights are *not*
+    /// re-cloned), and the compound planner's scenario list is refreshed.
+    ///
+    /// Equivalent to [`StackSpec::build`] over the same inputs.
+    pub(crate) fn reinit(
+        &self,
+        exec: &mut StackExec,
+        cfg: &EpisodeConfig,
+        scenarios: &[LeftTurnScenario],
+        inits: &[VehicleState],
+    ) {
+        let other_limits = scenarios[0].other_limits();
+        match (&mut exec.kind, self) {
+            (
+                ExecKind::Pure {
+                    planner,
+                    estimators,
+                    scenarios: exec_scenarios,
+                    ..
+                },
+                StackSpec::PureNn { .. } | StackSpec::PureTeacher { .. },
+            ) => {
+                planner.reset();
+                estimators.clear();
+                estimators.extend(inits.iter().map(|init| {
+                    Box::new(NaiveEstimator::new(other_limits, 0.0, *init))
+                        as Box<dyn Estimator + Send>
+                }));
+                exec_scenarios.clear();
+                exec_scenarios.extend_from_slice(scenarios);
+            }
+            (
+                ExecKind::Compound {
+                    compound,
+                    estimators,
+                },
+                StackSpec::Compound { filter_mode, .. },
+            ) => {
+                compound.reinit(scenarios);
+                estimators.clear();
+                estimators.extend(inits.iter().map(|init| {
+                    Box::new(InformationFilter::new(
+                        other_limits,
+                        cfg.noise,
+                        *filter_mode,
+                        Prior::exact(0.0, init.position, init.velocity),
+                    )) as Box<dyn Estimator + Send>
+                }));
+            }
+            _ => unreachable!("executor was built from a different StackSpec shape"),
         }
     }
 }
 
-/// Per-episode executor: owns the estimators and the planner pipeline.
-pub(crate) enum StackExec {
+/// Per-episode executor: owns the estimators and the planner pipeline, plus
+/// per-step scratch buffers so [`StackExec::plan`] performs no heap
+/// allocation in the steady state.
+pub(crate) struct StackExec {
+    kind: ExecKind,
+    /// One estimate per conflicting vehicle, refilled each step.
+    est_scratch: Vec<VehicleEstimate>,
+    /// Window cluster buffer for the unshielded merge, refilled each step.
+    win_scratch: Vec<Interval>,
+}
+
+enum ExecKind {
     Pure {
         planner: Box<dyn Planner + Send>,
         estimators: Vec<Box<dyn Estimator + Send>>,
@@ -201,9 +254,9 @@ pub(crate) enum StackExec {
 impl StackExec {
     /// The estimator tracking conflicting vehicle `i`.
     pub(crate) fn estimator_mut(&mut self, i: usize) -> &mut (dyn Estimator + Send) {
-        match self {
-            StackExec::Pure { estimators, .. } => estimators[i].as_mut(),
-            StackExec::Compound { estimators, .. } => estimators[i].as_mut(),
+        match &mut self.kind {
+            ExecKind::Pure { estimators, .. } => estimators[i].as_mut(),
+            ExecKind::Compound { estimators, .. } => estimators[i].as_mut(),
         }
     }
 
@@ -214,36 +267,43 @@ impl StackExec {
         time: f64,
         ego: &VehicleState,
     ) -> (PlanDecision, VehicleEstimate) {
-        match self {
-            StackExec::Pure {
+        match &mut self.kind {
+            ExecKind::Pure {
                 planner,
                 estimators,
                 window,
                 scenarios,
             } => {
-                let estimates: Vec<VehicleEstimate> =
-                    estimators.iter().map(|e| e.estimate(time)).collect();
-                let windows = scenarios.iter().zip(&estimates).map(|(s, e)| match window {
-                    WindowKind::Conservative => s.conservative_window(time, e),
-                    WindowKind::Nominal => s.nominal_window(time, e),
-                });
-                let obs = Observation::new(time, *ego, merge_windows(windows, DEFAULT_MERGE_GAP));
+                self.est_scratch.clear();
+                self.est_scratch
+                    .extend(estimators.iter().map(|e| e.estimate(time)));
+                self.win_scratch.clear();
+                self.win_scratch
+                    .extend(scenarios.iter().zip(&self.est_scratch).filter_map(
+                        |(s, e)| match window {
+                            WindowKind::Conservative => s.conservative_window(time, e),
+                            WindowKind::Nominal => s.nominal_window(time, e),
+                        },
+                    ));
+                let fused = merge_windows_in_place(&mut self.win_scratch, DEFAULT_MERGE_GAP);
+                let obs = Observation::new(time, *ego, fused);
                 (
                     PlanDecision {
                         accel: planner.plan(&obs),
                         source: PlannerSource::NeuralNetwork,
                     },
-                    estimates[0],
+                    self.est_scratch[0],
                 )
             }
-            StackExec::Compound {
+            ExecKind::Compound {
                 compound,
                 estimators,
             } => {
-                let estimates: Vec<VehicleEstimate> =
-                    estimators.iter().map(|e| e.estimate(time)).collect();
-                let decision = compound.plan(time, ego, &estimates);
-                (decision, estimates[0])
+                self.est_scratch.clear();
+                self.est_scratch
+                    .extend(estimators.iter().map(|e| e.estimate(time)));
+                let decision = compound.plan(time, ego, &self.est_scratch);
+                (decision, self.est_scratch[0])
             }
         }
     }
@@ -277,6 +337,37 @@ mod tests {
             let (decision, est) = exec.plan(0.0, &cfg.ego_init);
             assert!(decision.accel.is_finite());
             assert!(est.position.contains(0.0)); // C1 starts at forward 0
+        }
+    }
+
+    #[test]
+    fn reinit_matches_a_fresh_build() {
+        // Run an episode's worth of planning on a reused executor, then
+        // compare a freshly built one against a reinitialised one.
+        let cfg = EpisodeConfig::paper_default(3);
+        let scenarios = cfg.scenarios().unwrap();
+        let spec = StackSpec::pure_teacher_conservative(&cfg).unwrap();
+        let inits: Vec<VehicleState> = cfg
+            .vehicles()
+            .iter()
+            .map(|(_, speed, _)| VehicleState::new(0.0, *speed, 0.0))
+            .collect();
+
+        let mut reused = spec.build(&cfg, &scenarios);
+        for k in 0..40 {
+            let t = k as f64 * cfg.dt_c;
+            let _ = reused.plan(t, &cfg.ego_init);
+        }
+        spec.reinit(&mut reused, &cfg, &scenarios, &inits);
+
+        let mut fresh = spec.build(&cfg, &scenarios);
+        for k in 0..10 {
+            let t = k as f64 * cfg.dt_c;
+            let (a, ea) = fresh.plan(t, &cfg.ego_init);
+            let (b, eb) = reused.plan(t, &cfg.ego_init);
+            assert_eq!(a.accel.to_bits(), b.accel.to_bits(), "step {k}");
+            assert_eq!(a.source, b.source, "step {k}");
+            assert_eq!(ea, eb, "step {k}");
         }
     }
 }

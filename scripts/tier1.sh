@@ -11,3 +11,10 @@ cd "$(dirname "$0")/.."
 cargo build --release --offline --workspace
 cargo test -q --offline --workspace
 cargo fmt --check
+cargo clippy --offline --workspace -- -D warnings -W clippy::perf
+
+# Perf-harness smoke run: tiny matrix, output parked under target/ so it
+# never clobbers the committed results/BENCH_throughput.json artifact.
+cargo run -q --release --offline -p bench --bin exp_throughput -- \
+  --sims 8 --threads 2 --reps 2 --out target/tier1-throughput-smoke.json
+test -s target/tier1-throughput-smoke.json

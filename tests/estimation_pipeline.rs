@@ -28,7 +28,7 @@ impl Rig {
     /// on the paper's cadence (both every 0.1 s).
     fn step(&mut self, step: u64, estimators: &mut [&mut dyn Estimator]) {
         let t = step as f64 * 0.05;
-        if step % 2 == 0 {
+        if step.is_multiple_of(2) {
             self.channel.send(Message::from_state(1, t, &self.truth), t);
             for m in self.channel.receive(t) {
                 for e in estimators.iter_mut() {

@@ -1,0 +1,769 @@
+//! Deterministic in-process TCP fault-injection proxy.
+//!
+//! `cv-chaos` sits between a client and a server on loopback and injects
+//! network faults according to a seeded, per-connection schedule — the
+//! same adversary the paper models *inside* the simulation (delay `Δt_d`,
+//! drop `p_d`) turned loose on the service layer itself. Zero external
+//! dependencies: `std::net` relay threads plus `cv-rng` for the schedule.
+//!
+//! # Fault taxonomy
+//!
+//! Each accepted connection gets a [`ConnPlan`] — one [`Fault`] per
+//! direction (client→server and server→client):
+//!
+//! * [`Fault::Delay`] — added one-shot latency before the first relayed
+//!   chunk (a slow path, not a broken one);
+//! * [`Fault::Throttle`] — the stream trickles through in small chunks
+//!   with pauses (partial writes, tiny congestion window);
+//! * [`Fault::Truncate`] — the first `after_bytes` bytes are relayed, then
+//!   both directions close cleanly: the peer sees EOF mid-frame;
+//! * [`Fault::Reset`] — like truncate but abrupt: sockets are torn down
+//!   with data still in flight, so the peer typically observes a reset or
+//!   an unexpected EOF with its last write unacknowledged;
+//! * [`Fault::SilentDrop`] — after `after_bytes` bytes the relay keeps
+//!   *consuming* but stops forwarding: bytes vanish without any signal;
+//! * [`Fault::Stall`] — half-open: the connection is accepted and then
+//!   nothing is relayed in this direction and no close ever arrives.
+//!
+//! Cutoffs are *byte counts*, not timers, so where a stream is cut is
+//! exactly reproducible from the seed regardless of thread scheduling or
+//! read chunking; the time-shaped faults (delay, throttle) use parameters
+//! small enough that a sanely-configured client never conflates them with
+//! a dead peer.
+//!
+//! # Determinism contract
+//!
+//! [`FaultSchedule`] maps `(seed, connection index)` to a plan via
+//! `cv-rng` streams. Connections through one proxy are indexed in accept
+//! order, so a *sequential* client (connect → fail → reconnect) sees a
+//! reproducible plan sequence. For concurrent sessions, give each session
+//! its own proxy seeded from a master seed — accept order across
+//! concurrent sessions is scheduler noise, per-session proxies make it
+//! irrelevant.
+//!
+//! ```no_run
+//! use cv_chaos::{ChaosProxy, ConnPlan, Fault, FaultSchedule};
+//!
+//! let upstream: std::net::SocketAddr = "127.0.0.1:7878".parse().unwrap();
+//! // First two connections get their responses cut after 64 bytes, the
+//! // rest pass through clean — a client with retry must converge.
+//! let schedule = FaultSchedule::fixed(
+//!     ConnPlan::downstream(Fault::Truncate { after_bytes: 64 }),
+//!     2,
+//! );
+//! let proxy = ChaosProxy::start(upstream, schedule).unwrap();
+//! let addr = proxy.local_addr(); // point the client here
+//! # let _ = addr;
+//! ```
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use cv_rng::{derive_seed, split_stream, Rng, SplitMix64};
+
+/// Poll interval for shutdown/abort checks inside relay loops.
+const POLL: Duration = Duration::from_millis(25);
+
+/// Deadline for the proxy's own upstream connect.
+const UPSTREAM_CONNECT: Duration = Duration::from_secs(5);
+
+/// One injected fault on one direction of one connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Pass-through.
+    None,
+    /// Sleep once before relaying the first chunk.
+    Delay {
+        /// Added latency in milliseconds.
+        millis: u64,
+    },
+    /// Relay in `chunk`-byte pieces with `pause_millis` between them.
+    Throttle {
+        /// Bytes per partial write (minimum 1).
+        chunk: usize,
+        /// Pause between partial writes, in milliseconds.
+        pause_millis: u64,
+    },
+    /// Relay exactly `after_bytes` bytes, then close both directions
+    /// cleanly (EOF mid-frame for whatever was in flight).
+    Truncate {
+        /// Bytes relayed before the cut.
+        after_bytes: usize,
+    },
+    /// Relay exactly `after_bytes` bytes, then tear the connection down
+    /// abruptly (reset-style: no orderly half-close sequence).
+    Reset {
+        /// Bytes relayed before the reset.
+        after_bytes: usize,
+    },
+    /// Relay `after_bytes` bytes, then keep consuming the source but stop
+    /// forwarding: bytes disappear with no close and no error.
+    SilentDrop {
+        /// Bytes relayed before the drop begins.
+        after_bytes: usize,
+    },
+    /// Half-open: relay nothing in this direction, never close it.
+    Stall,
+}
+
+impl Fault {
+    /// Short machine-readable name, for labelling matrix cells and logs.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Fault::None => "none",
+            Fault::Delay { .. } => "delay",
+            Fault::Throttle { .. } => "throttle",
+            Fault::Truncate { .. } => "truncate",
+            Fault::Reset { .. } => "reset",
+            Fault::SilentDrop { .. } => "silent_drop",
+            Fault::Stall => "stall",
+        }
+    }
+}
+
+/// The pair of per-direction faults applied to one proxied connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConnPlan {
+    /// Fault on the client→server direction.
+    pub upstream: Fault,
+    /// Fault on the server→client direction.
+    pub downstream: Fault,
+}
+
+impl ConnPlan {
+    /// A clean pass-through plan.
+    pub fn clean() -> Self {
+        ConnPlan {
+            upstream: Fault::None,
+            downstream: Fault::None,
+        }
+    }
+
+    /// Fault on requests only; responses pass through.
+    pub fn upstream(fault: Fault) -> Self {
+        ConnPlan {
+            upstream: fault,
+            downstream: Fault::None,
+        }
+    }
+
+    /// Fault on responses only; requests pass through.
+    pub fn downstream(fault: Fault) -> Self {
+        ConnPlan {
+            upstream: Fault::None,
+            downstream: fault,
+        }
+    }
+}
+
+/// Deterministic map from connection index to [`ConnPlan`].
+#[derive(Debug, Clone)]
+pub struct FaultSchedule {
+    seed: u64,
+    mode: Mode,
+}
+
+#[derive(Debug, Clone)]
+enum Mode {
+    Clean,
+    /// The same plan for the first `conns` connections, clean after.
+    Fixed {
+        plan: ConnPlan,
+        conns: u32,
+    },
+    /// A seeded random plan for each of the first `conns` connections,
+    /// clean after.
+    Random {
+        conns: u32,
+    },
+}
+
+impl FaultSchedule {
+    /// No faults at all (a transparent proxy — the control cell).
+    pub fn clean() -> Self {
+        FaultSchedule {
+            seed: 0,
+            mode: Mode::Clean,
+        }
+    }
+
+    /// The same `plan` for the first `conns` connections, clean after —
+    /// the building block of the fault-matrix tests: a bounded number of
+    /// identical faults that a retrying client must ride out.
+    pub fn fixed(plan: ConnPlan, conns: u32) -> Self {
+        FaultSchedule {
+            seed: 0,
+            mode: Mode::Fixed { plan, conns },
+        }
+    }
+
+    /// A seeded random plan (fault kind, direction, parameters) for each
+    /// of the first `conns` connections, clean after. Identical seeds give
+    /// identical plan sequences.
+    pub fn random(seed: u64, conns: u32) -> Self {
+        FaultSchedule {
+            seed,
+            mode: Mode::Random { conns },
+        }
+    }
+
+    /// The plan for the `index`-th accepted connection (0-based).
+    /// Deterministic in `(self, index)`.
+    pub fn plan_for(&self, index: u32) -> ConnPlan {
+        match &self.mode {
+            Mode::Clean => ConnPlan::clean(),
+            Mode::Fixed { plan, conns } => {
+                if index < *conns {
+                    *plan
+                } else {
+                    ConnPlan::clean()
+                }
+            }
+            Mode::Random { conns } => {
+                if index >= *conns {
+                    return ConnPlan::clean();
+                }
+                let stream = split_stream(derive_seed(self.seed, "cv-chaos.plan"), index as u64);
+                let mut rng = SplitMix64::seed_from_u64(stream);
+                let fault = random_fault(&mut rng);
+                // Truncating the request vs the response exercises the two
+                // ends' robustness separately; both must converge.
+                if rng.random_bool(0.5) {
+                    ConnPlan::upstream(fault)
+                } else {
+                    ConnPlan::downstream(fault)
+                }
+            }
+        }
+    }
+}
+
+/// Draws one of the six non-trivial fault kinds with deterministic
+/// parameters. Time-shaped faults keep their parameters small (≤ 200 ms
+/// added latency, ≥ 64-byte throttle chunks) so they slow a session down
+/// without mimicking a dead peer; byte-shaped cutoffs land inside the
+/// first kilobyte, where every protocol exchange has traffic.
+fn random_fault(rng: &mut SplitMix64) -> Fault {
+    match rng.random_range(0..6u32) {
+        0 => Fault::Delay {
+            millis: rng.random_range(20..=200u64),
+        },
+        1 => Fault::Throttle {
+            chunk: rng.random_range(64..=256usize),
+            pause_millis: rng.random_range(2..=10u64),
+        },
+        2 => Fault::Truncate {
+            after_bytes: rng.random_range(1..=512usize),
+        },
+        3 => Fault::Reset {
+            after_bytes: rng.random_range(0..=512usize),
+        },
+        4 => Fault::SilentDrop {
+            after_bytes: rng.random_range(0..=512usize),
+        },
+        _ => Fault::Stall,
+    }
+}
+
+/// A running fault-injection proxy.
+///
+/// Dropping (or calling [`ChaosProxy::shutdown`]) closes the listener,
+/// tears down every relayed connection — including stalled ones — and
+/// joins all proxy threads.
+pub struct ChaosProxy {
+    local: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accepted: Arc<AtomicU32>,
+    accept: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl ChaosProxy {
+    /// Binds a loopback listener and starts relaying to `upstream` under
+    /// `schedule`.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from binding the listener.
+    pub fn start(upstream: SocketAddr, schedule: FaultSchedule) -> std::io::Result<ChaosProxy> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let local = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let accepted = Arc::new(AtomicU32::new(0));
+        let conns = Arc::new(Mutex::new(Vec::new()));
+        let accept = {
+            let shutdown = Arc::clone(&shutdown);
+            let accepted = Arc::clone(&accepted);
+            let conns = Arc::clone(&conns);
+            std::thread::spawn(move || {
+                accept_loop(&listener, upstream, &schedule, &shutdown, &accepted, &conns);
+            })
+        };
+        Ok(ChaosProxy {
+            local,
+            shutdown,
+            accepted,
+            accept: Some(accept),
+            conns,
+        })
+    }
+
+    /// The proxy's listening address (point the client here).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local
+    }
+
+    /// Connections accepted so far — after a run, this is how many attempts
+    /// the client actually made through the proxy.
+    pub fn connections(&self) -> u32 {
+        self.accepted.load(Ordering::SeqCst)
+    }
+
+    /// Stops accepting, tears down every relay (stalled ones included) and
+    /// joins all proxy threads.
+    pub fn shutdown(mut self) {
+        self.finish();
+    }
+
+    fn finish(&mut self) {
+        if !self.shutdown.swap(true, Ordering::SeqCst) {
+            // Wake the blocked accept call.
+            let _ = TcpStream::connect(self.local);
+        }
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        let handles = std::mem::take(&mut *self.conns.lock().expect("conns poisoned"));
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ChaosProxy {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    upstream: SocketAddr,
+    schedule: &FaultSchedule,
+    shutdown: &Arc<AtomicBool>,
+    accepted: &Arc<AtomicU32>,
+    conns: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    loop {
+        let Ok((client, _peer)) = listener.accept() else {
+            if shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            continue;
+        };
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let index = accepted.fetch_add(1, Ordering::SeqCst);
+        let plan = schedule.plan_for(index);
+        let Ok(server) = TcpStream::connect_timeout(&upstream, UPSTREAM_CONNECT) else {
+            // Upstream gone: drop the client connection (it sees EOF).
+            continue;
+        };
+        let abort = Arc::new(AtomicBool::new(false));
+        let mut spawned = Vec::with_capacity(2);
+        for (fault, src, dst) in [
+            (plan.upstream, &client, &server),
+            (plan.downstream, &server, &client),
+        ] {
+            let (Ok(src), Ok(dst)) = (src.try_clone(), dst.try_clone()) else {
+                continue;
+            };
+            let shutdown = Arc::clone(shutdown);
+            let abort = Arc::clone(&abort);
+            spawned.push(std::thread::spawn(move || {
+                relay(&src, &dst, fault, &shutdown, &abort);
+            }));
+        }
+        conns.lock().expect("conns poisoned").extend(spawned);
+    }
+}
+
+/// Sleeps `millis` in [`POLL`]-sized increments, bailing early on
+/// shutdown/abort. Returns `false` if interrupted.
+fn interruptible_sleep(millis: u64, shutdown: &AtomicBool, abort: &AtomicBool) -> bool {
+    let mut remaining = Duration::from_millis(millis);
+    while remaining > Duration::ZERO {
+        if shutdown.load(Ordering::SeqCst) || abort.load(Ordering::SeqCst) {
+            return false;
+        }
+        let step = remaining.min(POLL);
+        std::thread::sleep(step);
+        remaining -= step;
+    }
+    true
+}
+
+/// Relays `src` → `dst` applying `fault`. Runs until EOF, a socket error,
+/// the fault's cutoff, proxy shutdown, or the connection's shared abort.
+fn relay(
+    src: &TcpStream,
+    dst: &TcpStream,
+    fault: Fault,
+    shutdown: &AtomicBool,
+    abort: &AtomicBool,
+) {
+    let _ = src.set_read_timeout(Some(POLL));
+    let _ = dst.set_write_timeout(Some(Duration::from_secs(2)));
+    let mut src_reader = match src.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut dst_writer = match dst.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+
+    let mut buf = [0u8; 4096];
+    let mut forwarded = 0usize;
+    let mut delayed = false;
+
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            let _ = src.shutdown(Shutdown::Both);
+            let _ = dst.shutdown(Shutdown::Both);
+            return;
+        }
+        if abort.load(Ordering::SeqCst) {
+            // The other direction hit its cutoff: finish the close.
+            let _ = dst_writer.flush();
+            let _ = dst.shutdown(Shutdown::Write);
+            return;
+        }
+        if matches!(fault, Fault::Stall) {
+            // Half-open: do not read, do not write, do not close.
+            std::thread::sleep(POLL);
+            continue;
+        }
+        let n = match src_reader.read(&mut buf) {
+            Ok(0) => {
+                // Source is done; propagate the FIN downstream.
+                let _ = dst.shutdown(Shutdown::Write);
+                return;
+            }
+            Ok(n) => n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                continue;
+            }
+            Err(_) => {
+                abort.store(true, Ordering::SeqCst);
+                let _ = dst.shutdown(Shutdown::Both);
+                return;
+            }
+        };
+        let chunk = &buf[..n];
+        let done = match fault {
+            Fault::None | Fault::Stall => forward(&mut dst_writer, chunk).is_err(),
+            Fault::Delay { millis } => {
+                if !delayed {
+                    delayed = true;
+                    interruptible_sleep(millis, shutdown, abort);
+                }
+                forward(&mut dst_writer, chunk).is_err()
+            }
+            Fault::Throttle {
+                chunk: piece,
+                pause_millis,
+            } => {
+                let mut failed = false;
+                for part in chunk.chunks(piece.max(1)) {
+                    if forward(&mut dst_writer, part).is_err() {
+                        failed = true;
+                        break;
+                    }
+                    if !interruptible_sleep(pause_millis, shutdown, abort) {
+                        break;
+                    }
+                }
+                failed
+            }
+            Fault::Truncate { after_bytes } | Fault::Reset { after_bytes } => {
+                let budget = after_bytes.saturating_sub(forwarded);
+                let take = budget.min(chunk.len());
+                let failed = take > 0 && forward(&mut dst_writer, &chunk[..take]).is_err();
+                forwarded += take;
+                if failed || forwarded >= after_bytes {
+                    abort.store(true, Ordering::SeqCst);
+                    if matches!(fault, Fault::Reset { .. }) {
+                        // Abrupt: both sockets, both halves, no draining.
+                        let _ = src.shutdown(Shutdown::Both);
+                        let _ = dst.shutdown(Shutdown::Both);
+                    } else {
+                        let _ = dst_writer.flush();
+                        let _ = dst.shutdown(Shutdown::Write);
+                        let _ = src.shutdown(Shutdown::Read);
+                    }
+                    return;
+                }
+                false
+            }
+            Fault::SilentDrop { after_bytes } => {
+                let budget = after_bytes.saturating_sub(forwarded);
+                let take = budget.min(chunk.len());
+                let failed = take > 0 && forward(&mut dst_writer, &chunk[..take]).is_err();
+                forwarded += take;
+                // Past the cutoff: keep consuming, forward nothing — the
+                // bytes silently vanish and the connection stays open.
+                failed
+            }
+        };
+        if done {
+            abort.store(true, Ordering::SeqCst);
+            let _ = src.shutdown(Shutdown::Both);
+            let _ = dst.shutdown(Shutdown::Both);
+            return;
+        }
+        if !matches!(
+            fault,
+            Fault::Truncate { .. } | Fault::Reset { .. } | Fault::SilentDrop { .. }
+        ) {
+            forwarded += n;
+        }
+    }
+}
+
+fn forward(dst: &mut TcpStream, bytes: &[u8]) -> std::io::Result<()> {
+    dst.write_all(bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufRead;
+
+    /// A trivial line-echo server for exercising the proxy without pulling
+    /// in cv-server (which depends on this crate for *its* tests).
+    fn echo_server() -> (SocketAddr, JoinHandle<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = std::thread::spawn(move || {
+            while let Ok((stream, _)) = listener.accept() {
+                std::thread::spawn(move || {
+                    let mut reader = std::io::BufReader::new(stream.try_clone().unwrap());
+                    let mut writer = stream;
+                    let mut line = String::new();
+                    loop {
+                        line.clear();
+                        match reader.read_line(&mut line) {
+                            Ok(0) | Err(_) => return,
+                            Ok(_) => {
+                                if line.trim() == "quit" {
+                                    return;
+                                }
+                                if writer.write_all(line.as_bytes()).is_err() {
+                                    return;
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        (addr, handle)
+    }
+
+    fn request_line(
+        addr: SocketAddr,
+        line: &str,
+        read_timeout: Duration,
+    ) -> std::io::Result<String> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(read_timeout))?;
+        stream.write_all(format!("{line}\n").as_bytes())?;
+        let mut reader = std::io::BufReader::new(stream);
+        let mut reply = String::new();
+        let n = reader.read_line(&mut reply)?;
+        if n == 0 || !reply.ends_with('\n') {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "peer closed mid-line",
+            ));
+        }
+        Ok(reply.trim_end().to_string())
+    }
+
+    #[test]
+    fn clean_schedule_is_transparent() {
+        let (addr, _server) = echo_server();
+        let proxy = ChaosProxy::start(addr, FaultSchedule::clean()).unwrap();
+        let reply = request_line(proxy.local_addr(), "hello", Duration::from_secs(2)).unwrap();
+        assert_eq!(reply, "hello");
+        assert_eq!(proxy.connections(), 1);
+        proxy.shutdown();
+    }
+
+    #[test]
+    fn delay_and_throttle_deliver_intact_but_slow() {
+        let (addr, _server) = echo_server();
+        for fault in [
+            Fault::Delay { millis: 80 },
+            Fault::Throttle {
+                chunk: 2,
+                pause_millis: 5,
+            },
+        ] {
+            let proxy =
+                ChaosProxy::start(addr, FaultSchedule::fixed(ConnPlan::downstream(fault), 1))
+                    .unwrap();
+            let t0 = std::time::Instant::now();
+            let reply = request_line(
+                proxy.local_addr(),
+                "payload-payload",
+                Duration::from_secs(5),
+            )
+            .unwrap();
+            assert_eq!(reply, "payload-payload", "{fault:?}");
+            assert!(
+                t0.elapsed() >= Duration::from_millis(20),
+                "{fault:?} added no latency"
+            );
+            proxy.shutdown();
+        }
+    }
+
+    #[test]
+    fn truncate_cuts_the_response_mid_line() {
+        let (addr, _server) = echo_server();
+        let proxy = ChaosProxy::start(
+            addr,
+            FaultSchedule::fixed(
+                ConnPlan::downstream(Fault::Truncate { after_bytes: 3 }),
+                u32::MAX,
+            ),
+        )
+        .unwrap();
+        let mut stream = TcpStream::connect(proxy.local_addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(2)))
+            .unwrap();
+        stream.write_all(b"hello-world\n").unwrap();
+        let mut got = Vec::new();
+        let mut buf = [0u8; 64];
+        loop {
+            match stream.read(&mut buf) {
+                Ok(0) => break,
+                Ok(n) => got.extend_from_slice(&buf[..n]),
+                Err(e) => panic!("expected clean EOF after truncation, got {e}"),
+            }
+        }
+        assert_eq!(got, b"hel", "exactly after_bytes relayed");
+        proxy.shutdown();
+    }
+
+    #[test]
+    fn reset_tears_the_connection_down() {
+        let (addr, _server) = echo_server();
+        let proxy = ChaosProxy::start(
+            addr,
+            FaultSchedule::fixed(ConnPlan::downstream(Fault::Reset { after_bytes: 0 }), 1),
+        )
+        .unwrap();
+        let mut stream = TcpStream::connect(proxy.local_addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(2)))
+            .unwrap();
+        stream.write_all(b"hello\n").unwrap();
+        let mut buf = [0u8; 64];
+        // Either an error (reset) or EOF — never data.
+        match stream.read(&mut buf) {
+            Ok(0) | Err(_) => {}
+            Ok(n) => panic!("reset relayed {n} bytes"),
+        }
+        proxy.shutdown();
+    }
+
+    #[test]
+    fn silent_drop_and_stall_starve_the_reader_without_closing() {
+        let (addr, _server) = echo_server();
+        for fault in [Fault::SilentDrop { after_bytes: 0 }, Fault::Stall] {
+            let proxy =
+                ChaosProxy::start(addr, FaultSchedule::fixed(ConnPlan::downstream(fault), 1))
+                    .unwrap();
+            let err = request_line(
+                proxy.local_addr(),
+                "anyone-there",
+                Duration::from_millis(300),
+            )
+            .expect_err("reader must starve");
+            assert!(
+                matches!(
+                    err.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ),
+                "{fault:?}: expected a read timeout, got {err:?}"
+            );
+            proxy.shutdown(); // must not hang on the stalled relay
+        }
+    }
+
+    #[test]
+    fn fixed_schedule_clears_after_budget_so_retry_succeeds() {
+        let (addr, _server) = echo_server();
+        let proxy = ChaosProxy::start(
+            addr,
+            FaultSchedule::fixed(ConnPlan::downstream(Fault::Truncate { after_bytes: 1 }), 2),
+        )
+        .unwrap();
+        let mut failures = 0;
+        let mut reply = None;
+        for _attempt in 0..4 {
+            match request_line(proxy.local_addr(), "eventually", Duration::from_secs(2)) {
+                Ok(r) => {
+                    reply = Some(r);
+                    break;
+                }
+                Err(_) => failures += 1,
+            }
+        }
+        assert_eq!(failures, 2, "exactly the scheduled number of faults");
+        assert_eq!(reply.as_deref(), Some("eventually"));
+        proxy.shutdown();
+    }
+
+    #[test]
+    fn random_schedules_are_reproducible_and_seed_sensitive() {
+        let a: Vec<ConnPlan> = (0..16)
+            .map(|i| FaultSchedule::random(7, 16).plan_for(i))
+            .collect();
+        let b: Vec<ConnPlan> = (0..16)
+            .map(|i| FaultSchedule::random(7, 16).plan_for(i))
+            .collect();
+        let c: Vec<ConnPlan> = (0..16)
+            .map(|i| FaultSchedule::random(8, 16).plan_for(i))
+            .collect();
+        assert_eq!(a, b, "same seed, same plans");
+        assert_ne!(a, c, "different seed, different plans");
+        // Past the budget the schedule is clean.
+        assert_eq!(FaultSchedule::random(7, 4).plan_for(4), ConnPlan::clean());
+        // All six fault kinds appear across a modest index range.
+        let mut kinds = std::collections::BTreeSet::new();
+        for i in 0..64 {
+            let plan = FaultSchedule::random(1, 64).plan_for(i);
+            for f in [plan.upstream, plan.downstream] {
+                if f != Fault::None {
+                    kinds.insert(f.name());
+                }
+            }
+        }
+        assert_eq!(kinds.len(), 6, "kinds seen: {kinds:?}");
+    }
+}

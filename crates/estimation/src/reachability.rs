@@ -150,6 +150,42 @@ mod tests {
         assert_eq!(v, Interval::new(0.0, 10.0));
     }
 
+    /// The Eq. 2 branch boundary, hit exactly: at `v = v_max` the
+    /// saturation time `t_sat = (v_max − v)/a_max` is exactly zero, so the
+    /// acceleration phase degenerates and the bound is pure cruise — and
+    /// the two closed-form branches must agree at `elapsed = t_sat`.
+    #[test]
+    fn saturation_boundary_at_exactly_v_max() {
+        let lim = limits();
+        for elapsed in [0.0, 0.3, 1.0, 7.5] {
+            // v = v_max exactly: cruise from t = 0.
+            let p = max_position(2.0, 10.0, elapsed, &lim);
+            assert!(
+                (p - (2.0 + 10.0 * elapsed)).abs() < 1e-12,
+                "elapsed {elapsed}: {p}"
+            );
+            // Mirror boundary: v = v_min exactly under full braking never
+            // moves backwards (v_min = 0 here).
+            let q = min_position(2.0, 0.0, elapsed, &lim);
+            assert!((q - 2.0).abs() < 1e-12, "elapsed {elapsed}: {q}");
+        }
+
+        // Continuity across the boundary: an initial velocity within ε of
+        // v_max gives a bound within O(ε) of the cruise value.
+        let eps = 1e-9;
+        let below = max_position(0.0, 10.0 - eps, 1.0, &lim);
+        let at = max_position(0.0, 10.0, 1.0, &lim);
+        assert!((below - at).abs() < 1e-8, "{below} vs {at}");
+
+        // elapsed = t_sat exactly (v = 8, a_max = 2 → t_sat = 1): the
+        // pre-saturation branch and the Eq. 2 saturated closed form
+        // p + v_max·τ − (v_max − v)²/(2 a_max) give the same bound.
+        let branch1 = max_position(0.0, 8.0, 1.0, &lim);
+        let branch2 = 10.0 * 1.0 - (10.0 - 8.0_f64).powi(2) / (2.0 * 2.0);
+        assert!((branch1 - branch2).abs() < 1e-12);
+        assert!((branch1 - 9.0).abs() < 1e-12);
+    }
+
     #[test]
     fn initial_velocity_above_vmax_is_clamped() {
         // Defensive: stale data may claim v > v_max; bound must stay sound

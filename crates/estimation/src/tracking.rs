@@ -262,6 +262,68 @@ mod tests {
         assert!((tf.last_time() - 0.5).abs() < 1e-12);
     }
 
+    /// Pins the message-triggered rollback replay (paper §III-B) against a
+    /// trace computed by hand from the filter equations: with `δ = 1`
+    /// everywhere, `R = diag(1/3, 1/3)` and process variance `δ_a²/3 = 1/3`.
+    /// The delayed message pins `(0.6, 10.0)` at `t = 0.05` with
+    /// `P = diag(1e-9, 1e-9)`; the replay is then exactly
+    ///
+    /// ```text
+    /// predict(a = 0.2, Δt = 0.05) → x = (1.10025, 10.01)
+    /// update(z₁ = (1.0, 10.5))    → x = (1.1002803921026938, 10.01121569469008)
+    /// predict(a = 0.5, Δt = 0.1)  → x = (2.103901961571702, 10.06121569469008)
+    /// update(z₂ = (2.1, 10.8))    → x = (2.104493963620591, 10.070328392211479)
+    /// ```
+    ///
+    /// evaluated step by step with the scalar closed forms of the predict
+    /// and Joseph-form update equations (independently of `KalmanFilter`).
+    #[test]
+    fn rollback_replay_matches_hand_computed_two_step_trace() {
+        let mut tf = TrackingFilter::new(SensorNoise::uniform(1.0), 0.0, 0.0, 0.0);
+        tf.on_measurement(&Measurement::new(1, 0.1, 1.0, 10.5, 0.5));
+        tf.on_measurement(&Measurement::new(1, 0.2, 2.1, 10.8, -0.3));
+        // Delayed exact message about t = 0.05, older than both records:
+        // roll back, pin, replay the two retained measurements.
+        tf.on_message(&Message::new(1, 0.05, 0.6, 10.0, 0.2));
+
+        assert!((tf.last_time() - 0.2).abs() < 1e-12);
+        assert!((tf.last_accel() - (-0.3)).abs() < 1e-12);
+
+        let (x, p) = tf.predicted(0.2);
+        assert!((x.x - 2.104_493_963_620_591).abs() < 1e-9, "x.x = {}", x.x);
+        assert!((x.y - 10.070_328_392_211_479).abs() < 1e-9, "x.y = {}", x.y);
+        assert!(
+            (p.a - 2.110_444_163_483_168_5e-5).abs() < 1e-9,
+            "p.a = {}",
+            p.a
+        );
+        assert!(
+            (p.b - 2.672_178_653_468_012e-4).abs() < 1e-9,
+            "p.b = {}",
+            p.b
+        );
+        assert!((p.c - p.b).abs() < 1e-15, "P must stay symmetric");
+        assert!(
+            (p.d - 4.112_984_659_349_492_6e-3).abs() < 1e-9,
+            "p.d = {}",
+            p.d
+        );
+
+        // Extrapolating past the replay uses the last replayed accel
+        // (−0.3): one more hand-computed prediction step to t = 0.25.
+        let (xe, _) = tf.predicted(0.25);
+        assert!(
+            (xe.x - 2.607_635_383_231_165_2).abs() < 1e-9,
+            "xe.x = {}",
+            xe.x
+        );
+        assert!(
+            (xe.y - 10.055_328_392_211_479).abs() < 1e-9,
+            "xe.y = {}",
+            xe.y
+        );
+    }
+
     #[test]
     fn out_of_order_measurement_is_ignored() {
         let mut tf = TrackingFilter::new(SensorNoise::uniform(1.0), 0.0, 0.0, 5.0);

@@ -1,7 +1,8 @@
 //! The batch-simulation daemon.
 //!
 //! Usage: `cargo run --release -p cv-server --bin cv-serve --
-//! [--addr 127.0.0.1:7878] [--queue-depth 8] [--workers 0]`
+//! [--addr 127.0.0.1:7878] [--queue-depth 8] [--workers 0]
+//! [--idle-timeout-secs 60]`
 //!
 //! Listens for newline-delimited JSON requests (see `cv_server::protocol`),
 //! runs submitted batches through the sharded worker pool, and streams
@@ -30,6 +31,8 @@ fn main() {
         addr: arg_string("--addr", "127.0.0.1:7878"),
         queue_capacity: arg_usize("--queue-depth", 8),
         workers: arg_usize("--workers", 0),
+        idle_timeout: std::time::Duration::from_secs(arg_usize("--idle-timeout-secs", 60) as u64),
+        ..ServerConfig::default()
     };
     let server = match Server::start(config) {
         Ok(server) => server,

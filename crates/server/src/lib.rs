@@ -41,8 +41,9 @@ pub mod server;
 pub mod wire;
 pub mod worker;
 
-pub use client::{Client, ClientError};
+pub use client::{Client, ClientConfig, ClientError, RetryPolicy};
 pub use protocol::{Event, JobStatus, Request, StackSpecWire};
 pub use queue::{JobQueue, QueueFull};
 pub use server::{Server, ServerConfig};
+pub use wire::{FrameError, FrameReader, MAX_FRAME_BYTES};
 pub use worker::{run_sharded, EpisodeProgress, JobOutcome};

@@ -112,7 +112,14 @@ impl<T> JobQueue<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Arc;
+    use std::sync::mpsc::{self, RecvTimeoutError};
+    use std::sync::{Arc, Barrier};
+    use std::time::Duration;
+
+    /// Upper bound on any single wait in these tests; generous so slow CI
+    /// never false-fails, but a hang still surfaces as a test failure
+    /// instead of a stuck run.
+    const DEADLINE: Duration = Duration::from_secs(10);
 
     #[test]
     fn fifo_order_and_backpressure() {
@@ -142,25 +149,77 @@ mod tests {
     #[test]
     fn pop_blocks_until_push_from_another_thread() {
         let q = Arc::new(JobQueue::new(1));
+        let rendezvous = Arc::new(Barrier::new(2));
+        let (tx, rx) = mpsc::channel();
         let consumer = {
             let q = Arc::clone(&q);
-            std::thread::spawn(move || q.pop())
+            let rendezvous = Arc::clone(&rendezvous);
+            std::thread::spawn(move || {
+                rendezvous.wait();
+                tx.send(q.pop()).expect("main is waiting on the channel");
+            })
         };
-        std::thread::sleep(std::time::Duration::from_millis(20));
+        rendezvous.wait();
+        // The queue is empty, so pop() cannot return yet — observing the
+        // channel (bounded, not a sleep) proves it blocks rather than
+        // spuriously returning.
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(50)),
+            Err(RecvTimeoutError::Timeout),
+            "pop returned from an empty queue"
+        );
         q.try_push(99).unwrap();
-        assert_eq!(consumer.join().unwrap(), Some(99));
+        assert_eq!(
+            rx.recv_timeout(DEADLINE)
+                .expect("push must wake the consumer"),
+            Some(99)
+        );
+        consumer.join().unwrap();
     }
 
     #[test]
     fn close_wakes_blocked_consumer() {
         let q = Arc::new(JobQueue::<u32>::new(1));
+        let rendezvous = Arc::new(Barrier::new(2));
+        let (tx, rx) = mpsc::channel();
         let consumer = {
             let q = Arc::clone(&q);
-            std::thread::spawn(move || q.pop())
+            let rendezvous = Arc::clone(&rendezvous);
+            std::thread::spawn(move || {
+                rendezvous.wait();
+                tx.send(q.pop()).expect("main is waiting on the channel");
+            })
         };
-        std::thread::sleep(std::time::Duration::from_millis(20));
+        rendezvous.wait();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(50)),
+            Err(RecvTimeoutError::Timeout),
+            "pop returned from an empty, open queue"
+        );
         q.close();
-        assert_eq!(consumer.join().unwrap(), None);
+        assert_eq!(
+            rx.recv_timeout(DEADLINE)
+                .expect("close must wake the consumer"),
+            None
+        );
+        consumer.join().unwrap();
+    }
+
+    #[test]
+    fn try_push_at_exact_capacity_returns_queue_full_without_blocking() {
+        let q = JobQueue::new(3);
+        for i in 0..3 {
+            q.try_push(i).unwrap();
+        }
+        // At exactly capacity the producer gets the typed error back
+        // immediately — even run on this single thread, where blocking
+        // would deadlock the test rather than time out.
+        assert_eq!(q.try_push(99), Err(QueueFull { capacity: 3 }));
+        assert_eq!(q.len(), 3, "the rejected item must not be buffered");
+        // Draining one slot re-admits exactly one item, no more.
+        assert_eq!(q.pop(), Some(0));
+        q.try_push(99).unwrap();
+        assert_eq!(q.try_push(100), Err(QueueFull { capacity: 3 }));
     }
 
     #[test]

@@ -18,21 +18,22 @@
 //! then drains: every accepted job still reaches a terminal frame.
 
 use std::collections::HashMap;
-use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use cv_sim::{BatchConfig, SimError, StackSpec};
 
 use crate::protocol::{Event, JobStatus, Request};
 use crate::queue::JobQueue;
-use crate::wire::Json;
+use crate::wire::{FrameError, FrameReader, Json, MAX_FRAME_BYTES};
 use crate::worker::{run_sharded, JobOutcome};
 
-/// How often an idle connection rechecks the shutdown flag.
+/// How often an idle connection rechecks the shutdown flag and its idle
+/// deadline.
 const READ_POLL: Duration = Duration::from_millis(200);
 
 /// Tunables for [`Server::start`].
@@ -45,6 +46,24 @@ pub struct ServerConfig {
     pub queue_capacity: usize,
     /// Worker threads per job (`0` = all available parallelism).
     pub workers: usize,
+    /// Per-connection idle deadline: a connection that produces no
+    /// complete frame for this long — including one stalled mid-frame
+    /// (half-open peer) — is closed, so a bad peer cannot pin a handler
+    /// thread forever.
+    pub idle_timeout: Duration,
+    /// Deadline for one streamed frame write to drain; a peer that stops
+    /// reading while its job streams gets disconnected (and its job
+    /// cancelled) once the socket buffer stays full this long.
+    pub write_timeout: Duration,
+    /// Malformed-frame quarantine threshold: after this many undecodable
+    /// frames the connection gets a final `quarantined` error frame and is
+    /// closed. Each malformed frame before that is answered with
+    /// `bad_request` and the connection keeps reading.
+    pub max_bad_frames: u32,
+    /// Per-frame size cap (see [`crate::wire::MAX_FRAME_BYTES`]); an
+    /// oversize line closes the connection (the stream is no longer
+    /// frame-aligned).
+    pub max_frame_bytes: usize,
 }
 
 impl Default for ServerConfig {
@@ -53,6 +72,10 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             queue_capacity: 8,
             workers: 0,
+            idle_timeout: Duration::from_secs(60),
+            write_timeout: Duration::from_secs(10),
+            max_bad_frames: 8,
+            max_frame_bytes: MAX_FRAME_BYTES,
         }
     }
 }
@@ -121,7 +144,7 @@ struct Shared {
     jobs: Mutex<HashMap<u64, Arc<JobState>>>,
     next_id: AtomicU64,
     shutdown: AtomicBool,
-    workers: usize,
+    config: ServerConfig,
     addr: SocketAddr,
     conns: Mutex<Vec<JoinHandle<()>>>,
 }
@@ -186,7 +209,7 @@ impl Server {
             jobs: Mutex::new(HashMap::new()),
             next_id: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
-            workers: config.workers,
+            config,
             addr,
             conns: Mutex::new(Vec::new()),
         });
@@ -285,28 +308,56 @@ fn write_frame(stream: &mut TcpStream, event: &Event) -> std::io::Result<()> {
 fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(READ_POLL));
+    let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
-    let mut reader = BufReader::new(read_half);
+    let mut reader = FrameReader::new(BufReader::new(read_half), shared.config.max_frame_bytes);
     let mut writer = stream;
-    let mut line = String::new();
+    let mut bad_frames = 0u32;
+    let mut last_frame = Instant::now();
 
     'conn: loop {
-        line.clear();
-        // Read one line, polling so idle connections notice shutdown.
-        loop {
-            match reader.read_line(&mut line) {
-                Ok(0) => return,
-                Ok(_) => break,
-                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
-                    if shared.shutdown.load(Ordering::SeqCst) && line.is_empty() {
+        // Read one frame, polling so idle or half-open connections notice
+        // shutdown and their idle deadline. A stalled mid-frame peer is
+        // indistinguishable from an idle one here: both stop producing
+        // complete frames, both get reaped by the same deadline.
+        let line = loop {
+            match reader.read_frame() {
+                Ok(line) => {
+                    last_frame = Instant::now();
+                    break line;
+                }
+                Err(e) if e.is_timeout() => {
+                    if shared.shutdown.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    if last_frame.elapsed() >= shared.config.idle_timeout {
+                        let err = Event::Error {
+                            code: "idle_timeout".into(),
+                            message: format!(
+                                "no complete frame in {:?}; closing",
+                                shared.config.idle_timeout
+                            ),
+                        };
+                        let _ = write_frame(&mut writer, &err);
                         return;
                     }
                 }
+                Err(FrameError::TooLong { limit }) => {
+                    // The stream is no longer frame-aligned; tell the peer
+                    // why and drop the connection.
+                    let err = Event::Error {
+                        code: "frame_too_long".into(),
+                        message: format!("request frame exceeds the {limit}-byte limit"),
+                    };
+                    let _ = write_frame(&mut writer, &err);
+                    return;
+                }
+                // Clean EOF, EOF mid-frame, or a hard socket error.
                 Err(_) => return,
             }
-        }
+        };
         let trimmed = line.trim();
         if trimmed.is_empty() {
             continue;
@@ -318,6 +369,19 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
         let request = match request {
             Ok(r) => r,
             Err(message) => {
+                bad_frames += 1;
+                if bad_frames >= shared.config.max_bad_frames {
+                    // Quarantine: this peer is speaking garbage; one final
+                    // typed frame, then the connection is gone.
+                    let err = Event::Error {
+                        code: "quarantined".into(),
+                        message: format!(
+                            "{bad_frames} malformed frames on one connection; closing"
+                        ),
+                    };
+                    let _ = write_frame(&mut writer, &err);
+                    return;
+                }
                 let err = Event::Error {
                     code: "bad_request".into(),
                     message,
@@ -475,7 +539,7 @@ fn runner_loop(shared: &Arc<Shared>) {
         let outcome = run_sharded(
             &job.batch,
             &job.spec,
-            effective_workers(shared.workers, job.batch.threads),
+            effective_workers(shared.config.workers, job.batch.threads),
             &state.cancel,
             |p| {
                 state.done.store(p.done, Ordering::Relaxed);

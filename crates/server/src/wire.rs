@@ -14,6 +14,146 @@
 //!   is NaN when no episode reached the target).
 
 use std::fmt::Write as _;
+use std::io::{BufRead, ErrorKind};
+
+/// Default upper bound on one newline-delimited frame, in bytes.
+///
+/// Generous for the protocol (the largest legitimate frame — a
+/// `batch_done` summary with per-episode vectors for an 80k-episode batch —
+/// stays under ~2 MiB), while still bounding what a malicious or broken
+/// peer can make either end buffer for a single line.
+pub const MAX_FRAME_BYTES: usize = 8 * 1024 * 1024;
+
+/// A failure while reading one newline-delimited frame.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The peer closed the connection at a frame boundary (clean EOF).
+    Closed,
+    /// The peer closed the connection mid-frame: `partial` bytes of an
+    /// unterminated line had arrived. The frame is unusable but the cause
+    /// is a transport-level disconnect, not a protocol violation.
+    Truncated {
+        /// Bytes of the unterminated line that had arrived before EOF.
+        partial: usize,
+    },
+    /// The line exceeded the configured cap before a newline appeared.
+    /// The stream is no longer frame-aligned; the connection must be closed.
+    TooLong {
+        /// The configured limit that was exceeded.
+        limit: usize,
+    },
+    /// An I/O error, including `WouldBlock`/`TimedOut` from read timeouts
+    /// (any partial line is retained, so the read can be resumed).
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Closed => write!(f, "connection closed"),
+            FrameError::Truncated { partial } => {
+                write!(f, "connection closed mid-frame ({partial} bytes buffered)")
+            }
+            FrameError::TooLong { limit } => {
+                write!(f, "frame exceeds the {limit}-byte limit")
+            }
+            FrameError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FrameError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl FrameError {
+    /// Whether this error is a read-timeout (`WouldBlock`/`TimedOut`) that
+    /// the caller may simply retry (the partial line is retained).
+    pub fn is_timeout(&self) -> bool {
+        matches!(
+            self,
+            FrameError::Io(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut)
+        )
+    }
+}
+
+/// Reads newline-delimited frames with a hard per-frame size cap.
+///
+/// Both the client and the server read through this: it is what turns a
+/// half-delivered line (connection cut mid-frame) into the typed
+/// [`FrameError::Truncated`] instead of a silently mis-parsed partial JSON
+/// document, and a runaway line into [`FrameError::TooLong`] instead of
+/// unbounded buffering. Read timeouts surface as [`FrameError::Io`] with
+/// the partial line retained, so a polling caller resumes where it left
+/// off.
+pub struct FrameReader<R> {
+    inner: R,
+    line: Vec<u8>,
+    max: usize,
+}
+
+impl<R: BufRead> FrameReader<R> {
+    /// Wraps a buffered reader with the given per-frame byte cap.
+    pub fn new(inner: R, max_frame_bytes: usize) -> Self {
+        FrameReader {
+            inner,
+            line: Vec::new(),
+            max: max_frame_bytes.max(1),
+        }
+    }
+
+    /// Bytes of an unterminated line currently buffered.
+    pub fn pending(&self) -> usize {
+        self.line.len()
+    }
+
+    /// Reads the next `\n`-terminated frame (terminator stripped).
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::Closed`] on clean EOF, [`FrameError::Truncated`] on
+    /// EOF mid-line, [`FrameError::TooLong`] when the cap is exceeded, and
+    /// [`FrameError::Io`] for socket errors (including read timeouts,
+    /// which are resumable).
+    pub fn read_frame(&mut self) -> Result<String, FrameError> {
+        loop {
+            let buf = match self.inner.fill_buf() {
+                Ok(buf) => buf,
+                Err(e) => return Err(FrameError::Io(e)),
+            };
+            if buf.is_empty() {
+                return if self.line.is_empty() {
+                    Err(FrameError::Closed)
+                } else {
+                    Err(FrameError::Truncated {
+                        partial: self.line.len(),
+                    })
+                };
+            }
+            if let Some(nl) = buf.iter().position(|&b| b == b'\n') {
+                self.line.extend_from_slice(&buf[..nl]);
+                self.inner.consume(nl + 1);
+                if self.line.len() > self.max {
+                    return Err(FrameError::TooLong { limit: self.max });
+                }
+                let frame = String::from_utf8_lossy(&self.line).into_owned();
+                self.line.clear();
+                return Ok(frame);
+            }
+            let n = buf.len();
+            self.line.extend_from_slice(buf);
+            self.inner.consume(n);
+            if self.line.len() > self.max {
+                return Err(FrameError::TooLong { limit: self.max });
+            }
+        }
+    }
+}
 
 /// A parsed JSON value.
 ///
@@ -589,6 +729,106 @@ mod tests {
             // Bit-identical floats, not just PartialEq (which this also is).
             assert_eq!(back, v, "encoded: {}", v.encode());
             assert_eq!(back.encode(), v.encode());
+        }
+    }
+
+    mod frame_reader {
+        use super::super::{FrameError, FrameReader};
+        use std::io::{BufReader, Read};
+
+        fn reader(bytes: &[u8], max: usize) -> FrameReader<BufReader<&[u8]>> {
+            FrameReader::new(BufReader::new(bytes), max)
+        }
+
+        #[test]
+        fn splits_frames_and_reports_clean_eof() {
+            let mut r = reader(b"one\ntwo\n", 64);
+            assert_eq!(r.read_frame().unwrap(), "one");
+            assert_eq!(r.read_frame().unwrap(), "two");
+            assert!(matches!(r.read_frame(), Err(FrameError::Closed)));
+        }
+
+        #[test]
+        fn eof_mid_line_is_truncated_not_a_frame() {
+            let mut r = reader(b"complete\n{\"op\":\"pi", 64);
+            assert_eq!(r.read_frame().unwrap(), "complete");
+            match r.read_frame() {
+                Err(FrameError::Truncated { partial }) => assert_eq!(partial, "{\"op\":\"pi".len()),
+                other => panic!("expected Truncated, got {other:?}"),
+            }
+        }
+
+        #[test]
+        fn oversize_line_is_too_long_never_buffered_unboundedly() {
+            let big = vec![b'x'; 300];
+            let mut r = reader(&big, 64);
+            match r.read_frame() {
+                Err(FrameError::TooLong { limit }) => assert_eq!(limit, 64),
+                other => panic!("expected TooLong, got {other:?}"),
+            }
+            // A terminated line just over the cap is also rejected.
+            let mut line = vec![b'y'; 65];
+            line.push(b'\n');
+            let mut r = reader(&line, 64);
+            assert!(matches!(r.read_frame(), Err(FrameError::TooLong { .. })));
+            // At exactly the cap it passes.
+            let mut line = vec![b'z'; 64];
+            line.push(b'\n');
+            let mut r = reader(&line, 64);
+            assert_eq!(r.read_frame().unwrap().len(), 64);
+        }
+
+        /// A reader that yields `WouldBlock` between two halves of a line,
+        /// like a socket read timeout mid-frame.
+        struct Stutter {
+            parts: Vec<Vec<u8>>,
+            blocked: bool,
+        }
+
+        impl Read for Stutter {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                if !self.blocked {
+                    self.blocked = true;
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::WouldBlock,
+                        "stutter",
+                    ));
+                }
+                self.blocked = false;
+                match self.parts.first_mut() {
+                    None => Ok(0),
+                    Some(part) => {
+                        let n = part.len().min(buf.len());
+                        buf[..n].copy_from_slice(&part[..n]);
+                        part.drain(..n);
+                        if part.is_empty() {
+                            self.parts.remove(0);
+                        }
+                        Ok(n)
+                    }
+                }
+            }
+        }
+
+        #[test]
+        fn timeouts_retain_the_partial_line_and_resume() {
+            let stutter = Stutter {
+                parts: vec![b"hel".to_vec(), b"lo\n".to_vec()],
+                blocked: false,
+            };
+            let mut r = FrameReader::new(BufReader::new(stutter), 64);
+            let mut timeouts = 0;
+            loop {
+                match r.read_frame() {
+                    Ok(frame) => {
+                        assert_eq!(frame, "hello");
+                        break;
+                    }
+                    Err(e) if e.is_timeout() => timeouts += 1,
+                    Err(other) => panic!("unexpected error {other:?}"),
+                }
+            }
+            assert!(timeouts >= 2, "saw {timeouts} timeouts");
         }
     }
 }

@@ -151,6 +151,7 @@ fn full_queue_pushes_back_with_a_typed_error_frame() {
         addr: "127.0.0.1:0".into(),
         queue_capacity: 1,
         workers: 1,
+        ..ServerConfig::default()
     })
     .unwrap();
     let addr = server.local_addr();
@@ -205,6 +206,7 @@ fn shutdown_drains_in_flight_jobs_before_exiting() {
         addr: "127.0.0.1:0".into(),
         queue_capacity: 4,
         workers: 1,
+        ..ServerConfig::default()
     })
     .unwrap();
     let addr = server.local_addr();
@@ -254,6 +256,7 @@ fn cancel_request_stops_a_running_job() {
         addr: "127.0.0.1:0".into(),
         queue_capacity: 4,
         workers: 1,
+        ..ServerConfig::default()
     })
     .unwrap();
     let addr = server.local_addr();

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Chaos soak: the full fault matrix and session storm from
+# crates/server/tests/chaos_e2e.rs (the #[ignore]d soak test), in release
+# mode, under a hard wall-clock cap.
+#
+# The soak runs the 6-fault-kind matrix over a wide seed sweep TWICE and
+# compares the per-cell outcome vectors (seed reproducibility), then runs
+# rounds of concurrent sessions through per-session random-fault proxies
+# against one shared server. Tunables:
+#
+#   CV_SOAK_SEEDS         seeds per fault kind   (default 16)
+#   CV_SOAK_TIMEOUT_SECS  hard wall-clock cap    (default 1800)
+#
+# Examples:
+#   scripts/soak.sh                      # default sweep
+#   CV_SOAK_SEEDS=64 scripts/soak.sh     # wider sweep, same cap
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+: "${CV_SOAK_SEEDS:=16}"
+: "${CV_SOAK_TIMEOUT_SECS:=1800}"
+export CV_SOAK_SEEDS
+
+echo "soak: ${CV_SOAK_SEEDS} seeds/fault-kind, cap ${CV_SOAK_TIMEOUT_SECS}s"
+timeout "${CV_SOAK_TIMEOUT_SECS}" \
+  cargo test --release --offline -p cv-server --test chaos_e2e -- \
+  --ignored --nocapture
+echo "soak: clean"

@@ -18,3 +18,9 @@ cargo clippy --offline --workspace -- -D warnings -W clippy::perf
 cargo run -q --release --offline -p bench --bin exp_throughput -- \
   --sims 8 --threads 2 --reps 2 --out target/tier1-throughput-smoke.json
 test -s target/tier1-throughput-smoke.json
+
+# Chaos smoke run: the seeded fault matrix through the cv-chaos proxy in
+# release mode (timings differ from the debug pass above), under a hard
+# wall-clock cap so a hang in any networking path fails the gate instead
+# of wedging it. The full matrix/soak lives in scripts/soak.sh.
+timeout 300 cargo test -q --release --offline -p cv-server --test chaos_e2e

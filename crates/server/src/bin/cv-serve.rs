@@ -2,7 +2,13 @@
 //!
 //! Usage: `cargo run --release -p cv-server --bin cv-serve --
 //! [--addr 127.0.0.1:7878] [--queue-depth 8] [--workers 0]
-//! [--idle-timeout-secs 60]`
+//! [--idle-timeout-secs 60] [--max-pending-episodes 0] [--panic-budget 3]`
+//!
+//! `--max-pending-episodes` caps episodes admitted but not yet resolved
+//! across all jobs (0 = unlimited); a submission over the cap gets a
+//! terminal `overloaded` frame with a retry hint. `--panic-budget` is how
+//! many contained panics one episode seed may cause before it is
+//! quarantined (skipped, typed) on later encounters.
 //!
 //! Listens for newline-delimited JSON requests (see `cv_server::protocol`),
 //! runs submitted batches through the sharded worker pool, and streams
@@ -32,6 +38,8 @@ fn main() {
         queue_capacity: arg_usize("--queue-depth", 8),
         workers: arg_usize("--workers", 0),
         idle_timeout: std::time::Duration::from_secs(arg_usize("--idle-timeout-secs", 60) as u64),
+        max_pending_episodes: arg_usize("--max-pending-episodes", 0),
+        panic_budget: arg_usize("--panic-budget", 3) as u32,
         ..ServerConfig::default()
     };
     let server = match Server::start(config) {

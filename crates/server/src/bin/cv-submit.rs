@@ -5,11 +5,18 @@
 //! ```text
 //! cv-submit [--addr 127.0.0.1:7878] [--episodes 16] [--seed 1]
 //!           [--stack teacher_conservative|teacher_aggressive]
-//!           [--comm none|delayed|lost] [--drop-prob 0.0] [--quiet]
+//!           [--comm none|delayed|lost] [--drop-prob 0.0]
+//!           [--deadline-ms N] [--quiet]
 //! cv-submit status   [--addr …]
-//! cv-submit cancel JOB [--addr …]
+//! cv-submit cancel JOB [--addr …]      # or: cv-submit --cancel JOB
 //! cv-submit shutdown [--addr …]
 //! ```
+//!
+//! `--deadline-ms` asks the server to stop the job (at episode-step
+//! granularity) once that many milliseconds have passed since admission;
+//! the partial summary streamed back covers exactly the episodes that
+//! finished. `--cancel JOB` is a flag-style alias for the `cancel`
+//! subcommand.
 //!
 //! The batch uses the paper's defaults: template `EpisodeConfig::paper_default`,
 //! the 20-point `p_1(0)` start grid, per-episode seeds `base_seed + i`.
@@ -57,7 +64,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let subcommand = args
         .iter()
-        .find(|a| matches!(a.as_str(), "status" | "cancel" | "shutdown"))
+        .find(|a| matches!(a.as_str(), "status" | "cancel" | "--cancel" | "shutdown"))
         .cloned()
         .unwrap_or_default();
     match subcommand.as_str() {
@@ -67,12 +74,15 @@ fn main() {
                 .unwrap_or_else(|e| die(e.to_string()));
             print_status(&reply);
         }
-        "cancel" => {
-            let pos = args.iter().position(|a| a == "cancel").unwrap();
+        "cancel" | "--cancel" => {
+            let pos = args
+                .iter()
+                .position(|a| a == "cancel" || a == "--cancel")
+                .unwrap();
             let job = args
                 .get(pos + 1)
                 .and_then(|a| a.parse().ok())
-                .unwrap_or_else(|| die("usage: cv-submit cancel JOB".into()));
+                .unwrap_or_else(|| die("usage: cv-submit cancel JOB (or --cancel JOB)".into()));
             let reply = client
                 .round_trip(&Request::Cancel { job })
                 .unwrap_or_else(|e| die(e.to_string()));
@@ -97,6 +107,11 @@ fn submit(client: &mut Client) {
     let episodes = arg_usize("--episodes", 16);
     let seed = arg_usize("--seed", 1) as u64;
     let quiet = has_flag("--quiet");
+    let deadline_ms = if has_flag("--deadline-ms") {
+        Some(arg_usize("--deadline-ms", 0) as u64)
+    } else {
+        None
+    };
     let stack = StackSpecWire::from_name(&arg_string("--stack", "teacher_conservative"))
         .unwrap_or_else(|e| die(e.to_string()));
 
@@ -110,7 +125,7 @@ fn submit(client: &mut Client) {
     let batch = BatchConfig::new(template, episodes);
 
     let summary = client
-        .submit_batch(&batch, stack, |event| match event {
+        .submit_batch_deadline(&batch, stack, deadline_ms, |event| match event {
             Event::Accepted { job, queued_ahead } => {
                 eprintln!("job {job} accepted ({queued_ahead} ahead in queue)");
             }
@@ -125,6 +140,27 @@ fn submit(client: &mut Client) {
                 eprintln!(
                     "episode {index:>4}: eta = {eta:+.4}   [{done}/{total}, ~{eta_secs:.1}s left]"
                 );
+            }
+            Event::EpisodeFault {
+                index,
+                kind,
+                detail,
+                ..
+            } => {
+                eprintln!("episode {index:>4}: {kind} — {detail}");
+            }
+            Event::Overloaded { retry_after_ms } => {
+                eprintln!("server overloaded; suggested retry in {retry_after_ms} ms");
+            }
+            Event::Cancelled { done, partial, .. }
+            | Event::DeadlineExceeded { done, partial, .. } => {
+                eprintln!("job stopped early after {done} episodes");
+                if let Some(p) = partial {
+                    eprintln!(
+                        "partial: {} completed, {} failed, {} panicked, {} skipped of {}",
+                        p.episodes, p.failed, p.panicked, p.skipped, p.requested
+                    );
+                }
             }
             _ => {}
         })

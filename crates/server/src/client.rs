@@ -13,7 +13,7 @@
 
 use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use cv_rng::{derive_seed, Rng, SplitMix64};
 use cv_sim::{BatchConfig, BatchSummary};
@@ -67,6 +67,11 @@ pub struct RetryPolicy {
     pub max_delay: Duration,
     /// Seed for the jitter stream.
     pub jitter_seed: u64,
+    /// Optional bound on the *total* time spent across attempts and
+    /// backoff sleeps: once the next sleep would cross it, the last error
+    /// is returned instead of retrying. `None` bounds retries only by
+    /// `max_attempts`.
+    pub retry_deadline: Option<Duration>,
 }
 
 impl Default for RetryPolicy {
@@ -76,6 +81,7 @@ impl Default for RetryPolicy {
             base_delay: Duration::from_millis(50),
             max_delay: Duration::from_secs(2),
             jitter_seed: 0,
+            retry_deadline: None,
         }
     }
 }
@@ -141,6 +147,20 @@ pub enum ClientError {
         /// Episodes finished before cancellation.
         done: usize,
     },
+    /// The server refused admission: queue or episode budget saturated.
+    /// Retryable — and the server's hint is honoured by
+    /// [`Client::submit_with_retry`] as a floor on the next backoff sleep.
+    Overloaded {
+        /// Server-suggested minimum wait before retrying, milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The job's deadline expired server-side. Terminal: resubmitting the
+    /// same deadline would expire the same way; the caller must decide
+    /// what to do with the partial results it streamed.
+    DeadlineExceeded {
+        /// Episodes finished before expiry.
+        done: usize,
+    },
 }
 
 impl std::fmt::Display for ClientError {
@@ -154,6 +174,12 @@ impl std::fmt::Display for ClientError {
             ClientError::Server { code, message } => write!(f, "server error [{code}]: {message}"),
             ClientError::Cancelled { done } => {
                 write!(f, "job cancelled after {done} episodes")
+            }
+            ClientError::Overloaded { retry_after_ms } => {
+                write!(f, "server overloaded; retry after {retry_after_ms} ms")
+            }
+            ClientError::DeadlineExceeded { done } => {
+                write!(f, "job deadline exceeded after {done} episodes")
             }
         }
     }
@@ -179,9 +205,13 @@ impl ClientError {
     /// can plausibly succeed.
     pub fn is_retryable(&self) -> bool {
         match self {
-            ClientError::Io(_) | ClientError::Timeout { .. } => true,
+            ClientError::Io(_) | ClientError::Timeout { .. } | ClientError::Overloaded { .. } => {
+                true
+            }
             ClientError::Server { code, .. } => code == "queue_full",
-            ClientError::Protocol(_) | ClientError::Cancelled { .. } => false,
+            ClientError::Protocol(_)
+            | ClientError::Cancelled { .. }
+            | ClientError::DeadlineExceeded { .. } => false,
         }
     }
 }
@@ -353,6 +383,28 @@ impl Client {
         &mut self,
         batch: &BatchConfig,
         stack: StackSpecWire,
+        on_event: F,
+    ) -> Result<BatchSummary, ClientError>
+    where
+        F: FnMut(&Event),
+    {
+        self.submit_batch_deadline(batch, stack, None, on_event)
+    }
+
+    /// [`Client::submit_batch`] with an optional per-job deadline
+    /// (milliseconds from server-side admission; queue wait counts).
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::submit_batch`], plus [`ClientError::DeadlineExceeded`]
+    /// when the deadline expires server-side (partial progress streamed via
+    /// `on_event` up to that point) and [`ClientError::Overloaded`] when
+    /// admission is refused.
+    pub fn submit_batch_deadline<F>(
+        &mut self,
+        batch: &BatchConfig,
+        stack: StackSpecWire,
+        deadline_ms: Option<u64>,
         mut on_event: F,
     ) -> Result<BatchSummary, ClientError>
     where
@@ -361,6 +413,7 @@ impl Client {
         self.send(&Request::SubmitBatch {
             batch: batch.clone(),
             stack,
+            deadline_ms,
         })?;
         loop {
             let event = self.recv()?;
@@ -368,10 +421,17 @@ impl Client {
             match event {
                 Event::BatchDone { summary, .. } => return Ok(summary),
                 Event::Cancelled { done, .. } => return Err(ClientError::Cancelled { done }),
+                Event::DeadlineExceeded { done, .. } => {
+                    return Err(ClientError::DeadlineExceeded { done })
+                }
+                Event::Overloaded { retry_after_ms } => {
+                    return Err(ClientError::Overloaded { retry_after_ms })
+                }
                 Event::Error { code, message } => {
                     return Err(ClientError::Server { code, message })
                 }
-                Event::Accepted { .. } | Event::EpisodeDone { .. } => {}
+                Event::Accepted { .. } | Event::EpisodeDone { .. } | Event::EpisodeFault { .. } => {
+                }
                 other => {
                     return Err(ClientError::Protocol(format!(
                         "unexpected frame during submission: {other:?}"
@@ -401,6 +461,35 @@ impl Client {
         config: &ClientConfig,
         batch: &BatchConfig,
         stack: StackSpecWire,
+        on_event: F,
+        on_retry: R,
+    ) -> Result<BatchSummary, ClientError>
+    where
+        F: FnMut(&Event),
+        R: FnMut(u32, &ClientError),
+    {
+        Client::submit_with_retry_deadline(addr, config, batch, stack, None, on_event, on_retry)
+    }
+
+    /// [`Client::submit_with_retry`] with an optional per-job deadline.
+    ///
+    /// Two extra behaviours over the plain retry loop: a server
+    /// [`ClientError::Overloaded`] hint becomes a *floor* on the next
+    /// backoff sleep (the server knows its queue depth better than the
+    /// client's blind exponential), and the policy's `retry_deadline`
+    /// bounds the total time spent — once the next sleep would cross it,
+    /// the last error is returned instead of sleeping.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::submit_with_retry`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn submit_with_retry_deadline<F, R>(
+        addr: impl ToSocketAddrs,
+        config: &ClientConfig,
+        batch: &BatchConfig,
+        stack: StackSpecWire,
+        deadline_ms: Option<u64>,
         mut on_event: F,
         mut on_retry: R,
     ) -> Result<BatchSummary, ClientError>
@@ -409,15 +498,26 @@ impl Client {
         R: FnMut(u32, &ClientError),
     {
         let attempts = config.retry.max_attempts.max(1);
+        let t0 = Instant::now();
         let mut last = None;
         for attempt in 0..attempts {
-            let result = Client::connect_with(&addr, config.clone())
-                .and_then(|mut client| client.submit_batch(batch, stack, &mut on_event));
+            let result = Client::connect_with(&addr, config.clone()).and_then(|mut client| {
+                client.submit_batch_deadline(batch, stack, deadline_ms, &mut on_event)
+            });
             match result {
                 Ok(summary) => return Ok(summary),
                 Err(e) if e.is_retryable() && attempt + 1 < attempts => {
+                    let mut sleep = config.retry.backoff(attempt);
+                    if let ClientError::Overloaded { retry_after_ms } = &e {
+                        sleep = sleep.max(Duration::from_millis(*retry_after_ms));
+                    }
+                    if let Some(budget) = config.retry.retry_deadline {
+                        if t0.elapsed() + sleep >= budget {
+                            return Err(e);
+                        }
+                    }
                     on_retry(attempt, &e);
-                    std::thread::sleep(config.retry.backoff(attempt));
+                    std::thread::sleep(sleep);
                     last = Some(e);
                 }
                 Err(e) => return Err(e),
@@ -438,6 +538,7 @@ mod tests {
             base_delay: Duration::from_millis(100),
             max_delay: Duration::from_secs(1),
             jitter_seed: 42,
+            retry_deadline: None,
         };
         for attempt in 0..6 {
             let a = policy.backoff(attempt);
@@ -471,6 +572,7 @@ mod tests {
                 code: "queue_full".into(),
                 message: "at capacity".into(),
             },
+            ClientError::Overloaded { retry_after_ms: 75 },
         ];
         let terminal: Vec<ClientError> = vec![
             ClientError::Protocol("garbage".into()),
@@ -487,6 +589,7 @@ mod tests {
                 code: "quarantined".into(),
                 message: "too many malformed frames".into(),
             },
+            ClientError::DeadlineExceeded { done: 9 },
         ];
         for e in &retryable {
             assert!(e.is_retryable(), "{e} should be retryable");

@@ -7,14 +7,21 @@
 //!
 //! * one request or response frame per line, hand-rolled JSON ([`wire`]) —
 //!   the build environment has no crates.io access, so no serde/tokio;
-//! * a bounded FIFO job queue with typed backpressure ([`queue`]): when the
-//!   queue is full the client gets a `queue_full` error frame immediately;
-//! * a sharded worker pool ([`worker`]) that reuses [`cv_sim::run_episode`]
-//!   per derived seed, keeping results **bit-identical** to an in-process
-//!   `run_batch` of the same [`cv_sim::BatchConfig`];
+//! * a bounded FIFO job queue plus an episode-count admission budget, both
+//!   surfaced as typed backpressure ([`queue`]): a saturated server answers
+//!   a submission with a terminal `overloaded` frame carrying a
+//!   `retry_after_ms` hint instead of queueing or resetting;
+//! * a supervised sharded worker pool ([`worker`]): episodes run under
+//!   `catch_unwind` with per-seed panic quarantine, jobs carry optional
+//!   deadlines and honour cancellation at episode-step granularity, and a
+//!   job that stops early still flushes a typed partial
+//!   [`cv_sim::BatchSummary`] over exactly the episodes that finished —
+//!   results stay **bit-identical** to an in-process `run_batch` of the
+//!   same [`cv_sim::BatchConfig`];
 //! * streamed progress (`episode_done` frames with the episode's `η` and a
-//!   remaining-time estimate) followed by one terminal `batch_done` frame
-//!   carrying the [`cv_sim::BatchSummary`];
+//!   remaining-time estimate, `episode_fault` frames for contained
+//!   failures) followed by one terminal frame: `batch_done`, `cancelled`,
+//!   `deadline_exceeded`, or a typed error;
 //! * graceful shutdown: the accept loop stops, the queue drains, and every
 //!   accepted job still reaches its terminal frame.
 //!
@@ -43,7 +50,7 @@ pub mod worker;
 
 pub use client::{Client, ClientConfig, ClientError, RetryPolicy};
 pub use protocol::{Event, JobStatus, Request, StackSpecWire};
-pub use queue::{JobQueue, QueueFull};
+pub use queue::{JobQueue, PushError};
 pub use server::{Server, ServerConfig};
 pub use wire::{FrameError, FrameReader, MAX_FRAME_BYTES};
-pub use worker::{run_sharded, EpisodeProgress, JobOutcome};
+pub use worker::{run_sharded, EpisodeProgress, FaultKind, JobLimits, JobOutcome, Progress};

@@ -38,6 +38,13 @@ fn field<'a>(v: &'a Json, key: &str) -> Result<&'a Json, DecodeError> {
         .ok_or_else(|| bad(format!("missing field '{key}'")))
 }
 
+/// A float field that may legitimately be NaN (encoded as `null`).
+fn nan_field(v: &Json, key: &str) -> Result<f64, DecodeError> {
+    field(v, key)?
+        .as_f64_lossy()
+        .ok_or_else(|| bad(format!("field '{key}' must be a number or null")))
+}
+
 fn f64_field(v: &Json, key: &str) -> Result<f64, DecodeError> {
     field(v, key)?
         .as_f64()
@@ -74,6 +81,12 @@ pub enum StackSpecWire {
     TeacherConservative,
     /// `StackSpec::pure_teacher_aggressive` over the submitted template.
     TeacherAggressive,
+    /// `StackSpec::panic_injection` over the submitted template, panicking
+    /// on the template's own seed (episode 0 of a default batch). Only
+    /// nameable when the server was built with the `fault-injection`
+    /// feature — production builds reject the name at decode time.
+    #[cfg(feature = "fault-injection")]
+    PanicInjection,
 }
 
 impl StackSpecWire {
@@ -82,6 +95,8 @@ impl StackSpecWire {
         match self {
             StackSpecWire::TeacherConservative => "teacher_conservative",
             StackSpecWire::TeacherAggressive => "teacher_aggressive",
+            #[cfg(feature = "fault-injection")]
+            StackSpecWire::PanicInjection => "panic_injection",
         }
     }
 
@@ -94,6 +109,8 @@ impl StackSpecWire {
         match name {
             "teacher_conservative" => Ok(StackSpecWire::TeacherConservative),
             "teacher_aggressive" => Ok(StackSpecWire::TeacherAggressive),
+            #[cfg(feature = "fault-injection")]
+            "panic_injection" => Ok(StackSpecWire::PanicInjection),
             other => Err(bad(format!(
                 "unknown stack '{other}' (expected teacher_conservative or teacher_aggressive)"
             ))),
@@ -112,6 +129,10 @@ impl StackSpecWire {
             }
             StackSpecWire::TeacherAggressive => {
                 StackSpec::pure_teacher_aggressive(template).map_err(|e| e.to_string())
+            }
+            #[cfg(feature = "fault-injection")]
+            StackSpecWire::PanicInjection => {
+                StackSpec::panic_injection(template, vec![template.seed]).map_err(|e| e.to_string())
             }
         }
     }
@@ -308,16 +329,25 @@ pub fn batch_from_json(v: &Json) -> Result<BatchConfig, DecodeError> {
 
 /// Encodes a [`BatchSummary`] as a JSON object.
 ///
-/// `reaching_time` (and its per-episode entries) may be NaN, which encodes
-/// as `null`; the decoder maps `null` back to NaN, so a summary round-trips
+/// `reaching_time` (and its per-episode entries) may be NaN, as may the
+/// mean statistics of a partial summary that completed zero episodes
+/// (cancelled or expired before the first result); NaN encodes as `null`
+/// and the decoder maps `null` back to NaN, so a summary round-trips
 /// through the wire with [`BatchSummary::stats_eq`] holding.
 pub fn summary_to_json(s: &BatchSummary) -> Json {
     Json::obj(vec![
         ("episodes", Json::Int(s.episodes as i128)),
+        ("requested", Json::Int(s.requested as i128)),
+        ("failed", Json::Int(s.failed as i128)),
+        ("panicked", Json::Int(s.panicked as i128)),
+        ("skipped", Json::Int(s.skipped as i128)),
         ("reaching_time", Json::num_or_null(s.reaching_time)),
-        ("safe_rate", Json::Num(s.safe_rate)),
-        ("eta_mean", Json::Num(s.eta_mean)),
-        ("emergency_frequency", Json::Num(s.emergency_frequency)),
+        ("safe_rate", Json::num_or_null(s.safe_rate)),
+        ("eta_mean", Json::num_or_null(s.eta_mean)),
+        (
+            "emergency_frequency",
+            Json::num_or_null(s.emergency_frequency),
+        ),
         (
             "etas",
             Json::Arr(s.etas.iter().map(|x| Json::num_or_null(*x)).collect()),
@@ -355,12 +385,14 @@ pub fn summary_from_json(v: &Json) -> Result<BatchSummary, DecodeError> {
     }
     Ok(BatchSummary {
         episodes: usize_field(v, "episodes")?,
-        reaching_time: field(v, "reaching_time")?
-            .as_f64_lossy()
-            .ok_or_else(|| bad("field 'reaching_time' must be a number or null"))?,
-        safe_rate: f64_field(v, "safe_rate")?,
-        eta_mean: f64_field(v, "eta_mean")?,
-        emergency_frequency: f64_field(v, "emergency_frequency")?,
+        requested: usize_field(v, "requested")?,
+        failed: usize_field(v, "failed")?,
+        panicked: usize_field(v, "panicked")?,
+        skipped: usize_field(v, "skipped")?,
+        reaching_time: nan_field(v, "reaching_time")?,
+        safe_rate: nan_field(v, "safe_rate")?,
+        eta_mean: nan_field(v, "eta_mean")?,
+        emergency_frequency: nan_field(v, "emergency_frequency")?,
         etas: lossy_vec(v, "etas")?,
         reaching_times: lossy_vec(v, "reaching_times")?,
         wall_time_secs: f64_field(v, "wall_time_secs")?,
@@ -382,6 +414,10 @@ pub enum Request {
         batch: BatchConfig,
         /// Which planner stack to run it with.
         stack: StackSpecWire,
+        /// Optional job deadline, milliseconds from admission. Queue wait
+        /// counts against it; expiry stops the job at episode-step
+        /// granularity with a typed `deadline_exceeded` event.
+        deadline_ms: Option<u64>,
     },
     /// Report queue/job state — all jobs, or one if `job` is given.
     Status {
@@ -403,11 +439,21 @@ impl Request {
     /// Encodes the request as one JSON frame.
     pub fn to_json(&self) -> Json {
         match self {
-            Request::SubmitBatch { batch, stack } => Json::obj(vec![
-                ("op", Json::str("submit_batch")),
-                ("batch", batch_to_json(batch)),
-                ("stack", Json::str(stack.name())),
-            ]),
+            Request::SubmitBatch {
+                batch,
+                stack,
+                deadline_ms,
+            } => {
+                let mut pairs = vec![
+                    ("op", Json::str("submit_batch")),
+                    ("batch", batch_to_json(batch)),
+                    ("stack", Json::str(stack.name())),
+                ];
+                if let Some(ms) = deadline_ms {
+                    pairs.push(("deadline_ms", Json::Int(*ms as i128)));
+                }
+                Json::obj(pairs)
+            }
             Request::Status { job } => {
                 let mut pairs = vec![("op", Json::str("status"))];
                 if let Some(id) = job {
@@ -434,6 +480,12 @@ impl Request {
             "submit_batch" => Ok(Request::SubmitBatch {
                 batch: batch_from_json(field(v, "batch")?)?,
                 stack: StackSpecWire::from_name(str_field(v, "stack")?)?,
+                deadline_ms: match v.get("deadline_ms") {
+                    None | Some(Json::Null) => None,
+                    Some(ms) => Some(ms.as_u64().ok_or_else(|| {
+                        bad("field 'deadline_ms' must be a non-negative integer")
+                    })?),
+                },
             }),
             "status" => Ok(Request::Status {
                 job: match v.get("job") {
@@ -492,6 +544,39 @@ pub enum Event {
         job: u64,
         /// Episodes that had finished before cancellation.
         done: usize,
+        /// Partial statistics over exactly those episodes (absent when the
+        /// job was cancelled while still queued).
+        partial: Option<BatchSummary>,
+    },
+    /// The job's deadline passed; terminal frame for a submission.
+    DeadlineExceeded {
+        /// Job id.
+        job: u64,
+        /// Episodes that had finished before expiry.
+        done: usize,
+        /// Partial statistics over exactly those episodes.
+        partial: Option<BatchSummary>,
+    },
+    /// One episode resolved without a result (typed error, contained
+    /// panic, or quarantined seed); the batch keeps running. Non-terminal.
+    EpisodeFault {
+        /// Job id.
+        job: u64,
+        /// Episode index within the batch.
+        index: usize,
+        /// The episode seed.
+        seed: u64,
+        /// `failed`, `panicked`, or `quarantined`.
+        kind: String,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// Admission control refused the submission: the queue or the in-flight
+    /// episode budget is saturated. Terminal for a submission; the hint is
+    /// honoured by `submit_with_retry` as a backoff floor.
+    Overloaded {
+        /// Suggested minimum wait before retrying, milliseconds.
+        retry_after_ms: u64,
     },
     /// Something went wrong; terminal when it answers a submission.
     Error {
@@ -561,10 +646,45 @@ impl Event {
                 ("job", Json::Int(*job as i128)),
                 ("summary", summary_to_json(summary)),
             ]),
-            Event::Cancelled { job, done } => Json::obj(vec![
-                ("event", Json::str("cancelled")),
+            Event::Cancelled { job, done, partial } => {
+                let mut pairs = vec![
+                    ("event", Json::str("cancelled")),
+                    ("job", Json::Int(*job as i128)),
+                    ("done", Json::Int(*done as i128)),
+                ];
+                if let Some(p) = partial {
+                    pairs.push(("partial", summary_to_json(p)));
+                }
+                Json::obj(pairs)
+            }
+            Event::DeadlineExceeded { job, done, partial } => {
+                let mut pairs = vec![
+                    ("event", Json::str("deadline_exceeded")),
+                    ("job", Json::Int(*job as i128)),
+                    ("done", Json::Int(*done as i128)),
+                ];
+                if let Some(p) = partial {
+                    pairs.push(("partial", summary_to_json(p)));
+                }
+                Json::obj(pairs)
+            }
+            Event::EpisodeFault {
+                job,
+                index,
+                seed,
+                kind,
+                detail,
+            } => Json::obj(vec![
+                ("event", Json::str("episode_fault")),
                 ("job", Json::Int(*job as i128)),
-                ("done", Json::Int(*done as i128)),
+                ("index", Json::Int(*index as i128)),
+                ("seed", Json::Int(*seed as i128)),
+                ("kind", Json::str(kind.clone())),
+                ("detail", Json::str(detail.clone())),
+            ]),
+            Event::Overloaded { retry_after_ms } => Json::obj(vec![
+                ("event", Json::str("overloaded")),
+                ("retry_after_ms", Json::Int(*retry_after_ms as i128)),
             ]),
             Event::Error { code, message } => Json::obj(vec![
                 ("event", Json::str("error")),
@@ -633,6 +753,28 @@ impl Event {
             "cancelled" => Ok(Event::Cancelled {
                 job: u64_field(v, "job")?,
                 done: usize_field(v, "done")?,
+                partial: match v.get("partial") {
+                    None | Some(Json::Null) => None,
+                    Some(p) => Some(summary_from_json(p)?),
+                },
+            }),
+            "deadline_exceeded" => Ok(Event::DeadlineExceeded {
+                job: u64_field(v, "job")?,
+                done: usize_field(v, "done")?,
+                partial: match v.get("partial") {
+                    None | Some(Json::Null) => None,
+                    Some(p) => Some(summary_from_json(p)?),
+                },
+            }),
+            "episode_fault" => Ok(Event::EpisodeFault {
+                job: u64_field(v, "job")?,
+                index: usize_field(v, "index")?,
+                seed: u64_field(v, "seed")?,
+                kind: str_field(v, "kind")?.to_string(),
+                detail: str_field(v, "detail")?.to_string(),
+            }),
+            "overloaded" => Ok(Event::Overloaded {
+                retry_after_ms: u64_field(v, "retry_after_ms")?,
             }),
             "error" => Ok(Event::Error {
                 code: str_field(v, "code")?.to_string(),
@@ -703,6 +845,12 @@ mod tests {
             Request::SubmitBatch {
                 batch: sample_batch(),
                 stack: StackSpecWire::TeacherAggressive,
+                deadline_ms: None,
+            },
+            Request::SubmitBatch {
+                batch: sample_batch(),
+                stack: StackSpecWire::TeacherConservative,
+                deadline_ms: Some(2_500),
             },
             Request::Status { job: None },
             Request::Status { job: Some(3) },
@@ -719,6 +867,10 @@ mod tests {
     fn summary_with_nan_reaching_time_roundtrips_stats_eq() {
         let summary = BatchSummary {
             episodes: 2,
+            requested: 4,
+            failed: 1,
+            panicked: 1,
+            skipped: 0,
             reaching_time: f64::NAN,
             safe_rate: 0.5,
             eta_mean: -0.25,
@@ -749,7 +901,21 @@ mod tests {
                 total: 16,
                 eta_secs: 1.5,
             },
-            Event::Cancelled { job: 1, done: 3 },
+            Event::Cancelled {
+                job: 1,
+                done: 3,
+                partial: None,
+            },
+            Event::EpisodeFault {
+                job: 1,
+                index: 7,
+                seed: 42,
+                kind: "panicked".into(),
+                detail: "injected planner fault".into(),
+            },
+            Event::Overloaded {
+                retry_after_ms: 250,
+            },
             Event::Error {
                 code: "queue_full".into(),
                 message: "queue is at capacity (4 jobs)".into(),

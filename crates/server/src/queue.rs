@@ -1,9 +1,11 @@
 //! Bounded FIFO job queue with backpressure.
 //!
 //! Producers (connection handlers) never block: [`JobQueue::try_push`]
-//! returns [`QueueFull`] immediately when the queue is at capacity, which
-//! the server translates into a `queue_full` error frame — backpressure is
-//! pushed all the way out to the client instead of buffering unboundedly.
+//! returns a typed [`PushError`] immediately — [`PushError::Full`] when the
+//! queue is at capacity (the server translates it into an `overloaded`
+//! event carrying a retry hint) and [`PushError::Closed`] once shutdown has
+//! begun — so backpressure is pushed all the way out to the client instead
+//! of buffering unboundedly or stranding items in a closing queue.
 //! The single consumer (the job runner) blocks on [`JobQueue::pop`], which
 //! drains remaining items after [`JobQueue::close`] before reporting
 //! exhaustion — that drain is what makes shutdown graceful.
@@ -11,20 +13,32 @@
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
 
-/// Typed backpressure error: the queue is at capacity.
+/// Typed reasons [`JobQueue::try_push`] can refuse an item.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct QueueFull {
-    /// The configured capacity that was hit.
-    pub capacity: usize,
+pub enum PushError {
+    /// The queue is at capacity; the item may be retried later.
+    Full {
+        /// The configured capacity that was hit.
+        capacity: usize,
+    },
+    /// The queue is closed (shutdown began); the item can never be
+    /// accepted. Distinct from [`PushError::Full`] because the caller's
+    /// remedy differs: retrying a closed queue is futile.
+    Closed,
 }
 
-impl std::fmt::Display for QueueFull {
+impl std::fmt::Display for PushError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "job queue is at capacity ({} jobs)", self.capacity)
+        match self {
+            PushError::Full { capacity } => {
+                write!(f, "job queue is at capacity ({capacity} jobs)")
+            }
+            PushError::Closed => write!(f, "job queue is closed"),
+        }
     }
 }
 
-impl std::error::Error for QueueFull {}
+impl std::error::Error for PushError {}
 
 struct Inner<T> {
     items: VecDeque<T>,
@@ -70,14 +84,18 @@ impl<T> JobQueue<T> {
     ///
     /// # Errors
     ///
-    /// [`QueueFull`] at capacity; closed queues also refuse new items (as
-    /// `QueueFull`, since the caller's remedy — report and retry later — is
-    /// the same, and the server rejects submissions before this once
-    /// shutdown begins).
-    pub fn try_push(&self, item: T) -> Result<(), QueueFull> {
+    /// [`PushError::Full`] at capacity; [`PushError::Closed`] once
+    /// [`JobQueue::close`] has run, however the two calls were interleaved
+    /// — an item pushed concurrently with `close` either lands in the queue
+    /// (and is drained by [`JobQueue::pop`]) or gets the typed error back,
+    /// never silently stranded.
+    pub fn try_push(&self, item: T) -> Result<(), PushError> {
         let mut inner = self.inner.lock().expect("queue poisoned");
-        if inner.closed || inner.items.len() >= self.capacity {
-            return Err(QueueFull {
+        if inner.closed {
+            return Err(PushError::Closed);
+        }
+        if inner.items.len() >= self.capacity {
+            return Err(PushError::Full {
                 capacity: self.capacity,
             });
         }
@@ -126,7 +144,7 @@ mod tests {
         let q = JobQueue::new(2);
         q.try_push(1).unwrap();
         q.try_push(2).unwrap();
-        assert_eq!(q.try_push(3), Err(QueueFull { capacity: 2 }));
+        assert_eq!(q.try_push(3), Err(PushError::Full { capacity: 2 }));
         assert_eq!(q.pop(), Some(1));
         q.try_push(3).unwrap();
         assert_eq!(q.pop(), Some(2));
@@ -140,7 +158,7 @@ mod tests {
         q.try_push("a").unwrap();
         q.try_push("b").unwrap();
         q.close();
-        assert!(q.try_push("c").is_err());
+        assert_eq!(q.try_push("c"), Err(PushError::Closed));
         assert_eq!(q.pop(), Some("a"));
         assert_eq!(q.pop(), Some("b"));
         assert_eq!(q.pop(), None);
@@ -214,12 +232,49 @@ mod tests {
         // At exactly capacity the producer gets the typed error back
         // immediately — even run on this single thread, where blocking
         // would deadlock the test rather than time out.
-        assert_eq!(q.try_push(99), Err(QueueFull { capacity: 3 }));
+        assert_eq!(q.try_push(99), Err(PushError::Full { capacity: 3 }));
         assert_eq!(q.len(), 3, "the rejected item must not be buffered");
         // Draining one slot re-admits exactly one item, no more.
         assert_eq!(q.pop(), Some(0));
         q.try_push(99).unwrap();
-        assert_eq!(q.try_push(100), Err(QueueFull { capacity: 3 }));
+        assert_eq!(q.try_push(100), Err(PushError::Full { capacity: 3 }));
+    }
+
+    #[test]
+    fn push_after_concurrent_close_is_typed_closed_not_silent_success() {
+        // Barrier-sequenced close/push race: the closer thread runs
+        // `close()` strictly between the two barrier crossings, so by the
+        // time the producer pushes, the queue is provably closed — the push
+        // must come back as the typed `Closed` error, and the item must not
+        // be silently stranded in a queue nobody will drain.
+        let q = Arc::new(JobQueue::new(4));
+        let seq = Arc::new(Barrier::new(2));
+        let closer = {
+            let q = Arc::clone(&q);
+            let seq = Arc::clone(&seq);
+            std::thread::spawn(move || {
+                seq.wait(); // 1: producer is ready
+                q.close();
+                seq.wait(); // 2: close has completed
+            })
+        };
+        seq.wait(); // 1
+        seq.wait(); // 2 — happens-after close()
+        assert_eq!(q.try_push(7), Err(PushError::Closed));
+        assert_eq!(q.len(), 0, "the refused item must not be stranded");
+        assert_eq!(q.pop(), None, "closed and empty: pop reports exhaustion");
+        closer.join().unwrap();
+    }
+
+    #[test]
+    fn closed_beats_full_in_the_race() {
+        // A queue that is both full and closed reports Closed: retrying is
+        // futile, and the caller must learn that rather than backing off
+        // forever against a server that is shutting down.
+        let q = JobQueue::new(1);
+        q.try_push(1).unwrap();
+        q.close();
+        assert_eq!(q.try_push(2), Err(PushError::Closed));
     }
 
     #[test]

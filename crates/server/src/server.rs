@@ -25,12 +25,12 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use cv_sim::{BatchConfig, SimError, StackSpec};
+use cv_sim::{BatchConfig, Quarantine, SimError, StackSpec};
 
 use crate::protocol::{Event, JobStatus, Request};
-use crate::queue::JobQueue;
+use crate::queue::{JobQueue, PushError};
 use crate::wire::{FrameError, FrameReader, Json, MAX_FRAME_BYTES};
-use crate::worker::{run_sharded, JobOutcome};
+use crate::worker::{run_sharded, JobLimits, JobOutcome, Progress};
 
 /// How often an idle connection rechecks the shutdown flag and its idle
 /// deadline.
@@ -42,7 +42,7 @@ pub struct ServerConfig {
     /// Bind address (`127.0.0.1:0` for an OS-assigned ephemeral port).
     pub addr: String,
     /// Maximum queued (not yet running) jobs before submissions are
-    /// rejected with `queue_full`.
+    /// refused with a terminal `overloaded` event carrying a retry hint.
     pub queue_capacity: usize,
     /// Worker threads per job (`0` = all available parallelism).
     pub workers: usize,
@@ -64,6 +64,16 @@ pub struct ServerConfig {
     /// oversize line closes the connection (the stream is no longer
     /// frame-aligned).
     pub max_frame_bytes: usize,
+    /// Admission-control ceiling on episodes admitted but not yet resolved
+    /// (queued + running), across all jobs. A submission that would exceed
+    /// it gets a terminal `overloaded` event with a retry hint instead of
+    /// being queued. `0` disables the episode budget (the bounded job
+    /// queue still applies).
+    pub max_pending_episodes: usize,
+    /// How many contained panics a single episode seed may cause before the
+    /// server quarantines it: further episodes with that seed are skipped
+    /// (typed, counted in summaries) rather than re-run. Floor 1.
+    pub panic_budget: u32,
 }
 
 impl Default for ServerConfig {
@@ -76,6 +86,8 @@ impl Default for ServerConfig {
             write_timeout: Duration::from_secs(10),
             max_bad_frames: 8,
             max_frame_bytes: MAX_FRAME_BYTES,
+            max_pending_episodes: 0,
+            panic_budget: 3,
         }
     }
 }
@@ -87,6 +99,7 @@ enum Phase {
     Running,
     Done,
     Cancelled,
+    DeadlineExceeded,
     Failed,
 }
 
@@ -97,6 +110,7 @@ impl Phase {
             Phase::Running => "running",
             Phase::Done => "done",
             Phase::Cancelled => "cancelled",
+            Phase::DeadlineExceeded => "deadline_exceeded",
             Phase::Failed => "failed",
         }
     }
@@ -136,6 +150,8 @@ struct Job {
     state: Arc<JobState>,
     batch: BatchConfig,
     spec: StackSpec,
+    /// Absolute deadline, fixed at admission so queue wait counts too.
+    deadline: Option<Instant>,
     events: std::sync::mpsc::Sender<Event>,
 }
 
@@ -147,6 +163,15 @@ struct Shared {
     config: ServerConfig,
     addr: SocketAddr,
     conns: Mutex<Vec<JoinHandle<()>>>,
+    /// Episodes admitted but not yet resolved, across all jobs; the unit
+    /// the admission budget and the `retry_after_ms` hint are computed in.
+    pending_episodes: AtomicUsize,
+    /// EWMA of observed per-episode wall time, nanoseconds; seeds the
+    /// overload retry hint before any job has completed.
+    ewma_episode_nanos: AtomicU64,
+    /// Panic-budget bookkeeping for repeat-offender seeds, shared across
+    /// every job this server runs.
+    quarantine: Quarantine,
 }
 
 impl Shared {
@@ -170,6 +195,31 @@ impl Shared {
             .collect();
         out.sort_by_key(|j| j.job);
         out
+    }
+
+    /// Suggested client backoff before resubmitting, derived from how much
+    /// admitted work is in front of a new job: pending episodes times the
+    /// smoothed per-episode wall time, divided across the worker threads
+    /// that will chew through it. Clamped so the hint is never a busy-loop
+    /// nor an unbounded stall.
+    fn retry_after_ms(&self) -> u64 {
+        let pending = self.pending_episodes.load(Ordering::Relaxed) as u64;
+        let ewma_nanos = self.ewma_episode_nanos.load(Ordering::Relaxed);
+        let workers = effective_workers(self.config.workers, 0) as u64;
+        let est_ms = pending.saturating_mul(ewma_nanos) / workers.max(1) / 1_000_000;
+        est_ms.clamp(50, 10_000)
+    }
+
+    /// Folds one completed job's measured per-episode time into the EWMA.
+    fn observe_episode_time(&self, wall: Duration, episodes: usize) {
+        if episodes == 0 {
+            return;
+        }
+        let sample = (wall.as_nanos() as u64) / episodes as u64;
+        let old = self.ewma_episode_nanos.load(Ordering::Relaxed);
+        let next = old / 5 * 4 + sample / 5;
+        self.ewma_episode_nanos
+            .store(next.max(1), Ordering::Relaxed);
     }
 
     fn draining(&self) -> usize {
@@ -209,9 +259,15 @@ impl Server {
             jobs: Mutex::new(HashMap::new()),
             next_id: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
+            quarantine: Quarantine::new(config.panic_budget),
             config,
             addr,
             conns: Mutex::new(Vec::new()),
+            pending_episodes: AtomicUsize::new(0),
+            // Seed the hint with ~2 ms/episode, the observed order of
+            // magnitude for a paper-default episode; replaced by real
+            // measurements as soon as one job completes.
+            ewma_episode_nanos: AtomicU64::new(2_000_000),
         });
 
         let accept = {
@@ -427,8 +483,12 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
                 shared.begin_shutdown();
                 Event::ShutdownAck { draining }
             }
-            Request::SubmitBatch { batch, stack } => {
-                match handle_submit(&mut writer, shared, batch, stack) {
+            Request::SubmitBatch {
+                batch,
+                stack,
+                deadline_ms,
+            } => {
+                match handle_submit(&mut writer, shared, batch, stack, deadline_ms) {
                     Ok(()) => continue,
                     Err(()) => return, // client went away mid-stream
                 }
@@ -450,6 +510,7 @@ fn handle_submit(
     shared: &Arc<Shared>,
     batch: BatchConfig,
     stack: crate::protocol::StackSpecWire,
+    deadline_ms: Option<u64>,
 ) -> Result<(), ()> {
     let reject = |writer: &mut TcpStream, code: &str, message: String| {
         let err = Event::Error {
@@ -474,6 +535,20 @@ fn handle_submit(
         Err(message) => return reject(writer, "invalid_batch", message),
     };
 
+    // Admission control: refuse (typed, with a hint) rather than queue work
+    // the episode budget says the server cannot absorb. The budget is
+    // checked optimistically and claimed below only after the queue push
+    // succeeds, so a refused job never leaks pending count.
+    if shared.config.max_pending_episodes > 0 {
+        let pending = shared.pending_episodes.load(Ordering::Relaxed);
+        if pending.saturating_add(batch.episodes) > shared.config.max_pending_episodes {
+            let overloaded = Event::Overloaded {
+                retry_after_ms: shared.retry_after_ms(),
+            };
+            return write_frame(writer, &overloaded).map_err(|_| ());
+        }
+    }
+
     let id = shared.next_id.fetch_add(1, Ordering::Relaxed) + 1;
     let state = Arc::new(JobState {
         id,
@@ -483,15 +558,34 @@ fn handle_submit(
         cancel: AtomicBool::new(false),
     });
     let (tx, rx) = std::sync::mpsc::channel();
+    let episodes = batch.episodes;
     let job = Job {
         state: Arc::clone(&state),
         batch,
         spec,
+        deadline: deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms)),
         events: tx,
     };
     let queued_ahead = shared.queue.len();
-    if let Err(full) = shared.queue.try_push(job) {
-        return reject(writer, "queue_full", full.to_string());
+    match shared.queue.try_push(job) {
+        Ok(()) => {
+            shared
+                .pending_episodes
+                .fetch_add(episodes, Ordering::Relaxed);
+        }
+        Err(PushError::Full { .. }) => {
+            let overloaded = Event::Overloaded {
+                retry_after_ms: shared.retry_after_ms(),
+            };
+            return write_frame(writer, &overloaded).map_err(|_| ());
+        }
+        Err(PushError::Closed) => {
+            return reject(
+                writer,
+                "shutting_down",
+                "server is draining; not accepting work".into(),
+            );
+        }
     }
     shared
         .jobs
@@ -513,7 +607,10 @@ fn handle_submit(
     while let Ok(event) = rx.recv() {
         let terminal = matches!(
             event,
-            Event::BatchDone { .. } | Event::Cancelled { .. } | Event::Error { .. }
+            Event::BatchDone { .. }
+                | Event::Cancelled { .. }
+                | Event::DeadlineExceeded { .. }
+                | Event::Error { .. }
         );
         if write_frame(writer, &event).is_err() {
             state.cancel.store(true, Ordering::Relaxed);
@@ -530,37 +627,89 @@ fn runner_loop(shared: &Arc<Shared>) {
     while let Some(job) = shared.queue.pop() {
         let state = job.state;
         let id = state.id;
+        let total = job.batch.episodes;
         if state.cancel.load(Ordering::Relaxed) {
             state.set_phase(Phase::Cancelled);
-            let _ = job.events.send(Event::Cancelled { job: id, done: 0 });
+            shared.pending_episodes.fetch_sub(total, Ordering::Relaxed);
+            let _ = job.events.send(Event::Cancelled {
+                job: id,
+                done: 0,
+                partial: None,
+            });
             continue;
         }
         state.set_phase(Phase::Running);
+        let t0 = Instant::now();
+        let mut limits =
+            JobLimits::new(effective_workers(shared.config.workers, job.batch.threads));
+        if let Some(deadline) = job.deadline {
+            limits = limits.with_deadline(deadline);
+        }
+        // Episodes this job resolved (completed or faulted); whatever it
+        // never resolved is released from the pending budget at the end.
+        let resolved = std::cell::Cell::new(0usize);
         let outcome = run_sharded(
             &job.batch,
             &job.spec,
-            effective_workers(shared.config.workers, job.batch.threads),
+            limits,
             &state.cancel,
-            |p| {
-                state.done.store(p.done, Ordering::Relaxed);
-                let _ = job.events.send(Event::EpisodeDone {
-                    job: id,
-                    index: p.index,
-                    eta: p.eta,
-                    done: p.done,
-                    total: p.total,
-                    eta_secs: p.eta_secs,
-                });
+            Some(&shared.quarantine),
+            |progress| match progress {
+                Progress::Episode(p) => {
+                    resolved.set(resolved.get() + 1);
+                    shared.pending_episodes.fetch_sub(1, Ordering::Relaxed);
+                    state.done.store(p.done, Ordering::Relaxed);
+                    let _ = job.events.send(Event::EpisodeDone {
+                        job: id,
+                        index: p.index,
+                        eta: p.eta,
+                        done: p.done,
+                        total: p.total,
+                        eta_secs: p.eta_secs,
+                    });
+                }
+                Progress::Fault {
+                    index,
+                    seed,
+                    kind,
+                    detail,
+                } => {
+                    resolved.set(resolved.get() + 1);
+                    shared.pending_episodes.fetch_sub(1, Ordering::Relaxed);
+                    let _ = job.events.send(Event::EpisodeFault {
+                        job: id,
+                        index,
+                        seed,
+                        kind: kind.name().to_string(),
+                        detail,
+                    });
+                }
             },
         );
+        shared
+            .pending_episodes
+            .fetch_sub(total - resolved.get().min(total), Ordering::Relaxed);
         let terminal = match outcome {
             JobOutcome::Completed(summary) => {
                 state.set_phase(Phase::Done);
+                shared.observe_episode_time(t0.elapsed(), summary.episodes);
                 Event::BatchDone { job: id, summary }
             }
-            JobOutcome::Cancelled { done } => {
+            JobOutcome::Cancelled { done, partial } => {
                 state.set_phase(Phase::Cancelled);
-                Event::Cancelled { job: id, done }
+                Event::Cancelled {
+                    job: id,
+                    done,
+                    partial: Some(partial),
+                }
+            }
+            JobOutcome::DeadlineExceeded { done, partial } => {
+                state.set_phase(Phase::DeadlineExceeded);
+                Event::DeadlineExceeded {
+                    job: id,
+                    done,
+                    partial: Some(partial),
+                }
             }
             JobOutcome::Failed(error) => {
                 state.set_phase(Phase::Failed);

@@ -1,4 +1,4 @@
-//! Sharded execution of one batch job with streamed per-episode progress.
+//! Sharded, supervised execution of one batch job with streamed progress.
 //!
 //! The scheduling mirrors [`cv_sim::run_batch`]: every worker claims the
 //! next unclaimed episode index from a shared [`cv_sim::scheduler::WorkQueue`]
@@ -9,27 +9,89 @@
 //! `run_batch` of the same [`BatchConfig`], regardless of worker count,
 //! claim interleaving, or completion order.
 //!
-//! Workers report each finished episode over an [`mpsc`] channel to the
-//! coordinating thread (the job runner), which owns the progress callback
-//! and result assembly — callbacks never run concurrently. Cancellation is
-//! a relaxed [`AtomicBool`] checked between episodes; a simulation error in
-//! any shard aborts the others at the same granularity.
+//! Episodes run under the supervised executor
+//! ([`cv_sim::supervised_episode`]): a panicking planner yields a typed
+//! [`EpisodeOutcome::Panicked`] for that episode only, a per-episode
+//! simulation error yields [`EpisodeOutcome::Failed`], and quarantined
+//! seeds are skipped — the batch keeps going and completes with fault
+//! counts in its summary instead of dying.
+//!
+//! Workers report each resolved episode over an [`mpsc`] rendezvous channel
+//! to the coordinating thread (the job runner), which owns the progress
+//! callback and result assembly — callbacks never run concurrently. The
+//! coordinator polls the cancel flag and the job deadline between
+//! rendezvous; when either fires it flips a stop flag that the episode loop
+//! checks *every control step*, so a job stops at episode-step granularity
+//! and flushes a partial [`BatchSummary`]. If a shard thread dies outright,
+//! the coordinator's rescue pass re-runs its claimed-but-unreported
+//! episodes inline, preserving bit-identical results.
 
+use std::cell::Cell;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use cv_sim::scheduler::WorkQueue;
-use cv_sim::{BatchConfig, BatchSummary, EpisodeResult, EpisodeWorkspace, SimError, StackSpec};
+use cv_sim::{
+    supervised_episode, BatchConfig, BatchReport, BatchSummary, EpisodeOutcome, EpisodeWorkspace,
+    Quarantine, SimError, SkipReason, StackSpec,
+};
 
-/// One finished episode, as handed to the progress callback.
+/// How often the coordinator wakes to poll cancel/deadline while no episode
+/// is being handed over.
+const COORDINATOR_POLL: Duration = Duration::from_millis(50);
+
+/// Per-job execution limits.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JobLimits {
+    /// Worker shards (`0` is treated as 1; always clamped to the episode
+    /// count).
+    pub workers: usize,
+    /// Absolute deadline; when it passes, the job stops at episode-step
+    /// granularity and reports [`JobOutcome::DeadlineExceeded`].
+    pub deadline: Option<Instant>,
+    /// Test hook: worker `w` dies right after its next claim, leaving a
+    /// claimed-but-unreported episode for the supervisor's rescue pass.
+    /// Feature-gated so it cannot ship in a default build.
+    #[cfg(feature = "fault-injection")]
+    pub kill_worker: Option<usize>,
+}
+
+impl JobLimits {
+    /// Limits with the given worker count and no deadline.
+    pub fn new(workers: usize) -> Self {
+        JobLimits {
+            workers,
+            deadline: None,
+            #[cfg(feature = "fault-injection")]
+            kill_worker: None,
+        }
+    }
+
+    /// Attaches an absolute deadline.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Arms the kill-a-shard test hook for worker `w`.
+    #[cfg(feature = "fault-injection")]
+    #[must_use]
+    pub fn with_kill_worker(mut self, w: usize) -> Self {
+        self.kill_worker = Some(w);
+        self
+    }
+}
+
+/// One completed episode, as handed to the progress callback.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EpisodeProgress {
     /// Episode index within the batch (seed order).
     pub index: usize,
     /// The episode's `η` score.
     pub eta: f64,
-    /// Episodes finished so far (including this one).
+    /// Episodes completed so far (including this one).
     pub done: usize,
     /// Total episodes in the batch.
     pub total: usize,
@@ -38,122 +100,304 @@ pub struct EpisodeProgress {
     pub eta_secs: f64,
 }
 
+/// Why an episode resolved without a result (the batch keeps going).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A typed simulation error.
+    Failed,
+    /// A contained planner panic.
+    Panicked,
+    /// The seed was quarantined after repeated panics and skipped.
+    Quarantined,
+}
+
+impl FaultKind {
+    /// Stable wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::Failed => "failed",
+            FaultKind::Panicked => "panicked",
+            FaultKind::Quarantined => "quarantined",
+        }
+    }
+}
+
+/// What a running job streams to its progress callback.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Progress {
+    /// An episode completed.
+    Episode(EpisodeProgress),
+    /// An episode resolved without a result; the batch continues.
+    Fault {
+        /// Episode index within the batch.
+        index: usize,
+        /// The episode seed.
+        seed: u64,
+        /// What happened to it.
+        kind: FaultKind,
+        /// Human-readable detail (error display or panic payload).
+        detail: String,
+    },
+}
+
 /// Terminal state of a sharded job.
+///
+/// Partial summaries always carry the completed episodes' statistics (the
+/// summary is empty-safe), with unresolved episodes counted as `skipped`.
 #[derive(Debug, Clone, PartialEq)]
 pub enum JobOutcome {
-    /// Every episode ran; summary carries measured wall-clock timing.
+    /// The whole index space was resolved. The summary's fault counts say
+    /// how many episodes completed versus failed / panicked / were
+    /// quarantined; completed episodes are bit-identical to a clean run.
     Completed(BatchSummary),
-    /// The cancel flag was observed before the batch finished.
+    /// The cancel flag was observed before the batch resolved.
     Cancelled {
         /// Episodes that completed before the workers stopped.
         done: usize,
+        /// Statistics over exactly those episodes.
+        partial: BatchSummary,
     },
-    /// An episode failed; the whole batch fails (episodes are
-    /// configuration-deterministic, so a retry cannot succeed either).
+    /// The job deadline passed before the batch resolved.
+    DeadlineExceeded {
+        /// Episodes that completed before the workers stopped.
+        done: usize,
+        /// Statistics over exactly those episodes.
+        partial: BatchSummary,
+    },
+    /// The batch configuration itself is unrunnable. Per-episode faults do
+    /// *not* end up here — they are contained and counted in a
+    /// [`JobOutcome::Completed`] summary.
     Failed(SimError),
 }
 
-/// Runs `batch` with `spec` across `workers` shards, invoking `on_episode`
-/// for every finished episode.
+/// Runs `batch` with `spec` across `limits.workers` shards under
+/// supervision, invoking `on_progress` for every resolved episode.
 ///
-/// The batch must already be validated ([`BatchConfig::validate`]); an
-/// invalid one surfaces as [`JobOutcome::Failed`].
+/// `cancel` stops the job cooperatively at episode-step granularity, as
+/// does `limits.deadline` expiring; `quarantine` (when given) is shared
+/// across jobs to skip seeds that keep panicking.
 pub fn run_sharded<F>(
     batch: &BatchConfig,
     spec: &StackSpec,
-    workers: usize,
+    limits: JobLimits,
     cancel: &AtomicBool,
-    mut on_episode: F,
+    quarantine: Option<&Quarantine>,
+    mut on_progress: F,
 ) -> JobOutcome
 where
-    F: FnMut(EpisodeProgress),
+    F: FnMut(Progress),
 {
     if let Err(e) = batch.validate() {
         return JobOutcome::Failed(e);
     }
     let total = batch.episodes;
-    let workers = workers.clamp(1, total);
+    let workers = limits.workers.clamp(1, total);
     let queue = WorkQueue::new(total);
-    let abort = AtomicBool::new(false);
+    // Flipped by the coordinator on cancel or deadline expiry; checked by
+    // the claim loop *and* inside every episode's step loop.
+    let stop = AtomicBool::new(false);
     let t0 = Instant::now();
 
-    let mut slots: Vec<Option<EpisodeResult>> = Vec::new();
+    let mut slots: Vec<Option<EpisodeOutcome>> = Vec::new();
     slots.resize_with(total, || None);
-    let mut first_error: Option<SimError> = None;
-    let mut done = 0usize;
+    let done = Cell::new(0usize);
+    let mut interrupted = false;
+    let mut deadline_hit = false;
+
+    // Progress reporting shared by the live path and the rescue pass.
+    let mut report = |index: usize, outcome: &EpisodeOutcome| match outcome {
+        EpisodeOutcome::Completed(r) => {
+            done.set(done.get() + 1);
+            let d = done.get();
+            let elapsed = t0.elapsed().as_secs_f64();
+            on_progress(Progress::Episode(EpisodeProgress {
+                index,
+                eta: r.eta,
+                done: d,
+                total,
+                eta_secs: elapsed / d as f64 * (total - d) as f64,
+            }));
+        }
+        EpisodeOutcome::Failed { seed, error } => on_progress(Progress::Fault {
+            index,
+            seed: *seed,
+            kind: FaultKind::Failed,
+            detail: error.to_string(),
+        }),
+        EpisodeOutcome::Panicked { seed, payload } => on_progress(Progress::Fault {
+            index,
+            seed: *seed,
+            kind: FaultKind::Panicked,
+            detail: payload.clone(),
+        }),
+        EpisodeOutcome::Skipped {
+            seed,
+            reason: SkipReason::Quarantined { panics },
+        } => on_progress(Progress::Fault {
+            index,
+            seed: *seed,
+            kind: FaultKind::Quarantined,
+            detail: format!("{panics} prior panics"),
+        }),
+        // An episode abandoned by the stop flag is not a fault — it is
+        // accounted for in the partial summary's skipped count.
+        EpisodeOutcome::Skipped {
+            reason: SkipReason::Interrupted,
+            ..
+        } => {}
+    };
 
     std::thread::scope(|scope| {
         // Rendezvous handoff: a worker's send completes only when the
-        // coordinator receives, so workers observe a cancel flag flipped by
-        // the progress callback within one episode, instead of racing an
+        // coordinator receives, so workers observe a stop flag flipped by
+        // the coordinator within one episode, instead of racing an
         // arbitrarily deep buffer ahead of it.
-        let (tx, rx) = mpsc::sync_channel::<(usize, Result<EpisodeResult, SimError>)>(0);
-        for _ in 0..workers {
-            let tx = tx.clone();
-            let spec = spec.clone();
-            let abort = &abort;
-            let queue = &queue;
-            scope.spawn(move || {
-                // One workspace per worker: the planner is cloned once and
-                // episode buffers are reused across every claimed episode.
-                let mut ws = EpisodeWorkspace::new(spec);
-                while let Some(i) = queue.claim() {
-                    if cancel.load(Ordering::Relaxed) || abort.load(Ordering::Relaxed) {
-                        return;
+        let (tx, rx) = mpsc::sync_channel::<(usize, EpisodeOutcome)>(0);
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let tx = tx.clone();
+                let spec = spec.clone();
+                let stop = &stop;
+                let queue = &queue;
+                scope.spawn(move || {
+                    // Silence the unused-binding warning in default builds,
+                    // where the kill hook below is compiled out.
+                    let _ = w;
+                    // One workspace per worker: the planner is cloned once
+                    // and episode buffers are reused across every claimed
+                    // episode (and rebuilt from the spec after a panic).
+                    let mut ws = EpisodeWorkspace::new(spec);
+                    while let Some(i) = queue.claim() {
+                        // A worker can observe `cancel` before the
+                        // coordinator's own poll does; it then exits and the
+                        // coordinator sees only a channel disconnect, with
+                        // `interrupted` still false. The rescue pass below
+                        // re-polls `cancel` before touching any unfilled
+                        // slot, so that ordering cannot resurrect the job.
+                        if cancel.load(Ordering::Relaxed) || stop.load(Ordering::Relaxed) {
+                            return;
+                        }
+                        #[cfg(feature = "fault-injection")]
+                        if limits.kill_worker == Some(w) {
+                            // Die holding claimed-but-unreported index `i`:
+                            // the rescue pass below must pick it up.
+                            return;
+                        }
+                        let cfg = batch.episode(i);
+                        let outcome = supervised_episode(&mut ws, &cfg, quarantine, Some(stop));
+                        if tx.send((i, outcome)).is_err() {
+                            return;
+                        }
                     }
-                    let result = ws.run(&batch.episode(i), false);
-                    if result.is_err() {
-                        abort.store(true, Ordering::Relaxed);
-                    }
-                    if tx.send((i, result)).is_err() {
-                        return;
-                    }
-                }
-            });
-        }
+                })
+            })
+            .collect();
         drop(tx);
 
-        while let Ok((index, result)) = rx.recv() {
-            match result {
-                Ok(r) => {
-                    done += 1;
-                    let elapsed = t0.elapsed().as_secs_f64();
-                    let eta_secs = if done > 0 {
-                        elapsed / done as f64 * (total - done) as f64
-                    } else {
-                        f64::NAN
-                    };
-                    on_episode(EpisodeProgress {
-                        index,
-                        eta: r.eta,
-                        done,
-                        total,
-                        eta_secs,
-                    });
-                    slots[index] = Some(r);
-                }
-                Err(e) => {
-                    if first_error.is_none() {
-                        first_error = Some(e);
-                    }
+        loop {
+            // Poll interrupts first so a pre-set cancel flag or an
+            // already-expired deadline stops the job before more work is
+            // accepted.
+            if !interrupted {
+                if cancel.load(Ordering::Relaxed) {
+                    interrupted = true;
+                    stop.store(true, Ordering::Relaxed);
+                } else if limits.deadline.is_some_and(|d| Instant::now() >= d) {
+                    interrupted = true;
+                    deadline_hit = true;
+                    stop.store(true, Ordering::Relaxed);
                 }
             }
+            let poll = match limits.deadline {
+                Some(d) => d
+                    .saturating_duration_since(Instant::now())
+                    .clamp(Duration::from_millis(1), COORDINATOR_POLL),
+                None => COORDINATOR_POLL,
+            };
+            match rx.recv_timeout(poll) {
+                Ok((index, outcome)) => {
+                    report(index, &outcome);
+                    slots[index] = Some(outcome);
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => {}
+                Err(mpsc::RecvTimeoutError::Disconnected) => break,
+            }
+        }
+
+        // Join explicitly and swallow shard panics: one dead shard must not
+        // poison the scope — its unreported episodes are rescued below.
+        for handle in handles {
+            let _ = handle.join();
         }
     });
 
-    if let Some(e) = first_error {
-        return JobOutcome::Failed(e);
+    // Shard supervisor: an unfilled slot means a shard died between
+    // claiming the index and reporting it. Re-run those inline on a fresh
+    // workspace — the index alone determines the episode, so rescued
+    // results are identical to what the dead shard would have produced.
+    // Cancel/deadline are polled per rescued slot: a rescue can be most of
+    // the batch, and it must stay as interruptible as the live pass was.
+    if !interrupted {
+        let mut rescue: Option<EpisodeWorkspace> = None;
+        for (i, slot) in slots.iter_mut().enumerate() {
+            if slot.is_some() {
+                continue;
+            }
+            // Breaking with slots still unfilled leaves them counted as
+            // skipped, which forces the partial (non-Completed) outcome.
+            if cancel.load(Ordering::Relaxed) {
+                break;
+            }
+            if limits.deadline.is_some_and(|d| Instant::now() >= d) {
+                deadline_hit = true;
+                break;
+            }
+            let ws = rescue.get_or_insert_with(|| EpisodeWorkspace::new(spec.clone()));
+            let outcome = supervised_episode(ws, &batch.episode(i), quarantine, None);
+            report(i, &outcome);
+            *slot = Some(outcome);
+        }
     }
-    // `done == total` means every episode ran — a cancel that landed after
-    // the last result still yields the complete (deterministic) summary.
-    if done < total {
-        return JobOutcome::Cancelled { done };
-    }
-    let results: Vec<EpisodeResult> = slots
+
+    // A stop that landed after the last episode resolved still yields the
+    // complete (deterministic) summary.
+    let fully_resolved = slots.iter().all(|s| {
+        s.as_ref().is_some_and(|o| {
+            !matches!(
+                o,
+                EpisodeOutcome::Skipped {
+                    reason: SkipReason::Interrupted,
+                    ..
+                }
+            )
+        })
+    });
+    let outcomes: Vec<EpisodeOutcome> = slots
         .into_iter()
-        .map(|s| s.expect("all episodes completed"))
+        .enumerate()
+        .map(|(i, s)| {
+            s.unwrap_or(EpisodeOutcome::Skipped {
+                seed: batch.base_seed.wrapping_add(i as u64),
+                reason: SkipReason::Interrupted,
+            })
+        })
         .collect();
-    JobOutcome::Completed(BatchSummary::from_results(&results).with_timing(t0.elapsed()))
+    let summary = BatchReport { outcomes }.summary().with_timing(t0.elapsed());
+    let done = done.get();
+
+    if fully_resolved {
+        JobOutcome::Completed(summary)
+    } else if deadline_hit {
+        JobOutcome::DeadlineExceeded {
+            done,
+            partial: summary,
+        }
+    } else {
+        JobOutcome::Cancelled {
+            done,
+            partial: summary,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -174,11 +418,16 @@ mod tests {
         for workers in [1, 3, 10] {
             let cancel = AtomicBool::new(false);
             let mut seen = Vec::new();
-            let outcome = run_sharded(&batch, &spec, workers, &cancel, |p| seen.push(p.index));
+            let outcome = run_sharded(&batch, &spec, JobLimits::new(workers), &cancel, None, |p| {
+                if let Progress::Episode(p) = p {
+                    seen.push(p.index)
+                }
+            });
             let JobOutcome::Completed(summary) = outcome else {
                 panic!("expected completion with {workers} workers");
             };
             assert!(summary.stats_eq(&reference), "{workers} workers diverged");
+            assert_eq!((summary.requested, summary.episodes), (10, 10));
             assert!(summary.wall_time_secs > 0.0);
             seen.sort_unstable();
             assert_eq!(seen, (0..10).collect::<Vec<_>>());
@@ -190,7 +439,10 @@ mod tests {
         let (batch, spec) = paper_batch(6);
         let cancel = AtomicBool::new(false);
         let mut last_done = 0;
-        let outcome = run_sharded(&batch, &spec, 2, &cancel, |p| {
+        let outcome = run_sharded(&batch, &spec, JobLimits::new(2), &cancel, None, |p| {
+            let Progress::Episode(p) = p else {
+                panic!("unexpected fault: {p:?}");
+            };
             assert_eq!(p.done, last_done + 1);
             assert_eq!(p.total, 6);
             assert!(p.eta_secs >= 0.0);
@@ -204,23 +456,50 @@ mod tests {
     fn pre_set_cancel_flag_stops_immediately() {
         let (batch, spec) = paper_batch(8);
         let cancel = AtomicBool::new(true);
-        let outcome = run_sharded(&batch, &spec, 2, &cancel, |_| {});
-        assert_eq!(outcome, JobOutcome::Cancelled { done: 0 });
+        let outcome = run_sharded(&batch, &spec, JobLimits::new(2), &cancel, None, |_| {});
+        let JobOutcome::Cancelled { done, partial } = outcome else {
+            panic!("expected cancellation, got {outcome:?}");
+        };
+        assert_eq!(done, 0);
+        assert_eq!((partial.requested, partial.episodes), (8, 0));
+        assert_eq!(partial.skipped, 8, "unrun episodes count as skipped");
     }
 
     #[test]
-    fn cancel_mid_batch_reports_partial_progress() {
+    fn cancel_mid_batch_flushes_a_partial_summary() {
         let (batch, spec) = paper_batch(12);
         let cancel = AtomicBool::new(false);
-        let outcome = run_sharded(&batch, &spec, 1, &cancel, |p| {
-            if p.done == 2 {
-                cancel.store(true, Ordering::Relaxed);
+        let outcome = run_sharded(&batch, &spec, JobLimits::new(1), &cancel, None, |p| {
+            if let Progress::Episode(p) = p {
+                if p.done == 2 {
+                    cancel.store(true, Ordering::Relaxed);
+                }
             }
         });
         match outcome {
-            JobOutcome::Cancelled { done } => assert!((2..12).contains(&done)),
+            JobOutcome::Cancelled { done, partial } => {
+                assert!((2..12).contains(&done));
+                assert_eq!(partial.episodes, done, "partial stats cover done episodes");
+                assert_eq!(partial.requested, 12);
+                assert_eq!(partial.skipped, 12 - done);
+                assert_eq!(partial.etas.len(), done);
+            }
             other => panic!("expected cancellation, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn expired_deadline_stops_the_job_with_a_typed_outcome() {
+        let (batch, spec) = paper_batch(20);
+        let cancel = AtomicBool::new(false);
+        let limits = JobLimits::new(2).with_deadline(Instant::now());
+        let outcome = run_sharded(&batch, &spec, limits, &cancel, None, |_| {});
+        let JobOutcome::DeadlineExceeded { done, partial } = outcome else {
+            panic!("expected deadline expiry, got {outcome:?}");
+        };
+        assert!(done < 20, "an expired deadline cannot run the whole batch");
+        assert_eq!(partial.requested, 20);
+        assert_eq!(partial.episodes + partial.skipped, 20);
     }
 
     #[test]
@@ -228,7 +507,7 @@ mod tests {
         let (mut batch, spec) = paper_batch(4);
         batch.starts.clear();
         let cancel = AtomicBool::new(false);
-        let outcome = run_sharded(&batch, &spec, 2, &cancel, |_| {});
+        let outcome = run_sharded(&batch, &spec, JobLimits::new(2), &cancel, None, |_| {});
         assert!(matches!(
             outcome,
             JobOutcome::Failed(SimError::InvalidBatch { .. })
@@ -236,12 +515,86 @@ mod tests {
     }
 
     #[test]
-    fn scenario_error_fails_the_job() {
+    fn scenario_errors_are_contained_per_episode() {
         let (mut batch, spec) = paper_batch(4);
-        // C1 starting inside the conflict zone is geometrically invalid.
+        // C1 starting inside the conflict zone is geometrically invalid —
+        // every episode fails, but the job completes with typed fault
+        // events instead of dying.
         batch.starts = vec![10.0];
         let cancel = AtomicBool::new(false);
-        let outcome = run_sharded(&batch, &spec, 2, &cancel, |_| {});
-        assert!(matches!(outcome, JobOutcome::Failed(SimError::Scenario(_))));
+        let mut faults = Vec::new();
+        let outcome = run_sharded(&batch, &spec, JobLimits::new(2), &cancel, None, |p| {
+            if let Progress::Fault { index, kind, .. } = p {
+                faults.push((index, kind));
+            }
+        });
+        let JobOutcome::Completed(summary) = outcome else {
+            panic!("expected completion, got {outcome:?}");
+        };
+        assert_eq!((summary.episodes, summary.failed), (0, 4));
+        faults.sort_unstable_by_key(|(i, _)| *i);
+        assert_eq!(
+            faults,
+            (0..4).map(|i| (i, FaultKind::Failed)).collect::<Vec<_>>()
+        );
+    }
+
+    #[cfg(feature = "fault-injection")]
+    mod fault_injection {
+        use super::*;
+
+        #[test]
+        fn dead_shard_episodes_are_rescued_bit_identically() {
+            let (batch, spec) = paper_batch(16);
+            let reference = BatchSummary::from_results(&run_batch(&batch, &spec).unwrap());
+            for killed in [0, 2] {
+                let cancel = AtomicBool::new(false);
+                let limits = JobLimits::new(4).with_kill_worker(killed);
+                let mut seen = Vec::new();
+                let outcome = run_sharded(&batch, &spec, limits, &cancel, None, |p| {
+                    if let Progress::Episode(p) = p {
+                        seen.push(p.index)
+                    }
+                });
+                let JobOutcome::Completed(summary) = outcome else {
+                    panic!("expected completion after killing shard {killed}");
+                };
+                assert!(summary.stats_eq(&reference), "shard {killed} diverged");
+                seen.sort_unstable();
+                assert_eq!(seen, (0..16).collect::<Vec<_>>(), "episodes lost");
+            }
+        }
+
+        #[test]
+        fn panicking_seed_is_contained_and_job_completes() {
+            let (batch, spec) = paper_batch(6);
+            let clean = BatchSummary::from_results(&run_batch(&batch, &spec).unwrap());
+            let faulty =
+                StackSpec::panic_injection(&batch.template, vec![batch.base_seed + 1]).unwrap();
+            let cancel = AtomicBool::new(false);
+            let mut faults = Vec::new();
+            let outcome = run_sharded(&batch, &faulty, JobLimits::new(3), &cancel, None, |p| {
+                if let Progress::Fault { index, kind, .. } = p {
+                    faults.push((index, kind));
+                }
+            });
+            let JobOutcome::Completed(summary) = outcome else {
+                panic!("expected completion, got {outcome:?}");
+            };
+            assert_eq!(faults, vec![(1, FaultKind::Panicked)]);
+            assert_eq!((summary.episodes, summary.panicked), (5, 1));
+            // Survivors are bit-identical to the clean run (index 1 absent).
+            let expected: Vec<f64> = clean
+                .etas
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != 1)
+                .map(|(_, e)| *e)
+                .collect();
+            assert_eq!(
+                summary.etas.iter().map(|e| e.to_bits()).collect::<Vec<_>>(),
+                expected.iter().map(|e| e.to_bits()).collect::<Vec<_>>()
+            );
+        }
     }
 }

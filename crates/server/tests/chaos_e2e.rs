@@ -75,6 +75,7 @@ fn chaos_config(seed: u64) -> ClientConfig {
             base_delay: Duration::from_millis(20),
             max_delay: Duration::from_millis(100),
             jitter_seed: seed,
+            retry_deadline: None,
         },
         ..ClientConfig::default()
     }
@@ -168,13 +169,14 @@ fn run_cell(kind: &'static str, seed: u64, episodes: usize) -> CellOutcome {
     let request_len = Request::SubmitBatch {
         batch: batch.clone(),
         stack: StackSpecWire::TeacherConservative,
+        deadline_ms: None,
     }
     .to_json()
     .encode()
     .len();
     let fault = fault_for(kind, seed, request_len);
     // Alternate the faulted direction by seed so both ends get exercised.
-    let plan = if seed % 2 == 0 {
+    let plan = if seed.is_multiple_of(2) {
         ConnPlan::upstream(fault)
     } else {
         ConnPlan::downstream(fault)

@@ -103,6 +103,7 @@ fn client_disconnect_mid_batch_cancels_without_killing_the_server() {
         let frame = Request::SubmitBatch {
             batch,
             stack: StackSpecWire::TeacherConservative,
+            deadline_ms: None,
         }
         .to_json()
         .encode();
@@ -144,7 +145,7 @@ fn client_disconnect_mid_batch_cancels_without_killing_the_server() {
 }
 
 #[test]
-fn full_queue_pushes_back_with_a_typed_error_frame() {
+fn full_queue_pushes_back_with_a_typed_overloaded_frame() {
     // Capacity-1 queue and a single worker thread: one running job, one
     // queued job, and the third submission must bounce.
     let server = Server::start(ServerConfig {
@@ -165,6 +166,7 @@ fn full_queue_pushes_back_with_a_typed_error_frame() {
         let frame = Request::SubmitBatch {
             batch,
             stack: StackSpecWire::TeacherConservative,
+            deadline_ms: None,
         }
         .to_json()
         .encode();
@@ -187,11 +189,11 @@ fn full_queue_pushes_back_with_a_typed_error_frame() {
         StackSpecWire::TeacherConservative,
         |_| {},
     ) {
-        Err(ClientError::Server { code, message }) => {
-            assert_eq!(code, "queue_full");
-            assert!(message.contains("capacity"));
+        Err(e @ ClientError::Overloaded { retry_after_ms }) => {
+            assert!(retry_after_ms >= 50, "hint below floor: {retry_after_ms}");
+            assert!(e.is_retryable(), "overload must invite a retry");
         }
-        other => panic!("expected queue_full, got {other:?}"),
+        other => panic!("expected overloaded, got {other:?}"),
     }
 
     // Cancel both occupants so the drop below drains quickly.

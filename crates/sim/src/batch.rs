@@ -1,7 +1,4 @@
-use crate::scheduler::for_each_dynamic;
-use crate::{
-    run_episode, BatchSummary, EpisodeConfig, EpisodeResult, EpisodeWorkspace, SimError, StackSpec,
-};
+use crate::{run_episode, BatchSummary, EpisodeConfig, EpisodeResult, SimError, StackSpec};
 
 /// Configuration for a Monte-Carlo batch.
 ///
@@ -77,7 +74,7 @@ impl BatchConfig {
         cfg
     }
 
-    fn worker_count(&self) -> usize {
+    pub(crate) fn worker_count(&self) -> usize {
         if self.threads > 0 {
             self.threads
         } else {
@@ -94,10 +91,16 @@ impl BatchConfig {
 /// Episodes are distributed dynamically: every worker claims the next
 /// unclaimed index from a shared [`crate::scheduler::WorkQueue`], which keeps
 /// all workers busy when episode costs vary (early exits from collisions or
-/// reached targets), and runs it on a per-worker [`EpisodeWorkspace`] so
+/// reached targets), and runs it on a per-worker [`crate::EpisodeWorkspace`] so
 /// setup allocations are paid once per worker instead of once per episode.
 /// Results are written back by index and are bit-identical to a serial run
 /// for any thread count.
+///
+/// This is the strict all-or-nothing path: it runs on the supervised
+/// executor ([`crate::run_batch_supervised`]) and then collapses the report
+/// — the first per-episode error fails the batch, and a contained panic is
+/// re-raised. Callers that want partial results, panic isolation, or
+/// quarantine use the supervised entry point directly.
 ///
 /// # Errors
 ///
@@ -121,16 +124,7 @@ impl BatchConfig {
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn run_batch(batch: &BatchConfig, spec: &StackSpec) -> Result<Vec<EpisodeResult>, SimError> {
-    batch.validate()?;
-    let workers = batch.worker_count().min(batch.episodes);
-    for_each_dynamic(
-        batch.episodes,
-        workers,
-        || EpisodeWorkspace::new(spec.clone()),
-        |ws, i| ws.run(&batch.episode(i), false),
-    )
-    .into_iter()
-    .collect()
+    crate::run_batch_supervised(batch, spec, None, None)?.into_results()
 }
 
 /// The pre-overhaul batch runner: static contiguous chunking, one fresh

@@ -163,6 +163,33 @@ impl EpisodeWorkspace {
         cfg: &EpisodeConfig,
         record_traces: bool,
     ) -> Result<EpisodeResult, SimError> {
+        match self.run_interruptible(cfg, record_traces, None) {
+            Ok(Some(result)) => Ok(result),
+            Ok(None) => unreachable!("no interrupt flag was supplied"),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Like [`EpisodeWorkspace::run`], but checks `interrupt` (with a
+    /// relaxed load) at the top of every control step and returns
+    /// `Ok(None)` — the episode abandoned mid-flight, no partial result —
+    /// as soon as the flag is observed set. This is the cooperative stop
+    /// used by job cancellation and deadline expiry: granularity is one
+    /// episode step, never a whole episode or batch.
+    pub fn run_interruptible(
+        &mut self,
+        cfg: &EpisodeConfig,
+        record_traces: bool,
+        interrupt: Option<&std::sync::atomic::AtomicBool>,
+    ) -> Result<Option<EpisodeResult>, SimError> {
+        #[cfg(feature = "fault-injection")]
+        if let StackSpec::PanicInjection { panic_seeds, .. } = self.spec() {
+            assert!(
+                !panic_seeds.contains(&cfg.seed),
+                "injected planner fault for seed {}",
+                cfg.seed
+            );
+        }
         let slot = self.scenario_slot(cfg)?;
         let ego_limits = self.cached_scenarios(slot)[0].ego_limits();
         let other_limits = self.cached_scenarios(slot)[0].other_limits();
@@ -203,6 +230,11 @@ impl EpisodeWorkspace {
         let mut outcome = Outcome::Timeout;
 
         for step in 0..=steps {
+            if let Some(flag) = interrupt {
+                if flag.load(std::sync::atomic::Ordering::Relaxed) {
+                    return Ok(None);
+                }
+            }
             let t = step as f64 * cfg.dt_c;
 
             // V2V broadcast and delivery, then sensing — per vehicle.
@@ -280,13 +312,13 @@ impl EpisodeWorkspace {
             }
         }
 
-        Ok(EpisodeResult {
+        Ok(Some(EpisodeResult {
             eta: outcome.eta(),
             outcome,
             emergency_steps,
             total_steps,
             traces,
-        })
+        }))
     }
 }
 

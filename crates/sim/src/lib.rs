@@ -22,6 +22,11 @@
 //!   [`scheduler`], and every worker reuses an [`EpisodeWorkspace`] so the
 //!   per-step loop allocates nothing in the steady state; results stay
 //!   bit-identical to a serial run.
+//! * [`run_batch_supervised`] — the fault-isolated batch path: every
+//!   episode is wrapped in `catch_unwind` and mapped to a typed
+//!   [`EpisodeOutcome`] (completed / failed / panicked / skipped), with
+//!   optional seed [`Quarantine`] and step-granular interruption; episodes
+//!   that complete are bit-identical to a clean run.
 //! * [`training`] — closed-loop teacher rollouts + behaviour cloning to
 //!   produce the conservative/aggressive NN planners (`κ_n,cons`,
 //!   `κ_n,aggr`).
@@ -45,6 +50,7 @@ mod episode;
 mod metrics;
 pub mod scheduler;
 mod stack;
+pub mod supervise;
 pub mod training;
 pub mod workspace;
 
@@ -57,4 +63,7 @@ pub use episode::{
 pub use metrics::{rmse, winning_percentage, BatchSummary};
 pub use scheduler::{for_each_dynamic, WorkQueue};
 pub use stack::{StackSpec, WindowKind};
+pub use supervise::{
+    run_batch_supervised, supervised_episode, BatchReport, EpisodeOutcome, Quarantine, SkipReason,
+};
 pub use workspace::EpisodeWorkspace;

@@ -8,8 +8,19 @@ use crate::EpisodeResult;
 /// time out contribute to neither the reaching time nor the collision count.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BatchSummary {
-    /// Number of episodes.
+    /// Number of episodes that completed and contribute to the statistics.
     pub episodes: usize,
+    /// Episodes the batch was asked to run. Equal to `episodes` for a clean
+    /// run; under supervision ([`crate::run_batch_supervised`]) it also
+    /// covers the failed / panicked / skipped episodes below.
+    pub requested: usize,
+    /// Episodes that ended in a typed simulation error.
+    pub failed: usize,
+    /// Episodes whose planner panicked (isolated, not poisoning the batch).
+    pub panicked: usize,
+    /// Episodes skipped without running (quarantined seed, or interrupted
+    /// by cancellation / deadline expiry).
+    pub skipped: usize,
     /// Mean reaching time over safe episodes that reached the target (s).
     pub reaching_time: f64,
     /// Fraction of episodes without a safety violation.
@@ -38,42 +49,7 @@ impl BatchSummary {
     /// Panics if `results` is empty.
     pub fn from_results(results: &[EpisodeResult]) -> Self {
         assert!(!results.is_empty(), "cannot summarise an empty batch");
-        let episodes = results.len();
-        let mut reach_sum = 0.0;
-        let mut reach_n = 0usize;
-        let mut safe_n = 0usize;
-        let mut eta_sum = 0.0;
-        let mut emer_sum = 0.0;
-        let mut etas = Vec::with_capacity(episodes);
-        let mut reaching_times = Vec::new();
-        for r in results {
-            if r.outcome.is_safe() {
-                safe_n += 1;
-            }
-            if let Some(t) = r.outcome.reaching_time() {
-                reach_sum += t;
-                reach_n += 1;
-                reaching_times.push(t);
-            }
-            eta_sum += r.eta;
-            emer_sum += r.emergency_frequency();
-            etas.push(r.eta);
-        }
-        BatchSummary {
-            episodes,
-            reaching_time: if reach_n > 0 {
-                reach_sum / reach_n as f64
-            } else {
-                f64::NAN
-            },
-            safe_rate: safe_n as f64 / episodes as f64,
-            eta_mean: eta_sum / episodes as f64,
-            emergency_frequency: emer_sum / episodes as f64,
-            etas,
-            reaching_times,
-            wall_time_secs: 0.0,
-            episodes_per_sec: 0.0,
-        }
+        summarise(results.iter())
     }
 
     /// Attaches the measured wall-clock duration of the run, deriving the
@@ -105,6 +81,10 @@ impl BatchSummary {
             a == b || (a.is_nan() && b.is_nan())
         }
         self.episodes == other.episodes
+            && self.requested == other.requested
+            && self.failed == other.failed
+            && self.panicked == other.panicked
+            && self.skipped == other.skipped
             && feq(self.reaching_time, other.reaching_time)
             && feq(self.safe_rate, other.safe_rate)
             && feq(self.eta_mean, other.eta_mean)
@@ -128,6 +108,59 @@ impl BatchSummary {
     /// that reached; `NaN` when fewer than two did).
     pub fn reaching_time_ci95(&self) -> f64 {
         ci95_half_width(&self.reaching_times)
+    }
+}
+
+/// Empty-safe summary over any subset of a batch's episodes. With zero
+/// episodes the means are `NaN` — never a panic — so supervised partial
+/// results can always carry a summary. The fault counts (`requested`,
+/// `failed`, `panicked`, `skipped`) are initialised to the clean-run values
+/// (`requested == episodes`, zero faults); supervised callers overwrite
+/// them with what they observed.
+pub(crate) fn summarise<'a, I>(results: I) -> BatchSummary
+where
+    I: Iterator<Item = &'a EpisodeResult>,
+{
+    let mut episodes = 0usize;
+    let mut reach_sum = 0.0;
+    let mut reach_n = 0usize;
+    let mut safe_n = 0usize;
+    let mut eta_sum = 0.0;
+    let mut emer_sum = 0.0;
+    let mut etas = Vec::new();
+    let mut reaching_times = Vec::new();
+    for r in results {
+        episodes += 1;
+        if r.outcome.is_safe() {
+            safe_n += 1;
+        }
+        if let Some(t) = r.outcome.reaching_time() {
+            reach_sum += t;
+            reach_n += 1;
+            reaching_times.push(t);
+        }
+        eta_sum += r.eta;
+        emer_sum += r.emergency_frequency();
+        etas.push(r.eta);
+    }
+    BatchSummary {
+        episodes,
+        requested: episodes,
+        failed: 0,
+        panicked: 0,
+        skipped: 0,
+        reaching_time: if reach_n > 0 {
+            reach_sum / reach_n as f64
+        } else {
+            f64::NAN
+        },
+        safe_rate: safe_n as f64 / episodes as f64,
+        eta_mean: eta_sum / episodes as f64,
+        emergency_frequency: emer_sum / episodes as f64,
+        etas,
+        reaching_times,
+        wall_time_secs: 0.0,
+        episodes_per_sec: 0.0,
     }
 }
 
@@ -295,6 +328,10 @@ mod tests {
     fn zero_or_denormal_wall_time_yields_zero_throughput() {
         let base = BatchSummary {
             episodes: 4,
+            requested: 4,
+            failed: 0,
+            panicked: 0,
+            skipped: 0,
             reaching_time: f64::NAN,
             safe_rate: 1.0,
             eta_mean: 0.0,

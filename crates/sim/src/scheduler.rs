@@ -93,14 +93,26 @@ where
             })
             .collect();
         for handle in handles {
-            for (i, value) in handle.join().expect("scheduler worker panicked") {
-                slots[i] = Some(value);
+            // A worker that died between claiming indices and reporting its
+            // buffer loses the whole buffer; those indices stay `None` and
+            // the rescue pass below re-runs them. Swallowing the join error
+            // here is what keeps one dead shard from poisoning the scope.
+            if let Ok(local) = handle.join() {
+                for (i, value) in local {
+                    slots[i] = Some(value);
+                }
             }
         }
     });
+    // Supervisor rescue: every unfilled slot belonged to a dead worker.
+    // Re-run them inline on one fresh state — the index alone determines
+    // the work, so the rescued results are identical to what the dead
+    // worker would have produced.
+    let mut rescue: Option<S> = None;
     slots
         .into_iter()
-        .map(|s| s.expect("every index claimed exactly once"))
+        .enumerate()
+        .map(|(i, s)| s.unwrap_or_else(|| job(rescue.get_or_insert_with(&init), i)))
         .collect()
 }
 
@@ -148,6 +160,28 @@ mod tests {
     fn empty_queue_spawns_nothing() {
         let out: Vec<usize> = for_each_dynamic(0, 8, || (), |(), i| i);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn dead_worker_indices_are_rescued_by_the_coordinator() {
+        use std::sync::atomic::AtomicBool;
+        // The first worker to claim index 3 dies on the spot (losing its
+        // whole local buffer); the coordinator's rescue pass must re-run
+        // everything that worker never reported — including index 3 itself,
+        // which succeeds on the second attempt.
+        let armed = AtomicBool::new(true);
+        let out = for_each_dynamic(
+            16,
+            4,
+            || (),
+            |(), i| {
+                if i == 3 && armed.swap(false, Ordering::Relaxed) {
+                    panic!("injected worker death");
+                }
+                i * 10
+            },
+        );
+        assert_eq!(out, (0..16).map(|i| i * 10).collect::<Vec<_>>());
     }
 
     #[test]

@@ -47,6 +47,20 @@ pub enum StackSpec {
         /// Window flavour it consumes.
         window: WindowKind,
     },
+    /// Test-only planner for the supervised execution layer: behaves
+    /// exactly like the conservative [`StackSpec::PureTeacher`], except
+    /// that an episode whose seed is listed in `panic_seeds` panics before
+    /// its first step. Gated behind the `fault-injection` feature so it can
+    /// never ship in a default build.
+    #[cfg(feature = "fault-injection")]
+    PanicInjection {
+        /// The underlying (conservative-teacher) policy.
+        policy: TeacherPolicy,
+        /// Window flavour it consumes.
+        window: WindowKind,
+        /// Episode seeds that trigger an injected panic.
+        panic_seeds: Vec<u64>,
+    },
     /// A compound planner with an explicit estimator/window configuration.
     /// Use [`StackSpec::basic`] / [`StackSpec::ultimate`] for the paper's
     /// two variants; other combinations serve the ablation experiments.
@@ -105,11 +119,34 @@ impl StackSpec {
         })
     }
 
+    /// The conservative teacher with an injected panic on the listed
+    /// episode seeds — the deliberately faulty planner used to test panic
+    /// isolation. The panic fires inside the episode loop, before the first
+    /// step; every non-listed seed is bit-identical to
+    /// [`StackSpec::pure_teacher_conservative`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ScenarioError`] if the episode geometry is invalid.
+    #[cfg(feature = "fault-injection")]
+    pub fn panic_injection(
+        cfg: &EpisodeConfig,
+        panic_seeds: Vec<u64>,
+    ) -> Result<Self, ScenarioError> {
+        Ok(StackSpec::PanicInjection {
+            policy: TeacherPolicy::conservative(&cfg.scenario()?),
+            window: WindowKind::Conservative,
+            panic_seeds,
+        })
+    }
+
     /// Display name matching the paper's tables.
     pub fn label(&self) -> &'static str {
         match self {
             StackSpec::PureNn { .. } => "pure NN",
             StackSpec::PureTeacher { .. } => "pure teacher",
+            #[cfg(feature = "fault-injection")]
+            StackSpec::PanicInjection { .. } => "panic-injection",
             StackSpec::Compound {
                 filter_mode: FilterMode::HardOnly,
                 window_source: WindowSource::Conservative,
@@ -144,6 +181,15 @@ impl StackSpec {
                 scenarios: scenarios.to_vec(),
             },
             StackSpec::PureTeacher { policy, window } => ExecKind::Pure {
+                planner: Box::new(*policy),
+                estimators: Vec::new(),
+                window: *window,
+                scenarios: scenarios.to_vec(),
+            },
+            // The injected panic lives in the episode loop, not the
+            // executor: the executor is the plain teacher.
+            #[cfg(feature = "fault-injection")]
+            StackSpec::PanicInjection { policy, window, .. } => ExecKind::Pure {
                 planner: Box::new(*policy),
                 estimators: Vec::new(),
                 window: *window,
@@ -184,6 +230,16 @@ impl StackSpec {
         scenarios: &[LeftTurnScenario],
         inits: &[VehicleState],
     ) {
+        // Normalise the fault-injection wrapper to the teacher it embeds so
+        // the shape match below stays exhaustive over real stacks.
+        #[cfg(feature = "fault-injection")]
+        if let StackSpec::PanicInjection { policy, window, .. } = self {
+            let teacher = StackSpec::PureTeacher {
+                policy: *policy,
+                window: *window,
+            };
+            return teacher.reinit(exec, cfg, scenarios, inits);
+        }
         let other_limits = scenarios[0].other_limits();
         match (&mut exec.kind, self) {
             (

@@ -9,7 +9,8 @@
 # against one shared server. Tunables:
 #
 #   CV_SOAK_SEEDS         seeds per fault kind   (default 16)
-#   CV_SOAK_TIMEOUT_SECS  hard wall-clock cap    (default 1800)
+#   CV_SOAK_ROUNDS        kill-a-shard rounds    (default 16)
+#   CV_SOAK_TIMEOUT_SECS  hard wall-clock cap    (default 1800, per phase)
 #
 # Examples:
 #   scripts/soak.sh                      # default sweep
@@ -18,11 +19,22 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 : "${CV_SOAK_SEEDS:=16}"
+: "${CV_SOAK_ROUNDS:=16}"
 : "${CV_SOAK_TIMEOUT_SECS:=1800}"
-export CV_SOAK_SEEDS
+export CV_SOAK_SEEDS CV_SOAK_ROUNDS
 
 echo "soak: ${CV_SOAK_SEEDS} seeds/fault-kind, cap ${CV_SOAK_TIMEOUT_SECS}s"
 timeout "${CV_SOAK_TIMEOUT_SECS}" \
   cargo test --release --offline -p cv-server --test chaos_e2e -- \
   --ignored --nocapture
+
+# Kill-a-shard cycle (crates/server/tests/panic_isolation.rs): murder a
+# different shard thread mid-batch every round and require the rescue pass
+# to keep the batch summary bit-identical to the clean run. Needs the
+# fault-injection feature for the kill switch.
+echo "soak: kill-a-shard, ${CV_SOAK_ROUNDS} rounds"
+timeout "${CV_SOAK_TIMEOUT_SECS}" \
+  cargo test --release --offline -p cv-server --features fault-injection \
+  --test panic_isolation -- --ignored --nocapture
+
 echo "soak: clean"

@@ -24,3 +24,15 @@ test -s target/tier1-throughput-smoke.json
 # wall-clock cap so a hang in any networking path fails the gate instead
 # of wedging it. The full matrix/soak lives in scripts/soak.sh.
 timeout 300 cargo test -q --release --offline -p cv-server --test chaos_e2e
+
+# Supervision smoke run: deadlines, cancellation determinism, and overload
+# shedding in release mode (DESIGN.md §12). Same hard cap rationale as the
+# chaos smoke above.
+timeout 300 cargo test -q --release --offline -p cv-server --test supervision_e2e
+
+# Panic isolation behind the fault-injection feature: the deliberately
+# panicking planner stack is not nameable in default builds, so this is
+# the only place the containment/quarantine path gets release coverage.
+# The feature is additive — default-build artifacts above are untouched.
+timeout 300 cargo test -q --release --offline -p cv-server \
+  --features fault-injection --test panic_isolation

@@ -15,7 +15,7 @@
 
 use std::sync::atomic::AtomicBool;
 
-use cv_server::{run_sharded, JobOutcome};
+use cv_server::{run_sharded, JobLimits, JobOutcome};
 use safe_cv::prelude::*;
 use safe_cv::sim::{
     run_batch, run_batch_static, run_episode, BatchConfig, BatchSummary, EpisodeWorkspace,
@@ -87,7 +87,14 @@ fn sharded_server_summary_matches_run_batch() {
     let expected = BatchSummary::from_results(&run_batch(&batch, &spec).expect("valid batch"));
     for workers in [1usize, 4] {
         let cancel = AtomicBool::new(false);
-        let outcome = run_sharded(&batch, &spec, workers, &cancel, |_| {});
+        let outcome = run_sharded(
+            &batch,
+            &spec,
+            JobLimits::new(workers),
+            &cancel,
+            None,
+            |_| {},
+        );
         match outcome {
             JobOutcome::Completed(summary) => assert!(
                 summary.stats_eq(&expected),

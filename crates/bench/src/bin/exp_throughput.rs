@@ -5,20 +5,24 @@
 //! build per run) against the current one (`run_batch`: dynamic
 //! claim-by-index scheduler + per-worker reused [`cv_sim::EpisodeWorkspace`])
 //! over the full paper start grid, and cross-checks that both produce
-//! bit-identical results. A kernel section micro-benchmarks `cv-nn`'s
-//! matmul family on the in-tree timing shim.
+//! bit-identical results. The batch matrix includes the NN planner stack
+//! (pure and basic-compound) so the zero-allocation NN compute layer shows
+//! up in episode throughput, an `nn` section times the case-study forward
+//! pass (pre-PR allocating path vs scratch-backed fused path) and the
+//! behaviour-cloning trainer (allocating vs in-place), and a kernel section
+//! micro-benchmarks `cv-nn`'s matmul family on the in-tree timing shim.
 //!
-//! Output: `results/BENCH_throughput.json` (schema `bench.throughput/v1`)
+//! Output: `results/BENCH_throughput.json` (schema `bench.throughput/v2`)
 //! plus a human-readable table on stdout.
 //!
 //! Usage:
 //! `cargo run --release -p bench --bin exp_throughput -- [--sims N] [--reps R] [--threads 1,2,4,8] [--out PATH] [--baseline PATH]`
 //!
-//! `--baseline` points at a `bench.throughput.baseline/v1` file of
-//! episodes/sec from an earlier engine (the committed
-//! `results/BENCH_throughput_seed.json` was measured at the growth-seed
-//! commit, before the engine overhaul); matching cells gain a
-//! `speedup_vs_baseline` field.
+//! `--baseline` points at a baseline file of episodes/sec from an earlier
+//! engine (the committed `results/BENCH_throughput_seed.json` was measured
+//! at the growth-seed commit, before the engine overhaul); matching cells
+//! gain a `speedup_vs_baseline` field, and the run **exits non-zero** if
+//! any matching cell regresses more than 10% below its baseline.
 //!
 //! Each cell is timed `--reps` times per path (interleaved) and the best
 //! wall time kept, so one noisy sample on a shared box cannot flip a
@@ -29,11 +33,13 @@ use std::time::Instant;
 
 use bench::timing::measure_ns;
 use cv_comm::CommSetting;
-use cv_nn::Matrix;
+use cv_nn::{Activation, Matrix, Mlp, MlpScratch, Optimizer, TrainConfig, Trainer};
+use cv_planner::{FeatureScaling, NnPlanner};
 use cv_rng::{Rng, SplitMix64};
 use cv_server::wire::Json;
 use cv_sim::{
-    run_batch, run_batch_static, BatchConfig, BatchSummary, EpisodeConfig, EpisodeResult, StackSpec,
+    run_batch, run_batch_static, BatchConfig, BatchSummary, EpisodeConfig, EpisodeResult,
+    StackSpec, WindowKind,
 };
 
 /// One cell of the batch matrix.
@@ -56,10 +62,19 @@ fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
     (out, t0.elapsed().as_secs_f64())
 }
 
-/// The two teacher stacks of the matrix: a no-disturbance conservative
-/// baseline (long, uniform episodes) and the aggressive teacher under heavy
-/// disturbance (early-exit-heavy: collisions and fast crossings make episode
-/// costs vary wildly — the static scheduler's worst case).
+/// The case-study MLP: 5 scenario features → [32, 32] → 1, as trained by
+/// behaviour cloning. Untrained weights (deterministic from `seed`) — for
+/// throughput only the shape matters.
+fn case_study_net(seed: u64) -> Mlp {
+    Mlp::new(&[5, 32, 32, 1], Activation::Tanh, Activation::Tanh, seed).expect("case-study shape")
+}
+
+/// The batch matrix: the two teacher stacks of the engine-overhaul
+/// comparison — a no-disturbance conservative baseline (long, uniform
+/// episodes) and the aggressive teacher under heavy disturbance
+/// (early-exit-heavy: the static scheduler's worst case) — plus the NN
+/// planner stack, unshielded and wrapped in the basic compound planner, so
+/// the scratch-backed inference path is measured on the episode hot path.
 fn stack_matrix(seed: u64) -> Vec<(&'static str, EpisodeConfig, StackSpec)> {
     let cons_template = EpisodeConfig::paper_default(seed);
     let cons = StackSpec::pure_teacher_conservative(&cons_template).expect("paper geometry");
@@ -69,9 +84,24 @@ fn stack_matrix(seed: u64) -> Vec<(&'static str, EpisodeConfig, StackSpec)> {
         drop_prob: 0.5,
     };
     let aggr = StackSpec::pure_teacher_aggressive(&aggr_template).expect("paper geometry");
+    let nn_template = EpisodeConfig::paper_default(seed);
+    let ego_limits = nn_template.scenario().expect("paper geometry").ego_limits();
+    let planner = NnPlanner::new(
+        case_study_net(seed),
+        ego_limits,
+        FeatureScaling::left_turn(),
+        "bench-nn",
+    );
+    let nn_pure = StackSpec::PureNn {
+        planner: planner.clone(),
+        window: WindowKind::Conservative,
+    };
+    let nn_basic = StackSpec::basic(planner);
     vec![
         ("teacher-cons/no-disturbance", cons_template, cons),
         ("teacher-aggr/delayed-0.25-0.5", aggr_template, aggr),
+        ("nn-pure/no-disturbance", nn_template.clone(), nn_pure),
+        ("nn-basic/no-disturbance", nn_template, nn_basic),
     ]
 }
 
@@ -162,6 +192,152 @@ fn load_baseline(path: &str) -> Vec<(String, usize, f64)> {
         .collect()
 }
 
+/// Measured rates of the NN compute layer (forward pass + training loop).
+struct NnSection {
+    ns_per_forward_alloc: f64,
+    ns_per_forward_scratch: f64,
+    forward_speedup: f64,
+    forward_bit_identical: bool,
+    clone_epochs: usize,
+    clone_epochs_per_sec_alloc: f64,
+    clone_epochs_per_sec_in_place: f64,
+    training_speedup: f64,
+    training_bit_identical: bool,
+}
+
+/// Times the case-study forward pass — the pre-PR allocating path
+/// (`from_vec` → per-layer `forward` → `to_vec`, exactly the old
+/// `Mlp::predict`) against the scratch-backed fused `predict_into` — and a
+/// behaviour-cloning-shaped training run through the allocating reference
+/// trainer (`fit_alloc`) vs the in-place trainer (`fit`). Both comparisons
+/// also verify bit-identity, which lands in the JSON artifact.
+fn nn_rates(seed: u64) -> NnSection {
+    let net = case_study_net(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed ^ 0x00D1_5EA5);
+    let inputs: Vec<[f64; 5]> = (0..256)
+        .map(|_| std::array::from_fn(|_| rng.random_range(-1.0..1.0)))
+        .collect();
+
+    // Bit identity on every probe input before timing anything.
+    let mut scratch = MlpScratch::for_net(&net);
+    let mut out = [0.0];
+    let mut forward_bit_identical = true;
+    for input in &inputs {
+        // Reference = the pre-PR `Mlp::predict`: naive kernel, separate
+        // bias/activation passes (also what the alloc timing below runs).
+        let x = Matrix::from_vec(1, 5, input.to_vec()).expect("probe shape");
+        let mut reference = x.clone();
+        for layer in net.layers() {
+            reference = reference
+                .matmul_naive(layer.weights())
+                .expect("probe matmul")
+                .add_row_broadcast(layer.bias())
+                .expect("probe bias");
+            let act = layer.activation();
+            reference = reference.map(|v| act.apply(v));
+        }
+        net.predict_into(input, &mut scratch, &mut out)
+            .expect("probe predict");
+        forward_bit_identical &= reference.as_slice()[0].to_bits() == out[0].to_bits();
+    }
+
+    // ns per forward, amortised over the probe set inside the timed routine
+    // so input staging varies realistically. The two paths are interleaved
+    // so clock-frequency drift biases neither; the minimum over rounds is
+    // the least-disturbed run of each.
+    let (mut alloc_batch_ns, mut scratch_batch_ns) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..4 {
+        alloc_batch_ns = alloc_batch_ns.min(measure_ns(3, || {
+            let mut acc = 0.0;
+            for input in &inputs {
+                // The pre-PR `Mlp::predict`, reconstructed from the
+                // retained naive kernel: staging copy, input clone, three
+                // allocating layer ops, output copy.
+                let x = Matrix::from_vec(1, 5, input.to_vec()).expect("probe shape");
+                let mut cur = x.clone();
+                for layer in net.layers() {
+                    cur = cur
+                        .matmul_naive(layer.weights())
+                        .expect("probe matmul")
+                        .add_row_broadcast(layer.bias())
+                        .expect("probe bias");
+                    let act = layer.activation();
+                    cur = cur.map(|v| act.apply(v));
+                }
+                acc += cur.as_slice().to_vec()[0];
+            }
+            acc
+        }));
+        scratch_batch_ns = scratch_batch_ns.min(measure_ns(3, || {
+            let mut acc = 0.0;
+            for input in &inputs {
+                net.predict_into(input, &mut scratch, &mut out)
+                    .expect("probe predict");
+                acc += out[0];
+            }
+            acc
+        }));
+    }
+    let ns_per_forward_alloc = alloc_batch_ns / inputs.len() as f64;
+    let ns_per_forward_scratch = scratch_batch_ns / inputs.len() as f64;
+
+    // Behaviour-cloning-shaped workload: 512 samples over the 5 scenario
+    // features, mini-batch 128, Adam — the `clone_behaviour` defaults.
+    let x = Matrix::from_fn(512, 5, |_, _| rng.random_range(-1.0..1.0));
+    let y = Matrix::from_fn(512, 1, |_, _| rng.random_range(-1.0..1.0));
+    let cfg = TrainConfig {
+        epochs: 12,
+        batch_size: 128,
+        seed: seed ^ 0x5EED,
+        ..TrainConfig::default()
+    };
+    let trainer = Trainer::new(Optimizer::adam(5e-3), cfg);
+
+    let mut net_a = net.clone();
+    trainer.fit(&mut net_a, &x, &y).expect("in-place fit");
+    let mut net_b = net.clone();
+    trainer
+        .fit_alloc(&mut net_b, &x, &y)
+        .expect("allocating fit");
+    let training_bit_identical = net_a.layers().iter().zip(net_b.layers()).all(|(a, b)| {
+        a.weights()
+            .as_slice()
+            .iter()
+            .zip(b.weights().as_slice())
+            .all(|(p, q)| p.to_bits() == q.to_bits())
+            && a.bias()
+                .iter()
+                .zip(b.bias())
+                .all(|(p, q)| p.to_bits() == q.to_bits())
+    });
+
+    // Interleave the two timings so clock-frequency drift biases neither
+    // side; the minimum over rounds is the least-disturbed run of each.
+    let (mut alloc_run_ns, mut in_place_run_ns) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..4 {
+        alloc_run_ns = alloc_run_ns.min(measure_ns(3, || {
+            let mut n = net.clone();
+            trainer.fit_alloc(&mut n, &x, &y).expect("allocating fit");
+        }));
+        in_place_run_ns = in_place_run_ns.min(measure_ns(3, || {
+            let mut n = net.clone();
+            trainer.fit(&mut n, &x, &y).expect("in-place fit");
+        }));
+    }
+
+    NnSection {
+        ns_per_forward_alloc,
+        ns_per_forward_scratch,
+        forward_speedup: ns_per_forward_alloc / ns_per_forward_scratch,
+        forward_bit_identical,
+        clone_epochs: cfg.epochs,
+        clone_epochs_per_sec_alloc: cfg.epochs as f64 / (alloc_run_ns * 1e-9),
+        clone_epochs_per_sec_in_place: cfg.epochs as f64 / (in_place_run_ns * 1e-9),
+        training_speedup: alloc_run_ns / in_place_run_ns,
+        training_bit_identical,
+    }
+}
+
 /// Micro-benchmarks the matmul kernel family; returns
 /// `(matmul_gflops, tr_matmul_speedup_64, tr_matmul_speedup_training)`.
 ///
@@ -247,6 +423,23 @@ fn main() {
         }
     }
 
+    let nn = nn_rates(seed);
+    println!(
+        "nn forward (5x32x32x1): {:.0} ns alloc -> {:.0} ns scratch ({:.2}x, bit-identical: {})",
+        nn.ns_per_forward_alloc,
+        nn.ns_per_forward_scratch,
+        nn.forward_speedup,
+        nn.forward_bit_identical
+    );
+    println!(
+        "nn cloning ({} epochs): {:.1} ep/s alloc -> {:.1} ep/s in-place ({:.2}x, bit-identical: {})",
+        nn.clone_epochs,
+        nn.clone_epochs_per_sec_alloc,
+        nn.clone_epochs_per_sec_in_place,
+        nn.training_speedup,
+        nn.training_bit_identical
+    );
+
     let (gflops, tr_speedup_sq, tr_speedup_train) = kernel_rates();
     println!(
         "kernels: matmul {gflops:.2} GFLOP/s, tr_matmul vs transpose+matmul \
@@ -254,7 +447,7 @@ fn main() {
     );
 
     let json = Json::obj(vec![
-        ("schema", Json::str("bench.throughput/v1")),
+        ("schema", Json::str("bench.throughput/v2")),
         ("sims_per_cell", Json::Int(sims as i128)),
         ("reps_per_cell", Json::Int(reps as i128)),
         ("base_seed", Json::Int(seed as i128)),
@@ -302,6 +495,36 @@ fn main() {
             ),
         ),
         (
+            "nn",
+            Json::obj(vec![
+                ("shape", Json::str("5x32x32x1")),
+                (
+                    "ns_per_forward_alloc",
+                    Json::num_or_null(nn.ns_per_forward_alloc),
+                ),
+                (
+                    "ns_per_forward_scratch",
+                    Json::num_or_null(nn.ns_per_forward_scratch),
+                ),
+                ("forward_speedup", Json::num_or_null(nn.forward_speedup)),
+                ("bit_identical", Json::Bool(nn.forward_bit_identical)),
+                ("clone_epochs", Json::Int(nn.clone_epochs as i128)),
+                (
+                    "clone_epochs_per_sec_alloc",
+                    Json::num_or_null(nn.clone_epochs_per_sec_alloc),
+                ),
+                (
+                    "clone_epochs_per_sec_in_place",
+                    Json::num_or_null(nn.clone_epochs_per_sec_in_place),
+                ),
+                ("training_speedup", Json::num_or_null(nn.training_speedup)),
+                (
+                    "training_bit_identical",
+                    Json::Bool(nn.training_bit_identical),
+                ),
+            ]),
+        ),
+        (
             "kernels",
             Json::obj(vec![
                 ("matmul_gflops_64", Json::num_or_null(gflops)),
@@ -324,4 +547,33 @@ fn main() {
     }
     std::fs::write(&out_path, json.encode()).expect("write benchmark JSON");
     println!("wrote {out_path}");
+
+    // Regression gate: any matrix cell more than 10% below its recorded
+    // baseline fails the run (after the artifact is written, so the numbers
+    // that triggered the failure are on disk for inspection).
+    let regressions: Vec<String> = cells
+        .iter()
+        .filter_map(|c| {
+            let (_, _, base_eps) = baseline
+                .iter()
+                .find(|(s, t, _)| *s == c.stack && *t == c.threads)?;
+            (c.dynamic_eps < 0.9 * base_eps).then(|| {
+                format!(
+                    "{} @ {} threads: {:.1} ep/s vs baseline {:.1} ep/s ({:.0}%)",
+                    c.stack,
+                    c.threads,
+                    c.dynamic_eps,
+                    base_eps,
+                    100.0 * c.dynamic_eps / base_eps
+                )
+            })
+        })
+        .collect();
+    if !regressions.is_empty() {
+        eprintln!("THROUGHPUT REGRESSION (>10% below baseline):");
+        for r in &regressions {
+            eprintln!("  {r}");
+        }
+        std::process::exit(1);
+    }
 }

@@ -97,12 +97,67 @@ impl Dense {
 
     /// Forward pass on a batch.
     ///
+    /// Allocating reference path (kept for A/B against
+    /// [`Dense::forward_into`], which is bit-identical).
+    ///
     /// # Errors
     ///
     /// Returns [`NnError::ShapeMismatch`] if `x.cols() != in_dim`.
     pub fn forward(&self, x: &Matrix) -> Result<Matrix, NnError> {
         let z = x.matmul(&self.weights)?.add_row_broadcast(&self.bias)?;
         Ok(z.map(|v| self.activation.apply(v)))
+    }
+
+    /// Fused forward pass into `out`, reusing its storage: the tiled matmul
+    /// accumulates `x·W` into `out`, then one finishing sweep applies
+    /// `+ bias` and the activation per element. Per output element the
+    /// float-op sequence — ascending-`k` accumulation with zero-skip, then
+    /// `+ b`, then `σ` — is exactly that of [`Dense::forward`], so results
+    /// are bit-identical with zero per-call heap allocation once `out` has
+    /// grown to shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] if `x.cols() != in_dim`.
+    pub fn forward_into(&self, x: &Matrix, out: &mut Matrix) -> Result<(), NnError> {
+        x.matmul_into(&self.weights, out)?;
+        let cols = self.bias.len();
+        if cols > 0 {
+            for row in out.as_mut_slice().chunks_exact_mut(cols) {
+                for (v, b) in row.iter_mut().zip(&self.bias) {
+                    *v = self.activation.apply(*v + b);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// [`Dense::forward_into`] keeping the pre-activations in `pre` for the
+    /// in-place backward pass ([`Dense::backward_in_place`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] if `x.cols() != in_dim`.
+    pub(crate) fn forward_cached_into(
+        &self,
+        x: &Matrix,
+        pre: &mut Matrix,
+        out: &mut Matrix,
+    ) -> Result<(), NnError> {
+        x.matmul_into(&self.weights, pre)?;
+        let cols = self.bias.len();
+        if cols > 0 {
+            for row in pre.as_mut_slice().chunks_exact_mut(cols) {
+                for (v, b) in row.iter_mut().zip(&self.bias) {
+                    *v += b;
+                }
+            }
+        }
+        out.reset_zeroed(pre.rows(), pre.cols());
+        for (o, z) in out.as_mut_slice().iter_mut().zip(pre.as_slice()) {
+            *o = self.activation.apply(*z);
+        }
+        Ok(())
     }
 
     /// Forward pass keeping the cache for backprop.
@@ -135,6 +190,54 @@ impl Dense {
         let d_bias = d_pre.column_sums();
         let d_input = d_pre.matmul_tr(&self.weights)?;
         Ok((d_input, DenseGrads { d_weights, d_bias }))
+    }
+
+    /// In-place variant of [`Dense::backward`] writing every intermediate
+    /// into caller-owned buffers. `input`/`pre` are the forward cache (as
+    /// produced by [`Dense::forward_cached_into`]); `w_t` stages the weight
+    /// transpose for the `δ·Wᵀ` product. Per element the float-op sequence
+    /// matches the allocating path exactly, so gradients are bit-identical.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn backward_in_place(
+        &self,
+        input: &Matrix,
+        pre: &Matrix,
+        d_out: &Matrix,
+        d_pre: &mut Matrix,
+        d_weights: &mut Matrix,
+        d_bias: &mut Vec<f64>,
+        w_t: &mut Matrix,
+        d_input: &mut Matrix,
+    ) -> Result<(), NnError> {
+        if d_out.rows() != pre.rows() || d_out.cols() != pre.cols() {
+            return Err(NnError::ShapeMismatch {
+                context: format!(
+                    "backward: d_out {}x{} vs pre {}x{}",
+                    d_out.rows(),
+                    d_out.cols(),
+                    pre.rows(),
+                    pre.cols()
+                ),
+            });
+        }
+        d_pre.reset_zeroed(pre.rows(), pre.cols());
+        for ((dp, &g), &z) in d_pre
+            .as_mut_slice()
+            .iter_mut()
+            .zip(d_out.as_slice())
+            .zip(pre.as_slice())
+        {
+            *dp = g * self.activation.derivative(z);
+        }
+        input.tr_matmul_into(d_pre, d_weights)?;
+        d_pre.column_sums_into(d_bias);
+        d_pre.matmul_tr_into(&self.weights, w_t, d_input)?;
+        Ok(())
+    }
+
+    /// Mutable access to the parameters for in-place optimizer updates.
+    pub(crate) fn params_mut(&mut self) -> (&mut Matrix, &mut [f64]) {
+        (&mut self.weights, &mut self.bias)
     }
 
     /// Applies an additive update to the parameters (optimizer hook).

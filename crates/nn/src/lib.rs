@@ -12,6 +12,9 @@
 //!   forward inference and reverse-mode gradients.
 //! * [`Loss`], [`Optimizer`], [`Trainer`] — mean-squared-error training with
 //!   SGD or Adam, mini-batching, and shuffling.
+//! * [`MlpScratch`] — reusable workspace behind the zero-allocation
+//!   inference path ([`Mlp::forward_into`], [`Mlp::predict_into`]) used on
+//!   the episode hot path; bit-identical to the allocating reference.
 //! * Plain-text weight serialization ([`Mlp::to_text`], [`Mlp::from_text`])
 //!   so trained planners can be embedded or cached without extra formats.
 //!
@@ -39,6 +42,7 @@ mod loss;
 mod matrix;
 mod mlp;
 mod optimizer;
+mod scratch;
 mod train;
 
 pub use activation::Activation;
@@ -48,4 +52,5 @@ pub use loss::Loss;
 pub use matrix::Matrix;
 pub use mlp::Mlp;
 pub use optimizer::Optimizer;
+pub use scratch::MlpScratch;
 pub use train::{TrainConfig, Trainer};

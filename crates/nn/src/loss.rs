@@ -11,16 +11,39 @@ pub enum Loss {
 impl Loss {
     /// Loss value for predictions `y_hat` against targets `y`.
     ///
+    /// Allocation-free: accumulates `(ŷ−y)²` in one ascending pass — the
+    /// same per-element ops and summation order as the former
+    /// `sub().mean_square()` form, so values are bit-identical to it.
+    ///
     /// # Errors
     ///
     /// Returns [`NnError::ShapeMismatch`] if the shapes differ.
     pub fn value(&self, y_hat: &Matrix, y: &Matrix) -> Result<f64, NnError> {
         match self {
-            Loss::MeanSquaredError => Ok(y_hat.sub(y)?.mean_square()),
+            Loss::MeanSquaredError => {
+                Self::check_shapes("mse", y_hat, y)?;
+                let n = y_hat.as_slice().len();
+                if n == 0 {
+                    return Ok(0.0);
+                }
+                let sum: f64 = y_hat
+                    .as_slice()
+                    .iter()
+                    .zip(y.as_slice())
+                    .map(|(a, b)| {
+                        let d = a - b;
+                        d * d
+                    })
+                    .sum();
+                Ok(sum / n as f64)
+            }
         }
     }
 
     /// Gradient `∂L/∂y_hat`.
+    ///
+    /// Allocating reference path; the trainer's hot loop uses
+    /// [`Loss::gradient_into`], which is bit-identical.
     ///
     /// # Errors
     ///
@@ -32,6 +55,53 @@ impl Loss {
                 Ok(y_hat.sub(y)?.scale(2.0 / n))
             }
         }
+    }
+
+    /// Gradient `∂L/∂y_hat` into a reusable buffer. Per element this
+    /// computes `(ŷ−y) · (2/N)` — exactly the `sub().scale(2/N)` op order
+    /// of [`Loss::gradient`] — with no heap allocation in the steady state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] if the shapes differ.
+    pub fn gradient_into(
+        &self,
+        y_hat: &Matrix,
+        y: &Matrix,
+        out: &mut Matrix,
+    ) -> Result<(), NnError> {
+        match self {
+            Loss::MeanSquaredError => {
+                Self::check_shapes("mse gradient", y_hat, y)?;
+                let n = (y.rows() * y.cols()) as f64;
+                let k = 2.0 / n;
+                out.reset_zeroed(y_hat.rows(), y_hat.cols());
+                for ((o, &a), &b) in out
+                    .as_mut_slice()
+                    .iter_mut()
+                    .zip(y_hat.as_slice())
+                    .zip(y.as_slice())
+                {
+                    *o = (a - b) * k;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn check_shapes(op: &str, y_hat: &Matrix, y: &Matrix) -> Result<(), NnError> {
+        if y_hat.rows() != y.rows() || y_hat.cols() != y.cols() {
+            return Err(NnError::ShapeMismatch {
+                context: format!(
+                    "{op}: {}x{} vs {}x{}",
+                    y_hat.rows(),
+                    y_hat.cols(),
+                    y.rows(),
+                    y.cols()
+                ),
+            });
+        }
+        Ok(())
     }
 }
 
@@ -50,6 +120,31 @@ mod tests {
         let y_hat = Matrix::from_rows(&[&[1.0], &[3.0]]).unwrap();
         let y = Matrix::from_rows(&[&[0.0], &[0.0]]).unwrap();
         assert_eq!(Loss::MeanSquaredError.value(&y_hat, &y).unwrap(), 5.0);
+    }
+
+    #[test]
+    fn value_rejects_shape_mismatch() {
+        let a = Matrix::zeros(2, 2);
+        let b = Matrix::zeros(2, 1);
+        assert!(Loss::MeanSquaredError.value(&a, &b).is_err());
+        let mut g = Matrix::zeros(0, 0);
+        assert!(Loss::MeanSquaredError
+            .gradient_into(&a, &b, &mut g)
+            .is_err());
+    }
+
+    #[test]
+    fn gradient_into_is_bit_identical_to_gradient() {
+        let y_hat = Matrix::from_fn(5, 3, |r, c| ((r * 13 + c) as f64).cos());
+        let y = Matrix::from_fn(5, 3, |r, c| ((r + c * 11) as f64).sin());
+        let reference = Loss::MeanSquaredError.gradient(&y_hat, &y).unwrap();
+        let mut out = Matrix::zeros(0, 0);
+        Loss::MeanSquaredError
+            .gradient_into(&y_hat, &y, &mut out)
+            .unwrap();
+        for (a, b) in reference.as_slice().iter().zip(out.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

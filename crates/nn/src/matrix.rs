@@ -21,12 +21,20 @@ use crate::NnError;
 /// assert_eq!(c.get(1, 0), 7.0);
 /// # Ok::<(), cv_nn::NnError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
     data: Vec<f64>,
 }
+
+/// Output-tile height of the blocked matmul kernels. Sized so a tile of the
+/// right-hand operand (`TILE_ROWS` reuses × `TILE_COLS` doubles) stays
+/// cache-resident across the rows of a block; the paper's planner shapes fit
+/// a single tile, where the blocked loop degenerates to the naive traversal.
+const TILE_ROWS: usize = 16;
+/// Output-tile width of the blocked matmul kernels (in `f64` lanes).
+const TILE_COLS: usize = 64;
 
 impl Matrix {
     /// A `rows × cols` matrix of zeros.
@@ -140,12 +148,45 @@ impl Matrix {
         &self.data
     }
 
+    /// Mutable view of the flat row-major data.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Reshapes to `rows × cols` filled with zeros, reusing the existing
+    /// storage. In the steady state (capacity already large enough) this
+    /// performs no heap allocation — the buffer-reuse primitive behind
+    /// every `*_into` kernel and the [`crate::MlpScratch`] lifecycle.
+    pub fn reset_zeroed(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
     /// Matrix product `self · other`.
+    ///
+    /// Runs the output-tiled kernel (see [`Matrix::matmul_into`]);
+    /// bit-identical to [`Matrix::matmul_naive`].
     ///
     /// # Errors
     ///
     /// Returns [`NnError::ShapeMismatch`] if `self.cols != other.rows`.
     pub fn matmul(&self, other: &Matrix) -> Result<Matrix, NnError> {
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_into(other, &mut out)?;
+        Ok(out)
+    }
+
+    /// Pre-tiling reference kernel for `self · other` (i-k-j loop order,
+    /// exact-zero skip). Kept — like `run_batch_static` in `cv-sim` — as
+    /// the A/B baseline the tiled kernel is `to_bits`-tested against and
+    /// benchmarked over; not dead code.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] if `self.cols != other.rows`.
+    pub fn matmul_naive(&self, other: &Matrix) -> Result<Matrix, NnError> {
         if self.cols != other.rows {
             return Err(NnError::ShapeMismatch {
                 context: format!(
@@ -171,18 +212,116 @@ impl Matrix {
         Ok(out)
     }
 
+    /// Matrix product `self · other` into `out`, reusing its storage.
+    ///
+    /// The kernel blocks over rows and columns of the *output*: within a
+    /// `TILE_ROWS × TILE_COLS` output tile the loops run i → k → j, so every
+    /// output element is still accumulated along one ascending-`k` chain
+    /// with the exact-zero skip of the naive kernel. Tiling only changes
+    /// *which elements* are computed when — never the summation order
+    /// within an element — so results are bit-identical to
+    /// [`Matrix::matmul_naive`] while the `other`-operand tile stays
+    /// resident in cache across the rows of a block.
+    ///
+    /// Degenerate shapes (a single-row left operand, or a width-1 output)
+    /// take specialised paths that drop the tile bookkeeping entirely but
+    /// keep the identical per-element accumulation chain and zero-skip —
+    /// these are the planner-inference and scalar-output-head shapes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] if `self.cols != other.rows`.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) -> Result<(), NnError> {
+        if self.cols != other.rows {
+            return Err(NnError::ShapeMismatch {
+                context: format!(
+                    "matmul: {}x{} * {}x{}",
+                    self.rows, self.cols, other.rows, other.cols
+                ),
+            });
+        }
+        let n = other.cols;
+        out.reset_zeroed(self.rows, n);
+        // Width-1 products (the planner head, training's δ·w for a scalar
+        // output): each output element is one strided dot — the same
+        // ascending-`k` chain and zero-skip, minus the per-`k` row slicing.
+        if n == 1 {
+            for (i, c) in out.data.iter_mut().enumerate() {
+                let arow = &self.data[i * self.cols..(i + 1) * self.cols];
+                for (&aik, o) in arow.iter().zip(&other.data) {
+                    if aik == 0.0 {
+                        continue;
+                    }
+                    *c += aik * o;
+                }
+            }
+            return Ok(());
+        }
+        // Single-row products (per-step planner inference): one axpy chain
+        // per output lane with no tile bookkeeping, so the `j` loop
+        // vectorises over the whole row. Same accumulation order.
+        if self.rows == 1 {
+            let crow = &mut out.data[..n];
+            for (k, &aik) in self.data.iter().enumerate() {
+                if aik == 0.0 {
+                    continue;
+                }
+                let orow = &other.data[k * n..(k + 1) * n];
+                for (c, o) in crow.iter_mut().zip(orow) {
+                    *c += aik * o;
+                }
+            }
+            return Ok(());
+        }
+        for i0 in (0..self.rows).step_by(TILE_ROWS) {
+            let i1 = (i0 + TILE_ROWS).min(self.rows);
+            for j0 in (0..n).step_by(TILE_COLS) {
+                let j1 = (j0 + TILE_COLS).min(n);
+                for i in i0..i1 {
+                    let arow = &self.data[i * self.cols..(i + 1) * self.cols];
+                    let crow = &mut out.data[i * n + j0..i * n + j1];
+                    for (k, &aik) in arow.iter().enumerate() {
+                        if aik == 0.0 {
+                            continue;
+                        }
+                        let orow = &other.data[k * n + j0..k * n + j1];
+                        for (c, o) in crow.iter_mut().zip(orow) {
+                            *c += aik * o;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Matrix product `selfᵀ · other` without materialising the transpose.
     ///
-    /// Loop order is k-outer over `self`'s rows, so per output element the
-    /// accumulation order (k ascending) and the zero-skip are exactly those
-    /// of `self.transpose().matmul(other)` — the result is bit-identical,
-    /// minus one full matrix allocation and a strided copy. This is the
-    /// `Xᵀ·δ` weight-gradient product on backprop's hot path.
+    /// Runs the output-tiled kernel (see [`Matrix::tr_matmul_into`]);
+    /// bit-identical to [`Matrix::tr_matmul_naive`] and to
+    /// `self.transpose().matmul(other)`.
     ///
     /// # Errors
     ///
     /// Returns [`NnError::ShapeMismatch`] if `self.rows != other.rows`.
     pub fn tr_matmul(&self, other: &Matrix) -> Result<Matrix, NnError> {
+        let mut out = Matrix::zeros(0, 0);
+        self.tr_matmul_into(other, &mut out)?;
+        Ok(out)
+    }
+
+    /// Pre-tiling reference kernel for `selfᵀ · other` (k-outer over
+    /// `self`'s rows, zero-skip). Per output element the accumulation order
+    /// (k ascending) and the zero-skip are exactly those of
+    /// `self.transpose().matmul(other)` — bit-identical, minus one full
+    /// matrix allocation and a strided copy. This is the `Xᵀ·δ`
+    /// weight-gradient product on backprop's hot path; kept as the A/B
+    /// baseline for the tiled kernel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] if `self.rows != other.rows`.
+    pub fn tr_matmul_naive(&self, other: &Matrix) -> Result<Matrix, NnError> {
         if self.rows != other.rows {
             return Err(NnError::ShapeMismatch {
                 context: format!(
@@ -206,6 +345,49 @@ impl Matrix {
             }
         }
         Ok(out)
+    }
+
+    /// Matrix product `selfᵀ · other` into `out`, reusing its storage.
+    ///
+    /// Same output-tiling contract as [`Matrix::matmul_into`]: blocks over
+    /// rows/columns of the output, i → k → j within a tile, one
+    /// ascending-`k` accumulation chain with zero-skip per output element —
+    /// bit-identical to [`Matrix::tr_matmul_naive`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] if `self.rows != other.rows`.
+    pub fn tr_matmul_into(&self, other: &Matrix, out: &mut Matrix) -> Result<(), NnError> {
+        if self.rows != other.rows {
+            return Err(NnError::ShapeMismatch {
+                context: format!(
+                    "tr_matmul: ({}x{})^T * {}x{}",
+                    self.rows, self.cols, other.rows, other.cols
+                ),
+            });
+        }
+        let n = other.cols;
+        out.reset_zeroed(self.cols, n);
+        for i0 in (0..self.cols).step_by(TILE_ROWS) {
+            let i1 = (i0 + TILE_ROWS).min(self.cols);
+            for j0 in (0..n).step_by(TILE_COLS) {
+                let j1 = (j0 + TILE_COLS).min(n);
+                for i in i0..i1 {
+                    let crow = &mut out.data[i * n + j0..i * n + j1];
+                    for k in 0..self.rows {
+                        let aki = self.data[k * self.cols + i];
+                        if aki == 0.0 {
+                            continue;
+                        }
+                        let orow = &other.data[k * n + j0..k * n + j1];
+                        for (c, o) in crow.iter_mut().zip(orow) {
+                            *c += aki * o;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Matrix product `self · otherᵀ` — the `δ·Wᵀ` input-gradient product
@@ -234,9 +416,45 @@ impl Matrix {
         self.matmul(&other.transpose())
     }
 
+    /// [`Matrix::matmul_tr`] into `out`, staging the transpose of `other`
+    /// in `t_scratch` — both buffers reused across calls, so the epoch loop
+    /// keeps the measured-faster transpose-then-multiply strategy without
+    /// its per-call allocations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] if `self.cols != other.cols`.
+    pub fn matmul_tr_into(
+        &self,
+        other: &Matrix,
+        t_scratch: &mut Matrix,
+        out: &mut Matrix,
+    ) -> Result<(), NnError> {
+        if self.cols != other.cols {
+            return Err(NnError::ShapeMismatch {
+                context: format!(
+                    "matmul_tr: {}x{} * ({}x{})^T",
+                    self.rows, self.cols, other.rows, other.cols
+                ),
+            });
+        }
+        other.transpose_into(t_scratch);
+        self.matmul_into(t_scratch, out)
+    }
+
     /// Transpose.
     pub fn transpose(&self) -> Matrix {
         Matrix::from_fn(self.cols, self.rows, |r, c| self.get(c, r))
+    }
+
+    /// Transpose into `out`, reusing its storage.
+    pub fn transpose_into(&self, out: &mut Matrix) {
+        out.reset_zeroed(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
     }
 
     /// Element-wise sum.
@@ -334,15 +552,22 @@ impl Matrix {
 
     /// Sums each column into a length-`cols` vector.
     pub fn column_sums(&self) -> Vec<f64> {
-        let mut sums = vec![0.0; self.cols];
+        let mut sums = Vec::new();
+        self.column_sums_into(&mut sums);
+        sums
+    }
+
+    /// [`Matrix::column_sums`] into `out`, reusing its storage.
+    pub fn column_sums_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.resize(self.cols, 0.0);
         if self.cols > 0 {
             for row in self.data.chunks_exact(self.cols) {
-                for (s, v) in sums.iter_mut().zip(row) {
+                for (s, v) in out.iter_mut().zip(row) {
                     *s += v;
                 }
             }
         }
-        sums
     }
 
     /// Selects the given rows into a new matrix (for mini-batching).
@@ -521,6 +746,87 @@ mod tests {
             m.select_rows_into(&[1], &mut buf);
             assert_eq!(buf, m.select_rows(&[1]));
         }
+    }
+
+    /// Random matrix with exact zeros sprinkled in, so the zero-skip path
+    /// of every kernel is exercised.
+    fn sparse_random(rows: usize, cols: usize, rng: &mut SplitMix64) -> Matrix {
+        Matrix::from_fn(rows, cols, |_, _| {
+            if rng.random_range(0.0..1.0) < 0.2 {
+                0.0
+            } else {
+                rng.random_range(-1.0..1.0)
+            }
+        })
+    }
+
+    fn assert_bits_eq(a: &Matrix, b: &Matrix, context: &str) {
+        assert_eq!((a.rows(), a.cols()), (b.rows(), b.cols()), "{context}");
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits(), "{context}");
+        }
+    }
+
+    /// The tiled kernels against their retained naive baselines across
+    /// odd, prime, and tile-straddling shapes (tiles are 16×64, so 15–17
+    /// straddles the row tile and 63–65 the column tile).
+    #[test]
+    fn tiled_kernels_are_bit_identical_to_naive_across_tile_boundaries() {
+        let dims = [1usize, 2, 3, 5, 7, 15, 16, 17, 31, 63, 64, 65];
+        let mut rng = SplitMix64::seed_from_u64(0xD1CE);
+        for &m in &dims {
+            for &k in &[1usize, 5, 17, 64, 65] {
+                for &n in &dims {
+                    let a = sparse_random(m, k, &mut rng);
+                    let b = sparse_random(k, n, &mut rng);
+                    let ctx = format!("matmul {m}x{k} * {k}x{n}");
+                    assert_bits_eq(&a.matmul(&b).unwrap(), &a.matmul_naive(&b).unwrap(), &ctx);
+
+                    let at = sparse_random(k, m, &mut rng);
+                    let ctx = format!("tr_matmul ({k}x{m})^T * {k}x{n}");
+                    assert_bits_eq(
+                        &at.tr_matmul(&b).unwrap(),
+                        &at.tr_matmul_naive(&b).unwrap(),
+                        &ctx,
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn into_variants_reuse_buffers_and_match() {
+        let mut rng = SplitMix64::seed_from_u64(9);
+        let a = sparse_random(17, 33, &mut rng);
+        let b = sparse_random(33, 65, &mut rng);
+        let mut out = Matrix::zeros(0, 0);
+        a.matmul_into(&b, &mut out).unwrap();
+        assert_bits_eq(&out, &a.matmul_naive(&b).unwrap(), "matmul_into");
+        // Second call with a smaller product reuses the same storage.
+        let c = sparse_random(3, 33, &mut rng);
+        c.matmul_into(&b, &mut out).unwrap();
+        assert_bits_eq(&out, &c.matmul_naive(&b).unwrap(), "matmul_into reuse");
+
+        let bt = sparse_random(65, 33, &mut rng);
+        let mut t_scratch = Matrix::zeros(0, 0);
+        a.matmul_tr_into(&bt, &mut t_scratch, &mut out).unwrap();
+        assert_bits_eq(&out, &a.matmul_tr(&bt).unwrap(), "matmul_tr_into");
+
+        let mut tr = Matrix::zeros(0, 0);
+        a.transpose_into(&mut tr);
+        assert_eq!(tr, a.transpose());
+
+        let mut sums = Vec::new();
+        a.column_sums_into(&mut sums);
+        assert_eq!(sums, a.column_sums());
+    }
+
+    #[test]
+    fn reset_zeroed_reshapes_in_place() {
+        let mut m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        m.reset_zeroed(1, 3);
+        assert_eq!((m.rows(), m.cols()), (1, 3));
+        assert_eq!(m.as_slice(), &[0.0, 0.0, 0.0]);
     }
 
     #[test]

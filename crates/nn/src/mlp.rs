@@ -1,7 +1,7 @@
 use cv_rng::SplitMix64;
 
 use crate::layer::DenseCache;
-use crate::{Activation, Dense, Matrix, NnError};
+use crate::{Activation, Dense, Matrix, MlpScratch, NnError};
 
 /// A multilayer perceptron: a stack of [`Dense`] layers.
 ///
@@ -108,6 +108,9 @@ impl Mlp {
 
     /// Batch forward pass.
     ///
+    /// Allocating reference path (one matrix per layer per call), kept as
+    /// the A/B baseline for [`Mlp::forward_into`], which is bit-identical.
+    ///
     /// # Errors
     ///
     /// Returns [`NnError::ShapeMismatch`] if `x.cols() != input_dim`.
@@ -119,14 +122,92 @@ impl Mlp {
         Ok(cur)
     }
 
+    /// Ping-pong core of the scratch-backed forward pass: layer `l` reads
+    /// one buffer and writes the other. Returns the buffer holding the
+    /// final activations.
+    fn forward_pingpong<'s>(
+        &self,
+        x: &Matrix,
+        ping: &'s mut Matrix,
+        pong: &'s mut Matrix,
+    ) -> Result<&'s Matrix, NnError> {
+        for (i, layer) in self.layers.iter().enumerate() {
+            if i == 0 {
+                layer.forward_into(x, ping)?;
+            } else if i % 2 == 1 {
+                layer.forward_into(ping, pong)?;
+            } else {
+                layer.forward_into(pong, ping)?;
+            }
+        }
+        Ok(if self.layers.len() % 2 == 1 {
+            ping
+        } else {
+            pong
+        })
+    }
+
+    /// Batch forward pass into `scratch`'s reusable buffers; returns a view
+    /// of the final activations. Bit-identical to [`Mlp::forward`] (fused
+    /// per-layer kernel, same per-element op order) with zero heap
+    /// allocation once the scratch has grown to shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] if `x.cols() != input_dim`.
+    pub fn forward_into<'s>(
+        &self,
+        x: &Matrix,
+        scratch: &'s mut MlpScratch,
+    ) -> Result<&'s Matrix, NnError> {
+        self.forward_pingpong(x, &mut scratch.ping, &mut scratch.pong)
+    }
+
+    /// Single-sample inference into a caller-owned output slice, staging
+    /// the input through `scratch` — the allocation-free hot path behind
+    /// the planner's per-step call. Bit-identical to [`Mlp::predict`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] if `input.len() != input_dim` or
+    /// `out.len() != output_dim`.
+    pub fn predict_into(
+        &self,
+        input: &[f64],
+        scratch: &mut MlpScratch,
+        out: &mut [f64],
+    ) -> Result<(), NnError> {
+        if out.len() != self.output_dim() {
+            return Err(NnError::ShapeMismatch {
+                context: format!("predict out {} vs {}", out.len(), self.output_dim()),
+            });
+        }
+        let MlpScratch {
+            input: stage,
+            ping,
+            pong,
+        } = scratch;
+        stage.reset_zeroed(1, input.len());
+        stage.as_mut_slice().copy_from_slice(input);
+        let y = self.forward_pingpong(stage, ping, pong)?;
+        out.copy_from_slice(y.as_slice());
+        Ok(())
+    }
+
     /// Convenience single-sample inference.
+    ///
+    /// Thin wrapper over [`Mlp::predict_into`] with a throwaway scratch;
+    /// hot paths should hold an [`MlpScratch`] and call `predict_into`
+    /// directly.
     ///
     /// # Errors
     ///
     /// Returns [`NnError::ShapeMismatch`] if `input.len() != input_dim`.
     pub fn predict(&self, input: &[f64]) -> Result<Vec<f64>, NnError> {
-        let x = Matrix::from_vec(1, input.len(), input.to_vec())?;
-        Ok(self.forward(&x)?.as_slice().to_vec())
+        let mut scratch = MlpScratch::new();
+        let mut out = vec![0.0; self.output_dim()];
+        self.predict_into(input, &mut scratch, &mut out)?;
+        Ok(out)
     }
 
     /// Forward pass retaining per-layer caches for backprop.
@@ -291,6 +372,56 @@ mod tests {
         let l2 = Dense::new(4, 1, Activation::Identity, &mut rng);
         assert!(Mlp::from_layers(vec![l1, l2]).is_err());
         assert!(Mlp::from_layers(vec![]).is_err());
+    }
+
+    /// `forward_into` must reproduce `forward` to the bit across layer
+    /// counts (odd/even exercises both ping-pong endings) and batch sizes.
+    #[test]
+    fn forward_into_is_bit_identical_to_forward() {
+        for sizes in [
+            vec![5, 1],
+            vec![5, 32, 32, 1],
+            vec![3, 7, 11, 2],
+            vec![4, 16, 3],
+        ] {
+            let net = Mlp::new(&sizes, Activation::Tanh, Activation::Identity, 13).unwrap();
+            let mut scratch = MlpScratch::for_net(&net);
+            for rows in [1usize, 2, 5, 17] {
+                let x =
+                    Matrix::from_fn(rows, sizes[0], |r, c| ((r * 31 + c * 7) as f64).sin() * 0.7);
+                let reference = net.forward(&x).unwrap();
+                let fused = net.forward_into(&x, &mut scratch).unwrap();
+                assert_eq!((fused.rows(), fused.cols()), (rows, *sizes.last().unwrap()));
+                for (a, b) in reference.as_slice().iter().zip(fused.as_slice()) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "sizes {sizes:?} rows {rows}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn predict_into_matches_predict_bitwise() {
+        let net = Mlp::new(&[5, 32, 32, 1], Activation::Tanh, Activation::Tanh, 7).unwrap();
+        let mut scratch = MlpScratch::for_net(&net);
+        let input = [0.3, -0.8, 0.15, 0.9, -0.2];
+        let mut out = [0.0];
+        net.predict_into(&input, &mut scratch, &mut out).unwrap();
+        let reference = net.predict(&input).unwrap();
+        assert_eq!(out[0].to_bits(), reference[0].to_bits());
+        // Batch reference too: predict must still agree with forward.
+        let row = net.forward(&Matrix::from_rows(&[&input]).unwrap()).unwrap();
+        assert_eq!(out[0].to_bits(), row.get(0, 0).to_bits());
+    }
+
+    #[test]
+    fn predict_into_validates_output_arity() {
+        let net = Mlp::new(&[2, 4, 2], Activation::Tanh, Activation::Identity, 0).unwrap();
+        let mut scratch = MlpScratch::for_net(&net);
+        let mut short = [0.0];
+        assert!(net
+            .predict_into(&[0.1, 0.2], &mut scratch, &mut short)
+            .is_err());
+        assert!(net.predict(&[0.1]).is_err());
     }
 
     #[test]

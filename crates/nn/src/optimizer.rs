@@ -118,6 +118,80 @@ impl LayerOptState {
             }
         }
     }
+
+    /// Applies the update directly to `weights`/`bias` without allocating
+    /// the intermediate delta. The per-element arithmetic replicates the
+    /// exact expression grouping of [`LayerOptState::update`] followed by
+    /// `apply_update` (`w + (-lr·m̂/(√v̂+ε))` for Adam, `w + g·(−lr)` for
+    /// SGD), so the resulting weight trajectory is bit-identical.
+    pub(crate) fn update_in_place(
+        &mut self,
+        opt: &Optimizer,
+        d_weights: &Matrix,
+        d_bias: &[f64],
+        weights: &mut Matrix,
+        bias: &mut [f64],
+    ) -> Result<(), NnError> {
+        if d_weights.rows() != weights.rows()
+            || d_weights.cols() != weights.cols()
+            || d_bias.len() != bias.len()
+        {
+            return Err(NnError::ShapeMismatch {
+                context: format!(
+                    "in-place update: grads {}x{}/{} vs params {}x{}/{}",
+                    d_weights.rows(),
+                    d_weights.cols(),
+                    d_bias.len(),
+                    weights.rows(),
+                    weights.cols(),
+                    bias.len()
+                ),
+            });
+        }
+        match *opt {
+            Optimizer::Sgd { lr } => {
+                for (w, &g) in weights.as_mut_slice().iter_mut().zip(d_weights.as_slice()) {
+                    *w += g * -lr;
+                }
+                for (b, g) in bias.iter_mut().zip(d_bias) {
+                    *b += -lr * g;
+                }
+            }
+            Optimizer::Adam {
+                lr,
+                beta1,
+                beta2,
+                eps,
+            } => {
+                self.step += 1;
+                let t = self.step as f64;
+                let bc1 = 1.0 - beta1.powf(t);
+                let bc2 = 1.0 - beta2.powf(t);
+
+                for (((w, &g), m), v) in weights
+                    .as_mut_slice()
+                    .iter_mut()
+                    .zip(d_weights.as_slice())
+                    .zip(self.mw.as_mut_slice())
+                    .zip(self.vw.as_mut_slice())
+                {
+                    *m = *m * beta1 + g * (1.0 - beta1);
+                    *v = *v * beta2 + (g * g) * (1.0 - beta2);
+                    let m_hat = *m / bc1;
+                    let v_hat = *v / bc2;
+                    *w += -lr * m_hat / (v_hat.sqrt() + eps);
+                }
+                for (i, (b, g)) in bias.iter_mut().zip(d_bias).enumerate() {
+                    self.mb[i] = beta1 * self.mb[i] + (1.0 - beta1) * g;
+                    self.vb[i] = beta2 * self.vb[i] + (1.0 - beta2) * g * g;
+                    let m_hat = self.mb[i] / bc1;
+                    let v_hat = self.vb[i] / bc2;
+                    *b += -lr * m_hat / (v_hat.sqrt() + eps);
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -160,5 +234,47 @@ mod tests {
     #[should_panic]
     fn nonpositive_lr_panics() {
         let _ = Optimizer::sgd(0.0);
+    }
+
+    /// The in-place update must track the allocating update+apply
+    /// composition to the bit across many steps, for both optimizers.
+    #[test]
+    fn update_in_place_is_bit_identical_to_update() {
+        for opt in [Optimizer::sgd(0.05), Optimizer::adam(0.01)] {
+            let mut st_a = LayerOptState::new(3, 2);
+            let mut st_b = LayerOptState::new(3, 2);
+            let mut w_a = Matrix::from_fn(3, 2, |r, c| ((r * 2 + c) as f64).sin());
+            let mut w_b = w_a.clone();
+            let mut b_a = vec![0.1, -0.2];
+            let mut b_b = b_a.clone();
+            for step in 0..25 {
+                let g = Matrix::from_fn(3, 2, |r, c| ((step * 6 + r * 2 + c) as f64).cos());
+                let gb = [((step * 2) as f64).sin(), ((step * 2 + 1) as f64).sin()];
+                let (dw, db) = st_a.update(&opt, &g, &gb).unwrap();
+                w_a = w_a.add(&dw).unwrap();
+                for (b, d) in b_a.iter_mut().zip(&db) {
+                    *b += d;
+                }
+                st_b.update_in_place(&opt, &g, &gb, &mut w_b, &mut b_b)
+                    .unwrap();
+                for (a, b) in w_a.as_slice().iter().zip(w_b.as_slice()) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "{opt:?} step {step}");
+                }
+                for (a, b) in b_a.iter().zip(&b_b) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "{opt:?} step {step}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn update_in_place_rejects_shape_mismatch() {
+        let mut st = LayerOptState::new(2, 2);
+        let g = Matrix::zeros(2, 2);
+        let mut w = Matrix::zeros(2, 1);
+        let mut b = vec![0.0, 0.0];
+        assert!(st
+            .update_in_place(&Optimizer::sgd(0.1), &g, &[0.0, 0.0], &mut w, &mut b)
+            .is_err());
     }
 }

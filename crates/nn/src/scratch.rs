@@ -1,0 +1,71 @@
+use crate::{Matrix, Mlp};
+
+/// Reusable activation workspace for allocation-free [`Mlp`] inference.
+///
+/// [`Mlp::forward`] allocates one matrix per layer per call; on the episode
+/// hot path the planner invokes the network every control step, so those
+/// allocations dominate small-network inference cost. An `MlpScratch` holds
+/// the input staging buffer and two ping-pong activation buffers; once they
+/// have grown to the largest shape seen (done eagerly by
+/// [`MlpScratch::for_net`] for single-sample inference),
+/// [`Mlp::forward_into`] and [`Mlp::predict_into`] perform no heap
+/// allocation at all.
+///
+/// A scratch is not tied to one network: buffers regrow on demand, so the
+/// same scratch can serve differently shaped [`Mlp`]s (at the cost of a
+/// one-time regrowth). Its contents carry no meaning between calls.
+///
+/// # Example
+///
+/// ```
+/// use cv_nn::{Activation, Mlp, MlpScratch};
+///
+/// let net = Mlp::new(&[5, 16, 16, 1], Activation::Tanh, Activation::Tanh, 7)?;
+/// let mut scratch = MlpScratch::for_net(&net);
+/// let mut out = [0.0];
+/// net.predict_into(&[0.1, 0.2, 0.3, 0.4, 0.5], &mut scratch, &mut out)?;
+/// assert_eq!(vec![out[0]], net.predict(&[0.1, 0.2, 0.3, 0.4, 0.5])?);
+/// # Ok::<(), cv_nn::NnError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MlpScratch {
+    /// Single-sample input staging buffer for [`Mlp::predict_into`].
+    pub(crate) input: Matrix,
+    /// Ping-pong activation buffers; layer `l` reads one and writes the
+    /// other.
+    pub(crate) ping: Matrix,
+    pub(crate) pong: Matrix,
+}
+
+impl MlpScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A scratch pre-grown for single-sample inference through `net`, so
+    /// even the first [`Mlp::predict_into`] call allocates nothing.
+    pub fn for_net(net: &Mlp) -> Self {
+        let widest = net.layers().iter().map(|l| l.out_dim()).max().unwrap_or(0);
+        let mut s = Self::new();
+        s.input.reset_zeroed(1, net.input_dim());
+        s.ping.reset_zeroed(1, widest);
+        s.pong.reset_zeroed(1, widest);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Activation;
+
+    #[test]
+    fn for_net_sizes_buffers_for_one_row() {
+        let net = Mlp::new(&[3, 8, 2], Activation::Tanh, Activation::Identity, 1).unwrap();
+        let s = MlpScratch::for_net(&net);
+        assert_eq!((s.input.rows(), s.input.cols()), (1, 3));
+        assert_eq!(s.ping.cols(), 8);
+        assert_eq!(s.pong.cols(), 8);
+    }
+}

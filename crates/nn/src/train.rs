@@ -77,12 +77,42 @@ impl Trainer {
     /// Trains `net` on inputs `x` (N×in) and targets `y` (N×out), returning
     /// the per-epoch mean training loss.
     ///
+    /// In-place hot loop: forward caches, gradients, and optimizer updates
+    /// all run through preallocated [`FitScratch`] buffers, so after the
+    /// first batch an epoch performs no per-mini-batch heap allocation. The
+    /// weight trajectory is bit-identical to the allocating reference
+    /// [`Trainer::fit_alloc`] (every kernel preserves per-element op order —
+    /// see DESIGN.md §13).
+    ///
     /// # Errors
     ///
     /// Returns [`NnError::InvalidTrainingData`] if `x`/`y` row counts differ
     /// or the dataset is empty, and [`NnError::ShapeMismatch`] if the column
     /// counts do not match the network.
     pub fn fit(&self, net: &mut Mlp, x: &Matrix, y: &Matrix) -> Result<Vec<f64>, NnError> {
+        self.fit_impl(net, x, y, true)
+    }
+
+    /// Allocating reference trainer: identical schedule and arithmetic to
+    /// [`Trainer::fit`], but every mini-batch allocates its caches and
+    /// deltas afresh. Kept as the A/B baseline (like `run_batch_static` in
+    /// the sim crate) and used by the equivalence tests and the throughput
+    /// benchmark's before/after comparison.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Trainer::fit`].
+    pub fn fit_alloc(&self, net: &mut Mlp, x: &Matrix, y: &Matrix) -> Result<Vec<f64>, NnError> {
+        self.fit_impl(net, x, y, false)
+    }
+
+    fn fit_impl(
+        &self,
+        net: &mut Mlp,
+        x: &Matrix,
+        y: &Matrix,
+        in_place: bool,
+    ) -> Result<Vec<f64>, NnError> {
         if x.rows() == 0 {
             return Err(NnError::InvalidTrainingData {
                 context: "empty dataset".into(),
@@ -136,6 +166,7 @@ impl Trainer {
         // Mini-batch buffers reused across every batch of every epoch.
         let mut xb = Matrix::zeros(0, 0);
         let mut yb = Matrix::zeros(0, 0);
+        let mut scratch = FitScratch::for_net(net);
         for _ in 0..self.config.epochs {
             rng.shuffle(&mut order);
             let mut epoch_loss = 0.0;
@@ -143,19 +174,12 @@ impl Trainer {
             for chunk in order.chunks(batch) {
                 x.select_rows_into(chunk, &mut xb);
                 y.select_rows_into(chunk, &mut yb);
-                let (pred, caches) = net.forward_cached(&xb)?;
-                epoch_loss += self.config.loss.value(&pred, &yb)?;
+                epoch_loss += if in_place {
+                    self.step_in_place(net, &xb, &yb, &mut states, &mut scratch)?
+                } else {
+                    self.step_alloc(net, &xb, &yb, &mut states)?
+                };
                 batches += 1;
-                let mut grad = self.config.loss.gradient(&pred, &yb)?;
-                // Backward through the stack, updating as we go.
-                for (idx, cache) in caches.iter().enumerate().rev() {
-                    let layer = &net.layers()[idx];
-                    let (d_input, grads) = layer.backward(cache, &grad)?;
-                    let (dw, db) =
-                        states[idx].update(&self.optimizer, &grads.d_weights, &grads.d_bias)?;
-                    net.layers_mut()[idx].apply_update(&dw, &db)?;
-                    grad = d_input;
-                }
             }
             history.push(epoch_loss / batches.max(1) as f64);
 
@@ -177,6 +201,103 @@ impl Trainer {
             *net = best_net; // restore the best validation weights
         }
         Ok(history)
+    }
+
+    /// One mini-batch step through the allocating reference path.
+    fn step_alloc(
+        &self,
+        net: &mut Mlp,
+        xb: &Matrix,
+        yb: &Matrix,
+        states: &mut [LayerOptState],
+    ) -> Result<f64, NnError> {
+        let (pred, caches) = net.forward_cached(xb)?;
+        let loss = self.config.loss.value(&pred, yb)?;
+        let mut grad = self.config.loss.gradient(&pred, yb)?;
+        // Backward through the stack, updating as we go.
+        for (idx, cache) in caches.iter().enumerate().rev() {
+            let layer = &net.layers()[idx];
+            let (d_input, grads) = layer.backward(cache, &grad)?;
+            let (dw, db) = states[idx].update(&self.optimizer, &grads.d_weights, &grads.d_bias)?;
+            net.layers_mut()[idx].apply_update(&dw, &db)?;
+            grad = d_input;
+        }
+        Ok(loss)
+    }
+
+    /// One mini-batch step through the scratch-backed in-place path.
+    fn step_in_place(
+        &self,
+        net: &mut Mlp,
+        xb: &Matrix,
+        yb: &Matrix,
+        states: &mut [LayerOptState],
+        s: &mut FitScratch,
+    ) -> Result<f64, NnError> {
+        let n_layers = net.layers().len();
+        // Forward, caching pre-activations and activations per layer.
+        for idx in 0..n_layers {
+            let (done, rest) = s.acts.split_at_mut(idx);
+            let input: &Matrix = if idx == 0 { xb } else { &done[idx - 1] };
+            net.layers()[idx].forward_cached_into(input, &mut s.pres[idx], &mut rest[0])?;
+        }
+        let loss = self.config.loss.value(&s.acts[n_layers - 1], yb)?;
+        self.config
+            .loss
+            .gradient_into(&s.acts[n_layers - 1], yb, &mut s.grad)?;
+        // Backward through the stack, updating as we go.
+        for idx in (0..n_layers).rev() {
+            {
+                let input: &Matrix = if idx == 0 { xb } else { &s.acts[idx - 1] };
+                net.layers()[idx].backward_in_place(
+                    input,
+                    &s.pres[idx],
+                    &s.grad,
+                    &mut s.d_pre,
+                    &mut s.d_w,
+                    &mut s.d_b,
+                    &mut s.w_t,
+                    &mut s.d_inp,
+                )?;
+            }
+            let (w, b) = net.layers_mut()[idx].params_mut();
+            states[idx].update_in_place(&self.optimizer, &s.d_w, &s.d_b, w, b)?;
+            std::mem::swap(&mut s.grad, &mut s.d_inp);
+        }
+        Ok(loss)
+    }
+}
+
+/// Reusable buffers for the in-place training step: per-layer forward
+/// caches plus the backward-pass intermediates. Everything regrows on
+/// demand (`reset_zeroed`), so after the first full-size mini-batch no
+/// buffer reallocates.
+#[derive(Debug, Clone, Default)]
+struct FitScratch {
+    /// Per-layer activations (`acts[l]` is the output of layer `l`).
+    acts: Vec<Matrix>,
+    /// Per-layer pre-activations `z = x·W + b`.
+    pres: Vec<Matrix>,
+    /// Gradient flowing backward (`∂L/∂y` of the current layer).
+    grad: Matrix,
+    /// `∂L/∂z` of the current layer.
+    d_pre: Matrix,
+    /// `∂L/∂x` of the current layer (swapped into `grad`).
+    d_inp: Matrix,
+    /// Weight gradient.
+    d_w: Matrix,
+    /// Bias gradient.
+    d_b: Vec<f64>,
+    /// Staging buffer for the weight transpose in `δ·Wᵀ`.
+    w_t: Matrix,
+}
+
+impl FitScratch {
+    fn for_net(net: &Mlp) -> Self {
+        let mut s = Self::default();
+        s.acts.resize_with(net.layers().len(), Matrix::default);
+        s.pres.resize_with(net.layers().len(), Matrix::default);
+        s
     }
 }
 
@@ -248,6 +369,48 @@ mod tests {
             net
         };
         assert_eq!(run(), run());
+    }
+
+    /// The in-place trainer must walk the exact same weight trajectory as
+    /// the allocating reference — identical per-epoch losses and
+    /// bit-identical final parameters, for both optimizers and with early
+    /// stopping in play.
+    #[test]
+    fn fit_is_bit_identical_to_fit_alloc() {
+        let (x, y) = toy_regression();
+        for (opt, patience, val_frac) in [
+            (Optimizer::adam(0.01), None, 0.0),
+            (Optimizer::sgd(0.05), None, 0.0),
+            (Optimizer::adam(0.01), Some(5), 0.25),
+        ] {
+            let cfg = TrainConfig {
+                epochs: 30,
+                batch_size: 8,
+                seed: 11,
+                validation_fraction: val_frac,
+                patience,
+                ..TrainConfig::default()
+            };
+            let mut net_a =
+                Mlp::new(&[1, 8, 8, 1], Activation::Tanh, Activation::Identity, 3).unwrap();
+            let mut net_b = net_a.clone();
+            let hist_a = Trainer::new(opt, cfg).fit(&mut net_a, &x, &y).unwrap();
+            let hist_b = Trainer::new(opt, cfg)
+                .fit_alloc(&mut net_b, &x, &y)
+                .unwrap();
+            assert_eq!(hist_a.len(), hist_b.len(), "{opt:?}");
+            for (a, b) in hist_a.iter().zip(&hist_b) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{opt:?}");
+            }
+            for (la, lb) in net_a.layers().iter().zip(net_b.layers()) {
+                for (a, b) in la.weights().as_slice().iter().zip(lb.weights().as_slice()) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "{opt:?}");
+                }
+                for (a, b) in la.bias().iter().zip(lb.bias()) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "{opt:?}");
+                }
+            }
+        }
     }
 
     #[test]

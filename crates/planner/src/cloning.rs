@@ -212,6 +212,62 @@ mod tests {
         assert!(planner.plan(&near) < -1.0, "near window -> brake");
     }
 
+    /// A full behaviour-cloning run through the in-place trainer must land
+    /// on bit-identical weights to the allocating reference trainer given
+    /// the same seed — the end-to-end check that the zero-allocation
+    /// training path changes nothing but speed.
+    #[test]
+    fn cloning_run_is_bit_identical_to_allocating_trainer() {
+        let mut data = Dataset::new();
+        for i in 0..30 {
+            for j in 0..10 {
+                let obs = Observation::new(
+                    i as f64 * 0.1,
+                    VehicleState::new(-40.0 + i as f64, 8.0, 0.0),
+                    Some(Interval::new(0.5 + j as f64 * 0.4, 2.5 + j as f64 * 0.4)),
+                );
+                data.push(obs, if j > 5 { 1.5 } else { -2.0 });
+            }
+        }
+        let cfg = CloneConfig {
+            epochs: 12,
+            seed: 9,
+            ..CloneConfig::default()
+        };
+        let (planner, loss) =
+            clone_behaviour(&data, limits(), FeatureScaling::left_turn(), cfg, "ab").unwrap();
+
+        // Replicate clone_behaviour with the allocating reference trainer.
+        let (x, y) = data
+            .to_matrices(&FeatureScaling::left_turn(), &limits())
+            .unwrap();
+        let mut reference = Mlp::new(
+            &[Observation::FEATURES, cfg.hidden[0], cfg.hidden[1], 1],
+            Activation::Tanh,
+            Activation::Tanh,
+            cfg.seed,
+        )
+        .unwrap();
+        let train_cfg = TrainConfig {
+            epochs: cfg.epochs,
+            batch_size: cfg.batch_size,
+            seed: cfg.seed ^ 0x5EED,
+            ..TrainConfig::default()
+        };
+        let history = Trainer::new(Optimizer::adam(cfg.learning_rate), train_cfg)
+            .fit_alloc(&mut reference, &x, &y)
+            .unwrap();
+        assert_eq!(loss.to_bits(), history.last().unwrap().to_bits());
+        for (la, lb) in planner.network().layers().iter().zip(reference.layers()) {
+            for (a, b) in la.weights().as_slice().iter().zip(lb.weights().as_slice()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+            for (a, b) in la.bias().iter().zip(lb.bias()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
     #[test]
     fn empty_dataset_errors() {
         let res = clone_behaviour(

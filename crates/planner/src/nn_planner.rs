@@ -1,5 +1,5 @@
 use cv_dynamics::VehicleLimits;
-use cv_nn::Mlp;
+use cv_nn::{Mlp, MlpScratch};
 use safe_shield::{Observation, Planner};
 
 /// Fixed input scaling applied before the MLP.
@@ -75,12 +75,25 @@ impl Default for FeatureScaling {
 /// assert!((-6.0..=3.0).contains(&accel));
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct NnPlanner {
     net: Mlp,
     limits: VehicleLimits,
     scaling: FeatureScaling,
     name: String,
+    /// Reusable activation buffers so the per-step [`Planner::plan`] call is
+    /// allocation-free. Pure workspace: carries no state between calls and
+    /// is excluded from equality.
+    scratch: MlpScratch,
+}
+
+impl PartialEq for NnPlanner {
+    fn eq(&self, other: &Self) -> bool {
+        self.net == other.net
+            && self.limits == other.limits
+            && self.scaling == other.scaling
+            && self.name == other.name
+    }
 }
 
 impl NnPlanner {
@@ -102,11 +115,13 @@ impl NnPlanner {
             Observation::FEATURES
         );
         assert_eq!(net.output_dim(), 1, "planner network must have 1 output");
+        let scratch = MlpScratch::for_net(&net);
         Self {
             net,
             limits,
             scaling,
             name: name.into(),
+            scratch,
         }
     }
 
@@ -199,11 +214,11 @@ impl NnPlanner {
 impl Planner for NnPlanner {
     fn plan(&mut self, obs: &Observation) -> f64 {
         let features = self.scaling.apply(&obs.features());
-        let y = self
-            .net
-            .predict(&features)
-            .expect("network arity checked at construction")[0];
-        self.output_to_accel(y)
+        let mut out = [0.0f64];
+        self.net
+            .predict_into(&features, &mut self.scratch, &mut out)
+            .expect("network arity checked at construction");
+        self.output_to_accel(out[0])
     }
 
     fn name(&self) -> &str {
@@ -248,6 +263,25 @@ mod tests {
             );
             let a = p.plan(&obs);
             assert!((-6.0..=3.0).contains(&a));
+        }
+    }
+
+    /// The scratch-backed plan path must agree to the bit with the
+    /// allocating `Mlp::predict` reference.
+    #[test]
+    fn plan_matches_allocating_predict_bitwise() {
+        let mut p = planner();
+        for t in 0..20 {
+            let obs = Observation::new(
+                t as f64 * 0.25,
+                cv_dynamics::VehicleState::new(-28.0 + t as f64, 7.5, 0.0),
+                Some(cv_estimation::Interval::new(2.0, 5.0)),
+            );
+            let via_scratch = p.plan(&obs);
+            let features = p.scaling().apply(&obs.features());
+            let y = p.network().predict(&features).unwrap()[0];
+            let reference = p.output_to_accel(y);
+            assert_eq!(via_scratch.to_bits(), reference.to_bits(), "step {t}");
         }
     }
 

@@ -17,11 +17,13 @@
 //! - the message inbox is drained through [`Channel::receive_into`] into a
 //!   retained buffer.
 //!
-//! Together with the scratch buffers inside the planner stack this makes the
-//! per-*step* simulation loop allocation-free in the steady state (the one
-//! exception is NN inference, which still allocates per layer — see
-//! `DESIGN.md` §10). Results are bit-identical to the build-from-scratch
-//! path; `tests/scheduler_determinism.rs` enforces that.
+//! Together with the scratch buffers inside the planner stack — including
+//! the `MlpScratch` each `NnPlanner` carries for allocation-free inference
+//! (`DESIGN.md` §13) — this makes the per-*step* simulation loop
+//! allocation-free in the steady state; `tests/alloc_guard.rs` in the root
+//! crate proves it with a counting allocator. Results are bit-identical to
+//! the build-from-scratch path; `tests/scheduler_determinism.rs` enforces
+//! that.
 
 use cv_comm::{Channel, CommSetting, Message};
 use cv_dynamics::VehicleState;

@@ -19,6 +19,18 @@ cargo run -q --release --offline -p bench --bin exp_throughput -- \
   --sims 8 --threads 2 --reps 2 --out target/tier1-throughput-smoke.json
 test -s target/tier1-throughput-smoke.json
 
+# Alloc-guard: the counting-allocator proof that the NN hot paths
+# (predict_into, NnPlanner::plan, the warmed episode loop) are
+# allocation-free in the steady state (DESIGN.md §13). Runs in release
+# mode as its own binary so its #[global_allocator] never leaks into the
+# workspace test run above.
+timeout 300 cargo test -q --release --offline --test alloc_guard
+
+# NN-kernel bit-identity smoke: the tiled/fused/in-place compute layer
+# against its retained naive baselines, in release mode (the optimiser
+# settings under which the equivalence actually has to hold).
+timeout 300 cargo test -q --release --offline -p cv-nn
+
 # Chaos smoke run: the seeded fault matrix through the cv-chaos proxy in
 # release mode (timings differ from the debug pass above), under a hard
 # wall-clock cap so a hang in any networking path fails the gate instead

@@ -1,0 +1,135 @@
+//! Counting-allocator proof of the zero-allocation NN hot paths.
+//!
+//! A `#[global_allocator]` wrapper (used only in this test binary) counts
+//! every heap allocation, so the assertions below are exact: `predict_into`
+//! and the planner's per-step `plan` call perform *zero* allocations in the
+//! steady state, and a warmed episode loop allocates only a small
+//! per-episode constant (the estimator boxes rebuilt by `StackSpec::reinit`)
+//! — never per step. See DESIGN.md §13.
+//!
+//! Everything lives in one `#[test]` so the default parallel test harness
+//! cannot pollute the counter from another test's thread. The harness's own
+//! bookkeeping thread can still allocate at arbitrary moments, so each
+//! measurement takes the *minimum* over several attempts: background noise
+//! only ever adds counts, so a minimum of zero is a sound proof that the
+//! measured path allocates nothing.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use cv_dynamics::{VehicleLimits, VehicleState};
+use cv_estimation::Interval;
+use cv_nn::{Activation, Mlp, MlpScratch};
+use cv_planner::{FeatureScaling, NnPlanner};
+use cv_sim::{EpisodeConfig, EpisodeWorkspace, StackSpec};
+use safe_shield::{Observation, Planner};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: defers every operation to `System`; the counter is a relaxed
+// atomic increment with no other side effects.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocs() -> u64 {
+    ALLOCS.load(Ordering::SeqCst)
+}
+
+/// Runs `f` and returns how many heap allocations it performed.
+fn count_allocs(mut f: impl FnMut()) -> u64 {
+    let before = allocs();
+    f();
+    allocs() - before
+}
+
+/// Minimum allocation count of `f` over `attempts` runs — immune to
+/// unrelated allocations from the test harness's bookkeeping thread.
+fn min_allocs(attempts: usize, mut f: impl FnMut()) -> u64 {
+    (0..attempts)
+        .map(|_| count_allocs(&mut f))
+        .min()
+        .expect("at least one attempt")
+}
+
+fn case_study_net() -> Mlp {
+    // The case-study planner shape: 5 scenario features -> [32, 32] -> 1.
+    Mlp::new(&[5, 32, 32, 1], Activation::Tanh, Activation::Tanh, 7).unwrap()
+}
+
+#[test]
+fn nn_hot_paths_are_allocation_free() {
+    // --- predict_into: exactly zero allocations per call once warm. ---
+    let net = case_study_net();
+    let mut scratch = MlpScratch::for_net(&net);
+    let input = [0.2, -0.4, 0.1, 0.8, -0.3];
+    let mut out = [0.0];
+    net.predict_into(&input, &mut scratch, &mut out).unwrap();
+    let n = min_allocs(5, || {
+        for _ in 0..100 {
+            net.predict_into(&input, &mut scratch, &mut out).unwrap();
+        }
+    });
+    assert_eq!(n, 0, "predict_into allocated {n} times in 100 calls");
+
+    // --- NnPlanner::plan: the per-step planner call is alloc-free. ---
+    let limits = VehicleLimits::new(0.0, 12.0, -6.0, 3.0).unwrap();
+    let mut planner = NnPlanner::new(net, limits, FeatureScaling::left_turn(), "alloc-guard");
+    let obs = Observation::new(
+        1.5,
+        VehicleState::new(-28.0, 7.5, 0.0),
+        Some(Interval::new(2.0, 5.0)),
+    );
+    let _ = planner.plan(&obs);
+    let n = min_allocs(5, || {
+        for _ in 0..100 {
+            let _ = planner.plan(&obs);
+        }
+    });
+    assert_eq!(n, 0, "NnPlanner::plan allocated {n} times in 100 calls");
+
+    // --- Steady-state episode loop through the full NN planner stack. ---
+    // A warmed workspace may allocate a small per-episode constant (the
+    // estimator boxes `StackSpec::reinit` rebuilds) but nothing per step:
+    // a warmed run's allocation count must stay far below one per step.
+    let cfg = EpisodeConfig::paper_default(42);
+    let spec = StackSpec::basic(planner);
+    let mut ws = EpisodeWorkspace::new(spec);
+    let reference = ws.run(&cfg, false).unwrap(); // cold run grows every buffer
+    ws.run(&cfg, false).unwrap(); // warm run settles capacities
+    let mut last = None;
+    let per_episode = min_allocs(4, || {
+        last = Some(ws.run(&cfg, false).unwrap());
+    });
+    let result = last.unwrap();
+    assert_eq!(result, reference, "warmed runs must be bit-identical");
+    assert!(result.total_steps >= 50, "episode too short to be a proof");
+    assert!(
+        per_episode <= 8,
+        "per-episode allocation count {per_episode} exceeds the reinit \
+         constant (total steps: {}) — something allocates per step",
+        result.total_steps
+    );
+}

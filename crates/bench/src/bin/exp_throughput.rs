@@ -11,8 +11,11 @@
 //! pass (pre-PR allocating path vs scratch-backed fused path) and the
 //! behaviour-cloning trainer (allocating vs in-place), and a kernel section
 //! micro-benchmarks `cv-nn`'s matmul family on the in-tree timing shim.
+//! A `cache` section times a repeated batch against the content-addressed
+//! episode-result cache (cold vs warm) and asserts the cache contract
+//! inline: 100% hits, bit-identical summary, ≥10× under the cold wall time.
 //!
-//! Output: `results/BENCH_throughput.json` (schema `bench.throughput/v2`)
+//! Output: `results/BENCH_throughput.json` (schema `bench.throughput/v3`)
 //! plus a human-readable table on stdout.
 //!
 //! Usage:
@@ -29,6 +32,7 @@
 //! comparison; `--sims 8 --threads 2 --reps 2` is the CI smoke
 //! configuration.
 
+use std::sync::atomic::AtomicBool;
 use std::time::Instant;
 
 use bench::timing::measure_ns;
@@ -37,9 +41,10 @@ use cv_nn::{Activation, Matrix, Mlp, MlpScratch, Optimizer, TrainConfig, Trainer
 use cv_planner::{FeatureScaling, NnPlanner};
 use cv_rng::{Rng, SplitMix64};
 use cv_server::wire::Json;
+use cv_server::{run_sharded_cached, JobLimits, JobOutcome};
 use cv_sim::{
-    run_batch, run_batch_static, BatchConfig, BatchSummary, EpisodeConfig, EpisodeResult,
-    StackSpec, WindowKind,
+    run_batch, run_batch_static, BatchConfig, BatchSummary, EpisodeCache, EpisodeConfig,
+    EpisodeResult, StackSpec, WindowKind, DEFAULT_CACHE_BYTES,
 };
 
 /// One cell of the batch matrix.
@@ -166,30 +171,129 @@ fn run_cell(
 /// previous engine — see `results/BENCH_throughput_seed.json` for the
 /// pre-overhaul engine at the growth-seed commit) and returns
 /// `(stack, threads) → episodes_per_sec`.
+///
+/// Older artifacts predate some comparison sections; a baseline missing its
+/// `cells` array, or containing cells without the compared fields, loses
+/// only those comparisons (logged to stderr) — an old-but-valid artifact
+/// must never panic the benchmark that consumes it.
 fn load_baseline(path: &str) -> Vec<(String, usize, f64)> {
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("--baseline {path}: {e}"));
     let json = Json::parse(&text).unwrap_or_else(|e| panic!("--baseline {path}: {e:?}"));
-    let cells = json
-        .get("cells")
-        .and_then(Json::as_arr)
-        .expect("baseline file has a `cells` array");
+    let Some(cells) = json.get("cells").and_then(Json::as_arr) else {
+        eprintln!(
+            "warning: --baseline {path}: no `cells` array (older artifact schema); \
+             skipping the throughput comparison"
+        );
+        return Vec::new();
+    };
     cells
         .iter()
-        .map(|c| {
-            (
-                c.get("stack")
-                    .and_then(Json::as_str)
-                    .expect("baseline cell stack")
-                    .to_string(),
-                c.get("threads")
-                    .and_then(Json::as_usize)
-                    .expect("baseline cell threads"),
-                c.get("episodes_per_sec")
-                    .and_then(Json::as_f64_lossy)
-                    .expect("baseline cell episodes_per_sec"),
-            )
+        .enumerate()
+        .filter_map(|(i, c)| {
+            let stack = c.get("stack").and_then(Json::as_str);
+            let threads = c.get("threads").and_then(Json::as_usize);
+            let eps = c.get("episodes_per_sec").and_then(Json::as_f64_lossy);
+            match (stack, threads, eps) {
+                (Some(s), Some(t), Some(e)) => Some((s.to_string(), t, e)),
+                _ => {
+                    eprintln!(
+                        "warning: --baseline {path}: cell {i} lacks \
+                         stack/threads/episodes_per_sec; skipping its comparison"
+                    );
+                    None
+                }
+            }
         })
         .collect()
+}
+
+/// The warm-cache cell: the same batch submitted twice against one
+/// content-addressed episode cache.
+struct CacheSection {
+    episodes: usize,
+    threads: usize,
+    cold_wall_secs: f64,
+    warm_wall_secs: f64,
+    warm_speedup: f64,
+    warm_hits: usize,
+    bit_identical: bool,
+}
+
+/// Times a cold batch (every episode simulated, results inserted) against
+/// an immediately repeated warm batch (every episode answered from the
+/// cache without touching a worker), asserting the cache contract inline:
+/// the warm run must hit on 100% of its episodes, return a bit-identical
+/// summary, and land at least 10× under the cold wall time.
+fn cache_rates(seed: u64, episodes: usize, threads: usize) -> CacheSection {
+    let template = EpisodeConfig::paper_default(seed);
+    let spec = StackSpec::pure_teacher_conservative(&template).expect("paper geometry");
+    let mut batch = BatchConfig::new(template, episodes);
+    batch.threads = threads;
+    let cache = EpisodeCache::new(DEFAULT_CACHE_BYTES);
+    let cancel = AtomicBool::new(false);
+    let run = || {
+        let t0 = Instant::now();
+        let outcome = run_sharded_cached(
+            &batch,
+            &spec,
+            JobLimits::new(threads),
+            &cancel,
+            None,
+            Some(&cache),
+            |_| {},
+        );
+        let secs = t0.elapsed().as_secs_f64();
+        match outcome {
+            JobOutcome::Completed(summary) => (summary, secs),
+            other => panic!("cache cell: expected completion, got {other:?}"),
+        }
+    };
+    let (cold, cold_wall_secs) = run();
+    let (warm, warm_wall_secs) = run();
+
+    assert_eq!(
+        (cold.cache_hits, cold.cache_misses),
+        (0, episodes),
+        "cold run must miss on every episode"
+    );
+    assert_eq!(
+        (warm.cache_hits, warm.cache_misses),
+        (episodes, 0),
+        "warm run must hit on 100% of its episodes"
+    );
+    let bit_identical = cold.stats_eq(&warm)
+        && cold
+            .etas
+            .iter()
+            .zip(&warm.etas)
+            .all(|(a, b)| a.to_bits() == b.to_bits())
+        && cold
+            .reaching_times
+            .iter()
+            .zip(&warm.reaching_times)
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+    assert!(bit_identical, "warm summary diverged from the cold run");
+    // An unmeasurably fast warm run (wall time rounds to zero) is an
+    // infinite speedup, not a division hazard.
+    let warm_speedup = if warm_wall_secs > 0.0 {
+        cold_wall_secs / warm_wall_secs
+    } else {
+        f64::INFINITY
+    };
+    assert!(
+        warm_speedup >= 10.0,
+        "warm cache must be >=10x faster than cold: {cold_wall_secs:.6}s cold \
+         vs {warm_wall_secs:.6}s warm ({warm_speedup:.1}x)"
+    );
+    CacheSection {
+        episodes,
+        threads,
+        cold_wall_secs,
+        warm_wall_secs,
+        warm_speedup,
+        warm_hits: warm.cache_hits,
+        bit_identical,
+    }
 }
 
 /// Measured rates of the NN compute layer (forward pass + training loop).
@@ -423,6 +527,17 @@ fn main() {
         }
     }
 
+    let cache = cache_rates(seed, sims, *threads.last().expect("non-empty threads"));
+    println!(
+        "warm cache ({} episodes): {:.4}s cold -> {:.6}s warm ({:.0}x, {} hits, bit-identical: {})",
+        cache.episodes,
+        cache.cold_wall_secs,
+        cache.warm_wall_secs,
+        cache.warm_speedup,
+        cache.warm_hits,
+        cache.bit_identical
+    );
+
     let nn = nn_rates(seed);
     println!(
         "nn forward (5x32x32x1): {:.0} ns alloc -> {:.0} ns scratch ({:.2}x, bit-identical: {})",
@@ -447,7 +562,7 @@ fn main() {
     );
 
     let json = Json::obj(vec![
-        ("schema", Json::str("bench.throughput/v2")),
+        ("schema", Json::str("bench.throughput/v3")),
         ("sims_per_cell", Json::Int(sims as i128)),
         ("reps_per_cell", Json::Int(reps as i128)),
         ("base_seed", Json::Int(seed as i128)),
@@ -493,6 +608,18 @@ fn main() {
                     })
                     .collect(),
             ),
+        ),
+        (
+            "cache",
+            Json::obj(vec![
+                ("episodes", Json::Int(cache.episodes as i128)),
+                ("threads", Json::Int(cache.threads as i128)),
+                ("cold_wall_secs", Json::num_or_null(cache.cold_wall_secs)),
+                ("warm_wall_secs", Json::num_or_null(cache.warm_wall_secs)),
+                ("warm_speedup", Json::num_or_null(cache.warm_speedup)),
+                ("warm_hits", Json::Int(cache.warm_hits as i128)),
+                ("bit_identical", Json::Bool(cache.bit_identical)),
+            ]),
         ),
         (
             "nn",

@@ -1,0 +1,529 @@
+//! Content-addressed result cache for deterministic simulations.
+//!
+//! Every episode in this workspace is deterministic by construction (seeded
+//! [`cv_rng`] streams, bit-identity tests over every batch path), which
+//! makes simulation results *content-addressable*: the full episode
+//! configuration, the planner stack, and a code-version salt hash to a key,
+//! and the key maps to the unique result any re-simulation would reproduce
+//! bit for bit. This crate provides the two halves of that idea:
+//!
+//! * **Key derivation** — [`KeyHasher`] / [`Hashable`] / [`CacheKey`]: a
+//!   stable (cross-process, cross-platform) 128-bit content hash built from
+//!   two independent 64-bit FNV-1a streams ([`cv_rng::Fnv1a`]). Floats are
+//!   keyed by their IEEE-754 bit patterns — `-0.0` and `0.0` are distinct
+//!   inputs to a simulation and hash differently — and NaN payloads are
+//!   rejected with a typed [`KeyError`] instead of being silently keyed
+//!   (a NaN-bearing config does not describe a reproducible episode).
+//! * **Storage** — [`ShardedCache`]: an in-process, memory-bounded LRU,
+//!   sharded across independently locked segments so concurrent lookups
+//!   contend only per shard, with hit/miss/eviction counters.
+//!
+//! What to cache is the *caller's* policy; the contract here is only that
+//! `insert` never exceeds the byte budget (least-recently-used entries are
+//! evicted first) and `get` returns exactly what was inserted.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use cv_rng::{Fnv1a, FNV_OFFSET_BASIS};
+
+/// Basis of the second hash stream: the standard offset basis perturbed by
+/// the SplitMix64 increment, so the two lanes of a [`CacheKey`] disagree
+/// from the first byte on.
+const SECOND_BASIS: u64 = FNV_OFFSET_BASIS ^ 0x9E37_79B9_7F4A_7C15;
+
+/// A typed key-derivation failure.
+///
+/// Keys must identify a *reproducible* computation; a NaN anywhere in the
+/// configuration means the episode it describes is not one the simulator
+/// defines, so the config is refused rather than silently keyed (all NaN
+/// bit patterns would otherwise alias under `to_bits`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KeyError {
+    /// A floating-point field held a NaN.
+    NanField {
+        /// Dotted path of the offending field (e.g. `comm.delay`).
+        field: String,
+    },
+}
+
+impl std::fmt::Display for KeyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KeyError::NanField { field } => {
+                write!(f, "cannot derive a cache key: field '{field}' is NaN")
+            }
+        }
+    }
+}
+
+impl std::error::Error for KeyError {}
+
+/// A 128-bit content hash: two independent 64-bit FNV-1a lanes over the
+/// same byte stream.
+///
+/// One 64-bit lane over millions of cached episodes leaves a small but real
+/// birthday-collision probability — and a collision here silently returns
+/// the wrong episode's result. Two independent lanes push that probability
+/// below any practical concern while keeping the hasher in-tree and
+/// dependency-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CacheKey {
+    /// First FNV-1a lane (standard offset basis).
+    pub hi: u64,
+    /// Second FNV-1a lane (perturbed basis).
+    pub lo: u64,
+}
+
+/// Streaming content hasher with NaN rejection.
+///
+/// All write methods fold bytes into both lanes; [`KeyHasher::write_f64`]
+/// additionally validates the value. Variable-length data must be
+/// length-prefixed by the caller ([`KeyHasher::write_len`]) so the byte
+/// stream stays prefix-free.
+#[derive(Debug, Clone)]
+pub struct KeyHasher {
+    a: Fnv1a,
+    b: Fnv1a,
+}
+
+impl Default for KeyHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl KeyHasher {
+    /// A fresh hasher.
+    pub fn new() -> Self {
+        KeyHasher {
+            a: Fnv1a::new(),
+            b: Fnv1a::with_basis(SECOND_BASIS),
+        }
+    }
+
+    /// Folds raw bytes into both lanes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        self.a.write(bytes);
+        self.b.write(bytes);
+    }
+
+    /// Folds one byte — typically an enum discriminant.
+    pub fn write_u8(&mut self, byte: u8) {
+        self.a.write_u8(byte);
+        self.b.write_u8(byte);
+    }
+
+    /// Folds a `u64` (little-endian).
+    pub fn write_u64(&mut self, value: u64) {
+        self.a.write_u64(value);
+        self.b.write_u64(value);
+    }
+
+    /// Folds a collection length, so `[1.0] ++ [2.0]` and `[1.0, 2.0]`
+    /// produce different streams.
+    pub fn write_len(&mut self, len: usize) {
+        self.write_u64(len as u64);
+    }
+
+    /// Folds a string as `(len, bytes)`.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_len(s.len());
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// Folds an `f64` by its IEEE-754 bit pattern. `-0.0` and `0.0` hash
+    /// differently; infinities are legal inputs; NaN is refused.
+    ///
+    /// # Errors
+    ///
+    /// [`KeyError::NanField`] naming `field` when `value` is NaN.
+    pub fn write_f64(&mut self, field: &str, value: f64) -> Result<(), KeyError> {
+        if value.is_nan() {
+            return Err(KeyError::NanField {
+                field: field.to_string(),
+            });
+        }
+        self.write_u64(value.to_bits());
+        Ok(())
+    }
+
+    /// Folds an `Option<f64>` as a presence tag plus (when present) the
+    /// value's bits.
+    ///
+    /// # Errors
+    ///
+    /// [`KeyError::NanField`] when the contained value is NaN.
+    pub fn write_opt_f64(&mut self, field: &str, value: Option<f64>) -> Result<(), KeyError> {
+        match value {
+            None => self.write_u8(0),
+            Some(v) => {
+                self.write_u8(1);
+                self.write_f64(field, v)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// The final 128-bit key.
+    pub fn finish(&self) -> CacheKey {
+        CacheKey {
+            hi: self.a.finish(),
+            lo: self.b.finish(),
+        }
+    }
+}
+
+/// Hand-derived content hashing over config structs.
+///
+/// Implementations must feed *every* field that influences the computation
+/// being cached, in a fixed order, using the [`KeyHasher`] primitives
+/// (discriminant byte first for enums, length prefix first for
+/// collections). The derive-by-hand discipline is deliberate: adding a
+/// field to a config without extending its `feed` is exactly the bug the
+/// key-stability property tests are there to catch.
+pub trait Hashable {
+    /// Folds `self` into the hasher.
+    ///
+    /// # Errors
+    ///
+    /// [`KeyError`] if a floating-point field is NaN.
+    fn feed(&self, hasher: &mut KeyHasher) -> Result<(), KeyError>;
+
+    /// Convenience: hash `self` alone to a key.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Hashable::feed`] errors.
+    fn content_key(&self) -> Result<CacheKey, KeyError> {
+        let mut h = KeyHasher::new();
+        self.feed(&mut h)?;
+        Ok(h.finish())
+    }
+}
+
+/// Point-in-time cache counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups that returned a value.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries evicted to respect the byte budget.
+    pub evictions: u64,
+    /// Live entries.
+    pub entries: usize,
+    /// Estimated bytes held by live entries.
+    pub bytes: usize,
+}
+
+/// One shard: an LRU map with its own byte budget.
+///
+/// Recency is tracked with a monotonic tick per shard: the map stores each
+/// entry's current tick, and `order` is the tick-sorted index. A hit
+/// re-stamps the entry (O(log n)); eviction pops the smallest tick. Ticks
+/// are u64 — they cannot plausibly wrap.
+struct Shard<V> {
+    map: HashMap<CacheKey, ShardEntry<V>>,
+    order: BTreeMap<u64, CacheKey>,
+    next_tick: u64,
+    bytes: usize,
+}
+
+struct ShardEntry<V> {
+    value: V,
+    tick: u64,
+    weight: usize,
+}
+
+impl<V: Clone> Shard<V> {
+    fn new() -> Self {
+        Shard {
+            map: HashMap::new(),
+            order: BTreeMap::new(),
+            next_tick: 0,
+            bytes: 0,
+        }
+    }
+
+    fn get(&mut self, key: &CacheKey) -> Option<V> {
+        let tick = self.next_tick;
+        let entry = self.map.get_mut(key)?;
+        self.order.remove(&entry.tick);
+        entry.tick = tick;
+        self.order.insert(tick, *key);
+        self.next_tick += 1;
+        Some(entry.value.clone())
+    }
+
+    /// Inserts and returns how many entries were evicted to make room.
+    fn insert(&mut self, key: CacheKey, value: V, weight: usize, budget: usize) -> u64 {
+        if weight > budget {
+            // An entry that alone overflows the shard would immediately
+            // evict everything including itself; refuse it outright.
+            return 0;
+        }
+        if let Some(old) = self.map.remove(&key) {
+            self.order.remove(&old.tick);
+            self.bytes -= old.weight;
+        }
+        let mut evicted = 0;
+        while self.bytes + weight > budget {
+            let (_, victim) = self
+                .order
+                .pop_first()
+                .expect("non-empty order while over budget");
+            let gone = self.map.remove(&victim).expect("order/map in sync");
+            self.bytes -= gone.weight;
+            evicted += 1;
+        }
+        let tick = self.next_tick;
+        self.next_tick += 1;
+        self.order.insert(tick, key);
+        self.bytes += weight;
+        self.map.insert(
+            key,
+            ShardEntry {
+                value,
+                tick,
+                weight,
+            },
+        );
+        evicted
+    }
+}
+
+/// A sharded, memory-bounded, in-process LRU keyed by [`CacheKey`].
+///
+/// The byte budget is split evenly across shards and enforced per shard;
+/// each shard is an independent [`Mutex`], so lookups on different shards
+/// never contend and a lookup concurrent with an eviction on the same shard
+/// simply serialises — it returns either the full entry or a miss, never a
+/// torn value. Values are returned by clone, so an evicted entry that a
+/// concurrent reader already fetched stays valid in the reader's hands.
+///
+/// Counters are process-wide atomics; per-job accounting is done by the
+/// caller (which knows which lookups belong to which job).
+pub struct ShardedCache<V> {
+    shards: Vec<Mutex<Shard<V>>>,
+    shard_budget: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// Default shard count: enough to keep a handful of worker threads off each
+/// other's locks without fragmenting small byte budgets.
+pub const DEFAULT_SHARDS: usize = 16;
+
+impl<V: Clone> ShardedCache<V> {
+    /// A cache holding at most `total_bytes` of entry weight across
+    /// [`DEFAULT_SHARDS`] shards.
+    pub fn new(total_bytes: usize) -> Self {
+        Self::with_shards(total_bytes, DEFAULT_SHARDS)
+    }
+
+    /// A cache with an explicit shard count (floor 1). Single-shard caches
+    /// have a globally deterministic LRU order — what the eviction-order
+    /// tests pin down.
+    pub fn with_shards(total_bytes: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        ShardedCache {
+            shards: (0..shards).map(|_| Mutex::new(Shard::new())).collect(),
+            shard_budget: total_bytes / shards,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &CacheKey) -> &Mutex<Shard<V>> {
+        // The key is already a high-quality hash; its low bits pick the
+        // shard directly.
+        &self.shards[(key.lo as usize) % self.shards.len()]
+    }
+
+    /// Looks up `key`, refreshing its recency on a hit.
+    pub fn get(&self, key: &CacheKey) -> Option<V> {
+        let got = self
+            .shard(key)
+            .lock()
+            .expect("cache shard poisoned")
+            .get(key);
+        match got {
+            Some(v) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(v)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts `value` under `key` with an estimated `weight` in bytes,
+    /// evicting least-recently-used entries of the same shard as needed.
+    /// An entry heavier than a whole shard's budget is silently refused.
+    pub fn insert(&self, key: CacheKey, value: V, weight: usize) {
+        let evicted = self
+            .shard(&key)
+            .lock()
+            .expect("cache shard poisoned")
+            .insert(key, value, weight, self.shard_budget);
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
+    }
+
+    /// Total evictions since construction.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// A snapshot of the counters and occupancy.
+    pub fn stats(&self) -> CacheStats {
+        let (mut entries, mut bytes) = (0, 0);
+        for shard in &self.shards {
+            let s = shard.lock().expect("cache shard poisoned");
+            entries += s.map.len();
+            bytes += s.bytes;
+        }
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries,
+            bytes,
+        }
+    }
+
+    /// Live entry count across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").map.len())
+            .sum()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(n: u64) -> CacheKey {
+        let mut h = KeyHasher::new();
+        h.write_u64(n);
+        h.finish()
+    }
+
+    #[test]
+    fn keys_are_stable_and_input_sensitive() {
+        assert_eq!(key(7), key(7));
+        assert_ne!(key(7), key(8));
+        // Cross-process stability anchor: the first lane is plain FNV-1a
+        // over the little-endian bytes.
+        assert_eq!(key(7).hi, cv_rng::fnv1a(&7u64.to_le_bytes()));
+    }
+
+    #[test]
+    fn negative_zero_and_zero_key_differently() {
+        let mut a = KeyHasher::new();
+        a.write_f64("x", 0.0).unwrap();
+        let mut b = KeyHasher::new();
+        b.write_f64("x", -0.0).unwrap();
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn nan_is_a_typed_error_naming_the_field() {
+        let mut h = KeyHasher::new();
+        let err = h.write_f64("noise.delta_p", f64::NAN).unwrap_err();
+        assert_eq!(
+            err,
+            KeyError::NanField {
+                field: "noise.delta_p".into()
+            }
+        );
+        assert!(err.to_string().contains("noise.delta_p"));
+        // Option variant rejects too.
+        let mut h = KeyHasher::new();
+        assert!(h.write_opt_f64("cap", Some(f64::NAN)).is_err());
+        assert!(h.write_opt_f64("cap", None).is_ok());
+    }
+
+    #[test]
+    fn length_prefix_disambiguates_adjacent_collections() {
+        // ([1.0], [2.0]) vs ([1.0, 2.0], []) must differ.
+        let feed = |h: &mut KeyHasher, xs: &[f64], ys: &[f64]| {
+            h.write_len(xs.len());
+            for x in xs {
+                h.write_f64("x", *x).unwrap();
+            }
+            h.write_len(ys.len());
+            for y in ys {
+                h.write_f64("y", *y).unwrap();
+            }
+        };
+        let mut a = KeyHasher::new();
+        feed(&mut a, &[1.0], &[2.0]);
+        let mut b = KeyHasher::new();
+        feed(&mut b, &[1.0, 2.0], &[]);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn get_returns_what_insert_stored() {
+        let cache: ShardedCache<Vec<f64>> = ShardedCache::new(1 << 16);
+        assert!(cache.is_empty());
+        cache.insert(key(1), vec![1.5, -0.0], 64);
+        assert_eq!(cache.get(&key(1)), Some(vec![1.5, -0.0]));
+        assert_eq!(cache.get(&key(2)), None);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.evictions), (1, 1, 0));
+        assert_eq!((stats.entries, stats.bytes), (1, 64));
+    }
+
+    #[test]
+    fn reinsert_replaces_without_leaking_weight() {
+        let cache: ShardedCache<u32> = ShardedCache::with_shards(1024, 1);
+        cache.insert(key(1), 10, 100);
+        cache.insert(key(1), 20, 300);
+        assert_eq!(cache.get(&key(1)), Some(20));
+        let stats = cache.stats();
+        assert_eq!((stats.entries, stats.bytes, stats.evictions), (1, 300, 0));
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used_first() {
+        // Single shard, budget for exactly three unit-weight entries.
+        let cache: ShardedCache<u64> = ShardedCache::with_shards(3, 1);
+        cache.insert(key(1), 1, 1);
+        cache.insert(key(2), 2, 1);
+        cache.insert(key(3), 3, 1);
+        // Touch 1 so 2 becomes the LRU victim.
+        assert_eq!(cache.get(&key(1)), Some(1));
+        cache.insert(key(4), 4, 1);
+        assert_eq!(cache.evictions(), 1);
+        assert_eq!(cache.get(&key(2)), None, "LRU entry evicted");
+        assert_eq!(cache.get(&key(1)), Some(1));
+        assert_eq!(cache.get(&key(3)), Some(3));
+        assert_eq!(cache.get(&key(4)), Some(4));
+    }
+
+    #[test]
+    fn oversize_entry_is_refused_not_thrashed() {
+        let cache: ShardedCache<u64> = ShardedCache::with_shards(8, 1);
+        cache.insert(key(1), 1, 4);
+        cache.insert(key(2), 2, 100); // heavier than the whole shard
+        assert_eq!(cache.get(&key(2)), None);
+        assert_eq!(cache.get(&key(1)), Some(1), "resident entry untouched");
+        assert_eq!(cache.evictions(), 0);
+    }
+}

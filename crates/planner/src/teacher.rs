@@ -124,6 +124,33 @@ impl TeacherPolicy {
         )
     }
 
+    /// Stable content-fingerprint material: every parameter that influences
+    /// this policy's decisions, as IEEE-754 bit patterns in a fixed order,
+    /// plus the policy name. An `Option` parameter contributes a presence
+    /// tag followed by its bits (zero when absent). Two policies with equal
+    /// material plan identically, which is what lets a result cache key
+    /// teacher episodes by configuration instead of by identity.
+    pub fn content_bits(&self) -> ([u64; 13], &'static str) {
+        (
+            [
+                self.p_f.to_bits(),
+                self.p_b.to_bits(),
+                self.limits.v_min().to_bits(),
+                self.limits.v_max().to_bits(),
+                self.limits.a_min().to_bits(),
+                self.limits.a_max().to_bits(),
+                self.margin_before.to_bits(),
+                self.margin_after.to_bits(),
+                self.lead.to_bits(),
+                self.a_go.to_bits(),
+                u64::from(self.speed_cap_factor.is_some()),
+                self.speed_cap_factor.map_or(0, f64::to_bits),
+                self.tau_smooth.to_bits(),
+            ],
+            self.name,
+        )
+    }
+
     /// The ego's projected occupancy of the conflict zone if it cruises at
     /// `a_go` from the observed state, in absolute time.
     fn projected_occupancy(&self, obs: &Observation) -> Interval {

@@ -188,14 +188,82 @@ pub fn derive_seed(seed: u64, label: &str) -> u64 {
 /// FNV-1a hash of a byte string; used by [`props!`] to derive a stable
 /// per-test seed from the test's name.
 pub const fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    let mut hash = FNV_OFFSET_BASIS;
     let mut i = 0;
     while i < bytes.len() {
         hash ^= bytes[i] as u64;
-        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        hash = hash.wrapping_mul(FNV_PRIME);
         i += 1;
     }
     hash
+}
+
+/// The 64-bit FNV-1a offset basis.
+pub const FNV_OFFSET_BASIS: u64 = 0xCBF2_9CE4_8422_2325;
+
+/// The 64-bit FNV-1a prime.
+pub const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+/// Incremental 64-bit FNV-1a hasher: the streaming form of [`fnv1a`].
+///
+/// Feeding a byte string in any number of chunks produces exactly the
+/// one-shot [`fnv1a`] value, and the function is pure arithmetic over the
+/// input bytes — no per-process randomisation, no platform dependence — so
+/// hashes are stable across runs, machines, and compiler versions. That
+/// stability is what content-addressed keys (`cv-cache`) build on.
+///
+/// Multi-byte integers are folded in little-endian order via
+/// [`Fnv1a::write_u64`], which keeps the byte stream unambiguous as long as
+/// callers fix the field order (length-prefix any variable-length data).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fnv1a {
+    state: u64,
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv1a {
+    /// A hasher starting from the standard FNV-1a offset basis.
+    pub const fn new() -> Self {
+        Fnv1a {
+            state: FNV_OFFSET_BASIS,
+        }
+    }
+
+    /// A hasher starting from a custom basis — two streams over the same
+    /// bytes with different bases stay decorrelated, which is how wider
+    /// (128-bit) content keys are assembled from this 64-bit core.
+    pub const fn with_basis(basis: u64) -> Self {
+        Fnv1a { state: basis }
+    }
+
+    /// Folds a byte slice into the state.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= b as u64;
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Folds one byte into the state.
+    pub fn write_u8(&mut self, byte: u8) {
+        self.state ^= byte as u64;
+        self.state = self.state.wrapping_mul(FNV_PRIME);
+    }
+
+    /// Folds a `u64` into the state as eight little-endian bytes.
+    pub fn write_u64(&mut self, value: u64) {
+        self.write(&value.to_le_bytes());
+    }
+
+    /// The current hash value.
+    pub const fn finish(&self) -> u64 {
+        self.state
+    }
 }
 
 /// A range that [`Rng::random_range`] can sample uniformly.
@@ -439,6 +507,53 @@ mod tests {
             (0..50_000).map(|_| r.random_f64()).sum::<f64>() / 50_000.0
         };
         assert!((mean - 0.5).abs() < 0.01, "xorshift mean {mean}");
+    }
+
+    #[test]
+    fn streaming_fnv1a_matches_one_shot() {
+        let bytes = b"content-addressed episode key";
+        let mut h = Fnv1a::new();
+        h.write(bytes);
+        assert_eq!(h.finish(), fnv1a(bytes));
+        // Chunking must not change the hash.
+        let mut split = Fnv1a::new();
+        split.write(&bytes[..7]);
+        split.write(&bytes[7..]);
+        assert_eq!(split.finish(), fnv1a(bytes));
+        // Byte-at-a-time too.
+        let mut single = Fnv1a::new();
+        for &b in bytes.iter() {
+            single.write_u8(b);
+        }
+        assert_eq!(single.finish(), fnv1a(bytes));
+    }
+
+    #[test]
+    fn fnv1a_matches_published_test_vectors() {
+        // Reference values of the 64-bit FNV-1a function — a cross-process,
+        // cross-platform stability anchor for the cache key derivation.
+        assert_eq!(fnv1a(b""), 0xCBF2_9CE4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xAF63_DC4C_8601_EC8C);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171F73967E8);
+    }
+
+    #[test]
+    fn custom_basis_decorrelates_streams() {
+        let bytes = b"same input";
+        let mut a = Fnv1a::new();
+        let mut b = Fnv1a::with_basis(FNV_OFFSET_BASIS ^ 0x9E37_79B9_7F4A_7C15);
+        a.write(bytes);
+        b.write(bytes);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn write_u64_is_little_endian_bytes() {
+        let mut a = Fnv1a::new();
+        a.write_u64(0x0102_0304_0506_0708);
+        let mut b = Fnv1a::new();
+        b.write(&[0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01]);
+        assert_eq!(a.finish(), b.finish());
     }
 
     props! {

@@ -2,13 +2,16 @@
 //!
 //! Usage: `cargo run --release -p cv-server --bin cv-serve --
 //! [--addr 127.0.0.1:7878] [--queue-depth 8] [--workers 0]
-//! [--idle-timeout-secs 60] [--max-pending-episodes 0] [--panic-budget 3]`
+//! [--idle-timeout-secs 60] [--max-pending-episodes 0] [--panic-budget 3]
+//! [--cache-bytes 67108864] [--no-cache]`
 //!
 //! `--max-pending-episodes` caps episodes admitted but not yet resolved
 //! across all jobs (0 = unlimited); a submission over the cap gets a
 //! terminal `overloaded` frame with a retry hint. `--panic-budget` is how
 //! many contained panics one episode seed may cause before it is
-//! quarantined (skipped, typed) on later encounters.
+//! quarantined (skipped, typed) on later encounters. `--cache-bytes` sets
+//! the byte budget of the content-addressed episode-result cache (default
+//! 64 MiB); `--no-cache` (equivalent to `--cache-bytes 0`) disables it.
 //!
 //! Listens for newline-delimited JSON requests (see `cv_server::protocol`),
 //! runs submitted batches through the sharded worker pool, and streams
@@ -32,7 +35,16 @@ fn arg_usize(flag: &str, default: usize) -> usize {
         .unwrap_or(default)
 }
 
+fn has_flag(flag: &str) -> bool {
+    std::env::args().any(|a| a == flag)
+}
+
 fn main() {
+    let cache_bytes = if has_flag("--no-cache") {
+        0
+    } else {
+        arg_usize("--cache-bytes", cv_sim::DEFAULT_CACHE_BYTES)
+    };
     let config = ServerConfig {
         addr: arg_string("--addr", "127.0.0.1:7878"),
         queue_capacity: arg_usize("--queue-depth", 8),
@@ -40,6 +52,7 @@ fn main() {
         idle_timeout: std::time::Duration::from_secs(arg_usize("--idle-timeout-secs", 60) as u64),
         max_pending_episodes: arg_usize("--max-pending-episodes", 0),
         panic_budget: arg_usize("--panic-budget", 3) as u32,
+        cache_bytes,
         ..ServerConfig::default()
     };
     let server = match Server::start(config) {

@@ -179,6 +179,10 @@ fn submit(client: &mut Client) {
         "wall time           {:.2}s  ({:.1} episodes/s)",
         summary.wall_time_secs, summary.episodes_per_sec
     );
+    println!(
+        "cache               {} hits, {} misses, {} evictions",
+        summary.cache_hits, summary.cache_misses, summary.cache_evictions
+    );
 }
 
 fn print_status(reply: &Event) {

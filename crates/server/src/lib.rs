@@ -53,4 +53,6 @@ pub use protocol::{Event, JobStatus, Request, StackSpecWire};
 pub use queue::{JobQueue, PushError};
 pub use server::{Server, ServerConfig};
 pub use wire::{FrameError, FrameReader, MAX_FRAME_BYTES};
-pub use worker::{run_sharded, EpisodeProgress, FaultKind, JobLimits, JobOutcome, Progress};
+pub use worker::{
+    run_sharded, run_sharded_cached, EpisodeProgress, FaultKind, JobLimits, JobOutcome, Progress,
+};

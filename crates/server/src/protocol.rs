@@ -63,6 +63,17 @@ fn usize_field(v: &Json, key: &str) -> Result<usize, DecodeError> {
         .ok_or_else(|| bad(format!("field '{key}' must be a non-negative integer")))
 }
 
+/// A counter added to the summary after the wire format shipped: absent in
+/// frames from older peers, decoded as zero rather than a frame error.
+fn compat_usize_field(v: &Json, key: &str) -> Result<usize, DecodeError> {
+    match v.get(key) {
+        None => Ok(0),
+        Some(x) => x
+            .as_usize()
+            .ok_or_else(|| bad(format!("field '{key}' must be a non-negative integer"))),
+    }
+}
+
 fn str_field<'a>(v: &'a Json, key: &str) -> Result<&'a str, DecodeError> {
     field(v, key)?
         .as_str()
@@ -363,6 +374,9 @@ pub fn summary_to_json(s: &BatchSummary) -> Json {
         ),
         ("wall_time_secs", Json::Num(s.wall_time_secs)),
         ("episodes_per_sec", Json::Num(s.episodes_per_sec)),
+        ("cache_hits", Json::Int(s.cache_hits as i128)),
+        ("cache_misses", Json::Int(s.cache_misses as i128)),
+        ("cache_evictions", Json::Int(s.cache_evictions as i128)),
     ])
 }
 
@@ -397,6 +411,9 @@ pub fn summary_from_json(v: &Json) -> Result<BatchSummary, DecodeError> {
         reaching_times: lossy_vec(v, "reaching_times")?,
         wall_time_secs: f64_field(v, "wall_time_secs")?,
         episodes_per_sec: f64_field(v, "episodes_per_sec")?,
+        cache_hits: compat_usize_field(v, "cache_hits")?,
+        cache_misses: compat_usize_field(v, "cache_misses")?,
+        cache_evictions: compat_usize_field(v, "cache_evictions")?,
     })
 }
 
@@ -879,11 +896,56 @@ mod tests {
             reaching_times: vec![],
             wall_time_secs: 1.5,
             episodes_per_sec: 4.0 / 3.0,
+            cache_hits: 1,
+            cache_misses: 3,
+            cache_evictions: 2,
         };
         let reparsed = Json::parse(&summary_to_json(&summary).encode()).unwrap();
         let back = summary_from_json(&reparsed).unwrap();
         assert!(back.stats_eq(&summary));
         assert_eq!(back.wall_time_secs, summary.wall_time_secs);
+        assert_eq!(
+            (back.cache_hits, back.cache_misses, back.cache_evictions),
+            (1, 3, 2)
+        );
+    }
+
+    #[test]
+    fn summary_without_cache_counters_decodes_as_zero() {
+        // Frames from peers that predate the cache counters must still
+        // decode — the counters default to zero, not a frame error.
+        let summary = BatchSummary {
+            episodes: 1,
+            requested: 1,
+            failed: 0,
+            panicked: 0,
+            skipped: 0,
+            reaching_time: 8.0,
+            safe_rate: 1.0,
+            eta_mean: 0.5,
+            emergency_frequency: 0.0,
+            etas: vec![0.5],
+            reaching_times: vec![8.0],
+            wall_time_secs: 0.1,
+            episodes_per_sec: 10.0,
+            cache_hits: 7,
+            cache_misses: 1,
+            cache_evictions: 4,
+        };
+        let Json::Obj(pairs) = summary_to_json(&summary) else {
+            panic!("summary must encode as an object");
+        };
+        let legacy = Json::Obj(
+            pairs
+                .into_iter()
+                .filter(|(k, _)| !k.starts_with("cache_"))
+                .collect(),
+        );
+        let back = summary_from_json(&Json::parse(&legacy.encode()).unwrap()).unwrap();
+        assert_eq!(
+            (back.cache_hits, back.cache_misses, back.cache_evictions),
+            (0, 0, 0)
+        );
     }
 
     #[test]

@@ -25,12 +25,12 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use cv_sim::{BatchConfig, Quarantine, SimError, StackSpec};
+use cv_sim::{BatchConfig, EpisodeCache, Quarantine, SimError, StackSpec, DEFAULT_CACHE_BYTES};
 
 use crate::protocol::{Event, JobStatus, Request};
 use crate::queue::{JobQueue, PushError};
 use crate::wire::{FrameError, FrameReader, Json, MAX_FRAME_BYTES};
-use crate::worker::{run_sharded, JobLimits, JobOutcome, Progress};
+use crate::worker::{run_sharded_cached, JobLimits, JobOutcome, Progress};
 
 /// How often an idle connection rechecks the shutdown flag and its idle
 /// deadline.
@@ -74,6 +74,11 @@ pub struct ServerConfig {
     /// server quarantines it: further episodes with that seed are skipped
     /// (typed, counted in summaries) rather than re-run. Floor 1.
     pub panic_budget: u32,
+    /// Byte budget for the content-addressed episode-result cache that
+    /// fronts the shard scheduler: a resubmitted episode whose config,
+    /// stack, and code version all match a previous run is answered from
+    /// the cache without touching a worker. `0` disables caching.
+    pub cache_bytes: usize,
 }
 
 impl Default for ServerConfig {
@@ -88,6 +93,7 @@ impl Default for ServerConfig {
             max_frame_bytes: MAX_FRAME_BYTES,
             max_pending_episodes: 0,
             panic_budget: 3,
+            cache_bytes: DEFAULT_CACHE_BYTES,
         }
     }
 }
@@ -172,6 +178,9 @@ struct Shared {
     /// Panic-budget bookkeeping for repeat-offender seeds, shared across
     /// every job this server runs.
     quarantine: Quarantine,
+    /// Content-addressed episode-result cache shared across every job this
+    /// server runs; `None` when `cache_bytes` is 0.
+    cache: Option<EpisodeCache>,
 }
 
 impl Shared {
@@ -260,6 +269,7 @@ impl Server {
             next_id: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
             quarantine: Quarantine::new(config.panic_budget),
+            cache: (config.cache_bytes > 0).then(|| EpisodeCache::new(config.cache_bytes)),
             config,
             addr,
             conns: Mutex::new(Vec::new()),
@@ -648,12 +658,13 @@ fn runner_loop(shared: &Arc<Shared>) {
         // Episodes this job resolved (completed or faulted); whatever it
         // never resolved is released from the pending budget at the end.
         let resolved = std::cell::Cell::new(0usize);
-        let outcome = run_sharded(
+        let outcome = run_sharded_cached(
             &job.batch,
             &job.spec,
             limits,
             &state.cancel,
             Some(&shared.quarantine),
+            shared.cache.as_ref(),
             |progress| match progress {
                 Progress::Episode(p) => {
                     resolved.set(resolved.get() + 1);

@@ -33,8 +33,9 @@ use std::time::{Duration, Instant};
 
 use cv_sim::scheduler::WorkQueue;
 use cv_sim::{
-    supervised_episode, BatchConfig, BatchReport, BatchSummary, EpisodeOutcome, EpisodeWorkspace,
-    Quarantine, SimError, SkipReason, StackSpec,
+    episode_key, episode_weight, stack_digest, supervised_episode, BatchConfig, BatchReport,
+    BatchSummary, CacheKey, EpisodeCache, EpisodeOutcome, EpisodeWorkspace, Quarantine, SimError,
+    SkipReason, StackSpec,
 };
 
 /// How often the coordinator wakes to poll cancel/deadline while no episode
@@ -182,6 +183,39 @@ pub fn run_sharded<F>(
     limits: JobLimits,
     cancel: &AtomicBool,
     quarantine: Option<&Quarantine>,
+    on_progress: F,
+) -> JobOutcome
+where
+    F: FnMut(Progress),
+{
+    run_sharded_cached(batch, spec, limits, cancel, quarantine, None, on_progress)
+}
+
+/// [`run_sharded`] with an optional content-addressed episode cache in
+/// front of the shard scheduler.
+///
+/// Before any worker spawns, every episode's [`CacheKey`] (stack digest ×
+/// episode config, see `cv_sim::cache`) is looked up; hits fill their
+/// result slots and stream progress immediately — without claiming a
+/// worker, and before the cancel flag or deadline is ever consulted, so
+/// cached episodes survive a cancellation that stops the rest of the
+/// batch. Only the misses go through the work queue. A miss that resolves
+/// as [`EpisodeOutcome::Completed`] is inserted on the coordinator thread;
+/// failed, panicked, quarantined, and interrupted episodes are never
+/// cached. If any key derivation fails (a NaN in the config — a typed
+/// `KeyError`), the whole batch bypasses the cache instead of computing a
+/// poisoned key.
+///
+/// The summary's `cache_hits` / `cache_misses` count this job's lookups
+/// (both zero when `cache` is `None`); `cache_evictions` is the cache-wide
+/// eviction delta observed while the job ran.
+pub fn run_sharded_cached<F>(
+    batch: &BatchConfig,
+    spec: &StackSpec,
+    limits: JobLimits,
+    cancel: &AtomicBool,
+    quarantine: Option<&Quarantine>,
+    cache: Option<&EpisodeCache>,
     mut on_progress: F,
 ) -> JobOutcome
 where
@@ -191,8 +225,6 @@ where
         return JobOutcome::Failed(e);
     }
     let total = batch.episodes;
-    let workers = limits.workers.clamp(1, total);
-    let queue = WorkQueue::new(total);
     // Flipped by the coordinator on cancel or deadline expiry; checked by
     // the claim loop *and* inside every episode's step loop.
     let stop = AtomicBool::new(false);
@@ -203,6 +235,29 @@ where
     let done = Cell::new(0usize);
     let mut interrupted = false;
     let mut deadline_hit = false;
+
+    // Content keys, derived once up front. A NaN anywhere in the stack or
+    // an episode config is a typed `KeyError`; it disables caching for the
+    // whole batch rather than storing under a poisoned key.
+    let mut cache = cache;
+    let mut keys: Vec<Option<CacheKey>> = vec![None; total];
+    if cache.is_some() {
+        match stack_digest(spec) {
+            Ok(digest) => {
+                for (i, key) in keys.iter_mut().enumerate() {
+                    match episode_key(digest, &batch.episode(i)) {
+                        Ok(k) => *key = Some(k),
+                        Err(_) => {
+                            cache = None;
+                            break;
+                        }
+                    }
+                }
+            }
+            Err(_) => cache = None,
+        }
+    }
+    let evictions_before = cache.map_or(0, EpisodeCache::evictions);
 
     // Progress reporting shared by the live path and the rescue pass.
     let mut report = |index: usize, outcome: &EpisodeOutcome| match outcome {
@@ -247,6 +302,167 @@ where
         } => {}
     };
 
+    // Cache prefill: hits fill their slots and stream progress before any
+    // worker spawns — and before cancel/deadline are consulted, so cached
+    // episodes survive a cancellation that stops the rest of the batch.
+    if let Some(c) = cache {
+        for (i, slot) in slots.iter_mut().enumerate() {
+            let Some(key) = keys[i] else { continue };
+            if let Some(result) = c.get(&key) {
+                let outcome = EpisodeOutcome::Completed(result);
+                report(i, &outcome);
+                *slot = Some(outcome);
+            }
+        }
+    }
+    // Only the misses go through the work queue; workers claim positions in
+    // this list, not raw episode indices.
+    let pending: Vec<usize> = (0..total).filter(|&i| slots[i].is_none()).collect();
+    let cache_hits = total - pending.len();
+    let cache_misses = if cache.is_some() { pending.len() } else { 0 };
+    let workers = limits.workers.clamp(1, total).min(pending.len().max(1));
+    let queue = WorkQueue::new(pending.len());
+
+    // A fully-warm batch needs no workers at all: skipping the thread scope
+    // keeps an all-hits run at hash-lookup cost (microseconds, not
+    // thread-spawn milliseconds).
+    if !pending.is_empty() {
+        run_shards(RunShards {
+            batch,
+            spec,
+            limits,
+            cancel,
+            quarantine,
+            cache,
+            keys: &keys,
+            pending: &pending,
+            workers,
+            queue: &queue,
+            stop: &stop,
+            slots: &mut slots,
+            interrupted: &mut interrupted,
+            deadline_hit: &mut deadline_hit,
+            report: &mut report,
+        });
+    }
+
+    // Shard supervisor: an unfilled slot means a shard died between
+    // claiming the index and reporting it. Re-run those inline on a fresh
+    // workspace — the index alone determines the episode, so rescued
+    // results are identical to what the dead shard would have produced.
+    // Cancel/deadline are polled per rescued slot: a rescue can be most of
+    // the batch, and it must stay as interruptible as the live pass was.
+    if !interrupted {
+        let mut rescue: Option<EpisodeWorkspace> = None;
+        for (i, slot) in slots.iter_mut().enumerate() {
+            if slot.is_some() {
+                continue;
+            }
+            // Breaking with slots still unfilled leaves them counted as
+            // skipped, which forces the partial (non-Completed) outcome.
+            if cancel.load(Ordering::Relaxed) {
+                break;
+            }
+            if limits.deadline.is_some_and(|d| Instant::now() >= d) {
+                deadline_hit = true;
+                break;
+            }
+            let ws = rescue.get_or_insert_with(|| EpisodeWorkspace::new(spec.clone()));
+            let outcome = supervised_episode(ws, &batch.episode(i), quarantine, None);
+            if let (Some(c), EpisodeOutcome::Completed(r), Some(key)) = (cache, &outcome, keys[i]) {
+                c.insert(key, r.clone(), episode_weight(r));
+            }
+            report(i, &outcome);
+            *slot = Some(outcome);
+        }
+    }
+
+    // A stop that landed after the last episode resolved still yields the
+    // complete (deterministic) summary.
+    let fully_resolved = slots.iter().all(|s| {
+        s.as_ref().is_some_and(|o| {
+            !matches!(
+                o,
+                EpisodeOutcome::Skipped {
+                    reason: SkipReason::Interrupted,
+                    ..
+                }
+            )
+        })
+    });
+    let outcomes: Vec<EpisodeOutcome> = slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| {
+            s.unwrap_or(EpisodeOutcome::Skipped {
+                seed: batch.base_seed.wrapping_add(i as u64),
+                reason: SkipReason::Interrupted,
+            })
+        })
+        .collect();
+    let mut summary = BatchReport { outcomes }.summary().with_timing(t0.elapsed());
+    if let Some(c) = cache {
+        summary.cache_hits = cache_hits;
+        summary.cache_misses = cache_misses;
+        summary.cache_evictions = usize::try_from(c.evictions() - evictions_before).unwrap_or(0);
+    }
+    let done = done.get();
+
+    if fully_resolved {
+        JobOutcome::Completed(summary)
+    } else if deadline_hit {
+        JobOutcome::DeadlineExceeded {
+            done,
+            partial: summary,
+        }
+    } else {
+        JobOutcome::Cancelled {
+            done,
+            partial: summary,
+        }
+    }
+}
+
+/// Borrowed state for the live shard pass, bundled so [`run_sharded_cached`]
+/// can hand the whole thing to [`run_shards`] in one move.
+struct RunShards<'a, 'f> {
+    batch: &'a BatchConfig,
+    spec: &'a StackSpec,
+    limits: JobLimits,
+    cancel: &'a AtomicBool,
+    quarantine: Option<&'a Quarantine>,
+    cache: Option<&'a EpisodeCache>,
+    keys: &'a [Option<CacheKey>],
+    pending: &'a [usize],
+    workers: usize,
+    queue: &'a WorkQueue,
+    stop: &'a AtomicBool,
+    slots: &'a mut Vec<Option<EpisodeOutcome>>,
+    interrupted: &'a mut bool,
+    deadline_hit: &'a mut bool,
+    report: &'a mut (dyn FnMut(usize, &EpisodeOutcome) + 'f),
+}
+
+/// The live pass: spawn the shard workers, pump the rendezvous channel,
+/// poll cancel/deadline, insert completed misses into the cache.
+fn run_shards(ctx: RunShards<'_, '_>) {
+    let RunShards {
+        batch,
+        spec,
+        limits,
+        cancel,
+        quarantine,
+        cache,
+        keys,
+        pending,
+        workers,
+        queue,
+        stop,
+        slots,
+        interrupted,
+        deadline_hit,
+        report,
+    } = ctx;
     std::thread::scope(|scope| {
         // Rendezvous handoff: a worker's send completes only when the
         // coordinator receives, so workers observe a stop flag flipped by
@@ -259,6 +475,7 @@ where
                 let spec = spec.clone();
                 let stop = &stop;
                 let queue = &queue;
+                let pending = &pending;
                 scope.spawn(move || {
                     // Silence the unused-binding warning in default builds,
                     // where the kill hook below is compiled out.
@@ -267,7 +484,8 @@ where
                     // and episode buffers are reused across every claimed
                     // episode (and rebuilt from the spec after a panic).
                     let mut ws = EpisodeWorkspace::new(spec);
-                    while let Some(i) = queue.claim() {
+                    while let Some(claimed) = queue.claim() {
+                        let i = pending[claimed];
                         // A worker can observe `cancel` before the
                         // coordinator's own poll does; it then exits and the
                         // coordinator sees only a channel disconnect, with
@@ -298,13 +516,13 @@ where
             // Poll interrupts first so a pre-set cancel flag or an
             // already-expired deadline stops the job before more work is
             // accepted.
-            if !interrupted {
+            if !*interrupted {
                 if cancel.load(Ordering::Relaxed) {
-                    interrupted = true;
+                    *interrupted = true;
                     stop.store(true, Ordering::Relaxed);
                 } else if limits.deadline.is_some_and(|d| Instant::now() >= d) {
-                    interrupted = true;
-                    deadline_hit = true;
+                    *interrupted = true;
+                    *deadline_hit = true;
                     stop.store(true, Ordering::Relaxed);
                 }
             }
@@ -316,6 +534,14 @@ where
             };
             match rx.recv_timeout(poll) {
                 Ok((index, outcome)) => {
+                    // Inserts happen only here and in the rescue pass —
+                    // both on this coordinator thread — and only for
+                    // episodes that actually completed.
+                    if let (Some(c), EpisodeOutcome::Completed(r), Some(key)) =
+                        (cache, &outcome, keys[index])
+                    {
+                        c.insert(key, r.clone(), episode_weight(r));
+                    }
                     report(index, &outcome);
                     slots[index] = Some(outcome);
                 }
@@ -325,79 +551,12 @@ where
         }
 
         // Join explicitly and swallow shard panics: one dead shard must not
-        // poison the scope — its unreported episodes are rescued below.
+        // poison the scope — its unreported episodes are rescued by the
+        // caller's supervisor pass.
         for handle in handles {
             let _ = handle.join();
         }
     });
-
-    // Shard supervisor: an unfilled slot means a shard died between
-    // claiming the index and reporting it. Re-run those inline on a fresh
-    // workspace — the index alone determines the episode, so rescued
-    // results are identical to what the dead shard would have produced.
-    // Cancel/deadline are polled per rescued slot: a rescue can be most of
-    // the batch, and it must stay as interruptible as the live pass was.
-    if !interrupted {
-        let mut rescue: Option<EpisodeWorkspace> = None;
-        for (i, slot) in slots.iter_mut().enumerate() {
-            if slot.is_some() {
-                continue;
-            }
-            // Breaking with slots still unfilled leaves them counted as
-            // skipped, which forces the partial (non-Completed) outcome.
-            if cancel.load(Ordering::Relaxed) {
-                break;
-            }
-            if limits.deadline.is_some_and(|d| Instant::now() >= d) {
-                deadline_hit = true;
-                break;
-            }
-            let ws = rescue.get_or_insert_with(|| EpisodeWorkspace::new(spec.clone()));
-            let outcome = supervised_episode(ws, &batch.episode(i), quarantine, None);
-            report(i, &outcome);
-            *slot = Some(outcome);
-        }
-    }
-
-    // A stop that landed after the last episode resolved still yields the
-    // complete (deterministic) summary.
-    let fully_resolved = slots.iter().all(|s| {
-        s.as_ref().is_some_and(|o| {
-            !matches!(
-                o,
-                EpisodeOutcome::Skipped {
-                    reason: SkipReason::Interrupted,
-                    ..
-                }
-            )
-        })
-    });
-    let outcomes: Vec<EpisodeOutcome> = slots
-        .into_iter()
-        .enumerate()
-        .map(|(i, s)| {
-            s.unwrap_or(EpisodeOutcome::Skipped {
-                seed: batch.base_seed.wrapping_add(i as u64),
-                reason: SkipReason::Interrupted,
-            })
-        })
-        .collect();
-    let summary = BatchReport { outcomes }.summary().with_timing(t0.elapsed());
-    let done = done.get();
-
-    if fully_resolved {
-        JobOutcome::Completed(summary)
-    } else if deadline_hit {
-        JobOutcome::DeadlineExceeded {
-            done,
-            partial: summary,
-        }
-    } else {
-        JobOutcome::Cancelled {
-            done,
-            partial: summary,
-        }
-    }
 }
 
 #[cfg(test)]
@@ -432,6 +591,91 @@ mod tests {
             seen.sort_unstable();
             assert_eq!(seen, (0..10).collect::<Vec<_>>());
         }
+    }
+
+    #[test]
+    fn warm_cache_serves_every_episode_bit_identically() {
+        let (batch, spec) = paper_batch(8);
+        let cache = EpisodeCache::new(1 << 20);
+        let run = |progress: &mut Vec<usize>| {
+            let cancel = AtomicBool::new(false);
+            let outcome = run_sharded_cached(
+                &batch,
+                &spec,
+                JobLimits::new(3),
+                &cancel,
+                None,
+                Some(&cache),
+                |p| {
+                    if let Progress::Episode(p) = p {
+                        progress.push(p.index)
+                    }
+                },
+            );
+            let JobOutcome::Completed(summary) = outcome else {
+                panic!("expected completion, got {outcome:?}");
+            };
+            summary
+        };
+        let mut cold_seen = Vec::new();
+        let cold = run(&mut cold_seen);
+        assert_eq!((cold.cache_hits, cold.cache_misses), (0, 8));
+        let mut warm_seen = Vec::new();
+        let warm = run(&mut warm_seen);
+        assert_eq!((warm.cache_hits, warm.cache_misses), (8, 0));
+        assert_eq!(warm.cache_evictions, 0);
+        assert!(cold.stats_eq(&warm));
+        assert_eq!(
+            cold.etas.iter().map(|e| e.to_bits()).collect::<Vec<_>>(),
+            warm.etas.iter().map(|e| e.to_bits()).collect::<Vec<_>>(),
+        );
+        warm_seen.sort_unstable();
+        assert_eq!(
+            warm_seen,
+            (0..8).collect::<Vec<_>>(),
+            "hits stream progress"
+        );
+    }
+
+    #[test]
+    fn uncached_run_reports_zero_cache_counters() {
+        let (batch, spec) = paper_batch(4);
+        let cancel = AtomicBool::new(false);
+        let outcome = run_sharded(&batch, &spec, JobLimits::new(2), &cancel, None, |_| {});
+        let JobOutcome::Completed(summary) = outcome else {
+            panic!("expected completion, got {outcome:?}");
+        };
+        assert_eq!(
+            (
+                summary.cache_hits,
+                summary.cache_misses,
+                summary.cache_evictions
+            ),
+            (0, 0, 0),
+            "no cache means no lookups, not 'all misses'"
+        );
+    }
+
+    #[test]
+    fn nan_config_bypasses_the_cache_but_still_runs() {
+        let (mut batch, spec) = paper_batch(3);
+        batch.template.sensor_dropout = f64::NAN;
+        let cache = EpisodeCache::new(1 << 20);
+        let cancel = AtomicBool::new(false);
+        let outcome = run_sharded_cached(
+            &batch,
+            &spec,
+            JobLimits::new(2),
+            &cancel,
+            None,
+            Some(&cache),
+            |_| {},
+        );
+        let JobOutcome::Completed(summary) = outcome else {
+            panic!("expected completion, got {outcome:?}");
+        };
+        assert_eq!((summary.cache_hits, summary.cache_misses), (0, 0));
+        assert!(cache.is_empty(), "a NaN config must never be stored");
     }
 
     #[test]

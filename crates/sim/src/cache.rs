@@ -1,0 +1,478 @@
+//! Content-addressed cache keys for episodes (DESIGN.md §14).
+//!
+//! An episode is a pure function of `(EpisodeConfig, StackSpec, code
+//! version, build features)` — seeded RNG streams make the simulator
+//! deterministic, and the bit-identity suites pin that down across every
+//! batch path. This module derives the stable 128-bit [`CacheKey`] that
+//! names one such computation:
+//!
+//! * [`EpisodeConfig`] implements [`Hashable`] field for field — every f64
+//!   by its bit pattern (so `-0.0 ≠ 0.0`), every enum with a discriminant
+//!   byte, every collection length-prefixed. A NaN anywhere is a typed
+//!   [`KeyError`], never a silent key.
+//! * [`stack_digest`] folds the planner stack — including full NN weight
+//!   matrices — plus the *salt*: the crate version and the set of active
+//!   feature flags that can change simulation behaviour (`fault-injection`
+//!   compiles a different [`StackSpec`] shape, so its artifacts must never
+//!   collide with default-build ones).
+//! * [`episode_key`] combines the two; [`BatchConfig::episode`] + this is
+//!   what the server's shard path looks up before touching a worker.
+//!
+//! The digest is computed once per batch (NN weights are the expensive
+//! part) and mixed into each per-episode key.
+
+use cv_cache::{CacheKey, Hashable, KeyError, KeyHasher, ShardedCache};
+use cv_comm::CommSetting;
+use cv_dynamics::VehicleState;
+use cv_estimation::FilterMode;
+use cv_planner::{NnPlanner, TeacherPolicy};
+use cv_sensing::SensorNoise;
+use safe_shield::{Planner, WindowSource};
+
+use crate::{EpisodeConfig, EpisodeResult, StackSpec, WindowKind};
+
+/// The episode-result cache: per-episode summaries keyed by content hash.
+pub type EpisodeCache = ShardedCache<EpisodeResult>;
+
+/// Default byte budget for an in-process episode cache (64 MiB — a few
+/// hundred thousand episode summaries).
+pub const DEFAULT_CACHE_BYTES: usize = 64 << 20;
+
+/// Estimated resident weight of one cached episode result, in bytes: the
+/// value itself plus map/LRU bookkeeping. Cached results carry no traces
+/// (the batch paths run trace-free), so the struct size dominates.
+pub fn episode_weight(result: &EpisodeResult) -> usize {
+    let traces = if result.traces.is_some() {
+        // Trace-bearing results are heap-heavy and unbounded; weigh them
+        // prohibitively so they never crowd out thousands of summaries.
+        1 << 20
+    } else {
+        0
+    };
+    std::mem::size_of::<EpisodeResult>() + std::mem::size_of::<CacheKey>() + 64 + traces
+}
+
+fn feed_state(h: &mut KeyHasher, s: &VehicleState) -> Result<(), KeyError> {
+    h.write_f64("position", s.position)?;
+    h.write_f64("velocity", s.velocity)?;
+    h.write_f64("acceleration", s.acceleration)
+}
+
+fn feed_comm(h: &mut KeyHasher, comm: &CommSetting) -> Result<(), KeyError> {
+    match comm {
+        CommSetting::NoDisturbance => h.write_u8(0),
+        CommSetting::Delayed { delay, drop_prob } => {
+            h.write_u8(1);
+            h.write_f64("comm.delay", *delay)?;
+            h.write_f64("comm.drop_prob", *drop_prob)?;
+        }
+        CommSetting::Lost => h.write_u8(2),
+    }
+    Ok(())
+}
+
+fn feed_noise(h: &mut KeyHasher, noise: &SensorNoise) -> Result<(), KeyError> {
+    h.write_f64("noise.delta_p", noise.delta_p)?;
+    h.write_f64("noise.delta_v", noise.delta_v)?;
+    h.write_f64("noise.delta_a", noise.delta_a)
+}
+
+fn feed_driver(h: &mut KeyHasher, driver: &crate::DriverModel) -> Result<(), KeyError> {
+    match driver {
+        crate::DriverModel::UniformRandom => h.write_u8(0),
+        crate::DriverModel::OrnsteinUhlenbeck { theta, sigma } => {
+            h.write_u8(1);
+            h.write_f64("driver.theta", *theta)?;
+            h.write_f64("driver.sigma", *sigma)?;
+        }
+        crate::DriverModel::ConstantSpeed => h.write_u8(2),
+        crate::DriverModel::Ambush { brake_at } => {
+            h.write_u8(3);
+            h.write_f64("driver.brake_at", *brake_at)?;
+        }
+    }
+    Ok(())
+}
+
+impl Hashable for EpisodeConfig {
+    fn feed(&self, h: &mut KeyHasher) -> Result<(), KeyError> {
+        h.write_f64("other_start_shared", self.other_start_shared)?;
+        feed_state(h, &self.ego_init)?;
+        h.write_f64("other_init_speed", self.other_init_speed)?;
+        h.write_f64("dt_c", self.dt_c)?;
+        h.write_f64("dt_m", self.dt_m)?;
+        h.write_f64("dt_s", self.dt_s)?;
+        h.write_f64("horizon", self.horizon)?;
+        feed_comm(h, &self.comm)?;
+        feed_noise(h, &self.noise)?;
+        h.write_u64(self.seed);
+        h.write_f64("sensor_dropout", self.sensor_dropout)?;
+        feed_driver(h, &self.driver)?;
+        h.write_len(self.extra_others.len());
+        for extra in &self.extra_others {
+            h.write_f64("extra.start_shared", extra.start_shared)?;
+            h.write_f64("extra.init_speed", extra.init_speed)?;
+            feed_driver(h, &extra.driver)?;
+        }
+        Ok(())
+    }
+}
+
+fn feed_window(h: &mut KeyHasher, window: WindowKind) {
+    h.write_u8(match window {
+        WindowKind::Conservative => 0,
+        WindowKind::Nominal => 1,
+    });
+}
+
+fn feed_teacher(h: &mut KeyHasher, policy: &TeacherPolicy) {
+    let (bits, name) = policy.content_bits();
+    h.write_str(name);
+    for b in bits {
+        h.write_u64(b);
+    }
+}
+
+fn feed_nn(h: &mut KeyHasher, planner: &NnPlanner) -> Result<(), KeyError> {
+    h.write_str(Planner::name(planner));
+    let scaling = planner.scaling();
+    h.write_f64("scaling.time", scaling.time)?;
+    h.write_f64("scaling.position", scaling.position)?;
+    h.write_f64("scaling.velocity", scaling.velocity)?;
+    h.write_f64("scaling.window", scaling.window)?;
+    let limits = planner.limits();
+    h.write_f64("limits.v_min", limits.v_min())?;
+    h.write_f64("limits.v_max", limits.v_max())?;
+    h.write_f64("limits.a_min", limits.a_min())?;
+    h.write_f64("limits.a_max", limits.a_max())?;
+    let net = planner.network();
+    h.write_len(net.layers().len());
+    for layer in net.layers() {
+        h.write_len(layer.in_dim());
+        h.write_len(layer.out_dim());
+        h.write_str(layer.activation().name());
+        for w in layer.weights().as_slice() {
+            h.write_f64("nn.weight", *w)?;
+        }
+        for b in layer.bias() {
+            h.write_f64("nn.bias", *b)?;
+        }
+    }
+    Ok(())
+}
+
+/// Folds the *salt* — everything outside the configs that can change what a
+/// simulation produces — into a key stream: the crate version (code
+/// evolution invalidates old entries wholesale) and the active
+/// behaviour-relevant feature flags (a `fault-injection` build compiles
+/// different stack shapes and must never share keys with a default build).
+fn feed_salt(h: &mut KeyHasher) {
+    h.write_str(concat!("cv-sim/", env!("CARGO_PKG_VERSION")));
+    h.write_u8(u8::from(cfg!(feature = "fault-injection")));
+}
+
+/// Content digest of a planner stack, salted with the code version and
+/// active feature flags. Compute once per batch, then mix into each
+/// episode's key with [`episode_key`].
+///
+/// # Errors
+///
+/// [`KeyError`] if any stack parameter (including an NN weight) is NaN.
+pub fn stack_digest(spec: &StackSpec) -> Result<CacheKey, KeyError> {
+    let mut h = KeyHasher::new();
+    feed_salt(&mut h);
+    match spec {
+        StackSpec::PureNn { planner, window } => {
+            h.write_u8(0);
+            feed_window(&mut h, *window);
+            feed_nn(&mut h, planner)?;
+        }
+        StackSpec::PureTeacher { policy, window } => {
+            h.write_u8(1);
+            feed_window(&mut h, *window);
+            feed_teacher(&mut h, policy);
+        }
+        #[cfg(feature = "fault-injection")]
+        StackSpec::PanicInjection {
+            policy,
+            window,
+            panic_seeds,
+        } => {
+            h.write_u8(2);
+            feed_window(&mut h, *window);
+            feed_teacher(&mut h, policy);
+            h.write_len(panic_seeds.len());
+            for seed in panic_seeds {
+                h.write_u64(*seed);
+            }
+        }
+        StackSpec::Compound {
+            planner,
+            filter_mode,
+            window_source,
+        } => {
+            h.write_u8(3);
+            h.write_u8(match filter_mode {
+                FilterMode::HardOnly => 0,
+                FilterMode::Fused => 1,
+            });
+            match window_source {
+                WindowSource::Conservative => h.write_u8(0),
+                WindowSource::Aggressive(cfg) => {
+                    h.write_u8(1);
+                    h.write_f64("aggressive.a_buf", cfg.a_buf)?;
+                    h.write_f64("aggressive.v_buf", cfg.v_buf)?;
+                }
+            }
+            feed_nn(&mut h, planner)?;
+        }
+    }
+    Ok(h.finish())
+}
+
+/// The content key of one episode: the batch's stack digest mixed with the
+/// full episode configuration.
+///
+/// # Errors
+///
+/// [`KeyError`] if any floating-point field of `cfg` is NaN.
+pub fn episode_key(stack: CacheKey, cfg: &EpisodeConfig) -> Result<CacheKey, KeyError> {
+    let mut h = KeyHasher::new();
+    h.write_u64(stack.hi);
+    h.write_u64(stack.lo);
+    cfg.feed(&mut h)?;
+    Ok(h.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DriverModel;
+
+    fn base() -> EpisodeConfig {
+        EpisodeConfig::paper_default(11)
+    }
+
+    fn digest() -> CacheKey {
+        stack_digest(&StackSpec::pure_teacher_conservative(&base()).unwrap()).unwrap()
+    }
+
+    fn key_of(cfg: &EpisodeConfig) -> CacheKey {
+        episode_key(digest(), cfg).unwrap()
+    }
+
+    cv_rng::props! {
+        fn identical_configs_key_equal(cases = 64, seed in 0..u64::MAX, start in 50.0..60.0) {
+            let mut a = EpisodeConfig::paper_default(seed);
+            a.other_start_shared = start;
+            // An independently reconstructed config — not a clone — must
+            // produce the same key: the hash is content, not identity.
+            let mut b = EpisodeConfig::paper_default(seed);
+            b.other_start_shared = start;
+            assert_eq!(key_of(&a), key_of(&b));
+            let d1 = stack_digest(&StackSpec::pure_teacher_conservative(&a).unwrap()).unwrap();
+            let d2 = stack_digest(&StackSpec::pure_teacher_conservative(&b).unwrap()).unwrap();
+            assert_eq!(d1, d2);
+        }
+    }
+
+    #[test]
+    fn flipping_any_single_field_changes_the_key() {
+        type Mutation = (&'static str, fn(&mut EpisodeConfig));
+        let mutations: &[Mutation] = &[
+            ("other_start_shared", |c| c.other_start_shared += 0.5),
+            ("ego_init.position", |c| c.ego_init.position += 1.0),
+            ("ego_init.velocity", |c| c.ego_init.velocity += 1.0),
+            ("ego_init.acceleration", |c| c.ego_init.acceleration += 0.5),
+            ("other_init_speed", |c| c.other_init_speed += 1.0),
+            ("dt_c", |c| c.dt_c = 0.025),
+            ("dt_m", |c| c.dt_m = 0.2),
+            ("dt_s", |c| c.dt_s = 0.2),
+            ("horizon", |c| c.horizon += 5.0),
+            ("comm->delayed", |c| {
+                c.comm = CommSetting::Delayed {
+                    delay: 0.25,
+                    drop_prob: 0.0,
+                }
+            }),
+            ("comm->lost", |c| c.comm = CommSetting::Lost),
+            ("noise.delta_p", |c| c.noise.delta_p += 0.5),
+            ("noise.delta_v", |c| c.noise.delta_v += 0.5),
+            ("noise.delta_a", |c| c.noise.delta_a += 0.5),
+            ("seed", |c| c.seed += 1),
+            ("sensor_dropout", |c| c.sensor_dropout = 0.1),
+            ("sensor_dropout->-0.0", |c| c.sensor_dropout = -0.0),
+            ("driver->ou", |c| {
+                c.driver = DriverModel::OrnsteinUhlenbeck {
+                    theta: 0.5,
+                    sigma: 1.0,
+                }
+            }),
+            ("driver->constant", |c| {
+                c.driver = DriverModel::ConstantSpeed
+            }),
+            ("driver->ambush", |c| {
+                c.driver = DriverModel::Ambush { brake_at: 2.0 }
+            }),
+            ("extra_others.push", |c| {
+                c.extra_others.push(crate::ExtraVehicle {
+                    start_shared: 80.0,
+                    init_speed: 9.0,
+                    driver: DriverModel::UniformRandom,
+                })
+            }),
+        ];
+        let reference = key_of(&base());
+        for (name, mutate) in mutations {
+            let mut cfg = base();
+            mutate(&mut cfg);
+            assert_ne!(
+                key_of(&cfg),
+                reference,
+                "mutation '{name}' did not change the key"
+            );
+        }
+    }
+
+    #[test]
+    fn each_disturbance_knob_changes_the_key() {
+        let mut delayed = base();
+        delayed.comm = CommSetting::Delayed {
+            delay: 0.25,
+            drop_prob: 0.35,
+        };
+        let reference = key_of(&delayed);
+        let mut delay_bump = delayed.clone();
+        delay_bump.comm = CommSetting::Delayed {
+            delay: 0.5,
+            drop_prob: 0.35,
+        };
+        assert_ne!(key_of(&delay_bump), reference, "delay knob inert");
+        let mut drop_bump = delayed.clone();
+        drop_bump.comm = CommSetting::Delayed {
+            delay: 0.25,
+            drop_prob: 0.4,
+        };
+        assert_ne!(key_of(&drop_bump), reference, "drop_prob knob inert");
+    }
+
+    #[test]
+    fn negative_zero_differs_from_zero_everywhere_it_can_appear() {
+        let mut plus = base();
+        plus.ego_init.acceleration = 0.0;
+        let mut minus = base();
+        minus.ego_init.acceleration = -0.0;
+        assert_ne!(key_of(&plus), key_of(&minus));
+    }
+
+    #[test]
+    fn nan_bearing_configs_are_rejected_with_a_typed_error() {
+        type Poison = (&'static str, fn(&mut EpisodeConfig));
+        let poisons: &[Poison] = &[
+            ("other_start_shared", |c| c.other_start_shared = f64::NAN),
+            ("ego_init.velocity", |c| c.ego_init.velocity = f64::NAN),
+            ("dt_c", |c| c.dt_c = f64::NAN),
+            ("horizon", |c| c.horizon = f64::NAN),
+            ("comm.delay", |c| {
+                c.comm = CommSetting::Delayed {
+                    delay: f64::NAN,
+                    drop_prob: 0.0,
+                }
+            }),
+            ("comm.drop_prob", |c| {
+                c.comm = CommSetting::Delayed {
+                    delay: 0.25,
+                    drop_prob: f64::NAN,
+                }
+            }),
+            ("noise.delta_v", |c| c.noise.delta_v = f64::NAN),
+            ("sensor_dropout", |c| c.sensor_dropout = f64::NAN),
+            ("driver.sigma", |c| {
+                c.driver = DriverModel::OrnsteinUhlenbeck {
+                    theta: 0.5,
+                    sigma: f64::NAN,
+                }
+            }),
+            ("extra.init_speed", |c| {
+                c.extra_others.push(crate::ExtraVehicle {
+                    start_shared: 80.0,
+                    init_speed: f64::NAN,
+                    driver: DriverModel::UniformRandom,
+                })
+            }),
+        ];
+        for (name, poison) in poisons {
+            let mut cfg = base();
+            poison(&mut cfg);
+            match episode_key(digest(), &cfg) {
+                Err(KeyError::NanField { field }) => {
+                    assert!(
+                        field.contains(name.split('.').next_back().unwrap()),
+                        "poison '{name}' surfaced as field '{field}'"
+                    );
+                }
+                Ok(_) => panic!("poison '{name}' was silently keyed"),
+            }
+        }
+    }
+
+    #[test]
+    fn stack_digest_distinguishes_policies_and_windows() {
+        let cfg = base();
+        let cons = stack_digest(&StackSpec::pure_teacher_conservative(&cfg).unwrap()).unwrap();
+        let aggr = stack_digest(&StackSpec::pure_teacher_aggressive(&cfg).unwrap()).unwrap();
+        assert_ne!(cons, aggr);
+        // Same policy, different window flavour.
+        let StackSpec::PureTeacher { policy, .. } =
+            StackSpec::pure_teacher_conservative(&cfg).unwrap()
+        else {
+            unreachable!()
+        };
+        let nominal = stack_digest(&StackSpec::PureTeacher {
+            policy,
+            window: WindowKind::Nominal,
+        })
+        .unwrap();
+        assert_ne!(cons, nominal);
+    }
+
+    #[test]
+    fn episode_key_depends_on_the_stack_digest() {
+        let cfg = base();
+        let cons = stack_digest(&StackSpec::pure_teacher_conservative(&cfg).unwrap()).unwrap();
+        let aggr = stack_digest(&StackSpec::pure_teacher_aggressive(&cfg).unwrap()).unwrap();
+        assert_ne!(
+            episode_key(cons, &cfg).unwrap(),
+            episode_key(aggr, &cfg).unwrap()
+        );
+    }
+
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn panic_seed_list_is_part_of_the_digest() {
+        let cfg = base();
+        let a = stack_digest(&StackSpec::panic_injection(&cfg, vec![1]).unwrap()).unwrap();
+        let b = stack_digest(&StackSpec::panic_injection(&cfg, vec![2]).unwrap()).unwrap();
+        let none = stack_digest(&StackSpec::panic_injection(&cfg, vec![]).unwrap()).unwrap();
+        let teacher = stack_digest(&StackSpec::pure_teacher_conservative(&cfg).unwrap()).unwrap();
+        assert_ne!(a, b);
+        assert_ne!(a, none);
+        assert_ne!(none, teacher, "injection wrapper aliases the plain teacher");
+    }
+
+    #[test]
+    fn trace_bearing_results_weigh_prohibitively() {
+        let slim = EpisodeResult {
+            outcome: safe_shield::Outcome::Timeout,
+            eta: 0.0,
+            emergency_steps: 0,
+            total_steps: 10,
+            traces: None,
+        };
+        let heavy = EpisodeResult {
+            traces: Some(Default::default()),
+            ..slim.clone()
+        };
+        assert!(episode_weight(&heavy) > 100 * episode_weight(&slim));
+    }
+}

@@ -39,6 +39,14 @@ pub struct BatchSummary {
     pub wall_time_secs: f64,
     /// Throughput of the batch run (episodes/s); `0.0` when untimed.
     pub episodes_per_sec: f64,
+    /// Episodes answered from the content-addressed result cache without
+    /// touching a worker. `0` when the batch ran uncached.
+    pub cache_hits: usize,
+    /// Episodes that missed the cache and were simulated. `0` when uncached
+    /// (an uncached run is *not* a run of misses — no lookup happened).
+    pub cache_misses: usize,
+    /// Entries the cache evicted while this batch inserted its results.
+    pub cache_evictions: usize,
 }
 
 impl BatchSummary {
@@ -73,9 +81,11 @@ impl BatchSummary {
     }
 
     /// Whether two summaries agree on every *deterministic* statistic —
-    /// everything except the timing fields, which vary run to run. `NaN`
-    /// compares equal to `NaN` here (an all-timeout batch has a `NaN`
-    /// reaching time on both sides).
+    /// everything except the timing fields and the cache counters, which
+    /// are operational metadata that varies run to run (a warm-cache replay
+    /// of a batch must compare equal to its cold run). `NaN` compares equal
+    /// to `NaN` here (an all-timeout batch has a `NaN` reaching time on
+    /// both sides).
     pub fn stats_eq(&self, other: &Self) -> bool {
         fn feq(a: f64, b: f64) -> bool {
             a == b || (a.is_nan() && b.is_nan())
@@ -161,6 +171,9 @@ where
         reaching_times,
         wall_time_secs: 0.0,
         episodes_per_sec: 0.0,
+        cache_hits: 0,
+        cache_misses: 0,
+        cache_evictions: 0,
     }
 }
 
@@ -253,6 +266,18 @@ mod tests {
     }
 
     #[test]
+    fn stats_eq_ignores_cache_counters() {
+        let results = vec![result(Outcome::Reached { time: 8.0 }, 0, 100)];
+        let cold = BatchSummary::from_results(&results);
+        let mut warm = cold.clone();
+        warm.cache_hits = 1;
+        warm.cache_misses = 0;
+        warm.cache_evictions = 3;
+        assert!(cold.stats_eq(&warm), "cache counters are operational");
+        assert_ne!(cold, warm);
+    }
+
+    #[test]
     fn stats_eq_treats_nan_reaching_time_as_equal() {
         let a = BatchSummary::from_results(&[result(Outcome::Timeout, 0, 10)]);
         let b = BatchSummary::from_results(&[result(Outcome::Timeout, 0, 10)]);
@@ -340,6 +365,9 @@ mod tests {
             reaching_times: Vec::new(),
             wall_time_secs: 0.0,
             episodes_per_sec: 0.0,
+            cache_hits: 0,
+            cache_misses: 0,
+            cache_evictions: 0,
         };
         let zero = base.clone().with_timing(std::time::Duration::ZERO);
         assert_eq!(zero.wall_time_secs, 0.0);

@@ -48,3 +48,38 @@ timeout 300 cargo test -q --release --offline -p cv-server --test supervision_e2
 # The feature is additive — default-build artifacts above are untouched.
 timeout 300 cargo test -q --release --offline -p cv-server \
   --features fault-injection --test panic_isolation
+
+# Cache smoke: a daemon with a small content-addressed result cache must
+# answer a repeated batch entirely from the cache (hits == episodes) with
+# summary lines identical to the first run, byte for byte (the wall-time
+# and cache-counter lines are the only operational, non-deterministic
+# ones). Exercises cv-serve flags, the wire counters, and the server-side
+# cache end to end.
+CACHE_LOG=target/tier1-cache-serve.log
+cargo run -q --release --offline -p cv-server --bin cv-serve -- \
+  --addr 127.0.0.1:0 --cache-bytes 1048576 > "$CACHE_LOG" &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2>/dev/null || true' EXIT
+ADDR=""
+for _ in $(seq 1 100); do
+  ADDR=$(sed -n 's/^cv-serve listening on //p' "$CACHE_LOG")
+  [ -n "$ADDR" ] && break
+  sleep 0.1
+done
+test -n "$ADDR" || { echo "tier1: cv-serve never reported its address" >&2; exit 1; }
+submit() {
+  cargo run -q --release --offline -p cv-server --bin cv-submit -- \
+    --addr "$ADDR" --episodes 8 --quiet 2>/dev/null
+}
+run_cold=$(submit)
+run_warm=$(submit)
+echo "$run_warm" | grep -q "cache               8 hits, 0 misses" \
+  || { echo "tier1: warm run was not served from the cache:"; echo "$run_warm"; exit 1; } >&2
+det_cold=$(echo "$run_cold" | grep -v -e "^wall time" -e "^cache")
+det_warm=$(echo "$run_warm" | grep -v -e "^wall time" -e "^cache")
+[ "$det_cold" = "$det_warm" ] \
+  || { echo "tier1: cached summary diverged from the computed one:"; \
+       diff <(echo "$det_cold") <(echo "$det_warm"); exit 1; } >&2
+cargo run -q --release --offline -p cv-server --bin cv-submit -- --addr "$ADDR" shutdown
+wait "$SERVE_PID"
+trap - EXIT

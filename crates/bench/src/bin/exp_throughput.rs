@@ -14,18 +14,30 @@
 //! A `cache` section times a repeated batch against the content-addressed
 //! episode-result cache (cold vs warm) and asserts the cache contract
 //! inline: 100% hits, bit-identical summary, ≥10× under the cold wall time.
+//! A `lanes` section times the lane-batched execution mode
+//! (`cv_sim::run_batch_lanes`) on the pure-NN stack at a single worker
+//! thread for K ∈ {1, 2, 4, 8}, asserting the numeric contract inline:
+//! K = 1 bit-identical to the per-episode path, K > 1 within the
+//! per-field tolerance gate (`cv_sim::lane_tolerance_check`).
 //!
-//! Output: `results/BENCH_throughput.json` (schema `bench.throughput/v3`)
+//! Output: `results/BENCH_throughput.json` (schema `bench.throughput/v4`)
 //! plus a human-readable table on stdout.
 //!
 //! Usage:
-//! `cargo run --release -p bench --bin exp_throughput -- [--sims N] [--reps R] [--threads 1,2,4,8] [--out PATH] [--baseline PATH]`
+//! `cargo run --release -p bench --bin exp_throughput -- [--sims N] [--reps R] [--threads 1,2,4,8] [--out PATH] [--baseline PATH] [--nn-baseline PATH]`
 //!
 //! `--baseline` points at a baseline file of episodes/sec from an earlier
 //! engine (the committed `results/BENCH_throughput_seed.json` was measured
 //! at the growth-seed commit, before the engine overhaul); matching cells
 //! gain a `speedup_vs_baseline` field, and the run **exits non-zero** if
 //! any matching cell regresses more than 10% below its baseline.
+//!
+//! `--nn-baseline` does the same for the NN cells, which the growth-seed
+//! baseline predates (their `speedup_vs_baseline` was always null): on the
+//! first run the file is *written* from this run's NN and lane cells, and
+//! every later run compares against it under the same 10% regression gate.
+//! The committed `results/BENCH_throughput_nn_baseline.json` was recorded
+//! by the lane-batching PR.
 //!
 //! Each cell is timed `--reps` times per path (interleaved) and the best
 //! wall time kept, so one noisy sample on a shared box cannot flip a
@@ -43,8 +55,9 @@ use cv_rng::{Rng, SplitMix64};
 use cv_server::wire::Json;
 use cv_server::{run_sharded_cached, JobLimits, JobOutcome};
 use cv_sim::{
-    run_batch, run_batch_static, BatchConfig, BatchSummary, EpisodeCache, EpisodeConfig,
-    EpisodeResult, StackSpec, WindowKind, DEFAULT_CACHE_BYTES,
+    lane_tolerance_check, run_batch, run_batch_lanes, run_batch_static, BatchConfig, BatchMode,
+    BatchSummary, EpisodeCache, EpisodeConfig, EpisodeResult, StackSpec, WindowKind,
+    DEFAULT_CACHE_BYTES,
 };
 
 /// One cell of the batch matrix.
@@ -296,6 +309,108 @@ fn cache_rates(seed: u64, episodes: usize, threads: usize) -> CacheSection {
     }
 }
 
+/// One lane width's timing against the per-episode reference.
+struct LaneCell {
+    k: usize,
+    wall_secs: f64,
+    eps: f64,
+    speedup_vs_per_episode: f64,
+    within_tolerance: bool,
+}
+
+/// The lane-batched execution mode on the pure-NN stack, single worker.
+struct LaneSection {
+    stack: &'static str,
+    episodes: usize,
+    per_episode_secs: f64,
+    per_episode_eps: f64,
+    cells: Vec<LaneCell>,
+}
+
+/// Times `run_batch_lanes` on the pure-NN stack for K ∈ {1, 2, 4, 8} at a
+/// single worker thread (so the per-K speedup comes from lane batching
+/// alone, not parallelism) against the per-episode supervised path, and
+/// asserts the numeric contract inline: `Lanes(1)` bit-identical to the
+/// reference, K > 1 within the per-field tolerance gate on every episode.
+fn lane_rates(seed: u64, episodes: usize, reps: usize) -> LaneSection {
+    const KS: [usize; 4] = [1, 2, 4, 8];
+    let template = EpisodeConfig::paper_default(seed);
+    let ego_limits = template.scenario().expect("paper geometry").ego_limits();
+    let planner = NnPlanner::new(
+        case_study_net(seed),
+        ego_limits,
+        FeatureScaling::left_turn(),
+        "bench-nn",
+    );
+    let spec = StackSpec::PureNn {
+        planner,
+        window: WindowKind::Conservative,
+    };
+    let mut batch = BatchConfig::new(template, episodes);
+    batch.threads = 1;
+
+    // Warm the scenario/planner caches and page in the code before timing.
+    let _ = run_batch_lanes(&batch, &spec, BatchMode::PerEpisode, None, None).expect("valid batch");
+
+    // Interleave the reference and every K per rep, keeping each one's
+    // best wall time (same least-noise estimator as the batch matrix).
+    let mut per_episode_secs = f64::INFINITY;
+    let mut reference: Vec<EpisodeResult> = Vec::new();
+    let mut lane_secs = [f64::INFINITY; KS.len()];
+    let mut lane_results: Vec<Vec<EpisodeResult>> = vec![Vec::new(); KS.len()];
+    for _ in 0..reps.max(1) {
+        let (r, s) = timed(|| run_batch_lanes(&batch, &spec, BatchMode::PerEpisode, None, None));
+        reference = r.expect("valid batch").into_results().expect("clean batch");
+        per_episode_secs = per_episode_secs.min(s);
+        for (j, &k) in KS.iter().enumerate() {
+            let (r, s) = timed(|| run_batch_lanes(&batch, &spec, BatchMode::Lanes(k), None, None));
+            lane_results[j] = r.expect("valid batch").into_results().expect("clean batch");
+            lane_secs[j] = lane_secs[j].min(s);
+        }
+    }
+
+    let cells = KS
+        .iter()
+        .zip(lane_secs)
+        .zip(&lane_results)
+        .map(|((&k, wall_secs), results)| {
+            assert_eq!(results.len(), reference.len(), "lane K={k} lost episodes");
+            if k == 1 {
+                assert_eq!(
+                    results, &reference,
+                    "Lanes(1) must be bit-identical to the per-episode path"
+                );
+            }
+            let mut within_tolerance = true;
+            for (r, b) in reference.iter().zip(results) {
+                if let Err(e) = lane_tolerance_check(r, b) {
+                    within_tolerance = false;
+                    eprintln!("lane K={k}: tolerance violation: {e}");
+                }
+            }
+            assert!(
+                within_tolerance,
+                "lane K={k} violated the tolerance contract"
+            );
+            LaneCell {
+                k,
+                wall_secs,
+                eps: episodes as f64 / wall_secs,
+                speedup_vs_per_episode: per_episode_secs / wall_secs,
+                within_tolerance,
+            }
+        })
+        .collect();
+
+    LaneSection {
+        stack: "nn-pure/no-disturbance",
+        episodes,
+        per_episode_secs,
+        per_episode_eps: episodes as f64 / per_episode_secs,
+        cells,
+    }
+}
+
 /// Measured rates of the NN compute layer (forward pass + training loop).
 struct NnSection {
     ns_per_forward_alloc: f64,
@@ -487,6 +602,7 @@ fn main() {
         .collect();
     let out_path = bench::arg_string("--out", "results/BENCH_throughput.json");
     let baseline_path = bench::arg_string("--baseline", "");
+    let nn_baseline_path = bench::arg_string("--nn-baseline", "");
     let baseline = if baseline_path.is_empty() {
         Vec::new()
     } else {
@@ -527,6 +643,93 @@ fn main() {
         }
     }
 
+    // WAIVER(nn-basic-dynamic-parity): the nn-basic cells have measured as
+    // low as 0.995x vs the static scheduler at 2 threads — run-to-run
+    // scheduler jitter on short shielded episodes, not a real regression
+    // (measured cause in DESIGN.md §15). The gate therefore asserts the
+    // waiver floor of 0.95x rather than strict parity, and only on
+    // measurement-quality runs (≥200 episodes/cell) where the best-of-reps
+    // estimator is stable; smoke runs stay shape checks.
+    if sims >= 200 {
+        for c in cells.iter().filter(|c| c.stack.starts_with("nn-basic")) {
+            assert!(
+                c.speedup >= 0.95,
+                "{} @ {} threads: dynamic scheduler at {:.3}x vs static fell \
+                 below the 0.95x waiver floor (DESIGN.md §15)",
+                c.stack,
+                c.threads,
+                c.speedup
+            );
+        }
+    }
+
+    let lanes = lane_rates(seed, sims, reps);
+    println!(
+        "lane batching ({} episodes, 1 worker, {}): per-episode {:.1} ep/s",
+        lanes.episodes, lanes.stack, lanes.per_episode_eps
+    );
+    for lc in &lanes.cells {
+        println!(
+            "  K={}: {:>10.1} ep/s ({:.2}x per-episode, within tolerance: {})",
+            lc.k, lc.eps, lc.speedup_vs_per_episode, lc.within_tolerance
+        );
+    }
+
+    // NN baseline: the growth-seed baseline predates the NN stacks, so
+    // their `speedup_vs_baseline` was always null. The first run with
+    // --nn-baseline records this run's NN and lane cells; later runs
+    // compare against the recorded file under the same 10% regression gate
+    // as the seed baseline.
+    let lane_cell_name = |k: usize| format!("nn-lanes-k{k}/no-disturbance");
+    let nn_points: Vec<(String, usize, f64)> = cells
+        .iter()
+        .filter(|c| c.stack.starts_with("nn-"))
+        .map(|c| (c.stack.to_string(), c.threads, c.dynamic_eps))
+        .chain(
+            lanes
+                .cells
+                .iter()
+                .map(|lc| (lane_cell_name(lc.k), 1, lc.eps)),
+        )
+        .collect();
+    let nn_baseline: Vec<(String, usize, f64)> = if nn_baseline_path.is_empty() {
+        Vec::new()
+    } else if std::path::Path::new(&nn_baseline_path).exists() {
+        load_baseline(&nn_baseline_path)
+    } else {
+        let json = Json::obj(vec![
+            ("schema", Json::str("bench.throughput.baseline/v1")),
+            ("sims_per_cell", Json::Int(sims as i128)),
+            ("base_seed", Json::Int(seed as i128)),
+            (
+                "cells",
+                Json::Arr(
+                    nn_points
+                        .iter()
+                        .map(|(s, t, e)| {
+                            Json::obj(vec![
+                                ("stack", Json::str(s.as_str())),
+                                ("threads", Json::Int(*t as i128)),
+                                ("episodes_per_sec", Json::num_or_null(*e)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]);
+        if let Some(dir) = std::path::Path::new(&nn_baseline_path).parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir).expect("create nn-baseline directory");
+            }
+        }
+        std::fs::write(&nn_baseline_path, json.encode()).expect("write nn baseline");
+        println!("recorded nn baseline {nn_baseline_path}");
+        // Compare this run against what it just wrote: every NN cell lands
+        // at exactly 1.00x and the field stops being null from run one.
+        nn_points.clone()
+    };
+    let baseline: Vec<(String, usize, f64)> = baseline.into_iter().chain(nn_baseline).collect();
+
     let cache = cache_rates(seed, sims, *threads.last().expect("non-empty threads"));
     println!(
         "warm cache ({} episodes): {:.4}s cold -> {:.6}s warm ({:.0}x, {} hits, bit-identical: {})",
@@ -562,7 +765,7 @@ fn main() {
     );
 
     let json = Json::obj(vec![
-        ("schema", Json::str("bench.throughput/v3")),
+        ("schema", Json::str("bench.throughput/v4")),
         ("sims_per_cell", Json::Int(sims as i128)),
         ("reps_per_cell", Json::Int(reps as i128)),
         ("base_seed", Json::Int(seed as i128)),
@@ -572,6 +775,14 @@ fn main() {
                 Json::Null
             } else {
                 Json::str(&baseline_path)
+            },
+        ),
+        (
+            "nn_baseline_file",
+            if nn_baseline_path.is_empty() {
+                Json::Null
+            } else {
+                Json::str(&nn_baseline_path)
             },
         ),
         (
@@ -608,6 +819,49 @@ fn main() {
                     })
                     .collect(),
             ),
+        ),
+        (
+            "lanes",
+            Json::obj(vec![
+                ("stack", Json::str(lanes.stack)),
+                ("episodes", Json::Int(lanes.episodes as i128)),
+                ("threads", Json::Int(1)),
+                (
+                    "per_episode_wall_secs",
+                    Json::num_or_null(lanes.per_episode_secs),
+                ),
+                ("per_episode_eps", Json::num_or_null(lanes.per_episode_eps)),
+                (
+                    "cells",
+                    Json::Arr(
+                        lanes
+                            .cells
+                            .iter()
+                            .map(|lc| {
+                                let vs_baseline = baseline
+                                    .iter()
+                                    .find(|(s, t, _)| *s == lane_cell_name(lc.k) && *t == 1)
+                                    .map(|(_, _, eps)| lc.eps / eps);
+                                Json::obj(vec![
+                                    ("k", Json::Int(lc.k as i128)),
+                                    ("wall_secs", Json::num_or_null(lc.wall_secs)),
+                                    ("episodes_per_sec", Json::num_or_null(lc.eps)),
+                                    (
+                                        "speedup_vs_per_episode",
+                                        Json::num_or_null(lc.speedup_vs_per_episode),
+                                    ),
+                                    (
+                                        "speedup_vs_baseline",
+                                        Json::num_or_null(vs_baseline.unwrap_or(f64::NAN)),
+                                    ),
+                                    ("within_tolerance", Json::Bool(lc.within_tolerance)),
+                                    ("bit_identical", Json::Bool(lc.k == 1)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
         ),
         (
             "cache",
@@ -675,10 +929,10 @@ fn main() {
     std::fs::write(&out_path, json.encode()).expect("write benchmark JSON");
     println!("wrote {out_path}");
 
-    // Regression gate: any matrix cell more than 10% below its recorded
-    // baseline fails the run (after the artifact is written, so the numbers
-    // that triggered the failure are on disk for inspection).
-    let regressions: Vec<String> = cells
+    // Regression gate: any matrix or lane cell more than 10% below its
+    // recorded baseline fails the run (after the artifact is written, so
+    // the numbers that triggered the failure are on disk for inspection).
+    let mut regressions: Vec<String> = cells
         .iter()
         .filter_map(|c| {
             let (_, _, base_eps) = baseline
@@ -696,6 +950,23 @@ fn main() {
             })
         })
         .collect();
+    for lc in &lanes.cells {
+        let Some((_, _, base_eps)) = baseline
+            .iter()
+            .find(|(s, t, _)| *s == lane_cell_name(lc.k) && *t == 1)
+        else {
+            continue;
+        };
+        if lc.eps < 0.9 * base_eps {
+            regressions.push(format!(
+                "{} @ 1 thread: {:.1} ep/s vs baseline {:.1} ep/s ({:.0}%)",
+                lane_cell_name(lc.k),
+                lc.eps,
+                base_eps,
+                100.0 * lc.eps / base_eps
+            ));
+        }
+    }
     if !regressions.is_empty() {
         eprintln!("THROUGHPUT REGRESSION (>10% below baseline):");
         for r in &regressions {

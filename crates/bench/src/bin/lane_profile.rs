@@ -1,0 +1,39 @@
+//! Profiling harness: runs ONLY the K=8 lane-batched path (or the
+//! per-episode path with `--per-episode`) in a loop so a sampling profiler
+//! sees nothing but the code under study. Not part of any experiment.
+
+use cv_nn::{Activation, Mlp};
+use cv_planner::{FeatureScaling, NnPlanner};
+use cv_sim::{run_batch_lanes, BatchConfig, BatchMode, EpisodeConfig, StackSpec, WindowKind};
+
+fn main() {
+    let per_episode = std::env::args().any(|a| a == "--per-episode");
+    let template = EpisodeConfig::paper_default(1);
+    let ego_limits = template.scenario().expect("paper geometry").ego_limits();
+    let planner = NnPlanner::new(
+        Mlp::new(&[5, 32, 32, 1], Activation::Tanh, Activation::Tanh, 1).unwrap(),
+        ego_limits,
+        FeatureScaling::left_turn(),
+        "lane-profile",
+    );
+    let spec = StackSpec::PureNn {
+        planner,
+        window: WindowKind::Conservative,
+    };
+    let mut batch = BatchConfig::new(template, 500);
+    batch.threads = 1;
+    let mode = if per_episode {
+        BatchMode::PerEpisode
+    } else {
+        BatchMode::Lanes(8)
+    };
+    let mut total = 0u64;
+    for _ in 0..60 {
+        let results = run_batch_lanes(&batch, &spec, mode, None, None)
+            .expect("batch")
+            .into_results()
+            .expect("complete");
+        total += results.iter().map(|r| r.total_steps).sum::<u64>();
+    }
+    println!("total steps: {total}");
+}

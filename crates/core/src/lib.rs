@@ -49,7 +49,9 @@ pub use aggressive::AggressiveConfig;
 pub use compound::{CompoundPlanner, CompoundStats, PlanDecision, PlannerSource, WindowSource};
 pub use eval::Outcome;
 pub use monitor::{MonitorVerdict, RuntimeMonitor};
-pub use multi::{merge_windows, merge_windows_in_place, MultiCompoundPlanner, DEFAULT_MERGE_GAP};
+pub use multi::{
+    merge_windows, merge_windows_in_place, MultiCompoundPlanner, PreparedPlan, DEFAULT_MERGE_GAP,
+};
 pub use observation::Observation;
 pub use planner::Planner;
 pub use scenario::Scenario;

@@ -86,6 +86,22 @@ pub struct MultiCompoundPlanner<S, P> {
 /// Default window clustering gap (s): roughly the ego's zone-crossing time.
 pub const DEFAULT_MERGE_GAP: f64 = 2.0;
 
+/// Result of the decision phase of a compound-planner step
+/// ([`MultiCompoundPlanner::plan_prepare`]), split out so lane-batched
+/// executors can run monitor/emergency logic per episode while deferring
+/// the NN evaluation to a batched kernel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PreparedPlan {
+    /// The monitor decided (emergency); no NN evaluation is needed.
+    Decided(PlanDecision),
+    /// Nominal step: the embedded NN planner must be evaluated on `obs`,
+    /// and its output used with [`crate::PlannerSource::NeuralNetwork`].
+    Nominal {
+        /// The fused observation the NN consumes.
+        obs: Observation,
+    },
+}
+
 impl<S: Scenario, P: Planner> MultiCompoundPlanner<S, P> {
     /// Wraps `nn` with one scenario per conflicting vehicle.
     ///
@@ -159,17 +175,26 @@ impl<S: Scenario, P: Planner> MultiCompoundPlanner<S, P> {
         self.reset();
     }
 
-    /// Plans one control step from one estimate per conflicting vehicle.
+    /// Decision phase of one control step: runs the monitor/emergency logic
+    /// and window fusion, but **defers** the NN evaluation.
+    ///
+    /// Statistics (total/emergency step counters) are updated here, so a
+    /// caller that completes every [`PreparedPlan::Nominal`] with its own
+    /// NN evaluation observes exactly the bookkeeping of
+    /// [`MultiCompoundPlanner::plan`] — which is itself implemented as
+    /// `plan_prepare` + an inline evaluation of the embedded planner.
+    /// Lane-batched executors use this to gather the observations of many
+    /// episodes and evaluate them in one batched forward pass.
     ///
     /// # Panics
     ///
     /// Panics if `estimates.len()` differs from the scenario count.
-    pub fn plan(
+    pub fn plan_prepare(
         &mut self,
         time: f64,
         ego: &VehicleState,
         estimates: &[VehicleEstimate],
-    ) -> PlanDecision {
+    ) -> PreparedPlan {
         assert_eq!(
             estimates.len(),
             self.scenarios.len(),
@@ -189,10 +214,10 @@ impl<S: Scenario, P: Planner> MultiCompoundPlanner<S, P> {
         for (i, scenario) in self.scenarios.iter().enumerate() {
             if scenario.requires_emergency(time, ego, self.win_scratch[i]) {
                 self.stats.emergency_steps += 1;
-                return PlanDecision {
+                return PreparedPlan::Decided(PlanDecision {
                     accel: scenario.emergency_accel(time, ego, self.win_scratch[i]),
                     source: PlannerSource::Emergency,
-                };
+                });
             }
         }
 
@@ -206,10 +231,28 @@ impl<S: Scenario, P: Planner> MultiCompoundPlanner<S, P> {
                 }
             }));
         let fused = merge_windows_in_place(&mut self.merge_scratch, self.merge_gap);
-        let obs = Observation::new(time, *ego, fused);
-        PlanDecision {
-            accel: self.nn.plan(&obs),
-            source: PlannerSource::NeuralNetwork,
+        PreparedPlan::Nominal {
+            obs: Observation::new(time, *ego, fused),
+        }
+    }
+
+    /// Plans one control step from one estimate per conflicting vehicle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `estimates.len()` differs from the scenario count.
+    pub fn plan(
+        &mut self,
+        time: f64,
+        ego: &VehicleState,
+        estimates: &[VehicleEstimate],
+    ) -> PlanDecision {
+        match self.plan_prepare(time, ego, estimates) {
+            PreparedPlan::Decided(decision) => decision,
+            PreparedPlan::Nominal { obs } => PlanDecision {
+                accel: self.nn.plan(&obs),
+                source: PlannerSource::NeuralNetwork,
+            },
         }
     }
 }
@@ -348,6 +391,38 @@ mod tests {
         assert_eq!(d.source, PlannerSource::Emergency);
         assert_eq!(d.accel, -5.0);
         assert_eq!(multi.stats().emergency_steps, 1);
+    }
+
+    /// `plan` must be exactly `plan_prepare` + inline NN completion —
+    /// same decisions, same statistics — so batched executors that
+    /// complete `Nominal` themselves reproduce the compound semantics.
+    #[test]
+    fn plan_prepare_plus_completion_matches_plan() {
+        let mk = || {
+            MultiCompoundPlanner::new(
+                vec![Wall(50.0), Wall(10.0)],
+                Cruise,
+                WindowSource::Conservative,
+            )
+        };
+        let mut whole = mk();
+        let mut split = mk();
+        let est = VehicleEstimate::exact(0.0, VehicleState::at_rest());
+        for step in 0..12 {
+            let ego = VehicleState::new(step as f64, 1.0, 0.0);
+            let t = step as f64 * 0.1;
+            let want = whole.plan(t, &ego, &[est, est]);
+            let got = match split.plan_prepare(t, &ego, &[est, est]) {
+                PreparedPlan::Decided(d) => d,
+                PreparedPlan::Nominal { obs } => PlanDecision {
+                    accel: Cruise.plan(&obs),
+                    source: PlannerSource::NeuralNetwork,
+                },
+            };
+            assert_eq!(want, got, "step {step}");
+        }
+        assert_eq!(whole.stats(), split.stats());
+        assert!(whole.stats().emergency_steps > 0, "matrix must cover both");
     }
 
     #[test]

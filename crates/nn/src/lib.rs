@@ -15,6 +15,12 @@
 //! * [`MlpScratch`] — reusable workspace behind the zero-allocation
 //!   inference path ([`Mlp::forward_into`], [`Mlp::predict_into`]) used on
 //!   the episode hot path; bit-identical to the allocating reference.
+//! * [`LanePlan`], [`BatchScratch`] — lane-batched inference
+//!   ([`Mlp::forward_batch_into`]): [`LANE_WIDTH`] = 8 samples stepped in
+//!   lockstep through structure-of-arrays slabs and runtime-dispatched
+//!   SIMD kernels (AVX-512VL / AVX2+FMA / scalar, all bit-identical to
+//!   each other); deterministic, with a documented few-ulp tolerance to
+//!   the per-sample path.
 //! * Plain-text weight serialization ([`Mlp::to_text`], [`Mlp::from_text`])
 //!   so trained planners can be embedded or cached without extra formats.
 //!
@@ -43,6 +49,7 @@ mod matrix;
 mod mlp;
 mod optimizer;
 mod scratch;
+mod simd;
 mod train;
 
 pub use activation::Activation;
@@ -50,7 +57,8 @@ pub use error::NnError;
 pub use layer::Dense;
 pub use loss::Loss;
 pub use matrix::Matrix;
-pub use mlp::Mlp;
+pub use mlp::{LanePlan, Mlp};
 pub use optimizer::Optimizer;
-pub use scratch::MlpScratch;
+pub use scratch::{BatchScratch, MlpScratch};
+pub use simd::LANE_WIDTH;
 pub use train::{TrainConfig, Trainer};

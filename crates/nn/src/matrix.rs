@@ -164,6 +164,19 @@ impl Matrix {
         self.data.resize(rows * cols, 0.0);
     }
 
+    /// Reshapes to `rows × cols` **without** zeroing retained storage; only
+    /// storage grown beyond the previous length is zero-filled. Valid only
+    /// when the caller overwrites every element before reading any (the
+    /// dense-lane kernels do: each output row is seeded from the bias and
+    /// stored unconditionally), which makes this the allocation- and
+    /// memset-free variant of [`Matrix::reset_zeroed`] for the lane-batched
+    /// hot path.
+    fn reshape_for_overwrite(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, 0.0);
+    }
+
     /// Matrix product `self · other`.
     ///
     /// Runs the output-tiled kernel (see [`Matrix::matmul_into`]);
@@ -292,6 +305,49 @@ impl Matrix {
                 }
             }
         }
+        Ok(())
+    }
+
+    /// Lane-batched dense product `out = self·act + bias` over
+    /// structure-of-arrays activation slabs, into `out`.
+    ///
+    /// `self` is a **transposed** weight matrix (`out_dim × in_dim` — one
+    /// contiguous row per output feature, the layout the broadcast-FMA
+    /// kernels want), `act` is an `in_dim × `[`crate::LANE_WIDTH`] slab
+    /// (column `l` = episode lane `l`), and `out` is resized to
+    /// `out_dim × LANE_WIDTH`. Each output element is accumulated in one
+    /// ascending-`k` FMA chain seeded with the bias; there is **no**
+    /// zero-skip (lane slabs are dense, and a skip would break the
+    /// fixed-chain guarantee that makes every ISA tier bit-identical — see
+    /// the `simd` module). Dispatches to the fastest detected kernel tier.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] if `act` is not
+    /// `self.cols × LANE_WIDTH` or `bias.len() != self.rows`.
+    pub fn matmul_lanes_into(
+        &self,
+        act: &Matrix,
+        bias: &[f64],
+        out: &mut Matrix,
+    ) -> Result<(), NnError> {
+        if act.rows != self.cols || act.cols != crate::LANE_WIDTH || bias.len() != self.rows {
+            return Err(NnError::ShapeMismatch {
+                context: format!(
+                    "matmul_lanes: {}x{} * {}x{} + bias {}",
+                    self.rows,
+                    self.cols,
+                    act.rows,
+                    act.cols,
+                    bias.len()
+                ),
+            });
+        }
+        // No pre-zeroing: every kernel tier seeds each output row with the
+        // bias and stores all LANE_WIDTH entries, so zeroing first would be
+        // a dead memset on the per-step hot path.
+        out.reshape_for_overwrite(self.rows, crate::LANE_WIDTH);
+        crate::simd::dense_lanes(&self.data, bias, self.cols, &act.data, &mut out.data);
         Ok(())
     }
 
@@ -827,6 +883,54 @@ mod tests {
         m.reset_zeroed(1, 3);
         assert_eq!((m.rows(), m.cols()), (1, 3));
         assert_eq!(m.as_slice(), &[0.0, 0.0, 0.0]);
+    }
+
+    /// The lane kernel against a directly written per-lane `mul_add`
+    /// chain — the accumulation-order contract every ISA tier shares.
+    #[test]
+    fn matmul_lanes_matches_per_lane_mul_add_chain() {
+        let mut rng = SplitMix64::seed_from_u64(0xA11E);
+        for (in_dim, out_dim) in [(5usize, 32usize), (32, 32), (32, 1), (2, 3)] {
+            let wt = Matrix::from_fn(out_dim, in_dim, |_, _| rng.random_range(-1.0..1.0));
+            let bias: Vec<f64> = (0..out_dim).map(|_| rng.random_range(-0.5..0.5)).collect();
+            let act = Matrix::from_fn(in_dim, crate::LANE_WIDTH, |_, _| {
+                rng.random_range(-2.0..2.0)
+            });
+            let mut out = Matrix::zeros(0, 0);
+            wt.matmul_lanes_into(&act, &bias, &mut out).unwrap();
+            assert_eq!((out.rows(), out.cols()), (out_dim, crate::LANE_WIDTH));
+            for o in 0..out_dim {
+                for lane in 0..crate::LANE_WIDTH {
+                    let mut acc = bias[o];
+                    for k in 0..in_dim {
+                        acc = wt.get(o, k).mul_add(act.get(k, lane), acc);
+                    }
+                    assert_eq!(
+                        out.get(o, lane).to_bits(),
+                        acc.to_bits(),
+                        "{in_dim}x{out_dim} o={o} lane={lane}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_lanes_rejects_bad_shapes() {
+        let wt = Matrix::zeros(4, 3);
+        let mut out = Matrix::zeros(0, 0);
+        // act rows mismatch.
+        assert!(wt
+            .matmul_lanes_into(&Matrix::zeros(2, crate::LANE_WIDTH), &[0.0; 4], &mut out)
+            .is_err());
+        // act not LANE_WIDTH wide.
+        assert!(wt
+            .matmul_lanes_into(&Matrix::zeros(3, 4), &[0.0; 4], &mut out)
+            .is_err());
+        // bias length mismatch.
+        assert!(wt
+            .matmul_lanes_into(&Matrix::zeros(3, crate::LANE_WIDTH), &[0.0; 3], &mut out)
+            .is_err());
     }
 
     #[test]

@@ -1,7 +1,94 @@
 use cv_rng::SplitMix64;
 
 use crate::layer::DenseCache;
-use crate::{Activation, Dense, Matrix, MlpScratch, NnError};
+use crate::scratch::BatchScratch;
+use crate::{simd, Activation, Dense, Matrix, MlpScratch, NnError, LANE_WIDTH};
+
+/// Precomputed lane-batched execution plan for an [`Mlp`].
+///
+/// Holds each layer's weights **transposed** (`out_dim × in_dim`, one
+/// contiguous row per output feature) — the layout the broadcast-FMA lane
+/// kernels stream — plus bias and activation. Built once per network by
+/// [`Mlp::lane_plan`] and reused across every batched step; see
+/// [`Mlp::forward_batch_into`].
+#[derive(Debug, Clone)]
+pub struct LanePlan {
+    layers: Vec<LaneLayer>,
+    input_dim: usize,
+    output_dim: usize,
+}
+
+#[derive(Debug, Clone)]
+struct LaneLayer {
+    /// Transposed weights, `out_dim × in_dim`.
+    wt: Matrix,
+    bias: Vec<f64>,
+    activation: Activation,
+}
+
+impl LanePlan {
+    /// Input dimension of the planned network.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// Output dimension of the planned network.
+    pub fn output_dim(&self) -> usize {
+        self.output_dim
+    }
+
+    /// Lane-batched forward pass over an SoA input slab.
+    ///
+    /// `x` is `input_dim × `[`LANE_WIDTH`] (column `l` = episode lane `l`);
+    /// `out` is resized to `output_dim × LANE_WIDTH`. Activations ping-pong
+    /// through `scratch`; the final layer writes `out` directly. Zero heap
+    /// allocation once the buffers have grown to shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] if `x` is not
+    /// `input_dim × LANE_WIDTH`.
+    pub fn forward_lanes_into(
+        &self,
+        x: &Matrix,
+        scratch: &mut BatchScratch,
+        out: &mut Matrix,
+    ) -> Result<(), NnError> {
+        if x.rows() != self.input_dim || x.cols() != LANE_WIDTH {
+            return Err(NnError::ShapeMismatch {
+                context: format!(
+                    "forward_lanes: input {}x{} vs {}x{}",
+                    x.rows(),
+                    x.cols(),
+                    self.input_dim,
+                    LANE_WIDTH
+                ),
+            });
+        }
+        let BatchScratch { ping, pong } = scratch;
+        let n = self.layers.len();
+        for (i, layer) in self.layers.iter().enumerate() {
+            let last = i + 1 == n;
+            // Ping-pong with the final layer redirected to `out`: layer 0
+            // reads `x`, odd layers read `ping`, even layers read `pong`.
+            let dst = if i == 0 {
+                let dst = if last { &mut *out } else { &mut *ping };
+                layer.wt.matmul_lanes_into(x, &layer.bias, dst)?;
+                dst
+            } else if i % 2 == 1 {
+                let dst = if last { &mut *out } else { &mut *pong };
+                layer.wt.matmul_lanes_into(ping, &layer.bias, dst)?;
+                dst
+            } else {
+                let dst = if last { &mut *out } else { &mut *ping };
+                layer.wt.matmul_lanes_into(pong, &layer.bias, dst)?;
+                dst
+            };
+            simd::activate_lanes(layer.activation, dst.as_mut_slice());
+        }
+        Ok(())
+    }
+}
 
 /// A multilayer perceptron: a stack of [`Dense`] layers.
 ///
@@ -208,6 +295,66 @@ impl Mlp {
         let mut out = vec![0.0; self.output_dim()];
         self.predict_into(input, &mut scratch, &mut out)?;
         Ok(out)
+    }
+
+    /// Builds the lane-batched execution plan for this network (transposed
+    /// weight copies); pair with [`Mlp::forward_batch_into`].
+    pub fn lane_plan(&self) -> LanePlan {
+        LanePlan {
+            layers: self
+                .layers
+                .iter()
+                .map(|l| LaneLayer {
+                    wt: l.weights().transpose(),
+                    bias: l.bias().to_vec(),
+                    activation: l.activation(),
+                })
+                .collect(),
+            input_dim: self.input_dim(),
+            output_dim: self.output_dim(),
+        }
+    }
+
+    /// Lane-batched forward pass: runs [`LANE_WIDTH`] = 8 samples in
+    /// lockstep over an SoA slab, turning each layer into one
+    /// `(out×in)·(in×8)` broadcast-FMA matmul plus a vectorised activation
+    /// sweep (see [`Matrix::matmul_lanes_into`] and the `simd` module).
+    ///
+    /// Results are deterministic (independent of host ISA and of which
+    /// lanes are live) but **not** bit-identical to the per-sample
+    /// reference path: the FMA accumulation contracts rounding steps the
+    /// reference performs, and `Tanh` uses the documented few-ulp lane
+    /// approximation. Callers that need bit-identity (lanes-of-1) must use
+    /// [`Mlp::predict_into`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] if `plan` was built for a
+    /// differently shaped network or `x` is not `input_dim × LANE_WIDTH`.
+    pub fn forward_batch_into(
+        &self,
+        plan: &LanePlan,
+        x: &Matrix,
+        scratch: &mut BatchScratch,
+        out: &mut Matrix,
+    ) -> Result<(), NnError> {
+        if plan.input_dim() != self.input_dim()
+            || plan.output_dim() != self.output_dim()
+            || plan.layers.len() != self.layers.len()
+        {
+            return Err(NnError::ShapeMismatch {
+                context: format!(
+                    "forward_batch: plan {}->{} ({} layers) vs net {}->{} ({} layers)",
+                    plan.input_dim(),
+                    plan.output_dim(),
+                    plan.layers.len(),
+                    self.input_dim(),
+                    self.output_dim(),
+                    self.layers.len()
+                ),
+            });
+        }
+        plan.forward_lanes_into(x, scratch, out)
     }
 
     /// Forward pass retaining per-layer caches for backprop.
@@ -428,5 +575,89 @@ mod tests {
     fn num_params_is_summed() {
         let net = Mlp::new(&[5, 16, 1], Activation::Tanh, Activation::Identity, 0).unwrap();
         assert_eq!(net.num_params(), 5 * 16 + 16 + 16 + 1);
+    }
+
+    /// The batched lane pass against per-lane `predict`: every lane's
+    /// column must match the per-sample path within the documented
+    /// tolerance (FMA contraction + few-ulp lane tanh), across layer
+    /// counts and every activation on the hidden layers.
+    #[test]
+    fn forward_batch_matches_predict_within_tolerance() {
+        for (sizes, hidden) in [
+            (vec![5, 32, 32, 1], Activation::Tanh),
+            (vec![5, 1], Activation::Tanh),
+            (vec![3, 7, 11, 2], Activation::Relu),
+            (vec![4, 16, 3], Activation::Sigmoid),
+        ] {
+            let net = Mlp::new(&sizes, hidden, Activation::Tanh, 21).unwrap();
+            let plan = net.lane_plan();
+            let mut scratch = BatchScratch::for_net(&net);
+            let x = Matrix::from_fn(sizes[0], LANE_WIDTH, |r, c| {
+                ((r * 13 + c * 29) as f64).sin() * 0.8
+            });
+            let mut out = Matrix::zeros(0, 0);
+            net.forward_batch_into(&plan, &x, &mut scratch, &mut out)
+                .unwrap();
+            assert_eq!(
+                (out.rows(), out.cols()),
+                (*sizes.last().unwrap(), LANE_WIDTH)
+            );
+            for lane in 0..LANE_WIDTH {
+                let input: Vec<f64> = (0..sizes[0]).map(|r| x.get(r, lane)).collect();
+                let reference = net.predict(&input).unwrap();
+                for (o, &want) in reference.iter().enumerate() {
+                    let got = out.get(o, lane);
+                    assert!(
+                        (got - want).abs() <= 1e-12 * want.abs().max(1.0),
+                        "sizes {sizes:?} {hidden} lane {lane} out {o}: {got} vs {want}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Dead lanes (zero-filled columns) must not disturb live lanes, and
+    /// the batched pass must be invariant to what dead lanes contain.
+    #[test]
+    fn forward_batch_is_lane_independent() {
+        let net = Mlp::new(&[5, 32, 32, 1], Activation::Tanh, Activation::Tanh, 7).unwrap();
+        let plan = net.lane_plan();
+        let mut scratch = BatchScratch::for_net(&net);
+        let mut x = Matrix::from_fn(5, LANE_WIDTH, |r, c| ((r + c * 3) as f64).cos() * 0.5);
+        let mut a = Matrix::zeros(0, 0);
+        net.forward_batch_into(&plan, &x, &mut scratch, &mut a)
+            .unwrap();
+        // Rewrite lanes 5..8 with junk; lanes 0..5 must be bit-unchanged.
+        for r in 0..5 {
+            for lane in 5..LANE_WIDTH {
+                x.set(r, lane, 1e9);
+            }
+        }
+        let mut b = Matrix::zeros(0, 0);
+        net.forward_batch_into(&plan, &x, &mut scratch, &mut b)
+            .unwrap();
+        for lane in 0..5 {
+            assert_eq!(a.get(0, lane).to_bits(), b.get(0, lane).to_bits());
+        }
+    }
+
+    #[test]
+    fn forward_batch_validates_plan_and_input() {
+        let net = Mlp::new(&[5, 8, 1], Activation::Tanh, Activation::Tanh, 1).unwrap();
+        let other = Mlp::new(&[4, 8, 1], Activation::Tanh, Activation::Tanh, 1).unwrap();
+        let plan = net.lane_plan();
+        let mut scratch = BatchScratch::for_net(&net);
+        let mut out = Matrix::zeros(0, 0);
+        // Mismatched plan.
+        assert!(other
+            .forward_batch_into(&plan, &Matrix::zeros(4, LANE_WIDTH), &mut scratch, &mut out)
+            .is_err());
+        // Wrong input shape.
+        assert!(net
+            .forward_batch_into(&plan, &Matrix::zeros(5, 4), &mut scratch, &mut out)
+            .is_err());
+        assert!(net
+            .forward_batch_into(&plan, &Matrix::zeros(4, LANE_WIDTH), &mut scratch, &mut out)
+            .is_err());
     }
 }

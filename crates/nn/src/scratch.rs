@@ -55,6 +55,38 @@ impl MlpScratch {
     }
 }
 
+/// Reusable activation slabs for the lane-batched forward pass
+/// ([`Mlp::forward_batch_into`]).
+///
+/// The lane path runs [`crate::LANE_WIDTH`] = 8 episodes in lockstep, so
+/// its ping-pong buffers are structure-of-arrays slabs `width × 8` instead
+/// of single rows. Like [`MlpScratch`], buffers regrow on demand and carry
+/// no meaning between calls; [`BatchScratch::for_net`] pre-grows them so
+/// even the first batched forward allocates nothing.
+#[derive(Debug, Clone, Default)]
+pub struct BatchScratch {
+    /// Ping-pong SoA activation slabs; layer `l` reads one and writes the
+    /// other (the final layer writes the caller's output slab instead).
+    pub(crate) ping: Matrix,
+    pub(crate) pong: Matrix,
+}
+
+impl BatchScratch {
+    /// An empty scratch; slabs grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A scratch pre-grown for lane-batched inference through `net`.
+    pub fn for_net(net: &Mlp) -> Self {
+        let widest = net.layers().iter().map(|l| l.out_dim()).max().unwrap_or(0);
+        let mut s = Self::new();
+        s.ping.reset_zeroed(widest, crate::LANE_WIDTH);
+        s.pong.reset_zeroed(widest, crate::LANE_WIDTH);
+        s
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -67,5 +99,13 @@ mod tests {
         assert_eq!((s.input.rows(), s.input.cols()), (1, 3));
         assert_eq!(s.ping.cols(), 8);
         assert_eq!(s.pong.cols(), 8);
+    }
+
+    #[test]
+    fn batch_scratch_sizes_slabs_lane_wide() {
+        let net = Mlp::new(&[3, 8, 2], Activation::Tanh, Activation::Identity, 1).unwrap();
+        let s = BatchScratch::for_net(&net);
+        assert_eq!((s.ping.rows(), s.ping.cols()), (8, crate::LANE_WIDTH));
+        assert_eq!((s.pong.rows(), s.pong.cols()), (8, crate::LANE_WIDTH));
     }
 }

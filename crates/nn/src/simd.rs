@@ -1,0 +1,526 @@
+//! Lane-batched SIMD kernels for the structure-of-arrays forward pass.
+//!
+//! The lane layout is fixed at [`LANE_WIDTH`] = 8 episodes wide: an
+//! activation block for a layer of width `d` is a flat `d × 8` row-major
+//! slab where element `k * 8 + lane` is feature `k` of episode `lane`.
+//! Each element's value depends only on its own lane's column, so dead
+//! (unoccupied) lanes simply carry zeros and never perturb live lanes.
+//!
+//! Three kernel tiers are provided — AVX-512VL (256-bit ops, the fastest
+//! on current hardware with a single 512-bit FMA port), AVX2+FMA, and a
+//! scalar fallback — selected once per process by runtime feature
+//! detection. All three compute **bit-identical** results: the scalar tier
+//! mirrors the vector tiers' exact per-element op sequence (`mul_add` ≡
+//! FMA, exponent-field construction of `2^n` ≡ `vscalefpd`), so batched
+//! results never depend on the host's ISA, only on the lane math itself.
+//!
+//! `tanh` is the one place the lane path diverges numerically from the
+//! per-episode reference: `f64::tanh` goes through libm and does not
+//! vectorise, so the lane kernels use a branchless `expm1`-based
+//! approximation ([`tanh_lane`], max relative error ≈ 1e-15 ≈ a few ulp)
+//! evaluated identically in all tiers. Every other activation is exact.
+
+#[cfg(target_arch = "x86_64")]
+use std::sync::OnceLock;
+
+/// Number of episodes stepped in lockstep by the lane-batched kernels.
+///
+/// Activation slabs are always this many lanes wide regardless of how many
+/// lanes are live; callers zero-fill dead lanes.
+pub const LANE_WIDTH: usize = 8;
+
+// Taylor coefficients of expm1 about 0 (degree 12), evaluated by Horner
+// with FMA. |t| ≤ ln(2)/2 after range reduction, where degree 12 reaches
+// ~1 ulp.
+const C12: f64 = 1.0 / 479_001_600.0;
+const C11: f64 = 1.0 / 39_916_800.0;
+const C10: f64 = 1.0 / 3_628_800.0;
+const C9: f64 = 1.0 / 362_880.0;
+const C8: f64 = 1.0 / 40_320.0;
+const C7: f64 = 1.0 / 5_040.0;
+const C6: f64 = 1.0 / 720.0;
+const C5: f64 = 1.0 / 120.0;
+const C4: f64 = 1.0 / 24.0;
+const C3: f64 = 1.0 / 6.0;
+const LOG2E_2: f64 = 2.0 * std::f64::consts::LOG2_E;
+const LN2: f64 = std::f64::consts::LN_2;
+
+/// Scalar lane `tanh`: the reference the vector tiers are bit-tested
+/// against, and the kernel itself on non-x86 hosts.
+///
+/// Computes `tanh(|x|) = (e^{2|x|} − 1)/(e^{2|x|} + 1)` with
+/// `e^{2|x|} = 2^n · e^t` (range reduction `2|x| = n·ln2 + t`,
+/// `|t| ≤ ln2/2`) in the cancellation-free `expm1` form
+/// `N = 2^n·q + (2^n − 1)`, `D = 2^n·q + (2^n + 1)`, `q = e^t − 1`,
+/// then restores the sign. `|x|` is capped at 20 (tanh saturates to 1.0
+/// exactly well before that), which also bounds `n` for the exact
+/// exponent-field construction of `2^n`.
+#[inline(always)]
+pub(crate) fn tanh_lane(x: f64) -> f64 {
+    let ax = x.abs().min(20.0);
+    let y = ax * LOG2E_2;
+    let n = (y + 0.5).floor();
+    let t = (y - n) * LN2;
+    let mut q: f64 = C12;
+    q = q.mul_add(t, C11);
+    q = q.mul_add(t, C10);
+    q = q.mul_add(t, C9);
+    q = q.mul_add(t, C8);
+    q = q.mul_add(t, C7);
+    q = q.mul_add(t, C6);
+    q = q.mul_add(t, C5);
+    q = q.mul_add(t, C4);
+    q = q.mul_add(t, C3);
+    q = q.mul_add(t, 0.5);
+    q = q.mul_add(t, 1.0);
+    let q = q * t;
+    // n is a small non-negative integer (≤ 58 given the cap), so 2^n is
+    // exactly representable via the exponent field — the scalar twin of
+    // `vscalefpd`.
+    let p2n = f64::from_bits((1023u64 + n as u64) << 52);
+    let num = p2n.mul_add(q, p2n - 1.0);
+    let den = p2n.mul_add(q, p2n + 1.0);
+    (num / den).copysign(x)
+}
+
+/// Scalar dense-lane kernel: `out[o·8+l] = bias[o] + Σ_k wt[o·in+k] ·
+/// act[k·8+l]`, accumulated ascending-`k` with `mul_add` — the exact
+/// float-op chain of the vector tiers (no zero-skip: lane slabs are dense
+/// by construction and a skip would break the FMA chain equivalence).
+fn dense_lanes_scalar(wt: &[f64], bias: &[f64], in_dim: usize, act: &[f64], out: &mut [f64]) {
+    for (o, &b) in bias.iter().enumerate() {
+        let wrow = &wt[o * in_dim..(o + 1) * in_dim];
+        let orow = &mut out[o * LANE_WIDTH..(o + 1) * LANE_WIDTH];
+        orow.fill(b);
+        for (k, &w) in wrow.iter().enumerate() {
+            let arow = &act[k * LANE_WIDTH..(k + 1) * LANE_WIDTH];
+            for (acc, &a) in orow.iter_mut().zip(arow) {
+                *acc = w.mul_add(a, *acc);
+            }
+        }
+    }
+}
+
+fn tanh_lanes_scalar(xs: &mut [f64]) {
+    for x in xs {
+        *x = tanh_lane(*x);
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::{C10, C11, C12, C3, C4, C5, C6, C7, C8, C9, LANE_WIDTH, LN2, LOG2E_2};
+    use std::arch::x86_64::*;
+
+    /// One 4-lane tanh in ymm registers; shared op sequence for the AVX2
+    /// and AVX-512VL tiers (only `2^n` construction differs, and both
+    /// constructions are exact).
+    macro_rules! tanh_vec4_body {
+        ($x:expr, $p2n_of:expr) => {{
+            let sign_mask = _mm256_set1_pd(-0.0);
+            let one = _mm256_set1_pd(1.0);
+            let half = _mm256_set1_pd(0.5);
+            let x = $x;
+            let ax = _mm256_min_pd(_mm256_andnot_pd(sign_mask, x), _mm256_set1_pd(20.0));
+            let y = _mm256_mul_pd(ax, _mm256_set1_pd(LOG2E_2));
+            let n = _mm256_floor_pd(_mm256_add_pd(y, half));
+            let t = _mm256_mul_pd(_mm256_sub_pd(y, n), _mm256_set1_pd(LN2));
+            let mut q = _mm256_set1_pd(C12);
+            q = _mm256_fmadd_pd(q, t, _mm256_set1_pd(C11));
+            q = _mm256_fmadd_pd(q, t, _mm256_set1_pd(C10));
+            q = _mm256_fmadd_pd(q, t, _mm256_set1_pd(C9));
+            q = _mm256_fmadd_pd(q, t, _mm256_set1_pd(C8));
+            q = _mm256_fmadd_pd(q, t, _mm256_set1_pd(C7));
+            q = _mm256_fmadd_pd(q, t, _mm256_set1_pd(C6));
+            q = _mm256_fmadd_pd(q, t, _mm256_set1_pd(C5));
+            q = _mm256_fmadd_pd(q, t, _mm256_set1_pd(C4));
+            q = _mm256_fmadd_pd(q, t, _mm256_set1_pd(C3));
+            q = _mm256_fmadd_pd(q, t, half);
+            q = _mm256_fmadd_pd(q, t, one);
+            let q = _mm256_mul_pd(q, t);
+            let p2n = $p2n_of(one, n);
+            let num = _mm256_fmadd_pd(p2n, q, _mm256_sub_pd(p2n, one));
+            let den = _mm256_fmadd_pd(p2n, q, _mm256_add_pd(p2n, one));
+            let r = _mm256_div_pd(num, den);
+            _mm256_or_pd(r, _mm256_and_pd(sign_mask, x))
+        }};
+    }
+
+    #[target_feature(enable = "avx512vl,avx512f")]
+    pub unsafe fn tanh_lanes_avx512vl(xs: &mut [f64]) {
+        debug_assert_eq!(xs.len() % 4, 0);
+        for c in xs.chunks_exact_mut(4) {
+            let x = _mm256_loadu_pd(c.as_ptr());
+            let r = tanh_vec4_body!(x, |one, n| _mm256_scalef_pd(one, n));
+            _mm256_storeu_pd(c.as_mut_ptr(), r);
+        }
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn tanh_lanes_avx2(xs: &mut [f64]) {
+        debug_assert_eq!(xs.len() % 4, 0);
+        for c in xs.chunks_exact_mut(4) {
+            let x = _mm256_loadu_pd(c.as_ptr());
+            // 2^n without vscalefpd: n ≥ 0 integer-valued, so adding
+            // n << 52 to the bits of 1.0 sets the exponent exactly.
+            let r = tanh_vec4_body!(x, |one: __m256d, n: __m256d| {
+                let ni = _mm256_cvtpd_epi32(n);
+                let ni64 = _mm256_cvtepi32_epi64(ni);
+                _mm256_castsi256_pd(_mm256_add_epi64(
+                    _mm256_castpd_si256(one),
+                    _mm256_slli_epi64(ni64, 52),
+                ))
+            });
+            _mm256_storeu_pd(c.as_mut_ptr(), r);
+        }
+    }
+
+    /// AVX-512VL dense-lane kernel: blocks four output features at a time
+    /// (16 ymm accumulators — the VL tier's registers 16–31 keep the block
+    /// resident), broadcasting weights against the two 4-lane halves of
+    /// each activation row. Bias seeds the accumulators.
+    #[target_feature(enable = "avx512vl,avx512f")]
+    pub unsafe fn dense_lanes_avx512vl(
+        wt: &[f64],
+        bias: &[f64],
+        in_dim: usize,
+        act: &[f64],
+        out: &mut [f64],
+    ) {
+        let out_dim = bias.len();
+        let mut oo = 0;
+        while oo + 4 <= out_dim {
+            let w0 = &wt[oo * in_dim..];
+            let w1 = &wt[(oo + 1) * in_dim..];
+            let w2 = &wt[(oo + 2) * in_dim..];
+            let w3 = &wt[(oo + 3) * in_dim..];
+            let b0 = _mm256_set1_pd(bias[oo]);
+            let b1 = _mm256_set1_pd(bias[oo + 1]);
+            let b2 = _mm256_set1_pd(bias[oo + 2]);
+            let b3 = _mm256_set1_pd(bias[oo + 3]);
+            let (mut a0l, mut a0h, mut a1l, mut a1h) = (b0, b0, b1, b1);
+            let (mut a2l, mut a2h, mut a3l, mut a3h) = (b2, b2, b3, b3);
+            for k in 0..in_dim {
+                let avl = _mm256_loadu_pd(act.as_ptr().add(k * LANE_WIDTH));
+                let avh = _mm256_loadu_pd(act.as_ptr().add(k * LANE_WIDTH + 4));
+                let wv0 = _mm256_set1_pd(w0[k]);
+                let wv1 = _mm256_set1_pd(w1[k]);
+                let wv2 = _mm256_set1_pd(w2[k]);
+                let wv3 = _mm256_set1_pd(w3[k]);
+                a0l = _mm256_fmadd_pd(wv0, avl, a0l);
+                a0h = _mm256_fmadd_pd(wv0, avh, a0h);
+                a1l = _mm256_fmadd_pd(wv1, avl, a1l);
+                a1h = _mm256_fmadd_pd(wv1, avh, a1h);
+                a2l = _mm256_fmadd_pd(wv2, avl, a2l);
+                a2h = _mm256_fmadd_pd(wv2, avh, a2h);
+                a3l = _mm256_fmadd_pd(wv3, avl, a3l);
+                a3h = _mm256_fmadd_pd(wv3, avh, a3h);
+            }
+            _mm256_storeu_pd(out.as_mut_ptr().add(oo * LANE_WIDTH), a0l);
+            _mm256_storeu_pd(out.as_mut_ptr().add(oo * LANE_WIDTH + 4), a0h);
+            _mm256_storeu_pd(out.as_mut_ptr().add((oo + 1) * LANE_WIDTH), a1l);
+            _mm256_storeu_pd(out.as_mut_ptr().add((oo + 1) * LANE_WIDTH + 4), a1h);
+            _mm256_storeu_pd(out.as_mut_ptr().add((oo + 2) * LANE_WIDTH), a2l);
+            _mm256_storeu_pd(out.as_mut_ptr().add((oo + 2) * LANE_WIDTH + 4), a2h);
+            _mm256_storeu_pd(out.as_mut_ptr().add((oo + 3) * LANE_WIDTH), a3l);
+            _mm256_storeu_pd(out.as_mut_ptr().add((oo + 3) * LANE_WIDTH + 4), a3h);
+            oo += 4;
+        }
+        while oo < out_dim {
+            let w0 = &wt[oo * in_dim..(oo + 1) * in_dim];
+            let b0 = _mm256_set1_pd(bias[oo]);
+            let (mut a0l, mut a0h) = (b0, b0);
+            for (k, &w) in w0.iter().enumerate() {
+                let avl = _mm256_loadu_pd(act.as_ptr().add(k * LANE_WIDTH));
+                let avh = _mm256_loadu_pd(act.as_ptr().add(k * LANE_WIDTH + 4));
+                let wv0 = _mm256_set1_pd(w);
+                a0l = _mm256_fmadd_pd(wv0, avl, a0l);
+                a0h = _mm256_fmadd_pd(wv0, avh, a0h);
+            }
+            _mm256_storeu_pd(out.as_mut_ptr().add(oo * LANE_WIDTH), a0l);
+            _mm256_storeu_pd(out.as_mut_ptr().add(oo * LANE_WIDTH + 4), a0h);
+            oo += 1;
+        }
+    }
+
+    /// AVX2+FMA dense-lane kernel: same math as the VL tier, blocked two
+    /// output features at a time (AVX2 has only ymm0–15).
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn dense_lanes_avx2(
+        wt: &[f64],
+        bias: &[f64],
+        in_dim: usize,
+        act: &[f64],
+        out: &mut [f64],
+    ) {
+        let out_dim = bias.len();
+        let mut oo = 0;
+        while oo + 2 <= out_dim {
+            let w0 = &wt[oo * in_dim..];
+            let w1 = &wt[(oo + 1) * in_dim..];
+            let b0 = _mm256_set1_pd(bias[oo]);
+            let b1 = _mm256_set1_pd(bias[oo + 1]);
+            let (mut a0l, mut a0h, mut a1l, mut a1h) = (b0, b0, b1, b1);
+            for k in 0..in_dim {
+                let avl = _mm256_loadu_pd(act.as_ptr().add(k * LANE_WIDTH));
+                let avh = _mm256_loadu_pd(act.as_ptr().add(k * LANE_WIDTH + 4));
+                let wv0 = _mm256_set1_pd(w0[k]);
+                let wv1 = _mm256_set1_pd(w1[k]);
+                a0l = _mm256_fmadd_pd(wv0, avl, a0l);
+                a0h = _mm256_fmadd_pd(wv0, avh, a0h);
+                a1l = _mm256_fmadd_pd(wv1, avl, a1l);
+                a1h = _mm256_fmadd_pd(wv1, avh, a1h);
+            }
+            _mm256_storeu_pd(out.as_mut_ptr().add(oo * LANE_WIDTH), a0l);
+            _mm256_storeu_pd(out.as_mut_ptr().add(oo * LANE_WIDTH + 4), a0h);
+            _mm256_storeu_pd(out.as_mut_ptr().add((oo + 1) * LANE_WIDTH), a1l);
+            _mm256_storeu_pd(out.as_mut_ptr().add((oo + 1) * LANE_WIDTH + 4), a1h);
+            oo += 2;
+        }
+        while oo < out_dim {
+            let w0 = &wt[oo * in_dim..(oo + 1) * in_dim];
+            let b0 = _mm256_set1_pd(bias[oo]);
+            let (mut a0l, mut a0h) = (b0, b0);
+            for (k, &w) in w0.iter().enumerate() {
+                let avl = _mm256_loadu_pd(act.as_ptr().add(k * LANE_WIDTH));
+                let avh = _mm256_loadu_pd(act.as_ptr().add(k * LANE_WIDTH + 4));
+                let wv0 = _mm256_set1_pd(w);
+                a0l = _mm256_fmadd_pd(wv0, avl, a0l);
+                a0h = _mm256_fmadd_pd(wv0, avh, a0h);
+            }
+            _mm256_storeu_pd(out.as_mut_ptr().add(oo * LANE_WIDTH), a0l);
+            _mm256_storeu_pd(out.as_mut_ptr().add(oo * LANE_WIDTH + 4), a0h);
+            oo += 1;
+        }
+    }
+}
+
+/// Kernel tier selected at runtime, once per process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Isa {
+    /// AVX-512VL 256-bit kernels (fastest measured: wide register file
+    /// without the 512-bit port bottleneck).
+    #[cfg(target_arch = "x86_64")]
+    Avx512Vl,
+    /// AVX2 + FMA kernels.
+    #[cfg(target_arch = "x86_64")]
+    Avx2Fma,
+    /// Portable `mul_add` kernels; also the bit-identity reference.
+    Scalar,
+}
+
+#[cfg(target_arch = "x86_64")]
+static ISA: OnceLock<Isa> = OnceLock::new();
+
+/// The kernel tier in use on this host.
+pub(crate) fn isa() -> Isa {
+    #[cfg(target_arch = "x86_64")]
+    {
+        *ISA.get_or_init(|| {
+            if is_x86_feature_detected!("avx512vl") && is_x86_feature_detected!("avx512f") {
+                Isa::Avx512Vl
+            } else if is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma") {
+                Isa::Avx2Fma
+            } else {
+                Isa::Scalar
+            }
+        })
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        Isa::Scalar
+    }
+}
+
+/// Dense-lane kernel entry: `out = Wᵀ·act + b` over 8-lane SoA slabs.
+///
+/// `wt` is the **transposed** weight matrix (`out_dim × in_dim` row-major),
+/// `act` is `in_dim × 8`, `out` is `out_dim × 8`. Callers (the shape-checked
+/// [`crate::Matrix::matmul_lanes_into`]) guarantee the slice lengths.
+pub(crate) fn dense_lanes(wt: &[f64], bias: &[f64], in_dim: usize, act: &[f64], out: &mut [f64]) {
+    debug_assert_eq!(wt.len(), bias.len() * in_dim);
+    debug_assert_eq!(act.len(), in_dim * LANE_WIDTH);
+    debug_assert_eq!(out.len(), bias.len() * LANE_WIDTH);
+    match isa() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: tier selected only when the features are detected; slice
+        // lengths are asserted above and rechecked by the caller.
+        Isa::Avx512Vl => unsafe { x86::dense_lanes_avx512vl(wt, bias, in_dim, act, out) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as above.
+        Isa::Avx2Fma => unsafe { x86::dense_lanes_avx2(wt, bias, in_dim, act, out) },
+        Isa::Scalar => dense_lanes_scalar(wt, bias, in_dim, act, out),
+    }
+}
+
+/// In-place lane `tanh` over an SoA slab (`xs.len()` a multiple of 8).
+pub(crate) fn tanh_lanes(xs: &mut [f64]) {
+    debug_assert_eq!(xs.len() % LANE_WIDTH, 0);
+    match isa() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: tier selected only when the features are detected.
+        Isa::Avx512Vl => unsafe { x86::tanh_lanes_avx512vl(xs) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as above.
+        Isa::Avx2Fma => unsafe { x86::tanh_lanes_avx2(xs) },
+        Isa::Scalar => tanh_lanes_scalar(xs),
+    }
+}
+
+/// Applies `act` element-wise to an SoA slab. `Tanh` uses the lane
+/// approximation; the rest are exact and identical in every tier
+/// (`Relu`/`Identity` are branch-free compares, `Sigmoid` stays scalar —
+/// it is not on any planner hot path).
+pub(crate) fn activate_lanes(act: crate::Activation, xs: &mut [f64]) {
+    match act {
+        crate::Activation::Tanh => tanh_lanes(xs),
+        crate::Activation::Relu => {
+            for x in xs {
+                *x = x.max(0.0);
+            }
+        }
+        crate::Activation::Sigmoid => {
+            for x in xs {
+                *x = 1.0 / (1.0 + (-*x).exp());
+            }
+        }
+        crate::Activation::Identity => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cv_rng::{Rng, SplitMix64};
+
+    #[test]
+    fn tanh_lane_is_accurate_to_a_few_ulp() {
+        let mut max_rel = 0.0f64;
+        for i in 0..40_000 {
+            let x = (i as f64 - 20_000.0) * 0.00125; // [-25, 25]
+            let got = tanh_lane(x);
+            let want = x.tanh();
+            let rel = if want != 0.0 {
+                ((want - got) / want).abs()
+            } else {
+                (want - got).abs()
+            };
+            max_rel = max_rel.max(rel);
+            assert!(
+                (-1.0..=1.0).contains(&got),
+                "tanh({x}) = {got} out of range"
+            );
+        }
+        assert!(max_rel < 5e-15, "max rel err {max_rel:e}");
+    }
+
+    #[test]
+    fn tanh_lane_edge_cases() {
+        assert_eq!(tanh_lane(0.0).to_bits(), 0.0f64.to_bits());
+        assert_eq!(tanh_lane(-0.0).to_bits(), (-0.0f64).to_bits());
+        assert_eq!(tanh_lane(50.0), 1.0);
+        assert_eq!(tanh_lane(-50.0), -1.0);
+        assert_eq!(tanh_lane(1e300), 1.0);
+        // Odd symmetry is exact (copysign of an |x| computation).
+        for x in [1e-8, 0.3, 1.0, 5.0, 19.9] {
+            assert_eq!(tanh_lane(-x).to_bits(), (-tanh_lane(x)).to_bits());
+        }
+    }
+
+    /// Every detected vector tier must reproduce the scalar kernels to the
+    /// bit — the property the cross-ISA determinism contract rests on.
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn vector_tiers_are_bit_identical_to_scalar() {
+        let mut rng = SplitMix64::seed_from_u64(0xBEEF);
+        for (in_dim, out_dim) in [(5, 32), (32, 32), (32, 1), (3, 7), (1, 1), (7, 5)] {
+            let wt: Vec<f64> = (0..out_dim * in_dim)
+                .map(|_| rng.random_range(-2.0..2.0))
+                .collect();
+            let bias: Vec<f64> = (0..out_dim).map(|_| rng.random_range(-1.0..1.0)).collect();
+            let act: Vec<f64> = (0..in_dim * LANE_WIDTH)
+                .map(|_| rng.random_range(-3.0..3.0))
+                .collect();
+            let mut reference = vec![0.0; out_dim * LANE_WIDTH];
+            dense_lanes_scalar(&wt, &bias, in_dim, &act, &mut reference);
+            let mut tanh_ref = reference.clone();
+            tanh_lanes_scalar(&mut tanh_ref);
+
+            if is_x86_feature_detected!("avx512vl") && is_x86_feature_detected!("avx512f") {
+                let mut got = vec![0.0; out_dim * LANE_WIDTH];
+                // SAFETY: feature checked above.
+                unsafe { x86::dense_lanes_avx512vl(&wt, &bias, in_dim, &act, &mut got) };
+                for (g, r) in got.iter().zip(&reference) {
+                    assert_eq!(
+                        g.to_bits(),
+                        r.to_bits(),
+                        "avx512vl dense {in_dim}x{out_dim}"
+                    );
+                }
+                // SAFETY: feature checked above.
+                unsafe { x86::tanh_lanes_avx512vl(&mut got) };
+                for (g, r) in got.iter().zip(&tanh_ref) {
+                    assert_eq!(g.to_bits(), r.to_bits(), "avx512vl tanh {in_dim}x{out_dim}");
+                }
+            }
+            if is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma") {
+                let mut got = vec![0.0; out_dim * LANE_WIDTH];
+                // SAFETY: feature checked above.
+                unsafe { x86::dense_lanes_avx2(&wt, &bias, in_dim, &act, &mut got) };
+                for (g, r) in got.iter().zip(&reference) {
+                    assert_eq!(g.to_bits(), r.to_bits(), "avx2 dense {in_dim}x{out_dim}");
+                }
+                // SAFETY: feature checked above.
+                unsafe { x86::tanh_lanes_avx2(&mut got) };
+                for (g, r) in got.iter().zip(&tanh_ref) {
+                    assert_eq!(g.to_bits(), r.to_bits(), "avx2 tanh {in_dim}x{out_dim}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dead_lanes_stay_independent() {
+        // Zeros in dead lanes must not perturb live lanes: recompute with
+        // garbage in lanes 4..8 and check lanes 0..4 are unchanged.
+        let mut rng = SplitMix64::seed_from_u64(7);
+        let (in_dim, out_dim) = (5, 8);
+        let wt: Vec<f64> = (0..out_dim * in_dim)
+            .map(|_| rng.random_range(-1.0..1.0))
+            .collect();
+        let bias: Vec<f64> = (0..out_dim).map(|_| rng.random_range(-1.0..1.0)).collect();
+        let mut act: Vec<f64> = (0..in_dim * LANE_WIDTH)
+            .map(|_| rng.random_range(-1.0..1.0))
+            .collect();
+        let mut out_a = vec![0.0; out_dim * LANE_WIDTH];
+        dense_lanes(&wt, &bias, in_dim, &act, &mut out_a);
+        tanh_lanes(&mut out_a);
+        for k in 0..in_dim {
+            for lane in 4..LANE_WIDTH {
+                act[k * LANE_WIDTH + lane] = 1e6 * (lane as f64);
+            }
+        }
+        let mut out_b = vec![0.0; out_dim * LANE_WIDTH];
+        dense_lanes(&wt, &bias, in_dim, &act, &mut out_b);
+        tanh_lanes(&mut out_b);
+        for o in 0..out_dim {
+            for lane in 0..4 {
+                let i = o * LANE_WIDTH + lane;
+                assert_eq!(out_a[i].to_bits(), out_b[i].to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn activate_lanes_matches_exact_activations() {
+        use crate::Activation;
+        let xs: Vec<f64> = (0..16).map(|i| (i as f64 - 8.0) * 0.4).collect();
+        for act in [Activation::Relu, Activation::Sigmoid, Activation::Identity] {
+            let mut got = xs.clone();
+            activate_lanes(act, &mut got);
+            for (&g, &x) in got.iter().zip(&xs) {
+                assert_eq!(g.to_bits(), act.apply(x).to_bits(), "{act}");
+            }
+        }
+    }
+}

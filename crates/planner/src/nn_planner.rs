@@ -142,10 +142,17 @@ impl NnPlanner {
 
     /// Maps a network output in `[−1, 1]` to an acceleration.
     pub fn output_to_accel(&self, y: f64) -> f64 {
-        let a_min = self.limits.a_min();
-        let a_max = self.limits.a_max();
-        self.limits
-            .clamp_accel(a_min + 0.5 * (y.clamp(-1.0, 1.0) + 1.0) * (a_max - a_min))
+        Self::map_output(&self.limits, y)
+    }
+
+    /// Associated form of [`NnPlanner::output_to_accel`] for callers that
+    /// hold the limits but not a planner instance (the lane-batched
+    /// executor completes deferred NN steps this way; it must match the
+    /// per-episode mapping to the bit).
+    pub fn map_output(limits: &VehicleLimits, y: f64) -> f64 {
+        let a_min = limits.a_min();
+        let a_max = limits.a_max();
+        limits.clamp_accel(a_min + 0.5 * (y.clamp(-1.0, 1.0) + 1.0) * (a_max - a_min))
     }
 
     /// Inverse of [`NnPlanner::output_to_accel`] — used to build training

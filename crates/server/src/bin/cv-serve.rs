@@ -1,7 +1,7 @@
 //! The batch-simulation daemon.
 //!
 //! Usage: `cargo run --release -p cv-server --bin cv-serve --
-//! [--addr 127.0.0.1:7878] [--queue-depth 8] [--workers 0]
+//! [--addr 127.0.0.1:7878] [--queue-depth 8] [--workers 0] [--lanes 1]
 //! [--idle-timeout-secs 60] [--max-pending-episodes 0] [--panic-budget 3]
 //! [--cache-bytes 67108864] [--no-cache]`
 //!
@@ -12,6 +12,9 @@
 //! quarantined (skipped, typed) on later encounters. `--cache-bytes` sets
 //! the byte budget of the content-addressed episode-result cache (default
 //! 64 MiB); `--no-cache` (equivalent to `--cache-bytes 0`) disables it.
+//! `--lanes` sets the lane-batched execution width (episodes each worker
+//! steps in lockstep with batched NN forward passes; 1 = per-episode) for
+//! jobs whose planner stack embeds a neural network.
 //!
 //! Listens for newline-delimited JSON requests (see `cv_server::protocol`),
 //! runs submitted batches through the sharded worker pool, and streams
@@ -53,6 +56,7 @@ fn main() {
         max_pending_episodes: arg_usize("--max-pending-episodes", 0),
         panic_budget: arg_usize("--panic-budget", 3) as u32,
         cache_bytes,
+        lanes: arg_usize("--lanes", 1),
         ..ServerConfig::default()
     };
     let server = match Server::start(config) {

@@ -74,6 +74,18 @@ fn compat_usize_field(v: &Json, key: &str) -> Result<usize, DecodeError> {
     }
 }
 
+/// The lane-width field added after the wire format shipped: absent in
+/// frames from older peers, decoded as 1 (every pre-lanes run was the
+/// per-episode path) rather than a frame error.
+fn compat_lanes_field(v: &Json) -> Result<usize, DecodeError> {
+    match v.get("lanes") {
+        None => Ok(1),
+        Some(x) => x
+            .as_usize()
+            .ok_or_else(|| bad("field 'lanes' must be a non-negative integer".to_string())),
+    }
+}
+
 fn str_field<'a>(v: &'a Json, key: &str) -> Result<&'a str, DecodeError> {
     field(v, key)?
         .as_str()
@@ -377,6 +389,7 @@ pub fn summary_to_json(s: &BatchSummary) -> Json {
         ("cache_hits", Json::Int(s.cache_hits as i128)),
         ("cache_misses", Json::Int(s.cache_misses as i128)),
         ("cache_evictions", Json::Int(s.cache_evictions as i128)),
+        ("lanes", Json::Int(s.lanes as i128)),
     ])
 }
 
@@ -414,6 +427,7 @@ pub fn summary_from_json(v: &Json) -> Result<BatchSummary, DecodeError> {
         cache_hits: compat_usize_field(v, "cache_hits")?,
         cache_misses: compat_usize_field(v, "cache_misses")?,
         cache_evictions: compat_usize_field(v, "cache_evictions")?,
+        lanes: compat_lanes_field(v)?,
     })
 }
 
@@ -899,6 +913,7 @@ mod tests {
             cache_hits: 1,
             cache_misses: 3,
             cache_evictions: 2,
+            lanes: 4,
         };
         let reparsed = Json::parse(&summary_to_json(&summary).encode()).unwrap();
         let back = summary_from_json(&reparsed).unwrap();
@@ -908,6 +923,7 @@ mod tests {
             (back.cache_hits, back.cache_misses, back.cache_evictions),
             (1, 3, 2)
         );
+        assert_eq!(back.lanes, 4, "lane width rides the wire");
     }
 
     #[test]
@@ -931,6 +947,7 @@ mod tests {
             cache_hits: 7,
             cache_misses: 1,
             cache_evictions: 4,
+            lanes: 1,
         };
         let Json::Obj(pairs) = summary_to_json(&summary) else {
             panic!("summary must encode as an object");
@@ -946,6 +963,39 @@ mod tests {
             (back.cache_hits, back.cache_misses, back.cache_evictions),
             (0, 0, 0)
         );
+    }
+
+    #[test]
+    fn summary_without_lanes_decodes_as_one() {
+        // Frames from peers that predate lane batching must still decode —
+        // every pre-lanes run was the per-episode path, so the field
+        // defaults to 1, not 0 and not a frame error.
+        let summary = BatchSummary {
+            episodes: 1,
+            requested: 1,
+            failed: 0,
+            panicked: 0,
+            skipped: 0,
+            reaching_time: 8.0,
+            safe_rate: 1.0,
+            eta_mean: 0.5,
+            emergency_frequency: 0.0,
+            etas: vec![0.5],
+            reaching_times: vec![8.0],
+            wall_time_secs: 0.1,
+            episodes_per_sec: 10.0,
+            cache_hits: 0,
+            cache_misses: 0,
+            cache_evictions: 0,
+            lanes: 8,
+        };
+        let Json::Obj(pairs) = summary_to_json(&summary) else {
+            panic!("summary must encode as an object");
+        };
+        let legacy = Json::Obj(pairs.into_iter().filter(|(k, _)| k != "lanes").collect());
+        let back = summary_from_json(&Json::parse(&legacy.encode()).unwrap()).unwrap();
+        assert_eq!(back.lanes, 1);
+        assert!(back.stats_eq(&summary), "lanes is operational metadata");
     }
 
     #[test]

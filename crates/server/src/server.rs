@@ -79,6 +79,13 @@ pub struct ServerConfig {
     /// stack, and code version all match a previous run is answered from
     /// the cache without touching a worker. `0` disables caching.
     pub cache_bytes: usize,
+    /// Lane-batched execution width: episodes each worker shard steps in
+    /// lockstep with batched NN forward passes (`cv_sim::lanes`). `0` and
+    /// `1` both mean the per-episode reference path. Applies only to jobs
+    /// whose stack embeds an NN planner; the teacher stacks nameable on
+    /// the wire always run per-episode, so today this is forward-looking
+    /// configuration surfaced in each summary's `lanes` field.
+    pub lanes: usize,
 }
 
 impl Default for ServerConfig {
@@ -94,6 +101,7 @@ impl Default for ServerConfig {
             max_pending_episodes: 0,
             panic_budget: 3,
             cache_bytes: DEFAULT_CACHE_BYTES,
+            lanes: 1,
         }
     }
 }
@@ -651,7 +659,8 @@ fn runner_loop(shared: &Arc<Shared>) {
         state.set_phase(Phase::Running);
         let t0 = Instant::now();
         let mut limits =
-            JobLimits::new(effective_workers(shared.config.workers, job.batch.threads));
+            JobLimits::new(effective_workers(shared.config.workers, job.batch.threads))
+                .with_lanes(shared.config.lanes.max(1));
         if let Some(deadline) = job.deadline {
             limits = limits.with_deadline(deadline);
         }

@@ -25,12 +25,24 @@
 //! and flushes a partial [`BatchSummary`]. If a shard thread dies outright,
 //! the coordinator's rescue pass re-runs its claimed-but-unreported
 //! episodes inline, preserving bit-identical results.
+//!
+//! With [`JobLimits::with_lanes`] set above 1, each shard opts into the
+//! lane-batched execution mode ([`cv_sim::lanes`]): it steps K claimed
+//! episodes in lockstep and answers their NN evaluations with one batched
+//! forward pass per round. Only stacks with an embedded NN planner take
+//! the lane path (teacher stacks fall through to the per-episode loop);
+//! cache hits still bypass compute entirely, since shards claim from the
+//! post-prefill miss list either way. Lane-batched results follow the
+//! tolerance contract documented in `cv_sim::lanes`, and the rescue pass
+//! re-runs orphaned episodes through a lane group of the same width so
+//! rescued results obey the same numeric contract.
 
 use std::cell::Cell;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
+use cv_sim::lanes::{drive_lanes, BatchMode};
 use cv_sim::scheduler::WorkQueue;
 use cv_sim::{
     episode_key, episode_weight, stack_digest, supervised_episode, BatchConfig, BatchReport,
@@ -51,6 +63,12 @@ pub struct JobLimits {
     /// Absolute deadline; when it passes, the job stops at episode-step
     /// granularity and reports [`JobOutcome::DeadlineExceeded`].
     pub deadline: Option<Instant>,
+    /// Episodes each shard steps in lockstep with batched NN forwards
+    /// (`cv_sim::lanes`). `0` and `1` both mean the per-episode reference
+    /// path; values above the lane width are rejected as
+    /// [`SimError::InvalidBatch`]. Only applies to stacks with an embedded
+    /// NN planner — teacher stacks always run per-episode.
+    pub lanes: usize,
     /// Test hook: worker `w` dies right after its next claim, leaving a
     /// claimed-but-unreported episode for the supervisor's rescue pass.
     /// Feature-gated so it cannot ship in a default build.
@@ -64,6 +82,7 @@ impl JobLimits {
         JobLimits {
             workers,
             deadline: None,
+            lanes: 1,
             #[cfg(feature = "fault-injection")]
             kill_worker: None,
         }
@@ -73,6 +92,14 @@ impl JobLimits {
     #[must_use]
     pub fn with_deadline(mut self, deadline: Instant) -> Self {
         self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the lane count each shard steps in lockstep (see
+    /// [`JobLimits::lanes`]).
+    #[must_use]
+    pub fn with_lanes(mut self, lanes: usize) -> Self {
+        self.lanes = lanes;
         self
     }
 
@@ -224,6 +251,16 @@ where
     if let Err(e) = batch.validate() {
         return JobOutcome::Failed(e);
     }
+    if let Err(e) = BatchMode::Lanes(limits.lanes.max(1)).validate() {
+        return JobOutcome::Failed(e);
+    }
+    // Lane batching applies only to NN-planner stacks; everything else
+    // takes the per-episode reference path regardless of the knob.
+    let lanes = if limits.lanes > 1 && spec.nn_planner().is_some() {
+        limits.lanes
+    } else {
+        1
+    };
     let total = batch.episodes;
     // Flipped by the coordinator on cancel or deadline expiry; checked by
     // the claim loop *and* inside every episode's step loop.
@@ -337,6 +374,7 @@ where
             keys: &keys,
             pending: &pending,
             workers,
+            lanes,
             queue: &queue,
             stop: &stop,
             slots: &mut slots,
@@ -347,12 +385,15 @@ where
     }
 
     // Shard supervisor: an unfilled slot means a shard died between
-    // claiming the index and reporting it. Re-run those inline on a fresh
-    // workspace — the index alone determines the episode, so rescued
-    // results are identical to what the dead shard would have produced.
+    // claiming the index and reporting it. Re-run those inline — the index
+    // alone determines the episode, so rescued results are identical to
+    // what the dead shard would have produced. Lane-batched jobs rescue
+    // through a lane group of the same width (one-shot claim) so rescued
+    // episodes obey the same numeric contract as the live pass.
     // Cancel/deadline are polled per rescued slot: a rescue can be most of
     // the batch, and it must stay as interruptible as the live pass was.
     if !interrupted {
+        let lane_planner = if lanes > 1 { spec.nn_planner() } else { None };
         let mut rescue: Option<EpisodeWorkspace> = None;
         for (i, slot) in slots.iter_mut().enumerate() {
             if slot.is_some() {
@@ -367,8 +408,27 @@ where
                 deadline_hit = true;
                 break;
             }
-            let ws = rescue.get_or_insert_with(|| EpisodeWorkspace::new(spec.clone()));
-            let outcome = supervised_episode(ws, &batch.episode(i), quarantine, None);
+            let outcome = match lane_planner {
+                Some(planner) => {
+                    let mut got: Option<EpisodeOutcome> = None;
+                    let mut once = Some(i);
+                    drive_lanes(
+                        &mut || once.take(),
+                        batch,
+                        spec,
+                        planner,
+                        lanes,
+                        quarantine,
+                        None,
+                        &mut |_, o| got = Some(o),
+                    );
+                    got.expect("drive_lanes emits one outcome per claimed index")
+                }
+                None => {
+                    let ws = rescue.get_or_insert_with(|| EpisodeWorkspace::new(spec.clone()));
+                    supervised_episode(ws, &batch.episode(i), quarantine, None)
+                }
+            };
             if let (Some(c), EpisodeOutcome::Completed(r), Some(key)) = (cache, &outcome, keys[i]) {
                 c.insert(key, r.clone(), episode_weight(r));
             }
@@ -401,6 +461,7 @@ where
         })
         .collect();
     let mut summary = BatchReport { outcomes }.summary().with_timing(t0.elapsed());
+    summary.lanes = lanes;
     if let Some(c) = cache {
         summary.cache_hits = cache_hits;
         summary.cache_misses = cache_misses;
@@ -435,6 +496,7 @@ struct RunShards<'a, 'f> {
     keys: &'a [Option<CacheKey>],
     pending: &'a [usize],
     workers: usize,
+    lanes: usize,
     queue: &'a WorkQueue,
     stop: &'a AtomicBool,
     slots: &'a mut Vec<Option<EpisodeOutcome>>,
@@ -456,6 +518,7 @@ fn run_shards(ctx: RunShards<'_, '_>) {
         keys,
         pending,
         workers,
+        lanes,
         queue,
         stop,
         slots,
@@ -480,6 +543,43 @@ fn run_shards(ctx: RunShards<'_, '_>) {
                     // Silence the unused-binding warning in default builds,
                     // where the kill hook below is compiled out.
                     let _ = w;
+                    // Lane-batched shard: claim episodes into a lockstep
+                    // group fed from the same miss queue, reporting each
+                    // retired lane over the same rendezvous channel. The
+                    // claim closure observes cancel/stop so the group
+                    // drains instead of refilling once the job is stopping,
+                    // and a dead coordinator (send error) stops claims too.
+                    if lanes > 1 {
+                        if let Some(planner) = spec.nn_planner() {
+                            let dead = Cell::new(false);
+                            let tx_lane = &tx;
+                            let mut emit = |i: usize, outcome: EpisodeOutcome| {
+                                if tx_lane.send((i, outcome)).is_err() {
+                                    dead.set(true);
+                                }
+                            };
+                            let mut claim = || {
+                                if dead.get()
+                                    || cancel.load(Ordering::Relaxed)
+                                    || stop.load(Ordering::Relaxed)
+                                {
+                                    return None;
+                                }
+                                queue.claim().map(|c| pending[c])
+                            };
+                            drive_lanes(
+                                &mut claim,
+                                batch,
+                                &spec,
+                                planner,
+                                lanes,
+                                quarantine,
+                                Some(*stop),
+                                &mut emit,
+                            );
+                            return;
+                        }
+                    }
                     // One workspace per worker: the planner is cloned once
                     // and episode buffers are reused across every claimed
                     // episode (and rebuilt from the spec after a panic).
@@ -562,12 +662,26 @@ fn run_shards(ctx: RunShards<'_, '_>) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cv_sim::{run_batch, EpisodeConfig};
+    use cv_dynamics::VehicleLimits;
+    use cv_nn::{Activation, Mlp, LANE_WIDTH};
+    use cv_planner::{FeatureScaling, NnPlanner};
+    use cv_sim::{run_batch, run_batch_lanes, EpisodeConfig};
 
     fn paper_batch(episodes: usize) -> (BatchConfig, StackSpec) {
         let template = EpisodeConfig::paper_default(11);
         let spec = StackSpec::pure_teacher_conservative(&template).unwrap();
         (BatchConfig::new(template, episodes), spec)
+    }
+
+    fn nn_batch(episodes: usize) -> (BatchConfig, StackSpec) {
+        let net = Mlp::new(&[5, 16, 1], Activation::Tanh, Activation::Tanh, 3).unwrap();
+        let limits = VehicleLimits::new(0.0, 12.0, -6.0, 3.0).unwrap();
+        let planner = NnPlanner::new(net, limits, FeatureScaling::left_turn(), "lane-shard-test");
+        let template = EpisodeConfig::paper_default(11);
+        (
+            BatchConfig::new(template, episodes),
+            StackSpec::basic(planner),
+        )
     }
 
     #[test]
@@ -591,6 +705,100 @@ mod tests {
             seen.sort_unstable();
             assert_eq!(seen, (0..10).collect::<Vec<_>>());
         }
+    }
+
+    #[test]
+    fn lane_sharding_matches_run_batch_lanes_bit_identically() {
+        // The server's lane shards claim from a different queue (the cache
+        // miss list) than the in-process scheduler, so this pins the lane
+        // contract's claim-order invariance at the server layer: same K ⇒
+        // bit-identical per-episode results, any worker count.
+        let (batch, spec) = nn_batch(12);
+        let reference = run_batch_lanes(&batch, &spec, cv_sim::BatchMode::Lanes(4), None, None)
+            .unwrap()
+            .summary();
+        for workers in [1, 3] {
+            let cancel = AtomicBool::new(false);
+            let limits = JobLimits::new(workers).with_lanes(4);
+            let mut seen = Vec::new();
+            let outcome = run_sharded(&batch, &spec, limits, &cancel, None, |p| {
+                if let Progress::Episode(p) = p {
+                    seen.push(p.index)
+                }
+            });
+            let JobOutcome::Completed(summary) = outcome else {
+                panic!("expected completion with {workers} lane workers");
+            };
+            assert_eq!(summary.lanes, 4, "summary records the lane width");
+            assert!(summary.stats_eq(&reference), "{workers} workers diverged");
+            assert_eq!(
+                summary.etas.iter().map(|e| e.to_bits()).collect::<Vec<_>>(),
+                reference
+                    .etas
+                    .iter()
+                    .map(|e| e.to_bits())
+                    .collect::<Vec<_>>(),
+            );
+            seen.sort_unstable();
+            assert_eq!(seen, (0..12).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn lane_knob_is_inert_for_teacher_stacks() {
+        // No embedded NN planner means nothing to batch: the job takes the
+        // per-episode reference path bit-identically and the summary says
+        // so (lanes = 1, not the configured width).
+        let (batch, spec) = paper_batch(6);
+        let reference = BatchSummary::from_results(&run_batch(&batch, &spec).unwrap());
+        let cancel = AtomicBool::new(false);
+        let limits = JobLimits::new(2).with_lanes(LANE_WIDTH);
+        let outcome = run_sharded(&batch, &spec, limits, &cancel, None, |_| {});
+        let JobOutcome::Completed(summary) = outcome else {
+            panic!("expected completion, got {outcome:?}");
+        };
+        assert_eq!(summary.lanes, 1);
+        assert!(summary.stats_eq(&reference));
+    }
+
+    #[test]
+    fn out_of_range_lane_count_fails_typed() {
+        let (batch, spec) = nn_batch(4);
+        let cancel = AtomicBool::new(false);
+        let limits = JobLimits::new(2).with_lanes(LANE_WIDTH + 1);
+        let outcome = run_sharded(&batch, &spec, limits, &cancel, None, |_| {});
+        assert!(matches!(
+            outcome,
+            JobOutcome::Failed(SimError::InvalidBatch { .. })
+        ));
+    }
+
+    #[test]
+    fn warm_cache_serves_lane_batched_episodes() {
+        // Cache hits bypass lane compute entirely: the second run resolves
+        // every episode at prefill and still reports the configured width.
+        let (batch, spec) = nn_batch(8);
+        let cache = EpisodeCache::new(1 << 20);
+        let run = || {
+            let cancel = AtomicBool::new(false);
+            let limits = JobLimits::new(2).with_lanes(4);
+            let outcome =
+                run_sharded_cached(&batch, &spec, limits, &cancel, None, Some(&cache), |_| {});
+            let JobOutcome::Completed(summary) = outcome else {
+                panic!("expected completion, got {outcome:?}");
+            };
+            summary
+        };
+        let cold = run();
+        assert_eq!((cold.cache_hits, cold.cache_misses), (0, 8));
+        let warm = run();
+        assert_eq!((warm.cache_hits, warm.cache_misses), (8, 0));
+        assert_eq!((cold.lanes, warm.lanes), (4, 4));
+        assert!(cold.stats_eq(&warm));
+        assert_eq!(
+            cold.etas.iter().map(|e| e.to_bits()).collect::<Vec<_>>(),
+            warm.etas.iter().map(|e| e.to_bits()).collect::<Vec<_>>(),
+        );
     }
 
     #[test]

@@ -27,6 +27,11 @@
 //!   [`EpisodeOutcome`] (completed / failed / panicked / skipped), with
 //!   optional seed [`Quarantine`] and step-granular interruption; episodes
 //!   that complete are bit-identical to a clean run.
+//! * [`run_batch_lanes`] — the lane-batched execution mode
+//!   ([`BatchMode::Lanes`]): each worker steps K ≤ 8 episodes in lockstep
+//!   and answers their deferred NN evaluations with one batched forward
+//!   pass per round (same fault semantics as the supervised path; see the
+//!   [`lanes`] module for the determinism/tolerance contract).
 //! * [`training`] — closed-loop teacher rollouts + behaviour cloning to
 //!   produce the conservative/aggressive NN planners (`κ_n,cons`,
 //!   `κ_n,aggr`).
@@ -48,6 +53,7 @@ pub mod cache;
 mod config;
 mod driver;
 mod episode;
+pub mod lanes;
 mod metrics;
 pub mod scheduler;
 mod stack;
@@ -63,6 +69,7 @@ pub use driver::{Driver, DriverModel};
 pub use episode::{
     run_episode, DecisionTrace, EpisodeResult, EpisodeTraces, SimError, WindowTrace,
 };
+pub use lanes::{lane_tolerance_check, run_batch_lanes, BatchMode};
 pub use metrics::{rmse, winning_percentage, BatchSummary};
 pub use scheduler::{for_each_dynamic, WorkQueue};
 pub use stack::{StackSpec, WindowKind};

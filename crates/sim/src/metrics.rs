@@ -47,6 +47,11 @@ pub struct BatchSummary {
     pub cache_misses: usize,
     /// Entries the cache evicted while this batch inserted its results.
     pub cache_evictions: usize,
+    /// Lane count the batch ran with (`1` for the per-episode path).
+    /// Operational metadata like the timing fields and cache counters:
+    /// excluded from [`BatchSummary::stats_eq`], and decoded as `1` from
+    /// peers that predate lane batching.
+    pub lanes: usize,
 }
 
 impl BatchSummary {
@@ -174,6 +179,7 @@ where
         cache_hits: 0,
         cache_misses: 0,
         cache_evictions: 0,
+        lanes: 1,
     }
 }
 
@@ -273,7 +279,11 @@ mod tests {
         warm.cache_hits = 1;
         warm.cache_misses = 0;
         warm.cache_evictions = 3;
-        assert!(cold.stats_eq(&warm), "cache counters are operational");
+        warm.lanes = 8;
+        assert!(
+            cold.stats_eq(&warm),
+            "cache counters and lanes are operational"
+        );
         assert_ne!(cold, warm);
     }
 
@@ -368,6 +378,7 @@ mod tests {
             cache_hits: 0,
             cache_misses: 0,
             cache_evictions: 0,
+            lanes: 1,
         };
         let zero = base.clone().with_timing(std::time::Duration::ZERO);
         assert_eq!(zero.wall_time_secs, 0.0);

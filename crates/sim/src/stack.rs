@@ -161,6 +161,21 @@ impl StackSpec {
         }
     }
 
+    /// The NN planner embedded in this spec, when there is one. The
+    /// lane-batched executor uses this to clone the network (and its
+    /// scaling/limits) into the group's batched evaluator; teacher stacks
+    /// return `None` and run per-episode.
+    pub fn nn_planner(&self) -> Option<&NnPlanner> {
+        match self {
+            StackSpec::PureNn { planner, .. } | StackSpec::Compound { planner, .. } => {
+                Some(planner)
+            }
+            StackSpec::PureTeacher { .. } => None,
+            #[cfg(feature = "fault-injection")]
+            StackSpec::PanicInjection { .. } => None,
+        }
+    }
+
     /// Builds the per-episode executor (estimator + planner pipeline), one
     /// estimator per conflicting vehicle.
     ///
@@ -179,12 +194,14 @@ impl StackSpec {
                 estimators: Vec::new(),
                 window: *window,
                 scenarios: scenarios.to_vec(),
+                is_nn: true,
             },
             StackSpec::PureTeacher { policy, window } => ExecKind::Pure {
                 planner: Box::new(*policy),
                 estimators: Vec::new(),
                 window: *window,
                 scenarios: scenarios.to_vec(),
+                is_nn: false,
             },
             // The injected panic lives in the episode loop, not the
             // executor: the executor is the plain teacher.
@@ -194,6 +211,7 @@ impl StackSpec {
                 estimators: Vec::new(),
                 window: *window,
                 scenarios: scenarios.to_vec(),
+                is_nn: false,
             },
             StackSpec::Compound {
                 planner,
@@ -300,10 +318,27 @@ enum ExecKind {
         estimators: Vec<Box<dyn Estimator + Send>>,
         window: WindowKind,
         scenarios: Vec<LeftTurnScenario>,
+        /// Whether `planner` is an NN whose evaluation can be deferred to a
+        /// batched kernel ([`StackExec::plan_prepare`]).
+        is_nn: bool,
     },
     Compound {
         compound: MultiCompoundPlanner<LeftTurnScenario, Box<dyn Planner + Send>>,
         estimators: Vec<Box<dyn Estimator + Send>>,
+    },
+}
+
+/// Decision phase of one control step with the NN evaluation deferred —
+/// the per-episode half of the lane-batched execution split.
+pub(crate) enum StepPlan {
+    /// The step is fully decided (teacher stacks, or a compound stack whose
+    /// monitor escalated to the emergency planner).
+    Ready(PlanDecision),
+    /// The embedded NN must be evaluated on `obs`; its mapped output
+    /// completes the step with [`PlannerSource::NeuralNetwork`].
+    Nn {
+        /// The fused observation the NN consumes.
+        obs: Observation,
     },
 }
 
@@ -329,6 +364,7 @@ impl StackExec {
                 estimators,
                 window,
                 scenarios,
+                ..
             } => {
                 self.est_scratch.clear();
                 self.est_scratch
@@ -360,6 +396,62 @@ impl StackExec {
                     .extend(estimators.iter().map(|e| e.estimate(time)));
                 let decision = compound.plan(time, ego, &self.est_scratch);
                 (decision, self.est_scratch[0])
+            }
+        }
+    }
+
+    /// Like [`StackExec::plan`], but with any NN evaluation deferred: runs
+    /// estimation, window fusion, and (for a compound stack) the monitor /
+    /// emergency logic, then either returns the finished decision or the
+    /// observation the NN must be evaluated on.
+    ///
+    /// Completing a [`StepPlan::Nn`] with the embedded planner's own
+    /// evaluation reproduces [`StackExec::plan`] bit for bit — the
+    /// observation is built by the same fusion code, and (for compound
+    /// stacks) [`MultiCompoundPlanner::plan`] is itself implemented as
+    /// prepare + inline evaluation.
+    pub(crate) fn plan_prepare(&mut self, time: f64, ego: &VehicleState) -> StepPlan {
+        match &mut self.kind {
+            ExecKind::Pure {
+                planner,
+                estimators,
+                window,
+                scenarios,
+                is_nn,
+            } => {
+                self.est_scratch.clear();
+                self.est_scratch
+                    .extend(estimators.iter().map(|e| e.estimate(time)));
+                self.win_scratch.clear();
+                self.win_scratch
+                    .extend(scenarios.iter().zip(&self.est_scratch).filter_map(
+                        |(s, e)| match window {
+                            WindowKind::Conservative => s.conservative_window(time, e),
+                            WindowKind::Nominal => s.nominal_window(time, e),
+                        },
+                    ));
+                let fused = merge_windows_in_place(&mut self.win_scratch, DEFAULT_MERGE_GAP);
+                let obs = Observation::new(time, *ego, fused);
+                if *is_nn {
+                    StepPlan::Nn { obs }
+                } else {
+                    StepPlan::Ready(PlanDecision {
+                        accel: planner.plan(&obs),
+                        source: PlannerSource::NeuralNetwork,
+                    })
+                }
+            }
+            ExecKind::Compound {
+                compound,
+                estimators,
+            } => {
+                self.est_scratch.clear();
+                self.est_scratch
+                    .extend(estimators.iter().map(|e| e.estimate(time)));
+                match compound.plan_prepare(time, ego, &self.est_scratch) {
+                    safe_shield::PreparedPlan::Decided(decision) => StepPlan::Ready(decision),
+                    safe_shield::PreparedPlan::Nominal { obs } => StepPlan::Nn { obs },
+                }
             }
         }
     }

@@ -250,7 +250,7 @@ impl EpisodeWorkspace {
     }
 }
 
-fn payload_string(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn payload_string(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {

@@ -15,13 +15,25 @@ cargo clippy --offline --workspace -- -D warnings -W clippy::perf
 
 # Perf-harness smoke run: tiny matrix, output parked under target/ so it
 # never clobbers the committed results/BENCH_throughput.json artifact.
+# This also exercises lane batching K ∈ {1,2,4,8} inline: the binary
+# asserts the per-episode tolerance gate on every lane cell and K=1
+# bit-identity on every run (no --baseline/--nn-baseline here, so the
+# 10% regression gates stay inert at smoke scale).
 cargo run -q --release --offline -p bench --bin exp_throughput -- \
   --sims 8 --threads 2 --reps 2 --out target/tier1-throughput-smoke.json
 test -s target/tier1-throughput-smoke.json
 
+# Lane-batching smoke: the integration-level numeric contract (DESIGN.md
+# §15) — K=4 batches compared per episode against the per-episode
+# reference under the tolerance gate, Lanes(1) bit-identity, and the
+# early-exit refill case — in release mode, where the vectorised kernels
+# the contract is about are actually selected.
+timeout 300 cargo test -q --release --offline --test lane_batching
+
 # Alloc-guard: the counting-allocator proof that the NN hot paths
-# (predict_into, NnPlanner::plan, the warmed episode loop) are
-# allocation-free in the steady state (DESIGN.md §13). Runs in release
+# (predict_into, forward_batch_into, NnPlanner::plan, the warmed episode
+# loop and the lane-batched step loop) are allocation-free in the steady
+# state (DESIGN.md §13, §15). Runs in release
 # mode as its own binary so its #[global_allocator] never leaks into the
 # workspace test run above.
 timeout 300 cargo test -q --release --offline --test alloc_guard

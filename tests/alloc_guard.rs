@@ -19,9 +19,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use cv_dynamics::{VehicleLimits, VehicleState};
 use cv_estimation::Interval;
-use cv_nn::{Activation, Mlp, MlpScratch};
+use cv_nn::{Activation, BatchScratch, Matrix, Mlp, MlpScratch, LANE_WIDTH};
 use cv_planner::{FeatureScaling, NnPlanner};
-use cv_sim::{EpisodeConfig, EpisodeWorkspace, StackSpec};
+use cv_sim::{run_batch_lanes, BatchConfig, BatchMode, EpisodeConfig, EpisodeWorkspace, StackSpec};
 use safe_shield::{Observation, Planner};
 
 struct CountingAlloc;
@@ -131,5 +131,56 @@ fn nn_hot_paths_are_allocation_free() {
         "per-episode allocation count {per_episode} exceeds the reinit \
          constant (total steps: {}) — something allocates per step",
         result.total_steps
+    );
+
+    // --- forward_batch_into: exactly zero allocations once warm. ---
+    // The lane-batched forward is the per-round kernel of `run_batch_lanes`;
+    // with the plan and slabs pre-built it must never touch the heap.
+    let net = case_study_net();
+    let plan = net.lane_plan();
+    let mut batch_scratch = BatchScratch::for_net(&net);
+    let input = Matrix::zeros(net.input_dim(), LANE_WIDTH);
+    let mut lanes_out = Matrix::zeros(net.output_dim(), LANE_WIDTH);
+    net.forward_batch_into(&plan, &input, &mut batch_scratch, &mut lanes_out)
+        .unwrap();
+    let n = min_allocs(5, || {
+        for _ in 0..100 {
+            net.forward_batch_into(&plan, &input, &mut batch_scratch, &mut lanes_out)
+                .unwrap();
+        }
+    });
+    assert_eq!(n, 0, "forward_batch_into allocated {n} times in 100 calls");
+
+    // --- Lane-batched step loop: allocations scale per episode, not per
+    // step. `run_batch_lanes` builds a fresh lane group per call (O(K)
+    // setup) and each episode arm rebuilds the estimator boxes (the same
+    // reinit constant as above), so the whole call cannot be zero. The
+    // sound proof is differential: growing the batch must grow the count by
+    // at most a small per-episode constant — hundreds of steps per episode
+    // would otherwise add hundreds of counts each.
+    let lane_planner = NnPlanner::new(
+        case_study_net(),
+        limits,
+        FeatureScaling::left_turn(),
+        "alloc-guard-lanes",
+    );
+    let spec = StackSpec::basic(lane_planner);
+    let mut run_lanes = |episodes: usize| {
+        let mut batch = BatchConfig::new(EpisodeConfig::paper_default(42), episodes);
+        batch.threads = 1;
+        min_allocs(3, || {
+            run_batch_lanes(&batch, &spec, BatchMode::Lanes(4), None, None)
+                .unwrap()
+                .into_results()
+                .unwrap();
+        })
+    };
+    let small = run_lanes(8);
+    let large = run_lanes(24);
+    let growth = large.saturating_sub(small);
+    assert!(
+        growth <= 12 * (24 - 8),
+        "lane batch of 24 episodes allocated {growth} more than a batch of 8 \
+         (small: {small}, large: {large}) — something allocates per step"
     );
 }

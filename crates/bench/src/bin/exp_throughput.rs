@@ -7,7 +7,9 @@
 //! over the full paper start grid, and cross-checks that both produce
 //! bit-identical results. The batch matrix includes the NN planner stack
 //! (pure and basic-compound) so the zero-allocation NN compute layer shows
-//! up in episode throughput, an `nn` section times the case-study forward
+//! up in episode throughput, and N-vehicle platoon cells (n ∈ {2, 4, 8},
+//! `PlatoonSpec::paper_default`) so the multi-vehicle shield's per-vehicle
+//! cost is a tracked number under the same bit-identity cross-check, an `nn` section times the case-study forward
 //! pass (pre-PR allocating path vs scratch-backed fused path) and the
 //! behaviour-cloning trainer (allocating vs in-place), and a kernel section
 //! micro-benchmarks `cv-nn`'s matmul family on the in-tree timing shim.
@@ -32,12 +34,16 @@
 //! gain a `speedup_vs_baseline` field, and the run **exits non-zero** if
 //! any matching cell regresses more than 10% below its baseline.
 //!
-//! `--nn-baseline` does the same for the NN cells, which the growth-seed
-//! baseline predates (their `speedup_vs_baseline` was always null): on the
-//! first run the file is *written* from this run's NN and lane cells, and
-//! every later run compares against it under the same 10% regression gate.
-//! The committed `results/BENCH_throughput_nn_baseline.json` was recorded
-//! by the lane-batching PR.
+//! `--nn-baseline` does the same for the NN and platoon cells, which the
+//! growth-seed baseline predates (their `speedup_vs_baseline` was always
+//! null): on the first run the file is *written* from this run's NN, lane,
+//! and platoon cells, and every later run compares against it under the
+//! same 10% regression gate. The committed
+//! `results/BENCH_throughput_nn_baseline.json` was first recorded by the
+//! lane-batching PR and re-recorded when the platoon cells landed (the
+//! original capture predated them, and the raw single-run numbers carry no
+//! headroom for box-speed drift — delete the file to re-record on the
+//! current machine).
 //!
 //! Each cell is timed `--reps` times per path (interleaved) and the best
 //! wall time kept, so one noisy sample on a shared box cannot flip a
@@ -56,7 +62,7 @@ use cv_server::wire::Json;
 use cv_server::{run_sharded_cached, JobLimits, JobOutcome};
 use cv_sim::{
     lane_tolerance_check, run_batch, run_batch_lanes, run_batch_static, BatchConfig, BatchMode,
-    BatchSummary, EpisodeCache, EpisodeConfig, EpisodeResult, StackSpec, WindowKind,
+    BatchSummary, EpisodeCache, EpisodeConfig, EpisodeResult, PlatoonSpec, StackSpec, WindowKind,
     DEFAULT_CACHE_BYTES,
 };
 
@@ -92,7 +98,10 @@ fn case_study_net(seed: u64) -> Mlp {
 /// episodes) and the aggressive teacher under heavy disturbance
 /// (early-exit-heavy: the static scheduler's worst case) — plus the NN
 /// planner stack, unshielded and wrapped in the basic compound planner, so
-/// the scratch-backed inference path is measured on the episode hot path.
+/// the scratch-backed inference path is measured on the episode hot path,
+/// plus the N-vehicle platoon workload (n ∈ {2, 4, 8}: leader + gap-tracking
+/// followers, one V2V channel per pair) so per-vehicle cost at scale is a
+/// tracked number.
 fn stack_matrix(seed: u64) -> Vec<(&'static str, EpisodeConfig, StackSpec)> {
     let cons_template = EpisodeConfig::paper_default(seed);
     let cons = StackSpec::pure_teacher_conservative(&cons_template).expect("paper geometry");
@@ -115,12 +124,24 @@ fn stack_matrix(seed: u64) -> Vec<(&'static str, EpisodeConfig, StackSpec)> {
         window: WindowKind::Conservative,
     };
     let nn_basic = StackSpec::basic(planner);
-    vec![
+    let mut matrix = vec![
         ("teacher-cons/no-disturbance", cons_template, cons),
         ("teacher-aggr/delayed-0.25-0.5", aggr_template, aggr),
         ("nn-pure/no-disturbance", nn_template.clone(), nn_pure),
         ("nn-basic/no-disturbance", nn_template, nn_basic),
-    ]
+    ];
+    for (name, n) in [
+        ("platoon-n2/teacher-cons", 2usize),
+        ("platoon-n4/teacher-cons", 4),
+        ("platoon-n8/teacher-cons", 8),
+    ] {
+        let template = PlatoonSpec::paper_default(n, seed)
+            .expect("n >= 2")
+            .episode();
+        let spec = StackSpec::pure_teacher_conservative(&template).expect("paper geometry");
+        matrix.push((name, template, spec));
+    }
+    matrix
 }
 
 fn run_cell(
@@ -675,15 +696,15 @@ fn main() {
         );
     }
 
-    // NN baseline: the growth-seed baseline predates the NN stacks, so
-    // their `speedup_vs_baseline` was always null. The first run with
-    // --nn-baseline records this run's NN and lane cells; later runs
-    // compare against the recorded file under the same 10% regression gate
-    // as the seed baseline.
+    // NN baseline: the growth-seed baseline predates the NN and platoon
+    // stacks, so their `speedup_vs_baseline` was always null. The first run
+    // with --nn-baseline records this run's NN, lane, and platoon cells;
+    // later runs compare against the recorded file under the same 10%
+    // regression gate as the seed baseline.
     let lane_cell_name = |k: usize| format!("nn-lanes-k{k}/no-disturbance");
     let nn_points: Vec<(String, usize, f64)> = cells
         .iter()
-        .filter(|c| c.stack.starts_with("nn-"))
+        .filter(|c| c.stack.starts_with("nn-") || c.stack.starts_with("platoon-"))
         .map(|c| (c.stack.to_string(), c.threads, c.dynamic_eps))
         .chain(
             lanes

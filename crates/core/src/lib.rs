@@ -50,7 +50,8 @@ pub use compound::{CompoundPlanner, CompoundStats, PlanDecision, PlannerSource, 
 pub use eval::Outcome;
 pub use monitor::{MonitorVerdict, RuntimeMonitor};
 pub use multi::{
-    merge_windows, merge_windows_in_place, MultiCompoundPlanner, PreparedPlan, DEFAULT_MERGE_GAP,
+    merge_windows, merge_windows_in_place, pair_time_slack, platoon_eta, platoon_slack,
+    MultiCompoundPlanner, PreparedPlan, DEFAULT_MERGE_GAP,
 };
 pub use observation::Observation;
 pub use planner::Planner;

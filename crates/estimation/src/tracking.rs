@@ -333,6 +333,57 @@ mod tests {
         assert_eq!(tf.predicted(0.5), before);
     }
 
+    /// Platoon invariant: per-pair filters are fully independent. A pair's
+    /// posterior is a function of *its own* event stream alone — starving
+    /// or flooding a neighbouring pair's filter (a stalled V2V channel, a
+    /// rollback storm) must leave it bit-identical. The platoon episode
+    /// loop relies on this to keep one disturbed channel from perturbing
+    /// the other pairs' interval estimates.
+    #[test]
+    fn per_pair_filters_are_bitwise_independent() {
+        let stream_for = |id: usize| {
+            let mut rng = SplitMix64::seed_from_u64(100 + id as u64);
+            let mut events = Vec::new();
+            for i in 1..=40 {
+                let t = i as f64 * 0.1;
+                events.push(Measurement::new(
+                    id,
+                    t,
+                    10.0 * t + rng.random_range(-1.0..1.0),
+                    10.0 + rng.random_range(-1.0..1.0),
+                    0.0,
+                ));
+            }
+            events
+        };
+
+        // Run 1: pair 0 alone.
+        let mut solo = TrackingFilter::new(SensorNoise::uniform(1.0), 0.0, 52.0, 10.0);
+        for m in stream_for(1) {
+            solo.on_measurement(&m);
+        }
+
+        // Run 2: pair 0 next to a heavily disturbed pair 1 — interleaved
+        // measurements plus delayed-message rollbacks on pair 1 only.
+        let mut pair0 = TrackingFilter::new(SensorNoise::uniform(1.0), 0.0, 52.0, 10.0);
+        let mut pair1 = TrackingFilter::new(SensorNoise::uniform(1.0), 0.0, 61.0, 10.0);
+        for (m0, m1) in stream_for(1).iter().zip(stream_for(2).iter()) {
+            pair0.on_measurement(m0);
+            pair1.on_measurement(m1);
+            // Pair 1's channel is a mess: every event triggers a stale
+            // rollback replay. Pair 0 never sees any of it.
+            pair1.on_message(&Message::new(2, m1.stamp - 0.25, 9.0 * m1.stamp, 9.5, 0.1));
+        }
+        assert_eq!(solo, pair0, "a neighbour's channel leaked into pair 0");
+        let (a, pa) = solo.predicted(4.5);
+        let (b, pb) = pair0.predicted(4.5);
+        assert_eq!(
+            (a.x.to_bits(), a.y.to_bits()),
+            (b.x.to_bits(), b.y.to_bits())
+        );
+        assert_eq!(pa, pb);
+    }
+
     #[test]
     fn history_is_bounded() {
         let mut tf = TrackingFilter::new(SensorNoise::uniform(1.0), 0.0, 0.0, 5.0);

@@ -6,7 +6,7 @@
 //! cv-submit [--addr 127.0.0.1:7878] [--episodes 16] [--seed 1]
 //!           [--stack teacher_conservative|teacher_aggressive]
 //!           [--comm none|delayed|lost] [--drop-prob 0.0]
-//!           [--deadline-ms N] [--quiet]
+//!           [--platoon N] [--deadline-ms N] [--quiet]
 //! cv-submit status   [--addr …]
 //! cv-submit cancel JOB [--addr …]      # or: cv-submit --cancel JOB
 //! cv-submit shutdown [--addr …]
@@ -20,9 +20,15 @@
 //!
 //! The batch uses the paper's defaults: template `EpisodeConfig::paper_default`,
 //! the 20-point `p_1(0)` start grid, per-episode seeds `base_seed + i`.
+//!
+//! `--platoon N` swaps the template for an `N`-vehicle platoon
+//! (`PlatoonSpec::paper_default`): the leader is the paper's conflicting
+//! vehicle, the `N − 2` followers hold 9 m gap-tracking formation behind
+//! it, and the comm flags still apply to every V2V channel. `N ≥ 2`;
+//! `--platoon 2` is the paper scenario itself.
 
 use cv_server::{Client, Event, Request, StackSpecWire};
-use cv_sim::{BatchConfig, EpisodeConfig};
+use cv_sim::{BatchConfig, EpisodeConfig, PlatoonSpec};
 
 fn arg_string(flag: &str, default: &str) -> String {
     let args: Vec<String> = std::env::args().collect();
@@ -115,13 +121,21 @@ fn submit(client: &mut Client) {
     let stack = StackSpecWire::from_name(&arg_string("--stack", "teacher_conservative"))
         .unwrap_or_else(|e| die(e.to_string()));
 
-    let mut template = EpisodeConfig::paper_default(seed);
-    template.comm = match arg_string("--comm", "none").as_str() {
+    let comm = match arg_string("--comm", "none").as_str() {
         "none" => cv_comm::CommSetting::NoDisturbance,
         "delayed" => cv_comm::CommSetting::delayed_with_drop(arg_f64("--drop-prob", 0.0)),
         "lost" => cv_comm::CommSetting::Lost,
         other => die(format!("unknown --comm '{other}' (none|delayed|lost)")),
     };
+    let mut template = if has_flag("--platoon") {
+        let n = arg_usize("--platoon", 2);
+        PlatoonSpec::paper_default(n, seed)
+            .unwrap_or_else(|e| die(format!("--platoon {n}: {e}")))
+            .episode()
+    } else {
+        EpisodeConfig::paper_default(seed)
+    };
+    template.comm = comm;
     let batch = BatchConfig::new(template, episodes);
 
     let summary = client

@@ -198,6 +198,11 @@ fn driver_to_json(driver: &DriverModel) -> Json {
             ("kind", Json::str("ambush")),
             ("brake_at", Json::Num(*brake_at)),
         ]),
+        DriverModel::GapTracking { target_gap, gain } => Json::obj(vec![
+            ("kind", Json::str("gap_tracking")),
+            ("target_gap", Json::Num(*target_gap)),
+            ("gain", Json::Num(*gain)),
+        ]),
     }
 }
 
@@ -211,6 +216,10 @@ fn driver_from_json(v: &Json) -> Result<DriverModel, DecodeError> {
         "constant_speed" => Ok(DriverModel::ConstantSpeed),
         "ambush" => Ok(DriverModel::Ambush {
             brake_at: f64_field(v, "brake_at")?,
+        }),
+        "gap_tracking" => Ok(DriverModel::GapTracking {
+            target_gap: f64_field(v, "target_gap")?,
+            gain: f64_field(v, "gain")?,
         }),
         other => Err(bad(format!("unknown driver kind '{other}'"))),
     }
@@ -260,11 +269,18 @@ pub fn episode_to_json(cfg: &EpisodeConfig) -> Json {
                 cfg.extra_others
                     .iter()
                     .map(|e| {
-                        Json::obj(vec![
+                        let mut pairs = vec![
                             ("start_shared", Json::Num(e.start_shared)),
                             ("init_speed", Json::Num(e.init_speed)),
                             ("driver", driver_to_json(&e.driver)),
-                        ])
+                        ];
+                        // Per-vehicle channel override (platoons): only on
+                        // the wire when set, so pre-platoon peers still
+                        // parse our frames.
+                        if let Some(comm) = &e.comm {
+                            pairs.push(("comm", comm_to_json(comm)));
+                        }
+                        Json::obj(pairs)
                     })
                     .collect(),
             ),
@@ -288,6 +304,12 @@ pub fn episode_from_json(v: &Json) -> Result<EpisodeConfig, DecodeError> {
                 start_shared: f64_field(e, "start_shared")?,
                 init_speed: f64_field(e, "init_speed")?,
                 driver: driver_from_json(field(e, "driver")?)?,
+                // Absent in frames from pre-platoon peers: inherit the
+                // template comm, which is exactly what they simulated.
+                comm: match e.get("comm") {
+                    None | Some(Json::Null) => None,
+                    Some(c) => Some(comm_from_json(c)?),
+                },
             })
         })
         .collect::<Result<Vec<_>, DecodeError>>()?;
@@ -851,11 +873,22 @@ mod tests {
             theta: 0.5,
             sigma: 1.25,
         };
-        template.extra_others.push(ExtraVehicle {
-            start_shared: 80.0,
-            init_speed: 9.0,
-            driver: DriverModel::Ambush { brake_at: 2.0 },
-        });
+        template.extra_others.push(ExtraVehicle::new(
+            80.0,
+            9.0,
+            DriverModel::Ambush { brake_at: 2.0 },
+        ));
+        template.extra_others.push(
+            ExtraVehicle::new(
+                89.0,
+                10.0,
+                DriverModel::GapTracking {
+                    target_gap: 9.0,
+                    gain: 0.6,
+                },
+            )
+            .with_comm(CommSetting::Lost),
+        );
         let mut batch = BatchConfig::new(template, 16);
         batch.base_seed = u64::MAX - 7;
         batch.threads = 3;
@@ -868,6 +901,37 @@ mod tests {
         let json = batch_to_json(&batch);
         let reparsed = Json::parse(&json.encode()).unwrap();
         assert_eq!(batch_from_json(&reparsed).unwrap(), batch);
+    }
+
+    #[test]
+    fn extras_without_comm_decode_as_inherited() {
+        // Frames from pre-platoon peers carry no per-vehicle comm entry;
+        // those vehicles must inherit the template channel (comm: None),
+        // not fail the frame.
+        let batch = sample_batch();
+        let Json::Obj(mut top) = batch_to_json(&batch) else {
+            panic!("batch must encode as an object");
+        };
+        for (k, v) in &mut top {
+            if k != "template" {
+                continue;
+            }
+            let Json::Obj(tpl) = v else { unreachable!() };
+            for (tk, tv) in tpl.iter_mut() {
+                if tk != "extra_others" {
+                    continue;
+                }
+                let Json::Arr(extras) = tv else {
+                    unreachable!()
+                };
+                for e in extras.iter_mut() {
+                    let Json::Obj(pairs) = e else { unreachable!() };
+                    pairs.retain(|(k, _)| k != "comm");
+                }
+            }
+        }
+        let back = batch_from_json(&Json::parse(&Json::Obj(top).encode()).unwrap()).unwrap();
+        assert!(back.template.extra_others.iter().all(|e| e.comm.is_none()));
     }
 
     #[test]

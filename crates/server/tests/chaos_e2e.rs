@@ -24,11 +24,12 @@ use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
 use cv_chaos::{ChaosProxy, ConnPlan, Fault, FaultSchedule};
+use cv_comm::CommSetting;
 use cv_rng::{derive_seed, Rng, SplitMix64};
 use cv_server::{
     Client, ClientConfig, ClientError, Request, RetryPolicy, Server, ServerConfig, StackSpecWire,
 };
-use cv_sim::{run_batch, BatchConfig, BatchSummary, EpisodeConfig, StackSpec};
+use cv_sim::{run_batch, BatchConfig, BatchSummary, EpisodeConfig, PlatoonSpec, StackSpec};
 
 /// The six injected fault kinds of the matrix (direction varies by seed).
 const FAULT_KINDS: [&str; 6] = [
@@ -42,6 +43,16 @@ const FAULT_KINDS: [&str; 6] = [
 
 fn paper_batch(episodes: usize, seed: u64) -> BatchConfig {
     BatchConfig::new(EpisodeConfig::paper_default(seed), episodes)
+}
+
+/// A 4-vehicle platoon batch with *independent per-pair V2V channels*: the
+/// first follower's channel is stalled outright (`Lost`), the others stay
+/// clean. The platoon row of the matrix drives this template through the
+/// same transport faults as the paper batch — two fault layers at once.
+fn platoon_batch(episodes: usize, seed: u64) -> BatchConfig {
+    let mut platoon = PlatoonSpec::paper_default(4, seed).expect("n = 4 is valid");
+    platoon.followers[0].comm = Some(CommSetting::Lost);
+    BatchConfig::new(platoon.episode(), episodes)
 }
 
 /// The in-process ground truth a chaos-surviving summary must match
@@ -163,9 +174,15 @@ fn classify(e: &ClientError) -> String {
 }
 
 /// Runs one matrix cell: its own server and proxy, a fault budget of one
-/// connection, and a retrying client that must converge.
-fn run_cell(kind: &'static str, seed: u64, episodes: usize) -> CellOutcome {
-    let batch = paper_batch(episodes, seed);
+/// connection, and a retrying client that must converge. `batch_fn` picks
+/// the workload (paper single-vehicle or platoon template).
+fn run_cell(
+    batch_fn: fn(usize, u64) -> BatchConfig,
+    kind: &'static str,
+    seed: u64,
+    episodes: usize,
+) -> CellOutcome {
+    let batch = batch_fn(episodes, seed);
     let request_len = Request::SubmitBatch {
         batch: batch.clone(),
         stack: StackSpecWire::TeacherConservative,
@@ -223,6 +240,14 @@ fn run_cell(kind: &'static str, seed: u64, episodes: usize) -> CellOutcome {
 /// Runs the full `kinds × seeds` matrix, cells in bounded parallel chunks
 /// (each cell owns its server and proxy, so cells are independent).
 fn run_matrix(seeds: &[u64], episodes: usize) -> Vec<CellOutcome> {
+    run_matrix_with(paper_batch, seeds, episodes)
+}
+
+fn run_matrix_with(
+    batch_fn: fn(usize, u64) -> BatchConfig,
+    seeds: &[u64],
+    episodes: usize,
+) -> Vec<CellOutcome> {
     let cells: Vec<(&'static str, u64)> = FAULT_KINDS
         .iter()
         .flat_map(|kind| seeds.iter().map(move |&seed| (*kind, seed)))
@@ -231,7 +256,9 @@ fn run_matrix(seeds: &[u64], episodes: usize) -> Vec<CellOutcome> {
     for chunk in cells.chunks(8) {
         let handles: Vec<_> = chunk
             .iter()
-            .map(|&(kind, seed)| std::thread::spawn(move || run_cell(kind, seed, episodes)))
+            .map(|&(kind, seed)| {
+                std::thread::spawn(move || run_cell(batch_fn, kind, seed, episodes))
+            })
             .collect();
         for handle in handles {
             outcomes.push(handle.join().expect("matrix cell panicked"));
@@ -259,6 +286,34 @@ fn fault_matrix_recovers_bit_identically_under_retry() {
         assert!(
             cell.attempts <= 4,
             "{}/{} blew the retry budget: {:?}",
+            cell.kind,
+            cell.seed,
+            cell
+        );
+    }
+}
+
+/// The platoon row of the matrix: a 4-vehicle platoon whose per-pair V2V
+/// channels carry *independent* fault settings (one stalled, the rest
+/// clean), pushed through all 6 transport fault kinds across 4 seeds under
+/// the same watchdog budget as the paper row. Every cell must either
+/// converge to the bit-identical summary or surface a typed error — the
+/// retry budget out-lasts the fault budget, so here that means "ok".
+#[test]
+fn platoon_batches_recover_bit_identically_through_the_fault_matrix() {
+    let outcomes = with_deadline(Duration::from_secs(120), "platoon fault matrix", || {
+        run_matrix_with(platoon_batch, &[1, 2, 3, 4], 2)
+    });
+    assert_eq!(outcomes.len(), 6 * 4);
+    for cell in &outcomes {
+        assert_eq!(
+            cell.result, "ok",
+            "platoon {}/{} did not recover: {:?}",
+            cell.kind, cell.seed, cell
+        );
+        assert!(
+            cell.attempts <= 4,
+            "platoon {}/{} blew the retry budget: {:?}",
             cell.kind,
             cell.seed,
             cell

@@ -90,6 +90,11 @@ fn feed_driver(h: &mut KeyHasher, driver: &crate::DriverModel) -> Result<(), Key
             h.write_u8(3);
             h.write_f64("driver.brake_at", *brake_at)?;
         }
+        crate::DriverModel::GapTracking { target_gap, gain } => {
+            h.write_u8(4);
+            h.write_f64("driver.target_gap", *target_gap)?;
+            h.write_f64("driver.gain", *gain)?;
+        }
     }
     Ok(())
 }
@@ -113,6 +118,13 @@ impl Hashable for EpisodeConfig {
             h.write_f64("extra.start_shared", extra.start_shared)?;
             h.write_f64("extra.init_speed", extra.init_speed)?;
             feed_driver(h, &extra.driver)?;
+            match &extra.comm {
+                None => h.write_u8(0),
+                Some(comm) => {
+                    h.write_u8(1);
+                    feed_comm(h, comm)?;
+                }
+            }
         }
         Ok(())
     }
@@ -315,11 +327,11 @@ mod tests {
                 c.driver = DriverModel::Ambush { brake_at: 2.0 }
             }),
             ("extra_others.push", |c| {
-                c.extra_others.push(crate::ExtraVehicle {
-                    start_shared: 80.0,
-                    init_speed: 9.0,
-                    driver: DriverModel::UniformRandom,
-                })
+                c.extra_others.push(crate::ExtraVehicle::new(
+                    80.0,
+                    9.0,
+                    DriverModel::UniformRandom,
+                ))
             }),
         ];
         let reference = key_of(&base());
@@ -332,6 +344,74 @@ mod tests {
                 "mutation '{name}' did not change the key"
             );
         }
+    }
+
+    #[test]
+    fn every_platoon_vehicle_field_flip_changes_the_key() {
+        let platoon = || crate::PlatoonSpec::paper_default(4, 17).unwrap();
+        let reference = key_of(&platoon().episode());
+        // Independently reconstructed identical platoons collide (content,
+        // not identity).
+        assert_eq!(key_of(&platoon().episode()), reference);
+
+        type Mutation = (&'static str, fn(&mut crate::PlatoonSpec));
+        let mutations: &[Mutation] = &[
+            ("follower[0].gap", |p| p.followers[0].gap += 0.5),
+            ("follower[1].gap", |p| p.followers[1].gap += 0.5),
+            ("follower[0].init_speed", |p| {
+                p.followers[0].init_speed += 1.0
+            }),
+            ("follower[1].policy_gain", |p| {
+                p.followers[1].policy_gain += 0.1
+            }),
+            ("follower[0].comm->delayed", |p| {
+                p.followers[0].comm = Some(CommSetting::Delayed {
+                    delay: 0.25,
+                    drop_prob: 0.0,
+                })
+            }),
+            ("follower[1].comm->lost", |p| {
+                p.followers[1].comm = Some(CommSetting::Lost)
+            }),
+            ("leader.comm->delayed", |p| {
+                p.comm = CommSetting::Delayed {
+                    delay: 0.25,
+                    drop_prob: 0.1,
+                }
+            }),
+            ("leader_start_shared", |p| p.leader_start_shared += 1.0),
+        ];
+        for (name, mutate) in mutations {
+            let mut spec = platoon();
+            mutate(&mut spec);
+            assert_ne!(
+                key_of(&spec.episode()),
+                reference,
+                "platoon mutation '{name}' did not change the key"
+            );
+        }
+
+        // Per-pair channel knobs: with an override present, both the delay
+        // and the drop probability of that single pair are keyed.
+        let delayed = |delay, drop_prob| {
+            let mut spec = platoon();
+            spec.followers[1].comm = Some(CommSetting::Delayed { delay, drop_prob });
+            key_of(&spec.episode())
+        };
+        assert_ne!(delayed(0.25, 0.1), delayed(0.5, 0.1), "pair delay inert");
+        assert_ne!(
+            delayed(0.25, 0.1),
+            delayed(0.25, 0.2),
+            "pair drop_prob inert"
+        );
+
+        // An explicit override equal to the inherited setting is still a
+        // different config (`Some(x)` vs `None`): the key must not alias
+        // the two spellings, because a later template change to the
+        // inherited comm would silently diverge them.
+        let mut pinned = platoon();
+        pinned.followers[0].comm = Some(pinned.comm);
+        assert_ne!(key_of(&pinned.episode()), reference);
     }
 
     #[test]
@@ -394,11 +474,51 @@ mod tests {
                 }
             }),
             ("extra.init_speed", |c| {
-                c.extra_others.push(crate::ExtraVehicle {
-                    start_shared: 80.0,
-                    init_speed: f64::NAN,
-                    driver: DriverModel::UniformRandom,
-                })
+                c.extra_others.push(crate::ExtraVehicle::new(
+                    80.0,
+                    f64::NAN,
+                    DriverModel::UniformRandom,
+                ))
+            }),
+            ("driver.gain", |c| {
+                c.extra_others.push(crate::ExtraVehicle::new(
+                    80.0,
+                    9.0,
+                    DriverModel::GapTracking {
+                        target_gap: 9.0,
+                        gain: f64::NAN,
+                    },
+                ))
+            }),
+            ("driver.target_gap", |c| {
+                c.extra_others.push(crate::ExtraVehicle::new(
+                    80.0,
+                    9.0,
+                    DriverModel::GapTracking {
+                        target_gap: f64::NAN,
+                        gain: 0.6,
+                    },
+                ))
+            }),
+            ("extra.comm.delay", |c| {
+                c.extra_others.push(
+                    crate::ExtraVehicle::new(80.0, 9.0, DriverModel::UniformRandom).with_comm(
+                        CommSetting::Delayed {
+                            delay: f64::NAN,
+                            drop_prob: 0.0,
+                        },
+                    ),
+                )
+            }),
+            ("extra.comm.drop_prob", |c| {
+                c.extra_others.push(
+                    crate::ExtraVehicle::new(80.0, 9.0, DriverModel::UniformRandom).with_comm(
+                        CommSetting::Delayed {
+                            delay: 0.25,
+                            drop_prob: f64::NAN,
+                        },
+                    ),
+                )
             }),
         ];
         for (name, poison) in poisons {
@@ -467,6 +587,7 @@ mod tests {
             eta: 0.0,
             emergency_steps: 0,
             total_steps: 10,
+            collided_pair: None,
             traces: None,
         };
         let heavy = EpisodeResult {

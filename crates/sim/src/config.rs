@@ -3,6 +3,7 @@ use cv_dynamics::VehicleState;
 use cv_sensing::SensorNoise;
 use left_turn::{LeftTurnScenario, ScenarioError};
 
+use crate::episode::SimError;
 use crate::DriverModel;
 
 /// An additional conflicting vehicle beyond the paper's single `C_1`.
@@ -14,6 +15,29 @@ pub struct ExtraVehicle {
     pub init_speed: f64,
     /// Driving behaviour.
     pub driver: DriverModel,
+    /// Per-pair V2V channel override: `None` inherits the episode-level
+    /// [`EpisodeConfig::comm`] setting (the pre-platoon behaviour, and the
+    /// wire default), `Some` gives this vehicle's channel its own
+    /// independent delay/drop.
+    pub comm: Option<CommSetting>,
+}
+
+impl ExtraVehicle {
+    /// An extra vehicle inheriting the episode-level channel setting.
+    pub fn new(start_shared: f64, init_speed: f64, driver: DriverModel) -> Self {
+        Self {
+            start_shared,
+            init_speed,
+            driver,
+            comm: None,
+        }
+    }
+
+    /// Overrides this vehicle's V2V channel setting.
+    pub fn with_comm(mut self, comm: CommSetting) -> Self {
+        self.comm = Some(comm);
+        self
+    }
 }
 
 /// Full configuration of one simulated episode.
@@ -137,6 +161,17 @@ impl EpisodeConfig {
         Ok(out)
     }
 
+    /// The effective V2V channel setting of conflicting vehicle `i`: the
+    /// per-vehicle override when one is set, the episode-level
+    /// [`EpisodeConfig::comm`] otherwise. Vehicle `0` (the primary `C_1`)
+    /// always uses the episode-level setting.
+    pub fn effective_comm(&self, i: usize) -> CommSetting {
+        match i.checked_sub(1).and_then(|j| self.extra_others.get(j)) {
+            Some(extra) => extra.comm.unwrap_or(self.comm),
+            None => self.comm,
+        }
+    }
+
     /// Derived sub-seed for vehicle `i`'s random driving.
     pub fn seed_driving_for(&self, i: usize) -> u64 {
         split_seed(self.seed, 1 + 8 * i as u64)
@@ -171,6 +206,117 @@ impl EpisodeConfig {
     /// `p_1(0) ∈ {50.5 + 0.5j | j = 0..19}`.
     pub fn paper_start_grid() -> Vec<f64> {
         (0..20).map(|j| 50.5 + 0.5 * j as f64).collect()
+    }
+}
+
+/// One trailing vehicle of a [`PlatoonSpec`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlatoonFollower {
+    /// Initial headway to its predecessor (m, shared axis) — also the
+    /// headway its gap-tracking policy holds, so the platoon starts in
+    /// equilibrium.
+    pub gap: f64,
+    /// Initial speed (m/s, forward frame).
+    pub init_speed: f64,
+    /// Gap-tracking feedback gain (1/s²); see
+    /// [`DriverModel::GapTracking`].
+    pub policy_gain: f64,
+    /// Per-pair V2V channel override (`None` inherits
+    /// [`PlatoonSpec::comm`]).
+    pub comm: Option<CommSetting>,
+}
+
+impl PlatoonFollower {
+    /// The default follower: 9 m headway at the leader's 10 m/s, gain 0.6,
+    /// inheriting the platoon-level channel.
+    pub fn paper_default() -> Self {
+        Self {
+            gap: 9.0,
+            init_speed: 10.0,
+            policy_gain: 0.6,
+            comm: None,
+        }
+    }
+}
+
+/// An N-vehicle platoon episode: the NN-controlled ego `C_0` turning across
+/// an oncoming platoon — a free-driven leader (the paper's `C_1`) trailed by
+/// gap-tracking followers, each vehicle with its own V2V channel.
+///
+/// [`PlatoonSpec::episode`] lowers the spec onto [`EpisodeConfig`]: the
+/// leader becomes the primary conflicting vehicle and each follower an
+/// [`ExtraVehicle`] whose start position accumulates the headways and whose
+/// driver is [`DriverModel::GapTracking`]. An `n = 2` platoon (ego +
+/// leader, no followers) lowers to exactly the single-conflicting-vehicle
+/// configuration — the differential oracle the platoon test-suite pins.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlatoonSpec {
+    /// Master episode seed.
+    pub seed: u64,
+    /// Leader initial position on the shared ego axis (`p_1(0)`).
+    pub leader_start_shared: f64,
+    /// Leader initial speed (m/s, forward frame).
+    pub leader_init_speed: f64,
+    /// Leader driving behaviour (the paper default draws uniform random
+    /// accelerations).
+    pub leader_driver: DriverModel,
+    /// Channel setting for every pair without a per-vehicle override.
+    pub comm: CommSetting,
+    /// Trailing vehicles, ordered front to back.
+    pub followers: Vec<PlatoonFollower>,
+}
+
+impl PlatoonSpec {
+    /// The paper-default platoon of `n` vehicles total (the ego plus
+    /// `n − 1` oncoming): leader at `p_1(0) = 52 m`, default followers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidBatch`] for `n < 2`: a platoon needs the
+    /// ego and at least one conflicting vehicle
+    /// (`MultiCompoundPlanner` is undefined over zero pairs).
+    pub fn paper_default(n: usize, seed: u64) -> Result<Self, SimError> {
+        if n < 2 {
+            return Err(SimError::InvalidBatch {
+                reason: format!("platoon needs at least 2 vehicles (ego + 1 conflicting), got {n}"),
+            });
+        }
+        Ok(Self {
+            seed,
+            leader_start_shared: 52.0,
+            leader_init_speed: 10.0,
+            leader_driver: DriverModel::UniformRandom,
+            comm: CommSetting::NoDisturbance,
+            followers: vec![PlatoonFollower::paper_default(); n - 2],
+        })
+    }
+
+    /// Total vehicle count, ego included.
+    pub fn n(&self) -> usize {
+        2 + self.followers.len()
+    }
+
+    /// Lowers the platoon onto an [`EpisodeConfig`].
+    pub fn episode(&self) -> EpisodeConfig {
+        let mut cfg = EpisodeConfig::paper_default(self.seed);
+        cfg.other_start_shared = self.leader_start_shared;
+        cfg.other_init_speed = self.leader_init_speed;
+        cfg.driver = self.leader_driver;
+        cfg.comm = self.comm;
+        let mut start = self.leader_start_shared;
+        for f in &self.followers {
+            start += f.gap;
+            cfg.extra_others.push(ExtraVehicle {
+                start_shared: start,
+                init_speed: f.init_speed,
+                driver: DriverModel::GapTracking {
+                    target_gap: f.gap,
+                    gain: f.policy_gain,
+                },
+                comm: f.comm,
+            });
+        }
+        cfg
     }
 }
 
@@ -228,5 +374,65 @@ mod tests {
         let mut c = EpisodeConfig::paper_default(0);
         c.dt_c = 0.02;
         assert_eq!(c.scenario().unwrap().dt_c(), 0.02);
+    }
+
+    #[test]
+    fn effective_comm_inherits_unless_overridden() {
+        let mut c = EpisodeConfig::paper_default(0);
+        c.comm = CommSetting::delayed_with_drop(0.25);
+        c.extra_others
+            .push(ExtraVehicle::new(61.0, 10.0, DriverModel::ConstantSpeed));
+        c.extra_others.push(
+            ExtraVehicle::new(70.0, 10.0, DriverModel::ConstantSpeed).with_comm(CommSetting::Lost),
+        );
+        assert_eq!(c.effective_comm(0), c.comm);
+        assert_eq!(c.effective_comm(1), c.comm);
+        assert_eq!(c.effective_comm(2), CommSetting::Lost);
+        // Out of range falls back to the episode-level setting.
+        assert_eq!(c.effective_comm(3), c.comm);
+    }
+
+    #[test]
+    fn platoon_lowering_accumulates_gaps_and_policies() {
+        let mut spec = PlatoonSpec::paper_default(4, 11).unwrap();
+        spec.comm = CommSetting::delayed_with_drop(0.1);
+        spec.followers[1].gap = 12.0;
+        spec.followers[1].policy_gain = 0.4;
+        spec.followers[1].comm = Some(CommSetting::Lost);
+        assert_eq!(spec.n(), 4);
+        let cfg = spec.episode();
+        assert_eq!(cfg.other_start_shared, 52.0);
+        assert_eq!(cfg.extra_others.len(), 2);
+        assert_eq!(cfg.extra_others[0].start_shared, 61.0);
+        assert_eq!(cfg.extra_others[1].start_shared, 73.0);
+        assert_eq!(
+            cfg.extra_others[1].driver,
+            DriverModel::GapTracking {
+                target_gap: 12.0,
+                gain: 0.4
+            }
+        );
+        assert_eq!(cfg.effective_comm(1), CommSetting::delayed_with_drop(0.1));
+        assert_eq!(cfg.effective_comm(2), CommSetting::Lost);
+        // Every vehicle maps onto a scenario sharing the zone geometry.
+        assert_eq!(cfg.scenarios().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn degenerate_platoon_rejects_with_the_typed_error() {
+        for n in [0usize, 1] {
+            match PlatoonSpec::paper_default(n, 0) {
+                Err(SimError::InvalidBatch { reason }) => {
+                    assert!(reason.contains("at least 2"), "reason: {reason}")
+                }
+                other => panic!("n={n} must reject, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn two_vehicle_platoon_lowers_to_the_single_vehicle_config() {
+        let spec = PlatoonSpec::paper_default(2, 5).unwrap();
+        assert_eq!(spec.episode(), EpisodeConfig::paper_default(5));
     }
 }

@@ -10,6 +10,11 @@
 //! * [`DriverModel::ConstantSpeed`] — the textbook baseline;
 //! * [`DriverModel::Ambush`] — cruise, then brake hard at a fixed time: the
 //!   adversarial manoeuvre that breaks constant-velocity assumptions.
+//! * [`DriverModel::GapTracking`] — a platoon follower: critically damped
+//!   feedback on the headway to its predecessor (the ReachMM-style
+//!   gap-tracking policy). Followers receive the predecessor snapshot as
+//!   [`LeadInfo`] through [`Driver::accel_following`]; the front vehicle of
+//!   a platoon (no predecessor) holds its speed.
 //!
 //! All models are deterministic given the episode seed, preserving paired
 //! Monte-Carlo comparisons across planner stacks.
@@ -41,6 +46,29 @@ pub enum DriverModel {
         /// Time at which braking starts (s).
         brake_at: f64,
     },
+    /// Platoon follower: critically damped feedback on the headway to the
+    /// vehicle directly ahead,
+    /// `a = gain·(gap − target_gap) + 2·√gain·(v_lead − v)`,
+    /// clamped to the limits. Deterministic (no RNG draws); without a
+    /// predecessor it holds its speed.
+    GapTracking {
+        /// Headway the follower tracks (m, shared axis).
+        target_gap: f64,
+        /// Proportional feedback gain on the gap error (1/s²); the
+        /// velocity term is derived as `2·√gain` (critical damping).
+        gain: f64,
+    },
+}
+
+/// Snapshot of the predecessor vehicle handed to a platoon follower for one
+/// control step: the shared-axis headway and the predecessor's speed, both
+/// taken *before* either vehicle is advanced.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LeadInfo {
+    /// Shared-axis distance to the predecessor (positive when behind it).
+    pub gap: f64,
+    /// Predecessor speed (m/s, forward frame).
+    pub velocity: f64,
 }
 
 impl DriverModel {
@@ -66,7 +94,27 @@ pub struct Driver {
 
 impl Driver {
     /// The acceleration command for the step starting at `time`.
-    pub fn accel(&mut self, time: f64, _state: &VehicleState, dt: f64) -> f64 {
+    ///
+    /// Equivalent to [`Driver::accel_following`] without a predecessor; a
+    /// [`DriverModel::GapTracking`] driver therefore holds its speed.
+    pub fn accel(&mut self, time: f64, state: &VehicleState, dt: f64) -> f64 {
+        self.accel_following(time, state, None, dt)
+    }
+
+    /// The acceleration command for the step starting at `time`, given the
+    /// predecessor snapshot `lead` (for platoon followers).
+    ///
+    /// Models other than [`DriverModel::GapTracking`] ignore `lead` and
+    /// consume their RNG streams exactly as [`Driver::accel`] always has,
+    /// so threading predecessor state through the episode loop is
+    /// bit-invisible to every pre-platoon configuration.
+    pub fn accel_following(
+        &mut self,
+        time: f64,
+        state: &VehicleState,
+        lead: Option<LeadInfo>,
+        dt: f64,
+    ) -> f64 {
         let (a_min, a_max) = (self.limits.a_min(), self.limits.a_max());
         self.accel = match self.model {
             DriverModel::UniformRandom => self.rng.random_range(a_min..=a_max),
@@ -82,8 +130,46 @@ impl Driver {
                     0.0
                 }
             }
+            DriverModel::GapTracking { target_gap, gain } => match lead {
+                Some(lead) => (gain * (lead.gap - target_gap)
+                    + 2.0 * gain.sqrt() * (lead.velocity - state.velocity))
+                    .clamp(a_min, a_max),
+                None => 0.0,
+            },
         };
         self.accel
+    }
+}
+
+/// Advances every conflicting vehicle one control step — the single
+/// actuation site shared by the per-episode loop and the lane stepper, so
+/// the two stay in lockstep by construction.
+///
+/// Vehicles update in index order, and each gap-tracking follower sees its
+/// predecessor's *pre-step* snapshot (both frames sampled at `t`), so the
+/// in-place update order cannot leak into the feedback law. The shared-axis
+/// headway of vehicle `i` to vehicle `i − 1` is
+/// `(start_i − p_i) − (start_{i−1} − p_{i−1})` (each vehicle drives toward
+/// decreasing shared coordinates in its own forward frame). Non-platoon
+/// models ignore the snapshot and keep their historical RNG streams.
+pub(crate) fn actuate_others(
+    cfg: &crate::EpisodeConfig,
+    limits: VehicleLimits,
+    drivers: &mut [Driver],
+    others: &mut [VehicleState],
+    t: f64,
+) {
+    let mut lead: Option<(f64, VehicleState)> = None;
+    for (i, other) in others.iter_mut().enumerate() {
+        let pre = *other;
+        let start = crate::workspace::vehicle(cfg, i).0;
+        let info = lead.map(|(lead_start, lead_pre): (f64, VehicleState)| LeadInfo {
+            gap: (start - pre.position) - (lead_start - lead_pre.position),
+            velocity: lead_pre.velocity,
+        });
+        let a = drivers[i].accel_following(t, &pre, info, cfg.dt_c);
+        *other = limits.step(&pre, a, cfg.dt_c);
+        lead = Some((start, pre));
     }
 }
 
@@ -145,5 +231,75 @@ mod tests {
         let s = VehicleState::new(0.0, 10.0, 0.0);
         let mut d = DriverModel::ConstantSpeed.driver(limits(), 0);
         assert_eq!(d.accel(0.0, &s, 0.05), 0.0);
+    }
+
+    #[test]
+    fn gap_tracker_closes_on_the_target_headway() {
+        let model = DriverModel::GapTracking {
+            target_gap: 10.0,
+            gain: 0.6,
+        };
+        let mut d = model.driver(limits(), 0);
+        // Lead cruises at 10 m/s; follower starts 6 m too far back.
+        let lead_v = 10.0;
+        let mut follower = VehicleState::new(0.0, 10.0, 0.0);
+        let mut gap = 16.0;
+        let dt = 0.05;
+        for i in 0..1200 {
+            let a = d.accel_following(
+                i as f64 * dt,
+                &follower,
+                Some(LeadInfo {
+                    gap,
+                    velocity: lead_v,
+                }),
+                dt,
+            );
+            let next = limits().step(&follower, a, dt);
+            // Both frames advance toward decreasing shared coordinates.
+            gap -= (next.position - follower.position) - lead_v * dt;
+            follower = next;
+        }
+        assert!((gap - 10.0).abs() < 0.1, "gap settled at {gap}");
+        assert!((follower.velocity - lead_v).abs() < 0.1);
+    }
+
+    #[test]
+    fn gap_tracker_without_predecessor_holds_speed() {
+        let s = VehicleState::new(0.0, 10.0, 0.0);
+        let mut d = DriverModel::GapTracking {
+            target_gap: 9.0,
+            gain: 0.6,
+        }
+        .driver(limits(), 3);
+        assert_eq!(d.accel(0.0, &s, 0.05), 0.0);
+        assert_eq!(d.accel_following(0.5, &s, None, 0.05), 0.0);
+    }
+
+    #[test]
+    fn gap_tracker_is_deterministic_and_draws_no_randomness() {
+        let s = VehicleState::new(0.0, 9.0, 0.0);
+        let lead = Some(LeadInfo {
+            gap: 12.0,
+            velocity: 10.0,
+        });
+        let mut d1 = DriverModel::GapTracking {
+            target_gap: 9.0,
+            gain: 0.6,
+        }
+        .driver(limits(), 1);
+        let mut d2 = DriverModel::GapTracking {
+            target_gap: 9.0,
+            gain: 0.6,
+        }
+        .driver(limits(), 999);
+        for i in 0..50 {
+            let t = i as f64 * 0.05;
+            assert_eq!(
+                d1.accel_following(t, &s, lead, 0.05),
+                d2.accel_following(t, &s, lead, 0.05),
+                "seed must not influence the feedback policy"
+            );
+        }
     }
 }

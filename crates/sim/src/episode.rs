@@ -110,6 +110,10 @@ pub struct EpisodeResult {
     pub emergency_steps: u64,
     /// Total planned steps.
     pub total_steps: u64,
+    /// On [`Outcome::Collision`], the index of the conflicting vehicle the
+    /// ego collided with (`0` = the primary `C_1`); `None` otherwise. This
+    /// is the per-pair attribution behind [`EpisodeResult::pair_etas`].
+    pub collided_pair: Option<usize>,
     /// Optional per-step traces.
     pub traces: Option<EpisodeTraces>,
 }
@@ -122,6 +126,20 @@ impl EpisodeResult {
         } else {
             self.emergency_steps as f64 / self.total_steps as f64
         }
+    }
+
+    /// Per-pair η scores, one per conflicting vehicle (`pairs` of them):
+    /// `−1` for the pair the ego collided with, `1/t_r` for every pair when
+    /// the target was reached, `0` otherwise. The episode-level `η` is the
+    /// minimum over pairs ([`safe_shield::platoon_eta`]).
+    pub fn pair_etas(&self, pairs: usize) -> Vec<f64> {
+        (0..pairs)
+            .map(|i| match self.outcome {
+                Outcome::Collision { .. } if self.collided_pair == Some(i) => -1.0,
+                Outcome::Reached { .. } => self.eta,
+                _ => 0.0,
+            })
+            .collect()
     }
 }
 
@@ -228,6 +246,7 @@ impl EpisodeWorkspace {
         let mut emergency_steps = 0u64;
         let mut total_steps = 0u64;
         let mut outcome = Outcome::Timeout;
+        let mut collided_pair = None;
 
         for step in 0..=steps {
             if let Some(flag) = interrupt {
@@ -265,13 +284,14 @@ impl EpisodeWorkspace {
                 }
             }
 
-            // Ground-truth evaluation.
-            if scenarios
+            // Ground-truth evaluation, attributed to the colliding pair.
+            if let Some(hit) = scenarios
                 .iter()
                 .zip(others.iter())
-                .any(|(s, other)| s.collision(&ego, other))
+                .position(|(s, other)| s.collision(&ego, other))
             {
                 outcome = Outcome::Collision { time: t };
+                collided_pair = Some(hit);
                 break;
             }
             if scenarios[0].target_reached(t, &ego) {
@@ -306,10 +326,7 @@ impl EpisodeWorkspace {
             }
 
             ego = ego_limits.step(&ego, decision.accel, cfg.dt_c);
-            for (i, other) in others.iter_mut().enumerate() {
-                let a = drivers[i].accel(t, other, cfg.dt_c);
-                *other = other_limits.step(other, a, cfg.dt_c);
-            }
+            crate::driver::actuate_others(cfg, other_limits, drivers, others, t);
         }
 
         Ok(Some(EpisodeResult {
@@ -317,6 +334,7 @@ impl EpisodeWorkspace {
             outcome,
             emergency_steps,
             total_steps,
+            collided_pair,
             traces,
         }))
     }
@@ -409,11 +427,7 @@ mod tests {
         // Two oncoming vehicles; the conservative teacher must stay safe and
         // crossing behind two cars can never beat crossing behind one.
         let mut cfg = EpisodeConfig::paper_default(4);
-        cfg.extra_others = vec![ExtraVehicle {
-            start_shared: 62.0,
-            init_speed: 10.0,
-            driver: DriverModel::UniformRandom,
-        }];
+        cfg.extra_others = vec![ExtraVehicle::new(62.0, 10.0, DriverModel::UniformRandom)];
         let spec = StackSpec::pure_teacher_conservative(&cfg).unwrap();
         let single = {
             let mut c = cfg.clone();

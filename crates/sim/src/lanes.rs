@@ -313,10 +313,7 @@ impl EpisodeStepper {
         match (state.pending_time.take(), resume) {
             (Some(t), Some(accel)) => {
                 state.ego = state.ego_limits.step(&state.ego, accel, dt_c);
-                for (i, other) in others.iter_mut().enumerate() {
-                    let a = drivers[i].accel(t, other, dt_c);
-                    *other = state.other_limits.step(other, a, dt_c);
-                }
+                crate::driver::actuate_others(&state.cfg, state.other_limits, drivers, others, t);
                 state.advance_step();
             }
             (None, None) => {}
@@ -324,9 +321,9 @@ impl EpisodeStepper {
             (None, Some(_)) => panic!("resume without an outstanding NN evaluation"),
         }
 
-        let outcome = loop {
+        let (outcome, collided_pair) = loop {
             if state.step > state.steps {
-                break Outcome::Timeout;
+                break (Outcome::Timeout, None);
             }
             if let Some(flag) = interrupt {
                 if flag.load(Ordering::Relaxed) {
@@ -362,16 +359,16 @@ impl EpisodeStepper {
                 }
             }
 
-            // Ground-truth evaluation.
-            if scenarios
+            // Ground-truth evaluation, attributed to the colliding pair.
+            if let Some(hit) = scenarios
                 .iter()
                 .zip(others.iter())
-                .any(|(s, other)| s.collision(&state.ego, other))
+                .position(|(s, other)| s.collision(&state.ego, other))
             {
-                break Outcome::Collision { time: t };
+                break (Outcome::Collision { time: t }, Some(hit));
             }
             if scenarios[0].target_reached(t, &state.ego) {
-                break Outcome::Reached { time: t };
+                break (Outcome::Reached { time: t }, None);
             }
 
             // Plan; either complete the step inline or park for the group.
@@ -382,10 +379,13 @@ impl EpisodeStepper {
                         state.emergency_steps += 1;
                     }
                     state.ego = state.ego_limits.step(&state.ego, decision.accel, dt_c);
-                    for (i, other) in others.iter_mut().enumerate() {
-                        let a = drivers[i].accel(t, other, dt_c);
-                        *other = state.other_limits.step(other, a, dt_c);
-                    }
+                    crate::driver::actuate_others(
+                        &state.cfg,
+                        state.other_limits,
+                        drivers,
+                        others,
+                        t,
+                    );
                     state.advance_step();
                 }
                 StepPlan::Nn { obs } => {
@@ -401,6 +401,7 @@ impl EpisodeStepper {
             outcome,
             emergency_steps: state.emergency_steps,
             total_steps: state.total_steps,
+            collided_pair,
             traces: None,
         };
         *run = None;
@@ -1013,6 +1014,7 @@ mod tests {
             eta: 0.125,
             emergency_steps: 3,
             total_steps: 160,
+            collided_pair: None,
             traces: None,
         };
         assert!(lane_tolerance_check(&good, &good).is_ok());

@@ -63,9 +63,9 @@ pub mod workspace;
 
 pub use batch::{run_batch, run_batch_static, run_batch_summary, BatchConfig};
 pub use cache::{episode_key, episode_weight, stack_digest, EpisodeCache, DEFAULT_CACHE_BYTES};
-pub use config::{EpisodeConfig, ExtraVehicle};
+pub use config::{EpisodeConfig, ExtraVehicle, PlatoonFollower, PlatoonSpec};
 pub use cv_cache::{CacheKey, CacheStats, Hashable, KeyError, KeyHasher};
-pub use driver::{Driver, DriverModel};
+pub use driver::{Driver, DriverModel, LeadInfo};
 pub use episode::{
     run_episode, DecisionTrace, EpisodeResult, EpisodeTraces, SimError, WindowTrace,
 };

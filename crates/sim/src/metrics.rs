@@ -238,6 +238,7 @@ mod tests {
             outcome,
             emergency_steps: emergency,
             total_steps: total,
+            collided_pair: None,
             traces: None,
         }
     }

@@ -154,20 +154,24 @@ impl EpisodeWorkspace {
         self.others
             .extend((0..n).map(|i| VehicleState::new(0.0, vehicle(cfg, i).1, 0.0)));
 
+        // Every vehicle pair carries its own channel; a per-vehicle
+        // override (platoons) re-arms only that slot's setting.
         self.channels.truncate(n);
         for (i, slot) in self.channels.iter_mut().enumerate() {
+            let comm = cfg.effective_comm(i);
             let seed = cfg.seed_channel_for(i);
-            if slot.setting == cfg.comm {
+            if slot.setting == comm {
                 slot.chan.reset(seed);
             } else {
-                slot.setting = cfg.comm;
-                slot.chan = cfg.comm.channel(seed);
+                slot.setting = comm;
+                slot.chan = comm.channel(seed);
             }
         }
         for i in self.channels.len()..n {
+            let comm = cfg.effective_comm(i);
             self.channels.push(ChannelSlot {
-                setting: cfg.comm,
-                chan: cfg.comm.channel(cfg.seed_channel_for(i)),
+                setting: comm,
+                chan: comm.channel(cfg.seed_channel_for(i)),
             });
         }
 

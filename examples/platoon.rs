@@ -24,19 +24,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Two more oncoming vehicles, 8 m and 30 m behind the first: the first
     // pair forms one unusable cluster; the third leaves a usable gap.
     cfg.extra_others = vec![
-        ExtraVehicle {
-            start_shared: 60.0,
-            init_speed: 10.0,
-            driver: DriverModel::OrnsteinUhlenbeck {
+        ExtraVehicle::new(
+            60.0,
+            10.0,
+            DriverModel::OrnsteinUhlenbeck {
                 theta: 0.5,
                 sigma: 1.5,
             },
-        },
-        ExtraVehicle {
-            start_shared: 82.0,
-            init_speed: 11.0,
-            driver: DriverModel::UniformRandom,
-        },
+        ),
+        ExtraVehicle::new(82.0, 11.0, DriverModel::UniformRandom),
     ];
 
     let spec = StackSpec::ultimate(planner, AggressiveConfig::default());

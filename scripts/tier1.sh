@@ -92,6 +92,28 @@ det_warm=$(echo "$run_warm" | grep -v -e "^wall time" -e "^cache")
 [ "$det_cold" = "$det_warm" ] \
   || { echo "tier1: cached summary diverged from the computed one:"; \
        diff <(echo "$det_cold") <(echo "$det_warm"); exit 1; } >&2
+
+# Platoon smoke: an n=4 platoon batch (leader + two gap-tracking
+# followers, per-pair V2V channels — DESIGN.md §16) through the same live
+# daemon. Submitted twice: the repeat must be answered from the cache and
+# the deterministic summary lines must match byte for byte, pinning the
+# platoon template's wire round-trip and cache keying end to end.
+submit_platoon() {
+  cargo run -q --release --offline -p cv-server --bin cv-submit -- \
+    --addr "$ADDR" --platoon 4 --episodes 4 --quiet 2>/dev/null
+}
+plat_cold=$(submit_platoon)
+plat_warm=$(submit_platoon)
+echo "$plat_cold" | grep -q "^episodes            4" \
+  || { echo "tier1: platoon batch did not complete:"; echo "$plat_cold"; exit 1; } >&2
+echo "$plat_warm" | grep -q "cache               4 hits, 0 misses" \
+  || { echo "tier1: warm platoon run was not served from the cache:"; \
+       echo "$plat_warm"; exit 1; } >&2
+det_plat_cold=$(echo "$plat_cold" | grep -v -e "^wall time" -e "^cache")
+det_plat_warm=$(echo "$plat_warm" | grep -v -e "^wall time" -e "^cache")
+[ "$det_plat_cold" = "$det_plat_warm" ] \
+  || { echo "tier1: cached platoon summary diverged from the computed one:"; \
+       diff <(echo "$det_plat_cold") <(echo "$det_plat_warm"); exit 1; } >&2
 cargo run -q --release --offline -p cv-server --bin cv-submit -- --addr "$ADDR" shutdown
 wait "$SERVE_PID"
 trap - EXIT

@@ -80,6 +80,53 @@ fn tolerance_matrix_holds_across_k_threads_and_stacks() {
     }
 }
 
+/// The lane-tolerance gate on an NN *platoon* stack: `n = 4` vehicles,
+/// gap-tracking followers, and a per-vehicle channel override, across the
+/// full `K × threads` matrix. `Lanes(1)` must stay bit-identical — the
+/// platoon actuation path is shared between the per-episode loop and the
+/// lane stepper, so any divergence is a real lockstep bug, not tolerance.
+#[test]
+fn platoon_tolerance_matrix_holds_across_k_and_threads() {
+    const EPISODES: usize = 12;
+    let mut platoon = safe_cv::sim::PlatoonSpec::paper_default(4, 43).expect("n = 4 is valid");
+    platoon.comm = safe_cv::comm::CommSetting::Delayed {
+        delay: 0.25,
+        drop_prob: 0.25,
+    };
+    // One pair's channel diverges from the template: the per-vehicle
+    // override must survive lane grouping too.
+    platoon.followers[1].comm = Some(safe_cv::comm::CommSetting::NoDisturbance);
+    let spec = StackSpec::ultimate(common::conservative_nn(), AggressiveConfig::default());
+    let mut batch = BatchConfig::new(platoon.episode(), EPISODES);
+    batch.threads = 1;
+    let reference = reference_results(&batch, &spec);
+    for threads in [1usize, 3] {
+        batch.threads = threads;
+        for k in [1usize, 2, 4, 8] {
+            let results = run_batch_lanes(&batch, &spec, BatchMode::Lanes(k), None, None)
+                .expect("platoon lane batch must run")
+                .into_results()
+                .expect("platoon lane episodes must complete");
+            assert_eq!(results.len(), reference.len());
+            if k == 1 {
+                assert_eq!(
+                    results, reference,
+                    "platoon Lanes(1) diverged at {threads} threads"
+                );
+            } else {
+                for (i, (r, b)) in reference.iter().zip(&results).enumerate() {
+                    lane_tolerance_check(r, b).unwrap_or_else(|e| {
+                        panic!(
+                            "platoon episode {i} out of tolerance \
+                             (K={k}, threads={threads}): {e}"
+                        )
+                    });
+                }
+            }
+        }
+    }
+}
+
 /// Early-exit refill: with more episodes than lanes and episodes retiring
 /// at different times (per-seed noise spreads the outcome times), finished
 /// lanes claim fresh episodes mid-flight while their neighbours keep

@@ -17,11 +17,7 @@ fn platoon_cfg(seed: u64, gaps: &[f64]) -> EpisodeConfig {
         .iter()
         .map(|gap| {
             pos += gap;
-            ExtraVehicle {
-                start_shared: pos,
-                init_speed: 10.0,
-                driver: DriverModel::UniformRandom,
-            }
+            ExtraVehicle::new(pos, 10.0, DriverModel::UniformRandom)
         })
         .collect();
     cfg

@@ -28,6 +28,13 @@ use std::sync::Mutex;
 
 use cv_rng::{Fnv1a, FNV_OFFSET_BASIS};
 
+pub mod persist;
+
+pub use persist::{
+    DirIo, DiskFault, FaultIo, MemIo, PersistValue, PersistentCache, RecoveryReport, SegmentFault,
+    SegmentIo,
+};
+
 /// Basis of the second hash stream: the standard offset basis perturbed by
 /// the SplitMix64 increment, so the two lanes of a [`CacheKey`] disagree
 /// from the first byte on.
@@ -216,6 +223,12 @@ pub struct CacheStats {
     pub entries: usize,
     /// Estimated bytes held by live entries.
     pub bytes: usize,
+    /// Bytes durably appended by the persistent tier (0 for memory-only
+    /// caches).
+    pub bytes_persisted: u64,
+    /// Records shed to memory-only because the persistent tier was
+    /// degraded (I/O error) or its write-behind queue was full.
+    pub degraded: u64,
 }
 
 /// One shard: an LRU map with its own byte budget.
@@ -383,10 +396,20 @@ impl<V: Clone> ShardedCache<V> {
     }
 
     /// A snapshot of the counters and occupancy.
+    ///
+    /// All shard locks are held simultaneously while the occupancy totals
+    /// are read, so `entries`/`bytes` describe one consistent point in time
+    /// — a concurrent insert can never be half-counted across shards.
+    /// Locks are always taken in shard-index order (this is the only place
+    /// more than one is held), so there is no deadlock ordering to violate.
     pub fn stats(&self) -> CacheStats {
+        let guards: Vec<_> = self
+            .shards
+            .iter()
+            .map(|shard| shard.lock().expect("cache shard poisoned"))
+            .collect();
         let (mut entries, mut bytes) = (0, 0);
-        for shard in &self.shards {
-            let s = shard.lock().expect("cache shard poisoned");
+        for s in &guards {
             entries += s.map.len();
             bytes += s.bytes;
         }
@@ -396,6 +419,8 @@ impl<V: Clone> ShardedCache<V> {
             evictions: self.evictions.load(Ordering::Relaxed),
             entries,
             bytes,
+            bytes_persisted: 0,
+            degraded: 0,
         }
     }
 

@@ -3,7 +3,7 @@
 //! Usage: `cargo run --release -p cv-server --bin cv-serve --
 //! [--addr 127.0.0.1:7878] [--queue-depth 8] [--workers 0] [--lanes 1]
 //! [--idle-timeout-secs 60] [--max-pending-episodes 0] [--panic-budget 3]
-//! [--cache-bytes 67108864] [--no-cache]`
+//! [--cache-bytes 67108864] [--no-cache] [--cache-dir PATH]`
 //!
 //! `--max-pending-episodes` caps episodes admitted but not yet resolved
 //! across all jobs (0 = unlimited); a submission over the cap gets a
@@ -12,6 +12,10 @@
 //! quarantined (skipped, typed) on later encounters. `--cache-bytes` sets
 //! the byte budget of the content-addressed episode-result cache (default
 //! 64 MiB); `--no-cache` (equivalent to `--cache-bytes 0`) disables it.
+//! `--cache-dir PATH` makes the cache persistent (DESIGN.md §17): results
+//! are appended to checksummed segment files in PATH and recovered —
+//! checksum-verified, torn tails truncated, corrupt segments quarantined
+//! to `.bad` — when a daemon restarts with the same directory.
 //! `--lanes` sets the lane-batched execution width (episodes each worker
 //! steps in lockstep with batched NN forward passes; 1 = per-episode) for
 //! jobs whose planner stack embeds a neural network.
@@ -57,6 +61,8 @@ fn main() {
         panic_budget: arg_usize("--panic-budget", 3) as u32,
         cache_bytes,
         lanes: arg_usize("--lanes", 1),
+        cache_dir: has_flag("--cache-dir")
+            .then(|| std::path::PathBuf::from(arg_string("--cache-dir", "cv-cache"))),
         ..ServerConfig::default()
     };
     let server = match Server::start(config) {
@@ -66,6 +72,22 @@ fn main() {
             std::process::exit(1);
         }
     };
+    if let Some(r) = server.cache_recovery() {
+        println!(
+            "cv-serve: cache recovered {} entries from {} segments \
+             ({} stale, {} bytes torn tail truncated)",
+            r.loaded, r.segments, r.stale, r.truncated_bytes
+        );
+        for q in &r.quarantined {
+            println!(
+                "cv-serve: cache quarantined segment {} at offset {}: {}",
+                q.segment, q.offset, q.reason
+            );
+        }
+        if r.degraded {
+            println!("cv-serve: cache degraded to memory-only (disk unavailable)");
+        }
+    }
     println!("cv-serve listening on {}", server.local_addr());
     server.wait();
     println!("cv-serve: drained and shut down");

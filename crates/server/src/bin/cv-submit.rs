@@ -27,7 +27,7 @@
 //! it, and the comm flags still apply to every V2V channel. `N ≥ 2`;
 //! `--platoon 2` is the paper scenario itself.
 
-use cv_server::{Client, Event, Request, StackSpecWire};
+use cv_server::{Client, ClientError, Event, Request, StackSpecWire};
 use cv_sim::{BatchConfig, EpisodeConfig, PlatoonSpec};
 
 fn arg_string(flag: &str, default: &str) -> String {
@@ -60,9 +60,21 @@ fn die(msg: String) -> ! {
     std::process::exit(1);
 }
 
+/// Typed-error exit: the process code is [`ClientError::exit_code`]'s
+/// mapping (2 = server error frame, 3 = overloaded, 4 = cancelled, 5 =
+/// deadline exceeded, 1 = transport), so scripts can branch on *which*
+/// failure occurred instead of parsing stderr.
+fn die_err(e: ClientError) -> ! {
+    eprintln!("cv-submit: {e}");
+    std::process::exit(e.exit_code());
+}
+
 fn main() {
     let addr = arg_string("--addr", "127.0.0.1:7878");
-    let mut client = Client::connect(&addr).unwrap_or_else(|e| die(format!("connect {addr}: {e}")));
+    let mut client = Client::connect(&addr).unwrap_or_else(|e| {
+        eprintln!("cv-submit: connect {addr}: {e}");
+        std::process::exit(e.exit_code());
+    });
 
     // Accept the subcommand anywhere among the flags: "--addr X status" is
     // as natural to type as "status --addr X", and a silent fall-through to
@@ -77,7 +89,7 @@ fn main() {
         "status" => {
             let reply = client
                 .round_trip(&Request::Status { job: None })
-                .unwrap_or_else(|e| die(e.to_string()));
+                .unwrap_or_else(|e| die_err(e));
             print_status(&reply);
         }
         "cancel" | "--cancel" => {
@@ -91,13 +103,13 @@ fn main() {
                 .unwrap_or_else(|| die("usage: cv-submit cancel JOB (or --cancel JOB)".into()));
             let reply = client
                 .round_trip(&Request::Cancel { job })
-                .unwrap_or_else(|e| die(e.to_string()));
+                .unwrap_or_else(|e| die_err(e));
             print_status(&reply);
         }
         "shutdown" => {
             match client
                 .round_trip(&Request::Shutdown)
-                .unwrap_or_else(|e| die(e.to_string()))
+                .unwrap_or_else(|e| die_err(e))
             {
                 Event::ShutdownAck { draining } => {
                     println!("server shutting down ({draining} jobs draining)");
@@ -178,7 +190,7 @@ fn submit(client: &mut Client) {
             }
             _ => {}
         })
-        .unwrap_or_else(|e| die(e.to_string()));
+        .unwrap_or_else(|e| die_err(e));
 
     println!("episodes            {}", summary.episodes);
     println!("reaching time (s)   {:.3}", summary.reaching_time);
@@ -197,6 +209,16 @@ fn submit(client: &mut Client) {
         "cache               {} hits, {} misses, {} evictions",
         summary.cache_hits, summary.cache_misses, summary.cache_evictions
     );
+    // Persistent-tier counters, printed only when they carry signal (a
+    // memory-only daemon stays byte-identical to the pre-persistence
+    // output). The "cache" prefix keeps these on the operational side of
+    // scripts that diff deterministic summary lines.
+    if summary.cache_persisted_hits > 0 || summary.cache_quarantined > 0 {
+        println!(
+            "cache persisted     {} hits, {} segments quarantined",
+            summary.cache_persisted_hits, summary.cache_quarantined
+        );
+    }
 }
 
 fn print_status(reply: &Event) {
@@ -217,7 +239,10 @@ fn print_status(reply: &Event) {
                 );
             }
         }
-        Event::Error { code, message } => die(format!("[{code}] {message}")),
+        Event::Error { code, message } => die_err(ClientError::Server {
+            code: code.clone(),
+            message: message.clone(),
+        }),
         other => die(format!("unexpected reply: {other:?}")),
     }
 }

@@ -214,6 +214,27 @@ impl ClientError {
             | ClientError::DeadlineExceeded { .. } => false,
         }
     }
+
+    /// Process exit code for CLI front-ends (`cv-submit`): a typed,
+    /// scriptable mapping so tier1/soak scripts can assert on *which*
+    /// failure occurred instead of parsing stderr. `0` is success and never
+    /// returned here; every error is non-zero.
+    ///
+    /// * `1` — transport/protocol trouble (I/O, timeout, malformed frames)
+    /// * `2` — the server rejected the request with a typed `error` frame
+    ///   (`invalid_batch`, `quarantined`, `shutting_down`, …)
+    /// * `3` — admission refused: the server is overloaded, retry later
+    /// * `4` — the job was cancelled before completing
+    /// * `5` — the job's server-side deadline expired
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            ClientError::Io(_) | ClientError::Timeout { .. } | ClientError::Protocol(_) => 1,
+            ClientError::Server { .. } => 2,
+            ClientError::Overloaded { .. } => 3,
+            ClientError::Cancelled { .. } => 4,
+            ClientError::DeadlineExceeded { .. } => 5,
+        }
+    }
 }
 
 /// A connection to a `cv-serve` instance.
@@ -602,5 +623,47 @@ mod tests {
     #[test]
     fn retry_policy_none_gives_single_attempt() {
         assert_eq!(RetryPolicy::none().max_attempts, 1);
+    }
+
+    #[test]
+    fn exit_codes_are_typed_and_nonzero() {
+        let cases: Vec<(ClientError, i32)> = vec![
+            (
+                ClientError::Io(std::io::Error::new(
+                    std::io::ErrorKind::ConnectionReset,
+                    "reset",
+                )),
+                1,
+            ),
+            (
+                ClientError::Timeout {
+                    op: "read",
+                    after: Duration::from_secs(1),
+                },
+                1,
+            ),
+            (ClientError::Protocol("garbage".into()), 1),
+            (
+                ClientError::Server {
+                    code: "quarantined".into(),
+                    message: "too many malformed frames".into(),
+                },
+                2,
+            ),
+            (
+                ClientError::Server {
+                    code: "invalid_batch".into(),
+                    message: "zero episodes".into(),
+                },
+                2,
+            ),
+            (ClientError::Overloaded { retry_after_ms: 75 }, 3),
+            (ClientError::Cancelled { done: 3 }, 4),
+            (ClientError::DeadlineExceeded { done: 9 }, 5),
+        ];
+        for (e, want) in &cases {
+            assert_eq!(e.exit_code(), *want, "{e}");
+            assert_ne!(e.exit_code(), 0, "errors must never exit 0");
+        }
     }
 }

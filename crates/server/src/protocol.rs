@@ -411,6 +411,11 @@ pub fn summary_to_json(s: &BatchSummary) -> Json {
         ("cache_hits", Json::Int(s.cache_hits as i128)),
         ("cache_misses", Json::Int(s.cache_misses as i128)),
         ("cache_evictions", Json::Int(s.cache_evictions as i128)),
+        (
+            "cache_persisted_hits",
+            Json::Int(s.cache_persisted_hits as i128),
+        ),
+        ("cache_quarantined", Json::Int(s.cache_quarantined as i128)),
         ("lanes", Json::Int(s.lanes as i128)),
     ])
 }
@@ -449,6 +454,8 @@ pub fn summary_from_json(v: &Json) -> Result<BatchSummary, DecodeError> {
         cache_hits: compat_usize_field(v, "cache_hits")?,
         cache_misses: compat_usize_field(v, "cache_misses")?,
         cache_evictions: compat_usize_field(v, "cache_evictions")?,
+        cache_persisted_hits: compat_usize_field(v, "cache_persisted_hits")?,
+        cache_quarantined: compat_usize_field(v, "cache_quarantined")?,
         lanes: compat_lanes_field(v)?,
     })
 }
@@ -977,6 +984,8 @@ mod tests {
             cache_hits: 1,
             cache_misses: 3,
             cache_evictions: 2,
+            cache_persisted_hits: 1,
+            cache_quarantined: 2,
             lanes: 4,
         };
         let reparsed = Json::parse(&summary_to_json(&summary).encode()).unwrap();
@@ -986,6 +995,11 @@ mod tests {
         assert_eq!(
             (back.cache_hits, back.cache_misses, back.cache_evictions),
             (1, 3, 2)
+        );
+        assert_eq!(
+            (back.cache_persisted_hits, back.cache_quarantined),
+            (1, 2),
+            "persistent-tier counters ride the wire"
         );
         assert_eq!(back.lanes, 4, "lane width rides the wire");
     }
@@ -1011,6 +1025,8 @@ mod tests {
             cache_hits: 7,
             cache_misses: 1,
             cache_evictions: 4,
+            cache_persisted_hits: 5,
+            cache_quarantined: 2,
             lanes: 1,
         };
         let Json::Obj(pairs) = summary_to_json(&summary) else {
@@ -1026,6 +1042,11 @@ mod tests {
         assert_eq!(
             (back.cache_hits, back.cache_misses, back.cache_evictions),
             (0, 0, 0)
+        );
+        assert_eq!(
+            (back.cache_persisted_hits, back.cache_quarantined),
+            (0, 0),
+            "persistent-tier counters default to zero from older peers"
         );
     }
 
@@ -1051,6 +1072,8 @@ mod tests {
             cache_hits: 0,
             cache_misses: 0,
             cache_evictions: 0,
+            cache_persisted_hits: 0,
+            cache_quarantined: 0,
             lanes: 8,
         };
         let Json::Obj(pairs) = summary_to_json(&summary) else {

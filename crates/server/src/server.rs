@@ -25,7 +25,10 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use cv_sim::{BatchConfig, EpisodeCache, Quarantine, SimError, StackSpec, DEFAULT_CACHE_BYTES};
+use cv_sim::{
+    store_salt, BatchConfig, EpisodeCache, Quarantine, RecoveryReport, SimError, StackSpec,
+    DEFAULT_CACHE_BYTES,
+};
 
 use crate::protocol::{Event, JobStatus, Request};
 use crate::queue::{JobQueue, PushError};
@@ -86,6 +89,14 @@ pub struct ServerConfig {
     /// the wire always run per-episode, so today this is forward-looking
     /// configuration surfaced in each summary's `lanes` field.
     pub lanes: usize,
+    /// Directory for the persistent cache tier (DESIGN.md §17). `None`
+    /// keeps the cache memory-only; `Some(dir)` makes the cache survive
+    /// daemon restarts: results are appended to checksummed segment files
+    /// in the background and reloaded (after checksum verification, torn-
+    /// tail truncation, and quarantine of corrupt segments) at startup.
+    /// Requires `cache_bytes > 0`. Disk faults degrade the cache to
+    /// memory-only; they never fail the server.
+    pub cache_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -102,6 +113,7 @@ impl Default for ServerConfig {
             panic_budget: 3,
             cache_bytes: DEFAULT_CACHE_BYTES,
             lanes: 1,
+            cache_dir: None,
         }
     }
 }
@@ -189,6 +201,10 @@ struct Shared {
     /// Content-addressed episode-result cache shared across every job this
     /// server runs; `None` when `cache_bytes` is 0.
     cache: Option<EpisodeCache>,
+    /// What the persistent tier's startup scan found; `None` for
+    /// memory-only caches. The quarantined-segment count is stamped onto
+    /// every summary this server serves.
+    recovery: Option<RecoveryReport>,
 }
 
 impl Shared {
@@ -271,13 +287,32 @@ impl Server {
     pub fn start(config: ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
+        // Disk-backed when a cache dir is configured: recover whatever a
+        // previous daemon persisted (I/O errors here degrade the cache to
+        // memory-only rather than failing startup — the cache is an
+        // accelerator, never a dependency).
+        let (cache, recovery) = match (&config.cache_dir, config.cache_bytes) {
+            (_, 0) => (None, None),
+            (None, bytes) => (Some(EpisodeCache::new(bytes)), None),
+            (Some(dir), bytes) => match EpisodeCache::open(dir, bytes, store_salt()) {
+                Ok((cache, report)) => (Some(cache), Some(report)),
+                Err(_) => {
+                    let report = RecoveryReport {
+                        degraded: true,
+                        ..RecoveryReport::default()
+                    };
+                    (Some(EpisodeCache::new(bytes)), Some(report))
+                }
+            },
+        };
         let shared = Arc::new(Shared {
             queue: JobQueue::new(config.queue_capacity),
             jobs: Mutex::new(HashMap::new()),
             next_id: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
             quarantine: Quarantine::new(config.panic_budget),
-            cache: (config.cache_bytes > 0).then(|| EpisodeCache::new(config.cache_bytes)),
+            cache,
+            recovery,
             config,
             addr,
             conns: Mutex::new(Vec::new()),
@@ -316,6 +351,13 @@ impl Server {
     /// The bound address (resolves the ephemeral port).
     pub fn local_addr(&self) -> SocketAddr {
         self.shared.addr
+    }
+
+    /// What the persistent cache tier's startup scan found — entries
+    /// reloaded, torn bytes truncated, segments quarantined or refused as
+    /// stale. `None` when the cache is memory-only (no `cache_dir`).
+    pub fn cache_recovery(&self) -> Option<&RecoveryReport> {
+        self.shared.recovery.as_ref()
     }
 
     /// Blocks until the service exits — i.e. until some client sends a
@@ -709,18 +751,30 @@ fn runner_loop(shared: &Arc<Shared>) {
         shared
             .pending_episodes
             .fetch_sub(total - resolved.get().min(total), Ordering::Relaxed);
+        // Quarantined-segment count from the persistent tier's startup
+        // scan: operational metadata (excluded from stats_eq) stamped onto
+        // every summary so clients can alert on a daemon that lost
+        // segments to corruption.
+        let quarantined = shared.recovery.as_ref().map_or(0, |r| r.quarantined.len());
+        let stamp = |mut s: cv_sim::BatchSummary| {
+            s.cache_quarantined = quarantined;
+            s
+        };
         let terminal = match outcome {
             JobOutcome::Completed(summary) => {
                 state.set_phase(Phase::Done);
                 shared.observe_episode_time(t0.elapsed(), summary.episodes);
-                Event::BatchDone { job: id, summary }
+                Event::BatchDone {
+                    job: id,
+                    summary: stamp(summary),
+                }
             }
             JobOutcome::Cancelled { done, partial } => {
                 state.set_phase(Phase::Cancelled);
                 Event::Cancelled {
                     job: id,
                     done,
-                    partial: Some(partial),
+                    partial: Some(stamp(partial)),
                 }
             }
             JobOutcome::DeadlineExceeded { done, partial } => {
@@ -728,7 +782,7 @@ fn runner_loop(shared: &Arc<Shared>) {
                 Event::DeadlineExceeded {
                     job: id,
                     done,
-                    partial: Some(partial),
+                    partial: Some(stamp(partial)),
                 }
             }
             JobOutcome::Failed(error) => {

@@ -342,10 +342,14 @@ where
     // Cache prefill: hits fill their slots and stream progress before any
     // worker spawns — and before cancel/deadline are consulted, so cached
     // episodes survive a cancellation that stops the rest of the batch.
+    let mut persisted_hits = 0usize;
     if let Some(c) = cache {
         for (i, slot) in slots.iter_mut().enumerate() {
             let Some(key) = keys[i] else { continue };
-            if let Some(result) = c.get(&key) {
+            if let Some((result, persisted)) = c.get_entry(&key) {
+                if persisted {
+                    persisted_hits += 1;
+                }
                 let outcome = EpisodeOutcome::Completed(result);
                 report(i, &outcome);
                 *slot = Some(outcome);
@@ -466,6 +470,7 @@ where
         summary.cache_hits = cache_hits;
         summary.cache_misses = cache_misses;
         summary.cache_evictions = usize::try_from(c.evictions() - evictions_before).unwrap_or(0);
+        summary.cache_persisted_hits = persisted_hits;
     }
     let done = done.get();
 

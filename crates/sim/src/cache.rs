@@ -21,18 +21,20 @@
 //! The digest is computed once per batch (NN weights are the expensive
 //! part) and mixed into each per-episode key.
 
-use cv_cache::{CacheKey, Hashable, KeyError, KeyHasher, ShardedCache};
+use cv_cache::{CacheKey, Hashable, KeyError, KeyHasher, PersistValue, PersistentCache};
 use cv_comm::CommSetting;
 use cv_dynamics::VehicleState;
 use cv_estimation::FilterMode;
 use cv_planner::{NnPlanner, TeacherPolicy};
 use cv_sensing::SensorNoise;
-use safe_shield::{Planner, WindowSource};
+use safe_shield::{Outcome, Planner, WindowSource};
 
 use crate::{EpisodeConfig, EpisodeResult, StackSpec, WindowKind};
 
-/// The episode-result cache: per-episode summaries keyed by content hash.
-pub type EpisodeCache = ShardedCache<EpisodeResult>;
+/// The episode-result cache: per-episode summaries keyed by content hash,
+/// memory-only via [`PersistentCache::new`] or disk-backed via
+/// [`PersistentCache::open`] with [`store_salt`] as the segment salt.
+pub type EpisodeCache = PersistentCache<EpisodeResult>;
 
 /// Default byte budget for an in-process episode cache (64 MiB — a few
 /// hundred thousand episode summaries).
@@ -183,6 +185,17 @@ fn feed_salt(h: &mut KeyHasher) {
     h.write_u8(u8::from(cfg!(feature = "fault-injection")));
 }
 
+/// The segment-store salt: the same code-version + feature-flag stream that
+/// salts every [`stack_digest`], hashed alone. A persistent cache directory
+/// written by a different binary (version bump, feature change) fails the
+/// salt check at startup and is *refused* — counted as stale, never misread
+/// — instead of serving results the current code would not reproduce.
+pub fn store_salt() -> CacheKey {
+    let mut h = KeyHasher::new();
+    feed_salt(&mut h);
+    h.finish()
+}
+
 /// Content digest of a planner stack, salted with the code version and
 /// active feature flags. Compute once per batch, then mix into each
 /// episode's key with [`episode_key`].
@@ -254,6 +267,85 @@ pub fn episode_key(stack: CacheKey, cfg: &EpisodeConfig) -> Result<CacheKey, Key
     h.write_u64(stack.lo);
     cfg.feed(&mut h)?;
     Ok(h.finish())
+}
+
+// The persistent record encoding of an episode result (DESIGN.md §17):
+// fixed little-endian layout, no self-description — the segment header's
+// version + salt already pin the writer, and the per-record CRC64 pins the
+// bytes. Trace-bearing results are refused (`encode_persist` returns
+// `false`): traces are heap-heavy, batch paths never produce them, and a
+// memory-only entry is the right place for the odd one that exists.
+impl PersistValue for EpisodeResult {
+    fn encode_persist(&self, out: &mut Vec<u8>) -> bool {
+        if self.traces.is_some() {
+            return false;
+        }
+        match self.outcome {
+            Outcome::Collision { time } => {
+                out.push(0);
+                out.extend_from_slice(&time.to_bits().to_le_bytes());
+            }
+            Outcome::Reached { time } => {
+                out.push(1);
+                out.extend_from_slice(&time.to_bits().to_le_bytes());
+            }
+            Outcome::Timeout => {
+                out.push(2);
+                out.extend_from_slice(&0u64.to_le_bytes());
+            }
+        }
+        out.extend_from_slice(&self.eta.to_bits().to_le_bytes());
+        out.extend_from_slice(&self.emergency_steps.to_le_bytes());
+        out.extend_from_slice(&self.total_steps.to_le_bytes());
+        match self.collided_pair {
+            None => {
+                out.push(0);
+                out.extend_from_slice(&0u64.to_le_bytes());
+            }
+            Some(i) => {
+                out.push(1);
+                out.extend_from_slice(&(i as u64).to_le_bytes());
+            }
+        }
+        true
+    }
+
+    fn decode_persist(bytes: &[u8]) -> Option<Self> {
+        // 2 tag bytes + 5 u64 fields, and nothing trailing: a record that
+        // is the wrong length was not written by this encoder.
+        const LEN: usize = 2 + 5 * 8;
+        if bytes.len() != LEN {
+            return None;
+        }
+        let u64_at = |off: usize| u64::from_le_bytes(bytes[off..off + 8].try_into().unwrap());
+        let outcome = match bytes[0] {
+            0 => Outcome::Collision {
+                time: f64::from_bits(u64_at(1)),
+            },
+            1 => Outcome::Reached {
+                time: f64::from_bits(u64_at(1)),
+            },
+            2 => Outcome::Timeout,
+            _ => return None,
+        };
+        let collided_pair = match bytes[33] {
+            0 => None,
+            1 => Some(u64_at(34) as usize),
+            _ => return None,
+        };
+        Some(EpisodeResult {
+            outcome,
+            eta: f64::from_bits(u64_at(9)),
+            emergency_steps: u64_at(17),
+            total_steps: u64_at(25),
+            collided_pair,
+            traces: None,
+        })
+    }
+
+    fn reload_weight(&self) -> usize {
+        episode_weight(self)
+    }
 }
 
 #[cfg(test)]
@@ -578,6 +670,59 @@ mod tests {
         assert_ne!(a, b);
         assert_ne!(a, none);
         assert_ne!(none, teacher, "injection wrapper aliases the plain teacher");
+    }
+
+    #[test]
+    fn episode_result_persist_round_trip_is_bit_identical() {
+        let results = [
+            EpisodeResult {
+                outcome: safe_shield::Outcome::Reached { time: 7.25 },
+                eta: -0.0,
+                emergency_steps: 3,
+                total_steps: 401,
+                collided_pair: None,
+                traces: None,
+            },
+            EpisodeResult {
+                outcome: safe_shield::Outcome::Collision { time: 1.5 },
+                eta: f64::NEG_INFINITY,
+                emergency_steps: 0,
+                total_steps: 12,
+                collided_pair: Some(2),
+                traces: None,
+            },
+            EpisodeResult {
+                outcome: safe_shield::Outcome::Timeout,
+                eta: 0.125,
+                emergency_steps: 9,
+                total_steps: u64::MAX,
+                collided_pair: None,
+                traces: None,
+            },
+        ];
+        for r in &results {
+            let mut buf = Vec::new();
+            assert!(r.encode_persist(&mut buf));
+            let back = EpisodeResult::decode_persist(&buf).expect("decodable");
+            assert_eq!(back.outcome, r.outcome);
+            assert_eq!(back.eta.to_bits(), r.eta.to_bits(), "eta bits must survive");
+            assert_eq!(back.emergency_steps, r.emergency_steps);
+            assert_eq!(back.total_steps, r.total_steps);
+            assert_eq!(back.collided_pair, r.collided_pair);
+            assert!(back.traces.is_none());
+            // Truncated or padded buffers are refused, not misread.
+            assert!(EpisodeResult::decode_persist(&buf[..buf.len() - 1]).is_none());
+            let mut padded = buf.clone();
+            padded.push(0);
+            assert!(EpisodeResult::decode_persist(&padded).is_none());
+        }
+        // Trace-bearing results refuse to persist without counting as a
+        // fault.
+        let heavy = EpisodeResult {
+            traces: Some(Default::default()),
+            ..results[0].clone()
+        };
+        assert!(!heavy.encode_persist(&mut Vec::new()));
     }
 
     #[test]

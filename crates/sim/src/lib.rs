@@ -62,9 +62,11 @@ pub mod training;
 pub mod workspace;
 
 pub use batch::{run_batch, run_batch_static, run_batch_summary, BatchConfig};
-pub use cache::{episode_key, episode_weight, stack_digest, EpisodeCache, DEFAULT_CACHE_BYTES};
+pub use cache::{
+    episode_key, episode_weight, stack_digest, store_salt, EpisodeCache, DEFAULT_CACHE_BYTES,
+};
 pub use config::{EpisodeConfig, ExtraVehicle, PlatoonFollower, PlatoonSpec};
-pub use cv_cache::{CacheKey, CacheStats, Hashable, KeyError, KeyHasher};
+pub use cv_cache::{CacheKey, CacheStats, Hashable, KeyError, KeyHasher, RecoveryReport};
 pub use driver::{Driver, DriverModel, LeadInfo};
 pub use episode::{
     run_episode, DecisionTrace, EpisodeResult, EpisodeTraces, SimError, WindowTrace,

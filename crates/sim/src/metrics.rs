@@ -47,6 +47,14 @@ pub struct BatchSummary {
     pub cache_misses: usize,
     /// Entries the cache evicted while this batch inserted its results.
     pub cache_evictions: usize,
+    /// Of `cache_hits`, how many were served by entries reloaded from the
+    /// persistent tier at daemon startup (warm-restart hits). `0` for
+    /// memory-only caches and for peers that predate the persistent tier.
+    pub cache_persisted_hits: usize,
+    /// Segments the persistent tier quarantined to `.bad` at startup (a
+    /// daemon-lifetime count stamped onto every summary it serves). `0`
+    /// when clean, memory-only, or decoded from an older peer.
+    pub cache_quarantined: usize,
     /// Lane count the batch ran with (`1` for the per-episode path).
     /// Operational metadata like the timing fields and cache counters:
     /// excluded from [`BatchSummary::stats_eq`], and decoded as `1` from
@@ -179,6 +187,8 @@ where
         cache_hits: 0,
         cache_misses: 0,
         cache_evictions: 0,
+        cache_persisted_hits: 0,
+        cache_quarantined: 0,
         lanes: 1,
     }
 }
@@ -280,6 +290,8 @@ mod tests {
         warm.cache_hits = 1;
         warm.cache_misses = 0;
         warm.cache_evictions = 3;
+        warm.cache_persisted_hits = 1;
+        warm.cache_quarantined = 2;
         warm.lanes = 8;
         assert!(
             cold.stats_eq(&warm),
@@ -379,6 +391,8 @@ mod tests {
             cache_hits: 0,
             cache_misses: 0,
             cache_evictions: 0,
+            cache_persisted_hits: 0,
+            cache_quarantined: 0,
             lanes: 1,
         };
         let zero = base.clone().with_timing(std::time::Duration::ZERO);

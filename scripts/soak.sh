@@ -37,4 +37,14 @@ timeout "${CV_SOAK_TIMEOUT_SECS}" \
   cargo test --release --offline -p cv-server --features fault-injection \
   --test panic_isolation -- --ignored --nocapture
 
+# Disk-fault cycle (crates/server/tests/disk_fault_e2e.rs): the 5-kind
+# storage-fault matrix — short writes, ENOSPC, fsync failure, read
+# corruption, torn tails — over the same CV_SOAK_SEEDS sweep. Every cell
+# must end in typed degradation or clean recovery with served summaries
+# bit-identical to an uncached run (DESIGN.md §17).
+echo "soak: disk-fault matrix, ${CV_SOAK_SEEDS} seeds/fault-kind"
+timeout "${CV_SOAK_TIMEOUT_SECS}" \
+  cargo test --release --offline -p cv-server --test disk_fault_e2e -- \
+  --ignored --nocapture
+
 echo "soak: clean"

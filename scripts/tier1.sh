@@ -117,3 +117,72 @@ det_plat_warm=$(echo "$plat_warm" | grep -v -e "^wall time" -e "^cache")
 cargo run -q --release --offline -p cv-server --bin cv-submit -- --addr "$ADDR" shutdown
 wait "$SERVE_PID"
 trap - EXIT
+
+# Persistent-cache smoke (DESIGN.md §17): a daemon with --cache-dir is
+# cold-filled, then SIGKILLed mid-batch — the harshest crash the segment
+# format must survive. A fresh daemon on the same directory must report
+# recovery and answer the repeat batch entirely from persisted records,
+# with deterministic summary lines byte-identical to the cold run.
+CACHE_DIR=target/tier1-cache-dir
+rm -rf "$CACHE_DIR"
+PERSIST_LOG=target/tier1-persist-serve.log
+cargo run -q --release --offline -p cv-server --bin cv-serve -- \
+  --addr 127.0.0.1:0 --cache-bytes 1048576 --cache-dir "$CACHE_DIR" \
+  > "$PERSIST_LOG" &
+SERVE_PID=$!
+trap 'kill -9 "$SERVE_PID" 2>/dev/null || true' EXIT
+ADDR=""
+for _ in $(seq 1 100); do
+  ADDR=$(sed -n 's/^cv-serve listening on //p' "$PERSIST_LOG")
+  [ -n "$ADDR" ] && break
+  sleep 0.1
+done
+test -n "$ADDR" || { echo "tier1: persistent cv-serve never reported its address" >&2; exit 1; }
+run_cold=$(submit)
+# Crash the daemon while a larger batch is appending to the active segment.
+cargo run -q --release --offline -p cv-server --bin cv-submit -- \
+  --addr "$ADDR" --episodes 200 --quiet >/dev/null 2>&1 &
+KILLED_SUBMIT=$!
+sleep 0.3
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+wait "$KILLED_SUBMIT" 2>/dev/null || true
+test -s "$CACHE_DIR"/seg-*.seg \
+  || { echo "tier1: no segment file written before the crash" >&2; exit 1; }
+cargo run -q --release --offline -p cv-server --bin cv-serve -- \
+  --addr 127.0.0.1:0 --cache-bytes 1048576 --cache-dir "$CACHE_DIR" \
+  > "$PERSIST_LOG" &
+SERVE_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+  ADDR=$(sed -n 's/^cv-serve listening on //p' "$PERSIST_LOG")
+  [ -n "$ADDR" ] && break
+  sleep 0.1
+done
+test -n "$ADDR" || { echo "tier1: restarted cv-serve never reported its address" >&2; exit 1; }
+grep -q "^cv-serve: cache recovered" "$PERSIST_LOG" \
+  || { echo "tier1: restarted daemon reported no cache recovery:"; \
+       cat "$PERSIST_LOG"; exit 1; } >&2
+run_warm=$(submit)
+echo "$run_warm" | grep -q "cache               8 hits, 0 misses" \
+  || { echo "tier1: post-restart run was not served from the cache:"; \
+       echo "$run_warm"; exit 1; } >&2
+echo "$run_warm" | grep -q "cache persisted     8 hits" \
+  || { echo "tier1: post-restart hits were not served from disk:"; \
+       echo "$run_warm"; exit 1; } >&2
+det_cold=$(echo "$run_cold" | grep -v -e "^wall time" -e "^cache")
+det_warm=$(echo "$run_warm" | grep -v -e "^wall time" -e "^cache")
+[ "$det_cold" = "$det_warm" ] \
+  || { echo "tier1: recovered summary diverged from the computed one:"; \
+       diff <(echo "$det_cold") <(echo "$det_warm"); exit 1; } >&2
+cargo run -q --release --offline -p cv-server --bin cv-submit -- --addr "$ADDR" shutdown
+wait "$SERVE_PID"
+trap - EXIT
+
+# cv-submit must report failure through its exit code (typed, non-zero):
+# a dead address is an I/O error, exit code 1.
+if cargo run -q --release --offline -p cv-server --bin cv-submit -- \
+    --addr 127.0.0.1:9 --episodes 1 --quiet >/dev/null 2>&1; then
+  echo "tier1: cv-submit to a dead address must exit non-zero" >&2
+  exit 1
+fi

@@ -20,9 +20,17 @@
 //! (`cv_sim::run_batch_lanes`) on the pure-NN stack at a single worker
 //! thread for K ∈ {1, 2, 4, 8}, asserting the numeric contract inline:
 //! K = 1 bit-identical to the per-episode path, K > 1 within the
-//! per-field tolerance gate (`cv_sim::lane_tolerance_check`).
+//! per-field tolerance gate (`cv_sim::lane_tolerance_check`). An `events`
+//! section times `BatchMode::EventDriven` (the time-wheel engine,
+//! DESIGN.md §18) against the fixed-step dynamic path on the n = 8 platoon
+//! cells — the dense paper default and a sparse-disturbance variant
+//! (`platoon-n8-sparse/comm-lost`: ego 150 m upstream, leader at the zone's
+//! edge, 6 m gaps, all V2V channels lost) where pairs retire early in a
+//! long approach episode and the event engine's
+//! quiescent-span skipping pays — asserting bit-identity with the
+//! fixed-step oracle inline and recording `event_speedup` per cell.
 //!
-//! Output: `results/BENCH_throughput.json` (schema `bench.throughput/v4`)
+//! Output: `results/BENCH_throughput.json` (schema `bench.throughput/v5`)
 //! plus a human-readable table on stdout.
 //!
 //! Usage:
@@ -43,7 +51,11 @@
 //! lane-batching PR and re-recorded when the platoon cells landed (the
 //! original capture predated them, and the raw single-run numbers carry no
 //! headroom for box-speed drift — delete the file to re-record on the
-//! current machine).
+//! current machine). When the loaded file predates a cell family this run
+//! produced (a new platoon size, the event-engine cells), the run does not
+//! silently skip the gate: it warns naming exactly which cells were newly
+//! seeded, records them at this run's rate (1.00x), and rewrites the file
+//! so the next run gates them.
 //!
 //! Each cell is timed `--reps` times per path (interleaved) and the best
 //! wall time kept, so one noisy sample on a shared box cannot flip a
@@ -62,8 +74,8 @@ use cv_server::wire::Json;
 use cv_server::{run_sharded_cached, JobLimits, JobOutcome};
 use cv_sim::{
     lane_tolerance_check, run_batch, run_batch_lanes, run_batch_static, BatchConfig, BatchMode,
-    BatchSummary, EpisodeCache, EpisodeConfig, EpisodeResult, PlatoonSpec, StackSpec, WindowKind,
-    DEFAULT_CACHE_BYTES,
+    BatchSummary, EpisodeCache, EpisodeConfig, EpisodeResult, PlatoonFollower, PlatoonSpec,
+    StackSpec, WindowKind, DEFAULT_CACHE_BYTES,
 };
 
 /// One cell of the batch matrix.
@@ -102,7 +114,13 @@ fn case_study_net(seed: u64) -> Mlp {
 /// plus the N-vehicle platoon workload (n ∈ {2, 4, 8}: leader + gap-tracking
 /// followers, one V2V channel per pair) so per-vehicle cost at scale is a
 /// tracked number.
-fn stack_matrix(seed: u64) -> Vec<(&'static str, EpisodeConfig, StackSpec)> {
+/// `(name, template, stack, starts)`: `starts` overrides the batch's
+/// `C_1` start grid (`None` = the paper grid). The sparse event cell needs
+/// it — the paper grid would put the leader back at 50.5–60 m and undo the
+/// early-retirement geometry.
+type MatrixEntry = (&'static str, EpisodeConfig, StackSpec, Option<Vec<f64>>);
+
+fn stack_matrix(seed: u64) -> Vec<MatrixEntry> {
     let cons_template = EpisodeConfig::paper_default(seed);
     let cons = StackSpec::pure_teacher_conservative(&cons_template).expect("paper geometry");
     let mut aggr_template = EpisodeConfig::paper_default(seed);
@@ -125,10 +143,10 @@ fn stack_matrix(seed: u64) -> Vec<(&'static str, EpisodeConfig, StackSpec)> {
     };
     let nn_basic = StackSpec::basic(planner);
     let mut matrix = vec![
-        ("teacher-cons/no-disturbance", cons_template, cons),
-        ("teacher-aggr/delayed-0.25-0.5", aggr_template, aggr),
-        ("nn-pure/no-disturbance", nn_template.clone(), nn_pure),
-        ("nn-basic/no-disturbance", nn_template, nn_basic),
+        ("teacher-cons/no-disturbance", cons_template, cons, None),
+        ("teacher-aggr/delayed-0.25-0.5", aggr_template, aggr, None),
+        ("nn-pure/no-disturbance", nn_template.clone(), nn_pure, None),
+        ("nn-basic/no-disturbance", nn_template, nn_basic, None),
     ];
     for (name, n) in [
         ("platoon-n2/teacher-cons", 2usize),
@@ -139,21 +157,55 @@ fn stack_matrix(seed: u64) -> Vec<(&'static str, EpisodeConfig, StackSpec)> {
             .expect("n >= 2")
             .episode();
         let spec = StackSpec::pure_teacher_conservative(&template).expect("paper geometry");
-        matrix.push((name, template, spec));
+        matrix.push((name, template, spec, None));
+    }
+    {
+        let template = sparse_platoon(seed);
+        let spec = StackSpec::pure_teacher_conservative(&template).expect("paper geometry");
+        // Leader start grid hugging the zone exit (p_b = 15): every
+        // episode keeps the early-retirement geometry while still varying
+        // per index like the other cells.
+        let starts = (0..20).map(|j| 16.0 + 0.25 * j as f64).collect();
+        matrix.push(("platoon-n8-sparse/comm-lost", template, spec, Some(starts)));
     }
     matrix
+}
+
+/// The sparse-disturbance n=8 platoon: the ego far upstream of a platoon
+/// already at the zone's edge with close followers, all V2V channels lost.
+/// Every pair clears the conflict zone (and permanently retires under the
+/// event engine) in the first quarter of a long approach episode, so most
+/// of its wall time is quiescent per-pair work — the regime the
+/// event-driven engine exists for.
+fn sparse_platoon(seed: u64) -> EpisodeConfig {
+    let mut platoon = PlatoonSpec::paper_default(8, seed).expect("n >= 2");
+    platoon.leader_start_shared = 16.0;
+    platoon.comm = CommSetting::Lost;
+    for f in &mut platoon.followers {
+        *f = PlatoonFollower {
+            gap: 6.0,
+            ..PlatoonFollower::paper_default()
+        };
+    }
+    let mut cfg = platoon.episode();
+    cfg.ego_init.position = -150.0;
+    cfg
 }
 
 fn run_cell(
     stack: &'static str,
     template: &EpisodeConfig,
     spec: &StackSpec,
+    starts: Option<&[f64]>,
     episodes: usize,
     threads: usize,
     reps: usize,
 ) -> Cell {
     let mut batch = BatchConfig::new(template.clone(), episodes);
     batch.threads = threads;
+    if let Some(s) = starts {
+        batch.starts = s.to_vec();
+    }
 
     // Warm the scenario/planner caches and page in the code before timing.
     let _ = run_batch(&batch, spec).expect("valid batch");
@@ -199,6 +251,108 @@ fn run_cell(
         total_steps,
         speedup: static_secs / dynamic_secs,
     }
+}
+
+/// One cell of the event-engine comparison: the fixed-step dynamic path
+/// vs [`BatchMode::EventDriven`] on the same batch.
+struct EventCell {
+    stack: &'static str,
+    threads: usize,
+    episodes: usize,
+    fixed_secs: f64,
+    event_secs: f64,
+    fixed_eps: f64,
+    event_eps: f64,
+    event_speedup: f64,
+}
+
+/// Times the fixed-step dynamic path against the event-driven engine
+/// (interleaved best-of-reps, like [`run_cell`]) and asserts the
+/// bit-identity contract inline: the event engine is an execution
+/// strategy, not an approximation, so every [`EpisodeResult`] must match
+/// the fixed-step oracle exactly (DESIGN.md §18).
+fn event_cell(
+    stack: &'static str,
+    template: &EpisodeConfig,
+    spec: &StackSpec,
+    starts: Option<&[f64]>,
+    episodes: usize,
+    threads: usize,
+    reps: usize,
+) -> EventCell {
+    let mut batch = BatchConfig::new(template.clone(), episodes);
+    batch.threads = threads;
+    if let Some(s) = starts {
+        batch.starts = s.to_vec();
+    }
+
+    let _ = run_batch_lanes(&batch, spec, BatchMode::EventDriven, None, None).expect("valid batch");
+
+    let mut fixed_secs = f64::INFINITY;
+    let mut event_secs = f64::INFINITY;
+    let mut fixed_results = Vec::new();
+    let mut event_results = Vec::new();
+    for _ in 0..reps.max(1) {
+        let (f, f_secs) = timed(|| run_batch(&batch, spec));
+        fixed_results = f.expect("valid batch");
+        fixed_secs = fixed_secs.min(f_secs);
+        let (e, e_secs) =
+            timed(|| run_batch_lanes(&batch, spec, BatchMode::EventDriven, None, None));
+        event_results = e
+            .expect("valid batch")
+            .into_results()
+            .expect("no quarantine, no interrupt");
+        event_secs = event_secs.min(e_secs);
+    }
+
+    assert_eq!(
+        fixed_results, event_results,
+        "{stack} @ {threads} threads: event-driven engine diverged from the fixed-step oracle"
+    );
+
+    EventCell {
+        stack,
+        threads,
+        episodes,
+        fixed_secs,
+        event_secs,
+        fixed_eps: episodes as f64 / fixed_secs,
+        event_eps: episodes as f64 / event_secs,
+        event_speedup: fixed_secs / event_secs,
+    }
+}
+
+/// Writes a `bench.throughput.baseline/v1` file from
+/// `(stack, threads, episodes/sec)` points — the first `--nn-baseline`
+/// recording, and the warn-and-record rewrite when a loaded baseline
+/// predates a cell family this run produced.
+fn write_nn_baseline(path: &str, sims: usize, seed: u64, points: &[(String, usize, f64)]) {
+    let json = Json::obj(vec![
+        ("schema", Json::str("bench.throughput.baseline/v1")),
+        ("sims_per_cell", Json::Int(sims as i128)),
+        ("base_seed", Json::Int(seed as i128)),
+        (
+            "cells",
+            Json::Arr(
+                points
+                    .iter()
+                    .map(|(s, t, e)| {
+                        Json::obj(vec![
+                            ("stack", Json::str(s.as_str())),
+                            ("threads", Json::Int(*t as i128)),
+                            ("episodes_per_sec", Json::num_or_null(*e)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create nn-baseline directory");
+        }
+    }
+    std::fs::write(path, json.encode()).expect("write nn baseline");
 }
 
 /// Loads a `bench.throughput.baseline/v1` file (episodes/sec measured on a
@@ -641,9 +795,10 @@ fn main() {
     );
 
     let mut cells: Vec<Cell> = Vec::new();
-    for (stack, template, spec) in stack_matrix(seed) {
+    let matrix = stack_matrix(seed);
+    for &(stack, ref template, ref spec, ref starts) in &matrix {
         for &t in &threads {
-            let cell = run_cell(stack, &template, &spec, sims, t, reps);
+            let cell = run_cell(stack, template, spec, starts.as_deref(), sims, t, reps);
             let vs_baseline = baseline
                 .iter()
                 .find(|(s, bt, _)| s == cell.stack && *bt == cell.threads)
@@ -696,12 +851,35 @@ fn main() {
         );
     }
 
+    // Event-driven engine: fixed-step dynamic path vs
+    // `BatchMode::EventDriven` on the n = 8 platoon cells — the dense
+    // paper-default platoon (late retirements: the engine's worst platoon
+    // case) and the sparse-disturbance cell it is built for (early
+    // retirements, lost channels: DESIGN.md §18).
+    let event_stacks = ["platoon-n8/teacher-cons", "platoon-n8-sparse/comm-lost"];
+    println!("event-driven engine (bit-identity vs fixed-step asserted per cell):");
+    let mut event_cells: Vec<EventCell> = Vec::new();
+    for &(stack, ref template, ref spec, ref starts) in matrix
+        .iter()
+        .filter(|(s, _, _, _)| event_stacks.contains(s))
+    {
+        for &t in &threads {
+            let ec = event_cell(stack, template, spec, starts.as_deref(), sims, t, reps);
+            println!(
+                "  {:<30} @ {} threads: fixed {:>8.1} ep/s -> event {:>8.1} ep/s ({:.2}x)",
+                ec.stack, ec.threads, ec.fixed_eps, ec.event_eps, ec.event_speedup
+            );
+            event_cells.push(ec);
+        }
+    }
+
     // NN baseline: the growth-seed baseline predates the NN and platoon
     // stacks, so their `speedup_vs_baseline` was always null. The first run
     // with --nn-baseline records this run's NN, lane, and platoon cells;
     // later runs compare against the recorded file under the same 10%
     // regression gate as the seed baseline.
     let lane_cell_name = |k: usize| format!("nn-lanes-k{k}/no-disturbance");
+    let event_cell_name = |stack: &str| format!("event-{stack}");
     let nn_points: Vec<(String, usize, f64)> = cells
         .iter()
         .filter(|c| c.stack.starts_with("nn-") || c.stack.starts_with("platoon-"))
@@ -712,38 +890,44 @@ fn main() {
                 .iter()
                 .map(|lc| (lane_cell_name(lc.k), 1, lc.eps)),
         )
+        .chain(
+            event_cells
+                .iter()
+                .map(|ec| (event_cell_name(ec.stack), ec.threads, ec.event_eps)),
+        )
         .collect();
     let nn_baseline: Vec<(String, usize, f64)> = if nn_baseline_path.is_empty() {
         Vec::new()
     } else if std::path::Path::new(&nn_baseline_path).exists() {
-        load_baseline(&nn_baseline_path)
-    } else {
-        let json = Json::obj(vec![
-            ("schema", Json::str("bench.throughput.baseline/v1")),
-            ("sims_per_cell", Json::Int(sims as i128)),
-            ("base_seed", Json::Int(seed as i128)),
-            (
-                "cells",
-                Json::Arr(
-                    nn_points
-                        .iter()
-                        .map(|(s, t, e)| {
-                            Json::obj(vec![
-                                ("stack", Json::str(s.as_str())),
-                                ("threads", Json::Int(*t as i128)),
-                                ("episodes_per_sec", Json::num_or_null(*e)),
-                            ])
-                        })
-                        .collect(),
-                ),
-            ),
-        ]);
-        if let Some(dir) = std::path::Path::new(&nn_baseline_path).parent() {
-            if !dir.as_os_str().is_empty() {
-                std::fs::create_dir_all(dir).expect("create nn-baseline directory");
+        let mut loaded = load_baseline(&nn_baseline_path);
+        // A baseline recorded before a new cell family landed (a new
+        // platoon size, the lane cells, the event-engine cells) has no
+        // entry for it, and silently skipping the comparison would leave
+        // that family ungated forever. Seed every missing cell from this
+        // run — it lands at exactly 1.00x now — name each one, and rewrite
+        // the file so the next run gates them against today's numbers.
+        let newly_seeded: Vec<(String, usize, f64)> = nn_points
+            .iter()
+            .filter(|(s, t, _)| !loaded.iter().any(|(bs, bt, _)| bs == s && bt == t))
+            .cloned()
+            .collect();
+        if !newly_seeded.is_empty() {
+            for (s, t, e) in &newly_seeded {
+                println!(
+                    "warning: nn baseline {nn_baseline_path} predates cell \
+                     {s} @ {t} threads; seeding it at {e:.1} ep/s from this run"
+                );
             }
+            loaded.extend(newly_seeded.iter().cloned());
+            write_nn_baseline(&nn_baseline_path, sims, seed, &loaded);
+            println!(
+                "re-recorded nn baseline {nn_baseline_path} with {} newly seeded cell(s)",
+                newly_seeded.len()
+            );
         }
-        std::fs::write(&nn_baseline_path, json.encode()).expect("write nn baseline");
+        loaded
+    } else {
+        write_nn_baseline(&nn_baseline_path, sims, seed, &nn_points);
         println!("recorded nn baseline {nn_baseline_path}");
         // Compare this run against what it just wrote: every NN cell lands
         // at exactly 1.00x and the field stops being null from run one.
@@ -786,7 +970,7 @@ fn main() {
     );
 
     let json = Json::obj(vec![
-        ("schema", Json::str("bench.throughput/v4")),
+        ("schema", Json::str("bench.throughput/v5")),
         ("sims_per_cell", Json::Int(sims as i128)),
         ("reps_per_cell", Json::Int(reps as i128)),
         ("base_seed", Json::Int(seed as i128)),
@@ -883,6 +1067,40 @@ fn main() {
                     ),
                 ),
             ]),
+        ),
+        (
+            "events",
+            Json::obj(vec![(
+                "cells",
+                Json::Arr(
+                    event_cells
+                        .iter()
+                        .map(|ec| {
+                            let vs_baseline = baseline
+                                .iter()
+                                .find(|(s, t, _)| {
+                                    *s == event_cell_name(ec.stack) && *t == ec.threads
+                                })
+                                .map(|(_, _, eps)| ec.event_eps / eps);
+                            Json::obj(vec![
+                                ("stack", Json::str(ec.stack)),
+                                ("threads", Json::Int(ec.threads as i128)),
+                                ("episodes", Json::Int(ec.episodes as i128)),
+                                ("fixed_wall_secs", Json::num_or_null(ec.fixed_secs)),
+                                ("event_wall_secs", Json::num_or_null(ec.event_secs)),
+                                ("fixed_episodes_per_sec", Json::num_or_null(ec.fixed_eps)),
+                                ("event_episodes_per_sec", Json::num_or_null(ec.event_eps)),
+                                ("event_speedup", Json::num_or_null(ec.event_speedup)),
+                                (
+                                    "speedup_vs_baseline",
+                                    Json::num_or_null(vs_baseline.unwrap_or(f64::NAN)),
+                                ),
+                                ("bit_identical", Json::Bool(true)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            )]),
         ),
         (
             "cache",
@@ -985,6 +1203,24 @@ fn main() {
                 lc.eps,
                 base_eps,
                 100.0 * lc.eps / base_eps
+            ));
+        }
+    }
+    for ec in &event_cells {
+        let Some((_, _, base_eps)) = baseline
+            .iter()
+            .find(|(s, t, _)| *s == event_cell_name(ec.stack) && *t == ec.threads)
+        else {
+            continue;
+        };
+        if ec.event_eps < 0.9 * base_eps {
+            regressions.push(format!(
+                "{} @ {} threads: {:.1} ep/s vs baseline {:.1} ep/s ({:.0}%)",
+                event_cell_name(ec.stack),
+                ec.threads,
+                ec.event_eps,
+                base_eps,
+                100.0 * ec.event_eps / base_eps
             ));
         }
     }

@@ -2,6 +2,21 @@ use cv_rng::{Rng, SplitMix64};
 
 use crate::Message;
 
+/// What a channel resolved a scheduled send to ([`Channel::send_scheduled`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Arrival {
+    /// The message will arrive at exactly this absolute time.
+    Delivered(f64),
+    /// The channel dropped the message; it never arrives.
+    Dropped,
+    /// The channel delivers nothing, ever ([`LostChannel`]).
+    Never,
+    /// The channel cannot resolve delivery at send time; the message was
+    /// enqueued internally (via [`Channel::send`]) and the caller must keep
+    /// polling [`Channel::receive_into`].
+    Unknown,
+}
+
 /// A one-way message channel from other vehicles to the ego vehicle.
 ///
 /// Implementations decide when (and whether) a sent message is delivered.
@@ -10,6 +25,20 @@ use crate::Message;
 pub trait Channel {
     /// Submits `msg` for transmission at time `now`.
     fn send(&mut self, msg: Message, now: f64);
+
+    /// Resolves the fate of `msg` at send time instead of enqueuing it:
+    /// event-driven callers schedule [`Arrival::Delivered`] times on their
+    /// own wheel and never poll the channel. Implementations that know
+    /// their delivery schedule MUST NOT also enqueue the message — and must
+    /// consume exactly the same randomness as [`Channel::send`] would, so a
+    /// channel driven through either entry point replays the identical
+    /// drop-decision stream. The default falls back to [`Channel::send`]
+    /// and reports [`Arrival::Unknown`], telling the caller to poll
+    /// [`Channel::receive_into`] for this channel.
+    fn send_scheduled(&mut self, msg: Message, now: f64) -> Arrival {
+        self.send(msg, now);
+        Arrival::Unknown
+    }
 
     /// Appends all messages deliverable at or before `now` to `out`, in
     /// stamp order. The allocation-free form of [`Channel::receive`] for
@@ -78,6 +107,10 @@ impl Channel for PerfectChannel {
             deliver_at: now,
             msg,
         });
+    }
+
+    fn send_scheduled(&mut self, _msg: Message, now: f64) -> Arrival {
+        Arrival::Delivered(now)
     }
 
     fn receive_into(&mut self, now: f64, out: &mut Vec<Message>) {
@@ -159,6 +192,17 @@ impl Channel for DelayDropChannel {
         }
     }
 
+    fn send_scheduled(&mut self, _msg: Message, now: f64) -> Arrival {
+        // Same draw (and draw-even-at-p_d-0 rule) as `send`, so scheduled and
+        // polled operation consume an identical drop-decision stream.
+        let dropped = self.rng.random_f64() < self.drop_prob;
+        if dropped {
+            Arrival::Dropped
+        } else {
+            Arrival::Delivered(now + self.delay)
+        }
+    }
+
     fn receive_into(&mut self, now: f64, out: &mut Vec<Message>) {
         drain_due_into(&mut self.queue, now, out);
     }
@@ -185,6 +229,10 @@ impl LostChannel {
 
 impl Channel for LostChannel {
     fn send(&mut self, _msg: Message, _now: f64) {}
+
+    fn send_scheduled(&mut self, _msg: Message, _now: f64) -> Arrival {
+        Arrival::Never
+    }
 
     fn receive_into(&mut self, _now: f64, _out: &mut Vec<Message>) {}
 
@@ -298,5 +346,72 @@ mod tests {
     #[should_panic]
     fn invalid_drop_prob_panics() {
         let _ = DelayDropChannel::new(0.0, 1.5, 0);
+    }
+
+    #[test]
+    fn scheduled_send_resolves_without_enqueuing() {
+        let mut perfect = PerfectChannel::new();
+        assert_eq!(
+            perfect.send_scheduled(msg(0.3), 0.3),
+            Arrival::Delivered(0.3)
+        );
+        assert!(
+            perfect.receive(f64::MAX).is_empty(),
+            "must not also enqueue"
+        );
+
+        let mut delay = DelayDropChannel::new(0.25, 0.0, 1);
+        assert_eq!(
+            delay.send_scheduled(msg(0.1), 0.1),
+            Arrival::Delivered(0.35)
+        );
+        assert!(delay.receive(f64::MAX).is_empty(), "must not also enqueue");
+
+        let mut lost = LostChannel::new();
+        assert_eq!(lost.send_scheduled(msg(0.0), 0.0), Arrival::Never);
+    }
+
+    #[test]
+    fn scheduled_send_replays_the_polled_drop_stream() {
+        // Decisions from repeated send_scheduled calls must equal the set of
+        // survivors a polled channel with the same seed would deliver.
+        let mut polled = DelayDropChannel::new(0.0, 0.5, 42);
+        (0..50).for_each(|i| polled.send(msg(i as f64), i as f64));
+        let survivors: Vec<u64> = polled
+            .receive(f64::MAX)
+            .iter()
+            .map(|m| m.stamp as u64)
+            .collect();
+
+        let mut scheduled = DelayDropChannel::new(0.0, 0.5, 42);
+        let resolved: Vec<u64> = (0..50)
+            .filter(|&i| {
+                matches!(
+                    scheduled.send_scheduled(msg(i as f64), i as f64),
+                    Arrival::Delivered(_)
+                )
+            })
+            .collect();
+        assert_eq!(resolved, survivors);
+    }
+
+    #[test]
+    fn default_send_scheduled_enqueues_and_reports_unknown() {
+        // A channel without its own schedule falls back to polling semantics.
+        struct Opaque(PerfectChannel);
+        impl Channel for Opaque {
+            fn send(&mut self, msg: Message, now: f64) {
+                self.0.send(msg, now);
+            }
+            fn receive_into(&mut self, now: f64, out: &mut Vec<Message>) {
+                self.0.receive_into(now, out);
+            }
+            fn reset(&mut self, seed: u64) {
+                self.0.reset(seed);
+            }
+        }
+        let mut ch = Opaque(PerfectChannel::new());
+        assert_eq!(ch.send_scheduled(msg(0.0), 0.0), Arrival::Unknown);
+        assert_eq!(ch.receive(0.0).len(), 1, "fallback must enqueue");
     }
 }

@@ -2,8 +2,9 @@
 //!
 //! Usage: `cargo run --release -p cv-server --bin cv-serve --
 //! [--addr 127.0.0.1:7878] [--queue-depth 8] [--workers 0] [--lanes 1]
-//! [--idle-timeout-secs 60] [--max-pending-episodes 0] [--panic-budget 3]
-//! [--cache-bytes 67108864] [--no-cache] [--cache-dir PATH]`
+//! [--event-driven] [--idle-timeout-secs 60] [--max-pending-episodes 0]
+//! [--panic-budget 3] [--cache-bytes 67108864] [--no-cache]
+//! [--cache-dir PATH]`
 //!
 //! `--max-pending-episodes` caps episodes admitted but not yet resolved
 //! across all jobs (0 = unlimited); a submission over the cap gets a
@@ -18,7 +19,11 @@
 //! to `.bad` — when a daemon restarts with the same directory.
 //! `--lanes` sets the lane-batched execution width (episodes each worker
 //! steps in lockstep with batched NN forward passes; 1 = per-episode) for
-//! jobs whose planner stack embeds a neural network.
+//! jobs whose planner stack embeds a neural network. `--event-driven`
+//! runs every job on the event-driven episode engine (`cv_sim::events`,
+//! DESIGN.md §18) — bit-identical whenever every cadence divides the
+//! control step, fastest on sparse platoon workloads; it takes precedence
+//! over `--lanes`.
 //!
 //! Listens for newline-delimited JSON requests (see `cv_server::protocol`),
 //! runs submitted batches through the sharded worker pool, and streams
@@ -61,6 +66,7 @@ fn main() {
         panic_budget: arg_usize("--panic-budget", 3) as u32,
         cache_bytes,
         lanes: arg_usize("--lanes", 1),
+        event_driven: has_flag("--event-driven"),
         cache_dir: has_flag("--cache-dir")
             .then(|| std::path::PathBuf::from(arg_string("--cache-dir", "cv-cache"))),
         ..ServerConfig::default()

@@ -89,6 +89,11 @@ pub struct ServerConfig {
     /// the wire always run per-episode, so today this is forward-looking
     /// configuration surfaced in each summary's `lanes` field.
     pub lanes: usize,
+    /// Run every job's episodes on the event-driven engine
+    /// (`cv_sim::events`, DESIGN.md §18). Bit-identical to fixed-step
+    /// whenever every cadence divides the control step; takes precedence
+    /// over [`ServerConfig::lanes`].
+    pub event_driven: bool,
     /// Directory for the persistent cache tier (DESIGN.md §17). `None`
     /// keeps the cache memory-only; `Some(dir)` makes the cache survive
     /// daemon restarts: results are appended to checksummed segment files
@@ -113,6 +118,7 @@ impl Default for ServerConfig {
             panic_budget: 3,
             cache_bytes: DEFAULT_CACHE_BYTES,
             lanes: 1,
+            event_driven: false,
             cache_dir: None,
         }
     }
@@ -702,7 +708,8 @@ fn runner_loop(shared: &Arc<Shared>) {
         let t0 = Instant::now();
         let mut limits =
             JobLimits::new(effective_workers(shared.config.workers, job.batch.threads))
-                .with_lanes(shared.config.lanes.max(1));
+                .with_lanes(shared.config.lanes.max(1))
+                .with_event_driven(shared.config.event_driven);
         if let Some(deadline) = job.deadline {
             limits = limits.with_deadline(deadline);
         }

@@ -45,9 +45,9 @@ use std::time::{Duration, Instant};
 use cv_sim::lanes::{drive_lanes, BatchMode};
 use cv_sim::scheduler::WorkQueue;
 use cv_sim::{
-    episode_key, episode_weight, stack_digest, supervised_episode, BatchConfig, BatchReport,
-    BatchSummary, CacheKey, EpisodeCache, EpisodeOutcome, EpisodeWorkspace, Quarantine, SimError,
-    SkipReason, StackSpec,
+    episode_key, episode_weight, stack_digest, supervised_episode_with, BatchConfig, BatchReport,
+    BatchSummary, CacheKey, EngineKind, EpisodeCache, EpisodeOutcome, EpisodeWorkspace, Quarantine,
+    SimError, SkipReason, StackSpec,
 };
 
 /// How often the coordinator wakes to poll cancel/deadline while no episode
@@ -69,6 +69,10 @@ pub struct JobLimits {
     /// [`SimError::InvalidBatch`]. Only applies to stacks with an embedded
     /// NN planner — teacher stacks always run per-episode.
     pub lanes: usize,
+    /// Run episodes on the event-driven engine
+    /// ([`cv_sim::events`]). Takes precedence over [`JobLimits::lanes`]:
+    /// an event-driven job always runs one episode at a time per shard.
+    pub event_driven: bool,
     /// Test hook: worker `w` dies right after its next claim, leaving a
     /// claimed-but-unreported episode for the supervisor's rescue pass.
     /// Feature-gated so it cannot ship in a default build.
@@ -83,6 +87,7 @@ impl JobLimits {
             workers,
             deadline: None,
             lanes: 1,
+            event_driven: false,
             #[cfg(feature = "fault-injection")]
             kill_worker: None,
         }
@@ -101,6 +106,23 @@ impl JobLimits {
     pub fn with_lanes(mut self, lanes: usize) -> Self {
         self.lanes = lanes;
         self
+    }
+
+    /// Selects the event-driven episode engine (see
+    /// [`JobLimits::event_driven`]).
+    #[must_use]
+    pub fn with_event_driven(mut self, event_driven: bool) -> Self {
+        self.event_driven = event_driven;
+        self
+    }
+
+    /// The episode engine these limits select.
+    pub fn engine(&self) -> EngineKind {
+        if self.event_driven {
+            EngineKind::EventDriven
+        } else {
+            EngineKind::FixedStep
+        }
     }
 
     /// Arms the kill-a-shard test hook for worker `w`.
@@ -255,8 +277,10 @@ where
         return JobOutcome::Failed(e);
     }
     // Lane batching applies only to NN-planner stacks; everything else
-    // takes the per-episode reference path regardless of the knob.
-    let lanes = if limits.lanes > 1 && spec.nn_planner().is_some() {
+    // takes the per-episode reference path regardless of the knob. An
+    // event-driven job steps one episode at a time per shard, so the
+    // engine switch wins over the lane knob.
+    let lanes = if limits.lanes > 1 && spec.nn_planner().is_some() && !limits.event_driven {
         limits.lanes
     } else {
         1
@@ -430,7 +454,13 @@ where
                 }
                 None => {
                     let ws = rescue.get_or_insert_with(|| EpisodeWorkspace::new(spec.clone()));
-                    supervised_episode(ws, &batch.episode(i), quarantine, None)
+                    supervised_episode_with(
+                        limits.engine(),
+                        ws,
+                        &batch.episode(i),
+                        quarantine,
+                        None,
+                    )
                 }
             };
             if let (Some(c), EpisodeOutcome::Completed(r), Some(key)) = (cache, &outcome, keys[i]) {
@@ -607,7 +637,13 @@ fn run_shards(ctx: RunShards<'_, '_>) {
                             return;
                         }
                         let cfg = batch.episode(i);
-                        let outcome = supervised_episode(&mut ws, &cfg, quarantine, Some(stop));
+                        let outcome = supervised_episode_with(
+                            limits.engine(),
+                            &mut ws,
+                            &cfg,
+                            quarantine,
+                            Some(stop),
+                        );
                         if tx.send((i, outcome)).is_err() {
                             return;
                         }

@@ -1,0 +1,115 @@
+//! Shared broadcast/sensing cadence semantics.
+//!
+//! All three execution paths — the per-episode reference loop
+//! ([`crate::EpisodeWorkspace::run`]), the lane-batched stepper
+//! ([`crate::lanes`]), and the event-driven engine ([`crate::events`]) —
+//! quantize the message period `Δt_m` and sensing period `Δt_s` onto the
+//! control tick the same way: `every = round(period / Δt_c)`, clamped to at
+//! least one tick, firing on step 0 and every `every` steps after. This
+//! type is the single source of truth for that rule; the three engines
+//! differ only in *how* they ask ([`Cadence::fires_at`] stateless,
+//! [`Cadence::due`]/[`Cadence::advance`] as an incremental countdown, or
+//! [`Cadence::next_at_or_after`] for event scheduling), never in *when* a
+//! cadence fires.
+
+/// A periodic cadence quantized to control ticks.
+///
+/// Fires on step 0 and every [`Cadence::every`] steps after. The countdown
+/// form (`due`/`advance`) and the stateless form (`fires_at`) agree on
+/// every step as long as `advance` is called exactly once per step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cadence {
+    /// Firing period in control ticks (≥ 1).
+    every: u64,
+    /// `step % every`, maintained incrementally by [`Cadence::advance`] —
+    /// the cadence check without a per-step hardware division (fires
+    /// when 0).
+    tick: u64,
+}
+
+impl Cadence {
+    /// Quantizes `period` (s) onto control ticks of `dt_c` (s), rounding to
+    /// the nearest tick and clamping to at least one.
+    pub fn new(period: f64, dt_c: f64) -> Self {
+        Self {
+            every: (period / dt_c).round().max(1.0) as u64,
+            tick: 0,
+        }
+    }
+
+    /// Firing period in control ticks.
+    #[cfg(test)]
+    pub fn every(&self) -> u64 {
+        self.every
+    }
+
+    /// Whether the cadence fires at `step` (stateless form).
+    pub fn fires_at(&self, step: u64) -> bool {
+        step.is_multiple_of(self.every)
+    }
+
+    /// Whether the cadence fires at the countdown's current step.
+    pub fn due(&self) -> bool {
+        self.tick == 0
+    }
+
+    /// Advances the countdown by one step. Call exactly once per step to
+    /// keep [`Cadence::due`] aligned with [`Cadence::fires_at`].
+    pub fn advance(&mut self) {
+        self.tick += 1;
+        if self.tick == self.every {
+            self.tick = 0;
+        }
+    }
+
+    /// The first firing step at or after `step` (event scheduling form).
+    pub fn next_at_or_after(&self, step: u64) -> u64 {
+        step.div_ceil(self.every) * self.every
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantization_rounds_and_clamps() {
+        assert_eq!(Cadence::new(0.1, 0.05).every(), 2);
+        assert_eq!(Cadence::new(0.25, 0.05).every(), 5);
+        // Rounding, not truncation: 0.24 / 0.05 = 4.8 → 5.
+        assert_eq!(Cadence::new(0.24, 0.05).every(), 5);
+        // A period below one tick clamps to every tick.
+        assert_eq!(Cadence::new(0.01, 0.05).every(), 1);
+        assert_eq!(Cadence::new(0.0, 0.05).every(), 1);
+    }
+
+    #[test]
+    fn countdown_matches_stateless_form() {
+        for period in [0.05, 0.1, 0.25, 0.3] {
+            let stateless = Cadence::new(period, 0.05);
+            let mut countdown = stateless;
+            for step in 0..200 {
+                assert_eq!(
+                    countdown.due(),
+                    stateless.fires_at(step),
+                    "period {period} step {step}"
+                );
+                countdown.advance();
+            }
+        }
+    }
+
+    #[test]
+    fn next_at_or_after_is_the_next_firing_step() {
+        let c = Cadence::new(0.25, 0.05); // every 5 ticks
+        assert_eq!(c.next_at_or_after(0), 0);
+        assert_eq!(c.next_at_or_after(1), 5);
+        assert_eq!(c.next_at_or_after(5), 5);
+        assert_eq!(c.next_at_or_after(6), 10);
+        for step in 0..100 {
+            let next = c.next_at_or_after(step);
+            assert!(next >= step && c.fires_at(next));
+            assert!(!(step..next).any(|s| c.fires_at(s)));
+        }
+    }
+}

@@ -5,6 +5,7 @@ use cv_sensing::Measurement;
 use left_turn::ScenarioError;
 use safe_shield::{Outcome, PlannerSource, Scenario};
 
+use crate::cadence::Cadence;
 use crate::{EpisodeConfig, EpisodeWorkspace, StackSpec};
 
 /// Errors running an episode.
@@ -235,8 +236,8 @@ impl EpisodeWorkspace {
         let exec = exec.as_mut().expect("executor armed above");
 
         let mut ego = cfg.ego_init;
-        let msg_every = (cfg.dt_m / cfg.dt_c).round().max(1.0) as u64;
-        let sense_every = (cfg.dt_s / cfg.dt_c).round().max(1.0) as u64;
+        let msg = Cadence::new(cfg.dt_m, cfg.dt_c);
+        let sense = Cadence::new(cfg.dt_s, cfg.dt_c);
         let steps = (cfg.horizon / cfg.dt_c).ceil() as u64;
 
         let mut traces = record_traces.then(|| EpisodeTraces {
@@ -258,7 +259,7 @@ impl EpisodeWorkspace {
 
             // V2V broadcast and delivery, then sensing — per vehicle.
             for (i, other) in others.iter().enumerate() {
-                if step % msg_every == 0 {
+                if msg.fires_at(step) {
                     channels[i]
                         .chan
                         .send(Message::from_state(1 + i, t, other), t);
@@ -268,7 +269,7 @@ impl EpisodeWorkspace {
                 for msg in inbox.iter() {
                     exec.estimator_mut(i).on_message(msg);
                 }
-                if step % sense_every == 0 {
+                if sense.fires_at(step) {
                     // Dropout-free sensors keep the historical RNG stream.
                     let maybe = if cfg.sensor_dropout > 0.0 {
                         sensors[i].try_measure(1 + i, t, other)

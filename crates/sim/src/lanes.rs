@@ -44,6 +44,8 @@ use cv_nn::{BatchScratch, LanePlan, Matrix, Mlp, MlpScratch, LANE_WIDTH};
 use cv_planner::NnPlanner;
 use safe_shield::{Observation, Outcome, PlannerSource, Scenario};
 
+use crate::cadence::Cadence;
+use crate::events::run_batch_event_driven;
 use crate::scheduler::WorkQueue;
 use crate::stack::StepPlan;
 use crate::supervise::payload_string;
@@ -62,13 +64,20 @@ pub enum BatchMode {
     /// `Lanes(1)` is bit-identical to [`BatchMode::PerEpisode`]; larger K
     /// is covered by the tolerance contract (module docs).
     Lanes(usize),
+    /// The event-driven engine ([`crate::events`]): one episode at a time
+    /// per worker, with V2V deliveries scheduled on an event wheel and
+    /// cleared vehicle pairs retired from the per-tick loop. Bit-identical
+    /// to [`BatchMode::PerEpisode`] (DESIGN.md §18); fastest on sparse
+    /// platoon workloads where most pairs are quiescent most of the time.
+    EventDriven,
 }
 
 impl BatchMode {
-    /// The lane count this mode runs (`1` for the per-episode path).
+    /// The lane count this mode runs (`1` for the per-episode and
+    /// event-driven paths).
     pub fn lanes(&self) -> usize {
         match self {
-            BatchMode::PerEpisode => 1,
+            BatchMode::PerEpisode | BatchMode::EventDriven => 1,
             BatchMode::Lanes(k) => *k,
         }
     }
@@ -80,7 +89,7 @@ impl BatchMode {
     /// [`SimError::InvalidBatch`] with the offending count.
     pub fn validate(&self) -> Result<(), SimError> {
         match self {
-            BatchMode::PerEpisode => Ok(()),
+            BatchMode::PerEpisode | BatchMode::EventDriven => Ok(()),
             BatchMode::Lanes(k) if (1..=LANE_WIDTH).contains(k) => Ok(()),
             BatchMode::Lanes(k) => Err(SimError::InvalidBatch {
                 reason: format!("lane count {k} outside 1..={LANE_WIDTH}"),
@@ -170,13 +179,10 @@ struct RunState {
     ego: VehicleState,
     ego_limits: VehicleLimits,
     other_limits: VehicleLimits,
-    msg_every: u64,
-    sense_every: u64,
-    /// `step % msg_every`, maintained incrementally — the broadcast cadence
-    /// check without a per-step hardware division (broadcast when 0).
-    msg_tick: u64,
-    /// `step % sense_every`, maintained incrementally (sense when 0).
-    sense_tick: u64,
+    /// Broadcast cadence, in countdown form (broadcast when due).
+    msg: Cadence,
+    /// Sensing cadence, in countdown form (sense when due).
+    sense: Cadence,
     steps: u64,
     step: u64,
     emergency_steps: u64,
@@ -186,19 +192,13 @@ struct RunState {
 }
 
 impl RunState {
-    /// Advances the step counter and the cadence ticks together; the two
-    /// actuation sites (the inline `Ready` path and
+    /// Advances the step counter and the cadence countdowns together; the
+    /// two actuation sites (the inline `Ready` path and
     /// [`EpisodeStepper::resume`]) must stay in lockstep on all three.
     fn advance_step(&mut self) {
         self.step += 1;
-        self.msg_tick += 1;
-        if self.msg_tick == self.msg_every {
-            self.msg_tick = 0;
-        }
-        self.sense_tick += 1;
-        if self.sense_tick == self.sense_every {
-            self.sense_tick = 0;
-        }
+        self.msg.advance();
+        self.sense.advance();
     }
 }
 
@@ -257,10 +257,8 @@ impl EpisodeStepper {
 
         self.run = Some(RunState {
             ego: cfg.ego_init,
-            msg_every: (cfg.dt_m / cfg.dt_c).round().max(1.0) as u64,
-            sense_every: (cfg.dt_s / cfg.dt_c).round().max(1.0) as u64,
-            msg_tick: 0,
-            sense_tick: 0,
+            msg: Cadence::new(cfg.dt_m, cfg.dt_c),
+            sense: Cadence::new(cfg.dt_s, cfg.dt_c),
             steps: (cfg.horizon / cfg.dt_c).ceil() as u64,
             step: 0,
             emergency_steps: 0,
@@ -331,8 +329,8 @@ impl EpisodeStepper {
                 }
             }
             let t = state.step as f64 * dt_c;
-            let msg_now = state.msg_tick == 0;
-            let sense_now = state.sense_tick == 0;
+            let msg_now = state.msg.due();
+            let sense_now = state.sense.due();
 
             // V2V broadcast and delivery, then sensing — per vehicle.
             for (i, other) in others.iter().enumerate() {
@@ -800,6 +798,9 @@ pub fn run_batch_lanes(
     mode.validate()?;
     let k = match mode {
         BatchMode::PerEpisode => return run_batch_supervised(batch, spec, quarantine, interrupt),
+        BatchMode::EventDriven => {
+            return run_batch_event_driven(batch, spec, quarantine, interrupt)
+        }
         BatchMode::Lanes(k) => k,
     };
     let Some(planner) = spec.nn_planner() else {

@@ -50,9 +50,11 @@
 
 mod batch;
 pub mod cache;
+mod cadence;
 mod config;
 mod driver;
 mod episode;
+pub mod events;
 pub mod lanes;
 mod metrics;
 pub mod scheduler;
@@ -71,11 +73,13 @@ pub use driver::{Driver, DriverModel, LeadInfo};
 pub use episode::{
     run_episode, DecisionTrace, EpisodeResult, EpisodeTraces, SimError, WindowTrace,
 };
+pub use events::run_batch_event_driven;
 pub use lanes::{lane_tolerance_check, run_batch_lanes, BatchMode};
 pub use metrics::{rmse, winning_percentage, BatchSummary};
 pub use scheduler::{for_each_dynamic, WorkQueue};
 pub use stack::{StackSpec, WindowKind};
 pub use supervise::{
-    run_batch_supervised, supervised_episode, BatchReport, EpisodeOutcome, Quarantine, SkipReason,
+    run_batch_supervised, supervised_episode, supervised_episode_with, BatchReport, EngineKind,
+    EpisodeOutcome, Quarantine, SkipReason,
 };
 pub use workspace::EpisodeWorkspace;

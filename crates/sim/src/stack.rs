@@ -230,6 +230,7 @@ impl StackSpec {
             kind,
             est_scratch: Vec::with_capacity(inits.len()),
             win_scratch: Vec::with_capacity(inits.len()),
+            frozen: Vec::new(),
         };
         self.reinit(&mut exec, cfg, scenarios, &inits);
         exec
@@ -258,6 +259,7 @@ impl StackSpec {
             };
             return teacher.reinit(exec, cfg, scenarios, inits);
         }
+        exec.frozen.clear();
         let other_limits = scenarios[0].other_limits();
         match (&mut exec.kind, self) {
             (
@@ -310,6 +312,71 @@ pub(crate) struct StackExec {
     est_scratch: Vec<VehicleEstimate>,
     /// Window cluster buffer for the unshielded merge, refilled each step.
     win_scratch: Vec<Interval>,
+    /// Event-engine pins: a `Some(est)` here overrides estimator `i`'s live
+    /// estimate with a snapshot taken when the engine retired its vehicle
+    /// (see `crate::events`). Empty in fixed-step operation, where every
+    /// estimate is always recomputed.
+    frozen: Vec<Option<VehicleEstimate>>,
+}
+
+/// Fills `out` with one estimate per vehicle, honouring frozen pins.
+///
+/// The single estimate-gathering path for both engines: with no pins armed
+/// (`frozen` empty) this is exactly the fixed-step refill; with pins, a
+/// retired vehicle's snapshot substitutes for its estimator query.
+fn fill_estimates(
+    out: &mut Vec<VehicleEstimate>,
+    frozen: &[Option<VehicleEstimate>],
+    estimators: &[Box<dyn Estimator + Send>],
+    time: f64,
+) {
+    out.clear();
+    if frozen.is_empty() {
+        out.extend(estimators.iter().map(|e| e.estimate(time)));
+    } else {
+        out.extend(
+            estimators
+                .iter()
+                .zip(frozen)
+                .map(|(e, f)| f.unwrap_or_else(|| e.estimate(time))),
+        );
+    }
+}
+
+/// Fills `out` with the per-vehicle passing-time windows, skipping frozen
+/// pins.
+///
+/// A pin is only armed once both the estimate interval's lower bound and
+/// its nominal position sit past the scenario exit (`crate::events`
+/// retirement probe), and `v_min > 0` keeps any forward projection there —
+/// so the pinned estimate's window is `None` on every later step, in both
+/// window kinds. Skipping the computation therefore yields exactly the set
+/// the fixed-step engine's live estimates produce; it just stops paying
+/// for windows that are known-`None`.
+fn fill_windows(
+    out: &mut Vec<Interval>,
+    frozen: &[Option<VehicleEstimate>],
+    scenarios: &[LeftTurnScenario],
+    ests: &[VehicleEstimate],
+    window: WindowKind,
+    time: f64,
+) {
+    out.clear();
+    out.extend(
+        scenarios
+            .iter()
+            .zip(ests)
+            .enumerate()
+            .filter_map(|(i, (s, e))| {
+                if frozen.get(i).is_some_and(|f| f.is_some()) {
+                    return None;
+                }
+                match window {
+                    WindowKind::Conservative => s.conservative_window(time, e),
+                    WindowKind::Nominal => s.nominal_window(time, e),
+                }
+            }),
+    );
 }
 
 enum ExecKind {
@@ -343,6 +410,19 @@ pub(crate) enum StepPlan {
 }
 
 impl StackExec {
+    /// Arms the frozen-pin slots for `n` conflicting vehicles (event engine
+    /// only); all slots start live. Fixed-step engines never call this, so
+    /// their estimate path stays the plain refill.
+    pub(crate) fn arm_frozen(&mut self, n: usize) {
+        self.frozen.clear();
+        self.frozen.resize(n, None);
+    }
+
+    /// Pins vehicle `i`'s estimate to `est` for the rest of the episode.
+    pub(crate) fn set_frozen(&mut self, i: usize, est: VehicleEstimate) {
+        self.frozen[i] = Some(est);
+    }
+
     /// The estimator tracking conflicting vehicle `i`.
     pub(crate) fn estimator_mut(&mut self, i: usize) -> &mut (dyn Estimator + Send) {
         match &mut self.kind {
@@ -366,17 +446,15 @@ impl StackExec {
                 scenarios,
                 ..
             } => {
-                self.est_scratch.clear();
-                self.est_scratch
-                    .extend(estimators.iter().map(|e| e.estimate(time)));
-                self.win_scratch.clear();
-                self.win_scratch
-                    .extend(scenarios.iter().zip(&self.est_scratch).filter_map(
-                        |(s, e)| match window {
-                            WindowKind::Conservative => s.conservative_window(time, e),
-                            WindowKind::Nominal => s.nominal_window(time, e),
-                        },
-                    ));
+                fill_estimates(&mut self.est_scratch, &self.frozen, estimators, time);
+                fill_windows(
+                    &mut self.win_scratch,
+                    &self.frozen,
+                    scenarios,
+                    &self.est_scratch,
+                    *window,
+                    time,
+                );
                 let fused = merge_windows_in_place(&mut self.win_scratch, DEFAULT_MERGE_GAP);
                 let obs = Observation::new(time, *ego, fused);
                 (
@@ -391,9 +469,7 @@ impl StackExec {
                 compound,
                 estimators,
             } => {
-                self.est_scratch.clear();
-                self.est_scratch
-                    .extend(estimators.iter().map(|e| e.estimate(time)));
+                fill_estimates(&mut self.est_scratch, &self.frozen, estimators, time);
                 let decision = compound.plan(time, ego, &self.est_scratch);
                 (decision, self.est_scratch[0])
             }
@@ -419,17 +495,15 @@ impl StackExec {
                 scenarios,
                 is_nn,
             } => {
-                self.est_scratch.clear();
-                self.est_scratch
-                    .extend(estimators.iter().map(|e| e.estimate(time)));
-                self.win_scratch.clear();
-                self.win_scratch
-                    .extend(scenarios.iter().zip(&self.est_scratch).filter_map(
-                        |(s, e)| match window {
-                            WindowKind::Conservative => s.conservative_window(time, e),
-                            WindowKind::Nominal => s.nominal_window(time, e),
-                        },
-                    ));
+                fill_estimates(&mut self.est_scratch, &self.frozen, estimators, time);
+                fill_windows(
+                    &mut self.win_scratch,
+                    &self.frozen,
+                    scenarios,
+                    &self.est_scratch,
+                    *window,
+                    time,
+                );
                 let fused = merge_windows_in_place(&mut self.win_scratch, DEFAULT_MERGE_GAP);
                 let obs = Observation::new(time, *ego, fused);
                 if *is_nn {
@@ -445,9 +519,7 @@ impl StackExec {
                 compound,
                 estimators,
             } => {
-                self.est_scratch.clear();
-                self.est_scratch
-                    .extend(estimators.iter().map(|e| e.estimate(time)));
+                fill_estimates(&mut self.est_scratch, &self.frozen, estimators, time);
                 match compound.plan_prepare(time, ego, &self.est_scratch) {
                     safe_shield::PreparedPlan::Decided(decision) => StepPlan::Ready(decision),
                     safe_shield::PreparedPlan::Nominal { obs } => StepPlan::Nn { obs },

@@ -212,6 +212,23 @@ impl BatchReport {
     }
 }
 
+/// Which episode engine a supervised run drives.
+///
+/// Both engines produce bit-identical [`EpisodeResult`]s whenever every
+/// cadence divides the control step (see `DESIGN.md` §18 and
+/// [`crate::events`]); the choice is purely about throughput.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum EngineKind {
+    /// The reference fixed-step loop ([`EpisodeWorkspace::run`]) — the
+    /// bit-identity oracle every other engine is checked against.
+    #[default]
+    FixedStep,
+    /// The event-driven engine ([`EpisodeWorkspace::run_event`]): skips
+    /// quiescent per-pair work once a conflicting vehicle has permanently
+    /// cleared the conflict zone. Never records traces.
+    EventDriven,
+}
+
 impl EpisodeWorkspace {
     /// Runs one episode with panic isolation: a panic anywhere inside the
     /// episode is caught, the workspace is rebuilt from its spec (the only
@@ -223,10 +240,24 @@ impl EpisodeWorkspace {
         record_traces: bool,
         interrupt: Option<&AtomicBool>,
     ) -> EpisodeOutcome {
+        self.run_supervised_with(EngineKind::FixedStep, cfg, record_traces, interrupt)
+    }
+
+    /// [`EpisodeWorkspace::run_supervised`] on a caller-chosen engine.
+    /// `record_traces` only applies to [`EngineKind::FixedStep`]; the
+    /// event-driven engine never records traces.
+    pub fn run_supervised_with(
+        &mut self,
+        engine: EngineKind,
+        cfg: &EpisodeConfig,
+        record_traces: bool,
+        interrupt: Option<&AtomicBool>,
+    ) -> EpisodeOutcome {
         // AssertUnwindSafe: on the panic path the workspace is replaced
         // wholesale below, so no torn state can leak out of the catch.
-        let run = catch_unwind(AssertUnwindSafe(|| {
-            self.run_interruptible(cfg, record_traces, interrupt)
+        let run = catch_unwind(AssertUnwindSafe(|| match engine {
+            EngineKind::FixedStep => self.run_interruptible(cfg, record_traces, interrupt),
+            EngineKind::EventDriven => self.run_event_interruptible(cfg, interrupt),
         }));
         match run {
             Ok(Ok(Some(result))) => EpisodeOutcome::Completed(result),
@@ -300,6 +331,18 @@ pub fn supervised_episode(
     quarantine: Option<&Quarantine>,
     interrupt: Option<&AtomicBool>,
 ) -> EpisodeOutcome {
+    supervised_episode_with(EngineKind::FixedStep, ws, cfg, quarantine, interrupt)
+}
+
+/// [`supervised_episode`] on a caller-chosen engine — the shared primitive
+/// behind both the fixed-step and event-driven batch paths.
+pub fn supervised_episode_with(
+    engine: EngineKind,
+    ws: &mut EpisodeWorkspace,
+    cfg: &EpisodeConfig,
+    quarantine: Option<&Quarantine>,
+    interrupt: Option<&AtomicBool>,
+) -> EpisodeOutcome {
     if interrupt.is_some_and(|f| f.load(Ordering::Relaxed)) {
         return EpisodeOutcome::Skipped {
             seed: cfg.seed,
@@ -312,7 +355,7 @@ pub fn supervised_episode(
             reason: SkipReason::Quarantined { panics },
         };
     }
-    let outcome = ws.run_supervised(cfg, false, interrupt);
+    let outcome = ws.run_supervised_with(engine, cfg, false, interrupt);
     if let (EpisodeOutcome::Panicked { seed, .. }, Some(q)) = (&outcome, quarantine) {
         q.record_panic(*seed);
     }

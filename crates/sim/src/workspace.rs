@@ -31,6 +31,7 @@ use cv_sensing::UniformNoiseSensor;
 use left_turn::LeftTurnScenario;
 
 use crate::driver::Driver;
+use crate::events::EventScratch;
 use crate::stack::StackExec;
 use crate::{DriverModel, EpisodeConfig, SimError, StackSpec};
 
@@ -78,6 +79,9 @@ pub struct EpisodeWorkspace {
     pub(crate) drivers: Vec<Driver>,
     pub(crate) others: Vec<VehicleState>,
     pub(crate) inbox: Vec<Message>,
+    /// Event-engine scratch (heap, retirement flags), reused across
+    /// episodes; inert for the fixed-step engines.
+    pub(crate) events: EventScratch,
 }
 
 /// `(start_shared, init_speed, driver)` of conflicting vehicle `i` without
@@ -105,6 +109,7 @@ impl EpisodeWorkspace {
             drivers: Vec::new(),
             others: Vec::new(),
             inbox: Vec::new(),
+            events: EventScratch::default(),
         }
     }
 

@@ -47,4 +47,14 @@ timeout "${CV_SOAK_TIMEOUT_SECS}" \
   cargo test --release --offline -p cv-server --test disk_fault_e2e -- \
   --ignored --nocapture
 
+# Event-engine sparse-disturbance soak (tests/event_core.rs): thousands
+# of long-horizon n=8 platoon episodes per cell (lost and heavy
+# delay/drop channels, two seeds, two thread counts), each batch
+# asserted bit-identical to the fixed-step oracle (DESIGN.md §18).
+# CV_SOAK_EVENT_EPISODES overrides the per-cell episode count.
+echo "soak: event-engine sparse-disturbance bit-identity"
+timeout "${CV_SOAK_TIMEOUT_SECS}" \
+  cargo test --release --offline --test event_core -- \
+  --ignored --nocapture
+
 echo "soak: clean"

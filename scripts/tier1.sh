@@ -30,6 +30,13 @@ test -s target/tier1-throughput-smoke.json
 # the contract is about are actually selected.
 timeout 300 cargo test -q --release --offline --test lane_batching
 
+# Event-core smoke: the event-driven engine's bit-identity matrix
+# (seeds x thread counts x stacks, incl. an n=4 platoon with one lost
+# V2V channel) and the simultaneous-event ordering contract
+# (DESIGN.md §18) in release mode. The long-horizon sparse soak in the
+# same file is #[ignore]d here and runs via scripts/soak.sh.
+timeout 300 cargo test -q --release --offline --test event_core
+
 # Alloc-guard: the counting-allocator proof that the NN hot paths
 # (predict_into, forward_batch_into, NnPlanner::plan, the warmed episode
 # loop and the lane-batched step loop) are allocation-free in the steady

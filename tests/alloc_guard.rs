@@ -165,7 +165,7 @@ fn nn_hot_paths_are_allocation_free() {
         "alloc-guard-lanes",
     );
     let spec = StackSpec::basic(lane_planner);
-    let mut run_lanes = |episodes: usize| {
+    let run_lanes = |episodes: usize| {
         let mut batch = BatchConfig::new(EpisodeConfig::paper_default(42), episodes);
         batch.threads = 1;
         min_allocs(3, || {
